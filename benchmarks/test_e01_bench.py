@@ -1,0 +1,12 @@
+"""Benchmark E01 -- Theorem 1: universal search time vs bound.
+
+Regenerates the (d, r) sweep comparing simulated search times of Algorithm 4 against the 6(pi+1) log2(d^2/r) d^2/r bound.
+"""
+
+from __future__ import annotations
+
+
+def test_e01(experiment_runner):
+    """Run experiment E01 once and verify every reproduced claim."""
+    report = experiment_runner("E01")
+    assert report.all_passed

@@ -1,0 +1,12 @@
+"""Benchmark E02 -- Lemma 2: closed-form durations of Algorithms 1-4.
+
+Regenerates the exact duration identities for SearchCircle, SearchAnnulus, Search(k) and the Algorithm 4 prefix.
+"""
+
+from __future__ import annotations
+
+
+def test_e02(experiment_runner):
+    """Run experiment E02 once and verify every reproduced claim."""
+    report = experiment_runner("E02")
+    assert report.all_passed

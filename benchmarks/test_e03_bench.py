@@ -1,0 +1,12 @@
+"""Benchmark E03 -- Lemmas 1 and 3: discovery rounds.
+
+Regenerates the discovery-round table: actual vs guaranteed round and the difficulty lower bound.
+"""
+
+from __future__ import annotations
+
+
+def test_e03(experiment_runner):
+    """Run experiment E03 once and verify every reproduced claim."""
+    report = experiment_runner("E03")
+    assert report.all_passed

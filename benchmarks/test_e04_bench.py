@@ -1,0 +1,12 @@
+"""Benchmark E04 -- Theorem 2 (chi = +1): symmetric-clock rendezvous.
+
+Regenerates the speed/orientation sweep comparing rendezvous times against the mu-scaled Theorem 2 bound.
+"""
+
+from __future__ import annotations
+
+
+def test_e04(experiment_runner):
+    """Run experiment E04 once and verify every reproduced claim."""
+    report = experiment_runner("E04")
+    assert report.all_passed

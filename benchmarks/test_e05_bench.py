@@ -1,0 +1,12 @@
+"""Benchmark E05 -- Theorem 2 / Lemma 7 (chi = -1): mirrored rendezvous.
+
+Regenerates the mirrored-robot sweep comparing rendezvous times against the (1-v)-scaled Theorem 2 bound.
+"""
+
+from __future__ import annotations
+
+
+def test_e05(experiment_runner):
+    """Run experiment E05 once and verify every reproduced claim."""
+    report = experiment_runner("E05")
+    assert report.all_passed

@@ -1,0 +1,12 @@
+"""Benchmark E06 -- Theorem 4: feasibility map.
+
+Regenerates the feasibility grid: predicted vs simulated outcomes, with the invariant-gap certificate for infeasible cases.
+"""
+
+from __future__ import annotations
+
+
+def test_e06(experiment_runner):
+    """Run experiment E06 once and verify every reproduced claim."""
+    report = experiment_runner("E06")
+    assert report.all_passed

@@ -1,0 +1,12 @@
+"""Benchmark E07 -- Lemma 8 and Figures 1-2: the Algorithm 7 schedule.
+
+Regenerates S(n), I(n), A(n) from the actual trajectory of Algorithm 7 and the schedule diagrams.
+"""
+
+from __future__ import annotations
+
+
+def test_e07(experiment_runner):
+    """Run experiment E07 once and verify every reproduced claim."""
+    report = experiment_runner("E07")
+    assert report.all_passed

@@ -1,0 +1,12 @@
+"""Benchmark E08 -- Lemmas 9-10 and Figure 3: phase overlaps.
+
+Regenerates the overlap windows between the two robots' schedules and compares them with the closed forms.
+"""
+
+from __future__ import annotations
+
+
+def test_e08(experiment_runner):
+    """Run experiment E08 once and verify every reproduced claim."""
+    report = experiment_runner("E08")
+    assert report.all_passed

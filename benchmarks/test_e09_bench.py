@@ -1,0 +1,12 @@
+"""Benchmark E09 -- Lemmas 11-13 and Theorem 3: asymmetric-clock rounds.
+
+Regenerates the asymmetric-clock sweep: measured rendezvous round and time vs k* and the Theorem 3 bound.
+"""
+
+from __future__ import annotations
+
+
+def test_e09(experiment_runner):
+    """Run experiment E09 once and verify every reproduced claim."""
+    report = experiment_runner("E09")
+    assert report.all_passed

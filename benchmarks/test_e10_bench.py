@@ -1,0 +1,12 @@
+"""Benchmark E10 -- Baselines: the price of not knowing d and r.
+
+Regenerates the comparison of Algorithm 4 against clairvoyant and naive-universal baselines.
+"""
+
+from __future__ import annotations
+
+
+def test_e10(experiment_runner):
+    """Run experiment E10 once and verify every reproduced claim."""
+    report = experiment_runner("E10")
+    assert report.all_passed

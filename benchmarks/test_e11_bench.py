@@ -1,0 +1,12 @@
+"""Benchmark E11 -- Ablation: the balanced per-annulus granularity.
+
+Regenerates the granularity ablation showing why rho_{j,k} = 2^(-3k+2j-1) is the right choice.
+"""
+
+from __future__ import annotations
+
+
+def test_e11(experiment_runner):
+    """Run experiment E11 once and verify every reproduced claim."""
+    report = experiment_runner("E11")
+    assert report.all_passed

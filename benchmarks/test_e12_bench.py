@@ -1,0 +1,14 @@
+"""Benchmark E12 -- Extension: pairwise and connectivity gathering of small swarms.
+
+Regenerates the gathering tables: pairwise meetings of a heterogeneous swarm
+against their two-robot bounds, and the twins swarm showing the difference
+between pairwise and connectivity gathering.
+"""
+
+from __future__ import annotations
+
+
+def test_e12(experiment_runner):
+    """Run experiment E12 once and verify every reproduced claim."""
+    report = experiment_runner("E12")
+    assert report.all_passed

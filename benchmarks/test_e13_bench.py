@@ -1,0 +1,13 @@
+"""Benchmark E13 -- Blow-up of bounds and times as the attribute advantage vanishes.
+
+Regenerates the near-symmetry sweeps: Theorem 2 bounds and measured times as
+``v -> 1`` and ``phi -> 0``, and the Lemma 13 round bound as ``tau -> 1``.
+"""
+
+from __future__ import annotations
+
+
+def test_e13(experiment_runner):
+    """Run experiment E13 once and verify every reproduced claim."""
+    report = experiment_runner("E13")
+    assert report.all_passed

@@ -1,0 +1,12 @@
+"""Benchmark F01 -- Figure 1: three rounds of Algorithm 7.
+
+Regenerates the inactive/active interval structure of the first three rounds.
+"""
+
+from __future__ import annotations
+
+
+def test_f01(experiment_runner):
+    """Run experiment F01 once and verify every reproduced claim."""
+    report = experiment_runner("F01")
+    assert report.all_passed

@@ -1,0 +1,12 @@
+"""Benchmark F02 -- Figure 2: structure of one active phase.
+
+Regenerates the SearchAll(n) / SearchAllRev(n) breakdown of an active phase.
+"""
+
+from __future__ import annotations
+
+
+def test_f02(experiment_runner):
+    """Run experiment F02 once and verify every reproduced claim."""
+    report = experiment_runner("F02")
+    assert report.all_passed

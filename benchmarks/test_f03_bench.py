@@ -1,0 +1,12 @@
+"""Benchmark F03 -- Figure 3: the two overlap configurations.
+
+Regenerates the Lemma 9 / Lemma 10 overlap configurations between the two robots' schedules.
+"""
+
+from __future__ import annotations
+
+
+def test_f03(experiment_runner):
+    """Run experiment F03 once and verify every reproduced claim."""
+    report = experiment_runner("F03")
+    assert report.all_passed

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the simulation engine itself.
+
+These do not reproduce a paper artefact; they track the cost of the three
+hot paths every experiment relies on (first-crossing detection, a full
+search simulation, a full rendezvous simulation) so performance regressions
+in the engine are visible in the same report as the experiment benches.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms import UniversalSearch, WaitAndSearchRendezvous
+from repro.core import theorem1_search_bound
+from repro.geometry import Vec2
+from repro.robots import RobotAttributes
+from repro.simulation import (
+    RendezvousInstance,
+    SearchInstance,
+    bound_multiple_horizon,
+    find_first_crossing,
+    fixed_horizon,
+    simulate_rendezvous,
+    simulate_search,
+)
+
+
+def test_first_crossing_detector(benchmark):
+    """Lipschitz branch-and-bound on an oscillating gap with a late dip."""
+
+    def gap(t: float) -> float:
+        return 0.6 + 0.5 * math.sin(t) ** 2 if t < 40.0 else abs(t - 45.0)
+
+    def run():
+        return find_first_crossing(gap, 0.0, 60.0, 1.5, threshold=0.25, time_tolerance=1e-9)
+
+    result = benchmark(run)
+    assert result.found
+
+
+def test_search_simulation_medium_difficulty(benchmark):
+    """Algorithm 4 searching a d^2/r ~ 45 instance (a few thousand segments)."""
+    instance = SearchInstance(target=Vec2.polar(1.5, 2.0), visibility=0.05)
+    horizon = bound_multiple_horizon(
+        theorem1_search_bound(instance.distance, instance.visibility), 1.5
+    )
+
+    def run():
+        return simulate_search(UniversalSearch(), instance, horizon)
+
+    outcome = benchmark(run)
+    assert outcome.solved
+
+
+def test_rendezvous_simulation_speed_difference(benchmark):
+    """Two moving robots (Algorithm 4, different speeds) until first contact."""
+    instance = RendezvousInstance(
+        separation=Vec2(1.5, 0.5), visibility=0.3, attributes=RobotAttributes(speed=0.6)
+    )
+
+    def run():
+        return simulate_rendezvous(UniversalSearch(), instance, fixed_horizon(4000.0))
+
+    outcome = benchmark(run)
+    assert outcome.solved
+
+
+def test_rendezvous_simulation_asymmetric_clocks(benchmark):
+    """Algorithm 7 with tau = 0.5 until first contact."""
+    instance = RendezvousInstance(
+        separation=Vec2(1.0, 0.4), visibility=0.45, attributes=RobotAttributes(time_unit=0.5)
+    )
+
+    def run():
+        return simulate_rendezvous(WaitAndSearchRendezvous(), instance, fixed_horizon(8000.0))
+
+    outcome = benchmark(run)
+    assert outcome.solved

@@ -1,0 +1,56 @@
+"""How much does universality cost?  Algorithm 4 vs baselines.
+
+Run with::
+
+    python examples/baseline_comparison.py
+
+The paper's Algorithm 4 knows neither the target distance ``d`` nor the
+visibility ``r``.  This example compares it, on the same instances, against
+a clairvoyant searcher that knows ``r`` (concentric circles spaced ``2r``)
+and a naive universal searcher that hedges over guesses of both parameters.
+The clairvoyant baseline wins by roughly the ``log`` factor Theorem 1 pays
+for universality; the naive baseline scales much worse as ``r`` shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import ConcentricCoverageSearch, DiagonalHedgingSearch, UniversalSearch
+from repro.analysis import Table
+from repro.core import theorem1_search_bound
+from repro.geometry import Vec2
+from repro.simulation import SearchInstance, bound_multiple_horizon, fixed_horizon, simulate_search
+
+
+def main() -> None:
+    table = Table(
+        columns=["d", "r", "d^2/r", "Algorithm 4", "knows r", "naive universal"],
+        title="Search times (same instances, three searchers)",
+    )
+    for distance, visibility in ((1.3, 0.3), (1.7, 0.15), (2.1, 0.08), (1.5, 0.04)):
+        instance = SearchInstance(target=Vec2.polar(distance, 2.4), visibility=visibility)
+        bound = theorem1_search_bound(distance, visibility)
+        universal = simulate_search(UniversalSearch(), instance, bound_multiple_horizon(bound, 1.5))
+        clairvoyant = simulate_search(
+            ConcentricCoverageSearch(visibility), instance, bound_multiple_horizon(bound, 1.5)
+        )
+        naive = simulate_search(DiagonalHedgingSearch(), instance, fixed_horizon(bound * 80.0))
+        table.add_row(
+            [
+                distance,
+                visibility,
+                instance.difficulty,
+                universal.time,
+                clairvoyant.time,
+                naive.time if naive.solved else "timeout",
+            ]
+        )
+    print(table.to_text())
+    print(
+        "\nReading: the clairvoyant searcher wins by roughly the log(d^2/r) factor the paper "
+        "pays for not knowing r; the naive hedger blows up as r shrinks because it re-searches "
+        "the whole disc at every granularity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Which attribute differences make rendezvous possible? (Theorem 4)
+
+Run with::
+
+    python examples/feasibility_map.py
+
+The script sweeps the four hidden attributes one at a time (and in the
+mirrored combinations the paper singles out), applies the Theorem 4
+feasibility test, and for a few representative cells double-checks the
+verdict by simulation: feasible cells must actually rendezvous within the
+analytic bound, infeasible cells must keep the robots apart.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import Table
+from repro.core import classify_feasibility, solve_rendezvous
+from repro.geometry import Vec2
+from repro.robots import RobotAttributes
+from repro.simulation import RendezvousInstance, fixed_horizon
+
+
+def main() -> None:
+    configurations = [
+        ("identical robots", RobotAttributes()),
+        ("slower partner (v = 0.7)", RobotAttributes(speed=0.7)),
+        ("faster partner (v = 1.4)", RobotAttributes(speed=1.4)),
+        ("slower clock (tau = 0.5)", RobotAttributes(time_unit=0.5)),
+        ("rotated compass (phi = 2)", RobotAttributes(orientation=2.0)),
+        ("mirrored only (chi = -1)", RobotAttributes(chirality=-1)),
+        ("mirrored + rotated", RobotAttributes(orientation=1.2, chirality=-1)),
+        ("mirrored + slower (v = 0.7)", RobotAttributes(speed=0.7, chirality=-1)),
+        ("mirrored + slower clock", RobotAttributes(time_unit=0.5, chirality=-1)),
+    ]
+
+    table = Table(
+        columns=["configuration", "feasible (Theorem 4)", "why"],
+        title="Feasibility of rendezvous by attribute difference",
+    )
+    for label, attributes in configurations:
+        verdict = classify_feasibility(attributes)
+        table.add_row([label, verdict.feasible, "; ".join(verdict.reasons)])
+    print(table.to_text())
+    print()
+
+    # Spot-check one feasible and one infeasible cell by simulation.
+    feasible_instance = RendezvousInstance(
+        separation=Vec2(1.2, 0.5), visibility=0.35, attributes=RobotAttributes(orientation=2.0)
+    )
+    report = solve_rendezvous(feasible_instance)
+    print("simulated check (rotated compass):", report.summary().splitlines()[-1])
+
+    infeasible_instance = RendezvousInstance(
+        separation=Vec2(1.5, 0.0), visibility=0.3, attributes=RobotAttributes(chirality=-1)
+    )
+    report = solve_rendezvous(
+        infeasible_instance, allow_infeasible=True, horizon=fixed_horizon(500.0)
+    )
+    print("simulated check (mirrored only):  ", report.outcome.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment ships an older setuptools without the ``wheel``
+package, so PEP 517/660 editable installs are unavailable offline.  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` fall
+back to the classic ``setup.py develop`` code path.  All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

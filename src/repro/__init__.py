@@ -1,0 +1,109 @@
+"""repro -- reproduction of "Symmetry Breaking in the Plane: Rendezvous by
+Robots with Unknown Attributes" (Czyzowicz, Gąsieniec, Killick, Kranakis,
+PODC 2019).
+
+The package is organised as:
+
+* :mod:`repro.geometry`   -- planar geometry substrate (vectors, frames,
+  the attribute transforms of Lemmas 4-5);
+* :mod:`repro.motion`     -- exact piecewise-analytic trajectories;
+* :mod:`repro.robots`     -- hidden attributes and the canonical robot pair;
+* :mod:`repro.algorithms` -- the paper's Algorithms 1-7 plus baselines;
+* :mod:`repro.simulation` -- the continuous-time event-driven simulator;
+* :mod:`repro.core`       -- feasibility, closed-form bounds, schedules and
+  the high-level ``solve_search`` / ``solve_rendezvous`` API;
+* :mod:`repro.analysis`, :mod:`repro.workloads`, :mod:`repro.viz`,
+  :mod:`repro.experiments` -- the evaluation harness reproducing every
+  theorem, lemma and figure of the paper.
+
+Quickstart::
+
+    from repro import RobotAttributes, RendezvousInstance, Vec2
+    from repro import solve_rendezvous
+
+    instance = RendezvousInstance(
+        separation=Vec2(2.0, 1.0),
+        visibility=0.25,
+        attributes=RobotAttributes(speed=1.5),
+    )
+    report = solve_rendezvous(instance)
+    print(report.summary())
+"""
+
+from ._version import __version__
+from .algorithms import (
+    MobilityAlgorithm,
+    SearchAll,
+    SearchAllRev,
+    SearchAnnulus,
+    SearchCircle,
+    SearchRound,
+    UniversalSearch,
+    WaitAndSearchRendezvous,
+    create_algorithm,
+)
+from .core import (
+    FeasibilityVerdict,
+    RendezvousReport,
+    SearchReport,
+    is_feasible,
+    rendezvous_time_bound,
+    solve_rendezvous,
+    solve_search,
+    theorem1_search_bound as search_time_bound,
+)
+from .errors import (
+    HorizonExceededError,
+    InfeasibleConfigurationError,
+    InvalidParameterError,
+    ReproError,
+    SimulationError,
+    TrajectoryError,
+)
+from .geometry import Vec2
+from .robots import REFERENCE_ATTRIBUTES, Robot, RobotAttributes, RobotPair, make_pair
+from .simulation import (
+    RendezvousInstance,
+    SearchInstance,
+    SimulationOutcome,
+    simulate_rendezvous,
+    simulate_search,
+)
+
+__all__ = [
+    "__version__",
+    "MobilityAlgorithm",
+    "SearchAll",
+    "SearchAllRev",
+    "SearchAnnulus",
+    "SearchCircle",
+    "SearchRound",
+    "UniversalSearch",
+    "WaitAndSearchRendezvous",
+    "create_algorithm",
+    "FeasibilityVerdict",
+    "RendezvousReport",
+    "SearchReport",
+    "is_feasible",
+    "rendezvous_time_bound",
+    "search_time_bound",
+    "solve_rendezvous",
+    "solve_search",
+    "HorizonExceededError",
+    "InfeasibleConfigurationError",
+    "InvalidParameterError",
+    "ReproError",
+    "SimulationError",
+    "TrajectoryError",
+    "Vec2",
+    "REFERENCE_ATTRIBUTES",
+    "Robot",
+    "RobotAttributes",
+    "RobotPair",
+    "make_pair",
+    "RendezvousInstance",
+    "SearchInstance",
+    "SimulationOutcome",
+    "simulate_rendezvous",
+    "simulate_search",
+]

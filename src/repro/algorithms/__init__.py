@@ -1,0 +1,52 @@
+"""The paper's mobility algorithms (Algorithms 1-7) and baseline searchers."""
+
+from .base import FiniteMobilityAlgorithm, MobilityAlgorithm
+from .baselines import ConcentricCoverageSearch, DiagonalHedgingSearch, ExpandingSquareSearch
+from .primitives import (
+    SearchAnnulus,
+    SearchCircle,
+    annulus_circle_radii,
+    emit_search_annulus,
+    emit_search_circle,
+)
+from .registry import algorithm_names, create_algorithm, register_algorithm
+from .search_all import SearchAll, SearchAllRev
+from .search_round import (
+    SearchRound,
+    annulus_granularity,
+    annulus_inner_radius,
+    annulus_outer_radius,
+    emit_search_round,
+    terminal_wait_duration,
+)
+from .universal_search import TruncatedUniversalSearch, UniversalSearch
+from .wait_search import TruncatedWaitAndSearch, WaitAndSearchRendezvous, search_all_duration
+
+__all__ = [
+    "FiniteMobilityAlgorithm",
+    "MobilityAlgorithm",
+    "ConcentricCoverageSearch",
+    "DiagonalHedgingSearch",
+    "ExpandingSquareSearch",
+    "SearchAnnulus",
+    "SearchCircle",
+    "annulus_circle_radii",
+    "emit_search_annulus",
+    "emit_search_circle",
+    "algorithm_names",
+    "create_algorithm",
+    "register_algorithm",
+    "SearchAll",
+    "SearchAllRev",
+    "SearchRound",
+    "annulus_granularity",
+    "annulus_inner_radius",
+    "annulus_outer_radius",
+    "emit_search_round",
+    "terminal_wait_duration",
+    "TruncatedUniversalSearch",
+    "UniversalSearch",
+    "TruncatedWaitAndSearch",
+    "WaitAndSearchRendezvous",
+    "search_all_duration",
+]

@@ -1,0 +1,74 @@
+"""The mobility-algorithm interface.
+
+A *mobility algorithm* in the paper is a single deterministic trajectory
+``S(t)`` that every robot executes in its own reference frame.  Here an
+algorithm is an object producing a stream of local-frame motion segments;
+the stream may be infinite (Algorithms 4 and 7 never stop on their own --
+the simulation stops them when the rendezvous/search event fires).
+
+Two structural rules keep the implementation faithful to the model:
+
+* algorithms receive **no attribute information** -- their constructor
+  parameters are only the integers/reals the paper's pseudocode takes;
+* algorithms work in **local units**: the robot moves at local speed 1 and
+  measures local time, and the frame transform (applied elsewhere) is what
+  creates the asymmetry between the two robots.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from ..motion import MotionSegment, Trajectory
+
+__all__ = ["MobilityAlgorithm", "FiniteMobilityAlgorithm"]
+
+
+class MobilityAlgorithm(abc.ABC):
+    """Base class for all mobility algorithms."""
+
+    #: Short identifier used by the registry, the CLI and reports.
+    name: str = "algorithm"
+
+    @abc.abstractmethod
+    def segments(self) -> Iterator[MotionSegment]:
+        """Yield the local-frame motion segments of the algorithm, in order.
+
+        Implementations must start at the local origin and may be infinite.
+        Each call returns a *fresh* iterator (algorithms are reusable).
+        """
+
+    @property
+    def is_finite(self) -> bool:
+        """True when the segment stream is guaranteed to terminate."""
+        return False
+
+    def describe(self) -> str:
+        """Human-readable description (overridden by parameterised algorithms)."""
+        return self.name
+
+
+class FiniteMobilityAlgorithm(MobilityAlgorithm):
+    """A mobility algorithm with a finite segment stream."""
+
+    @property
+    def is_finite(self) -> bool:
+        return True
+
+    def local_trajectory(self) -> Trajectory:
+        """Materialise the whole local-frame trajectory.
+
+        Only meaningful for finite algorithms; used heavily by the timing
+        tests that compare trajectory durations against Lemma 2's closed
+        forms.
+        """
+        return Trajectory(list(self.segments()))
+
+    def duration(self) -> float:
+        """Total local duration of the algorithm."""
+        return self.local_trajectory().duration
+
+    def path_length(self) -> float:
+        """Total local path length of the algorithm."""
+        return self.local_trajectory().path_length()

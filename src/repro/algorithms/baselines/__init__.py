@@ -1,0 +1,11 @@
+"""Baseline search algorithms used as comparators in experiment E10."""
+
+from .concentric import ConcentricCoverageSearch
+from .diagonal import DiagonalHedgingSearch
+from .expanding_square import ExpandingSquareSearch
+
+__all__ = [
+    "ConcentricCoverageSearch",
+    "DiagonalHedgingSearch",
+    "ExpandingSquareSearch",
+]

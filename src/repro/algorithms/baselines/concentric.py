@@ -1,0 +1,47 @@
+"""Clairvoyant concentric-circle search baseline.
+
+This baseline *knows the visibility radius* ``r`` (something the paper's
+model forbids) and traces concentric circles spaced ``2 r`` apart:
+radii ``r, 3r, 5r, ...``.  Every point of the plane at distance at most
+``(2i+1) r`` from the origin is within ``r`` of one of the first ``i+1``
+circles, so the baseline is correct, and its search time is
+``Theta(d^2 / r)`` -- a ``log`` factor better than the universal
+Algorithm 4.  Comparing the two in experiment E10 quantifies the price of
+not knowing ``r``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ...errors import InvalidParameterError
+from ...motion import MotionSegment
+from ..base import MobilityAlgorithm
+from ..primitives import emit_search_circle
+
+__all__ = ["ConcentricCoverageSearch"]
+
+
+class ConcentricCoverageSearch(MobilityAlgorithm):
+    """Concentric circles spaced ``2 * visibility`` apart, forever."""
+
+    name = "concentric-coverage"
+
+    def __init__(self, visibility: float) -> None:
+        if visibility <= 0.0:
+            raise InvalidParameterError(f"visibility must be positive, got {visibility!r}")
+        self.visibility = float(visibility)
+
+    def circle_radius(self, index: int) -> float:
+        """Radius of the ``index``-th circle (0-based): ``(2 index + 1) r``."""
+        if index < 0:
+            raise InvalidParameterError(f"index must be non-negative, got {index!r}")
+        return (2 * index + 1) * self.visibility
+
+    def segments(self) -> Iterator[MotionSegment]:
+        for index in itertools.count():
+            yield from emit_search_circle(self.circle_radius(index))
+
+    def describe(self) -> str:
+        return f"ConcentricCoverageSearch(visibility={self.visibility:.6g})"

@@ -1,0 +1,41 @@
+"""A universal (non-clairvoyant) diagonal-enumeration search baseline.
+
+Like Algorithm 4, this baseline knows neither ``d`` nor ``r``.  It hedges
+over both by enumerating guesses along diagonals: in phase ``m`` it tries
+every guess ``d <= 2^i`` with granularity ``2^{i-m}`` for ``i = 0 .. m``,
+sweeping the disc of radius ``2^i`` with concentric circles spaced
+``2^{i-m+1}`` apart.  The guess ``(i, m)`` with ``2^i >= d`` and
+``2^{i-m} <= r`` succeeds, so the baseline is correct for every ``(d, r)``.
+
+Its time, however, is a full phase sum ``sum_i 2^{2i - (i-m)} = O(4^m)``
+per phase instead of Algorithm 4's carefully balanced annuli, which makes
+it polynomially slower in ``d^2/r``  (the balanced per-annulus granularity
+is exactly the design choice E11 ablates).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ...motion import MotionSegment
+from ..base import MobilityAlgorithm
+from ..primitives import emit_search_annulus
+
+__all__ = ["DiagonalHedgingSearch"]
+
+
+class DiagonalHedgingSearch(MobilityAlgorithm):
+    """Diagonal enumeration over (distance, granularity) guesses."""
+
+    name = "diagonal-hedging"
+
+    def segments(self) -> Iterator[MotionSegment]:
+        for phase in itertools.count(1):
+            for i in range(phase + 1):
+                outer = 2.0**i
+                granularity = 2.0 ** (i - phase)
+                yield from emit_search_annulus(0.0, outer, granularity)
+
+    def describe(self) -> str:
+        return "DiagonalHedgingSearch()"

@@ -1,0 +1,65 @@
+"""Clairvoyant expanding-square (square lawnmower) search baseline.
+
+The robot traces concentric axis-aligned squares whose half-sides grow by
+``spacing`` each ring, connected by short radial moves along the +x axis.
+Every point within Chebyshev distance ``k * spacing`` of the origin is
+within Euclidean distance ``spacing`` of one of the first ``k`` rings, so
+with ``spacing = visibility`` the baseline is a correct searcher that, like
+the concentric-circle baseline, needs to know the visibility radius.
+
+It exists to give E10 a second "folk" comparator with a different constant
+(square rings are ``8/(2*pi) ~ 1.27`` times longer than circles of the same
+reach) so the benchmark can show that Algorithm 4's advantage is about the
+*log factor and universality*, not about beating one specific curve.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ...errors import InvalidParameterError
+from ...geometry import ORIGIN, Vec2
+from ...motion import MotionSegment, TrajectoryBuilder
+from ..base import MobilityAlgorithm
+
+__all__ = ["ExpandingSquareSearch"]
+
+
+class ExpandingSquareSearch(MobilityAlgorithm):
+    """Concentric square rings spaced ``spacing`` apart, forever."""
+
+    name = "expanding-square"
+
+    def __init__(self, spacing: float) -> None:
+        if spacing <= 0.0:
+            raise InvalidParameterError(f"spacing must be positive, got {spacing!r}")
+        self.spacing = float(spacing)
+
+    def ring_half_side(self, index: int) -> float:
+        """Half side length of the ``index``-th ring (0-based)."""
+        if index < 0:
+            raise InvalidParameterError(f"index must be non-negative, got {index!r}")
+        return (index + 1) * self.spacing
+
+    def _emit_ring(self, half_side: float) -> Iterator[MotionSegment]:
+        builder = TrajectoryBuilder(ORIGIN)
+        builder.move_to(Vec2(half_side, 0.0))
+        corners = [
+            Vec2(half_side, half_side),
+            Vec2(-half_side, half_side),
+            Vec2(-half_side, -half_side),
+            Vec2(half_side, -half_side),
+            Vec2(half_side, 0.0),
+        ]
+        for corner in corners:
+            builder.move_to(corner)
+        builder.move_to(ORIGIN)
+        yield from builder.drain()
+
+    def segments(self) -> Iterator[MotionSegment]:
+        for index in itertools.count():
+            yield from self._emit_ring(self.ring_half_side(index))
+
+    def describe(self) -> str:
+        return f"ExpandingSquareSearch(spacing={self.spacing:.6g})"

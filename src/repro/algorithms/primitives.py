@@ -1,0 +1,112 @@
+"""Algorithms 1 and 2 of the paper: ``SearchCircle`` and ``SearchAnnulus``.
+
+``SearchCircle(delta)`` (Algorithm 1)
+    Move along the +x axis from the origin to radial position ``delta``,
+    traverse the circle of radius ``delta`` centred at the origin once, and
+    move back to the origin.  At local speed 1 this takes ``2(pi+1) delta``
+    local time units (Lemma 2).
+
+``SearchAnnulus(delta1, delta2, rho)`` (Algorithm 2)
+    Call ``SearchCircle(delta1 + 2 i rho)`` for ``i = 0 .. ceil((delta2 -
+    delta1) / (2 rho))``.  Every point of the annulus with radii
+    ``[delta1, delta2]`` comes within ``rho`` of the robot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ..errors import InvalidParameterError
+from ..geometry import ORIGIN, Vec2
+from ..motion import MotionSegment, TrajectoryBuilder
+from .base import FiniteMobilityAlgorithm
+
+__all__ = [
+    "emit_search_circle",
+    "emit_search_annulus",
+    "annulus_circle_radii",
+    "SearchCircle",
+    "SearchAnnulus",
+]
+
+
+def emit_search_circle(delta: float) -> Iterator[MotionSegment]:
+    """Yield the three segments of ``SearchCircle(delta)`` from the origin."""
+    if delta <= 0.0:
+        raise InvalidParameterError(f"SearchCircle needs a positive radius, got {delta!r}")
+    builder = TrajectoryBuilder(ORIGIN)
+    builder.move_to(Vec2(delta, 0.0))
+    builder.full_circle_around(ORIGIN)
+    builder.move_to(ORIGIN)
+    yield from builder.drain()
+
+
+def annulus_circle_radii(delta1: float, delta2: float, rho: float) -> list[float]:
+    """Radii of the circles traced by ``SearchAnnulus(delta1, delta2, rho)``.
+
+    The paper's loop runs ``i = 0 .. ceil((delta2 - delta1) / (2 rho))``
+    inclusive, tracing the circle of radius ``delta1 + 2 i rho`` each time.
+    """
+    if delta1 < 0.0:
+        raise InvalidParameterError(f"inner radius must be non-negative, got {delta1!r}")
+    if delta2 <= delta1:
+        raise InvalidParameterError(
+            f"outer radius {delta2!r} must exceed inner radius {delta1!r}"
+        )
+    if rho <= 0.0:
+        raise InvalidParameterError(f"granularity must be positive, got {rho!r}")
+    steps = math.ceil((delta2 - delta1) / (2.0 * rho))
+    return [delta1 + 2.0 * i * rho for i in range(steps + 1)]
+
+
+def emit_search_annulus(delta1: float, delta2: float, rho: float) -> Iterator[MotionSegment]:
+    """Yield the segments of ``SearchAnnulus(delta1, delta2, rho)``."""
+    for radius in annulus_circle_radii(delta1, delta2, rho):
+        if radius <= 0.0:
+            # The paper allows delta1 = 0; a zero-radius "circle" is a no-op.
+            continue
+        yield from emit_search_circle(radius)
+
+
+class SearchCircle(FiniteMobilityAlgorithm):
+    """Algorithm 1 as a standalone mobility algorithm."""
+
+    name = "search-circle"
+
+    def __init__(self, delta: float) -> None:
+        if delta <= 0.0:
+            raise InvalidParameterError(f"SearchCircle needs a positive radius, got {delta!r}")
+        self.delta = float(delta)
+
+    def segments(self) -> Iterator[MotionSegment]:
+        return emit_search_circle(self.delta)
+
+    def describe(self) -> str:
+        return f"SearchCircle(delta={self.delta:.6g})"
+
+
+class SearchAnnulus(FiniteMobilityAlgorithm):
+    """Algorithm 2 as a standalone mobility algorithm."""
+
+    name = "search-annulus"
+
+    def __init__(self, delta1: float, delta2: float, rho: float) -> None:
+        # Validation is shared with the emitter.
+        annulus_circle_radii(delta1, delta2, rho)
+        self.delta1 = float(delta1)
+        self.delta2 = float(delta2)
+        self.rho = float(rho)
+
+    def segments(self) -> Iterator[MotionSegment]:
+        return emit_search_annulus(self.delta1, self.delta2, self.rho)
+
+    def circle_radii(self) -> list[float]:
+        """Radii of the circles the algorithm traces."""
+        return annulus_circle_radii(self.delta1, self.delta2, self.rho)
+
+    def describe(self) -> str:
+        return (
+            f"SearchAnnulus(delta1={self.delta1:.6g}, delta2={self.delta2:.6g}, "
+            f"rho={self.rho:.6g})"
+        )

@@ -1,0 +1,71 @@
+"""Name-based registry of mobility algorithms.
+
+The CLI and the experiment configuration files refer to algorithms by
+name; this registry maps those names to factories.  Factories receive
+keyword arguments parsed from the command line / experiment config.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import InvalidParameterError
+from .base import MobilityAlgorithm
+from .baselines import ConcentricCoverageSearch, DiagonalHedgingSearch, ExpandingSquareSearch
+from .primitives import SearchAnnulus, SearchCircle
+from .search_all import SearchAll, SearchAllRev
+from .search_round import SearchRound
+from .universal_search import TruncatedUniversalSearch, UniversalSearch
+from .wait_search import TruncatedWaitAndSearch, WaitAndSearchRendezvous
+
+__all__ = ["algorithm_names", "create_algorithm", "register_algorithm"]
+
+AlgorithmFactory = Callable[..., MobilityAlgorithm]
+
+_REGISTRY: Dict[str, AlgorithmFactory] = {
+    "search-circle": SearchCircle,
+    "search-annulus": SearchAnnulus,
+    "search-round": SearchRound,
+    "universal-search": UniversalSearch,
+    "universal-search-truncated": TruncatedUniversalSearch,
+    "search-all": SearchAll,
+    "search-all-rev": SearchAllRev,
+    "wait-and-search": WaitAndSearchRendezvous,
+    "wait-and-search-truncated": TruncatedWaitAndSearch,
+    "concentric-coverage": ConcentricCoverageSearch,
+    "expanding-square": ExpandingSquareSearch,
+    "diagonal-hedging": DiagonalHedgingSearch,
+}
+
+
+def algorithm_names() -> list[str]:
+    """Sorted list of registered algorithm names."""
+    return sorted(_REGISTRY)
+
+
+def register_algorithm(name: str, factory: AlgorithmFactory) -> None:
+    """Register (or replace) a factory under ``name``."""
+    if not name:
+        raise InvalidParameterError("algorithm name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def create_algorithm(name: str, **parameters: object) -> MobilityAlgorithm:
+    """Instantiate the algorithm registered under ``name``.
+
+    Raises:
+        InvalidParameterError: when the name is unknown or the parameters
+            do not match the factory's signature.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as error:
+        raise InvalidParameterError(
+            f"unknown algorithm {name!r}; available: {', '.join(algorithm_names())}"
+        ) from error
+    try:
+        return factory(**parameters)
+    except TypeError as error:
+        raise InvalidParameterError(
+            f"invalid parameters {parameters!r} for algorithm {name!r}: {error}"
+        ) from error

@@ -1,0 +1,61 @@
+"""Algorithms 5 and 6 of the paper: ``SearchAll(n)`` and ``SearchAllRev(n)``.
+
+``SearchAll(n)`` performs ``Search(1), ..., Search(n)`` (a truncated
+Algorithm 4); ``SearchAllRev(n)`` performs the same rounds in reverse
+order ``Search(n), ..., Search(1)``.  Both take exactly the same total
+time ``S(n) = 12(pi+1) n 2^n``.  Algorithm 7 runs them back to back in
+its active phases; running the rounds both forward and backward is what
+guarantees that a long-enough overlap with the other robot's inactive
+phase contains a *complete* run of the first ``k`` rounds, regardless of
+where inside the active phase the overlap falls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import InvalidParameterError
+from ..motion import MotionSegment
+from .base import FiniteMobilityAlgorithm
+from .search_round import emit_search_round
+
+__all__ = ["SearchAll", "SearchAllRev"]
+
+
+def _check_n(n: int) -> None:
+    if not isinstance(n, int) or n < 1:
+        raise InvalidParameterError(f"n must be a positive integer, got {n!r}")
+
+
+class SearchAll(FiniteMobilityAlgorithm):
+    """Algorithm 5: ``Search(k)`` for ``k = 1 .. n``."""
+
+    name = "search-all"
+
+    def __init__(self, n: int) -> None:
+        _check_n(n)
+        self.n = n
+
+    def segments(self) -> Iterator[MotionSegment]:
+        for k in range(1, self.n + 1):
+            yield from emit_search_round(k)
+
+    def describe(self) -> str:
+        return f"SearchAll(n={self.n})"
+
+
+class SearchAllRev(FiniteMobilityAlgorithm):
+    """Algorithm 6: ``Search(k)`` for ``k = n .. 1``."""
+
+    name = "search-all-rev"
+
+    def __init__(self, n: int) -> None:
+        _check_n(n)
+        self.n = n
+
+    def segments(self) -> Iterator[MotionSegment]:
+        for k in range(self.n, 0, -1):
+            yield from emit_search_round(k)
+
+    def describe(self) -> str:
+        return f"SearchAllRev(n={self.n})"

@@ -1,0 +1,107 @@
+"""Algorithm 3 of the paper: one round ``Search(k)``.
+
+``Search(k)`` searches ``2k`` successive annuli.  The ``j``-th annulus
+(``j = 0 .. 2k-1``) has inner radius ``2^{-k+j}`` and outer radius
+``2^{-k+j+1}``, and is searched with granularity ``rho_{j,k} =
+2^{-3k+2j-1}``.  The specific choice makes the ratio ``delta_{j,k}^2 /
+rho_{j,k} = 2^{k+1}`` independent of ``j``, which is what drives the
+Theorem 1 bound.  The round ends with a calibrated wait of
+``3(pi+1)(2^k + 2^{-k})`` local time units whose only purpose is to round
+the total duration of the round to ``3(pi+1)(k+1) 2^{k+1}`` (Lemma 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..constants import SEARCH_ROUND_FACTOR
+from ..errors import InvalidParameterError
+from ..geometry import ORIGIN
+from ..motion import MotionSegment, WaitMotion
+from .base import FiniteMobilityAlgorithm
+from .primitives import emit_search_annulus
+
+__all__ = [
+    "annulus_inner_radius",
+    "annulus_outer_radius",
+    "annulus_granularity",
+    "terminal_wait_duration",
+    "emit_search_round",
+    "SearchRound",
+]
+
+
+def _check_round(k: int) -> None:
+    if not isinstance(k, int) or k < 1:
+        raise InvalidParameterError(f"the round index k must be a positive integer, got {k!r}")
+
+
+def _check_subround(k: int, j: int) -> None:
+    _check_round(k)
+    if not isinstance(j, int) or j < 0 or j > 2 * k - 1:
+        raise InvalidParameterError(
+            f"the sub-round index j must satisfy 0 <= j <= 2k-1 = {2 * k - 1}, got {j!r}"
+        )
+
+
+def annulus_inner_radius(k: int, j: int) -> float:
+    """Inner radius ``delta_{j,k} = 2^{-k+j}`` of sub-round ``j`` of round ``k``."""
+    _check_subround(k, j)
+    return 2.0 ** (-k + j)
+
+
+def annulus_outer_radius(k: int, j: int) -> float:
+    """Outer radius ``delta_{j,k+1} = 2^{-k+j+1}`` of sub-round ``j`` of round ``k``."""
+    _check_subround(k, j)
+    return 2.0 ** (-k + j + 1)
+
+
+def annulus_granularity(k: int, j: int) -> float:
+    """Granularity ``rho_{j,k} = 2^{-3k+2j-1}`` of sub-round ``j`` of round ``k``."""
+    _check_subround(k, j)
+    return 2.0 ** (-3 * k + 2 * j - 1)
+
+
+def terminal_wait_duration(k: int) -> float:
+    """Duration ``3(pi+1)(2^k + 2^{-k})`` of the wait ending ``Search(k)``."""
+    _check_round(k)
+    return SEARCH_ROUND_FACTOR * (2.0**k + 2.0 ** (-k))
+
+
+def emit_search_round(k: int) -> Iterator[MotionSegment]:
+    """Yield the segments of ``Search(k)`` (Algorithm 3)."""
+    _check_round(k)
+    for j in range(2 * k):
+        yield from emit_search_annulus(
+            annulus_inner_radius(k, j),
+            annulus_outer_radius(k, j),
+            annulus_granularity(k, j),
+        )
+    yield WaitMotion(ORIGIN, terminal_wait_duration(k))
+
+
+class SearchRound(FiniteMobilityAlgorithm):
+    """Algorithm 3 as a standalone mobility algorithm."""
+
+    name = "search-round"
+
+    def __init__(self, k: int) -> None:
+        _check_round(k)
+        self.k = k
+
+    def segments(self) -> Iterator[MotionSegment]:
+        return emit_search_round(self.k)
+
+    def sub_rounds(self) -> list[tuple[float, float, float]]:
+        """The ``(inner, outer, granularity)`` triples of the round."""
+        return [
+            (
+                annulus_inner_radius(self.k, j),
+                annulus_outer_radius(self.k, j),
+                annulus_granularity(self.k, j),
+            )
+            for j in range(2 * self.k)
+        ]
+
+    def describe(self) -> str:
+        return f"Search(k={self.k})"

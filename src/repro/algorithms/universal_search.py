@@ -1,0 +1,66 @@
+"""Algorithm 4 of the paper: the universal search algorithm.
+
+Algorithm 4 simply performs ``Search(1)``, ``Search(2)``, ``Search(3)``,
+... forever.  Theorem 1 shows that a robot running it finds a static
+target at distance ``d`` with visibility ``r`` in time less than
+``6(pi+1) log(d^2/r) d^2/r``; Theorem 2 shows that the *same* algorithm,
+run by both robots, solves rendezvous whenever the robots' clocks agree
+and the configuration is feasible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..errors import InvalidParameterError
+from ..motion import MotionSegment
+from .base import FiniteMobilityAlgorithm, MobilityAlgorithm
+from .search_round import emit_search_round
+
+__all__ = ["UniversalSearch", "TruncatedUniversalSearch"]
+
+
+class UniversalSearch(MobilityAlgorithm):
+    """Algorithm 4: run ``Search(k)`` for ``k = 1, 2, 3, ...`` forever."""
+
+    name = "universal-search"
+
+    def __init__(self, first_round: int = 1) -> None:
+        if not isinstance(first_round, int) or first_round < 1:
+            raise InvalidParameterError(
+                f"the first round must be a positive integer, got {first_round!r}"
+            )
+        self.first_round = first_round
+
+    def segments(self) -> Iterator[MotionSegment]:
+        for k in itertools.count(self.first_round):
+            yield from emit_search_round(k)
+
+    def describe(self) -> str:
+        return f"UniversalSearch(first_round={self.first_round})"
+
+
+class TruncatedUniversalSearch(FiniteMobilityAlgorithm):
+    """Algorithm 4 stopped after a fixed number of rounds.
+
+    Useful for materialising finite prefixes in tests and for the timing
+    experiments that check Lemma 2's closed form for "the first k rounds
+    of Algorithm 4".
+    """
+
+    name = "universal-search-truncated"
+
+    def __init__(self, rounds: int) -> None:
+        if not isinstance(rounds, int) or rounds < 1:
+            raise InvalidParameterError(
+                f"the number of rounds must be a positive integer, got {rounds!r}"
+            )
+        self.rounds = rounds
+
+    def segments(self) -> Iterator[MotionSegment]:
+        for k in range(1, self.rounds + 1):
+            yield from emit_search_round(k)
+
+    def describe(self) -> str:
+        return f"UniversalSearch truncated to {self.rounds} round(s)"

@@ -1,0 +1,94 @@
+"""Algorithm 7 of the paper: rendezvous with asymmetric clocks.
+
+Algorithm 7 proceeds in rounds ``n = 1, 2, 3, ...``.  Round ``n`` is:
+
+1. **Inactive phase** -- wait at the initial position for ``2 S(n)`` local
+   time units, where ``S(n) = 12(pi+1) n 2^n`` is the duration of
+   ``SearchAll(n)``.
+2. **Active phase** -- perform ``SearchAll(n)`` followed by
+   ``SearchAllRev(n)`` (total ``2 S(n)``).
+
+Each round therefore lasts ``4 S(n)`` local time units.  Because the two
+robots measure these equal-looking phases with *different* clocks
+(``tau != 1``), the phases drift relative to each other and eventually the
+active phase of one robot overlaps the inactive phase of the other long
+enough for a complete search to succeed against a stationary partner
+(Lemmas 9-13, Theorem 3).  The paper shows the same algorithm also wins
+when only the speeds or only the orientation differ, which makes it the
+*universal* rendezvous algorithm of Theorem 4.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..constants import SEARCH_ALL_FACTOR
+from ..errors import InvalidParameterError
+from ..geometry import ORIGIN
+from ..motion import MotionSegment, WaitMotion
+from .base import FiniteMobilityAlgorithm, MobilityAlgorithm
+from .search_round import emit_search_round
+
+__all__ = ["search_all_duration", "WaitAndSearchRendezvous", "TruncatedWaitAndSearch"]
+
+
+def search_all_duration(n: int) -> float:
+    """Duration ``S(n) = 12(pi+1) n 2^n`` of ``SearchAll(n)`` (equation (1))."""
+    if not isinstance(n, int) or n < 1:
+        raise InvalidParameterError(f"n must be a positive integer, got {n!r}")
+    return SEARCH_ALL_FACTOR * n * 2.0**n
+
+
+def _emit_round(n: int) -> Iterator[MotionSegment]:
+    """Yield the segments of round ``n`` of Algorithm 7."""
+    yield WaitMotion(ORIGIN, 2.0 * search_all_duration(n))
+    for k in range(1, n + 1):
+        yield from emit_search_round(k)
+    for k in range(n, 0, -1):
+        yield from emit_search_round(k)
+
+
+class WaitAndSearchRendezvous(MobilityAlgorithm):
+    """Algorithm 7: the universal wait-and-search rendezvous algorithm."""
+
+    name = "wait-and-search"
+
+    def __init__(self, first_round: int = 1) -> None:
+        if not isinstance(first_round, int) or first_round < 1:
+            raise InvalidParameterError(
+                f"the first round must be a positive integer, got {first_round!r}"
+            )
+        self.first_round = first_round
+
+    def segments(self) -> Iterator[MotionSegment]:
+        for n in itertools.count(self.first_round):
+            yield from _emit_round(n)
+
+    def describe(self) -> str:
+        return f"WaitAndSearchRendezvous(first_round={self.first_round})"
+
+
+class TruncatedWaitAndSearch(FiniteMobilityAlgorithm):
+    """Algorithm 7 stopped after a fixed number of rounds.
+
+    Used by the schedule experiments (E07, F01, F02), which need the exact
+    finite trajectory of the first rounds to compare against Lemma 8's
+    closed forms ``I(n)`` and ``A(n)``.
+    """
+
+    name = "wait-and-search-truncated"
+
+    def __init__(self, rounds: int) -> None:
+        if not isinstance(rounds, int) or rounds < 1:
+            raise InvalidParameterError(
+                f"the number of rounds must be a positive integer, got {rounds!r}"
+            )
+        self.rounds = rounds
+
+    def segments(self) -> Iterator[MotionSegment]:
+        for n in range(1, self.rounds + 1):
+            yield from _emit_round(n)
+
+    def describe(self) -> str:
+        return f"WaitAndSearch truncated to {self.rounds} round(s)"

@@ -1,0 +1,31 @@
+"""Analysis helpers: sweeps, statistics, tables, reports, competitive ratios."""
+
+from .competitive import (
+    offline_rendezvous_optimum,
+    offline_search_optimum,
+    rendezvous_competitive_ratio,
+    search_competitive_ratio,
+)
+from .report import CheckResult, ExperimentReport, combine_markdown
+from .statistics import SummaryStatistics, geometric_mean, log_log_slope, scaling_fit, summarize
+from .sweep import ParameterSweep, geometric_grid, linear_grid
+from .tables import Table
+
+__all__ = [
+    "offline_rendezvous_optimum",
+    "offline_search_optimum",
+    "rendezvous_competitive_ratio",
+    "search_competitive_ratio",
+    "CheckResult",
+    "ExperimentReport",
+    "combine_markdown",
+    "SummaryStatistics",
+    "geometric_mean",
+    "log_log_slope",
+    "scaling_fit",
+    "summarize",
+    "ParameterSweep",
+    "geometric_grid",
+    "linear_grid",
+    "Table",
+]

@@ -1,0 +1,60 @@
+"""Competitive-ratio style comparisons.
+
+The paper's bounds are absolute, but a natural way of reading the results
+(and of comparing against baselines in E10) is relative to the *offline
+optimum*: a pair of robots that knew everything could simply walk toward
+each other and meet after ``(d - r) / (1 + v)`` time units, and a searcher
+that knew the target's location would reach it in ``d - r`` time units.
+These helpers compute those yardsticks and the resulting ratios.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError
+from ..robots import RobotAttributes
+
+__all__ = [
+    "offline_search_optimum",
+    "offline_rendezvous_optimum",
+    "search_competitive_ratio",
+    "rendezvous_competitive_ratio",
+]
+
+
+def offline_search_optimum(distance: float, visibility: float) -> float:
+    """Time an omniscient unit-speed searcher needs: ``max(d - r, 0)``."""
+    if distance <= 0.0 or visibility <= 0.0:
+        raise InvalidParameterError("distance and visibility must be positive")
+    return max(distance - visibility, 0.0)
+
+
+def offline_rendezvous_optimum(
+    distance: float, visibility: float, attributes: RobotAttributes
+) -> float:
+    """Time two omniscient robots need: ``max(d - r, 0) / (1 + v)``.
+
+    Both robots walk straight at each other at their full speeds; the gap
+    closes at rate ``1 + v`` regardless of clocks, orientations or
+    chirality (omniscient robots are not bound by symmetric strategies).
+    """
+    if distance <= 0.0 or visibility <= 0.0:
+        raise InvalidParameterError("distance and visibility must be positive")
+    return max(distance - visibility, 0.0) / (1.0 + attributes.speed)
+
+
+def search_competitive_ratio(measured_time: float, distance: float, visibility: float) -> float:
+    """Measured search time over the omniscient optimum."""
+    optimum = offline_search_optimum(distance, visibility)
+    if optimum == 0.0:
+        return 1.0
+    return measured_time / optimum
+
+
+def rendezvous_competitive_ratio(
+    measured_time: float, distance: float, visibility: float, attributes: RobotAttributes
+) -> float:
+    """Measured rendezvous time over the omniscient optimum."""
+    optimum = offline_rendezvous_optimum(distance, visibility, attributes)
+    if optimum == 0.0:
+        return 1.0
+    return measured_time / optimum

@@ -1,0 +1,129 @@
+"""Experiment reports: a named bundle of tables, notes and verdicts.
+
+Every experiment produces an :class:`ExperimentReport`; the run-all driver
+collects them into markdown (EXPERIMENTS.md style) and CSV artefacts, and
+the benchmarks assert on their ``checks``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import ExperimentError
+from .tables import Table
+
+__all__ = ["CheckResult", "ExperimentReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class CheckResult:
+    """One verifiable claim extracted from the paper, with its outcome."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def describe(self) -> str:
+        """Single-line rendering."""
+        status = "PASS" if self.passed else "FAIL"
+        suffix = f" -- {self.detail}" if self.detail else ""
+        return f"[{status}] {self.name}{suffix}"
+
+
+@dataclass
+class ExperimentReport:
+    """Output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    tables: list[Table] = field(default_factory=list)
+    checks: list[CheckResult] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    # -- construction -----------------------------------------------------------
+    def add_table(self, table: Table) -> None:
+        """Attach a result table."""
+        self.tables.append(table)
+
+    def add_check(self, name: str, passed: bool, detail: str = "") -> None:
+        """Record a pass/fail claim check."""
+        self.checks.append(CheckResult(name=name, passed=bool(passed), detail=detail))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note."""
+        self.notes.append(note)
+
+    # -- inspection ----------------------------------------------------------------
+    @property
+    def all_passed(self) -> bool:
+        """True when every recorded check passed."""
+        return all(check.passed for check in self.checks)
+
+    def failed_checks(self) -> list[CheckResult]:
+        """The checks that failed."""
+        return [check for check in self.checks if not check.passed]
+
+    def require_success(self) -> None:
+        """Raise when any check failed (used by benchmarks)."""
+        failures = self.failed_checks()
+        if failures:
+            details = "; ".join(check.describe() for check in failures)
+            raise ExperimentError(f"experiment {self.experiment_id} failed: {details}")
+
+    # -- rendering ------------------------------------------------------------------
+    def to_markdown(self) -> str:
+        """Markdown rendering of the whole report."""
+        lines = [f"## {self.experiment_id}: {self.title}", "", f"*Paper reference:* {self.paper_reference}", ""]
+        if self.notes:
+            for note in self.notes:
+                lines.append(f"- {note}")
+            lines.append("")
+        for table in self.tables:
+            lines.append(table.to_markdown())
+            lines.append("")
+        if self.checks:
+            lines.append("**Checks**")
+            lines.append("")
+            for check in self.checks:
+                lines.append(f"- {check.describe()}")
+            lines.append("")
+        return "\n".join(lines)
+
+    def to_text(self) -> str:
+        """Plain-text rendering for terminals."""
+        lines = [f"{self.experiment_id}: {self.title}", f"paper reference: {self.paper_reference}"]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for table in self.tables:
+            lines.append("")
+            lines.append(table.to_text())
+        if self.checks:
+            lines.append("")
+            for check in self.checks:
+                lines.append(check.describe())
+        return "\n".join(lines)
+
+    def write_artifacts(self, directory: Path | str) -> list[Path]:
+        """Write markdown and CSV artefacts into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: list[Path] = []
+        markdown_path = directory / f"{self.experiment_id.lower()}.md"
+        markdown_path.write_text(self.to_markdown(), encoding="utf-8")
+        written.append(markdown_path)
+        for index, table in enumerate(self.tables):
+            csv_path = directory / f"{self.experiment_id.lower()}_table{index}.csv"
+            csv_path.write_text(table.to_csv(), encoding="utf-8")
+            written.append(csv_path)
+        return written
+
+
+def combine_markdown(reports: Iterable[ExperimentReport]) -> str:
+    """Concatenate several reports into one markdown document."""
+    return "\n\n".join(report.to_markdown() for report in reports)
+
+
+__all__.append("combine_markdown")

@@ -1,0 +1,109 @@
+"""Summary statistics over experiment measurements.
+
+A thin layer over numpy restricted to what the experiments actually
+report: central tendency, spread, extremes, and regression of measured
+times against the paper's predicted scaling shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = ["SummaryStatistics", "summarize", "log_log_slope", "scaling_fit"]
+
+
+@dataclass(frozen=True, slots=True)
+class SummaryStatistics:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def describe(self) -> str:
+        """Compact single-line rendering."""
+        return (
+            f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} median={self.median:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> SummaryStatistics:
+    """Summary statistics of a non-empty sample."""
+    if not values:
+        raise InvalidParameterError("cannot summarise an empty sample")
+    array = np.asarray(values, dtype=float)
+    return SummaryStatistics(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=0)),
+        minimum=float(array.min()),
+        median=float(np.median(array)),
+        maximum=float(array.max()),
+    )
+
+
+def log_log_slope(x_values: Sequence[float], y_values: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    Used to verify scaling shapes, e.g. that the measured search time grows
+    roughly like ``(d^2/r)^1`` (slope close to 1 in log-log space once the
+    logarithmic factor is divided out).
+    """
+    if len(x_values) != len(y_values):
+        raise InvalidParameterError("x and y must have the same length")
+    if len(x_values) < 2:
+        raise InvalidParameterError("need at least two points for a slope")
+    x = np.log(np.asarray(x_values, dtype=float))
+    y = np.log(np.asarray(y_values, dtype=float))
+    if np.any(~np.isfinite(x)) or np.any(~np.isfinite(y)):
+        raise InvalidParameterError("all values must be positive and finite")
+    slope, _intercept = np.polyfit(x, y, 1)
+    return float(slope)
+
+
+def scaling_fit(
+    difficulties: Sequence[float], times: Sequence[float]
+) -> tuple[float, float]:
+    """Fit ``time ~ c * log2(x) * x`` and report ``(c, relative_rms_error)``.
+
+    This is the paper's predicted shape for the universal search time as a
+    function of the difficulty ``x = d^2/r``.  A small relative error means
+    the measured times follow the predicted shape; the constant ``c`` can
+    then be compared against the proof's ``6(pi+1)`` worst case.
+    """
+    if len(difficulties) != len(times):
+        raise InvalidParameterError("difficulties and times must have the same length")
+    if len(difficulties) < 2:
+        raise InvalidParameterError("need at least two points for a fit")
+    x = np.asarray(difficulties, dtype=float)
+    y = np.asarray(times, dtype=float)
+    if np.any(x <= 1.0):
+        raise InvalidParameterError("the shape fit needs difficulties above 1")
+    basis = np.log2(x) * x
+    constant = float(np.sum(basis * y) / np.sum(basis * basis))
+    predictions = constant * basis
+    relative_rms = float(np.sqrt(np.mean(((y - predictions) / y) ** 2)))
+    return constant, relative_rms
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used for speed-up summaries)."""
+    if not values:
+        raise InvalidParameterError("cannot take the geometric mean of an empty sample")
+    array = np.asarray(values, dtype=float)
+    if np.any(array <= 0.0):
+        raise InvalidParameterError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+__all__.append("geometric_mean")

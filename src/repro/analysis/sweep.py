@@ -1,0 +1,82 @@
+"""Parameter sweeps.
+
+Experiments are mostly Cartesian sweeps over a handful of parameters
+(distance, visibility, speed, orientation, clock ratio).  ``ParameterSweep``
+builds the grid, labels each point and iterates deterministically, which
+keeps the experiment modules small and the benchmarks reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from ..errors import InvalidParameterError
+
+__all__ = ["ParameterSweep", "geometric_grid", "linear_grid"]
+
+
+def linear_grid(start: float, stop: float, count: int) -> list[float]:
+    """``count`` evenly spaced values from ``start`` to ``stop`` inclusive."""
+    if count < 1:
+        raise InvalidParameterError(f"count must be positive, got {count!r}")
+    if count == 1:
+        return [start]
+    step = (stop - start) / (count - 1)
+    return [start + step * index for index in range(count)]
+
+
+def geometric_grid(start: float, stop: float, count: int) -> list[float]:
+    """``count`` geometrically spaced values from ``start`` to ``stop`` inclusive."""
+    if count < 1:
+        raise InvalidParameterError(f"count must be positive, got {count!r}")
+    if start <= 0.0 or stop <= 0.0:
+        raise InvalidParameterError("geometric grids need positive endpoints")
+    if count == 1:
+        return [start]
+    ratio = (stop / start) ** (1.0 / (count - 1))
+    return [start * ratio**index for index in range(count)]
+
+
+@dataclass
+class ParameterSweep:
+    """A Cartesian product of named parameter axes."""
+
+    axes: Mapping[str, Sequence[object]]
+    fixed: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise InvalidParameterError("a sweep needs at least one axis")
+        for name, values in self.axes.items():
+            if not list(values):
+                raise InvalidParameterError(f"axis {name!r} has no values")
+
+    @property
+    def size(self) -> int:
+        """Number of points in the sweep."""
+        total = 1
+        for values in self.axes.values():
+            total *= len(list(values))
+        return total
+
+    def points(self) -> Iterator[dict[str, object]]:
+        """Iterate all points as dictionaries (axes merged with fixed values)."""
+        names = list(self.axes)
+        value_lists = [list(self.axes[name]) for name in names]
+        for combination in itertools.product(*value_lists):
+            point = dict(self.fixed)
+            point.update(dict(zip(names, combination)))
+            yield point
+
+    def __iter__(self) -> Iterator[dict[str, object]]:
+        return self.points()
+
+    def __len__(self) -> int:
+        return self.size
+
+    def describe(self) -> str:
+        """Compact description of the sweep extent."""
+        axes_text = ", ".join(f"{name}({len(list(values))})" for name, values in self.axes.items())
+        return f"sweep over {axes_text}: {self.size} points"

@@ -1,0 +1,113 @@
+"""Plain-text, markdown and CSV table rendering.
+
+The experiment harness reports everything as tables ("the same rows the
+paper's theorems predict"); this module is a tiny dependency-free table
+formatter shared by all experiments, the CLI and EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import InvalidParameterError
+
+__all__ = ["Table"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A small column-ordered table of experiment results."""
+
+    columns: Sequence[str]
+    rows: list[list[object]] = field(default_factory=list)
+    title: str = ""
+    precision: int = 6
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise InvalidParameterError("a table needs at least one column")
+
+    # -- construction -------------------------------------------------------
+    def add_row(self, values: Sequence[object] | Mapping[str, object]) -> None:
+        """Append a row given as a sequence (column order) or mapping."""
+        if isinstance(values, Mapping):
+            row = [values.get(column, "") for column in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise InvalidParameterError(
+                    f"expected {len(self.columns)} values, got {len(values)}"
+                )
+            row = list(values)
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable[Sequence[object] | Mapping[str, object]]) -> None:
+        """Append several rows."""
+        for row in rows:
+            self.add_row(row)
+
+    # -- access --------------------------------------------------------------
+    def column(self, name: str) -> list[object]:
+        """All values of one column."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError as error:
+            raise InvalidParameterError(f"unknown column {name!r}") from error
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- rendering ------------------------------------------------------------
+    def _formatted_rows(self) -> list[list[str]]:
+        return [[_format_cell(value, self.precision) for value in row] for row in self.rows]
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        lines = []
+        if self.title:
+            lines.append(f"### {self.title}")
+            lines.append("")
+        header = "| " + " | ".join(self.columns) + " |"
+        separator = "| " + " | ".join("---" for _ in self.columns) + " |"
+        lines.append(header)
+        lines.append(separator)
+        for row in self._formatted_rows():
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def to_text(self) -> str:
+        """Fixed-width plain-text rendering for terminals."""
+        formatted = self._formatted_rows()
+        widths = [len(column) for column in self.columns]
+        for row in formatted:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in formatted:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering (raw values, not rounded)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()

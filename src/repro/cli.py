@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+Four sub-commands::
+
+    repro feasibility  --speed 1.0 --time-unit 0.5 --orientation 0 --chirality 1
+    repro search       --distance 1.5 --bearing 0.8 --visibility 0.3
+    repro rendezvous   --distance 1.5 --bearing 0.8 --visibility 0.3 --speed 0.7 ...
+    repro experiments  --all [--quick] [--output results/]
+    repro schedule     --rounds 4 --tau 0.5
+
+(also available as ``python -m repro ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .core import classify_feasibility, solve_rendezvous, solve_search
+from .core.schedule import RoundSchedule
+from .errors import ReproError
+from .experiments import experiment_ids, run_all, run_experiment, write_summary
+from .geometry import Vec2
+from .robots import RobotAttributes
+from .simulation import RendezvousInstance, SearchInstance
+from .viz import overlap_rows, render_schedule_ascii
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Symmetry Breaking in the Plane: Rendezvous by Robots with "
+            "Unknown Attributes' (PODC 2019)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    feasibility = subparsers.add_parser("feasibility", help="apply the Theorem 4 feasibility test")
+    _add_attribute_arguments(feasibility)
+
+    search = subparsers.add_parser("search", help="simulate the universal search (Algorithm 4)")
+    search.add_argument("--distance", type=float, required=True, help="target distance d")
+    search.add_argument("--bearing", type=float, default=0.0, help="target bearing in radians")
+    search.add_argument("--visibility", type=float, required=True, help="visibility radius r")
+
+    rendezvous = subparsers.add_parser("rendezvous", help="simulate a rendezvous instance")
+    rendezvous.add_argument("--distance", type=float, required=True, help="initial distance d")
+    rendezvous.add_argument("--bearing", type=float, default=0.0, help="separation bearing in radians")
+    rendezvous.add_argument("--visibility", type=float, required=True, help="visibility radius r")
+    rendezvous.add_argument(
+        "--horizon", type=float, default=None, help="explicit simulation horizon (needed for infeasible instances)"
+    )
+    rendezvous.add_argument(
+        "--allow-infeasible", action="store_true", help="simulate even when Theorem 4 says infeasible"
+    )
+    _add_attribute_arguments(rendezvous)
+
+    experiments = subparsers.add_parser("experiments", help="run the evaluation harness")
+    experiments.add_argument("ids", nargs="*", help="experiment identifiers (e.g. E01 F03)")
+    experiments.add_argument("--all", action="store_true", help="run every registered experiment")
+    experiments.add_argument("--list", action="store_true", help="list available experiments")
+    experiments.add_argument("--quick", action="store_true", help="reduced workloads for smoke runs")
+    experiments.add_argument("--output", type=Path, default=None, help="directory for artefacts")
+
+    schedule = subparsers.add_parser("schedule", help="print the Algorithm 7 schedule and overlaps")
+    schedule.add_argument("--rounds", type=int, default=4, help="number of rounds to display")
+    schedule.add_argument("--tau", type=float, default=0.5, help="clock ratio of the second robot")
+
+    gather = subparsers.add_parser(
+        "gather", help="simulate multi-robot gathering (extension beyond the paper)"
+    )
+    gather.add_argument(
+        "--robot",
+        action="append",
+        required=True,
+        metavar="X,Y,V,TAU,PHI,CHI",
+        help="one swarm member as comma-separated position and attributes; repeat per robot",
+    )
+    gather.add_argument("--visibility", type=float, required=True, help="common visibility radius")
+    gather.add_argument("--horizon", type=float, default=20000.0, help="per-pair simulation horizon")
+
+    return parser
+
+
+def _add_attribute_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--speed", type=float, default=1.0, help="speed v of robot R'")
+    parser.add_argument("--time-unit", type=float, default=1.0, help="clock unit tau of robot R'")
+    parser.add_argument("--orientation", type=float, default=0.0, help="orientation phi of robot R'")
+    parser.add_argument("--chirality", type=int, default=1, choices=(-1, 1), help="chirality chi of robot R'")
+
+
+def _attributes_from(namespace: argparse.Namespace) -> RobotAttributes:
+    return RobotAttributes(
+        speed=namespace.speed,
+        time_unit=namespace.time_unit,
+        orientation=namespace.orientation,
+        chirality=namespace.chirality,
+    )
+
+
+def _command_feasibility(namespace: argparse.Namespace) -> int:
+    verdict = classify_feasibility(_attributes_from(namespace))
+    print(verdict.describe())
+    return 0
+
+
+def _command_search(namespace: argparse.Namespace) -> int:
+    instance = SearchInstance(
+        target=Vec2.polar(namespace.distance, namespace.bearing), visibility=namespace.visibility
+    )
+    report = solve_search(instance)
+    print(report.summary())
+    return 0
+
+
+def _command_rendezvous(namespace: argparse.Namespace) -> int:
+    instance = RendezvousInstance(
+        separation=Vec2.polar(namespace.distance, namespace.bearing),
+        visibility=namespace.visibility,
+        attributes=_attributes_from(namespace),
+    )
+    report = solve_rendezvous(
+        instance, horizon=namespace.horizon, allow_infeasible=namespace.allow_infeasible
+    )
+    print(report.summary())
+    return 0
+
+
+def _command_experiments(namespace: argparse.Namespace) -> int:
+    if namespace.list:
+        for identifier in experiment_ids():
+            print(identifier)
+        return 0
+    if namespace.all:
+        reports = run_all(output_dir=namespace.output, quick=namespace.quick)
+    elif namespace.ids:
+        reports = [
+            run_experiment(identifier, output_dir=namespace.output, quick=namespace.quick)
+            for identifier in namespace.ids
+        ]
+    else:
+        print("nothing to run: pass experiment ids, --all or --list", file=sys.stderr)
+        return 2
+    for report in reports:
+        print(report.to_text())
+        print()
+    if namespace.output is not None:
+        summary = write_summary(reports, Path(namespace.output) / "summary.md")
+        print(f"summary written to {summary}")
+    return 0 if all(report.all_passed for report in reports) else 1
+
+
+def _command_schedule(namespace: argparse.Namespace) -> int:
+    print(RoundSchedule(1.0).describe(namespace.rounds))
+    print()
+    print(RoundSchedule(namespace.tau).describe(namespace.rounds))
+    print()
+    print(render_schedule_ascii(overlap_rows(namespace.rounds, namespace.tau)))
+    return 0
+
+
+def _parse_swarm_member(specification: str) -> tuple[Vec2, RobotAttributes]:
+    parts = [part.strip() for part in specification.split(",")]
+    if len(parts) != 6:
+        raise ReproError(
+            f"swarm member {specification!r} must have 6 comma-separated fields: x,y,v,tau,phi,chi"
+        )
+    x, y, speed, time_unit, orientation, chirality = (float(part) for part in parts)
+    return Vec2(x, y), RobotAttributes(
+        speed=speed, time_unit=time_unit, orientation=orientation, chirality=int(chirality)
+    )
+
+
+def _command_gather(namespace: argparse.Namespace) -> int:
+    from .gathering import GatheringInstance, simulate_gathering, swarm_feasibility
+
+    members = [_parse_swarm_member(specification) for specification in namespace.robot]
+    instance = GatheringInstance.create(
+        positions=[position for position, _ in members],
+        attributes=[attributes for _, attributes in members],
+        visibility=namespace.visibility,
+    )
+    print(swarm_feasibility(instance).describe())
+    print()
+    outcome = simulate_gathering(instance, horizon=namespace.horizon)
+    print(outcome.describe())
+    return 0
+
+
+_COMMANDS = {
+    "feasibility": _command_feasibility,
+    "search": _command_search,
+    "rendezvous": _command_rendezvous,
+    "experiments": _command_experiments,
+    "schedule": _command_schedule,
+    "gather": _command_gather,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    namespace = parser.parse_args(argv)
+    try:
+        return _COMMANDS[namespace.command](namespace)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Numeric constants shared across the library.
+
+The values mirror the constants appearing in the paper's algorithms and
+analysis (Algorithms 1-7 and Lemmas 2, 8), plus the numerical tolerances
+used by the continuous-time simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: 2(pi + 1) -- the time needed by ``SearchCircle(delta)`` per unit radius
+#: (Lemma 2): move out (delta), trace the circle (2*pi*delta), move back
+#: (delta) gives 2(pi + 1) * delta.
+SEARCH_CIRCLE_FACTOR: float = 2.0 * (math.pi + 1.0)
+
+#: 3(pi + 1) -- the constant in the duration of one round of ``Search(k)``
+#: and in the terminal wait of Algorithm 3 (Lemma 2).
+SEARCH_ROUND_FACTOR: float = 3.0 * (math.pi + 1.0)
+
+#: 6(pi + 1) -- the constant of the Theorem 1 search bound.
+THEOREM1_FACTOR: float = 6.0 * (math.pi + 1.0)
+
+#: 12(pi + 1) -- constant of S(n), the duration of ``SearchAll(n)``
+#: (equation (1) in the paper): S(n) = 12(pi+1) * n * 2^n.
+SEARCH_ALL_FACTOR: float = 12.0 * (math.pi + 1.0)
+
+#: 24(pi + 1) -- constant of the phase start times I(n) and A(n) (Lemma 8).
+PHASE_FACTOR: float = 24.0 * (math.pi + 1.0)
+
+#: Default absolute tolerance on distances (used when comparing gap values
+#: against the visibility radius and when checking geometric invariants).
+DISTANCE_TOLERANCE: float = 1e-9
+
+#: Default absolute tolerance on times reported by the event detector.
+TIME_TOLERANCE: float = 1e-9
+
+#: Default relative tolerance used by closed-form formula comparisons.
+FORMULA_RTOL: float = 1e-9
+
+#: Number of segments used when a circle must be approximated by sampling
+#: (visualisation only -- the simulator always uses exact arcs).
+CIRCLE_SAMPLES: int = 256
+
+#: Machine-level guard against degenerate zero-length constructions.
+EPSILON: float = 1e-12

@@ -1,0 +1,97 @@
+"""Core theory layer: feasibility, closed-form bounds, schedules, solve API."""
+
+from .bounds import (
+    guaranteed_discovery_round,
+    lemma3_difficulty_lower_bound,
+    search_annulus_duration,
+    search_circle_duration,
+    search_round_duration,
+    theorem1_search_bound,
+    theorem2_effective_parameters,
+    theorem2_rendezvous_bound,
+)
+from .feasibility import (
+    FeasibilityVerdict,
+    adversarial_separation_direction,
+    classify_feasibility,
+    is_feasible,
+)
+from .lambertw import lambert_w, lambert_w_upper_bound
+from .overlap import (
+    OverlapWindow,
+    lemma9_applies,
+    lemma9_overlap_amount,
+    lemma9_tau_window,
+    lemma10_applies,
+    lemma10_overlap_amount,
+    lemma10_tau_window,
+    measured_overlap,
+)
+from .reduction import RendezvousReduction
+from .rendezvous import RendezvousReport, rendezvous_time_bound, solve_rendezvous
+from .rounds import (
+    TauDecomposition,
+    decompose_tau,
+    lemma11_round_bound,
+    lemma12_round_bound,
+    lemma12_round_bound_exact,
+    lemma13_round_bound,
+    normalize_clock_ratio,
+    theorem3_time_bound,
+)
+from .schedule import (
+    PhaseInterval,
+    RoundSchedule,
+    active_phase_start,
+    inactive_phase_start,
+    round_duration,
+    search_all_time,
+    universal_search_prefix_duration,
+)
+from .search import SearchReport, solve_search
+
+__all__ = [
+    "guaranteed_discovery_round",
+    "lemma3_difficulty_lower_bound",
+    "search_annulus_duration",
+    "search_circle_duration",
+    "search_round_duration",
+    "theorem1_search_bound",
+    "theorem2_effective_parameters",
+    "theorem2_rendezvous_bound",
+    "FeasibilityVerdict",
+    "adversarial_separation_direction",
+    "classify_feasibility",
+    "is_feasible",
+    "lambert_w",
+    "lambert_w_upper_bound",
+    "OverlapWindow",
+    "lemma9_applies",
+    "lemma9_overlap_amount",
+    "lemma9_tau_window",
+    "lemma10_applies",
+    "lemma10_overlap_amount",
+    "lemma10_tau_window",
+    "measured_overlap",
+    "RendezvousReduction",
+    "RendezvousReport",
+    "rendezvous_time_bound",
+    "solve_rendezvous",
+    "TauDecomposition",
+    "decompose_tau",
+    "lemma11_round_bound",
+    "lemma12_round_bound",
+    "lemma12_round_bound_exact",
+    "lemma13_round_bound",
+    "normalize_clock_ratio",
+    "theorem3_time_bound",
+    "PhaseInterval",
+    "RoundSchedule",
+    "active_phase_start",
+    "inactive_phase_start",
+    "round_duration",
+    "search_all_time",
+    "universal_search_prefix_duration",
+    "SearchReport",
+    "solve_search",
+]

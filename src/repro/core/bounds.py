@@ -1,0 +1,170 @@
+"""Closed-form durations and time bounds (Lemmas 2-3, Theorems 1-2).
+
+Every formula in this module is a direct transcription of an expression
+proved in the paper.  The experiment harness compares these expressions
+against measured trajectory durations (they must match exactly, up to
+floating point) and against simulated search/rendezvous times (which must
+stay below the bounds).
+
+Logarithms are base 2 throughout, matching the paper's usage (all radii
+and granularities are powers of two).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..constants import SEARCH_CIRCLE_FACTOR, SEARCH_ROUND_FACTOR, THEOREM1_FACTOR
+from ..errors import InvalidParameterError
+from ..geometry import mu_factor
+from .schedule import universal_search_prefix_duration
+
+__all__ = [
+    "search_circle_duration",
+    "search_annulus_duration",
+    "search_round_duration",
+    "guaranteed_discovery_round",
+    "lemma3_difficulty_lower_bound",
+    "theorem1_search_bound",
+    "theorem2_rendezvous_bound",
+    "theorem2_effective_parameters",
+]
+
+
+def search_circle_duration(delta: float) -> float:
+    """Duration ``2(pi+1) delta`` of ``SearchCircle(delta)`` (Lemma 2)."""
+    if delta <= 0.0:
+        raise InvalidParameterError(f"delta must be positive, got {delta!r}")
+    return SEARCH_CIRCLE_FACTOR * delta
+
+
+def search_annulus_duration(delta1: float, delta2: float, rho: float) -> float:
+    """Duration of ``SearchAnnulus(delta1, delta2, rho)`` (Lemma 2).
+
+    With ``m = ceil((delta2 - delta1) / (2 rho))`` the duration is
+    ``2(pi+1) (1 + m) (delta1 + rho m)``.
+    """
+    if delta1 < 0.0:
+        raise InvalidParameterError(f"delta1 must be non-negative, got {delta1!r}")
+    if delta2 <= delta1:
+        raise InvalidParameterError(f"delta2 must exceed delta1, got {delta2!r} <= {delta1!r}")
+    if rho <= 0.0:
+        raise InvalidParameterError(f"rho must be positive, got {rho!r}")
+    m = math.ceil((delta2 - delta1) / (2.0 * rho))
+    return SEARCH_CIRCLE_FACTOR * (1 + m) * (delta1 + rho * m)
+
+
+def search_round_duration(k: int) -> float:
+    """Duration ``3(pi+1)(k+1) 2^{k+1}`` of ``Search(k)`` (Lemma 2)."""
+    if not isinstance(k, int) or k < 1:
+        raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+    return SEARCH_ROUND_FACTOR * (k + 1) * 2.0 ** (k + 1)
+
+
+def guaranteed_discovery_round(distance: float, visibility: float, max_round: int = 64) -> int:
+    """Smallest round ``k`` by which Algorithm 4 is guaranteed to find the target.
+
+    Lemma 1: the target (at distance ``d`` with visibility ``r``) is found
+    by the end of the first round ``k`` for which some sub-round
+    ``j in [0, 2k-1]`` has outer radius ``2^{-k+j+1} >= d`` and granularity
+    ``2^{-3k+2j-1} <= r``.  The function returns the smallest such ``k``.
+    """
+    if distance <= 0.0:
+        raise InvalidParameterError(f"distance must be positive, got {distance!r}")
+    if visibility <= 0.0:
+        raise InvalidParameterError(f"visibility must be positive, got {visibility!r}")
+    for k in range(1, max_round + 1):
+        for j in range(2 * k):
+            outer = 2.0 ** (-k + j + 1)
+            granularity = 2.0 ** (-3 * k + 2 * j - 1)
+            if outer >= distance and granularity <= visibility:
+                return k
+    raise InvalidParameterError(
+        f"no discovery round below {max_round} for d={distance!r}, r={visibility!r}"
+    )
+
+
+def lemma3_difficulty_lower_bound(k: int) -> float:
+    """Lemma 3: if the target is found in round ``k`` then ``d^2/r >= 2^{k+1}``."""
+    if not isinstance(k, int) or k < 1:
+        raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+    return 2.0 ** (k + 1)
+
+
+def theorem1_search_bound(distance: float, visibility: float) -> float:
+    """Theorem 1: the search time of Algorithm 4 is below ``6(pi+1) log2(d^2/r) d^2/r``.
+
+    The literal formula is meaningful when ``d^2/r >= 4`` (discovery cannot
+    happen before round 1, and Lemma 3 then gives ``d^2/r >= 4``).  For
+    easier instances the guaranteed-completion time of the first round,
+    ``3(pi+1) * 2^3``, is returned instead, which is the tight version of
+    the same argument.
+    """
+    if distance <= 0.0:
+        raise InvalidParameterError(f"distance must be positive, got {distance!r}")
+    if visibility <= 0.0:
+        raise InvalidParameterError(f"visibility must be positive, got {visibility!r}")
+    difficulty = distance * distance / visibility
+    k = guaranteed_discovery_round(distance, visibility)
+    prefix = universal_search_prefix_duration(k)
+    if difficulty <= 4.0:
+        return prefix
+    literal = THEOREM1_FACTOR * math.log2(difficulty) * difficulty
+    # The literal Theorem 1 expression dominates the prefix duration for
+    # difficulty >= 4 (the proof of Theorem 1); returning the max keeps the
+    # function a valid upper bound even at the boundary.
+    return max(literal, prefix)
+
+
+def theorem2_effective_parameters(
+    distance: float,
+    visibility: float,
+    speed: float,
+    orientation: float,
+    chirality: int,
+) -> tuple[float, float]:
+    """Worst-case effective ``(d, r)`` of the induced search problem (Theorem 2).
+
+    For equal chiralities the equivalent search trajectory is the reference
+    trajectory scaled by ``mu``, so the effective instance is
+    ``(d / mu, r / mu)``.  For opposite chiralities the paper bounds the
+    worst case over target bearings by ``(d / (1 - v), r / (1 - v))``
+    (only meaningful for ``v < 1``; ``v = 1`` with ``chi = -1`` is
+    infeasible).
+    """
+    if distance <= 0.0 or visibility <= 0.0:
+        raise InvalidParameterError("distance and visibility must be positive")
+    if chirality == 1:
+        mu = mu_factor(speed, orientation)
+        if mu == 0.0:
+            raise InvalidParameterError(
+                "v = 1 and phi = 0 with equal chirality: rendezvous infeasible, no bound exists"
+            )
+        return distance / mu, visibility / mu
+    if chirality == -1:
+        if speed >= 1.0:
+            raise InvalidParameterError(
+                "the chi = -1 bound of Theorem 2 is stated for v < 1 "
+                "(normalise the instance so the reference robot is the faster one)"
+            )
+        factor = 1.0 - speed
+        return distance / factor, visibility / factor
+    raise InvalidParameterError(f"chirality must be +1 or -1, got {chirality!r}")
+
+
+def theorem2_rendezvous_bound(
+    distance: float,
+    visibility: float,
+    speed: float,
+    orientation: float,
+    chirality: int,
+) -> float:
+    """Theorem 2: rendezvous time bound for robots with equal time units.
+
+    ``6(pi+1) log2(d^2/(mu r)) d^2/(mu r)`` when ``chi = +1`` and
+    ``6(pi+1) log2(d^2/((1-v) r)) d^2/((1-v) r)`` when ``chi = -1``.
+    """
+    effective_distance, effective_visibility = theorem2_effective_parameters(
+        distance, visibility, speed, orientation, chirality
+    )
+    return theorem1_search_bound(effective_distance, effective_visibility)

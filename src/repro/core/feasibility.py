@@ -1,0 +1,129 @@
+"""Feasibility of rendezvous (Theorem 4 and the abstract's iff claim).
+
+Rendezvous of the two robots is feasible **iff** at least one of the
+following holds:
+
+* their moving speeds differ               (``v != 1``),
+* their clocks differ                      (``tau != 1``),
+* their orientations differ while their chiralities agree
+  (``chi = +1`` and ``0 < phi < 2 pi``).
+
+In every remaining case (identical robots, or robots differing only by a
+reflection -- possibly combined with a rotation) the equivalent relative
+motion degenerates and an adversarial placement keeps the robots apart
+forever.  ``explain_infeasibility`` spells out which degenerate situation
+applies, and :func:`adversarial_separation_direction` returns a separation
+direction realising the adversarial placement (used by the E06 experiment
+to *demonstrate* infeasibility in simulation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..geometry import Vec2, mu_factor, relative_matrix
+from ..robots import RobotAttributes
+
+__all__ = [
+    "FeasibilityVerdict",
+    "is_feasible",
+    "classify_feasibility",
+    "adversarial_separation_direction",
+]
+
+_DEFAULT_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class FeasibilityVerdict:
+    """Outcome of the Theorem 4 feasibility test."""
+
+    feasible: bool
+    reasons: tuple[str, ...]
+
+    def describe(self) -> str:
+        """One-line human readable verdict."""
+        status = "feasible" if self.feasible else "infeasible"
+        return f"rendezvous {status}: " + "; ".join(self.reasons)
+
+
+def classify_feasibility(
+    attributes: RobotAttributes, tolerance: float = _DEFAULT_TOLERANCE
+) -> FeasibilityVerdict:
+    """Theorem 4's characterisation applied to an attribute vector."""
+    attributes = attributes.normalized()
+    reasons: list[str] = []
+    if attributes.differs_in_clock(tolerance):
+        reasons.append(f"clocks differ (tau = {attributes.time_unit:g})")
+    if attributes.differs_in_speed(tolerance):
+        reasons.append(f"speeds differ (v = {attributes.speed:g})")
+    if not attributes.differs_in_chirality() and attributes.differs_in_orientation(tolerance):
+        reasons.append(
+            f"orientations differ with equal chirality (phi = {attributes.orientation:g})"
+        )
+    if reasons:
+        return FeasibilityVerdict(feasible=True, reasons=tuple(reasons))
+    # Infeasible: explain which degenerate case applies.
+    if attributes.differs_in_chirality():
+        if attributes.differs_in_orientation(tolerance):
+            detail = (
+                "the robots differ only by a reflection combined with a rotation: the relative "
+                "motion is confined to a line, and a separation perpendicular to the reflection "
+                "axis is never reduced"
+            )
+        else:
+            detail = (
+                "the robots differ only by a reflection: the relative motion is confined to a "
+                "line, and a separation along the mirror-invariant direction is never reduced"
+            )
+    else:
+        detail = "the robots are identical in every attribute: the relative motion is identically zero"
+    return FeasibilityVerdict(feasible=False, reasons=(detail,))
+
+
+def is_feasible(attributes: RobotAttributes, tolerance: float = _DEFAULT_TOLERANCE) -> bool:
+    """True when rendezvous is feasible for the given attribute vector."""
+    return classify_feasibility(attributes, tolerance).feasible
+
+
+def adversarial_separation_direction(attributes: RobotAttributes) -> Vec2:
+    """A unit separation direction defeating every algorithm when infeasible.
+
+    For an infeasible configuration with equal clocks the relative matrix
+    ``T_circ`` is rank deficient: its range is a line (or the origin).  A
+    separation ``d`` orthogonal to that range can never be approached --
+    the component of ``d`` orthogonal to the range is invariant.  The
+    returned direction is exactly that orthogonal direction (for the
+    identical-robots case any direction works and ``(0, 1)`` is returned).
+
+    For feasible configurations the function still returns the direction
+    maximising the Theorem 2 bound (the worst-case bearing), which is what
+    the adversarial workload generator wants.
+    """
+    attributes = attributes.normalized()
+    matrix = relative_matrix(attributes.speed, attributes.orientation, attributes.chirality)
+    mu = mu_factor(attributes.speed, attributes.orientation)
+    if attributes.chirality == 1:
+        if mu == 0.0:
+            return Vec2(0.0, 1.0)
+        # chi = +1: T_circ is a scaled rotation, every direction is equivalent.
+        return Vec2(0.0, 1.0)
+    # chi = -1: T_circ has rank <= 1 exactly when v = 1; its range is then
+    # spanned by the image of any vector.  The adversarial separation is the
+    # direction orthogonal to the range.
+    image_x = matrix.apply(Vec2(1.0, 0.0))
+    image_y = matrix.apply(Vec2(0.0, 1.0))
+    image = image_x if image_x.norm() >= image_y.norm() else image_y
+    if image.norm() <= 1e-15:
+        return Vec2(0.0, 1.0)
+    direction = image.normalized().perpendicular()
+    # Normalise the sign for reproducibility.
+    if direction.y < 0 or (direction.y == 0 and direction.x < 0):
+        direction = -direction
+    return direction
+
+
+def _is_multiple_of_two_pi(angle: float, tolerance: float) -> bool:
+    reduced = math.fmod(angle, 2.0 * math.pi)
+    return abs(reduced) <= tolerance or abs(abs(reduced) - 2.0 * math.pi) <= tolerance

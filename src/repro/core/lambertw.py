@@ -1,0 +1,70 @@
+"""The Lambert W function (principal branch).
+
+Lemma 12 of the paper expresses the rendezvous round through the solution
+of ``z * exp(z) = y``, i.e. ``z = W(y)``.  The library carries its own
+small implementation (Halley's iteration with the standard asymptotic
+initial guess) so the closed-form round bounds do not depend on scipy
+being importable, but the tests cross-check it against
+``scipy.special.lambertw``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidParameterError
+
+__all__ = ["lambert_w", "lambert_w_upper_bound"]
+
+
+def lambert_w(value: float, tolerance: float = 1e-12, max_iterations: int = 64) -> float:
+    """Principal branch ``W0`` of the Lambert W function for ``value >= 0``.
+
+    Args:
+        value: the argument ``y`` of ``W(y)``; only the non-negative domain
+            is needed by the paper's formulas.
+        tolerance: absolute convergence tolerance on ``w * exp(w) - value``.
+        max_iterations: safety cap on the Halley iteration count.
+    """
+    if value < 0.0 or not math.isfinite(value):
+        raise InvalidParameterError(
+            f"lambert_w is implemented for finite non-negative arguments, got {value!r}"
+        )
+    if value == 0.0:
+        return 0.0
+    # Initial guess: for small arguments W(y) ~ y, for large arguments
+    # W(y) ~ ln(y) - ln(ln(y)).
+    if value < math.e:
+        guess = value / math.e
+    else:
+        log_value = math.log(value)
+        guess = log_value - math.log(max(log_value, 1e-300))
+    w = max(guess, 1e-300)
+    for _ in range(max_iterations):
+        exp_w = math.exp(w)
+        numerator = w * exp_w - value
+        if abs(numerator) <= tolerance * max(1.0, abs(value)):
+            return w
+        denominator = exp_w * (w + 1.0) - (w + 2.0) * numerator / (2.0 * w + 2.0)
+        step = numerator / denominator
+        w -= step
+        if w <= -1.0:
+            # Stay on the principal branch.
+            w = -1.0 + 1e-12
+    return w
+
+
+def lambert_w_upper_bound(value: float) -> float:
+    """The asymptotic upper estimate ``ln(y) - ln(ln(y))`` used in Lemma 12.
+
+    The paper replaces ``W(y)`` by its asymptotic behaviour
+    ``ln(y) - ln(ln(y))`` (Hoorfar-Hassani) when simplifying the round
+    bound; the helper exposes exactly that expression.  Only defined for
+    ``y > e`` (below that the inner logarithm is not positive).
+    """
+    if value <= math.e:
+        raise InvalidParameterError(
+            f"the asymptotic estimate needs an argument larger than e, got {value!r}"
+        )
+    log_value = math.log(value)
+    return log_value - math.log(log_value)

@@ -1,0 +1,133 @@
+"""Active/inactive phase overlaps (Lemmas 9-10, Figure 3).
+
+The asymmetric-clock argument hinges on the following: because robot R'
+measures the same schedule with a different clock ``tau``, the *active*
+phase of R eventually overlaps the *inactive* phase of R', and the overlap
+grows without bound.  Lemma 9 covers the configuration of Figure 3(a)
+(R' enters its inactive phase before R becomes active), Lemma 10 the
+configuration of Figure 3(b) (R becomes active while R' is already
+inactive from the previous round).
+
+This module provides both the *measured* overlap (direct interval
+intersection of two :class:`~repro.core.schedule.RoundSchedule` objects)
+and the paper's closed-form overlap amounts and applicability windows, so
+experiment E08 can compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+from .schedule import RoundSchedule, active_phase_start, inactive_phase_start, search_all_time
+
+__all__ = [
+    "OverlapWindow",
+    "measured_overlap",
+    "lemma9_tau_window",
+    "lemma9_applies",
+    "lemma9_overlap_amount",
+    "lemma10_tau_window",
+    "lemma10_applies",
+    "lemma10_overlap_amount",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapWindow:
+    """Overlap between one active phase of R and one inactive phase of R'."""
+
+    active_round: int
+    inactive_round: int
+    start: float
+    end: float
+
+    @property
+    def amount(self) -> float:
+        """Length of the overlap (zero when the phases are disjoint)."""
+        return max(0.0, self.end - self.start)
+
+
+def measured_overlap(
+    active_round: int, inactive_round: int, tau: float
+) -> OverlapWindow:
+    """Exact overlap of R's active phase with R''s inactive phase.
+
+    R (time unit 1) is active during ``[A(k), I(k+1)]``; R' (time unit
+    ``tau``) is inactive during ``[tau I(n), tau A(n)]``.
+    """
+    if tau <= 0.0:
+        raise InvalidParameterError(f"tau must be positive, got {tau!r}")
+    reference = RoundSchedule(1.0)
+    other = RoundSchedule(tau)
+    active = reference.active_phase(active_round)
+    inactive = other.inactive_phase(inactive_round)
+    lo = max(active.start, inactive.start)
+    hi = min(active.end, inactive.end)
+    return OverlapWindow(
+        active_round=active_round, inactive_round=inactive_round, start=lo, end=max(lo, hi)
+    )
+
+
+# -- Lemma 9: Figure 3(a) -----------------------------------------------------------
+
+
+def lemma9_tau_window(k: int, a: int) -> tuple[float, float]:
+    """The ``tau`` interval of Lemma 9 for active round ``k`` and offset ``a``.
+
+    Lemma 9 applies when ``k / ((k+1+a) 2^{a+1}) <= tau <=
+    (3/2) k / ((k+1+a) 2^{a+1})`` and ``k >= 2(a+1)``.
+    """
+    _check_k_a(k, a)
+    base = k / ((k + 1 + a) * 2.0 ** (a + 1))
+    return base, 1.5 * base
+
+
+def lemma9_applies(k: int, a: int, tau: float) -> bool:
+    """True when Lemma 9's hypotheses hold for ``(k, a, tau)``."""
+    if k < 2 * (a + 1):
+        return False
+    low, high = lemma9_tau_window(k, a)
+    return low <= tau <= high
+
+
+def lemma9_overlap_amount(k: int, a: int, tau: float) -> float:
+    """Lemma 9's overlap amount ``tau A(k+1+a) - A(k)``."""
+    _check_k_a(k, a)
+    return tau * active_phase_start(k + 1 + a) - active_phase_start(k)
+
+
+# -- Lemma 10: Figure 3(b) -----------------------------------------------------------
+
+
+def lemma10_tau_window(k: int, a: int) -> tuple[float, float]:
+    """The ``tau`` interval of Lemma 10 for round ``k`` and offset ``a``.
+
+    Lemma 10 applies when ``(2/3) k / ((k+a) 2^a) <= tau <=
+    k / ((k+1+a) 2^a)`` and ``k >= 2(a+1)``.
+    """
+    _check_k_a(k, a)
+    low = (2.0 / 3.0) * k / ((k + a) * 2.0**a)
+    high = k / ((k + 1 + a) * 2.0**a)
+    return low, high
+
+
+def lemma10_applies(k: int, a: int, tau: float) -> bool:
+    """True when Lemma 10's hypotheses hold for ``(k, a, tau)``."""
+    if k < 2 * (a + 1):
+        return False
+    low, high = lemma10_tau_window(k, a)
+    return low <= tau <= high
+
+
+def lemma10_overlap_amount(k: int, a: int, tau: float) -> float:
+    """Lemma 10's overlap amount ``I(k) - tau I(k+a)``."""
+    _check_k_a(k, a)
+    return inactive_phase_start(k) - tau * inactive_phase_start(k + a)
+
+
+def _check_k_a(k: int, a: int) -> None:
+    if not isinstance(k, int) or k < 1:
+        raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+    if not isinstance(a, int) or a < 0:
+        raise InvalidParameterError(f"a must be a non-negative integer, got {a!r}")

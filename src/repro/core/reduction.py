@@ -1,0 +1,110 @@
+"""The rendezvous-to-search reduction (Lemma 4, Lemma 5, Definition 1).
+
+With equal clocks, both robots running the reference trajectory ``S(t)``
+produce the relative motion ``S_circ(t) = T_circ S(t)``; rendezvous is
+equivalent to this *equivalent search trajectory* approaching the static
+point ``d`` within ``r``.  The :class:`RendezvousReduction` class bundles
+the matrices of Lemmas 4-5 and the effective search parameters used by
+Theorem 2, and can also evaluate the equivalent trajectory pointwise so
+tests can verify the reduction against the raw two-robot simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+from ..geometry import LinearMap2, Vec2, attribute_matrix, mu_factor, qr_factor_relative, relative_matrix
+from ..motion import EquivalentSearchTrajectory, LazyTrajectory, Trajectory
+from ..robots import RobotAttributes
+
+__all__ = ["RendezvousReduction"]
+
+
+@dataclass(frozen=True)
+class RendezvousReduction:
+    """Matrices and effective parameters of the Section 3 reduction."""
+
+    attributes: RobotAttributes
+
+    def __post_init__(self) -> None:
+        if self.attributes.differs_in_clock():
+            raise InvalidParameterError(
+                "the Section 3 reduction assumes equal time units (tau = 1); "
+                "use the Section 4 schedule analysis for asymmetric clocks"
+            )
+
+    # -- matrices -----------------------------------------------------------------
+    @property
+    def attribute_map(self) -> LinearMap2:
+        """Lemma 4's matrix ``T`` with ``S'(t) = T S(t)``."""
+        return attribute_matrix(
+            self.attributes.speed, self.attributes.orientation, self.attributes.chirality
+        )
+
+    @property
+    def relative_map(self) -> LinearMap2:
+        """Definition 1's matrix ``T_circ = I - T``."""
+        return relative_matrix(
+            self.attributes.speed, self.attributes.orientation, self.attributes.chirality
+        )
+
+    @property
+    def mu(self) -> float:
+        """Lemma 5's scale factor ``mu = sqrt(v^2 - 2 v cos(phi) + 1)``."""
+        return mu_factor(self.attributes.speed, self.attributes.orientation)
+
+    def qr_factors(self) -> tuple[LinearMap2, LinearMap2]:
+        """Lemma 5's factorisation ``T_circ = Phi T'_circ``."""
+        return qr_factor_relative(
+            self.attributes.speed, self.attributes.orientation, self.attributes.chirality
+        )
+
+    # -- equivalent search trajectory -------------------------------------------------
+    def equivalent_trajectory(
+        self, reference: Trajectory | LazyTrajectory
+    ) -> EquivalentSearchTrajectory:
+        """The equivalent search trajectory ``T_circ S(t)``."""
+        return EquivalentSearchTrajectory(reference, self.relative_map)
+
+    def relative_position(self, reference_position: Vec2) -> Vec2:
+        """Value of ``S(t) - S'(t)`` given the reference robot's ``S(t)``."""
+        return self.relative_map.apply(reference_position)
+
+    # -- effective search parameters ---------------------------------------------------
+    def bearing_scale(self, separation: Vec2) -> float:
+        """``|T_circ^T d_hat|`` -- how much the bearing ``d_hat`` is compressed.
+
+        Lemma 7's change of variables shows that rendezvous along the
+        bearing ``d_hat`` is a search problem with ``d`` and ``r`` both
+        divided by ``|T_circ^T d_hat|``.
+        """
+        if separation.norm() == 0.0:
+            raise InvalidParameterError("the separation vector must be non-zero")
+        unit = separation.normalized()
+        return self.relative_map.transpose().apply(unit).norm()
+
+    def effective_parameters(self, separation: Vec2, visibility: float) -> tuple[float, float]:
+        """Effective ``(d, r)`` of the induced search problem for this bearing."""
+        if visibility <= 0.0:
+            raise InvalidParameterError(f"visibility must be positive, got {visibility!r}")
+        scale = self.bearing_scale(separation)
+        if scale <= 1e-12:
+            raise InvalidParameterError(
+                "the bearing scale is zero: this separation direction is adversarial and the "
+                "induced search problem is unsolvable (infeasible configuration)"
+            )
+        return separation.norm() / scale, visibility / scale
+
+    def worst_case_scale(self) -> float:
+        """The bearing scale minimised over all bearings.
+
+        This is the smallest singular value of ``T_circ``.  For equal
+        chiralities it equals ``mu`` (every bearing is equivalent); for
+        opposite chiralities it is at most ``(1 - v^2) / mu`` and it
+        vanishes exactly when ``v = 1`` (the infeasible mirrored case,
+        where an adversarial bearing exists).  Theorem 2's closed form
+        uses the coarser worst case ``1 - v`` obtained after also taking
+        the worst orientation.
+        """
+        return self.relative_map.transpose().smallest_singular_value()

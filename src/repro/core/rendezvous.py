@@ -1,0 +1,197 @@
+"""High-level rendezvous API.
+
+``solve_rendezvous`` is the main entry point of the library: it applies
+the Theorem 4 feasibility test, picks the right algorithm for the instance
+(Algorithm 4 when the clocks agree, the universal Algorithm 7 otherwise --
+or always Algorithm 7 if asked to be fully attribute-oblivious), derives a
+horizon from the matching theorem, runs the continuous-time simulation of
+both robots and reports measured time against the paper's bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..algorithms import MobilityAlgorithm, UniversalSearch, WaitAndSearchRendezvous
+from ..errors import HorizonExceededError, InfeasibleConfigurationError
+from ..simulation import (
+    HorizonPolicy,
+    RendezvousInstance,
+    SimulationOutcome,
+    bound_multiple_horizon,
+    simulate_rendezvous,
+)
+from .bounds import theorem2_rendezvous_bound
+from .feasibility import FeasibilityVerdict, classify_feasibility
+from .rounds import normalize_clock_ratio, theorem3_time_bound
+
+__all__ = ["RendezvousReport", "rendezvous_time_bound", "solve_rendezvous"]
+
+
+@dataclass(frozen=True, slots=True)
+class RendezvousReport:
+    """Everything measured and predicted about one rendezvous run."""
+
+    instance: RendezvousInstance
+    verdict: FeasibilityVerdict
+    algorithm_name: str
+    outcome: SimulationOutcome
+    bound: Optional[float]
+
+    @property
+    def solved(self) -> bool:
+        """True when the robots met before the horizon."""
+        return self.outcome.solved
+
+    @property
+    def time(self) -> float:
+        """Measured rendezvous time."""
+        return self.outcome.time
+
+    @property
+    def bound_ratio(self) -> Optional[float]:
+        """Measured time divided by the analytic bound (None when no bound applies)."""
+        if self.bound is None or not self.solved:
+            return None
+        return self.time / self.bound
+
+    def summary(self) -> str:
+        """One-paragraph human readable summary."""
+        lines = [self.instance.describe(), self.verdict.describe(), f"algorithm: {self.algorithm_name}"]
+        if self.solved:
+            bound_text = f"{self.bound:.6g}" if self.bound is not None else "n/a"
+            ratio_text = f"{self.bound_ratio:.3f}" if self.bound_ratio is not None else "n/a"
+            lines.append(
+                f"measured time: {self.time:.6g}  |  bound: {bound_text}  (ratio {ratio_text})"
+            )
+        else:
+            lines.append(self.outcome.describe())
+        return "\n".join(lines)
+
+
+def rendezvous_time_bound(instance: RendezvousInstance) -> Optional[float]:
+    """The paper's rendezvous-time bound for a feasible instance.
+
+    * equal clocks  -> Theorem 2 (through ``mu`` or ``1 - v``),
+    * different clocks -> Theorem 3 (converted to global time when the
+      other robot's clock is the fast one),
+    * infeasible    -> None.
+
+    The Theorem 2 ``chi = -1`` closed form is stated for ``v < 1``; for a
+    mirrored instance with ``v > 1`` the bound is computed from the other
+    robot's viewpoint and converted back to global time.
+    """
+    attributes = instance.attributes.normalized()
+    verdict = classify_feasibility(attributes)
+    if not verdict.feasible:
+        return None
+    if not attributes.differs_in_clock():
+        if attributes.chirality == 1 or attributes.speed < 1.0:
+            return theorem2_rendezvous_bound(
+                instance.distance,
+                instance.visibility,
+                attributes.speed,
+                attributes.orientation,
+                attributes.chirality,
+            )
+        # chi = -1 with v > 1: exchange the roles of the robots.  In R''s
+        # units the partner has speed 1/v < 1, distances divide by v and
+        # one local time unit equals 1/v global units (tau = 1), so a bound
+        # of B in R''s frame is B / v global time units... except R' moves
+        # v times faster, which exactly cancels: the global bound is the
+        # swapped-frame bound evaluated on the rescaled instance.
+        swapped = theorem2_rendezvous_bound(
+            instance.distance / attributes.speed,
+            instance.visibility / attributes.speed,
+            1.0 / attributes.speed,
+            attributes.orientation,
+            attributes.chirality,
+        )
+        return swapped * attributes.speed
+    # Asymmetric clocks: Theorem 3, stated for tau < 1.
+    tau, scale = (
+        (attributes.time_unit, 1.0)
+        if attributes.time_unit < 1.0
+        else normalize_clock_ratio(attributes.time_unit)
+    )
+    # When tau > 1 the slow robot is R; the schedule bound is expressed in
+    # the slow robot's local time, which for the swapped view must be
+    # converted back with the returned scale.  Distances are world-frame
+    # either way; the discovery round is computed for the searching robot,
+    # whose distance unit in the swapped view is the world unit divided by
+    # the fast robot's distance unit.
+    if attributes.time_unit < 1.0:
+        return theorem3_time_bound(instance.distance, instance.visibility, tau)
+    unit = attributes.speed * attributes.time_unit
+    bound_local = theorem3_time_bound(instance.distance / unit, instance.visibility / unit, tau)
+    return bound_local * attributes.time_unit
+
+
+def solve_rendezvous(
+    instance: RendezvousInstance,
+    algorithm: Optional[MobilityAlgorithm] = None,
+    horizon: Optional[HorizonPolicy | float] = None,
+    safety_factor: float = 1.25,
+    allow_infeasible: bool = False,
+) -> RendezvousReport:
+    """Solve a rendezvous instance and compare against the paper's bounds.
+
+    Args:
+        instance: the rendezvous instance.
+        algorithm: mobility algorithm both robots run; the default picks
+            Algorithm 4 for equal clocks and Algorithm 7 otherwise (the
+            choice the paper's theorems analyse).
+        horizon: optional explicit horizon; mandatory for infeasible
+            instances (there is no bound to derive one from).
+        safety_factor: slack applied to the bound-derived horizon.
+        allow_infeasible: run anyway (up to ``horizon``) when the instance
+            is provably infeasible, instead of raising.
+
+    Raises:
+        InfeasibleConfigurationError: infeasible instance without
+            ``allow_infeasible`` or without an explicit horizon.
+        HorizonExceededError: feasible instance that did not meet within
+            the derived horizon (indicates a too-small safety factor).
+    """
+    attributes = instance.attributes.normalized()
+    verdict = classify_feasibility(attributes)
+    bound = rendezvous_time_bound(instance)
+
+    if not verdict.feasible:
+        if not allow_infeasible:
+            raise InfeasibleConfigurationError(verdict.describe())
+        if horizon is None:
+            raise InfeasibleConfigurationError(
+                "an explicit horizon is required to simulate a provably infeasible instance"
+            )
+
+    if algorithm is None:
+        if attributes.differs_in_clock() or not verdict.feasible:
+            algorithm = WaitAndSearchRendezvous()
+        else:
+            algorithm = UniversalSearch()
+
+    if horizon is None:
+        if bound is None or not math.isfinite(bound):
+            raise InfeasibleConfigurationError(
+                "no finite analytic bound available to derive a horizon; pass one explicitly"
+            )
+        horizon = bound_multiple_horizon(bound, safety_factor)
+
+    outcome = simulate_rendezvous(algorithm, instance, horizon)
+    if verdict.feasible and not outcome.solved:
+        raise HorizonExceededError(
+            outcome.horizon,
+            "a feasible instance did not rendezvous within the horizon "
+            f"{outcome.horizon:g}; increase the safety factor "
+            f"({algorithm.describe()}, {instance.describe()})",
+        )
+    return RendezvousReport(
+        instance=instance,
+        verdict=verdict,
+        algorithm_name=algorithm.describe(),
+        outcome=outcome,
+        bound=bound,
+    )

@@ -1,0 +1,172 @@
+"""Rendezvous round bounds for asymmetric clocks (Lemmas 11-13, Theorem 3).
+
+The asymmetric-clock analysis parameterises the clock ratio as
+``tau = t * 2^{-a}`` with an integer ``a >= 0`` and a real ``t in [1/2, 1)``
+(Lemma 13).  Depending on where ``t`` falls, either Lemma 11 (via Lemma 9)
+or Lemma 12 (via Lemma 10) supplies the round ``k*`` of Algorithm 7 by
+which the robots must have met, given the round ``n`` by which a
+stationary partner would have been found.  Theorem 3 then converts the
+round bound into a (finite) time bound.
+
+All formulas below are literal transcriptions; ``log`` is base 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+from .bounds import guaranteed_discovery_round
+from .lambertw import lambert_w
+from .schedule import inactive_phase_start, search_all_time
+
+__all__ = [
+    "TauDecomposition",
+    "decompose_tau",
+    "lemma11_round_bound",
+    "lemma12_round_bound",
+    "lemma13_round_bound",
+    "theorem3_time_bound",
+    "normalize_clock_ratio",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TauDecomposition:
+    """The parameterisation ``tau = t * 2^{-a}`` of Lemma 13."""
+
+    t: float
+    a: int
+
+    @property
+    def tau(self) -> float:
+        """The reconstructed clock ratio."""
+        return self.t * 2.0 ** (-self.a)
+
+
+def decompose_tau(tau: float) -> TauDecomposition:
+    """Write ``tau < 1`` uniquely as ``t * 2^{-a}`` with ``t in [1/2, 1)``.
+
+    Lemma 13's recipe: ``a = floor(-log2(tau)) - 1`` and ``t = 1/2`` when
+    ``tau`` is a power of two, otherwise ``a = floor(-log2(tau))`` and
+    ``t = tau * 2^a``.
+    """
+    if not (0.0 < tau < 1.0):
+        raise InvalidParameterError(f"the decomposition needs 0 < tau < 1, got {tau!r}")
+    log_tau = -math.log2(tau)
+    floor_log = math.floor(log_tau)
+    if math.isclose(log_tau, round(log_tau), rel_tol=0.0, abs_tol=1e-12):
+        # tau is a power of two.
+        a = int(round(log_tau)) - 1
+        t = 0.5
+    else:
+        a = int(floor_log)
+        t = tau * 2.0**a
+    if not (0.5 <= t < 1.0 + 1e-12):
+        raise InvalidParameterError(f"decomposition failed for tau={tau!r}: t={t!r}, a={a!r}")
+    return TauDecomposition(t=min(t, math.nextafter(1.0, 0.0)), a=max(a, 0))
+
+
+def lemma11_round_bound(n: int, a: int) -> int:
+    """Lemma 11: rendezvous by round ``n + ceil(log2(n / (a+1)))``."""
+    _check_positive_round(n)
+    if a < 0:
+        raise InvalidParameterError(f"a must be non-negative, got {a!r}")
+    return n + max(0, math.ceil(math.log2(n / (a + 1)))) if n > (a + 1) else n
+
+
+def lemma12_round_bound(n: int, a: int, k0: int) -> int:
+    """Lemma 12: rendezvous by round ``n + ceil(log2(n) + log2(1 + k0/(a+1)))``."""
+    _check_positive_round(n)
+    if a < 0:
+        raise InvalidParameterError(f"a must be non-negative, got {a!r}")
+    if k0 < 1:
+        raise InvalidParameterError(f"k0 must be positive, got {k0!r}")
+    return n + math.ceil(math.log2(n) + math.log2(1.0 + k0 / (a + 1.0)))
+
+
+def lemma13_round_bound(tau: float, n: int) -> int:
+    """Lemma 13: the round ``k*`` by which the robots rendezvous.
+
+    Args:
+        tau: the clock ratio (must satisfy ``0 < tau < 1``).
+        n: the round of Algorithm 7 by which a robot would find a
+            *stationary* partner (Lemma 1 / :func:`guaranteed_discovery_round`).
+    """
+    _check_positive_round(n)
+    decomposition = decompose_tau(tau)
+    t, a = decomposition.t, decomposition.a
+    if t <= 2.0 / 3.0:
+        first = 8 * (a + 1)
+        second = n + max(0, math.ceil(math.log2(n / (a + 1)))) if n > 0 else n
+        return max(first, second)
+    first = math.ceil((a + 1) * t / (1.0 - t))
+    second = n + math.ceil(math.log2(n / (1.0 - t)))
+    return max(first, second)
+
+
+def theorem3_time_bound(distance: float, visibility: float, tau: float) -> float:
+    """Theorem 3 / Lemma 14: a finite rendezvous-time bound for ``tau < 1``.
+
+    The robots rendezvous by the end of round ``k*`` of Algorithm 7, so the
+    rendezvous time is below the time needed to complete ``k*`` full rounds,
+    ``I(k* + 1)`` in the notation of Lemma 8 (the paper states the bound
+    through the same quantity).
+    """
+    if not (0.0 < tau < 1.0):
+        raise InvalidParameterError(f"Theorem 3 is stated for 0 < tau < 1, got {tau!r}")
+    n = guaranteed_discovery_round(distance, visibility)
+    k_star = lemma13_round_bound(tau, n)
+    return inactive_phase_start(k_star + 1)
+
+
+def normalize_clock_ratio(time_unit: float) -> tuple[float, float]:
+    """Reduce an arbitrary clock ratio to the ``tau < 1`` normal form.
+
+    The paper assumes WLOG that the *other* robot's clock is the slow one
+    (``tau < 1``).  When the instance has ``tau > 1`` the roles of the two
+    robots can be exchanged: the pair ``(speed, tau)`` seen from R' is
+    ``(1/speed, 1/tau)``, and a duration of ``x`` local units of R'
+    corresponds to ``tau * x`` global units.
+
+    Returns:
+        ``(normalized_tau, global_time_scale)`` -- the normal-form clock
+        ratio and the factor converting a bound computed in the slow
+        robot's local time into global time.
+    """
+    if time_unit <= 0.0:
+        raise InvalidParameterError(f"time_unit must be positive, got {time_unit!r}")
+    if time_unit < 1.0:
+        return time_unit, 1.0
+    if time_unit == 1.0:
+        raise InvalidParameterError("equal clocks have no asymmetric normal form")
+    return 1.0 / time_unit, time_unit
+
+
+def lemma12_round_bound_exact(n: int, a: int, k0: int) -> float:
+    """The pre-simplification Lemma 12 bound, through the Lambert W function.
+
+    Lemma 12's proof first derives ``k* = 2 + ceil(a gamma / (1 - gamma) +
+    W(y) / ln 2)`` with ``gamma = k0 / (k0 + 1 + a)`` and ``y = ln(2) n /
+    (4 (1-gamma)) * 2^n * 2^{-((a-2) gamma + 2) / (1-gamma)}``, before
+    replacing ``W`` by its asymptotic estimate.  The exact version is
+    exposed for the E09 experiment, which compares both against the
+    simulated rendezvous round.
+    """
+    _check_positive_round(n)
+    if a < 0 or k0 < 1:
+        raise InvalidParameterError("a must be >= 0 and k0 >= 1")
+    gamma = k0 / (k0 + 1.0 + a)
+    exponent = -((a - 2.0) * gamma + 2.0) / (1.0 - gamma)
+    argument = math.log(2.0) * n / (4.0 * (1.0 - gamma)) * (2.0**n) * (2.0**exponent)
+    w_value = lambert_w(argument)
+    return 2.0 + math.ceil(a * gamma / (1.0 - gamma) + w_value / math.log(2.0))
+
+
+def _check_positive_round(n: int) -> None:
+    if not isinstance(n, int) or n < 1:
+        raise InvalidParameterError(f"the round index must be a positive integer, got {n!r}")
+
+
+__all__.append("lemma12_round_bound_exact")

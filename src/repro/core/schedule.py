@@ -1,0 +1,170 @@
+"""The round/phase schedule of Algorithm 7 (Lemma 8, Figures 1-2).
+
+Algorithm 7 alternates inactive and active phases whose lengths double-ish
+every round.  Lemma 8 gives the closed forms (in the robot's *local* time):
+
+* ``S(n) = 12(pi+1) n 2^n``      -- duration of ``SearchAll(n)``,
+* ``I(n) = 24(pi+1)[(2n-4) 2^n + 4]`` -- start of the ``n``-th inactive phase,
+* ``A(n) = 24(pi+1)[(3n-4) 2^n + 4]`` -- start of the ``n``-th active phase.
+
+A robot with time unit ``tau`` lives through the same schedule dilated by
+``tau`` in global time.  The :class:`RoundSchedule` class materialises the
+interval structure (reproducing Figures 1 and 2) and computes overlaps
+between two robots' schedules (the raw material of Figure 3 and of
+Lemmas 9-10, handled in :mod:`repro.core.overlap`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..constants import PHASE_FACTOR, SEARCH_ALL_FACTOR, SEARCH_ROUND_FACTOR
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "search_all_time",
+    "inactive_phase_start",
+    "active_phase_start",
+    "round_duration",
+    "universal_search_prefix_duration",
+    "PhaseInterval",
+    "RoundSchedule",
+]
+
+
+def _check_round(n: int) -> None:
+    if not isinstance(n, int) or n < 1:
+        raise InvalidParameterError(f"the round index must be a positive integer, got {n!r}")
+
+
+def search_all_time(n: int) -> float:
+    """``S(n) = 12(pi+1) n 2^n`` -- duration of ``SearchAll(n)`` (equation (1))."""
+    _check_round(n)
+    return SEARCH_ALL_FACTOR * n * 2.0**n
+
+
+def universal_search_prefix_duration(k: int) -> float:
+    """Duration ``3(pi+1) k 2^{k+2}`` of the first ``k`` rounds of Algorithm 4 (Lemma 2).
+
+    This equals ``S(k)`` -- running rounds ``1..k`` of Algorithm 4 is the
+    same walk as ``SearchAll(k)``.
+    """
+    _check_round(k)
+    return SEARCH_ROUND_FACTOR * k * 2.0 ** (k + 2)
+
+
+def inactive_phase_start(n: int) -> float:
+    """``I(n) = 24(pi+1)[(2n-4) 2^n + 4]`` -- start of round ``n``'s inactive phase (Lemma 8)."""
+    _check_round(n)
+    return PHASE_FACTOR * ((2 * n - 4) * 2.0**n + 4)
+
+
+def active_phase_start(n: int) -> float:
+    """``A(n) = 24(pi+1)[(3n-4) 2^n + 4]`` -- start of round ``n``'s active phase (Lemma 8)."""
+    _check_round(n)
+    return PHASE_FACTOR * ((3 * n - 4) * 2.0**n + 4)
+
+
+def round_duration(n: int) -> float:
+    """Duration ``4 S(n)`` of round ``n`` of Algorithm 7."""
+    return 4.0 * search_all_time(n)
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseInterval:
+    """One phase of one round of Algorithm 7, in global time."""
+
+    round_index: int
+    kind: str  # "inactive" or "active"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the phase."""
+        return self.end - self.start
+
+    def overlap_with(self, other: "PhaseInterval") -> float:
+        """Length of the time overlap with another phase interval."""
+        return max(0.0, min(self.end, other.end) - max(self.start, other.start))
+
+    def intersection(self, other: "PhaseInterval") -> tuple[float, float] | None:
+        """The overlapping time window, or None when disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        return (lo, hi) if hi > lo else None
+
+
+class RoundSchedule:
+    """The phase intervals of one robot running Algorithm 7.
+
+    Args:
+        time_unit: the robot's clock unit ``tau``; all local phase
+            boundaries are multiplied by it to obtain global times.
+    """
+
+    def __init__(self, time_unit: float = 1.0) -> None:
+        if time_unit <= 0.0:
+            raise InvalidParameterError(f"time_unit must be positive, got {time_unit!r}")
+        self.time_unit = float(time_unit)
+
+    # -- phase boundaries in global time ------------------------------------------
+    def inactive_start(self, n: int) -> float:
+        """Global start time of round ``n``'s inactive phase."""
+        return self.time_unit * inactive_phase_start(n)
+
+    def active_start(self, n: int) -> float:
+        """Global start time of round ``n``'s active phase."""
+        return self.time_unit * active_phase_start(n)
+
+    def round_end(self, n: int) -> float:
+        """Global end time of round ``n`` (= start of round ``n+1``'s inactive phase)."""
+        return self.time_unit * inactive_phase_start(n + 1)
+
+    def inactive_phase(self, n: int) -> PhaseInterval:
+        """The inactive phase of round ``n``."""
+        return PhaseInterval(
+            round_index=n, kind="inactive", start=self.inactive_start(n), end=self.active_start(n)
+        )
+
+    def active_phase(self, n: int) -> PhaseInterval:
+        """The active phase of round ``n``."""
+        return PhaseInterval(
+            round_index=n, kind="active", start=self.active_start(n), end=self.round_end(n)
+        )
+
+    def phases(self, rounds: int) -> Iterator[PhaseInterval]:
+        """All phases of the first ``rounds`` rounds, in time order."""
+        _check_round(rounds)
+        for n in range(1, rounds + 1):
+            yield self.inactive_phase(n)
+            yield self.active_phase(n)
+
+    # -- the structure of one active phase (Figure 2) ---------------------------------
+    def active_phase_breakdown(self, n: int) -> list[tuple[str, float, float]]:
+        """Sub-intervals of round ``n``'s active phase.
+
+        The active phase runs ``SearchAll(n)`` (rounds ``Search(1)`` ..
+        ``Search(n)``) and then ``SearchAllRev(n)`` (rounds ``Search(n)`` ..
+        ``Search(1)``); the breakdown lists each ``Search(k)`` with its
+        global start and end times, reproducing Figure 2.
+        """
+        _check_round(n)
+        breakdown: list[tuple[str, float, float]] = []
+        cursor = self.active_start(n)
+        for k in list(range(1, n + 1)) + list(range(n, 0, -1)):
+            duration = self.time_unit * SEARCH_ROUND_FACTOR * (k + 1) * 2.0 ** (k + 1)
+            breakdown.append((f"Search({k})", cursor, cursor + duration))
+            cursor += duration
+        return breakdown
+
+    def describe(self, rounds: int) -> str:
+        """Multi-line text rendering of the schedule (used by the CLI)."""
+        lines = [f"schedule with time unit tau = {self.time_unit:g}"]
+        for phase in self.phases(rounds):
+            lines.append(
+                f"  round {phase.round_index:2d} {phase.kind:8s} "
+                f"[{phase.start:14.4f}, {phase.end:14.4f}]  (length {phase.duration:14.4f})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""High-level search API: run Algorithm 4 on an instance and report.
+
+``solve_search`` wires together the pieces a user would otherwise have to
+assemble by hand: it picks the universal search algorithm (or any other
+registered mobility algorithm), derives a horizon from Theorem 1, runs the
+continuous-time simulation, and returns a report comparing the measured
+search time against the paper's bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..algorithms import MobilityAlgorithm, UniversalSearch
+from ..errors import HorizonExceededError
+from ..simulation import (
+    HorizonPolicy,
+    SearchInstance,
+    SimulationOutcome,
+    bound_multiple_horizon,
+    simulate_search,
+)
+from .bounds import guaranteed_discovery_round, theorem1_search_bound
+
+__all__ = ["SearchReport", "solve_search"]
+
+
+@dataclass(frozen=True, slots=True)
+class SearchReport:
+    """Everything measured and predicted about one search run."""
+
+    instance: SearchInstance
+    algorithm_name: str
+    outcome: SimulationOutcome
+    bound: float
+    guaranteed_round: int
+
+    @property
+    def time(self) -> float:
+        """Measured search time."""
+        return self.outcome.time
+
+    @property
+    def bound_ratio(self) -> float:
+        """Measured time divided by the Theorem 1 bound (must be < 1)."""
+        return self.time / self.bound
+
+    def summary(self) -> str:
+        """One-paragraph human readable summary."""
+        return (
+            f"{self.instance.describe()}\n"
+            f"algorithm: {self.algorithm_name}\n"
+            f"measured time: {self.time:.6g}  |  Theorem 1 bound: {self.bound:.6g}  "
+            f"(ratio {self.bound_ratio:.3f})\n"
+            f"guaranteed discovery round: {self.guaranteed_round}  |  {self.outcome.describe()}"
+        )
+
+
+def solve_search(
+    instance: SearchInstance,
+    algorithm: Optional[MobilityAlgorithm] = None,
+    horizon: Optional[HorizonPolicy | float] = None,
+    safety_factor: float = 1.25,
+) -> SearchReport:
+    """Solve a search instance and compare the measured time to Theorem 1.
+
+    Args:
+        instance: the search instance (target position, visibility).
+        algorithm: the mobility algorithm to run; defaults to Algorithm 4.
+        horizon: optional explicit horizon; by default the Theorem 1 bound
+            times ``safety_factor`` is used.
+        safety_factor: slack applied to the default horizon.
+
+    Raises:
+        HorizonExceededError: when the simulation hits the horizon without
+            finding the target (should not happen for Algorithm 4 within
+            the default horizon).
+    """
+    algorithm = algorithm if algorithm is not None else UniversalSearch()
+    bound = theorem1_search_bound(instance.distance, instance.visibility)
+    resolved_horizon = (
+        horizon if horizon is not None else bound_multiple_horizon(bound, safety_factor)
+    )
+    outcome = simulate_search(algorithm, instance, resolved_horizon)
+    if not outcome.solved:
+        raise HorizonExceededError(
+            outcome.horizon,
+            f"search did not finish within the horizon {outcome.horizon:g} "
+            f"({algorithm.describe()}, {instance.describe()})",
+        )
+    return SearchReport(
+        instance=instance,
+        algorithm_name=algorithm.describe(),
+        outcome=outcome,
+        bound=bound,
+        guaranteed_round=guaranteed_discovery_round(instance.distance, instance.visibility),
+    )

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised on purpose by the library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError``,
+``AttributeError`` ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter is outside the domain accepted by the paper's model.
+
+    Examples: a non-positive speed, a non-positive visibility radius, a
+    chirality different from ``+1``/``-1``.
+    """
+
+
+class TrajectoryError(ReproError):
+    """A trajectory was queried or constructed inconsistently."""
+
+
+class TimeOutOfRangeError(TrajectoryError):
+    """A finite trajectory was evaluated outside its time domain."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine could not complete a run."""
+
+
+class HorizonExceededError(SimulationError):
+    """A simulation reached its time horizon before the sought event.
+
+    For *feasible* configurations this usually means the horizon was too
+    small.  For *infeasible* configurations this is the expected outcome:
+    the paper proves no algorithm can force the event, so the simulator
+    gives up at the horizon and reports why.
+    """
+
+    def __init__(self, horizon: float, message: str | None = None) -> None:
+        self.horizon = float(horizon)
+        super().__init__(
+            message
+            or f"simulation horizon {self.horizon!r} reached before the event occurred"
+        )
+
+
+class InfeasibleConfigurationError(ReproError):
+    """A rendezvous was requested for a provably infeasible configuration."""
+
+
+class ExperimentError(ReproError):
+    """An experiment could not be configured or executed."""

@@ -1,0 +1,13 @@
+"""The evaluation harness: one module per reproduced theorem, lemma or figure."""
+
+from .registry import ExperimentEntry, experiment_ids, get_experiment, run_experiment
+from .runall import run_all, write_summary
+
+__all__ = [
+    "ExperimentEntry",
+    "experiment_ids",
+    "get_experiment",
+    "run_experiment",
+    "run_all",
+    "write_summary",
+]

@@ -1,0 +1,23 @@
+"""Shared plumbing for experiment modules.
+
+Every experiment module exposes ``run(output_dir=None, quick=False)``
+returning an :class:`~repro.analysis.report.ExperimentReport`.  The helpers
+here keep the per-experiment code focused on the science: they handle
+artefact writing and the common "measured vs bound" bookkeeping.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..analysis import ExperimentReport
+
+__all__ = ["finalize_report"]
+
+
+def finalize_report(report: ExperimentReport, output_dir: Optional[Path | str]) -> ExperimentReport:
+    """Write artefacts when an output directory was requested, then return the report."""
+    if output_dir is not None:
+        report.write_artifacts(Path(output_dir))
+    return report

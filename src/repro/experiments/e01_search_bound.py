@@ -1,0 +1,89 @@
+"""E01 -- Theorem 1: the universal search time bound.
+
+For a sweep of ``(d, r)`` instances the experiment runs Algorithm 4,
+measures the time at which the target is first seen and compares it with
+the closed-form bound ``6(pi+1) log2(d^2/r) d^2/r``.  Two claims are
+checked:
+
+* every measured time is below the bound (Theorem 1 is an upper bound);
+* the measured times follow the predicted shape ``c * log2(x) * x`` in the
+  difficulty ``x = d^2/r`` (the scaling, not just the constant).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..analysis import ExperimentReport, Table, scaling_fit, summarize
+from ..core import solve_search
+from ..workloads import search_sweep_suite
+from .base import finalize_report
+
+EXPERIMENT_ID = "E01"
+TITLE = "Universal search time vs the Theorem 1 bound"
+PAPER_REFERENCE = "Theorem 1, Section 2"
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_REFERENCE", "run"]
+
+
+def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> ExperimentReport:
+    """Run the Theorem 1 sweep and return its report."""
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    instances = search_sweep_suite()
+    if quick:
+        instances = instances[:: max(1, len(instances) // 12)]
+
+    table = Table(
+        columns=["d", "r", "d^2/r", "measured", "bound", "ratio", "round"],
+        title="Measured search time vs Theorem 1 bound",
+    )
+    ratios = []
+    shape_difficulties = []
+    shape_times = []
+    for instance in instances:
+        result = solve_search(instance)
+        ratios.append(result.bound_ratio)
+        table.add_row(
+            [
+                instance.distance,
+                instance.visibility,
+                instance.difficulty,
+                result.time,
+                result.bound,
+                result.bound_ratio,
+                result.guaranteed_round,
+            ]
+        )
+        if instance.difficulty >= 8.0:
+            shape_difficulties.append(instance.difficulty)
+            shape_times.append(result.time)
+
+    stats = summarize(ratios)
+    report.add_note(f"bound ratios: {stats.describe()}")
+    report.add_check(
+        "every measured search time is below the Theorem 1 bound",
+        stats.maximum < 1.0,
+        f"max ratio {stats.maximum:.3f}",
+    )
+    if len(shape_times) >= 3:
+        constant, relative_error = scaling_fit(shape_difficulties, shape_times)
+        report.add_note(
+            f"shape fit time ~ c*log2(x)*x over difficulties >= 8: c = {constant:.3f}, "
+            f"relative RMS error = {relative_error:.2f} (bearing luck at low difficulty adds "
+            "variance, which is why easy instances are excluded from the fit)"
+        )
+        report.add_check(
+            "measured times follow the log2(x)*x shape (relative RMS below 1.0)",
+            relative_error < 1.0,
+            f"relative RMS error {relative_error:.2f}",
+        )
+        report.add_check(
+            "fitted constant is below the worst-case 6(pi+1)",
+            constant < 6.0 * (3.141592653589793 + 1.0),
+            f"fitted c = {constant:.3f}",
+        )
+    report.add_table(table)
+    return finalize_report(report, output_dir)

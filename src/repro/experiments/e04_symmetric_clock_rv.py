@@ -1,0 +1,71 @@
+"""E04 -- Theorem 2 (chi = +1): rendezvous with symmetric clocks.
+
+Both robots run Algorithm 4.  For a sweep over speeds and orientations
+(equal chirality) the measured rendezvous time is compared against the
+Theorem 2 bound ``6(pi+1) log2(d^2/(mu r)) d^2/(mu r)`` with
+``mu = sqrt(v^2 - 2 v cos(phi) + 1)``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..analysis import ExperimentReport, Table, summarize
+from ..core import solve_rendezvous
+from ..core.reduction import RendezvousReduction
+from ..workloads import symmetric_clock_suite
+from .base import finalize_report
+
+EXPERIMENT_ID = "E04"
+TITLE = "Symmetric-clock rendezvous vs the Theorem 2 bound (equal chirality)"
+PAPER_REFERENCE = "Theorem 2 and Lemma 6, Section 3"
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_REFERENCE", "run"]
+
+
+def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> ExperimentReport:
+    """Run the equal-chirality Theorem 2 sweep."""
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    instances = symmetric_clock_suite()
+    if quick:
+        instances = instances[:: max(1, len(instances) // 8)]
+
+    table = Table(
+        columns=["v", "phi", "d", "r", "mu", "d^2/(mu r)", "measured", "bound", "ratio"],
+        title="Measured rendezvous time vs Theorem 2 (chi = +1)",
+    )
+    ratios = []
+    for instance in instances:
+        result = solve_rendezvous(instance)
+        reduction = RendezvousReduction(instance.attributes)
+        mu = reduction.mu
+        ratios.append(result.bound_ratio)
+        table.add_row(
+            [
+                instance.attributes.speed,
+                instance.attributes.orientation,
+                instance.distance,
+                instance.visibility,
+                mu,
+                instance.difficulty / mu,
+                result.time,
+                result.bound,
+                result.bound_ratio,
+            ]
+        )
+    stats = summarize([r for r in ratios if r is not None])
+    report.add_table(table)
+    report.add_note(f"bound ratios: {stats.describe()}")
+    report.add_check(
+        "every measured rendezvous time is below the Theorem 2 bound",
+        stats.maximum < 1.0,
+        f"max ratio {stats.maximum:.3f}",
+    )
+    report.add_check(
+        "all instances in the sweep rendezvoused (Theorem 2 feasibility)",
+        len([r for r in ratios if r is not None]) == len(instances),
+    )
+    return finalize_report(report, output_dir)

@@ -1,0 +1,72 @@
+"""E05 -- Theorem 2 / Lemma 7 (chi = -1): rendezvous of mirrored robots.
+
+Both robots run Algorithm 4 but disagree on the +y direction.  For a sweep
+over speeds ``v < 1`` and orientations the measured rendezvous time is
+compared with the Theorem 2 bound
+``6(pi+1) log2(d^2/((1-v) r)) d^2/((1-v) r)``.  The sweep includes the
+adversarial bearing and the bound-maximising orientation ``phi = pi``
+(where the ``1/(1-v)`` blow-up is actually felt).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..analysis import ExperimentReport, Table, summarize
+from ..core import solve_rendezvous
+from ..workloads import mirrored_suite, mirrored_worst_instance
+from .base import finalize_report
+
+EXPERIMENT_ID = "E05"
+TITLE = "Mirrored rendezvous vs the Theorem 2 bound (opposite chirality)"
+PAPER_REFERENCE = "Theorem 2 and Lemma 7, Section 3"
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_REFERENCE", "run"]
+
+
+def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> ExperimentReport:
+    """Run the opposite-chirality Theorem 2 sweep."""
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    instances = mirrored_suite()
+    if quick:
+        instances = instances[:: max(1, len(instances) // 6)]
+    # Add the explicit worst-case configurations of Lemma 7.
+    for speed in (0.3, 0.6):
+        instances.append(mirrored_worst_instance(speed=speed, distance=1.2, visibility=0.4))
+
+    table = Table(
+        columns=["v", "phi", "bearing", "d", "r", "measured", "bound", "ratio"],
+        title="Measured rendezvous time vs Theorem 2 (chi = -1)",
+    )
+    ratios = []
+    for instance in instances:
+        result = solve_rendezvous(instance)
+        ratios.append(result.bound_ratio)
+        table.add_row(
+            [
+                instance.attributes.speed,
+                instance.attributes.orientation,
+                instance.separation.angle(),
+                instance.distance,
+                instance.visibility,
+                result.time,
+                result.bound,
+                result.bound_ratio,
+            ]
+        )
+    stats = summarize([r for r in ratios if r is not None])
+    report.add_table(table)
+    report.add_note(f"bound ratios: {stats.describe()}")
+    report.add_check(
+        "every measured rendezvous time is below the Theorem 2 bound",
+        stats.maximum < 1.0,
+        f"max ratio {stats.maximum:.3f}",
+    )
+    report.add_check(
+        "all mirrored instances with v < 1 rendezvoused",
+        len([r for r in ratios if r is not None]) == len(instances),
+    )
+    return finalize_report(report, output_dir)

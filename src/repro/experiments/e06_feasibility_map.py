@@ -1,0 +1,122 @@
+"""E06 -- Theorem 4: the feasibility characterisation.
+
+For a labelled grid of attribute configurations the experiment checks both
+directions of the iff:
+
+* configurations the theorem declares *feasible* do rendezvous in
+  simulation within the analytic bound;
+* configurations the theorem declares *infeasible* do not rendezvous
+  within a generous horizon when the separation is placed along the
+  adversarial direction, and the invariant-component argument (the gap can
+  never drop below the separation's invariant component) certifies that no
+  horizon would ever suffice.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..algorithms import UniversalSearch
+from ..analysis import ExperimentReport, Table
+from ..core import classify_feasibility, solve_rendezvous
+from ..core.feasibility import adversarial_separation_direction
+from ..geometry import Vec2, relative_matrix
+from ..simulation import fixed_horizon, simulate_rendezvous
+from ..workloads import feasibility_grid
+from .base import finalize_report
+
+EXPERIMENT_ID = "E06"
+TITLE = "Feasibility map of rendezvous (Theorem 4)"
+PAPER_REFERENCE = "Theorem 4, Sections 3-4 and the abstract's iff characterisation"
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_REFERENCE", "run"]
+
+_INFEASIBLE_HORIZON = 1500.0
+
+
+def _invariant_component(instance) -> float:
+    """Length of the separation component the relative motion can never touch.
+
+    With equal clocks the relative motion lies in the range of ``T_circ``;
+    the component of the separation orthogonal to that range is invariant,
+    so the gap can never drop below it.
+    """
+    attributes = instance.attributes.normalized()
+    matrix = relative_matrix(attributes.speed, attributes.orientation, attributes.chirality)
+    invariant_direction = adversarial_separation_direction(attributes)
+    image_x = matrix.apply(Vec2(1.0, 0.0))
+    image_y = matrix.apply(Vec2(0.0, 1.0))
+    if max(image_x.norm(), image_y.norm()) <= 1e-12:
+        # Identical robots: the whole separation is invariant.
+        return instance.distance
+    return abs(instance.separation.dot(invariant_direction))
+
+
+def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> ExperimentReport:
+    """Run the Theorem 4 feasibility grid."""
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    table = Table(
+        columns=[
+            "configuration",
+            "v",
+            "tau",
+            "phi",
+            "chi",
+            "predicted feasible",
+            "simulated rendezvous",
+            "time or invariant gap",
+        ],
+        title="Predicted vs simulated feasibility",
+    )
+    grid = feasibility_grid()
+    if quick:
+        grid = grid[:4] + grid[-2:]
+
+    agreement = True
+    infeasible_certified = True
+    for label, instance, expected_feasible in grid:
+        verdict = classify_feasibility(instance.attributes)
+        predicted = verdict.feasible
+        agreement = agreement and predicted == expected_feasible
+        if predicted:
+            result = solve_rendezvous(instance)
+            solved = result.solved
+            detail = result.time
+        else:
+            outcome = simulate_rendezvous(
+                UniversalSearch(), instance, fixed_horizon(_INFEASIBLE_HORIZON)
+            )
+            solved = outcome.solved
+            invariant = _invariant_component(instance)
+            infeasible_certified = infeasible_certified and invariant > instance.visibility
+            detail = invariant
+        agreement = agreement and (solved == predicted)
+        table.add_row(
+            [
+                label,
+                instance.attributes.speed,
+                instance.attributes.time_unit,
+                instance.attributes.orientation,
+                instance.attributes.chirality,
+                predicted,
+                solved,
+                detail,
+            ]
+        )
+    report.add_table(table)
+    report.add_check(
+        "Theorem 4's verdict matches the simulation outcome on every grid point", agreement
+    )
+    report.add_check(
+        "every infeasible configuration has an invariant separation component above r "
+        "(certifying that no horizon would change the outcome)",
+        infeasible_certified,
+    )
+    report.add_note(
+        f"infeasible configurations were simulated up to horizon {_INFEASIBLE_HORIZON:g} with the "
+        "separation placed along the adversarial (invariant) direction"
+    )
+    return finalize_report(report, output_dir)

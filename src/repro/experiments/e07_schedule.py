@@ -1,0 +1,124 @@
+"""E07 -- Lemma 8 and Figures 1-2: the Algorithm 7 schedule.
+
+The experiment materialises the first rounds of Algorithm 7 and measures
+where the inactive and active phases actually begin in the generated
+trajectory, comparing against Lemma 8's closed forms ``I(n)``, ``A(n)``
+and ``S(n)``.  It also regenerates the interval diagrams of Figures 1-2
+(data plus ASCII/SVG renderings).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..algorithms import SearchAll, TruncatedWaitAndSearch
+from ..analysis import ExperimentReport, Table
+from ..core import RoundSchedule, active_phase_start, inactive_phase_start, search_all_time
+from ..motion import WaitMotion
+from ..viz import active_phase_rows, render_schedule_ascii, round_structure_rows
+from .base import finalize_report
+
+EXPERIMENT_ID = "E07"
+TITLE = "The Algorithm 7 schedule: S(n), I(n), A(n) (Lemma 8, Figures 1-2)"
+PAPER_REFERENCE = "Lemma 8, Figures 1 and 2, Section 4"
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_REFERENCE", "run"]
+
+_RELATIVE_TOLERANCE = 1e-9
+
+
+def _measured_phase_starts(rounds: int) -> list[tuple[int, float, float]]:
+    """Measured ``(round, inactive start, active start)`` from the trajectory.
+
+    The inactive phase of round ``n`` begins at the long wait segment that
+    opens the round; the active phase begins when that wait ends.
+    """
+    algorithm = TruncatedWaitAndSearch(rounds)
+    starts: list[tuple[int, float, float]] = []
+    elapsed = 0.0
+    round_index = 0
+    for segment in algorithm.segments():
+        if isinstance(segment, WaitMotion) and round_index < rounds:
+            expected_wait = 2.0 * search_all_time(round_index + 1)
+            if abs(segment.duration - expected_wait) <= 1e-6 * expected_wait:
+                round_index += 1
+                starts.append((round_index, elapsed, elapsed + segment.duration))
+        elapsed += segment.duration
+    return starts
+
+
+def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> ExperimentReport:
+    """Compare the measured Algorithm 7 schedule with Lemma 8."""
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    rounds = 3 if quick else 5
+
+    table = Table(
+        columns=["n", "measured I(n)", "predicted I(n)", "measured A(n)", "predicted A(n)", "S(n)"],
+        title="Phase start times vs Lemma 8",
+    )
+    worst = 0.0
+    for n, measured_inactive, measured_active in _measured_phase_starts(rounds):
+        predicted_inactive = inactive_phase_start(n)
+        predicted_active = active_phase_start(n)
+        for measured, predicted in (
+            (measured_inactive, predicted_inactive),
+            (measured_active, predicted_active),
+        ):
+            denominator = max(abs(predicted), 1.0)
+            worst = max(worst, abs(measured - predicted) / denominator)
+        table.add_row(
+            [
+                n,
+                measured_inactive,
+                predicted_inactive,
+                measured_active,
+                predicted_active,
+                search_all_time(n),
+            ]
+        )
+    report.add_table(table)
+    report.add_check(
+        "measured inactive/active phase starts match I(n) and A(n) exactly",
+        worst <= _RELATIVE_TOLERANCE,
+        f"worst relative error {worst:.3e}",
+    )
+
+    # S(n) closed form vs the duration of SearchAll(n).
+    sn_table = Table(columns=["n", "measured S(n)", "predicted S(n)"], title="SearchAll durations")
+    sn_worst = 0.0
+    for n in range(1, rounds + 1):
+        measured = SearchAll(n).duration()
+        predicted = search_all_time(n)
+        sn_worst = max(sn_worst, abs(measured - predicted) / predicted)
+        sn_table.add_row([n, measured, predicted])
+    report.add_table(sn_table)
+    report.add_check(
+        "SearchAll(n) durations match S(n) = 12(pi+1) n 2^n",
+        sn_worst <= _RELATIVE_TOLERANCE,
+        f"worst relative error {sn_worst:.3e}",
+    )
+
+    # Figure reproductions (data-level, rendered as ASCII in the notes and
+    # as SVG artefacts when an output directory is given).
+    schedule = RoundSchedule(1.0)
+    figure1 = round_structure_rows(3)
+    figure2 = active_phase_rows(4 if not quick else 3)
+    report.add_note("Figure 1 (three rounds):\n" + render_schedule_ascii(figure1))
+    report.add_note("Figure 2 (structure of one active phase):\n" + render_schedule_ascii(figure2))
+    report.add_check(
+        "each round's inactive and active phases have equal length 2 S(n)",
+        all(
+            abs(schedule.inactive_phase(n).duration - 2.0 * search_all_time(n)) <= 1e-9
+            and abs(schedule.active_phase(n).duration - 2.0 * search_all_time(n)) <= 1e-9
+            for n in range(1, rounds + 1)
+        ),
+    )
+    if output_dir is not None:
+        from ..viz import plot_schedule_svg
+
+        plot_schedule_svg(figure1, Path(output_dir) / "figure1_rounds.svg", title="Figure 1")
+        plot_schedule_svg(figure2, Path(output_dir) / "figure2_active_phase.svg", title="Figure 2")
+    return finalize_report(report, output_dir)

@@ -1,0 +1,152 @@
+"""E10 -- Baseline comparison: the price of not knowing d and r.
+
+Algorithm 4 is universal: it knows neither the target distance ``d`` nor
+the visibility ``r``.  The experiment compares it, on a shared instance
+suite, against
+
+* two *clairvoyant* baselines that know ``r`` (concentric circles and an
+  expanding square lawnmower) -- these should win, by roughly the
+  ``log(d^2/r)`` factor the paper pays for universality, and
+* a naive universal baseline (diagonal hedging over guesses of ``d`` and
+  ``r``) -- Algorithm 4 should win against it, because its per-annulus
+  granularity choice balances the work geometrically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..algorithms import (
+    ConcentricCoverageSearch,
+    DiagonalHedgingSearch,
+    ExpandingSquareSearch,
+    UniversalSearch,
+)
+from ..analysis import ExperimentReport, Table, geometric_mean, log_log_slope
+from ..core import theorem1_search_bound
+from ..geometry import Vec2
+from ..simulation import SearchInstance, bound_multiple_horizon, fixed_horizon, simulate_search
+from ..workloads import baseline_comparison_suite
+from .base import finalize_report
+
+EXPERIMENT_ID = "E10"
+TITLE = "Algorithm 4 vs clairvoyant and naive-universal search baselines"
+PAPER_REFERENCE = "Section 2 (context: the cost of unknown d and r)"
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_REFERENCE", "run"]
+
+
+def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> ExperimentReport:
+    """Run the baseline comparison on the shared suite."""
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    instances = baseline_comparison_suite(count=4 if quick else 10)
+
+    table = Table(
+        columns=[
+            "d",
+            "r",
+            "d^2/r",
+            "Algorithm 4",
+            "concentric (knows r)",
+            "square (knows r)",
+            "diagonal hedging",
+        ],
+        title="Search times of Algorithm 4 and the baselines",
+    )
+    universal_times = []
+    concentric_times = []
+    square_times = []
+    diagonal_times = []
+    for instance in instances:
+        bound = theorem1_search_bound(instance.distance, instance.visibility)
+        horizon = bound_multiple_horizon(bound, 1.5)
+        generous = fixed_horizon(bound * 40.0)
+
+        universal = simulate_search(UniversalSearch(), instance, horizon)
+        concentric = simulate_search(
+            ConcentricCoverageSearch(instance.visibility), instance, horizon
+        )
+        square = simulate_search(ExpandingSquareSearch(instance.visibility), instance, horizon)
+        diagonal = simulate_search(DiagonalHedgingSearch(), instance, generous)
+
+        universal_times.append(universal.time)
+        concentric_times.append(concentric.time)
+        square_times.append(square.time)
+        diagonal_times.append(diagonal.time if diagonal.solved else float("nan"))
+        table.add_row(
+            [
+                instance.distance,
+                instance.visibility,
+                instance.difficulty,
+                universal.time,
+                concentric.time,
+                square.time,
+                diagonal.time if diagonal.solved else "timeout",
+            ]
+        )
+    report.add_table(table)
+
+    clairvoyant_advantage = geometric_mean(
+        [u / c for u, c in zip(universal_times, concentric_times)]
+    )
+    report.add_note(
+        f"clairvoyant concentric search wins by a geometric-mean factor of "
+        f"{clairvoyant_advantage:.2f}x over Algorithm 4 (the price of not knowing r)"
+    )
+    report.add_check(
+        "the clairvoyant concentric baseline is faster than Algorithm 4 on average",
+        clairvoyant_advantage > 1.0,
+        f"geometric mean ratio {clairvoyant_advantage:.2f}",
+    )
+    report.add_check(
+        "every searcher found the target on every instance (correctness of all baselines)",
+        all(time == time for time in diagonal_times),
+    )
+
+    # Part 2: scaling comparison against the naive universal baseline.  On
+    # easy instances the naive hedger can be faster (its early phases are
+    # tiny), so the meaningful claim is about growth: as the visibility
+    # shrinks at fixed distance, Algorithm 4's time grows like
+    # (1/r) log(1/r) while the hedger's grows like (1/r)^2.
+    scaling_table = Table(
+        columns=["r", "Algorithm 4 (summed)", "diagonal hedging (summed)", "hedging / Algorithm 4"],
+        title="Growth with shrinking visibility (summed over two fixed targets)",
+    )
+    targets = (Vec2.polar(1.29, 2.0), Vec2.polar(1.73, 0.9))
+    visibilities = (0.2, 0.0125) if quick else (0.2, 0.05, 0.0125)
+    universal_sweep = []
+    diagonal_sweep = []
+    for visibility in visibilities:
+        universal_total = 0.0
+        diagonal_total = 0.0
+        for target in targets:
+            instance = SearchInstance(target=target, visibility=visibility)
+            bound = theorem1_search_bound(instance.distance, visibility)
+            universal_total += simulate_search(
+                UniversalSearch(), instance, bound_multiple_horizon(bound, 1.5)
+            ).time
+            diagonal_total += simulate_search(
+                DiagonalHedgingSearch(), instance, fixed_horizon(bound * 80.0)
+            ).time
+        universal_sweep.append(universal_total)
+        diagonal_sweep.append(diagonal_total)
+        scaling_table.add_row(
+            [visibility, universal_total, diagonal_total, diagonal_total / universal_total]
+        )
+    report.add_table(scaling_table)
+    inverse_visibilities = [1.0 / v for v in visibilities]
+    universal_slope = log_log_slope(inverse_visibilities, universal_sweep)
+    diagonal_slope = log_log_slope(inverse_visibilities, diagonal_sweep)
+    report.add_note(
+        f"log-log growth in 1/r at fixed d: Algorithm 4 slope {universal_slope:.2f}, "
+        f"diagonal hedging slope {diagonal_slope:.2f} (the hedger pays roughly the square)"
+    )
+    report.add_check(
+        "Algorithm 4 scales better with shrinking visibility than the naive universal baseline",
+        diagonal_slope > universal_slope,
+        f"slopes {diagonal_slope:.2f} vs {universal_slope:.2f}",
+    )
+    return finalize_report(report, output_dir)

@@ -1,0 +1,153 @@
+"""E12 -- Extension: multi-robot gathering (the paper's future-work direction).
+
+This experiment goes beyond the paper (see the scope note in DESIGN.md).  It
+lifts the two-robot results pairwise to small swarms and checks the
+predictions that follow directly from Theorem 4:
+
+* a swarm whose members all have distinct speeds meets pairwise, and every
+  pairwise meeting respects the corresponding Theorem 2/3 bound;
+* a swarm containing two attribute-identical robots cannot gather pairwise
+  (that pair never meets), yet *connectivity* gathering is still achieved
+  through a third, attribute-distinct robot -- the feasibility graph, not the
+  complete graph, is what matters.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..algorithms import UniversalSearch
+from ..analysis import ExperimentReport, Table
+from ..core import rendezvous_time_bound
+from ..geometry import Vec2
+from ..gathering import GatheringInstance, simulate_gathering, swarm_feasibility
+from ..robots import RobotAttributes
+from ..simulation import RendezvousInstance
+from .base import finalize_report
+
+EXPERIMENT_ID = "E12"
+TITLE = "Extension: pairwise and connectivity gathering of small swarms"
+PAPER_REFERENCE = "Section 5 (conclusions / future work); builds on Theorems 2-4"
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_REFERENCE", "run"]
+
+_HORIZON = 20000.0
+
+
+def _heterogeneous_swarm(size: int) -> GatheringInstance:
+    speeds = [0.5 + 0.25 * index for index in range(size)]
+    positions = [Vec2.polar(0.9, 2.1 * index) for index in range(size)]
+    attributes = [RobotAttributes(speed=speed) for speed in speeds]
+    return GatheringInstance.create(positions, attributes, visibility=0.4)
+
+
+def _swarm_with_twins() -> GatheringInstance:
+    return GatheringInstance.create(
+        [Vec2(0.0, 0.0), Vec2(1.2, 0.0), Vec2(0.5, 0.9)],
+        [RobotAttributes(), RobotAttributes(), RobotAttributes(time_unit=0.5)],
+        visibility=0.45,
+    )
+
+
+def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> ExperimentReport:
+    """Run the gathering extension experiment."""
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+
+    # Part 1: fully heterogeneous swarm -- every pair must meet, each within
+    # its own two-robot bound.  All clocks are equal in this swarm, so every
+    # robot runs Algorithm 4 (the regime of Theorem 2, whose bound is the
+    # yardstick below); the twins swarm of part 2 exercises Algorithm 7.
+    swarm = _heterogeneous_swarm(3 if quick else 4)
+    feasibility = swarm_feasibility(swarm)
+    outcome = simulate_gathering(swarm, horizon=_HORIZON, algorithm=UniversalSearch())
+    table = Table(
+        columns=["pair", "initial distance", "feasible", "met", "time", "two-robot bound", "within bound"],
+        title=f"Pairwise meetings of a {swarm.size}-robot swarm with distinct speeds",
+    )
+    all_within_bound = True
+    for result in outcome.pairwise:
+        i, j = result.first, result.second
+        # Normalise the pair to the paper's reference frame: distances are
+        # expressed in the observer's distance unit and the resulting bound
+        # (stated in the observer's local time) is converted back to global
+        # time with the observer's clock unit.
+        observer = swarm.members[i].attributes
+        unit = observer.speed * observer.time_unit
+        relative_instance = RendezvousInstance(
+            separation=(swarm.members[j].position - swarm.members[i].position) / unit,
+            visibility=swarm.visibility / unit,
+            attributes=_relative(swarm, i, j),
+        )
+        local_bound = rendezvous_time_bound(relative_instance)
+        bound = local_bound * observer.time_unit if local_bound is not None else None
+        within = result.met and bound is not None and result.time <= bound
+        all_within_bound = all_within_bound and within
+        table.add_row(
+            [
+                f"(R{i}, R{j})",
+                swarm.pair_distance(i, j),
+                result.feasible,
+                result.met,
+                result.time if result.met else "-",
+                bound if bound is not None else "-",
+                within,
+            ]
+        )
+    report.add_table(table)
+    report.add_check(
+        "a swarm with pairwise-distinct speeds is predicted fully gatherable",
+        feasibility.pairwise_gathering_feasible,
+    )
+    report.add_check("every pair of the heterogeneous swarm met in simulation", outcome.all_pairs_met)
+    report.add_check(
+        "every pairwise meeting respects its two-robot time bound", all_within_bound
+    )
+    report.add_check(
+        "connectivity gathering never happens later than pairwise gathering",
+        outcome.connectivity_gathering_time is not None
+        and outcome.connectivity_gathering_time <= outcome.pairwise_gathering_time + 1e-9,
+    )
+
+    # Part 2: a swarm containing attribute-identical twins.
+    twins = _swarm_with_twins()
+    twins_feasibility = swarm_feasibility(twins)
+    twins_outcome = simulate_gathering(twins, horizon=_HORIZON)
+    twins_table = Table(
+        columns=["pair", "feasible", "met", "time"],
+        title="Swarm containing two attribute-identical robots",
+    )
+    for result in twins_outcome.pairwise:
+        twins_table.add_row(
+            [
+                f"(R{result.first}, R{result.second})",
+                result.feasible,
+                result.met,
+                result.time if result.met else "-",
+            ]
+        )
+    report.add_table(twins_table)
+    report.add_check(
+        "the twin pair is predicted infeasible and indeed never meets",
+        not twins_feasibility.pairwise_gathering_feasible
+        and not twins_outcome.result_for(0, 1).met,
+    )
+    report.add_check(
+        "connectivity gathering is still predicted feasible and achieved through the third robot",
+        twins_feasibility.connectivity_gathering_feasible
+        and twins_outcome.connectivity_gathering_time is not None,
+    )
+    report.add_note(
+        "this experiment is an extension beyond the paper: it applies the paper's pairwise "
+        "theory to swarms; 'gathering at a single point' in the strong sense remains open, as "
+        "the paper notes"
+    )
+    return finalize_report(report, output_dir)
+
+
+def _relative(swarm: GatheringInstance, i: int, j: int) -> RobotAttributes:
+    from ..gathering import relative_attributes
+
+    return relative_attributes(swarm.members[i].attributes, swarm.members[j].attributes)

@@ -1,0 +1,65 @@
+"""F01 -- Figure 1: three rounds of Algorithm 7.
+
+Figure 1 of the paper illustrates the alternation of inactive and active
+phases over the first three rounds.  The experiment regenerates the exact
+interval structure from Lemma 8, renders it (ASCII inline, SVG artefact)
+and checks the structural properties the figure conveys: phases alternate,
+inactive and active phases of a round have equal length, and each round is
+twice as long per unit ``n 2^n`` as prescribed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..analysis import ExperimentReport, Table
+from ..core import RoundSchedule, round_duration, search_all_time
+from ..viz import plot_schedule_svg, render_schedule_ascii, round_structure_rows
+from .base import finalize_report
+
+EXPERIMENT_ID = "F01"
+TITLE = "Figure 1: inactive/active phases of the first three rounds"
+PAPER_REFERENCE = "Figure 1, Section 4"
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_REFERENCE", "run"]
+
+
+def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> ExperimentReport:
+    """Regenerate Figure 1."""
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    rounds = 3
+    schedule = RoundSchedule(1.0)
+
+    table = Table(
+        columns=["round", "inactive start", "active start", "round end", "phase length", "round length"],
+        title="Figure 1 interval data",
+    )
+    structure_ok = True
+    previous_end = 0.0
+    for n in range(1, rounds + 1):
+        inactive = schedule.inactive_phase(n)
+        active = schedule.active_phase(n)
+        structure_ok = structure_ok and abs(inactive.start - previous_end) <= 1e-9
+        structure_ok = structure_ok and abs(inactive.end - active.start) <= 1e-9
+        structure_ok = structure_ok and abs(inactive.duration - active.duration) <= 1e-9
+        structure_ok = structure_ok and abs(
+            (active.end - inactive.start) - round_duration(n)
+        ) <= 1e-9
+        structure_ok = structure_ok and abs(inactive.duration - 2.0 * search_all_time(n)) <= 1e-9
+        previous_end = active.end
+        table.add_row(
+            [n, inactive.start, active.start, active.end, inactive.duration, active.end - inactive.start]
+        )
+    report.add_table(table)
+    rows = round_structure_rows(rounds)
+    report.add_note("Figure 1 rendering (w = inactive/waiting, a = active):\n" + render_schedule_ascii(rows))
+    report.add_check(
+        "phases alternate contiguously, inactive = active = 2 S(n), round length = 4 S(n)",
+        structure_ok,
+    )
+    if output_dir is not None:
+        plot_schedule_svg(rows, Path(output_dir) / "figure1.svg", title="Figure 1: three rounds")
+    return finalize_report(report, output_dir)

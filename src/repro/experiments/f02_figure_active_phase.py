@@ -1,0 +1,66 @@
+"""F02 -- Figure 2: the structure of one active phase.
+
+Figure 2 shows that the active phase of round ``n`` consists of
+``SearchAll(n)`` (rounds ``Search(1) .. Search(n)``) immediately followed
+by ``SearchAllRev(n)`` (the same rounds in reverse).  The experiment
+regenerates that breakdown from the schedule, cross-checks it against the
+actual segment stream of Algorithm 7, and renders the diagram.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..algorithms import SearchAll, SearchAllRev
+from ..analysis import ExperimentReport, Table
+from ..core import RoundSchedule, search_all_time, search_round_duration
+from ..viz import active_phase_rows, plot_schedule_svg, render_schedule_ascii
+from .base import finalize_report
+
+EXPERIMENT_ID = "F02"
+TITLE = "Figure 2: structure of the active phase of round n"
+PAPER_REFERENCE = "Figure 2, Section 4"
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_REFERENCE", "run"]
+
+
+def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> ExperimentReport:
+    """Regenerate Figure 2."""
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    n = 3 if quick else 4
+    schedule = RoundSchedule(1.0)
+    breakdown = schedule.active_phase_breakdown(n)
+
+    table = Table(
+        columns=["position", "sub-algorithm", "start", "end", "duration", "Lemma 2 duration"],
+        title=f"Figure 2 interval data (round n = {n})",
+    )
+    durations_ok = True
+    expected_order = [f"Search({k})" for k in list(range(1, n + 1)) + list(range(n, 0, -1))]
+    order_ok = [label for label, _, _ in breakdown] == expected_order
+    for position, (label, start, end) in enumerate(breakdown):
+        k = int(label[7:-1])
+        predicted = search_round_duration(k)
+        durations_ok = durations_ok and abs((end - start) - predicted) <= 1e-9 * predicted
+        table.add_row([position, label, start, end, end - start, predicted])
+    report.add_table(table)
+
+    half_duration = sum(end - start for _, start, end in breakdown[:n])
+    report.add_check("the sub-algorithms appear in the order SearchAll(n) then SearchAllRev(n)", order_ok)
+    report.add_check("every Search(k) block has its Lemma 2 duration", durations_ok)
+    report.add_check(
+        "the first half of the active phase lasts exactly S(n)",
+        abs(half_duration - search_all_time(n)) <= 1e-9 * search_all_time(n),
+    )
+    report.add_check(
+        "SearchAll(n) and SearchAllRev(n) cover the same walk length",
+        abs(SearchAll(n).path_length() - SearchAllRev(n).path_length()) <= 1e-9,
+    )
+    rows = active_phase_rows(n)
+    report.add_note("Figure 2 rendering (digits = round index k):\n" + render_schedule_ascii(rows))
+    if output_dir is not None:
+        plot_schedule_svg(rows, Path(output_dir) / "figure2.svg", title=f"Figure 2: active phase of round {n}")
+    return finalize_report(report, output_dir)

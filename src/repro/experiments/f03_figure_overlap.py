@@ -1,0 +1,88 @@
+"""F03 -- Figure 3: the two overlap configurations.
+
+Figure 3 illustrates the two ways in which an active phase of R can
+overlap an inactive phase of R': (a) R' becomes inactive before R becomes
+active (Lemma 9), and (b) R becomes active while R' is still inactive
+from an earlier round (Lemma 10).  The experiment picks clock ratios that
+realise each configuration, regenerates the two-robot schedule diagram,
+and checks that the realised overlap window matches the corresponding
+lemma's window.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..analysis import ExperimentReport, Table
+from ..core import (
+    decompose_tau,
+    lemma9_applies,
+    lemma9_overlap_amount,
+    lemma10_applies,
+    lemma10_overlap_amount,
+    measured_overlap,
+)
+from ..viz import overlap_rows, plot_schedule_svg, render_schedule_ascii
+from .base import finalize_report
+
+EXPERIMENT_ID = "F03"
+TITLE = "Figure 3: the two active/inactive overlap configurations"
+PAPER_REFERENCE = "Figure 3, Lemmas 9-10, Section 4"
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "PAPER_REFERENCE", "run"]
+
+#: (tau, active round) pairs chosen so that the first realises the
+#: Figure 3(a)/Lemma 9 configuration and the second Figure 3(b)/Lemma 10.
+_CASES = ((0.55, 10), (0.8, 10))
+
+
+def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> ExperimentReport:
+    """Regenerate Figure 3."""
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    table = Table(
+        columns=["tau", "a", "configuration", "active round", "inactive round", "claimed", "measured", "realised"],
+        title="Figure 3 overlap windows",
+    )
+    both_configurations = {"a": False, "b": False}
+    claims_ok = True
+    for tau, base_round in _CASES:
+        decomposition = decompose_tau(tau)
+        a = decomposition.a
+        for k in range(max(2 * (a + 1), base_round - 4), base_round + 6):
+            if lemma9_applies(k, a, tau):
+                claimed = lemma9_overlap_amount(k, a, tau)
+                window = measured_overlap(k, k + 1 + a, tau)
+                realised = window.amount > 0.0
+                both_configurations["a"] = both_configurations["a"] or realised
+                claims_ok = claims_ok and claimed <= window.amount + 1e-6
+                table.add_row(
+                    [tau, a, "Figure 3(a) / Lemma 9", k, k + 1 + a, claimed, window.amount, realised]
+                )
+                break
+        for k in range(max(2 * (a + 1), base_round - 4), base_round + 6):
+            if lemma10_applies(k, a, tau):
+                claimed = lemma10_overlap_amount(k, a, tau)
+                window = measured_overlap(k - 1, k + a, tau)
+                realised = window.amount > 0.0
+                both_configurations["b"] = both_configurations["b"] or realised
+                claims_ok = claims_ok and claimed <= window.amount + 1e-6
+                table.add_row(
+                    [tau, a, "Figure 3(b) / Lemma 10", k - 1, k + a, claimed, window.amount, realised]
+                )
+                break
+    report.add_table(table)
+    report.add_check("the Figure 3(a) configuration is realised by some examined round", both_configurations["a"])
+    report.add_check("the Figure 3(b) configuration is realised by some examined round", both_configurations["b"])
+    report.add_check("the realised overlaps are at least the lemmas' claimed amounts", claims_ok)
+
+    rows = overlap_rows(6, _CASES[0][0])
+    report.add_note(
+        "Figure 3 rendering (two robots' schedules on the global time axis; w = inactive, a = active):\n"
+        + render_schedule_ascii(rows)
+    )
+    if output_dir is not None:
+        plot_schedule_svg(rows, Path(output_dir) / "figure3.svg", title="Figure 3: schedules of both robots")
+    return finalize_report(report, output_dir)

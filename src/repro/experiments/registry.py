@@ -1,0 +1,99 @@
+"""Registry of all experiments.
+
+Maps experiment identifiers (E01-E11, F01-F03) to their ``run`` functions
+and metadata.  Used by the CLI, the run-all driver and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..analysis import ExperimentReport
+from ..errors import ExperimentError
+from . import (
+    e01_search_bound,
+    e02_timing_formulas,
+    e03_round_lower_bound,
+    e04_symmetric_clock_rv,
+    e05_mirrored_rv,
+    e06_feasibility_map,
+    e07_schedule,
+    e08_overlap,
+    e09_async_rounds,
+    e10_baselines,
+    e11_ablation,
+    e12_gathering,
+    e13_near_symmetry,
+    f01_figure_rounds,
+    f02_figure_active_phase,
+    f03_figure_overlap,
+)
+
+__all__ = ["ExperimentEntry", "experiment_ids", "get_experiment", "run_experiment"]
+
+RunFunction = Callable[..., ExperimentReport]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentEntry:
+    """One registered experiment."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    run: RunFunction
+
+
+_MODULES = (
+    e01_search_bound,
+    e02_timing_formulas,
+    e03_round_lower_bound,
+    e04_symmetric_clock_rv,
+    e05_mirrored_rv,
+    e06_feasibility_map,
+    e07_schedule,
+    e08_overlap,
+    e09_async_rounds,
+    e10_baselines,
+    e11_ablation,
+    e12_gathering,
+    e13_near_symmetry,
+    f01_figure_rounds,
+    f02_figure_active_phase,
+    f03_figure_overlap,
+)
+
+_REGISTRY: dict[str, ExperimentEntry] = {
+    module.EXPERIMENT_ID: ExperimentEntry(
+        experiment_id=module.EXPERIMENT_ID,
+        title=module.TITLE,
+        paper_reference=module.PAPER_REFERENCE,
+        run=module.run,
+    )
+    for module in _MODULES
+}
+
+
+def experiment_ids() -> list[str]:
+    """Sorted list of registered experiment identifiers."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    """Look up an experiment by identifier (case insensitive)."""
+    key = experiment_id.upper()
+    try:
+        return _REGISTRY[key]
+    except KeyError as error:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(experiment_ids())}"
+        ) from error
+
+
+def run_experiment(
+    experiment_id: str, output_dir: Optional[Path | str] = None, quick: bool = False
+) -> ExperimentReport:
+    """Run one experiment by identifier."""
+    return get_experiment(experiment_id).run(output_dir=output_dir, quick=quick)

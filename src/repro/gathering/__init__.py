@@ -1,0 +1,23 @@
+"""Multi-robot gathering extension (the paper's stated future-work direction).
+
+Everything in this subpackage goes *beyond* the paper: it lifts the two-robot
+results to a swarm by applying them pairwise.  See DESIGN.md for the scope
+note and experiment E12 for the accompanying evaluation.
+"""
+
+from .engine import GatheringOutcome, PairwiseResult, simulate_gathering
+from .feasibility import SwarmFeasibility, swarm_feasibility
+from .instance import GatheringInstance, SwarmMember
+from .relative import pair_feasibility, relative_attributes
+
+__all__ = [
+    "GatheringOutcome",
+    "PairwiseResult",
+    "simulate_gathering",
+    "SwarmFeasibility",
+    "swarm_feasibility",
+    "GatheringInstance",
+    "SwarmMember",
+    "pair_feasibility",
+    "relative_attributes",
+]

@@ -1,0 +1,165 @@
+"""Simulation of multi-robot gathering via pairwise rendezvous.
+
+Every robot of the swarm runs the *same* mobility algorithm (each in its own
+frame), exactly as in the two-robot model; robots do not change behaviour
+when they meet (the model gives them no way to agree on having met, short of
+extra assumptions), so the pairwise meeting times are independent and the
+whole gathering outcome is determined by the matrix of pairwise first-contact
+times:
+
+* *pairwise gathering time*  = the latest pairwise meeting time;
+* *connectivity gathering time* = the earliest time at which the "has met"
+  graph is connected (the bottleneck edge of a minimum spanning tree over
+  meeting times, computed with networkx).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import networkx as nx
+
+from ..algorithms.base import MobilityAlgorithm
+from ..algorithms.wait_search import WaitAndSearchRendezvous
+from ..constants import TIME_TOLERANCE
+from ..errors import InvalidParameterError
+from ..simulation import HorizonPolicy, SimulationOutcome, simulate_robot_pair
+from .feasibility import swarm_feasibility
+from .instance import GatheringInstance
+
+__all__ = ["PairwiseResult", "GatheringOutcome", "simulate_gathering"]
+
+
+@dataclass(frozen=True, slots=True)
+class PairwiseResult:
+    """First-contact result for one pair of swarm members."""
+
+    first: int
+    second: int
+    feasible: bool
+    outcome: SimulationOutcome
+
+    @property
+    def met(self) -> bool:
+        """True when the pair saw each other before the horizon."""
+        return self.outcome.solved
+
+    @property
+    def time(self) -> Optional[float]:
+        """Meeting time, or None when the pair did not meet."""
+        return self.outcome.time if self.outcome.solved else None
+
+
+@dataclass(frozen=True)
+class GatheringOutcome:
+    """Everything measured about one gathering simulation."""
+
+    instance: GatheringInstance
+    pairwise: tuple[PairwiseResult, ...]
+    horizon: float
+
+    # -- raw access -------------------------------------------------------------
+    def result_for(self, i: int, j: int) -> PairwiseResult:
+        """The pairwise result for members ``i`` and ``j`` (any order)."""
+        low, high = min(i, j), max(i, j)
+        for result in self.pairwise:
+            if (result.first, result.second) == (low, high):
+                return result
+        raise InvalidParameterError(f"no pairwise result recorded for ({i}, {j})")
+
+    def meeting_graph(self, until: Optional[float] = None) -> nx.Graph:
+        """The "has met by ``until``" graph (all recorded meetings by default)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.instance.size))
+        for result in self.pairwise:
+            if result.met and (until is None or result.time <= until):
+                graph.add_edge(result.first, result.second, time=result.time)
+        return graph
+
+    # -- gathering criteria ----------------------------------------------------------
+    @property
+    def all_pairs_met(self) -> bool:
+        """True when every pair saw each other before the horizon."""
+        return all(result.met for result in self.pairwise)
+
+    @property
+    def pairwise_gathering_time(self) -> Optional[float]:
+        """Latest pairwise meeting time (None when some pair never met)."""
+        if not self.all_pairs_met:
+            return None
+        return max(result.time for result in self.pairwise)
+
+    @property
+    def connectivity_gathering_time(self) -> Optional[float]:
+        """Earliest time the meeting graph is connected (None if never).
+
+        This is the bottleneck edge weight of a minimum spanning tree of the
+        meeting-time graph: the graph restricted to edges with time <= T is
+        connected exactly when T is at least that bottleneck.
+        """
+        graph = self.meeting_graph()
+        if graph.number_of_nodes() < 2 or not nx.is_connected(graph):
+            return None
+        spanning_tree = nx.minimum_spanning_tree(graph, weight="time")
+        return max(data["time"] for _, _, data in spanning_tree.edges(data=True))
+
+    def describe(self) -> str:
+        """Human-readable outcome summary."""
+        lines = [self.instance.describe(), f"horizon {self.horizon:g}"]
+        for result in self.pairwise:
+            status = f"met at t={result.time:.4g}" if result.met else "did not meet"
+            feasibility = "feasible" if result.feasible else "infeasible"
+            lines.append(f"  (R{result.first}, R{result.second}) [{feasibility}]: {status}")
+        pairwise_time = self.pairwise_gathering_time
+        connectivity_time = self.connectivity_gathering_time
+        lines.append(
+            "pairwise gathering: "
+            + (f"t = {pairwise_time:.4g}" if pairwise_time is not None else "not achieved")
+        )
+        lines.append(
+            "connectivity gathering: "
+            + (f"t = {connectivity_time:.4g}" if connectivity_time is not None else "not achieved")
+        )
+        return "\n".join(lines)
+
+
+def simulate_gathering(
+    instance: GatheringInstance,
+    horizon: HorizonPolicy | float,
+    algorithm: Optional[MobilityAlgorithm] = None,
+    time_tolerance: float = TIME_TOLERANCE,
+) -> GatheringOutcome:
+    """Simulate every pair of the swarm running ``algorithm``.
+
+    Args:
+        instance: the swarm.
+        horizon: per-pair simulation horizon (a pair whose rendezvous is
+            infeasible will simply run to this horizon without meeting).
+        algorithm: mobility algorithm used by every robot; defaults to the
+            universal Algorithm 7 (it covers all feasible attribute
+            combinations, per Theorem 4).
+        time_tolerance: event-detection tolerance.
+    """
+    algorithm = algorithm if algorithm is not None else WaitAndSearchRendezvous()
+    feasibility = swarm_feasibility(instance)
+    robots = instance.robots()
+    limit = horizon.limit if isinstance(horizon, HorizonPolicy) else float(horizon)
+    if not (limit > 0.0 and math.isfinite(limit)):
+        raise InvalidParameterError(f"the horizon must be positive and finite, got {horizon!r}")
+
+    results = []
+    for i, j in instance.pairs():
+        outcome = simulate_robot_pair(
+            algorithm, robots[i], robots[j], instance.visibility, limit, time_tolerance
+        )
+        results.append(
+            PairwiseResult(
+                first=i,
+                second=j,
+                feasible=feasibility.pair_verdicts[(i, j)].feasible,
+                outcome=outcome,
+            )
+        )
+    return GatheringOutcome(instance=instance, pairwise=tuple(results), horizon=limit)

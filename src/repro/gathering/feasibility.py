@@ -1,0 +1,81 @@
+"""Feasibility of gathering, derived pairwise from Theorem 4.
+
+A pair of robots can be forced together iff their relative attributes
+satisfy Theorem 4.  Lifting that to a swarm:
+
+* *pairwise gathering* (every pair meets) is feasible iff **every** pair is
+  feasible;
+* *connectivity gathering* (the meeting graph becomes connected) is feasible
+  iff the **feasibility graph** -- robots as nodes, feasible pairs as edges --
+  is connected: along a spanning tree of feasible pairs every meeting can be
+  forced, while robots in different components of the feasibility graph can
+  be placed so that no pair across the cut ever meets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import networkx as nx
+
+from ..core.feasibility import FeasibilityVerdict
+from .instance import GatheringInstance
+from .relative import pair_feasibility
+
+__all__ = ["SwarmFeasibility", "swarm_feasibility"]
+
+
+@dataclass(frozen=True)
+class SwarmFeasibility:
+    """Pairwise and swarm-level feasibility verdicts."""
+
+    pair_verdicts: Dict[Tuple[int, int], FeasibilityVerdict]
+    size: int
+
+    @property
+    def feasibility_graph(self) -> nx.Graph:
+        """Graph with an edge for every feasible pair."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.size))
+        for (i, j), verdict in self.pair_verdicts.items():
+            if verdict.feasible:
+                graph.add_edge(i, j)
+        return graph
+
+    @property
+    def pairwise_gathering_feasible(self) -> bool:
+        """True when every pair of the swarm can be forced to meet."""
+        return all(verdict.feasible for verdict in self.pair_verdicts.values())
+
+    @property
+    def connectivity_gathering_feasible(self) -> bool:
+        """True when the feasibility graph is connected."""
+        graph = self.feasibility_graph
+        return graph.number_of_nodes() > 0 and nx.is_connected(graph)
+
+    def infeasible_pairs(self) -> list[Tuple[int, int]]:
+        """The pairs Theorem 4 declares impossible."""
+        return [pair for pair, verdict in self.pair_verdicts.items() if not verdict.feasible]
+
+    def describe(self) -> str:
+        """Human-readable summary."""
+        lines = [
+            f"swarm of {self.size} robots: "
+            f"pairwise gathering {'feasible' if self.pairwise_gathering_feasible else 'infeasible'}, "
+            f"connectivity gathering "
+            f"{'feasible' if self.connectivity_gathering_feasible else 'infeasible'}"
+        ]
+        for (i, j), verdict in sorted(self.pair_verdicts.items()):
+            lines.append(f"  (R{i}, R{j}): {verdict.describe()}")
+        return "\n".join(lines)
+
+
+def swarm_feasibility(instance: GatheringInstance) -> SwarmFeasibility:
+    """Apply Theorem 4 to every pair of the swarm."""
+    verdicts: Dict[Tuple[int, int], FeasibilityVerdict] = {}
+    for i, j in instance.pairs():
+        verdicts[(i, j)] = pair_feasibility(
+            instance.members[i].attributes, instance.members[j].attributes
+        )
+    return SwarmFeasibility(pair_verdicts=verdicts, size=instance.size)

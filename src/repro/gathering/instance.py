@@ -1,0 +1,102 @@
+"""Gathering instances: a swarm of robots with heterogeneous attributes.
+
+The paper's conclusion lists "deterministic gathering for multiple robots in
+this setting of minimal knowledge" as an open direction.  This extension
+(documented as such in DESIGN.md) explores the natural first step: every
+robot runs the paper's pairwise rendezvous algorithm, and we ask when pairs
+of robots see each other.
+
+Two gathering criteria are exposed:
+
+* **pairwise gathering** -- every pair of robots has seen each other; this is
+  the strongest notion expressible without changing the robots' behaviour on
+  contact, and it is feasible iff every pair satisfies Theorem 4.
+* **connectivity gathering** -- the "has seen" graph becomes connected; once
+  connected, robots could in principle relay information / elect a meeting
+  point, so this is the natural relaxed notion.  It can be feasible even when
+  some pairs are attribute-identical, as long as the *feasibility graph* is
+  connected.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+from ..geometry import Vec2
+from ..robots import Robot, RobotAttributes
+
+__all__ = ["SwarmMember", "GatheringInstance"]
+
+
+@dataclass(frozen=True, slots=True)
+class SwarmMember:
+    """One robot of the swarm: a start position and an attribute vector."""
+
+    position: Vec2
+    attributes: RobotAttributes
+
+    def robot(self, name: str) -> Robot:
+        """Materialise the member as a :class:`~repro.robots.Robot`."""
+        return Robot(name=name, start=self.position, attributes=self.attributes)
+
+
+@dataclass(frozen=True)
+class GatheringInstance:
+    """A swarm of robots plus the common visibility radius."""
+
+    members: tuple[SwarmMember, ...]
+    visibility: float
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise InvalidParameterError("a gathering instance needs at least two robots")
+        if not (self.visibility > 0.0 and math.isfinite(self.visibility)):
+            raise InvalidParameterError(
+                f"visibility must be positive and finite, got {self.visibility!r}"
+            )
+        for index, first in enumerate(self.members):
+            for second in self.members[index + 1 :]:
+                if first.position.distance_to(second.position) == 0.0:
+                    raise InvalidParameterError("robots must start at pairwise distinct locations")
+
+    @staticmethod
+    def create(
+        positions: list[Vec2], attributes: list[RobotAttributes], visibility: float
+    ) -> "GatheringInstance":
+        """Build an instance from parallel position/attribute lists."""
+        if len(positions) != len(attributes):
+            raise InvalidParameterError("positions and attributes must have the same length")
+        members = tuple(
+            SwarmMember(position=position, attributes=attribute)
+            for position, attribute in zip(positions, attributes)
+        )
+        return GatheringInstance(members=members, visibility=visibility)
+
+    @property
+    def size(self) -> int:
+        """Number of robots in the swarm."""
+        return len(self.members)
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """All index pairs ``(i, j)`` with ``i < j``."""
+        return [(i, j) for i in range(self.size) for j in range(i + 1, self.size)]
+
+    def pair_distance(self, i: int, j: int) -> float:
+        """Initial distance between members ``i`` and ``j``."""
+        return self.members[i].position.distance_to(self.members[j].position)
+
+    def robots(self) -> list[Robot]:
+        """All members materialised as robots (named R0, R1, ...)."""
+        return [member.robot(f"R{index}") for index, member in enumerate(self.members)]
+
+    def describe(self) -> str:
+        """Human-readable instance summary."""
+        lines = [f"gathering of {self.size} robots, visibility r = {self.visibility:g}"]
+        for index, member in enumerate(self.members):
+            lines.append(
+                f"  R{index} at ({member.position.x:.3g}, {member.position.y:.3g}) "
+                f"[{member.attributes.describe()}]"
+            )
+        return "\n".join(lines)

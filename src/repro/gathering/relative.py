@@ -1,0 +1,41 @@
+"""Pairwise relative attributes inside a swarm.
+
+The paper analyses two robots by normalising one of them to the reference
+frame (speed 1, clock 1, orientation 0, chirality +1).  For a swarm, every
+*pair* of robots can be normalised the same way: seen from robot ``i``,
+robot ``j`` has
+
+* speed ``v_j / v_i``,
+* time unit ``tau_j / tau_i``,
+* chirality ``chi_i * chi_j``,
+* orientation ``chi_i * (phi_j - phi_i)`` (the sign flip accounts for the
+  mirrored frame of a ``chi_i = -1`` observer; only whether the angle is a
+  multiple of ``2 pi`` matters for feasibility).
+
+This makes the Theorem 4 characterisation directly applicable to every pair,
+which is all the gathering extension needs.
+"""
+
+from __future__ import annotations
+
+from ..core.feasibility import FeasibilityVerdict, classify_feasibility
+from ..robots import RobotAttributes
+
+__all__ = ["relative_attributes", "pair_feasibility"]
+
+
+def relative_attributes(observer: RobotAttributes, other: RobotAttributes) -> RobotAttributes:
+    """Attributes of ``other`` expressed in ``observer``'s normalised frame."""
+    observer = observer.normalized()
+    other = other.normalized()
+    return RobotAttributes(
+        speed=other.speed / observer.speed,
+        time_unit=other.time_unit / observer.time_unit,
+        orientation=observer.chirality * (other.orientation - observer.orientation),
+        chirality=observer.chirality * other.chirality,
+    ).normalized()
+
+
+def pair_feasibility(observer: RobotAttributes, other: RobotAttributes) -> FeasibilityVerdict:
+    """Theorem 4 applied to the pair ``(observer, other)``."""
+    return classify_feasibility(relative_attributes(observer, other))

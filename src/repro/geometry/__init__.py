@@ -1,0 +1,60 @@
+"""Planar geometry substrate: vectors, angles, linear maps, frames, shapes."""
+
+from .angles import (
+    TWO_PI,
+    angle_difference,
+    is_zero_angle,
+    normalize_angle,
+    normalize_signed_angle,
+)
+from .distance import (
+    point_arc_distance,
+    point_segment_closest_point,
+    point_segment_distance,
+    segment_segment_distance,
+)
+from .frame import GLOBAL_FRAME, ReferenceFrame
+from .primitives import Annulus, Circle, Disc
+from .transforms import (
+    LinearMap2,
+    attribute_matrix,
+    identity,
+    mu_factor,
+    qr_factor_relative,
+    reflection_x,
+    relative_matrix,
+    rotation,
+    scaling,
+)
+from .vec import ORIGIN, UNIT_X, UNIT_Y, Vec2, centroid
+
+__all__ = [
+    "TWO_PI",
+    "angle_difference",
+    "is_zero_angle",
+    "normalize_angle",
+    "normalize_signed_angle",
+    "point_arc_distance",
+    "point_segment_closest_point",
+    "point_segment_distance",
+    "segment_segment_distance",
+    "GLOBAL_FRAME",
+    "ReferenceFrame",
+    "Annulus",
+    "Circle",
+    "Disc",
+    "LinearMap2",
+    "attribute_matrix",
+    "identity",
+    "mu_factor",
+    "qr_factor_relative",
+    "reflection_x",
+    "relative_matrix",
+    "rotation",
+    "scaling",
+    "ORIGIN",
+    "UNIT_X",
+    "UNIT_Y",
+    "Vec2",
+    "centroid",
+]

@@ -1,0 +1,70 @@
+"""Angle arithmetic helpers.
+
+Orientations in the paper live in ``[0, 2*pi)`` (the rotation of robot R'
+with respect to robot R) and chirality flips the sense of rotation, so a
+couple of normalisation helpers keep the rest of the code free of modular
+arithmetic bugs.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "TWO_PI",
+    "normalize_angle",
+    "normalize_signed_angle",
+    "angle_difference",
+    "is_zero_angle",
+    "degrees_to_radians",
+    "radians_to_degrees",
+]
+
+#: Full turn in radians.
+TWO_PI: float = 2.0 * math.pi
+
+
+def normalize_angle(angle: float) -> float:
+    """Reduce ``angle`` to the interval ``[0, 2*pi)``.
+
+    This is the canonical range of the orientation attribute ``phi``.
+    """
+    reduced = math.fmod(angle, TWO_PI)
+    if reduced < 0.0:
+        reduced += TWO_PI
+    # fmod of values extremely close to 2*pi can round back up to 2*pi.
+    if reduced >= TWO_PI:
+        reduced -= TWO_PI
+    return reduced
+
+
+def normalize_signed_angle(angle: float) -> float:
+    """Reduce ``angle`` to the interval ``(-pi, pi]``."""
+    reduced = normalize_angle(angle)
+    if reduced > math.pi:
+        reduced -= TWO_PI
+    return reduced
+
+
+def angle_difference(first: float, second: float) -> float:
+    """Smallest signed rotation taking ``second`` onto ``first``.
+
+    The result is in ``(-pi, pi]``.
+    """
+    return normalize_signed_angle(first - second)
+
+
+def is_zero_angle(angle: float, tolerance: float = 1e-12) -> bool:
+    """True when ``angle`` is a multiple of ``2*pi`` within ``tolerance``."""
+    reduced = normalize_angle(angle)
+    return reduced <= tolerance or TWO_PI - reduced <= tolerance
+
+
+def degrees_to_radians(degrees: float) -> float:
+    """Convert degrees to radians."""
+    return math.radians(degrees)
+
+
+def radians_to_degrees(radians: float) -> float:
+    """Convert radians to degrees."""
+    return math.degrees(radians)

@@ -1,0 +1,126 @@
+"""Exact distance computations between points and static curves.
+
+These helpers back two parts of the library:
+
+* the simulator's cheap lower bounds (distance from a static robot to the
+  segment or arc the other robot is tracing), and
+* the coverage tests of the search algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .angles import normalize_angle
+from .vec import Vec2
+
+__all__ = [
+    "point_segment_distance",
+    "point_segment_closest_point",
+    "point_arc_distance",
+    "segment_segment_distance",
+]
+
+
+def point_segment_closest_point(point: Vec2, start: Vec2, end: Vec2) -> Vec2:
+    """Closest point of the segment ``[start, end]`` to ``point``."""
+    direction = end - start
+    length_squared = direction.norm_squared()
+    if length_squared == 0.0:
+        return start
+    fraction = (point - start).dot(direction) / length_squared
+    fraction = min(1.0, max(0.0, fraction))
+    return start + direction * fraction
+
+
+def point_segment_distance(point: Vec2, start: Vec2, end: Vec2) -> float:
+    """Distance from ``point`` to the segment ``[start, end]``."""
+    return point.distance_to(point_segment_closest_point(point, start, end))
+
+
+def point_arc_distance(
+    point: Vec2,
+    center: Vec2,
+    radius: float,
+    start_angle: float,
+    sweep: float,
+) -> float:
+    """Distance from ``point`` to a circular arc.
+
+    The arc starts at polar angle ``start_angle`` (relative to ``center``)
+    and sweeps ``sweep`` radians (positive counter-clockwise, negative
+    clockwise).  ``abs(sweep)`` larger than ``2*pi`` is treated as the full
+    circle.
+    """
+    offset = point - center
+    distance_to_center = offset.norm()
+    if abs(sweep) >= 2.0 * math.pi - 1e-15:
+        return abs(distance_to_center - radius)
+    if distance_to_center == 0.0:
+        # The center is equidistant from every arc point.
+        return radius
+    point_angle = offset.angle()
+    # Express the point's angle relative to the arc start, in the sweep
+    # direction, reduced to [0, 2*pi).
+    if sweep >= 0.0:
+        relative = normalize_angle(point_angle - start_angle)
+        within = relative <= sweep
+    else:
+        relative = normalize_angle(start_angle - point_angle)
+        within = relative <= -sweep
+    if within:
+        return abs(distance_to_center - radius)
+    # Otherwise the closest arc point is one of the two endpoints.
+    start_point = center + Vec2.polar(radius, start_angle)
+    end_point = center + Vec2.polar(radius, start_angle + sweep)
+    return min(point.distance_to(start_point), point.distance_to(end_point))
+
+
+def segment_segment_distance(a0: Vec2, a1: Vec2, b0: Vec2, b1: Vec2) -> float:
+    """Distance between two segments ``[a0, a1]`` and ``[b0, b1]``.
+
+    Exact for segments; used only by visual/diagnostic code (the simulator
+    compares *moving* points, which is a different computation).
+    """
+    if _segments_intersect(a0, a1, b0, b1):
+        return 0.0
+    return min(
+        point_segment_distance(a0, b0, b1),
+        point_segment_distance(a1, b0, b1),
+        point_segment_distance(b0, a0, a1),
+        point_segment_distance(b1, a0, a1),
+    )
+
+
+def _orientation(p: Vec2, q: Vec2, r: Vec2) -> int:
+    cross = (q - p).cross(r - p)
+    if cross > 0.0:
+        return 1
+    if cross < 0.0:
+        return -1
+    return 0
+
+
+def _on_segment(p: Vec2, q: Vec2, r: Vec2) -> bool:
+    return (
+        min(p.x, r.x) - 1e-15 <= q.x <= max(p.x, r.x) + 1e-15
+        and min(p.y, r.y) - 1e-15 <= q.y <= max(p.y, r.y) + 1e-15
+    )
+
+
+def _segments_intersect(a0: Vec2, a1: Vec2, b0: Vec2, b1: Vec2) -> bool:
+    o1 = _orientation(a0, a1, b0)
+    o2 = _orientation(a0, a1, b1)
+    o3 = _orientation(b0, b1, a0)
+    o4 = _orientation(b0, b1, a1)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and _on_segment(a0, b0, a1):
+        return True
+    if o2 == 0 and _on_segment(a0, b1, a1):
+        return True
+    if o3 == 0 and _on_segment(b0, a0, b1):
+        return True
+    if o4 == 0 and _on_segment(b0, a1, b1):
+        return True
+    return False

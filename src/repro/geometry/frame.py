@@ -1,0 +1,139 @@
+"""Reference frames: how a robot's private units map to the global frame.
+
+The paper's WLOG convention fixes robot R as the *reference robot*: it has
+speed 1, time unit 1, orientation 0 and chirality +1, and the global
+coordinate system is its own.  Robot R' differs by four hidden attributes
+``(v, tau, phi, chi)``.  A :class:`ReferenceFrame` packages those attributes
+together with the robot's start position and exposes the two conversions
+every other module needs:
+
+* *space*: a displacement expressed in the robot's local coordinates is
+  rotated by ``phi``, mirrored when ``chi = -1`` and scaled by the robot's
+  distance unit before being added to the start position;
+* *time*: one local time unit lasts ``tau`` global time units.
+
+Trajectory segments produced by the algorithms are always expressed in
+local command units (e.g. "trace the circle of radius ``2^{-k+j}``"); the
+frame is what turns them into world-frame motion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import InvalidParameterError
+from .transforms import LinearMap2, attribute_matrix, identity
+from .vec import ORIGIN, Vec2
+
+__all__ = ["ReferenceFrame", "GLOBAL_FRAME"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReferenceFrame:
+    """Mapping from a robot's local frame to the global frame.
+
+    Attributes:
+        origin: world-frame position of the robot's own origin (its start).
+        speed: the robot's constant moving speed ``v > 0`` in world units
+            per world time unit.
+        time_unit: duration ``tau > 0`` of one local time unit, measured in
+            world time units.
+        orientation: angle ``phi`` by which the robot's +x axis is rotated
+            (counter-clockwise, in the world frame).
+        chirality: ``+1`` when the robot agrees with the world +y direction,
+            ``-1`` when it is mirrored.
+    """
+
+    origin: Vec2 = ORIGIN
+    speed: float = 1.0
+    time_unit: float = 1.0
+    orientation: float = 0.0
+    chirality: int = 1
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0.0 or not math.isfinite(self.speed):
+            raise InvalidParameterError(f"speed must be positive and finite, got {self.speed!r}")
+        if self.time_unit <= 0.0 or not math.isfinite(self.time_unit):
+            raise InvalidParameterError(
+                f"time_unit must be positive and finite, got {self.time_unit!r}"
+            )
+        if self.chirality not in (-1, 1):
+            raise InvalidParameterError(f"chirality must be +1 or -1, got {self.chirality!r}")
+        if not math.isfinite(self.orientation):
+            raise InvalidParameterError(f"orientation must be finite, got {self.orientation!r}")
+
+    # -- derived quantities ------------------------------------------------
+    @property
+    def distance_unit(self) -> float:
+        """Length of the robot's own distance unit in world units.
+
+        The paper defines the distance unit as the product of the robot's
+        speed and its local time unit: the distance covered in one local
+        time unit.
+        """
+        return self.speed * self.time_unit
+
+    @property
+    def spatial_map(self) -> LinearMap2:
+        """Linear part of the local-to-world map (rotation, mirror, scale).
+
+        This is exactly Lemma 4's matrix with the speed replaced by the
+        robot's *distance unit*, because a displacement of one local unit
+        spans ``speed * time_unit`` world units.
+        """
+        return attribute_matrix(self.distance_unit, self.orientation, self.chirality)
+
+    # -- space conversions ---------------------------------------------------
+    def to_world_displacement(self, local: Vec2) -> Vec2:
+        """Convert a local displacement vector to world coordinates."""
+        return self.spatial_map.apply(local)
+
+    def to_world_point(self, local: Vec2) -> Vec2:
+        """Convert a local point to a world point (adds the origin)."""
+        return self.origin + self.to_world_displacement(local)
+
+    def to_local_displacement(self, world: Vec2) -> Vec2:
+        """Inverse conversion of :meth:`to_world_displacement`."""
+        return self.spatial_map.inverse().apply(world)
+
+    def to_local_point(self, world: Vec2) -> Vec2:
+        """Inverse conversion of :meth:`to_world_point`."""
+        return self.to_local_displacement(world - self.origin)
+
+    # -- time conversions -------------------------------------------------------
+    def to_world_duration(self, local_duration: float) -> float:
+        """Length in world time of a local duration."""
+        if local_duration < 0.0:
+            raise InvalidParameterError(f"durations must be non-negative, got {local_duration!r}")
+        return local_duration * self.time_unit
+
+    def to_local_duration(self, world_duration: float) -> float:
+        """Length in local time of a world duration."""
+        if world_duration < 0.0:
+            raise InvalidParameterError(f"durations must be non-negative, got {world_duration!r}")
+        return world_duration / self.time_unit
+
+    # -- helpers ------------------------------------------------------------------
+    def with_origin(self, origin: Vec2) -> "ReferenceFrame":
+        """Copy of this frame translated to a new origin."""
+        return ReferenceFrame(
+            origin=origin,
+            speed=self.speed,
+            time_unit=self.time_unit,
+            orientation=self.orientation,
+            chirality=self.chirality,
+        )
+
+    def is_reference(self, tolerance: float = 1e-12) -> bool:
+        """True when this frame coincides with the paper's reference robot R."""
+        return (
+            abs(self.speed - 1.0) <= tolerance
+            and abs(self.time_unit - 1.0) <= tolerance
+            and abs(self.orientation) <= tolerance
+            and self.chirality == 1
+        )
+
+
+#: The frame of the reference robot R located at the world origin.
+GLOBAL_FRAME = ReferenceFrame()

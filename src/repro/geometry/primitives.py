@@ -1,0 +1,116 @@
+"""Static geometric shapes used by the coverage arguments.
+
+The correctness proofs of Algorithms 2 and 3 are coverage statements: every
+point of an annulus is approached within a granularity ``rho`` by the circles
+the robot traces.  These small shape classes let the tests state and check
+those coverage facts directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+from .vec import Vec2
+
+__all__ = ["Circle", "Disc", "Annulus"]
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """A circle (the curve, not the disc) of given center and radius."""
+
+    center: Vec2
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0.0:
+            raise InvalidParameterError(f"radius must be non-negative, got {self.radius!r}")
+
+    def distance_to(self, point: Vec2) -> float:
+        """Distance from ``point`` to the nearest point of the circle."""
+        return abs(point.distance_to(self.center) - self.radius)
+
+    def point_at(self, angle: float) -> Vec2:
+        """Point of the circle at polar ``angle`` (from the center)."""
+        return self.center + Vec2.polar(self.radius, angle)
+
+    def circumference(self) -> float:
+        """Perimeter length."""
+        return 2.0 * math.pi * self.radius
+
+
+@dataclass(frozen=True, slots=True)
+class Disc:
+    """A closed disc of given center and radius."""
+
+    center: Vec2
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0.0:
+            raise InvalidParameterError(f"radius must be non-negative, got {self.radius!r}")
+
+    def contains(self, point: Vec2, tolerance: float = 0.0) -> bool:
+        """True when ``point`` lies in the disc (inflated by ``tolerance``)."""
+        return point.distance_to(self.center) <= self.radius + tolerance
+
+    def area(self) -> float:
+        """Disc area."""
+        return math.pi * self.radius * self.radius
+
+
+@dataclass(frozen=True, slots=True)
+class Annulus:
+    """A closed annulus with inner radius ``inner`` and outer radius ``outer``."""
+
+    center: Vec2
+    inner: float
+    outer: float
+
+    def __post_init__(self) -> None:
+        if self.inner < 0.0:
+            raise InvalidParameterError(f"inner radius must be non-negative, got {self.inner!r}")
+        if self.outer < self.inner:
+            raise InvalidParameterError(
+                f"outer radius {self.outer!r} must not be smaller than inner radius {self.inner!r}"
+            )
+
+    def contains(self, point: Vec2, tolerance: float = 0.0) -> bool:
+        """True when ``point`` lies in the annulus (inflated by ``tolerance``)."""
+        distance = point.distance_to(self.center)
+        return self.inner - tolerance <= distance <= self.outer + tolerance
+
+    def width(self) -> float:
+        """Radial width of the annulus."""
+        return self.outer - self.inner
+
+    def area(self) -> float:
+        """Annulus area."""
+        return math.pi * (self.outer * self.outer - self.inner * self.inner)
+
+    def covered_by_circles(self, radii: list[float], granularity: float) -> bool:
+        """Coverage check used by the Algorithm 2 correctness proof.
+
+        Returns True when every radial distance in ``[inner, outer]`` is
+        within ``granularity`` of one of the given circle ``radii`` (all
+        circles are concentric with the annulus, which is how the search
+        algorithms lay them out).
+        """
+        if granularity <= 0.0:
+            raise InvalidParameterError(f"granularity must be positive, got {granularity!r}")
+        if not radii:
+            return self.width() <= 0.0
+        ordered = sorted(radii)
+        # The annulus is one-dimensional in the radial coordinate, so it is
+        # covered iff consecutive circles are at most 2*granularity apart
+        # and the extreme circles reach the annulus boundaries.
+        if ordered[0] - self.inner > granularity:
+            return False
+        if self.outer - ordered[-1] > granularity:
+            return False
+        for smaller, larger in zip(ordered, ordered[1:]):
+            if larger - smaller > 2.0 * granularity:
+                return False
+        return True

@@ -1,0 +1,289 @@
+"""Linear maps of the plane and the paper's attribute transforms.
+
+The central objects of the paper's analysis are 2x2 matrices:
+
+* ``attribute_matrix(v, phi, chi)`` -- Lemma 4's matrix ``T`` mapping the
+  reference trajectory ``S(t)`` onto the trajectory followed by robot R'
+  (scaling by the speed ``v``, rotation by the orientation ``phi`` and an
+  optional reflection when the chirality ``chi`` is ``-1``):
+
+      S'(t) = v * R(phi) * diag(1, chi) * S(t)
+
+* ``relative_matrix(v, phi, chi)`` -- the matrix ``T_circ = I - T`` whose
+  action on ``S(t)`` yields the *equivalent search trajectory*
+  ``S_circ(t) = S(t) - S'(t)``.
+
+* ``qr_factor_relative(v, phi, chi)`` -- Lemma 5's factorisation
+  ``T_circ = Phi * T_circ_prime`` with ``Phi`` a proper rotation and
+  ``T_circ_prime`` upper triangular; its (1, 1) entry is
+  ``mu = sqrt(v**2 - 2 v cos(phi) + 1)``.
+
+``LinearMap2`` is a small immutable matrix wrapper; it exists so that the
+rest of the code can apply, compose and factor these maps without pulling
+numpy arrays through every signature.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .vec import Vec2
+
+__all__ = [
+    "LinearMap2",
+    "rotation",
+    "reflection_x",
+    "scaling",
+    "identity",
+    "attribute_matrix",
+    "relative_matrix",
+    "mu_factor",
+    "qr_factor_relative",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LinearMap2:
+    """An immutable 2x2 real matrix acting on :class:`Vec2`.
+
+    Entries are stored row-major: ``[[a, b], [c, d]]``.
+    """
+
+    a: float
+    b: float
+    c: float
+    d: float
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def from_rows(row0: tuple[float, float], row1: tuple[float, float]) -> "LinearMap2":
+        """Build a map from two row tuples."""
+        return LinearMap2(row0[0], row0[1], row1[0], row1[1])
+
+    @staticmethod
+    def from_array(matrix: np.ndarray) -> "LinearMap2":
+        """Build a map from a 2x2 numpy array."""
+        array = np.asarray(matrix, dtype=float)
+        if array.shape != (2, 2):
+            raise InvalidParameterError(f"expected a 2x2 matrix, got shape {array.shape}")
+        return LinearMap2(array[0, 0], array[0, 1], array[1, 0], array[1, 1])
+
+    # -- action ----------------------------------------------------------
+    def apply(self, vector: Vec2) -> Vec2:
+        """Matrix-vector product."""
+        return Vec2(
+            self.a * vector.x + self.b * vector.y,
+            self.c * vector.x + self.d * vector.y,
+        )
+
+    def __call__(self, vector: Vec2) -> Vec2:
+        return self.apply(vector)
+
+    def compose(self, other: "LinearMap2") -> "LinearMap2":
+        """Matrix product ``self @ other`` (apply ``other`` first)."""
+        return LinearMap2(
+            self.a * other.a + self.b * other.c,
+            self.a * other.b + self.b * other.d,
+            self.c * other.a + self.d * other.c,
+            self.c * other.b + self.d * other.d,
+        )
+
+    def __matmul__(self, other: "LinearMap2") -> "LinearMap2":
+        return self.compose(other)
+
+    # -- algebra ---------------------------------------------------------
+    def determinant(self) -> float:
+        """Determinant of the matrix."""
+        return self.a * self.d - self.b * self.c
+
+    def transpose(self) -> "LinearMap2":
+        """Matrix transpose."""
+        return LinearMap2(self.a, self.c, self.b, self.d)
+
+    def inverse(self) -> "LinearMap2":
+        """Matrix inverse.
+
+        Raises:
+            InvalidParameterError: if the matrix is singular.
+        """
+        det = self.determinant()
+        if abs(det) < 1e-300:
+            raise InvalidParameterError("matrix is singular and cannot be inverted")
+        return LinearMap2(self.d / det, -self.b / det, -self.c / det, self.a / det)
+
+    def scaled(self, factor: float) -> "LinearMap2":
+        """Entry-wise scaling by ``factor``."""
+        return LinearMap2(self.a * factor, self.b * factor, self.c * factor, self.d * factor)
+
+    def add(self, other: "LinearMap2") -> "LinearMap2":
+        """Entry-wise sum."""
+        return LinearMap2(self.a + other.a, self.b + other.b, self.c + other.c, self.d + other.d)
+
+    def subtract(self, other: "LinearMap2") -> "LinearMap2":
+        """Entry-wise difference."""
+        return LinearMap2(self.a - other.a, self.b - other.b, self.c - other.c, self.d - other.d)
+
+    # -- properties --------------------------------------------------------
+    def operator_norm(self) -> float:
+        """Largest singular value (Lipschitz constant of the map)."""
+        return float(np.linalg.norm(self.to_array(), ord=2))
+
+    def smallest_singular_value(self) -> float:
+        """Smallest singular value (how much the map can shrink lengths)."""
+        singular_values = np.linalg.svd(self.to_array(), compute_uv=False)
+        return float(singular_values[-1])
+
+    def is_orthogonal(self, tolerance: float = 1e-9) -> bool:
+        """True when the map preserves the Euclidean inner product."""
+        product = self.compose(self.transpose())
+        return (
+            abs(product.a - 1.0) <= tolerance
+            and abs(product.d - 1.0) <= tolerance
+            and abs(product.b) <= tolerance
+            and abs(product.c) <= tolerance
+        )
+
+    def is_rotation(self, tolerance: float = 1e-9) -> bool:
+        """True when the map is a proper rotation (orthogonal, det +1)."""
+        return self.is_orthogonal(tolerance) and abs(self.determinant() - 1.0) <= tolerance
+
+    def is_close(self, other: "LinearMap2", tolerance: float = 1e-9) -> bool:
+        """Entry-wise comparison within ``tolerance``."""
+        return (
+            abs(self.a - other.a) <= tolerance
+            and abs(self.b - other.b) <= tolerance
+            and abs(self.c - other.c) <= tolerance
+            and abs(self.d - other.d) <= tolerance
+        )
+
+    def to_array(self) -> np.ndarray:
+        """Copy as a 2x2 numpy array."""
+        return np.array([[self.a, self.b], [self.c, self.d]], dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearMap2([[{self.a:.6g}, {self.b:.6g}], [{self.c:.6g}, {self.d:.6g}]])"
+
+
+def identity() -> LinearMap2:
+    """The identity map."""
+    return LinearMap2(1.0, 0.0, 0.0, 1.0)
+
+
+def rotation(angle: float) -> LinearMap2:
+    """Counter-clockwise rotation by ``angle`` radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    return LinearMap2(c, -s, s, c)
+
+
+def reflection_x() -> LinearMap2:
+    """Reflection about the x axis, ``diag(1, -1)``."""
+    return LinearMap2(1.0, 0.0, 0.0, -1.0)
+
+
+def scaling(factor: float) -> LinearMap2:
+    """Uniform scaling by ``factor``."""
+    return LinearMap2(factor, 0.0, 0.0, factor)
+
+
+def _validate_attributes(speed: float, chirality: int) -> None:
+    if speed <= 0.0:
+        raise InvalidParameterError(f"speed must be positive, got {speed!r}")
+    if chirality not in (-1, 1):
+        raise InvalidParameterError(f"chirality must be +1 or -1, got {chirality!r}")
+
+
+def attribute_matrix(speed: float, orientation: float, chirality: int) -> LinearMap2:
+    """Lemma 4's matrix mapping ``S(t)`` to the trajectory of robot R'.
+
+    The robot R' traverses ``S'(t) = v * R(phi) * diag(1, chi) * S(t)``:
+    its chirality possibly mirrors the trajectory about the x axis, its
+    compass rotates it by ``phi`` and its speed scales it by ``v``.
+
+    Args:
+        speed: the speed ``v > 0`` of robot R' (robot R has speed 1).
+        orientation: the orientation ``phi`` of R' in radians.
+        chirality: ``+1`` when both robots agree on the +y direction,
+            ``-1`` otherwise.
+
+    Returns:
+        The 2x2 matrix ``T`` with ``S'(t) = T @ S(t)``.
+    """
+    _validate_attributes(speed, chirality)
+    return rotation(orientation).compose(reflection_x() if chirality == -1 else identity()).scaled(speed)
+
+
+def relative_matrix(speed: float, orientation: float, chirality: int) -> LinearMap2:
+    """The matrix ``T_circ = I - T`` of the equivalent search trajectory.
+
+    Definition 1 of the paper: when both robots execute the trajectory
+    ``S(t)`` the vector joining them evolves as ``d + S'(t) - S(t)``, so
+    rendezvous for the pair is equivalent to *search* along
+    ``S_circ(t) = (I - T) S(t) = T_circ S(t)``.
+    """
+    return identity().subtract(attribute_matrix(speed, orientation, chirality))
+
+
+def mu_factor(speed: float, orientation: float) -> float:
+    """The scaling factor ``mu = sqrt(v^2 - 2 v cos(phi) + 1)`` of Lemma 5.
+
+    ``mu`` is the distance between the two unit trajectories after one unit
+    of motion; it is zero exactly when ``v = 1`` and ``phi = 0`` (identical
+    robots, rendezvous infeasible with equal clocks and chirality).
+    """
+    if speed <= 0.0:
+        raise InvalidParameterError(f"speed must be positive, got {speed!r}")
+    value = speed * speed - 2.0 * speed * math.cos(orientation) + 1.0
+    # Guard against tiny negative rounding when v == 1, phi == 0.
+    return math.sqrt(max(value, 0.0))
+
+
+def qr_factor_relative(
+    speed: float, orientation: float, chirality: int
+) -> tuple[LinearMap2, LinearMap2]:
+    """Lemma 5's QR factorisation ``T_circ = Phi @ T_circ_prime``.
+
+    ``Phi`` is a proper rotation (orthogonal with determinant +1) and
+
+        T_circ_prime = [[mu, -(1 - chi) v sin(phi) / mu],
+                        [0,  (chi v^2 - (1 + chi) v cos(phi) + 1) / mu]]
+
+    Because rotations preserve distances, replacing ``T_circ`` by
+    ``T_circ_prime`` does not change whether or when the equivalent search
+    trajectory approaches the target within ``r`` -- this is what lets the
+    paper analyse the two chirality cases through a triangular matrix.
+
+    Returns:
+        ``(Phi, T_circ_prime)``.
+
+    Raises:
+        InvalidParameterError: when ``mu = 0`` (``v = 1`` and ``phi = 0``),
+            in which case ``T_circ`` is not full rank and the factorisation
+            of Lemma 5 is undefined (and rendezvous is infeasible anyway).
+    """
+    _validate_attributes(speed, chirality)
+    mu = mu_factor(speed, orientation)
+    if mu == 0.0:
+        raise InvalidParameterError(
+            "mu = 0 (v = 1 and phi = 0): the relative matrix is singular and "
+            "Lemma 5's factorisation does not apply"
+        )
+    v = speed
+    phi = orientation
+    chi = chirality
+    phi_matrix = LinearMap2(
+        (1.0 - v * math.cos(phi)) / mu,
+        v * math.sin(phi) / mu,
+        -v * math.sin(phi) / mu,
+        (1.0 - v * math.cos(phi)) / mu,
+    )
+    upper = LinearMap2(
+        mu,
+        -(1.0 - chi) * v * math.sin(phi) / mu,
+        0.0,
+        (chi * v * v - (1.0 + chi) * v * math.cos(phi) + 1.0) / mu,
+    )
+    return phi_matrix, upper

@@ -1,0 +1,169 @@
+"""Immutable 2-D vectors.
+
+The whole library manipulates points and displacement vectors of the
+Euclidean plane.  ``Vec2`` is a tiny immutable value type with the usual
+vector-space operations, chosen over raw numpy arrays because:
+
+* instances are hashable and safe to share between trajectory segments,
+* operations read like the paper's formulas (``p + t * v``),
+* there is no accidental broadcasting.
+
+Conversion to/from numpy is provided for the vectorised analysis code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Vec2", "ORIGIN", "UNIT_X", "UNIT_Y"]
+
+
+@dataclass(frozen=True, slots=True)
+class Vec2:
+    """A point or displacement vector of the Euclidean plane."""
+
+    x: float
+    y: float
+
+    # -- construction -------------------------------------------------
+    @staticmethod
+    def polar(radius: float, angle: float) -> "Vec2":
+        """Vector of the given ``radius`` at ``angle`` radians from +x."""
+        return Vec2(radius * math.cos(angle), radius * math.sin(angle))
+
+    @staticmethod
+    def from_iterable(values: Iterable[float]) -> "Vec2":
+        """Build a vector from any length-2 iterable."""
+        seq = list(values)
+        if len(seq) != 2:
+            raise ValueError(f"expected 2 components, got {len(seq)}")
+        return Vec2(float(seq[0]), float(seq[1]))
+
+    # -- vector space operations --------------------------------------
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x / scalar, self.y / scalar)
+
+    # -- metric --------------------------------------------------------
+    def dot(self, other: "Vec2") -> float:
+        """Euclidean inner product."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """Z component of the 3-D cross product (signed area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def norm_squared(self) -> float:
+        """Squared Euclidean length (avoids the square root)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def normalized(self) -> "Vec2":
+        """Unit vector in the same direction.
+
+        Raises:
+            ZeroDivisionError: if the vector is the zero vector.
+        """
+        length = self.norm()
+        if length == 0.0:
+            raise ZeroDivisionError("cannot normalise the zero vector")
+        return Vec2(self.x / length, self.y / length)
+
+    def angle(self) -> float:
+        """Polar angle in ``(-pi, pi]`` measured from the +x axis."""
+        return math.atan2(self.y, self.x)
+
+    # -- transformations ------------------------------------------------
+    def rotated(self, angle: float) -> "Vec2":
+        """Counter-clockwise rotation by ``angle`` radians about the origin."""
+        c, s = math.cos(angle), math.sin(angle)
+        return Vec2(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def reflected_x(self) -> "Vec2":
+        """Reflection about the x axis (flips chirality)."""
+        return Vec2(self.x, -self.y)
+
+    def perpendicular(self) -> "Vec2":
+        """Counter-clockwise perpendicular vector (rotation by +90 degrees)."""
+        return Vec2(-self.y, self.x)
+
+    def lerp(self, other: "Vec2", fraction: float) -> "Vec2":
+        """Linear interpolation: ``self`` at 0, ``other`` at 1."""
+        return Vec2(
+            self.x + (other.x - self.x) * fraction,
+            self.y + (other.y - self.y) * fraction,
+        )
+
+    # -- comparisons ----------------------------------------------------
+    def is_close(self, other: "Vec2", tolerance: float = 1e-9) -> bool:
+        """True when both components agree within ``tolerance``."""
+        return abs(self.x - other.x) <= tolerance and abs(self.y - other.y) <= tolerance
+
+    def is_finite(self) -> bool:
+        """True when both components are finite numbers."""
+        return math.isfinite(self.x) and math.isfinite(self.y)
+
+    # -- interoperability ------------------------------------------------
+    def to_array(self) -> np.ndarray:
+        """Copy as a ``numpy.ndarray`` of shape ``(2,)``."""
+        return np.array([self.x, self.y], dtype=float)
+
+    def to_tuple(self) -> tuple[float, float]:
+        """Copy as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __len__(self) -> int:
+        return 2
+
+    def __getitem__(self, index: int) -> float:
+        return (self.x, self.y)[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Vec2({self.x:.6g}, {self.y:.6g})"
+
+
+#: The origin of the plane.
+ORIGIN = Vec2(0.0, 0.0)
+
+#: Unit vector along +x.
+UNIT_X = Vec2(1.0, 0.0)
+
+#: Unit vector along +y.
+UNIT_Y = Vec2(0.0, 1.0)
+
+
+def centroid(points: Sequence[Vec2]) -> Vec2:
+    """Arithmetic mean of a non-empty sequence of points."""
+    if not points:
+        raise ValueError("centroid of an empty sequence is undefined")
+    sx = sum(p.x for p in points)
+    sy = sum(p.y for p in points)
+    return Vec2(sx / len(points), sy / len(points))

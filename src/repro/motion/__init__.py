@@ -1,0 +1,44 @@
+"""Motion substrate: segments, trajectories, builders and frame transforms."""
+
+from .arc import ArcMotion
+from .builder import TrajectoryBuilder
+from .lazy import LazyTrajectory
+from .linear import LinearMotion
+from .relative import EquivalentSearchTrajectory, RelativeMotion
+from .sampling import (
+    numeric_max_speed,
+    numeric_path_length,
+    positions_array,
+    sample_positions,
+    sample_times,
+)
+from .segment import MotionSegment
+from .trajectory import Trajectory
+from .transform import (
+    lazy_world_trajectory,
+    transform_segment,
+    transform_segments,
+    transform_trajectory,
+)
+from .wait import WaitMotion
+
+__all__ = [
+    "ArcMotion",
+    "TrajectoryBuilder",
+    "LazyTrajectory",
+    "LinearMotion",
+    "EquivalentSearchTrajectory",
+    "RelativeMotion",
+    "numeric_max_speed",
+    "numeric_path_length",
+    "positions_array",
+    "sample_positions",
+    "sample_times",
+    "MotionSegment",
+    "Trajectory",
+    "lazy_world_trajectory",
+    "transform_segment",
+    "transform_segments",
+    "transform_trajectory",
+    "WaitMotion",
+]

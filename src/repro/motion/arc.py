@@ -1,0 +1,135 @@
+"""Circular-arc motion at constant speed."""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidParameterError
+from ..geometry import Vec2
+from .segment import MotionSegment
+
+__all__ = ["ArcMotion"]
+
+
+class ArcMotion(MotionSegment):
+    """Motion along a circular arc at constant angular (and linear) speed.
+
+    The arc is described by its ``center``, ``radius``, ``start_angle``
+    (polar angle of the starting point as seen from the center) and
+    ``sweep`` (signed angle traversed: positive is counter-clockwise).
+    The robot covers the arc in ``duration`` time units.
+    """
+
+    __slots__ = ("_center", "_radius", "_start_angle", "_sweep", "_duration", "_speed")
+
+    def __init__(
+        self,
+        center: Vec2,
+        radius: float,
+        start_angle: float,
+        sweep: float,
+        duration: float,
+    ) -> None:
+        if radius < 0.0:
+            raise InvalidParameterError(f"radius must be non-negative, got {radius!r}")
+        if duration < 0.0:
+            raise InvalidParameterError(f"duration must be non-negative, got {duration!r}")
+        length = radius * abs(sweep)
+        if duration == 0.0 and length > 0.0:
+            raise InvalidParameterError(
+                "an arc covering a positive distance needs a positive duration"
+            )
+        self._center = center
+        self._radius = float(radius)
+        self._start_angle = float(start_angle)
+        self._sweep = float(sweep)
+        self._duration = float(duration)
+        self._speed = 0.0 if duration == 0.0 else length / duration
+
+    @staticmethod
+    def with_speed(
+        center: Vec2, radius: float, start_angle: float, sweep: float, speed: float
+    ) -> "ArcMotion":
+        """Build the motion from its linear speed instead of its duration."""
+        if speed <= 0.0:
+            raise InvalidParameterError(f"speed must be positive, got {speed!r}")
+        duration = radius * abs(sweep) / speed
+        return ArcMotion(center, radius, start_angle, sweep, duration)
+
+    # -- arc specific accessors -------------------------------------------------
+    @property
+    def center(self) -> Vec2:
+        """Center of the supporting circle."""
+        return self._center
+
+    @property
+    def radius(self) -> float:
+        """Radius of the supporting circle."""
+        return self._radius
+
+    @property
+    def start_angle(self) -> float:
+        """Polar angle of the starting point."""
+        return self._start_angle
+
+    @property
+    def sweep(self) -> float:
+        """Signed traversed angle (positive counter-clockwise)."""
+        return self._sweep
+
+    @property
+    def end_angle(self) -> float:
+        """Polar angle of the final point."""
+        return self._start_angle + self._sweep
+
+    def angle_at(self, t: float) -> float:
+        """Polar angle of the robot at local time ``t``."""
+        t = self._check_time(t)
+        if self._duration == 0.0:
+            return self._start_angle
+        return self._start_angle + self._sweep * (t / self._duration)
+
+    # -- MotionSegment interface ---------------------------------------------------
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    @property
+    def start(self) -> Vec2:
+        return self._center + Vec2.polar(self._radius, self._start_angle)
+
+    @property
+    def end(self) -> Vec2:
+        return self._center + Vec2.polar(self._radius, self.end_angle)
+
+    @property
+    def speed(self) -> float:
+        return self._speed
+
+    def position(self, t: float) -> Vec2:
+        return self._center + Vec2.polar(self._radius, self.angle_at(t))
+
+    def path_length(self) -> float:
+        return self._radius * abs(self._sweep)
+
+    def bounding_center_radius(self) -> tuple[Vec2, float]:
+        # The whole supporting circle is a valid (and cheap) bound; for
+        # short arcs a chord-based bound would be tighter but correctness
+        # matters more than tightness here.
+        if abs(self._sweep) >= math.pi:
+            return self._center, self._radius
+        chord_mid = self.start.lerp(self.end, 0.5)
+        # Every arc point is within radius * (1 - cos(sweep/2)) + half-chord
+        # of the chord midpoint; use the simpler, slightly looser bound of
+        # the distance to the farthest arc endpoint plus the sagitta.
+        half_angle = abs(self._sweep) / 2.0
+        sagitta = self._radius * (1.0 - math.cos(half_angle))
+        half_chord = self._radius * math.sin(half_angle)
+        return chord_mid, math.hypot(half_chord, 0.0) + sagitta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ArcMotion(center={self._center!r}, radius={self._radius:.6g}, "
+            f"start_angle={self._start_angle:.6g}, sweep={self._sweep:.6g}, "
+            f"duration={self._duration:.6g})"
+        )

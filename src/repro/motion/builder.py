@@ -1,0 +1,105 @@
+"""Local-frame trajectory builder.
+
+The paper's algorithms are written in the robot's own vocabulary: "move
+along the x axis to radial position delta", "traverse the circle of radius
+delta", "wait for time T".  A :class:`TrajectoryBuilder` records those
+commands as motion segments *in the robot's local frame*, where the robot
+moves at local speed 1 (one local distance unit per local time unit).
+
+The builder is deliberately dumb: it does not know about attributes.
+Mapping local segments to the two robots' different world trajectories is
+the job of :mod:`repro.motion.transform` via a
+:class:`~repro.geometry.frame.ReferenceFrame`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List
+
+from ..errors import InvalidParameterError
+from ..geometry import ORIGIN, Vec2
+from .arc import ArcMotion
+from .linear import LinearMotion
+from .segment import MotionSegment
+from .trajectory import Trajectory
+from .wait import WaitMotion
+
+__all__ = ["TrajectoryBuilder"]
+
+
+class TrajectoryBuilder:
+    """Accumulates local-frame motion segments command by command."""
+
+    __slots__ = ("_position", "_segments")
+
+    def __init__(self, start: Vec2 = ORIGIN) -> None:
+        self._position = start
+        self._segments: List[MotionSegment] = []
+
+    # -- state -----------------------------------------------------------------
+    @property
+    def position(self) -> Vec2:
+        """Current local position (end of the last command)."""
+        return self._position
+
+    @property
+    def elapsed(self) -> float:
+        """Total local time spent so far."""
+        return sum(segment.duration for segment in self._segments)
+
+    @property
+    def segments(self) -> list[MotionSegment]:
+        """Copy of the accumulated segments."""
+        return list(self._segments)
+
+    def _emit(self, segment: MotionSegment) -> MotionSegment:
+        self._segments.append(segment)
+        self._position = segment.end
+        return segment
+
+    # -- commands ----------------------------------------------------------------
+    def move_to(self, target: Vec2) -> MotionSegment:
+        """Move in a straight line to ``target`` at local speed 1."""
+        distance = self._position.distance_to(target)
+        return self._emit(LinearMotion(self._position, target, distance))
+
+    def move_by(self, displacement: Vec2) -> MotionSegment:
+        """Move in a straight line by ``displacement`` at local speed 1."""
+        return self.move_to(self._position + displacement)
+
+    def wait(self, duration: float) -> MotionSegment:
+        """Stay put for ``duration`` local time units."""
+        if duration < 0.0:
+            raise InvalidParameterError(f"wait duration must be non-negative, got {duration!r}")
+        return self._emit(WaitMotion(self._position, duration))
+
+    def arc_around(self, center: Vec2, sweep: float) -> MotionSegment:
+        """Follow the circle centred at ``center`` through ``sweep`` radians.
+
+        The robot must currently be on that circle (its distance to
+        ``center`` is the radius).  Positive sweep is counter-clockwise.
+        """
+        radius = self._position.distance_to(center)
+        start_angle = (self._position - center).angle() if radius > 0.0 else 0.0
+        duration = radius * abs(sweep)
+        return self._emit(ArcMotion(center, radius, start_angle, sweep, duration))
+
+    def full_circle_around(self, center: Vec2, counter_clockwise: bool = True) -> MotionSegment:
+        """Traverse the full circle centred at ``center`` once."""
+        sweep = 2.0 * math.pi if counter_clockwise else -2.0 * math.pi
+        return self.arc_around(center, sweep)
+
+    # -- output ---------------------------------------------------------------------
+    def build(self) -> Trajectory:
+        """Freeze the accumulated commands into a finite trajectory."""
+        return Trajectory(self._segments)
+
+    def drain(self) -> Iterator[MotionSegment]:
+        """Yield and clear the accumulated segments (for streaming use)."""
+        segments = self._segments
+        self._segments = []
+        yield from segments
+
+    def __len__(self) -> int:
+        return len(self._segments)

@@ -1,0 +1,208 @@
+"""Unbounded trajectories backed by a segment generator.
+
+Algorithms 4 and 7 of the paper never terminate on their own -- they keep
+searching larger and larger regions until the target/partner is seen.  A
+:class:`LazyTrajectory` therefore wraps a (possibly infinite) iterator of
+motion segments and materialises them only as far as the simulation needs:
+``ensure_time(t)`` pulls segments from the generator until the cached
+prefix covers global time ``t``.
+
+The cached prefix behaves like a growing :class:`~repro.motion.trajectory.
+Trajectory`: positions are evaluated exactly, and the simulator can stream
+``timed segments up to t`` without ever enumerating the infinite tail.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from ..errors import TimeOutOfRangeError, TrajectoryError
+from ..geometry import Vec2
+from .segment import MotionSegment
+
+__all__ = ["LazyTrajectory"]
+
+_CONTINUITY_TOLERANCE = 1e-6
+
+
+class LazyTrajectory:
+    """A trajectory whose segments are produced on demand by a generator."""
+
+    __slots__ = ("_source", "_segments", "_start_times", "_covered", "_exhausted")
+
+    def __init__(self, segments: Iterable[MotionSegment]) -> None:
+        self._source: Iterator[MotionSegment] = iter(segments)
+        self._segments: list[MotionSegment] = []
+        self._start_times: list[float] = []
+        self._covered = 0.0
+        self._exhausted = False
+
+    # -- materialisation ---------------------------------------------------------
+    def ensure_time(self, t: float) -> bool:
+        """Materialise segments until the prefix covers global time ``t``.
+
+        Returns:
+            True when the prefix now covers ``t``; False when the source ran
+            out of segments first (finite underlying algorithm).
+        """
+        while self._covered < t and not self._exhausted:
+            self._pull_one()
+        return self._covered >= t
+
+    def ensure_segments(self, count: int) -> bool:
+        """Materialise at least ``count`` segments (if available)."""
+        while len(self._segments) < count and not self._exhausted:
+            self._pull_one()
+        return len(self._segments) >= count
+
+    def _pull_one(self) -> None:
+        try:
+            segment = next(self._source)
+        except StopIteration:
+            self._exhausted = True
+            return
+        if self._segments:
+            gap = self._segments[-1].end.distance_to(segment.start)
+            if gap > _CONTINUITY_TOLERANCE:
+                raise TrajectoryError(
+                    f"discontinuity of {gap:.3e} between lazily produced segments "
+                    f"{len(self._segments) - 1} and {len(self._segments)}"
+                )
+        self._start_times.append(self._covered)
+        self._segments.append(segment)
+        self._covered += segment.duration
+
+    # -- inspection ----------------------------------------------------------------
+    @property
+    def covered_duration(self) -> float:
+        """Duration covered by the materialised prefix."""
+        return self._covered
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the underlying generator has been fully consumed."""
+        return self._exhausted
+
+    @property
+    def materialised_segments(self) -> int:
+        """Number of segments materialised so far."""
+        return len(self._segments)
+
+    @property
+    def start(self) -> Vec2:
+        """Initial position (materialises the first segment if needed)."""
+        if not self.ensure_segments(1):
+            raise TrajectoryError("the underlying segment source is empty")
+        return self._segments[0].start
+
+    def max_speed_up_to(self, t: float) -> float:
+        """Largest speed among segments overlapping ``[0, t]``."""
+        self.ensure_time(t)
+        speeds = [
+            segment.speed
+            for start_time, segment in zip(self._start_times, self._segments)
+            if start_time < t
+        ]
+        return max(speeds, default=0.0)
+
+    # -- evaluation -----------------------------------------------------------------
+    def position(self, t: float) -> Vec2:
+        """Position at global time ``t``.
+
+        For finite sources queried past their end, the final position is
+        returned (the robot has stopped).
+        """
+        if t < -1e-9:
+            raise TimeOutOfRangeError(f"time {t!r} is negative")
+        t = max(t, 0.0)
+        covered = self.ensure_time(t)
+        if not self._segments:
+            # t may be 0 before anything was materialised; pull one segment.
+            if not self.ensure_segments(1):
+                raise TrajectoryError("the underlying segment source is empty")
+        if not covered and t > self._covered:
+            return self._segments[-1].end
+        index = bisect.bisect_right(self._start_times, t) - 1
+        index = min(max(index, 0), len(self._segments) - 1)
+        segment = self._segments[index]
+        local_time = min(t - self._start_times[index], segment.duration)
+        return segment.position(max(local_time, 0.0))
+
+    def timed_segment(self, index: int) -> tuple[float, float, MotionSegment] | None:
+        """The ``index``-th ``(start, end, segment)`` triple, materialising as needed.
+
+        Returns None when the source is exhausted before reaching ``index``.
+        """
+        if index < 0:
+            raise TimeOutOfRangeError(f"segment index {index!r} is negative")
+        if not self.ensure_segments(index + 1):
+            return None
+        start_time = self._start_times[index]
+        segment = self._segments[index]
+        return start_time, start_time + segment.duration, segment
+
+    def final_position(self) -> Vec2:
+        """Final position of a finite, fully materialised source.
+
+        Only meaningful once :attr:`exhausted` is True (used by the engine
+        to park a finished robot at its last position).
+        """
+        if not self._segments:
+            raise TrajectoryError("the underlying segment source is empty")
+        return self._segments[-1].end
+
+    def segment_at(self, t: float) -> tuple[float, float, MotionSegment] | None:
+        """The ``(start, end, segment)`` triple active at global time ``t``.
+
+        Returns None when ``t`` lies beyond the end of a finite source (the
+        robot has stopped; callers typically substitute a virtual wait at
+        the final position).
+        """
+        if t < -1e-9:
+            raise TimeOutOfRangeError(f"time {t!r} is negative")
+        t = max(t, 0.0)
+        if not self.ensure_time(t) and t >= self._covered:
+            if self._segments and t < self._covered:
+                pass
+            else:
+                return None
+        index = bisect.bisect_right(self._start_times, t) - 1
+        index = min(max(index, 0), len(self._segments) - 1)
+        start_time = self._start_times[index]
+        segment = self._segments[index]
+        return start_time, start_time + segment.duration, segment
+
+    def timed_segments_until(self, t: float) -> Iterator[tuple[float, float, MotionSegment]]:
+        """Stream ``(start, end, segment)`` triples overlapping ``[0, t]``."""
+        self.ensure_time(t)
+        for start_time, segment in zip(self._start_times, self._segments):
+            if start_time > t:
+                return
+            yield start_time, start_time + segment.duration, segment
+
+    def window(self, t0: float, t1: float) -> list[tuple[float, float, MotionSegment]]:
+        """Timed segments overlapping ``[t0, t1]``."""
+        if t1 < t0:
+            raise TrajectoryError(f"empty window [{t0!r}, {t1!r}]")
+        self.ensure_time(t1)
+        result = []
+        for start_time, segment in zip(self._start_times, self._segments):
+            end_time = start_time + segment.duration
+            if end_time < t0 or start_time > t1:
+                continue
+            result.append((start_time, end_time, segment))
+        if not result and self._segments:
+            # The window lies beyond a finite trajectory: the robot idles at
+            # its final position.
+            last_end = self._start_times[-1] + self._segments[-1].duration
+            if t0 >= last_end:
+                return []
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "exhausted" if self._exhausted else "open"
+        return (
+            f"LazyTrajectory(materialised={len(self._segments)}, "
+            f"covered={self._covered:.6g}, {status})"
+        )

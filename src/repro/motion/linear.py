@@ -1,0 +1,75 @@
+"""Straight-line motion at constant speed."""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError
+from ..geometry import Vec2
+from .segment import MotionSegment
+
+__all__ = ["LinearMotion"]
+
+
+class LinearMotion(MotionSegment):
+    """Uniform motion from ``start`` to ``end`` over ``duration`` time units.
+
+    A zero-length move with positive duration behaves like a wait; a
+    zero-duration move is rejected unless it is also zero length.
+    """
+
+    __slots__ = ("_start", "_end", "_duration", "_speed")
+
+    def __init__(self, start: Vec2, end: Vec2, duration: float) -> None:
+        if duration < 0.0:
+            raise InvalidParameterError(f"duration must be non-negative, got {duration!r}")
+        length = start.distance_to(end)
+        if duration == 0.0 and length > 0.0:
+            raise InvalidParameterError(
+                "a linear motion covering a positive distance needs a positive duration"
+            )
+        self._start = start
+        self._end = end
+        self._duration = float(duration)
+        self._speed = 0.0 if duration == 0.0 else length / duration
+
+    @staticmethod
+    def with_speed(start: Vec2, end: Vec2, speed: float) -> "LinearMotion":
+        """Build the motion from its speed instead of its duration."""
+        if speed <= 0.0:
+            raise InvalidParameterError(f"speed must be positive, got {speed!r}")
+        return LinearMotion(start, end, start.distance_to(end) / speed)
+
+    # -- MotionSegment interface ----------------------------------------------
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    @property
+    def start(self) -> Vec2:
+        return self._start
+
+    @property
+    def end(self) -> Vec2:
+        return self._end
+
+    @property
+    def speed(self) -> float:
+        return self._speed
+
+    def position(self, t: float) -> Vec2:
+        t = self._check_time(t)
+        if self._duration == 0.0:
+            return self._start
+        return self._start.lerp(self._end, t / self._duration)
+
+    def path_length(self) -> float:
+        return self._start.distance_to(self._end)
+
+    def bounding_center_radius(self) -> tuple[Vec2, float]:
+        center = self._start.lerp(self._end, 0.5)
+        return center, self.path_length() / 2.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LinearMotion(start={self._start!r}, end={self._end!r}, "
+            f"duration={self._duration:.6g})"
+        )

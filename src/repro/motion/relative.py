@@ -1,0 +1,90 @@
+"""Relative motion and the paper's *equivalent search trajectory*.
+
+Section 3 of the paper reduces rendezvous (with equal clocks) to search:
+if both robots run the algorithm whose reference trajectory is ``S(t)``,
+then the vector from robot R to robot R' is ``d - S_circ(t)`` where
+
+    S_circ(t) = S(t) - S'(t) = (I - T) S(t) = T_circ S(t)
+
+and rendezvous happens exactly when this equivalent search trajectory
+comes within ``r`` of the (static) point ``d``.
+
+Two views of the relative motion are provided:
+
+* :class:`EquivalentSearchTrajectory` -- the algebraic view ``T_circ S(t)``
+  used by the reduction analysis and its tests (only valid when both
+  clocks agree, i.e. ``tau = 1``).
+* :class:`RelativeMotion` -- the fully general view built from the two
+  *world* trajectories, valid for any attribute combination; this is what
+  the simulator measures.
+"""
+
+from __future__ import annotations
+
+from ..geometry import LinearMap2, Vec2
+from .lazy import LazyTrajectory
+from .trajectory import Trajectory
+
+__all__ = ["EquivalentSearchTrajectory", "RelativeMotion"]
+
+
+class EquivalentSearchTrajectory:
+    """The trajectory ``S_circ(t) = T_circ S(t)`` of Definition 1."""
+
+    __slots__ = ("_reference", "_matrix")
+
+    def __init__(self, reference: Trajectory | LazyTrajectory, matrix: LinearMap2) -> None:
+        self._reference = reference
+        self._matrix = matrix
+
+    @property
+    def matrix(self) -> LinearMap2:
+        """The relative matrix ``T_circ``."""
+        return self._matrix
+
+    def position(self, t: float) -> Vec2:
+        """Value of the equivalent search trajectory at time ``t``."""
+        return self._matrix.apply(self._reference.position(t))
+
+    def distance_to_target(self, t: float, target: Vec2) -> float:
+        """Distance from the equivalent searcher to a static ``target``."""
+        return self.position(t).distance_to(target)
+
+    def max_speed_up_to(self, t: float) -> float:
+        """Upper bound on the speed of the equivalent searcher on ``[0, t]``.
+
+        The equivalent searcher moves at most ``||T_circ||_2`` times faster
+        than the reference robot (operator norm), and the reference robot
+        moves at speed at most 1.
+        """
+        if isinstance(self._reference, LazyTrajectory):
+            base = self._reference.max_speed_up_to(t)
+        else:
+            base = self._reference.max_speed()
+        return base * self._matrix.operator_norm()
+
+
+class RelativeMotion:
+    """Relative position of two robots given their world trajectories."""
+
+    __slots__ = ("_first", "_second")
+
+    def __init__(
+        self,
+        first: Trajectory | LazyTrajectory,
+        second: Trajectory | LazyTrajectory,
+    ) -> None:
+        self._first = first
+        self._second = second
+
+    def separation(self, t: float) -> Vec2:
+        """Vector from the second robot to the first at time ``t``."""
+        return self._first.position(t) - self._second.position(t)
+
+    def gap(self, t: float) -> float:
+        """Distance between the robots at time ``t``."""
+        return self.separation(t).norm()
+
+    def within(self, t: float, radius: float) -> bool:
+        """True when the robots see each other at time ``t``."""
+        return self.gap(t) <= radius

@@ -1,0 +1,77 @@
+"""Sampling utilities for trajectories.
+
+These are used by the visualisation code and by tests that need dense
+numeric views of a trajectory (speed checks, coverage checks).  The
+simulator itself never samples -- it works on exact segments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..geometry import Vec2
+from .lazy import LazyTrajectory
+from .trajectory import Trajectory
+
+__all__ = [
+    "sample_positions",
+    "sample_times",
+    "positions_array",
+    "numeric_path_length",
+    "numeric_max_speed",
+]
+
+
+def sample_times(duration: float, count: int) -> list[float]:
+    """``count`` evenly spaced times spanning ``[0, duration]``."""
+    if count < 2:
+        raise InvalidParameterError(f"need at least 2 samples, got {count!r}")
+    if duration < 0.0:
+        raise InvalidParameterError(f"duration must be non-negative, got {duration!r}")
+    return [duration * index / (count - 1) for index in range(count)]
+
+
+def sample_positions(
+    trajectory: Trajectory | LazyTrajectory, times: Sequence[float]
+) -> list[Vec2]:
+    """Positions of the trajectory at the given times."""
+    return [trajectory.position(t) for t in times]
+
+
+def positions_array(
+    trajectory: Trajectory | LazyTrajectory, times: Sequence[float]
+) -> np.ndarray:
+    """Positions stacked as an ``(n, 2)`` numpy array."""
+    return np.array([[p.x, p.y] for p in sample_positions(trajectory, times)], dtype=float)
+
+
+def numeric_path_length(trajectory: Trajectory, samples_per_segment: int = 64) -> float:
+    """Path length estimated by dense sampling (cross-check for tests)."""
+    total = 0.0
+    for _, _, segment in trajectory.timed_segments():
+        if segment.duration == 0.0:
+            continue
+        previous = segment.position(0.0)
+        for index in range(1, samples_per_segment + 1):
+            current = segment.position(segment.duration * index / samples_per_segment)
+            total += previous.distance_to(current)
+            previous = current
+    return total
+
+
+def numeric_max_speed(trajectory: Trajectory, samples_per_segment: int = 64) -> float:
+    """Maximum speed estimated by finite differences (cross-check for tests)."""
+    best = 0.0
+    for _, _, segment in trajectory.timed_segments():
+        if segment.duration == 0.0:
+            continue
+        step = segment.duration / samples_per_segment
+        previous = segment.position(0.0)
+        for index in range(1, samples_per_segment + 1):
+            current = segment.position(step * index)
+            best = max(best, previous.distance_to(current) / step)
+            previous = current
+    return best

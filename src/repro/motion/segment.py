@@ -1,0 +1,99 @@
+"""The motion-segment interface.
+
+A *motion segment* describes where a robot is during a contiguous slice of
+time: it has a duration, a start and an end position, and an exact
+``position(t)`` for every ``0 <= t <= duration``.  All of the paper's
+algorithms compile down to sequences of just three primitives -- straight
+moves, circular arcs and waits -- which keeps the simulator exact: there is
+no numerical integration anywhere, positions are closed-form functions of
+time.
+
+Durations and positions are expressed in the *world* frame once a segment
+has been attached to a robot; the algorithm builders first create segments
+in the robot's local frame and :mod:`repro.motion.transform` converts them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from ..errors import TimeOutOfRangeError
+from ..geometry import Vec2
+
+__all__ = ["MotionSegment"]
+
+
+class MotionSegment(abc.ABC):
+    """Abstract base class of the three motion primitives."""
+
+    __slots__ = ()
+
+    #: Absolute tolerance used when clamping evaluation times to the
+    #: segment's domain (guards against floating-point drift when a
+    #: trajectory dispatches a global time into a segment-local time).
+    _TIME_SLACK = 1e-9
+
+    # -- geometry ---------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def duration(self) -> float:
+        """Length of the segment in time units (non-negative)."""
+
+    @property
+    @abc.abstractmethod
+    def start(self) -> Vec2:
+        """Position at local time 0."""
+
+    @property
+    @abc.abstractmethod
+    def end(self) -> Vec2:
+        """Position at local time ``duration``."""
+
+    @abc.abstractmethod
+    def position(self, t: float) -> Vec2:
+        """Position at local time ``t`` with ``0 <= t <= duration``."""
+
+    @property
+    @abc.abstractmethod
+    def speed(self) -> float:
+        """Constant speed along the segment (0 for waits)."""
+
+    @abc.abstractmethod
+    def path_length(self) -> float:
+        """Distance travelled along the segment."""
+
+    @abc.abstractmethod
+    def bounding_center_radius(self) -> tuple[Vec2, float]:
+        """A disc (center, radius) containing every point of the segment.
+
+        The simulator uses this for cheap rejection tests, so the bound
+        should be tight-ish but above all *correct*.
+        """
+
+    # -- shared helpers ------------------------------------------------------
+    def _check_time(self, t: float) -> float:
+        """Clamp ``t`` into the valid domain, raising when clearly outside."""
+        if t < -self._TIME_SLACK or t > self.duration + self._TIME_SLACK:
+            raise TimeOutOfRangeError(
+                f"time {t!r} outside segment domain [0, {self.duration!r}]"
+            )
+        return min(max(t, 0.0), self.duration)
+
+    def sample_times(self, count: int) -> Iterable[float]:
+        """``count`` evenly spaced local times covering the segment."""
+        if count < 2:
+            yield 0.0
+            return
+        for index in range(count):
+            yield self.duration * index / (count - 1)
+
+    def max_distance_from(self, point: Vec2) -> float:
+        """Upper bound on the distance from ``point`` to the segment."""
+        center, radius = self.bounding_center_radius()
+        return point.distance_to(center) + radius
+
+    def min_distance_lower_bound(self, point: Vec2) -> float:
+        """Lower bound on the distance from ``point`` to the segment."""
+        center, radius = self.bounding_center_radius()
+        return max(0.0, point.distance_to(center) - radius)

@@ -1,0 +1,146 @@
+"""Finite trajectories: ordered sequences of motion segments.
+
+A :class:`Trajectory` is a finite, contiguous, piecewise-analytic motion:
+segment ``i+1`` starts where segment ``i`` ends.  Evaluation at a global
+time dispatches to the right segment with a binary search, so position
+queries cost ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import TimeOutOfRangeError, TrajectoryError
+from ..geometry import Vec2
+from .segment import MotionSegment
+from .wait import WaitMotion
+
+__all__ = ["Trajectory"]
+
+#: Maximum allowed gap between the end of one segment and the start of the
+#: next before the trajectory is declared discontinuous.
+_CONTINUITY_TOLERANCE = 1e-6
+
+
+class Trajectory:
+    """An immutable finite trajectory built from contiguous segments."""
+
+    __slots__ = ("_segments", "_start_times", "_duration")
+
+    def __init__(self, segments: Iterable[MotionSegment], validate: bool = True) -> None:
+        segment_list = list(segments)
+        if not segment_list:
+            raise TrajectoryError("a trajectory needs at least one segment")
+        if validate:
+            _check_continuity(segment_list)
+        start_times: list[float] = []
+        elapsed = 0.0
+        for segment in segment_list:
+            start_times.append(elapsed)
+            elapsed += segment.duration
+        self._segments: tuple[MotionSegment, ...] = tuple(segment_list)
+        self._start_times: tuple[float, ...] = tuple(start_times)
+        self._duration = elapsed
+
+    # -- construction helpers -----------------------------------------------
+    @staticmethod
+    def stationary(position: Vec2, duration: float) -> "Trajectory":
+        """A trajectory that waits at ``position`` for ``duration``."""
+        return Trajectory([WaitMotion(position, duration)])
+
+    def followed_by(self, other: "Trajectory") -> "Trajectory":
+        """Concatenation; ``other`` must start where this trajectory ends."""
+        return Trajectory(list(self._segments) + list(other._segments))
+
+    def extended(self, segments: Iterable[MotionSegment]) -> "Trajectory":
+        """Concatenation with extra raw segments."""
+        return Trajectory(list(self._segments) + list(segments))
+
+    # -- inspection ---------------------------------------------------------------
+    @property
+    def segments(self) -> tuple[MotionSegment, ...]:
+        """The underlying segments, in time order."""
+        return self._segments
+
+    @property
+    def duration(self) -> float:
+        """Total duration of the trajectory."""
+        return self._duration
+
+    @property
+    def start(self) -> Vec2:
+        """Initial position."""
+        return self._segments[0].start
+
+    @property
+    def end(self) -> Vec2:
+        """Final position."""
+        return self._segments[-1].end
+
+    def path_length(self) -> float:
+        """Total distance travelled."""
+        return sum(segment.path_length() for segment in self._segments)
+
+    def max_speed(self) -> float:
+        """Largest segment speed (Lipschitz constant of the motion)."""
+        return max(segment.speed for segment in self._segments)
+
+    def segment_count(self) -> int:
+        """Number of segments."""
+        return len(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterator[MotionSegment]:
+        return iter(self._segments)
+
+    # -- evaluation ------------------------------------------------------------------
+    def segment_index_at(self, t: float) -> int:
+        """Index of the segment active at global time ``t``."""
+        if t < -1e-9 or t > self._duration + 1e-9:
+            raise TimeOutOfRangeError(
+                f"time {t!r} outside trajectory domain [0, {self._duration!r}]"
+            )
+        t = min(max(t, 0.0), self._duration)
+        index = bisect.bisect_right(self._start_times, t) - 1
+        return min(max(index, 0), len(self._segments) - 1)
+
+    def position(self, t: float) -> Vec2:
+        """Position at global time ``t`` (``0 <= t <= duration``)."""
+        index = self.segment_index_at(t)
+        local_time = min(max(t, 0.0), self._duration) - self._start_times[index]
+        segment = self._segments[index]
+        return segment.position(min(local_time, segment.duration))
+
+    def timed_segments(self) -> Iterator[tuple[float, float, MotionSegment]]:
+        """Iterate ``(start_time, end_time, segment)`` triples."""
+        for start_time, segment in zip(self._start_times, self._segments):
+            yield start_time, start_time + segment.duration, segment
+
+    def window(self, t0: float, t1: float) -> list[tuple[float, float, MotionSegment]]:
+        """Timed segments overlapping the interval ``[t0, t1]``."""
+        if t1 < t0:
+            raise TrajectoryError(f"empty window [{t0!r}, {t1!r}]")
+        result = []
+        for start_time, end_time, segment in self.timed_segments():
+            if end_time < t0 or start_time > t1:
+                continue
+            result.append((start_time, end_time, segment))
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trajectory(segments={len(self._segments)}, duration={self._duration:.6g}, "
+            f"length={self.path_length():.6g})"
+        )
+
+
+def _check_continuity(segments: Sequence[MotionSegment]) -> None:
+    for index, (previous, current) in enumerate(zip(segments, segments[1:])):
+        gap = previous.end.distance_to(current.start)
+        if gap > _CONTINUITY_TOLERANCE:
+            raise TrajectoryError(
+                f"discontinuity of {gap:.3e} between segments {index} and {index + 1}"
+            )

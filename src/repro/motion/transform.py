@@ -1,0 +1,92 @@
+"""Mapping local-frame motion segments to world-frame motion.
+
+The attribute map of Lemma 4 is a *similarity* of the plane (rotation,
+optional reflection, uniform scaling) combined with a uniform time dilation
+(the asymmetric clock).  Similarities map straight lines to straight lines
+and circles to circles, so a local-frame :class:`LinearMotion`,
+:class:`ArcMotion` or :class:`WaitMotion` maps to a world-frame segment of
+the *same kind* -- the world trajectory stays exactly representable, which
+keeps the whole simulation closed-form.
+
+This module implements that mapping, one segment at a time, so it also
+works for the lazy/unbounded trajectories of Algorithms 4 and 7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import TrajectoryError
+from ..geometry import ReferenceFrame, Vec2
+from .arc import ArcMotion
+from .lazy import LazyTrajectory
+from .linear import LinearMotion
+from .segment import MotionSegment
+from .trajectory import Trajectory
+from .wait import WaitMotion
+
+__all__ = [
+    "transform_segment",
+    "transform_segments",
+    "transform_trajectory",
+    "lazy_world_trajectory",
+]
+
+
+def transform_segment(segment: MotionSegment, frame: ReferenceFrame) -> MotionSegment:
+    """Map one local-frame segment into the world frame of ``frame``.
+
+    Durations are multiplied by the frame's time unit; positions go through
+    the frame's similarity map.  The segment kind is preserved.
+    """
+    duration = segment.duration * frame.time_unit
+    if isinstance(segment, WaitMotion):
+        return WaitMotion(frame.to_world_point(segment.start), duration)
+    if isinstance(segment, LinearMotion):
+        return LinearMotion(
+            frame.to_world_point(segment.start),
+            frame.to_world_point(segment.end),
+            duration,
+        )
+    if isinstance(segment, ArcMotion):
+        return _transform_arc(segment, frame, duration)
+    raise TrajectoryError(f"unknown segment type {type(segment).__name__!r}")
+
+
+def _transform_arc(segment: ArcMotion, frame: ReferenceFrame, duration: float) -> ArcMotion:
+    center = frame.to_world_point(segment.center)
+    radius = segment.radius * frame.distance_unit
+    # The start angle rotates with the frame; a mirrored frame (chirality
+    # -1) flips both the start angle and the sweep direction.
+    if frame.chirality == 1:
+        start_angle = segment.start_angle + frame.orientation
+        sweep = segment.sweep
+    else:
+        start_angle = -segment.start_angle + frame.orientation
+        sweep = -segment.sweep
+    world_arc = ArcMotion(center, radius, start_angle, sweep, duration)
+    # Defensive check: the similarity must map endpoints consistently.
+    expected_start = frame.to_world_point(segment.start)
+    if world_arc.start.distance_to(expected_start) > 1e-6 * max(1.0, radius):
+        raise TrajectoryError("arc transform produced an inconsistent start point")
+    return world_arc
+
+
+def transform_segments(
+    segments: Iterable[MotionSegment], frame: ReferenceFrame
+) -> Iterator[MotionSegment]:
+    """Lazily map a stream of local segments into the world frame."""
+    for segment in segments:
+        yield transform_segment(segment, frame)
+
+
+def transform_trajectory(trajectory: Trajectory, frame: ReferenceFrame) -> Trajectory:
+    """Map a finite local trajectory into the world frame."""
+    return Trajectory([transform_segment(segment, frame) for segment in trajectory])
+
+
+def lazy_world_trajectory(
+    segments: Iterable[MotionSegment], frame: ReferenceFrame
+) -> LazyTrajectory:
+    """Wrap a (possibly infinite) local segment stream as a world trajectory."""
+    return LazyTrajectory(transform_segments(segments, frame))

@@ -1,0 +1,56 @@
+"""Stationary (waiting) motion."""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError
+from ..geometry import Vec2
+from .segment import MotionSegment
+
+__all__ = ["WaitMotion"]
+
+
+class WaitMotion(MotionSegment):
+    """The robot stays at ``position`` for ``duration`` time units.
+
+    Waits are first-class segments because Algorithm 3 ends every round
+    with a calibrated wait and Algorithm 7 alternates long inactive phases
+    with active search phases; both are essential to the asymmetric-clock
+    symmetry breaking.
+    """
+
+    __slots__ = ("_position", "_duration")
+
+    def __init__(self, position: Vec2, duration: float) -> None:
+        if duration < 0.0:
+            raise InvalidParameterError(f"duration must be non-negative, got {duration!r}")
+        self._position = position
+        self._duration = float(duration)
+
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    @property
+    def start(self) -> Vec2:
+        return self._position
+
+    @property
+    def end(self) -> Vec2:
+        return self._position
+
+    @property
+    def speed(self) -> float:
+        return 0.0
+
+    def position(self, t: float) -> Vec2:
+        self._check_time(t)
+        return self._position
+
+    def path_length(self) -> float:
+        return 0.0
+
+    def bounding_center_radius(self) -> tuple[Vec2, float]:
+        return self._position, 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WaitMotion(position={self._position!r}, duration={self._duration:.6g})"

@@ -1,0 +1,13 @@
+"""Robot model: hidden attributes, robots and canonical pairs."""
+
+from .attributes import REFERENCE_ATTRIBUTES, RobotAttributes
+from .pair import RobotPair, make_pair
+from .robot import Robot
+
+__all__ = [
+    "REFERENCE_ATTRIBUTES",
+    "RobotAttributes",
+    "RobotPair",
+    "make_pair",
+    "Robot",
+]

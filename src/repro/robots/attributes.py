@@ -1,0 +1,114 @@
+"""Robot attributes: the hidden parameters of the paper's model.
+
+The four attributes of a robot relative to the reference robot R are:
+
+* ``speed``        -- moving speed ``v > 0`` (R has speed 1),
+* ``time_unit``    -- clock unit ``tau > 0`` (R has unit 1),
+* ``orientation``  -- compass offset ``phi`` in ``[0, 2*pi)`` (R has 0),
+* ``chirality``    -- ``+1`` or ``-1`` (R has +1).
+
+The robots themselves *do not know* these values; they exist only in the
+experimenter's (adversary's) description of an instance.  The algorithms
+never read them -- this is enforced structurally: algorithm code receives
+only a :class:`~repro.motion.builder.TrajectoryBuilder`, never the
+attributes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+from ..geometry import ReferenceFrame, Vec2, normalize_angle
+
+__all__ = ["RobotAttributes", "REFERENCE_ATTRIBUTES"]
+
+
+@dataclass(frozen=True, slots=True)
+class RobotAttributes:
+    """The hidden attribute vector ``(v, tau, phi, chi)`` of a robot."""
+
+    speed: float = 1.0
+    time_unit: float = 1.0
+    orientation: float = 0.0
+    chirality: int = 1
+
+    def __post_init__(self) -> None:
+        if not (self.speed > 0.0 and math.isfinite(self.speed)):
+            raise InvalidParameterError(f"speed must be positive and finite, got {self.speed!r}")
+        if not (self.time_unit > 0.0 and math.isfinite(self.time_unit)):
+            raise InvalidParameterError(
+                f"time_unit must be positive and finite, got {self.time_unit!r}"
+            )
+        if not math.isfinite(self.orientation):
+            raise InvalidParameterError(f"orientation must be finite, got {self.orientation!r}")
+        if self.chirality not in (-1, 1):
+            raise InvalidParameterError(f"chirality must be +1 or -1, got {self.chirality!r}")
+
+    # -- canonical form ---------------------------------------------------------
+    def normalized(self) -> "RobotAttributes":
+        """Copy with the orientation reduced to ``[0, 2*pi)``."""
+        return RobotAttributes(
+            speed=self.speed,
+            time_unit=self.time_unit,
+            orientation=normalize_angle(self.orientation),
+            chirality=self.chirality,
+        )
+
+    def is_reference(self, tolerance: float = 1e-12) -> bool:
+        """True when the attributes coincide with the reference robot R."""
+        normalized = self.normalized()
+        orientation_zero = (
+            normalized.orientation <= tolerance
+            or 2.0 * math.pi - normalized.orientation <= tolerance
+        )
+        return (
+            abs(self.speed - 1.0) <= tolerance
+            and abs(self.time_unit - 1.0) <= tolerance
+            and orientation_zero
+            and self.chirality == 1
+        )
+
+    # -- differences with the reference robot -------------------------------------
+    def differs_in_speed(self, tolerance: float = 1e-12) -> bool:
+        """True when the robot's speed differs from the reference speed 1."""
+        return abs(self.speed - 1.0) > tolerance
+
+    def differs_in_clock(self, tolerance: float = 1e-12) -> bool:
+        """True when the robot's time unit differs from the reference unit 1."""
+        return abs(self.time_unit - 1.0) > tolerance
+
+    def differs_in_orientation(self, tolerance: float = 1e-12) -> bool:
+        """True when the robot's compass differs from the reference compass."""
+        normalized = self.normalized()
+        return not (
+            normalized.orientation <= tolerance
+            or 2.0 * math.pi - normalized.orientation <= tolerance
+        )
+
+    def differs_in_chirality(self) -> bool:
+        """True when the robot disagrees with the reference +y direction."""
+        return self.chirality == -1
+
+    # -- conversion --------------------------------------------------------------
+    def frame(self, origin: Vec2) -> ReferenceFrame:
+        """The robot's reference frame when it starts at ``origin``."""
+        return ReferenceFrame(
+            origin=origin,
+            speed=self.speed,
+            time_unit=self.time_unit,
+            orientation=self.orientation,
+            chirality=self.chirality,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable description of the attribute vector."""
+        return (
+            f"v={self.speed:.4g}, tau={self.time_unit:.4g}, "
+            f"phi={self.orientation:.4g}, chi={self.chirality:+d}"
+        )
+
+
+#: Attributes of the reference robot R (the paper's WLOG normal form).
+REFERENCE_ATTRIBUTES = RobotAttributes()

@@ -1,0 +1,62 @@
+"""Construction of the canonical two-robot configuration.
+
+The paper always analyses rendezvous from the viewpoint of the reference
+robot R: R sits at the world origin with speed 1, clock 1, orientation 0
+and chirality +1, while R' sits at an unknown displacement ``d`` and
+carries the attribute vector ``(v, tau, phi, chi)``.  ``make_pair`` builds
+exactly that configuration; it is used by the simulator, the workload
+generators and most tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+from ..geometry import ORIGIN, Vec2
+from .attributes import REFERENCE_ATTRIBUTES, RobotAttributes
+from .robot import Robot
+
+__all__ = ["RobotPair", "make_pair"]
+
+
+@dataclass(frozen=True, slots=True)
+class RobotPair:
+    """The two robots of a rendezvous instance."""
+
+    reference: Robot
+    other: Robot
+
+    @property
+    def initial_distance(self) -> float:
+        """Euclidean distance between the start positions."""
+        return self.reference.start.distance_to(self.other.start)
+
+    @property
+    def separation(self) -> Vec2:
+        """Vector from the reference robot to the other robot."""
+        return self.other.start - self.reference.start
+
+    def describe(self) -> str:
+        """Human-readable pair summary."""
+        return f"{self.reference.describe()} | {self.other.describe()}"
+
+
+def make_pair(
+    separation: Vec2,
+    attributes: RobotAttributes,
+    reference_start: Vec2 = ORIGIN,
+) -> RobotPair:
+    """Build the canonical pair: R at ``reference_start``, R' displaced by ``separation``.
+
+    Args:
+        separation: vector ``d`` from R to R'; must be non-zero (the paper
+            assumes the robots start at *different* locations).
+        attributes: hidden attributes of R'.
+        reference_start: world position of R (defaults to the origin).
+    """
+    if separation.norm() == 0.0:
+        raise InvalidParameterError("the robots must start at different locations (d > 0)")
+    reference = Robot(name="R", start=reference_start, attributes=REFERENCE_ATTRIBUTES)
+    other = Robot(name="R-prime", start=reference_start + separation, attributes=attributes)
+    return RobotPair(reference=reference, other=other)

@@ -1,0 +1,60 @@
+"""A robot: attributes + start position + algorithm -> world trajectory.
+
+The :class:`Robot` class is the glue between the algorithm layer (which
+produces local-frame motion commands and knows nothing about attributes)
+and the simulation layer (which consumes world-frame trajectories).  It is
+deliberately thin: the interesting behaviour lives in the algorithm and in
+the frame transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..geometry import ORIGIN, ReferenceFrame, Vec2
+from ..motion import LazyTrajectory, lazy_world_trajectory
+from .attributes import REFERENCE_ATTRIBUTES, RobotAttributes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..algorithms.base import MobilityAlgorithm
+
+__all__ = ["Robot"]
+
+
+@dataclass(frozen=True, slots=True)
+class Robot:
+    """A mobile robot of the paper's model.
+
+    Attributes:
+        name: label used in traces and reports ("R" and "R-prime" by
+            convention).
+        start: world-frame start position.
+        attributes: the hidden attribute vector.
+    """
+
+    name: str
+    start: Vec2 = ORIGIN
+    attributes: RobotAttributes = field(default_factory=lambda: REFERENCE_ATTRIBUTES)
+
+    @property
+    def frame(self) -> ReferenceFrame:
+        """The robot's local-to-world reference frame."""
+        return self.attributes.frame(self.start)
+
+    @property
+    def max_speed(self) -> float:
+        """World-frame moving speed of the robot."""
+        return self.attributes.speed
+
+    def world_trajectory(self, algorithm: "MobilityAlgorithm") -> LazyTrajectory:
+        """World-frame trajectory obtained by running ``algorithm``.
+
+        The algorithm emits local-frame segments; they are mapped through
+        the robot's frame lazily, so infinite algorithms are fine.
+        """
+        return lazy_world_trajectory(algorithm.segments(), self.frame)
+
+    def describe(self) -> str:
+        """Human-readable robot summary."""
+        return f"{self.name} at ({self.start.x:.4g}, {self.start.y:.4g}) [{self.attributes.describe()}]"

@@ -1,0 +1,36 @@
+"""Continuous-time simulation of search and rendezvous."""
+
+from .closest_approach import CrossingSearchResult, find_first_crossing, interval_minimum_lower_bound
+from .engine import simulate_rendezvous, simulate_robot_pair, simulate_search
+from .events import DetectionEvent, SimulationOutcome
+from .gap import (
+    first_time_within_linear_relative,
+    first_time_within_pair,
+    first_time_within_static,
+    static_min_distance,
+)
+from .horizon import HorizonPolicy, bound_multiple_horizon, fixed_horizon
+from .instance import RendezvousInstance, SearchInstance
+from .trace import Trace, record_trace
+
+__all__ = [
+    "CrossingSearchResult",
+    "find_first_crossing",
+    "interval_minimum_lower_bound",
+    "simulate_rendezvous",
+    "simulate_robot_pair",
+    "simulate_search",
+    "DetectionEvent",
+    "SimulationOutcome",
+    "first_time_within_linear_relative",
+    "first_time_within_pair",
+    "first_time_within_static",
+    "static_min_distance",
+    "HorizonPolicy",
+    "bound_multiple_horizon",
+    "fixed_horizon",
+    "RendezvousInstance",
+    "SearchInstance",
+    "Trace",
+    "record_trace",
+]

@@ -1,0 +1,232 @@
+"""The continuous-time simulation engine.
+
+Two entry points:
+
+* :func:`simulate_search` -- one robot runs a mobility algorithm and we
+  look for the first time it comes within ``r`` of a static target.
+* :func:`simulate_rendezvous` -- both robots of an instance run the *same*
+  mobility algorithm (each in its own reference frame) and we look for the
+  first time they come within ``r`` of each other.
+
+The engine streams motion segments in time order, merging the two robots'
+segment boundaries into elementary windows during which each robot follows
+one analytic primitive.  Inside a window the first-crossing question is
+answered exactly (static or linear-linear cases) or by Lipschitz
+branch-and-bound (cases involving arcs), so the reported event time is
+accurate to the configured tolerance and no crossing deeper than the
+tolerance can be missed.  There is no global time step anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..algorithms.base import MobilityAlgorithm
+from ..constants import TIME_TOLERANCE
+from ..errors import InvalidParameterError
+from ..geometry import ORIGIN, Vec2
+from ..motion import LazyTrajectory, MotionSegment, WaitMotion
+from ..robots import Robot
+from .events import DetectionEvent, SimulationOutcome
+from .gap import first_time_within_pair, first_time_within_static
+from .horizon import HorizonPolicy
+from .instance import RendezvousInstance, SearchInstance
+
+__all__ = ["simulate_search", "simulate_rendezvous", "simulate_robot_pair"]
+
+#: Windows narrower than this are treated as empty (guards against
+#: zero-duration segments creating infinite loops).
+_MIN_WINDOW = 1e-15
+
+
+def _resolve_horizon(horizon: HorizonPolicy | float) -> float:
+    if isinstance(horizon, HorizonPolicy):
+        return horizon.limit
+    limit = float(horizon)
+    if not (limit > 0.0) or math.isinf(limit):
+        raise InvalidParameterError(f"the horizon must be positive and finite, got {horizon!r}")
+    return limit
+
+
+def _segment_or_parked(
+    trajectory: LazyTrajectory, index: int, horizon: float
+) -> tuple[float, float, MotionSegment]:
+    """The ``index``-th timed segment, or a virtual wait once the source ends."""
+    entry = trajectory.timed_segment(index)
+    if entry is not None:
+        return entry
+    # Finite algorithm exhausted: the robot parks at its final position
+    # until the horizon.
+    start = trajectory.covered_duration
+    parked = WaitMotion(trajectory.final_position(), max(horizon - start, 0.0) + 1.0)
+    return start, start + parked.duration, parked
+
+
+def simulate_search(
+    algorithm: MobilityAlgorithm,
+    instance: SearchInstance,
+    horizon: HorizonPolicy | float,
+    time_tolerance: float = TIME_TOLERANCE,
+) -> SimulationOutcome:
+    """Run ``algorithm`` from the origin until the target is seen or the horizon hits."""
+    limit = _resolve_horizon(horizon)
+    robot = Robot(name="R", start=ORIGIN, attributes=instance.attributes)
+    world = robot.world_trajectory(algorithm)
+
+    intervals = 0
+    evaluations = 0
+    index = 0
+    current_time = 0.0
+    while current_time < limit:
+        entry = world.timed_segment(index)
+        if entry is None:
+            break
+        segment_start, segment_end, segment = entry
+        window_lo = max(current_time, segment_start)
+        window_hi = min(segment_end, limit)
+        if window_hi - window_lo > _MIN_WINDOW or (
+            segment.duration == 0.0 and window_hi >= window_lo
+        ):
+            intervals += 1
+            local_time, n_evals = first_time_within_static(
+                segment,
+                instance.target,
+                instance.visibility,
+                window_lo - segment_start,
+                window_hi - segment_start,
+                time_tolerance,
+            )
+            evaluations += n_evals
+            if local_time is not None:
+                event_time = segment_start + local_time
+                position = segment.position(local_time)
+                event = DetectionEvent(
+                    time=event_time,
+                    gap=position.distance_to(instance.target),
+                    position_reference=position,
+                    position_other=instance.target,
+                )
+                return SimulationOutcome(
+                    solved=True,
+                    event=event,
+                    horizon=limit,
+                    segments_processed=intervals,
+                    gap_evaluations=evaluations,
+                )
+        current_time = max(current_time, segment_end)
+        index += 1
+    return SimulationOutcome(
+        solved=False,
+        event=None,
+        horizon=limit,
+        segments_processed=intervals,
+        gap_evaluations=evaluations,
+    )
+
+
+def simulate_rendezvous(
+    algorithm: MobilityAlgorithm,
+    instance: RendezvousInstance,
+    horizon: HorizonPolicy | float,
+    time_tolerance: float = TIME_TOLERANCE,
+) -> SimulationOutcome:
+    """Run ``algorithm`` on both robots until they see each other or the horizon hits."""
+    pair = instance.robot_pair()
+    return simulate_robot_pair(
+        algorithm, pair.reference, pair.other, instance.visibility, horizon, time_tolerance
+    )
+
+
+def simulate_robot_pair(
+    algorithm: MobilityAlgorithm,
+    robot_reference: Robot,
+    robot_other: Robot,
+    visibility: float,
+    horizon: HorizonPolicy | float,
+    time_tolerance: float = TIME_TOLERANCE,
+) -> SimulationOutcome:
+    """First contact between two arbitrary robots running the same algorithm.
+
+    Unlike :func:`simulate_rendezvous`, neither robot needs to carry the
+    reference attributes -- this is what the multi-robot gathering
+    extension uses to simulate every pair of a swarm.
+    """
+    if visibility <= 0.0 or not math.isfinite(visibility):
+        raise InvalidParameterError(f"visibility must be positive and finite, got {visibility!r}")
+    limit = _resolve_horizon(horizon)
+    trajectory_reference = robot_reference.world_trajectory(algorithm)
+    trajectory_other = robot_other.world_trajectory(algorithm)
+
+    intervals = 0
+    evaluations = 0
+    index_reference = 0
+    index_other = 0
+    current_time = 0.0
+
+    # Immediate detection at t = 0 (the robots may already see each other).
+    initial_gap = robot_reference.start.distance_to(robot_other.start)
+    if initial_gap <= visibility:
+        event = DetectionEvent(
+            time=0.0,
+            gap=initial_gap,
+            position_reference=robot_reference.start,
+            position_other=robot_other.start,
+        )
+        return SimulationOutcome(
+            solved=True, event=event, horizon=limit, segments_processed=0, gap_evaluations=1
+        )
+
+    while current_time < limit:
+        start_ref, end_ref, segment_ref = _segment_or_parked(
+            trajectory_reference, index_reference, limit
+        )
+        start_oth, end_oth, segment_oth = _segment_or_parked(
+            trajectory_other, index_other, limit
+        )
+        window_lo = current_time
+        window_hi = min(end_ref, end_oth, limit)
+        if window_hi - window_lo > _MIN_WINDOW:
+            intervals += 1
+            crossing_time, n_evals = first_time_within_pair(
+                segment_ref,
+                start_ref,
+                segment_oth,
+                start_oth,
+                window_lo,
+                window_hi,
+                visibility,
+                time_tolerance,
+            )
+            evaluations += n_evals
+            if crossing_time is not None:
+                position_ref = segment_ref.position(crossing_time - start_ref)
+                position_oth = segment_oth.position(crossing_time - start_oth)
+                event = DetectionEvent(
+                    time=crossing_time,
+                    gap=position_ref.distance_to(position_oth),
+                    position_reference=position_ref,
+                    position_other=position_oth,
+                )
+                return SimulationOutcome(
+                    solved=True,
+                    event=event,
+                    horizon=limit,
+                    segments_processed=intervals,
+                    gap_evaluations=evaluations,
+                )
+        # Advance past whichever segment(s) end at the window boundary.
+        current_time = window_hi
+        if end_ref <= window_hi + _MIN_WINDOW:
+            index_reference += 1
+        if end_oth <= window_hi + _MIN_WINDOW:
+            index_other += 1
+        if window_hi >= limit:
+            break
+    return SimulationOutcome(
+        solved=False,
+        event=None,
+        horizon=limit,
+        segments_processed=intervals,
+        gap_evaluations=evaluations,
+    )

@@ -1,0 +1,67 @@
+"""Simulation outcomes and events."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geometry import Vec2
+
+__all__ = ["DetectionEvent", "SimulationOutcome"]
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionEvent:
+    """The first time the sought proximity condition held.
+
+    Attributes:
+        time: global time of the detection.
+        gap: the measured distance at that time (at most the visibility,
+            up to the detector's tolerance).
+        position_reference: world position of the (reference) robot.
+        position_other: world position of the target or of the other robot.
+    """
+
+    time: float
+    gap: float
+    position_reference: Vec2
+    position_other: Vec2
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationOutcome:
+    """Result of a search or rendezvous simulation run.
+
+    Attributes:
+        solved: True when the event fired before the horizon.
+        event: the detection event (None when unsolved).
+        horizon: the time horizon the simulation was allowed to run to.
+        segments_processed: number of elementary segment intervals examined
+            (a proxy for simulation effort, reported by benchmarks).
+        gap_evaluations: number of exact gap evaluations performed.
+    """
+
+    solved: bool
+    event: Optional[DetectionEvent]
+    horizon: float
+    segments_processed: int
+    gap_evaluations: int
+
+    @property
+    def time(self) -> float:
+        """Detection time; raises when the run did not solve the problem."""
+        if not self.solved or self.event is None:
+            raise ValueError("the simulation did not reach the sought event")
+        return self.event.time
+
+    def describe(self) -> str:
+        """Human-readable outcome summary."""
+        if self.solved and self.event is not None:
+            return (
+                f"solved at t={self.event.time:.6g} (gap={self.event.gap:.4g}, "
+                f"{self.segments_processed} intervals, {self.gap_evaluations} evaluations)"
+            )
+        return (
+            f"not solved within horizon {self.horizon:.6g} "
+            f"({self.segments_processed} intervals examined)"
+        )

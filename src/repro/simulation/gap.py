@@ -1,0 +1,239 @@
+"""Gap computations between moving robots and static targets.
+
+Everything the engine needs to answer "when does the distance first drop
+to ``r``?" for one elementary interval during which each robot stays on a
+single motion segment:
+
+* exact minimum distances for the static cases (cheap rejection),
+* a closed-form first-crossing for the linear-vs-linear case (the relative
+  motion is itself uniform linear motion, so the squared gap is a
+  quadratic in time),
+* a Lipschitz branch-and-bound fallback for every case involving an arc.
+
+All first-crossing helpers work in *local* time relative to the start of
+the examined window and return local times.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..constants import TIME_TOLERANCE
+from ..geometry import Vec2, point_arc_distance, point_segment_distance
+from ..motion import ArcMotion, LinearMotion, MotionSegment, WaitMotion
+from .closest_approach import CrossingSearchResult, find_first_crossing
+
+__all__ = [
+    "static_min_distance",
+    "first_time_within_static",
+    "first_time_within_linear_relative",
+    "first_time_within_pair",
+]
+
+
+def static_min_distance(segment: MotionSegment, point: Vec2, local_lo: float, local_hi: float) -> float:
+    """Exact minimum distance from ``point`` to the segment's path on a window.
+
+    ``local_lo``/``local_hi`` restrict the motion to a sub-interval of the
+    segment's own time domain.  For full windows the closed-form
+    point/segment and point/arc distances apply directly; for partial
+    windows the sub-path endpoints are used, which is still exact because
+    sub-paths of lines and arcs are lines and arcs.
+    """
+    if isinstance(segment, WaitMotion):
+        return point.distance_to(segment.start)
+    if isinstance(segment, LinearMotion):
+        return point_segment_distance(point, segment.position(local_lo), segment.position(local_hi))
+    if isinstance(segment, ArcMotion):
+        if segment.duration == 0.0:
+            return point.distance_to(segment.start)
+        angle_lo = segment.angle_at(local_lo)
+        angle_hi = segment.angle_at(local_hi)
+        return point_arc_distance(
+            point, segment.center, segment.radius, angle_lo, angle_hi - angle_lo
+        )
+    # Unknown segment kinds fall back to a conservative bounding-disc bound.
+    center, radius = segment.bounding_center_radius()
+    return max(0.0, point.distance_to(center) - radius)
+
+
+def _first_crossing_quadratic(
+    offset: Vec2, velocity: Vec2, threshold: float, duration: float
+) -> Optional[float]:
+    """Earliest ``t`` in ``[0, duration]`` with ``|offset + velocity t| <= threshold``.
+
+    Closed form: the squared distance is a quadratic polynomial in ``t``.
+    """
+    a = velocity.norm_squared()
+    b = 2.0 * offset.dot(velocity)
+    c = offset.norm_squared() - threshold * threshold
+    if c <= 0.0:
+        return 0.0
+    if a == 0.0:
+        # No relative motion: the gap never changes.
+        return None
+    discriminant = b * b - 4.0 * a * c
+    if discriminant < 0.0:
+        return None
+    sqrt_disc = math.sqrt(discriminant)
+    root_low = (-b - sqrt_disc) / (2.0 * a)
+    root_high = (-b + sqrt_disc) / (2.0 * a)
+    if root_high < 0.0 or root_low > duration:
+        return None
+    return max(root_low, 0.0)
+
+
+def first_time_within_static(
+    segment: MotionSegment,
+    point: Vec2,
+    threshold: float,
+    local_lo: float,
+    local_hi: float,
+    time_tolerance: float = TIME_TOLERANCE,
+) -> tuple[Optional[float], int]:
+    """Earliest local time in ``[local_lo, local_hi]`` within ``threshold`` of ``point``.
+
+    Returns ``(local_time or None, gap_evaluations)``.
+    """
+    if local_hi < local_lo:
+        return None, 0
+    # Cheap exact rejection.
+    if static_min_distance(segment, point, local_lo, local_hi) > threshold:
+        return None, 0
+    if isinstance(segment, WaitMotion):
+        # The rejection test already established the wait position is close.
+        return local_lo, 0
+    if isinstance(segment, LinearMotion) and segment.duration > 0.0:
+        start = segment.position(local_lo)
+        velocity = (segment.end - segment.start) / segment.duration
+        crossing = _first_crossing_quadratic(
+            start - point, velocity, threshold, local_hi - local_lo
+        )
+        if crossing is None:
+            return None, 0
+        return local_lo + crossing, 0
+    # Arcs (and exotic segments): branch-and-bound refinement.
+    result: CrossingSearchResult = find_first_crossing(
+        gap=lambda t: segment.position(t).distance_to(point),
+        t0=local_lo,
+        t1=local_hi,
+        lipschitz=segment.speed,
+        threshold=threshold,
+        time_tolerance=time_tolerance,
+    )
+    return result.time, result.evaluations
+
+
+def first_time_within_linear_relative(
+    position_first: Vec2,
+    velocity_first: Vec2,
+    position_second: Vec2,
+    velocity_second: Vec2,
+    threshold: float,
+    duration: float,
+) -> Optional[float]:
+    """Closed-form first crossing for two robots in uniform linear motion.
+
+    Positions are the robots' positions at the start of the window and
+    velocities are constant over the window of length ``duration``.
+    """
+    return _first_crossing_quadratic(
+        position_first - position_second,
+        velocity_first - velocity_second,
+        threshold,
+        duration,
+    )
+
+
+def _linear_velocity(segment: LinearMotion) -> Vec2:
+    if segment.duration == 0.0:
+        return Vec2(0.0, 0.0)
+    return (segment.end - segment.start) / segment.duration
+
+
+def first_time_within_pair(
+    segment_first: MotionSegment,
+    start_first: float,
+    segment_second: MotionSegment,
+    start_second: float,
+    window_lo: float,
+    window_hi: float,
+    threshold: float,
+    time_tolerance: float = TIME_TOLERANCE,
+) -> tuple[Optional[float], int]:
+    """Earliest *global* time in ``[window_lo, window_hi]`` with the robots within ``threshold``.
+
+    ``segment_first`` is active from global time ``start_first`` (similarly
+    for the second robot); the window must be contained in both segments'
+    active spans.  Returns ``(global_time or None, gap_evaluations)``.
+    """
+    if window_hi < window_lo:
+        return None, 0
+
+    first_is_static = isinstance(segment_first, WaitMotion) or segment_first.speed == 0.0
+    second_is_static = isinstance(segment_second, WaitMotion) or segment_second.speed == 0.0
+
+    # Case 1: both robots hold still -- the gap is constant on the window.
+    if first_is_static and second_is_static:
+        gap = segment_first.position(window_lo - start_first).distance_to(
+            segment_second.position(window_lo - start_second)
+        )
+        return (window_lo, 1) if gap <= threshold else (None, 1)
+
+    # Case 2: exactly one robot moves -- reduce to the static-point case.
+    if first_is_static or second_is_static:
+        if first_is_static:
+            static_point = segment_first.position(window_lo - start_first)
+            moving_segment, moving_start = segment_second, start_second
+        else:
+            static_point = segment_second.position(window_lo - start_second)
+            moving_segment, moving_start = segment_first, start_first
+        local_time, evaluations = first_time_within_static(
+            moving_segment,
+            static_point,
+            threshold,
+            window_lo - moving_start,
+            window_hi - moving_start,
+            time_tolerance,
+        )
+        if local_time is None:
+            return None, evaluations
+        return moving_start + local_time, evaluations
+
+    # Case 3: both robots follow straight lines -- closed form.
+    if isinstance(segment_first, LinearMotion) and isinstance(segment_second, LinearMotion):
+        crossing = first_time_within_linear_relative(
+            segment_first.position(window_lo - start_first),
+            _linear_velocity(segment_first),
+            segment_second.position(window_lo - start_second),
+            _linear_velocity(segment_second),
+            threshold,
+            window_hi - window_lo,
+        )
+        if crossing is None:
+            return None, 0
+        return window_lo + crossing, 0
+
+    # Case 4: at least one arc and both moving -- cheap rejection then
+    # Lipschitz branch-and-bound.
+    center_first, radius_first = segment_first.bounding_center_radius()
+    center_second, radius_second = segment_second.bounding_center_radius()
+    if center_first.distance_to(center_second) - radius_first - radius_second > threshold:
+        return None, 0
+    lipschitz = segment_first.speed + segment_second.speed
+
+    def gap(t: float) -> float:
+        return segment_first.position(t - start_first).distance_to(
+            segment_second.position(t - start_second)
+        )
+
+    result = find_first_crossing(
+        gap=gap,
+        t0=window_lo,
+        t1=window_hi,
+        lipschitz=lipschitz,
+        threshold=threshold,
+        time_tolerance=time_tolerance,
+    )
+    return result.time, result.evaluations

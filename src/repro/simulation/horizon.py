@@ -1,0 +1,54 @@
+"""Horizon policies: how long a simulation is allowed to run.
+
+Feasible configurations come with closed-form time bounds (Theorems 1-3),
+so the natural horizon is "the paper's bound times a small safety factor".
+Infeasible configurations never terminate -- the paper itself notes that
+the robots can never *know* this -- so those runs need an explicit cut-off
+chosen by the experimenter.  The helpers here centralise both choices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+
+__all__ = ["HorizonPolicy", "fixed_horizon", "bound_multiple_horizon"]
+
+
+@dataclass(frozen=True, slots=True)
+class HorizonPolicy:
+    """A resolved simulation horizon with a record of how it was chosen."""
+
+    limit: float
+    reason: str
+
+    def __post_init__(self) -> None:
+        if not (self.limit > 0.0):
+            raise InvalidParameterError(f"the horizon must be positive, got {self.limit!r}")
+        if math.isinf(self.limit):
+            raise InvalidParameterError("an infinite horizon would never terminate the run")
+
+
+def fixed_horizon(limit: float) -> HorizonPolicy:
+    """A horizon fixed by the experimenter (used for infeasibility checks)."""
+    return HorizonPolicy(limit=limit, reason=f"fixed horizon {limit:g}")
+
+
+def bound_multiple_horizon(bound: float, safety_factor: float = 1.1) -> HorizonPolicy:
+    """A horizon derived from an analytic upper bound.
+
+    The paper's bounds are strict upper bounds, so a safety factor slightly
+    above 1 already guarantees the event fires before the horizon for
+    feasible instances; the default leaves extra slack for numerical
+    tolerance in the event detector.
+    """
+    if bound <= 0.0 or not math.isfinite(bound):
+        raise InvalidParameterError(f"the analytic bound must be positive and finite, got {bound!r}")
+    if safety_factor < 1.0:
+        raise InvalidParameterError(f"the safety factor must be at least 1, got {safety_factor!r}")
+    return HorizonPolicy(
+        limit=bound * safety_factor,
+        reason=f"analytic bound {bound:g} with safety factor {safety_factor:g}",
+    )

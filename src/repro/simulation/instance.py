@@ -1,0 +1,108 @@
+"""Problem instances: what the adversary chooses and the robots do not know.
+
+A *search instance* is a static target position and a visibility radius.
+A *rendezvous instance* is the separation vector ``d`` between the two
+robots, the common visibility radius ``r`` and the hidden attribute vector
+of robot R'.  Instances are pure data: the simulation engine combines them
+with a mobility algorithm to produce an outcome.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import InvalidParameterError
+from ..geometry import Vec2
+from ..robots import REFERENCE_ATTRIBUTES, RobotAttributes, RobotPair, make_pair
+
+__all__ = ["SearchInstance", "RendezvousInstance"]
+
+
+@dataclass(frozen=True, slots=True)
+class SearchInstance:
+    """A single-robot search problem.
+
+    Attributes:
+        target: world position of the static target.
+        visibility: the robot's visibility radius ``r > 0``.
+        attributes: attributes of the searching robot (defaults to the
+            reference robot; a non-reference searcher is used to model the
+            "scaled" searches appearing in the Theorem 2 reduction).
+    """
+
+    target: Vec2
+    visibility: float
+    attributes: RobotAttributes = field(default_factory=lambda: REFERENCE_ATTRIBUTES)
+
+    def __post_init__(self) -> None:
+        if not (self.visibility > 0.0 and math.isfinite(self.visibility)):
+            raise InvalidParameterError(
+                f"visibility must be positive and finite, got {self.visibility!r}"
+            )
+        if self.target.norm() == 0.0:
+            raise InvalidParameterError("the target must not coincide with the robot's start")
+
+    @property
+    def distance(self) -> float:
+        """Initial distance ``d`` from the robot (at the origin) to the target."""
+        return self.target.norm()
+
+    @property
+    def difficulty(self) -> float:
+        """The paper's difficulty measure ``d^2 / r``."""
+        return self.distance**2 / self.visibility
+
+    def describe(self) -> str:
+        """Human-readable instance summary."""
+        return (
+            f"search: target=({self.target.x:.4g}, {self.target.y:.4g}), "
+            f"d={self.distance:.4g}, r={self.visibility:.4g}, d^2/r={self.difficulty:.4g}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RendezvousInstance:
+    """A two-robot rendezvous problem in the paper's canonical form.
+
+    Robot R starts at the origin with the reference attributes; robot R'
+    starts at ``separation`` and carries ``attributes``.
+    """
+
+    separation: Vec2
+    visibility: float
+    attributes: RobotAttributes
+
+    def __post_init__(self) -> None:
+        if not (self.visibility > 0.0 and math.isfinite(self.visibility)):
+            raise InvalidParameterError(
+                f"visibility must be positive and finite, got {self.visibility!r}"
+            )
+        if self.separation.norm() == 0.0:
+            raise InvalidParameterError("the robots must start at different locations")
+
+    @property
+    def distance(self) -> float:
+        """Initial distance ``d`` between the robots."""
+        return self.separation.norm()
+
+    @property
+    def difficulty(self) -> float:
+        """The paper's difficulty measure ``d^2 / r``."""
+        return self.distance**2 / self.visibility
+
+    def robot_pair(self) -> RobotPair:
+        """The canonical robot pair of this instance."""
+        return make_pair(self.separation, self.attributes)
+
+    def already_solved(self) -> bool:
+        """True when the robots can already see each other at time 0."""
+        return self.distance <= self.visibility
+
+    def describe(self) -> str:
+        """Human-readable instance summary."""
+        return (
+            f"rendezvous: d=({self.separation.x:.4g}, {self.separation.y:.4g}) "
+            f"|d|={self.distance:.4g}, r={self.visibility:.4g}, "
+            f"attrs=[{self.attributes.describe()}]"
+        )

@@ -1,0 +1,60 @@
+"""Trajectory traces: sampled position histories for visualisation.
+
+The simulator itself never samples, but examples and the SVG renderer want
+"draw what robot R did until time T".  A :class:`TraceRecorder` samples a
+trajectory at a fixed resolution and stores the polyline, optionally for
+both robots of a rendezvous instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import InvalidParameterError
+from ..geometry import Vec2
+from ..motion import LazyTrajectory, Trajectory
+
+__all__ = ["Trace", "record_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class Trace:
+    """A sampled position history of one robot."""
+
+    label: str
+    times: tuple[float, ...]
+    points: tuple[Vec2, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.points):
+            raise InvalidParameterError("times and points must have the same length")
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the trace."""
+        return self.times[-1] - self.times[0] if self.times else 0.0
+
+    def bounding_box(self) -> tuple[Vec2, Vec2]:
+        """Axis-aligned bounding box ``(lower_left, upper_right)`` of the trace."""
+        if not self.points:
+            raise InvalidParameterError("an empty trace has no bounding box")
+        xs = [p.x for p in self.points]
+        ys = [p.y for p in self.points]
+        return Vec2(min(xs), min(ys)), Vec2(max(xs), max(ys))
+
+
+def record_trace(
+    trajectory: Trajectory | LazyTrajectory,
+    until: float,
+    samples: int = 512,
+    label: str = "robot",
+) -> Trace:
+    """Sample ``trajectory`` on ``[0, until]`` with ``samples`` points."""
+    if until < 0.0:
+        raise InvalidParameterError(f"the trace end time must be non-negative, got {until!r}")
+    if samples < 2:
+        raise InvalidParameterError(f"need at least 2 samples, got {samples!r}")
+    times = [until * index / (samples - 1) for index in range(samples)]
+    points = [trajectory.position(t) for t in times]
+    return Trace(label=label, times=tuple(times), points=tuple(points))

@@ -1,0 +1,25 @@
+"""Dependency-free visualisation: SVG plots and ASCII renderings."""
+
+from .ascii import render_intervals_ascii, render_trace_ascii
+from .schedule_plot import (
+    active_phase_rows,
+    overlap_rows,
+    plot_schedule_svg,
+    render_schedule_ascii,
+    round_structure_rows,
+)
+from .svg import SvgCanvas, Viewport
+from .trajectory_plot import plot_traces
+
+__all__ = [
+    "render_intervals_ascii",
+    "render_trace_ascii",
+    "active_phase_rows",
+    "overlap_rows",
+    "plot_schedule_svg",
+    "render_schedule_ascii",
+    "round_structure_rows",
+    "SvgCanvas",
+    "Viewport",
+    "plot_traces",
+]

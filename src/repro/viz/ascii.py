@@ -1,0 +1,86 @@
+"""ASCII renderings for terminals.
+
+The CLI prints a rough picture of a trajectory or a schedule directly in
+the terminal; these renderers are intentionally crude (character grids)
+but entirely dependency free.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError
+from ..geometry import Vec2
+from ..simulation import Trace
+
+__all__ = ["render_trace_ascii", "render_intervals_ascii"]
+
+
+def render_trace_ascii(
+    traces: list[Trace], width: int = 72, height: int = 28, markers: str = "*o+x"
+) -> str:
+    """Render one or more traces on a shared character grid."""
+    if not traces:
+        raise InvalidParameterError("need at least one trace to render")
+    if width < 8 or height < 4:
+        raise InvalidParameterError("the grid must be at least 8x4 characters")
+    points = [p for trace in traces for p in trace.points]
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = max(x_max - x_min, 1e-9)
+    y_span = max(y_max - y_min, 1e-9)
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def plot(point: Vec2, marker: str) -> None:
+        column = int((point.x - x_min) / x_span * (width - 1))
+        row = int((point.y - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][column] = marker
+
+    for index, trace in enumerate(traces):
+        marker = markers[index % len(markers)]
+        for point in trace.points:
+            plot(point, marker)
+    legend = "  ".join(
+        f"{markers[index % len(markers)]} = {trace.label}" for index, trace in enumerate(traces)
+    )
+    frame = ["+" + "-" * width + "+"]
+    frame.extend("|" + "".join(row) + "|" for row in grid)
+    frame.append("+" + "-" * width + "+")
+    frame.append(legend)
+    frame.append(f"x: [{x_min:.3g}, {x_max:.3g}]  y: [{y_min:.3g}, {y_max:.3g}]")
+    return "\n".join(frame)
+
+
+def render_intervals_ascii(
+    rows: list[tuple[str, list[tuple[float, float, str]]]],
+    width: int = 96,
+) -> str:
+    """Render labelled time intervals as horizontal bars.
+
+    ``rows`` is a list of ``(row_label, intervals)`` where each interval is
+    ``(start, end, kind)`` and the kind's first character is used as the
+    fill character.  This is the terminal rendering of Figures 1-3.
+    """
+    if not rows:
+        raise InvalidParameterError("need at least one row to render")
+    all_intervals = [interval for _, intervals in rows for interval in intervals]
+    if not all_intervals:
+        raise InvalidParameterError("need at least one interval to render")
+    t_min = min(start for start, _, _ in all_intervals)
+    t_max = max(end for _, end, _ in all_intervals)
+    span = max(t_max - t_min, 1e-12)
+    label_width = max(len(label) for label, _ in rows) + 2
+    bar_width = max(width - label_width, 10)
+
+    lines = []
+    for label, intervals in rows:
+        bar = [" "] * bar_width
+        for start, end, kind in intervals:
+            first = int((start - t_min) / span * (bar_width - 1))
+            last = int((end - t_min) / span * (bar_width - 1))
+            fill = (kind[:1] or "#").upper()
+            for position in range(first, max(last, first) + 1):
+                bar[position] = fill
+        lines.append(label.ljust(label_width) + "".join(bar))
+    lines.append(" " * label_width + f"time: [{t_min:.4g}, {t_max:.4g}]")
+    return "\n".join(lines)

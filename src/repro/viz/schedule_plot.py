@@ -1,0 +1,98 @@
+"""Schedule and overlap diagrams (Figures 1, 2 and 3 of the paper).
+
+The diagrams are pure functions of the round index and the clock ratio, so
+"reproducing the figure" means regenerating the same interval structure.
+Each function returns the interval data (used by the experiments' checks)
+and can render it either as ASCII (terminal) or as an SVG bar chart.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.schedule import RoundSchedule
+from ..errors import InvalidParameterError
+from .ascii import render_intervals_ascii
+from .svg import SvgCanvas, Viewport
+
+__all__ = [
+    "round_structure_rows",
+    "active_phase_rows",
+    "overlap_rows",
+    "render_schedule_ascii",
+    "plot_schedule_svg",
+]
+
+IntervalRow = tuple[str, list[tuple[float, float, str]]]
+
+
+def round_structure_rows(rounds: int, time_unit: float = 1.0) -> list[IntervalRow]:
+    """Figure 1 data: inactive/active phases of the first ``rounds`` rounds."""
+    schedule = RoundSchedule(time_unit)
+    intervals = []
+    for phase in schedule.phases(rounds):
+        kind = "w" if phase.kind == "inactive" else "a"
+        intervals.append((phase.start, phase.end, kind))
+    return [(f"tau={time_unit:g}", intervals)]
+
+
+def active_phase_rows(round_index: int, time_unit: float = 1.0) -> list[IntervalRow]:
+    """Figure 2 data: the ``Search(k)`` sub-intervals of one active phase."""
+    schedule = RoundSchedule(time_unit)
+    rows: list[IntervalRow] = []
+    breakdown = schedule.active_phase_breakdown(round_index)
+    forward = breakdown[: round_index]
+    backward = breakdown[round_index:]
+    rows.append(("SearchAll", [(start, end, label[7]) for label, start, end in forward]))
+    rows.append(("SearchAllRev", [(start, end, label[7]) for label, start, end in backward]))
+    return rows
+
+
+def overlap_rows(rounds: int, tau: float) -> list[IntervalRow]:
+    """Figure 3 data: both robots' schedules on a shared global time axis."""
+    if tau <= 0.0:
+        raise InvalidParameterError(f"tau must be positive, got {tau!r}")
+    rows = []
+    for label, unit in (("R (tau=1)", 1.0), (f"R' (tau={tau:g})", tau)):
+        schedule = RoundSchedule(unit)
+        intervals = []
+        for phase in schedule.phases(rounds):
+            kind = "w" if phase.kind == "inactive" else "a"
+            intervals.append((phase.start, phase.end, kind))
+        rows.append((label, intervals))
+    return rows
+
+
+def render_schedule_ascii(rows: list[IntervalRow], width: int = 96) -> str:
+    """ASCII rendering of any of the figure data sets."""
+    return render_intervals_ascii(rows, width=width)
+
+
+def plot_schedule_svg(
+    rows: list[IntervalRow], path: Path | str, title: str = "", width: float = 900.0
+) -> Path:
+    """SVG bar-chart rendering of interval rows."""
+    if not rows:
+        raise InvalidParameterError("need at least one row to plot")
+    all_intervals = [interval for _, intervals in rows for interval in intervals]
+    if not all_intervals:
+        raise InvalidParameterError("need at least one interval to plot")
+    t_min = min(start for start, _, _ in all_intervals)
+    t_max = max(end for _, end, _ in all_intervals)
+    height = 80.0 * len(rows) + 80.0
+    viewport = Viewport(
+        x_min=t_min, x_max=max(t_max, t_min + 1e-9), y_min=0.0, y_max=float(len(rows)),
+        width=width, height=height,
+    )
+    canvas = SvgCanvas(viewport)
+    colors = {"w": "#c7c7c7", "a": "#1f77b4"}
+    for row_index, (label, intervals) in enumerate(rows):
+        y_low = len(rows) - row_index - 0.8
+        y_high = len(rows) - row_index - 0.2
+        for start, end, kind in intervals:
+            color = colors.get(kind[:1].lower(), "#ff7f0e")
+            canvas.rectangle((start, y_low), (end, y_high), color=color, fill=color, opacity=0.8)
+        canvas.text((t_min, y_high + 0.05), label, size=13.0)
+    if title:
+        canvas.text((t_min, float(len(rows)) - 0.02), title, size=15.0)
+    return canvas.write(path)

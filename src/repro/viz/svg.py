@@ -1,0 +1,162 @@
+"""A minimal dependency-free SVG document builder.
+
+matplotlib is not available in the offline environment, so the library
+renders its figures (trajectory plots, schedule diagrams) as hand-written
+SVG.  Only the handful of primitives the plots need are implemented:
+polylines, circles, rectangles, lines and text, plus a simple viewport
+mapping from data coordinates to pixel coordinates.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import InvalidParameterError
+
+__all__ = ["Viewport", "SvgCanvas"]
+
+
+@dataclass(frozen=True, slots=True)
+class Viewport:
+    """Mapping from data coordinates to SVG pixel coordinates."""
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+    width: float = 640.0
+    height: float = 640.0
+    margin: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.x_max <= self.x_min or self.y_max <= self.y_min:
+            raise InvalidParameterError("the viewport data ranges must be non-empty")
+        if self.width <= 2 * self.margin or self.height <= 2 * self.margin:
+            raise InvalidParameterError("the viewport is smaller than its margins")
+
+    def to_pixels(self, x: float, y: float) -> tuple[float, float]:
+        """Map a data point to pixel coordinates (SVG's y axis points down)."""
+        usable_width = self.width - 2 * self.margin
+        usable_height = self.height - 2 * self.margin
+        px = self.margin + (x - self.x_min) / (self.x_max - self.x_min) * usable_width
+        py = self.height - self.margin - (y - self.y_min) / (self.y_max - self.y_min) * usable_height
+        return px, py
+
+    def scale(self) -> float:
+        """Pixels per data unit (the smaller of the two axes' scales)."""
+        usable_width = self.width - 2 * self.margin
+        usable_height = self.height - 2 * self.margin
+        return min(usable_width / (self.x_max - self.x_min), usable_height / (self.y_max - self.y_min))
+
+
+@dataclass
+class SvgCanvas:
+    """Accumulates SVG elements and serialises them to a document."""
+
+    viewport: Viewport
+    background: str = "#ffffff"
+    _elements: list[str] = field(default_factory=list)
+
+    # -- primitives -----------------------------------------------------------
+    def polyline(
+        self, points: list[tuple[float, float]], color: str = "#1f77b4", width: float = 1.5
+    ) -> None:
+        """A polyline through data-coordinate points."""
+        if len(points) < 2:
+            raise InvalidParameterError("a polyline needs at least two points")
+        pixel_points = " ".join(
+            f"{px:.2f},{py:.2f}" for px, py in (self.viewport.to_pixels(x, y) for x, y in points)
+        )
+        self._elements.append(
+            f'<polyline points="{pixel_points}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}" stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+
+    def circle(
+        self,
+        center: tuple[float, float],
+        radius: float,
+        color: str = "#d62728",
+        fill: str = "none",
+        width: float = 1.5,
+    ) -> None:
+        """A circle given in data coordinates (radius in data units)."""
+        px, py = self.viewport.to_pixels(*center)
+        pixel_radius = radius * self.viewport.scale()
+        self._elements.append(
+            f'<circle cx="{px:.2f}" cy="{py:.2f}" r="{pixel_radius:.2f}" '
+            f'fill="{fill}" stroke="{color}" stroke-width="{width}"/>'
+        )
+
+    def marker(self, point: tuple[float, float], color: str = "#2ca02c", size: float = 4.0) -> None:
+        """A filled dot at a data point (size in pixels)."""
+        px, py = self.viewport.to_pixels(*point)
+        self._elements.append(f'<circle cx="{px:.2f}" cy="{py:.2f}" r="{size:.2f}" fill="{color}"/>')
+
+    def rectangle(
+        self,
+        lower_left: tuple[float, float],
+        upper_right: tuple[float, float],
+        color: str = "#9467bd",
+        fill: str = "#9467bd",
+        opacity: float = 0.35,
+    ) -> None:
+        """An axis-aligned rectangle in data coordinates."""
+        x0, y0 = self.viewport.to_pixels(*lower_left)
+        x1, y1 = self.viewport.to_pixels(*upper_right)
+        left, top = min(x0, x1), min(y0, y1)
+        width, height = abs(x1 - x0), abs(y1 - y0)
+        self._elements.append(
+            f'<rect x="{left:.2f}" y="{top:.2f}" width="{width:.2f}" height="{height:.2f}" '
+            f'fill="{fill}" fill-opacity="{opacity}" stroke="{color}" stroke-width="1"/>'
+        )
+
+    def line(
+        self,
+        start: tuple[float, float],
+        end: tuple[float, float],
+        color: str = "#7f7f7f",
+        width: float = 1.0,
+        dashed: bool = False,
+    ) -> None:
+        """A straight line segment in data coordinates."""
+        x0, y0 = self.viewport.to_pixels(*start)
+        x1, y1 = self.viewport.to_pixels(*end)
+        dash = ' stroke-dasharray="6,4"' if dashed else ""
+        self._elements.append(
+            f'<line x1="{x0:.2f}" y1="{y0:.2f}" x2="{x1:.2f}" y2="{y1:.2f}" '
+            f'stroke="{color}" stroke-width="{width}"{dash}/>'
+        )
+
+    def text(
+        self, point: tuple[float, float], content: str, color: str = "#000000", size: float = 12.0
+    ) -> None:
+        """A text label anchored at a data point."""
+        px, py = self.viewport.to_pixels(*point)
+        self._elements.append(
+            f'<text x="{px:.2f}" y="{py:.2f}" font-size="{size:.1f}" '
+            f'font-family="sans-serif" fill="{color}">{html.escape(content)}</text>'
+        )
+
+    # -- output -----------------------------------------------------------------
+    def to_svg(self) -> str:
+        """Serialise the document."""
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.viewport.width:.0f}" '
+            f'height="{self.viewport.height:.0f}" viewBox="0 0 {self.viewport.width:.0f} '
+            f'{self.viewport.height:.0f}">'
+        )
+        background = (
+            f'<rect x="0" y="0" width="{self.viewport.width:.0f}" '
+            f'height="{self.viewport.height:.0f}" fill="{self.background}"/>'
+        )
+        return "\n".join([header, background, *self._elements, "</svg>"])
+
+    def write(self, path: Path | str) -> Path:
+        """Write the document to ``path`` and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_svg(), encoding="utf-8")
+        return path

@@ -1,0 +1,68 @@
+"""SVG plots of robot trajectories.
+
+Renders the traces of one or both robots (plus the visibility disc and the
+rendezvous point, when known) as an SVG file.  Used by the examples and by
+the figure-reproduction experiments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..errors import InvalidParameterError
+from ..simulation import DetectionEvent, Trace
+from .svg import SvgCanvas, Viewport
+
+__all__ = ["plot_traces"]
+
+_COLORS = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#8c564b"]
+
+
+def plot_traces(
+    traces: list[Trace],
+    path: Path | str,
+    visibility: float | None = None,
+    event: DetectionEvent | None = None,
+    title: str = "",
+    size: float = 640.0,
+) -> Path:
+    """Plot traces (and optionally the detection event) to an SVG file."""
+    if not traces:
+        raise InvalidParameterError("need at least one trace to plot")
+    points = [p for trace in traces for p in trace.points]
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    pad = 0.1 * max(max(xs) - min(xs), max(ys) - min(ys), 1e-6)
+    viewport = Viewport(
+        x_min=min(xs) - pad,
+        x_max=max(xs) + pad,
+        y_min=min(ys) - pad,
+        y_max=max(ys) + pad,
+        width=size,
+        height=size,
+    )
+    canvas = SvgCanvas(viewport)
+    # Axes through the origin for orientation.
+    canvas.line((viewport.x_min, 0.0), (viewport.x_max, 0.0), color="#cccccc")
+    canvas.line((0.0, viewport.y_min), (0.0, viewport.y_max), color="#cccccc")
+    for index, trace in enumerate(traces):
+        color = _COLORS[index % len(_COLORS)]
+        canvas.polyline([(p.x, p.y) for p in trace.points], color=color)
+        canvas.marker((trace.points[0].x, trace.points[0].y), color=color, size=5.0)
+        canvas.text(
+            (trace.points[0].x, trace.points[0].y), f" {trace.label}", color=color, size=13.0
+        )
+    if event is not None:
+        canvas.marker((event.position_reference.x, event.position_reference.y), color="#000000", size=5.0)
+        if visibility is not None:
+            canvas.circle(
+                (event.position_other.x, event.position_other.y), visibility, color="#2ca02c"
+            )
+        canvas.text(
+            (event.position_reference.x, event.position_reference.y),
+            f" meet @ t={event.time:.4g}",
+            size=13.0,
+        )
+    if title:
+        canvas.text((viewport.x_min, viewport.y_max), title, size=15.0)
+    return canvas.write(path)

@@ -1,0 +1,35 @@
+"""Workload generation: seeded random instances, adversarial cases, suites."""
+
+from .adversarial import (
+    infeasible_identical_instance,
+    infeasible_mirrored_instance,
+    mirrored_worst_instance,
+    near_symmetric_attributes,
+    worst_case_orientation,
+)
+from .generators import InstanceGenerator
+from .suites import (
+    asymmetric_clock_suite,
+    baseline_comparison_suite,
+    feasibility_grid,
+    mirrored_suite,
+    search_random_suite,
+    search_sweep_suite,
+    symmetric_clock_suite,
+)
+
+__all__ = [
+    "infeasible_identical_instance",
+    "infeasible_mirrored_instance",
+    "mirrored_worst_instance",
+    "near_symmetric_attributes",
+    "worst_case_orientation",
+    "InstanceGenerator",
+    "asymmetric_clock_suite",
+    "baseline_comparison_suite",
+    "feasibility_grid",
+    "mirrored_suite",
+    "search_random_suite",
+    "search_sweep_suite",
+    "symmetric_clock_suite",
+]

@@ -1,0 +1,101 @@
+"""Adversarial (worst-case) configurations.
+
+The paper's bounds are worst case over the target bearing, the orientation
+offset and the clock ratio.  These helpers construct exactly the
+configurations the proofs identify as hardest, so the experiments can
+probe the bounds where they are tight and demonstrate infeasibility where
+the paper proves it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.feasibility import adversarial_separation_direction
+from ..errors import InvalidParameterError
+from ..geometry import Vec2
+from ..robots import RobotAttributes
+from ..simulation import RendezvousInstance
+
+__all__ = [
+    "worst_case_orientation",
+    "mirrored_worst_instance",
+    "infeasible_identical_instance",
+    "infeasible_mirrored_instance",
+    "near_symmetric_attributes",
+]
+
+
+def worst_case_orientation(speed: float) -> float:
+    """The orientation maximising the Theorem 2 bound for ``chi = -1``.
+
+    Lemma 7 maximises ``mu = sqrt(v^2 - 2 v cos(phi) + 1)`` over ``phi``;
+    the maximum ``1 + v`` is attained at ``phi = pi``.
+    """
+    if speed <= 0.0:
+        raise InvalidParameterError(f"speed must be positive, got {speed!r}")
+    return math.pi
+
+
+def mirrored_worst_instance(
+    speed: float, distance: float, visibility: float
+) -> RendezvousInstance:
+    """Worst-case mirrored instance for Theorem 2's ``chi = -1`` branch.
+
+    The orientation is the bound-maximising ``pi`` and the separation is
+    placed along the direction the reduction compresses the most (the
+    adversarial bearing of the mirrored relative map), which is where the
+    ``1/(1 - v)`` blow-up of the bound actually shows up.
+    """
+    if not (0.0 < speed < 1.0):
+        raise InvalidParameterError(f"the mirrored worst case needs 0 < v < 1, got {speed!r}")
+    attributes = RobotAttributes(
+        speed=speed, orientation=worst_case_orientation(speed), chirality=-1
+    )
+    direction = adversarial_separation_direction(attributes)
+    return RendezvousInstance(
+        separation=direction * distance, visibility=visibility, attributes=attributes
+    )
+
+
+def infeasible_identical_instance(distance: float, visibility: float) -> RendezvousInstance:
+    """Two attribute-identical robots: rendezvous provably infeasible."""
+    attributes = RobotAttributes()
+    return RendezvousInstance(
+        separation=Vec2(0.0, distance), visibility=visibility, attributes=attributes
+    )
+
+
+def infeasible_mirrored_instance(
+    orientation: float, distance: float, visibility: float
+) -> RendezvousInstance:
+    """Mirrored robots with equal speed and clock: infeasible for any orientation.
+
+    The separation is placed along the mirror-invariant direction, the
+    adversarial placement of the impossibility argument (the relative
+    motion never has a component along that direction).
+    """
+    attributes = RobotAttributes(speed=1.0, time_unit=1.0, orientation=orientation, chirality=-1)
+    direction = adversarial_separation_direction(attributes)
+    return RendezvousInstance(
+        separation=direction * distance, visibility=visibility, attributes=attributes
+    )
+
+
+def near_symmetric_attributes(epsilon: float, parameter: str = "speed") -> RobotAttributes:
+    """Attributes differing from the reference robot by ``epsilon`` in one parameter.
+
+    Used to probe the bounds' blow-up as the symmetry-breaking advantage
+    vanishes (``v -> 1``, ``tau -> 1`` or ``phi -> 0``).
+    """
+    if epsilon <= 0.0:
+        raise InvalidParameterError(f"epsilon must be positive, got {epsilon!r}")
+    if parameter == "speed":
+        return RobotAttributes(speed=1.0 - epsilon)
+    if parameter == "clock":
+        return RobotAttributes(time_unit=1.0 - epsilon)
+    if parameter == "orientation":
+        return RobotAttributes(orientation=epsilon)
+    raise InvalidParameterError(
+        f"parameter must be 'speed', 'clock' or 'orientation', got {parameter!r}"
+    )

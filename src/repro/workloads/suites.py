@@ -1,0 +1,174 @@
+"""Named workload suites shared by the experiments and the benchmarks.
+
+Each suite is a deterministic list of instances (seeded generators plus
+hand-picked corner cases) so that every benchmark run measures exactly the
+same work and results are comparable across machines and runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidParameterError
+from ..geometry import Vec2
+from ..robots import RobotAttributes
+from ..simulation import RendezvousInstance, SearchInstance
+from .adversarial import infeasible_identical_instance, infeasible_mirrored_instance
+from .generators import InstanceGenerator
+
+__all__ = [
+    "search_sweep_suite",
+    "search_random_suite",
+    "symmetric_clock_suite",
+    "mirrored_suite",
+    "asymmetric_clock_suite",
+    "feasibility_grid",
+    "baseline_comparison_suite",
+]
+
+
+def search_sweep_suite() -> list[SearchInstance]:
+    """Deterministic (d, r) sweep for the Theorem 1 experiment (E01)."""
+    instances = []
+    for distance in (0.6, 1.0, 1.5, 2.0, 3.0, 4.0):
+        for visibility in (0.1, 0.2, 0.4):
+            for bearing in (0.3, 2.1, 4.4):
+                instances.append(
+                    SearchInstance(target=Vec2.polar(distance, bearing), visibility=visibility)
+                )
+    return instances
+
+
+def search_random_suite(count: int = 24, seed: int = 11) -> list[SearchInstance]:
+    """Random search instances (E03, E10)."""
+    generator = InstanceGenerator(seed=seed)
+    return generator.search_suite(count)
+
+
+def symmetric_clock_suite() -> list[RendezvousInstance]:
+    """Equal-clock rendezvous instances with chi = +1 (E04)."""
+    instances = []
+    for speed in (0.4, 0.7, 1.3, 1.8):
+        for orientation in (0.0, math.pi / 3, math.pi, 5 * math.pi / 3):
+            if speed == 1.0 and orientation == 0.0:
+                continue
+            for bearing in (0.9, 3.7):
+                instances.append(
+                    RendezvousInstance(
+                        separation=Vec2.polar(1.6, bearing),
+                        visibility=0.35,
+                        attributes=RobotAttributes(speed=speed, orientation=orientation),
+                    )
+                )
+    return instances
+
+
+def mirrored_suite() -> list[RendezvousInstance]:
+    """Equal-clock rendezvous instances with chi = -1 and v < 1 (E05)."""
+    instances = []
+    for speed in (0.2, 0.5, 0.8):
+        for orientation in (0.0, math.pi / 2, math.pi):
+            for bearing in (0.0, math.pi / 2, 2.2):
+                instances.append(
+                    RendezvousInstance(
+                        separation=Vec2.polar(1.2, bearing),
+                        visibility=0.4,
+                        attributes=RobotAttributes(
+                            speed=speed, orientation=orientation, chirality=-1
+                        ),
+                    )
+                )
+    return instances
+
+
+def asymmetric_clock_suite() -> list[RendezvousInstance]:
+    """Asymmetric-clock instances exercising Algorithm 7 (E09)."""
+    instances = []
+    for time_unit in (0.5, 0.6, 0.75):
+        for bearing in (0.7, 2.5):
+            instances.append(
+                RendezvousInstance(
+                    separation=Vec2.polar(1.1, bearing),
+                    visibility=0.45,
+                    attributes=RobotAttributes(time_unit=time_unit),
+                )
+            )
+    # Clocks *and* speeds both different (Theorem 4's "or" is inclusive).
+    instances.append(
+        RendezvousInstance(
+            separation=Vec2.polar(1.0, 1.3),
+            visibility=0.45,
+            attributes=RobotAttributes(speed=0.8, time_unit=0.5),
+        )
+    )
+    return instances
+
+
+def feasibility_grid() -> list[tuple[str, RendezvousInstance, bool]]:
+    """Labelled feasible/infeasible instances for the Theorem 4 grid (E06).
+
+    Returns ``(label, instance, expected_feasible)`` triples.
+    """
+    grid: list[tuple[str, RendezvousInstance, bool]] = []
+    grid.append(
+        (
+            "different speeds",
+            RendezvousInstance(
+                separation=Vec2(1.3, 0.2),
+                visibility=0.4,
+                attributes=RobotAttributes(speed=0.6),
+            ),
+            True,
+        )
+    )
+    grid.append(
+        (
+            "different clocks",
+            RendezvousInstance(
+                separation=Vec2(0.9, 0.5),
+                visibility=0.45,
+                attributes=RobotAttributes(time_unit=0.5),
+            ),
+            True,
+        )
+    )
+    grid.append(
+        (
+            "rotated, equal chirality",
+            RendezvousInstance(
+                separation=Vec2(1.1, -0.4),
+                visibility=0.4,
+                attributes=RobotAttributes(orientation=2.0),
+            ),
+            True,
+        )
+    )
+    grid.append(
+        (
+            "rotated and mirrored, different speeds",
+            RendezvousInstance(
+                separation=Vec2(0.8, 0.9),
+                visibility=0.4,
+                attributes=RobotAttributes(speed=0.5, orientation=1.0, chirality=-1),
+            ),
+            True,
+        )
+    )
+    grid.append(("identical robots", infeasible_identical_instance(1.5, 0.3), False))
+    grid.append(
+        ("mirrored only", infeasible_mirrored_instance(0.0, 1.5, 0.3), False)
+    )
+    grid.append(
+        ("mirrored and rotated", infeasible_mirrored_instance(2.2, 1.5, 0.3), False)
+    )
+    return grid
+
+
+def baseline_comparison_suite(count: int = 10, seed: int = 23) -> list[SearchInstance]:
+    """Shared search instances for the baseline comparison (E10)."""
+    if count < 1:
+        raise InvalidParameterError(f"count must be positive, got {count!r}")
+    generator = InstanceGenerator(seed=seed)
+    return generator.search_suite(
+        count, distance_range=(0.8, 3.0), visibility_range=(0.15, 0.45)
+    )

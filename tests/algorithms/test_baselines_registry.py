@@ -1,0 +1,95 @@
+"""Unit tests for the baseline searchers and the algorithm registry."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.algorithms import (
+    ConcentricCoverageSearch,
+    DiagonalHedgingSearch,
+    ExpandingSquareSearch,
+    SearchCircle,
+    algorithm_names,
+    create_algorithm,
+    register_algorithm,
+)
+from repro.errors import InvalidParameterError
+from repro.geometry import Vec2
+from repro.motion import LazyTrajectory
+from repro.simulation import SearchInstance, fixed_horizon, simulate_search
+
+
+class TestConcentricCoverage:
+    def test_circle_radii_are_odd_multiples_of_visibility(self):
+        baseline = ConcentricCoverageSearch(0.2)
+        assert baseline.circle_radius(0) == pytest.approx(0.2)
+        assert baseline.circle_radius(3) == pytest.approx(1.4)
+
+    def test_finds_a_target_it_is_built_for(self):
+        instance = SearchInstance(target=Vec2(1.1, 0.6), visibility=0.25)
+        outcome = simulate_search(
+            ConcentricCoverageSearch(instance.visibility), instance, fixed_horizon(200.0)
+        )
+        assert outcome.solved
+
+    def test_invalid_visibility_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ConcentricCoverageSearch(0.0)
+
+
+class TestExpandingSquare:
+    def test_ring_half_sides_grow_linearly(self):
+        baseline = ExpandingSquareSearch(0.5)
+        assert baseline.ring_half_side(0) == pytest.approx(0.5)
+        assert baseline.ring_half_side(2) == pytest.approx(1.5)
+
+    def test_trajectory_is_continuous(self):
+        lazy = LazyTrajectory(ExpandingSquareSearch(0.5).segments())
+        # Materialising two rings must not raise a continuity error.
+        assert lazy.ensure_segments(16)
+
+    def test_finds_a_target(self):
+        instance = SearchInstance(target=Vec2(-0.9, 0.8), visibility=0.3)
+        outcome = simulate_search(
+            ExpandingSquareSearch(instance.visibility), instance, fixed_horizon(300.0)
+        )
+        assert outcome.solved
+
+
+class TestDiagonalHedging:
+    def test_is_infinite_and_parameter_free(self):
+        baseline = DiagonalHedgingSearch()
+        assert not baseline.is_finite
+        assert len(list(itertools.islice(baseline.segments(), 10))) == 10
+
+    def test_finds_a_target_without_knowing_r(self):
+        instance = SearchInstance(target=Vec2(0.9, 0.7), visibility=0.2)
+        outcome = simulate_search(DiagonalHedgingSearch(), instance, fixed_horizon(2000.0))
+        assert outcome.solved
+
+
+class TestRegistry:
+    def test_paper_algorithms_are_registered(self):
+        names = algorithm_names()
+        for expected in ("universal-search", "wait-and-search", "search-circle"):
+            assert expected in names
+
+    def test_create_with_parameters(self):
+        algorithm = create_algorithm("search-circle", delta=2.0)
+        assert isinstance(algorithm, SearchCircle)
+        assert algorithm.delta == pytest.approx(2.0)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            create_algorithm("does-not-exist")
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            create_algorithm("search-circle", wrong_parameter=1.0)
+
+    def test_custom_registration(self):
+        register_algorithm("custom-circle", lambda: SearchCircle(0.5))
+        algorithm = create_algorithm("custom-circle")
+        assert isinstance(algorithm, SearchCircle)

@@ -1,0 +1,101 @@
+"""Unit tests for Algorithms 1-2 (SearchCircle, SearchAnnulus)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms import SearchAnnulus, SearchCircle, annulus_circle_radii
+from repro.core import search_annulus_duration, search_circle_duration
+from repro.errors import InvalidParameterError
+from repro.geometry import Vec2
+from repro.motion import ArcMotion, LinearMotion
+
+
+class TestSearchCircle:
+    def test_emits_three_segments(self):
+        segments = list(SearchCircle(1.0).segments())
+        assert len(segments) == 3
+        assert isinstance(segments[0], LinearMotion)
+        assert isinstance(segments[1], ArcMotion)
+        assert isinstance(segments[2], LinearMotion)
+
+    def test_starts_and_ends_at_the_origin(self):
+        trajectory = SearchCircle(0.7).local_trajectory()
+        assert trajectory.start.is_close(Vec2(0.0, 0.0))
+        assert trajectory.end.is_close(Vec2(0.0, 0.0))
+
+    def test_duration_matches_lemma2(self):
+        for delta in (0.25, 1.0, 3.0):
+            assert SearchCircle(delta).duration() == pytest.approx(search_circle_duration(delta))
+
+    def test_circle_has_the_requested_radius(self):
+        segments = list(SearchCircle(2.5).segments())
+        arc = segments[1]
+        assert isinstance(arc, ArcMotion)
+        assert arc.radius == pytest.approx(2.5)
+        assert abs(arc.sweep) == pytest.approx(2 * math.pi)
+
+    def test_non_positive_radius_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SearchCircle(0.0)
+
+    def test_every_point_of_the_walk_is_within_delta_of_the_origin(self):
+        trajectory = SearchCircle(1.0).local_trajectory()
+        for i in range(64):
+            t = trajectory.duration * i / 63
+            assert trajectory.position(t).norm() <= 1.0 + 1e-9
+
+
+class TestAnnulusRadii:
+    def test_radii_span_inner_to_outer(self):
+        radii = annulus_circle_radii(0.5, 1.0, 0.125)
+        assert radii[0] == pytest.approx(0.5)
+        assert radii[-1] == pytest.approx(1.0)
+
+    def test_radii_step_is_twice_the_granularity(self):
+        radii = annulus_circle_radii(0.5, 1.0, 0.125)
+        for smaller, larger in zip(radii, radii[1:]):
+            assert larger - smaller == pytest.approx(0.25)
+
+    def test_count_uses_the_ceiling(self):
+        # (delta2 - delta1) / (2 rho) = 2.5 -> 3 + 1 circles.
+        radii = annulus_circle_radii(0.0, 1.0, 0.2)
+        assert len(radii) == 4
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            annulus_circle_radii(1.0, 0.5, 0.1)
+        with pytest.raises(InvalidParameterError):
+            annulus_circle_radii(0.5, 1.0, 0.0)
+
+
+class TestSearchAnnulus:
+    def test_duration_matches_lemma2(self):
+        cases = [(0.5, 1.0, 0.125), (0.25, 2.0, 0.0625)]
+        for delta1, delta2, rho in cases:
+            assert SearchAnnulus(delta1, delta2, rho).duration() == pytest.approx(
+                search_annulus_duration(delta1, delta2, rho)
+            )
+
+    def test_coverage_every_annulus_point_is_approached(self):
+        """Correctness claim of Algorithm 2: every annulus point comes within rho."""
+        delta1, delta2, rho = 0.5, 1.0, 0.125
+        algorithm = SearchAnnulus(delta1, delta2, rho)
+        radii = algorithm.circle_radii()
+        # Radial coverage: every radius in [delta1, delta2] is within rho of
+        # a traced circle (the trajectory visits the full circle, so radial
+        # distance is the only degree of freedom).
+        for i in range(101):
+            radius = delta1 + (delta2 - delta1) * i / 100
+            assert min(abs(radius - r) for r in radii) <= rho + 1e-12
+
+    def test_zero_inner_radius_is_allowed(self):
+        trajectory = SearchAnnulus(0.0, 0.5, 0.125).local_trajectory()
+        assert trajectory.duration > 0.0
+
+    def test_trajectory_is_continuous_and_closed(self):
+        trajectory = SearchAnnulus(0.5, 1.0, 0.25).local_trajectory()
+        assert trajectory.start.is_close(Vec2(0.0, 0.0))
+        assert trajectory.end.is_close(Vec2(0.0, 0.0))

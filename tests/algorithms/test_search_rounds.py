@@ -1,0 +1,136 @@
+"""Unit tests for Algorithms 3-6 (Search(k), Algorithm 4, SearchAll, SearchAllRev)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.algorithms import (
+    SearchAll,
+    SearchAllRev,
+    SearchRound,
+    TruncatedUniversalSearch,
+    UniversalSearch,
+    annulus_granularity,
+    annulus_inner_radius,
+    annulus_outer_radius,
+    terminal_wait_duration,
+)
+from repro.core import search_round_duration, universal_search_prefix_duration
+from repro.errors import InvalidParameterError
+from repro.geometry import Vec2
+from repro.motion import WaitMotion
+
+
+class TestSubRoundGeometry:
+    def test_annuli_are_contiguous(self):
+        k = 3
+        for j in range(2 * k - 1):
+            assert annulus_outer_radius(k, j) == pytest.approx(annulus_inner_radius(k, j + 1))
+
+    def test_first_annulus_starts_at_two_to_minus_k(self):
+        assert annulus_inner_radius(4, 0) == pytest.approx(2.0**-4)
+
+    def test_last_annulus_reaches_two_to_k(self):
+        k = 4
+        assert annulus_outer_radius(k, 2 * k - 1) == pytest.approx(2.0**k)
+
+    def test_difficulty_ratio_is_constant_within_a_round(self):
+        """The design invariant: delta_{j,k}^2 / rho_{j,k} = 2^{k+1} for every j."""
+        for k in (1, 2, 3, 5):
+            for j in range(2 * k):
+                ratio = annulus_inner_radius(k, j) ** 2 / annulus_granularity(k, j)
+                assert ratio == pytest.approx(2.0 ** (k + 1))
+
+    def test_invalid_subround_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            annulus_inner_radius(2, 4)
+        with pytest.raises(InvalidParameterError):
+            annulus_granularity(0, 0)
+
+
+class TestSearchRound:
+    def test_duration_matches_lemma2(self):
+        for k in (1, 2, 3, 4):
+            assert SearchRound(k).duration() == pytest.approx(search_round_duration(k))
+
+    def test_ends_with_the_calibrated_wait(self):
+        segments = list(SearchRound(2).segments())
+        assert isinstance(segments[-1], WaitMotion)
+        assert segments[-1].duration == pytest.approx(terminal_wait_duration(2))
+
+    def test_round_returns_to_the_origin(self):
+        trajectory = SearchRound(2).local_trajectory()
+        assert trajectory.end.is_close(Vec2(0.0, 0.0))
+
+    def test_sub_rounds_listing(self):
+        sub_rounds = SearchRound(2).sub_rounds()
+        assert len(sub_rounds) == 4
+        inner, outer, granularity = sub_rounds[0]
+        assert inner == pytest.approx(0.25)
+        assert outer == pytest.approx(0.5)
+        assert granularity == pytest.approx(2.0**-7)
+
+    def test_invalid_round_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SearchRound(0)
+
+
+class TestUniversalSearch:
+    def test_is_infinite(self):
+        assert not UniversalSearch().is_finite
+
+    def test_prefix_matches_truncated_version(self):
+        infinite = UniversalSearch()
+        truncated = TruncatedUniversalSearch(2)
+        finite_segments = list(truncated.segments())
+        prefix = list(itertools.islice(infinite.segments(), len(finite_segments)))
+        assert len(prefix) == len(finite_segments)
+        for a, b in zip(prefix, finite_segments):
+            assert type(a) is type(b)
+            assert a.duration == pytest.approx(b.duration)
+
+    def test_truncated_duration_matches_closed_form(self):
+        for k in (1, 2, 3):
+            assert TruncatedUniversalSearch(k).duration() == pytest.approx(
+                universal_search_prefix_duration(k)
+            )
+
+    def test_each_call_to_segments_is_a_fresh_iterator(self):
+        algorithm = UniversalSearch()
+        first = list(itertools.islice(algorithm.segments(), 5))
+        second = list(itertools.islice(algorithm.segments(), 5))
+        assert [s.duration for s in first] == pytest.approx([s.duration for s in second])
+
+    def test_invalid_first_round_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            UniversalSearch(first_round=0)
+
+
+class TestSearchAll:
+    def test_search_all_is_the_truncated_algorithm4(self):
+        assert SearchAll(3).duration() == pytest.approx(TruncatedUniversalSearch(3).duration())
+
+    def test_forward_and_reverse_have_equal_duration(self):
+        for n in (1, 2, 3):
+            assert SearchAll(n).duration() == pytest.approx(SearchAllRev(n).duration())
+
+    def test_reverse_runs_rounds_in_descending_order(self):
+        """The first wait encountered in SearchAllRev(3) is round 3's wait."""
+        for segment in SearchAllRev(3).segments():
+            if isinstance(segment, WaitMotion):
+                assert segment.duration == pytest.approx(terminal_wait_duration(3))
+                break
+
+    def test_forward_runs_rounds_in_ascending_order(self):
+        for segment in SearchAll(3).segments():
+            if isinstance(segment, WaitMotion):
+                assert segment.duration == pytest.approx(terminal_wait_duration(1))
+                break
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SearchAll(0)
+        with pytest.raises(InvalidParameterError):
+            SearchAllRev(-1)

@@ -1,0 +1,85 @@
+"""Unit tests for Algorithm 7 (wait-and-search rendezvous)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.algorithms import (
+    TruncatedWaitAndSearch,
+    WaitAndSearchRendezvous,
+    search_all_duration,
+)
+from repro.core import inactive_phase_start, round_duration, search_all_time
+from repro.errors import InvalidParameterError
+from repro.geometry import Vec2
+from repro.motion import WaitMotion
+
+
+class TestSearchAllDuration:
+    def test_matches_equation_one(self):
+        import math
+
+        for n in (1, 2, 5):
+            assert search_all_duration(n) == pytest.approx(12 * (math.pi + 1) * n * 2**n)
+
+    def test_agrees_with_the_schedule_module(self):
+        for n in (1, 3, 6):
+            assert search_all_duration(n) == pytest.approx(search_all_time(n))
+
+    def test_invalid_round_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            search_all_duration(0)
+
+
+class TestAlgorithmSeven:
+    def test_round_one_starts_with_the_inactive_wait(self):
+        first_segment = next(iter(WaitAndSearchRendezvous().segments()))
+        assert isinstance(first_segment, WaitMotion)
+        assert first_segment.duration == pytest.approx(2.0 * search_all_duration(1))
+
+    def test_waits_anchor_at_the_origin(self):
+        first_segment = next(iter(WaitAndSearchRendezvous().segments()))
+        assert first_segment.start.is_close(Vec2(0.0, 0.0))
+
+    def test_truncated_round_duration(self):
+        one_round = TruncatedWaitAndSearch(1).duration()
+        assert one_round == pytest.approx(round_duration(1))
+
+    def test_truncated_total_matches_schedule_prefix(self):
+        for rounds in (1, 2, 3):
+            assert TruncatedWaitAndSearch(rounds).duration() == pytest.approx(
+                inactive_phase_start(rounds + 1)
+            )
+
+    def test_prefix_of_infinite_version_matches_truncation(self):
+        finite = list(TruncatedWaitAndSearch(2).segments())
+        prefix = list(itertools.islice(WaitAndSearchRendezvous().segments(), len(finite)))
+        assert [s.duration for s in prefix] == pytest.approx([s.duration for s in finite])
+
+    def test_active_phase_is_forward_then_reverse(self):
+        """In round 2 the waits appear in order: round-1 wait, round-2 wait (forward),
+        then round-2 wait, round-1 wait (reverse)."""
+        segments = TruncatedWaitAndSearch(2).segments()
+        waits = [s.duration for s in segments if isinstance(s, WaitMotion)]
+        # Skip the two inactive-phase waits (rounds 1 and 2 openers).
+        from repro.algorithms import terminal_wait_duration
+
+        round_waits = [w for w in waits if w not in (
+            pytest.approx(2 * search_all_duration(1)), pytest.approx(2 * search_all_duration(2)))]
+        expected_round2_active = [
+            terminal_wait_duration(1),
+            terminal_wait_duration(2),
+            terminal_wait_duration(2),
+            terminal_wait_duration(1),
+        ]
+        # Round 1 active phase contributes Search(1) twice at the start.
+        assert round_waits[:2] == pytest.approx([terminal_wait_duration(1)] * 2)
+        assert round_waits[2:] == pytest.approx(expected_round2_active)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WaitAndSearchRendezvous(first_round=0)
+        with pytest.raises(InvalidParameterError):
+            TruncatedWaitAndSearch(0)

@@ -1,0 +1,114 @@
+"""Unit tests for statistics helpers, sweeps and competitive ratios."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ParameterSweep,
+    geometric_grid,
+    geometric_mean,
+    linear_grid,
+    log_log_slope,
+    offline_rendezvous_optimum,
+    offline_search_optimum,
+    rendezvous_competitive_ratio,
+    scaling_fit,
+    search_competitive_ratio,
+    summarize,
+)
+from repro.errors import InvalidParameterError
+from repro.robots import RobotAttributes
+
+
+class TestSummaries:
+    def test_summarize_basic_statistics(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.median == pytest.approx(2.5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            summarize([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(InvalidParameterError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestFits:
+    def test_log_log_slope_of_a_power_law(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [x**2 for x in xs]
+        assert log_log_slope(xs, ys) == pytest.approx(2.0)
+
+    def test_log_log_slope_needs_matching_lengths(self):
+        with pytest.raises(InvalidParameterError):
+            log_log_slope([1.0], [1.0, 2.0])
+
+    def test_scaling_fit_recovers_the_constant(self):
+        difficulties = [4.0, 8.0, 16.0, 64.0]
+        constant = 3.7
+        times = [constant * math.log2(x) * x for x in difficulties]
+        fitted, error = scaling_fit(difficulties, times)
+        assert fitted == pytest.approx(constant, rel=1e-9)
+        assert error == pytest.approx(0.0, abs=1e-12)
+
+    def test_scaling_fit_rejects_easy_difficulties(self):
+        with pytest.raises(InvalidParameterError):
+            scaling_fit([0.5, 2.0], [1.0, 2.0])
+
+
+class TestGridsAndSweeps:
+    def test_linear_grid_endpoints(self):
+        grid = linear_grid(0.0, 1.0, 5)
+        assert grid[0] == 0.0 and grid[-1] == pytest.approx(1.0)
+
+    def test_geometric_grid_ratio(self):
+        grid = geometric_grid(1.0, 8.0, 4)
+        assert grid == pytest.approx([1.0, 2.0, 4.0, 8.0])
+
+    def test_geometric_grid_rejects_non_positive(self):
+        with pytest.raises(InvalidParameterError):
+            geometric_grid(0.0, 1.0, 3)
+
+    def test_sweep_size_and_points(self):
+        sweep = ParameterSweep(axes={"a": [1, 2], "b": [10, 20, 30]}, fixed={"c": "x"})
+        assert sweep.size == 6
+        points = list(sweep)
+        assert len(points) == 6
+        assert all(point["c"] == "x" for point in points)
+        assert {point["a"] for point in points} == {1, 2}
+
+    def test_sweep_rejects_empty_axis(self):
+        with pytest.raises(InvalidParameterError):
+            ParameterSweep(axes={"a": []})
+
+    def test_sweep_describe(self):
+        sweep = ParameterSweep(axes={"a": [1, 2]})
+        assert "2 points" in sweep.describe()
+
+
+class TestCompetitiveRatios:
+    def test_offline_search_optimum(self):
+        assert offline_search_optimum(2.0, 0.5) == pytest.approx(1.5)
+
+    def test_offline_rendezvous_optimum_uses_combined_speed(self):
+        optimum = offline_rendezvous_optimum(2.0, 0.5, RobotAttributes(speed=0.5))
+        assert optimum == pytest.approx(1.0)
+
+    def test_ratios_are_at_least_one_for_reasonable_algorithms(self):
+        assert search_competitive_ratio(15.0, 2.0, 0.5) == pytest.approx(10.0)
+        assert rendezvous_competitive_ratio(3.0, 2.0, 0.5, RobotAttributes()) >= 1.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            offline_search_optimum(-1.0, 0.5)

@@ -1,0 +1,107 @@
+"""Unit tests for the table formatter and the experiment report container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import CheckResult, ExperimentReport, Table, combine_markdown
+from repro.errors import ExperimentError, InvalidParameterError
+
+
+class TestTable:
+    def test_add_row_by_sequence_and_mapping(self):
+        table = Table(columns=["a", "b"])
+        table.add_row([1, 2.5])
+        table.add_row({"a": 3, "b": 4.0})
+        assert len(table) == 2
+        assert table.column("a") == [1, 3]
+
+    def test_wrong_row_length_rejected(self):
+        table = Table(columns=["a", "b"])
+        with pytest.raises(InvalidParameterError):
+            table.add_row([1])
+
+    def test_unknown_column_rejected(self):
+        table = Table(columns=["a"])
+        with pytest.raises(InvalidParameterError):
+            table.column("missing")
+
+    def test_markdown_rendering(self):
+        table = Table(columns=["name", "value"], title="demo")
+        table.add_row(["pi", 3.14159])
+        markdown = table.to_markdown()
+        assert "| name | value |" in markdown
+        assert "### demo" in markdown
+        assert "3.14159" in markdown
+
+    def test_text_rendering_aligns_columns(self):
+        table = Table(columns=["long column name", "x"])
+        table.add_row(["v", 1.0])
+        text = table.to_text()
+        assert "long column name" in text
+
+    def test_csv_rendering_keeps_raw_values(self):
+        table = Table(columns=["x"], precision=2)
+        table.add_row([1.23456789])
+        assert "1.23456789" in table.to_csv()
+
+    def test_boolean_formatting(self):
+        table = Table(columns=["ok"])
+        table.add_row([True])
+        assert "yes" in table.to_text()
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Table(columns=[])
+
+
+class TestExperimentReport:
+    def _report(self) -> ExperimentReport:
+        report = ExperimentReport(experiment_id="E99", title="demo", paper_reference="nowhere")
+        table = Table(columns=["x"])
+        table.add_row([1.0])
+        report.add_table(table)
+        report.add_note("a note")
+        return report
+
+    def test_all_passed_tracks_checks(self):
+        report = self._report()
+        report.add_check("first", True)
+        assert report.all_passed
+        report.add_check("second", False, "oops")
+        assert not report.all_passed
+        assert len(report.failed_checks()) == 1
+
+    def test_require_success_raises_on_failure(self):
+        report = self._report()
+        report.add_check("bad", False)
+        with pytest.raises(ExperimentError):
+            report.require_success()
+
+    def test_markdown_contains_sections(self):
+        report = self._report()
+        report.add_check("ok", True)
+        markdown = report.to_markdown()
+        assert "## E99: demo" in markdown
+        assert "a note" in markdown
+        assert "[PASS] ok" in markdown
+
+    def test_text_rendering(self):
+        text = self._report().to_text()
+        assert "E99" in text and "paper reference" in text
+
+    def test_write_artifacts(self, tmp_path):
+        report = self._report()
+        written = report.write_artifacts(tmp_path)
+        assert any(path.suffix == ".md" for path in written)
+        assert any(path.suffix == ".csv" for path in written)
+        for path in written:
+            assert path.exists()
+
+    def test_combine_markdown(self):
+        combined = combine_markdown([self._report(), self._report()])
+        assert combined.count("## E99") == 2
+
+    def test_check_result_describe(self):
+        assert CheckResult(name="x", passed=True).describe().startswith("[PASS]")
+        assert "detail" in CheckResult(name="x", passed=False, detail="detail").describe()

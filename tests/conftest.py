@@ -1,0 +1,47 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.robots import RobotAttributes
+from repro.simulation import RendezvousInstance, SearchInstance
+
+
+@pytest.fixture
+def simple_search_instance() -> SearchInstance:
+    """A small search instance solvable in the first rounds."""
+    return SearchInstance(target=Vec2(1.2, 0.7), visibility=0.3)
+
+
+@pytest.fixture
+def speed_rendezvous_instance() -> RendezvousInstance:
+    """A feasible equal-clock instance where only the speeds differ."""
+    return RendezvousInstance(
+        separation=Vec2(1.5, 0.5), visibility=0.35, attributes=RobotAttributes(speed=0.6)
+    )
+
+
+@pytest.fixture
+def clock_rendezvous_instance() -> RendezvousInstance:
+    """A feasible instance where only the clocks differ."""
+    return RendezvousInstance(
+        separation=Vec2(1.0, 0.4), visibility=0.45, attributes=RobotAttributes(time_unit=0.5)
+    )
+
+
+@pytest.fixture
+def infeasible_instance() -> RendezvousInstance:
+    """Two attribute-identical robots (provably infeasible)."""
+    return RendezvousInstance(
+        separation=Vec2(0.0, 1.5), visibility=0.3, attributes=RobotAttributes()
+    )
+
+
+@pytest.fixture
+def mirrored_attributes() -> RobotAttributes:
+    """Mirrored robot with a rotation: infeasible when speeds and clocks agree."""
+    return RobotAttributes(orientation=math.pi / 3, chirality=-1)

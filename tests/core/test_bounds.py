@@ -1,0 +1,148 @@
+"""Unit tests for the closed-form bounds (Lemmas 2-3, Theorems 1-2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    guaranteed_discovery_round,
+    lemma3_difficulty_lower_bound,
+    search_annulus_duration,
+    search_circle_duration,
+    search_round_duration,
+    theorem1_search_bound,
+    theorem2_effective_parameters,
+    theorem2_rendezvous_bound,
+    universal_search_prefix_duration,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestLemma2Formulas:
+    def test_search_circle_duration(self):
+        assert search_circle_duration(2.0) == pytest.approx(4 * (math.pi + 1))
+
+    def test_search_annulus_duration_matches_the_manual_sum(self):
+        delta1, delta2, rho = 0.5, 1.0, 0.125
+        m = math.ceil((delta2 - delta1) / (2 * rho))
+        manual = sum(2 * (math.pi + 1) * (delta1 + 2 * i * rho) for i in range(m + 1))
+        assert search_annulus_duration(delta1, delta2, rho) == pytest.approx(manual)
+
+    def test_search_round_duration(self):
+        assert search_round_duration(3) == pytest.approx(3 * (math.pi + 1) * 4 * 16)
+
+    def test_prefix_duration_is_the_sum_of_round_durations(self):
+        for k in (1, 2, 4):
+            total = sum(search_round_duration(i) for i in range(1, k + 1))
+            assert universal_search_prefix_duration(k) == pytest.approx(total)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            search_circle_duration(0.0)
+        with pytest.raises(InvalidParameterError):
+            search_annulus_duration(1.0, 0.5, 0.1)
+        with pytest.raises(InvalidParameterError):
+            search_round_duration(0)
+
+
+class TestDiscoveryRound:
+    def test_easy_instance_is_round_one(self):
+        assert guaranteed_discovery_round(1.0, 0.25) == 1
+
+    def test_round_grows_with_difficulty(self):
+        easy = guaranteed_discovery_round(1.0, 0.25)
+        hard = guaranteed_discovery_round(3.0, 0.01)
+        assert hard > easy
+
+    def test_round_k_guarantee_holds_by_construction(self):
+        """The returned round contains a sub-round covering (d, r)."""
+        for distance, visibility in ((0.7, 0.3), (2.5, 0.05), (5.0, 0.01)):
+            k = guaranteed_discovery_round(distance, visibility)
+            found = False
+            for j in range(2 * k):
+                outer = 2.0 ** (-k + j + 1)
+                granularity = 2.0 ** (-3 * k + 2 * j - 1)
+                if outer >= distance and granularity <= visibility:
+                    found = True
+            assert found
+
+    def test_paper_recipe_is_an_upper_bound(self):
+        """Lemma 1's explicit k = floor(log2(d^2/r)) is never smaller than the minimal round."""
+        for distance, visibility in ((1.5, 0.1), (2.0, 0.03), (4.0, 0.2)):
+            minimal = guaranteed_discovery_round(distance, visibility)
+            recipe = math.floor(math.log2(distance**2 / visibility))
+            assert minimal <= max(recipe, 1)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            guaranteed_discovery_round(-1.0, 0.1)
+
+
+class TestTheorem1Bound:
+    def test_bound_is_positive_and_finite(self):
+        assert 0.0 < theorem1_search_bound(2.0, 0.1) < float("inf")
+
+    def test_easy_instances_fall_back_to_the_first_round_time(self):
+        bound = theorem1_search_bound(0.8, 0.5)
+        assert bound == pytest.approx(universal_search_prefix_duration(
+            guaranteed_discovery_round(0.8, 0.5)))
+
+    def test_literal_formula_for_hard_instances(self):
+        distance, visibility = 2.0, 0.02
+        difficulty = distance**2 / visibility
+        literal = 6 * (math.pi + 1) * math.log2(difficulty) * difficulty
+        assert theorem1_search_bound(distance, visibility) >= literal - 1e-9
+
+    def test_bound_dominates_the_guaranteed_round_prefix(self):
+        """The bound is always at least the time to finish the guaranteed round."""
+        for distance, visibility in ((1.0, 0.3), (2.0, 0.05), (3.0, 0.01)):
+            k = guaranteed_discovery_round(distance, visibility)
+            assert theorem1_search_bound(distance, visibility) >= universal_search_prefix_duration(k) - 1e-6
+
+    def test_monotone_in_difficulty(self):
+        assert theorem1_search_bound(2.0, 0.05) > theorem1_search_bound(2.0, 0.1)
+
+
+class TestLemma3:
+    def test_lower_bound_value(self):
+        assert lemma3_difficulty_lower_bound(3) == pytest.approx(16.0)
+
+    def test_invalid_round_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            lemma3_difficulty_lower_bound(0)
+
+
+class TestTheorem2:
+    def test_equal_chirality_scales_by_mu(self):
+        distance, visibility, speed, orientation = 2.0, 0.1, 0.5, 1.0
+        mu = math.sqrt(speed**2 - 2 * speed * math.cos(orientation) + 1)
+        d_eff, r_eff = theorem2_effective_parameters(distance, visibility, speed, orientation, 1)
+        assert d_eff == pytest.approx(distance / mu)
+        assert r_eff == pytest.approx(visibility / mu)
+
+    def test_opposite_chirality_scales_by_one_minus_v(self):
+        d_eff, r_eff = theorem2_effective_parameters(2.0, 0.1, 0.4, 2.0, -1)
+        assert d_eff == pytest.approx(2.0 / 0.6)
+        assert r_eff == pytest.approx(0.1 / 0.6)
+
+    def test_bound_reduces_to_theorem1_of_the_effective_instance(self):
+        distance, visibility, speed, orientation = 1.5, 0.2, 0.5, 2.0
+        d_eff, r_eff = theorem2_effective_parameters(distance, visibility, speed, orientation, 1)
+        assert theorem2_rendezvous_bound(distance, visibility, speed, orientation, 1) == pytest.approx(
+            theorem1_search_bound(d_eff, r_eff)
+        )
+
+    def test_bound_blows_up_as_the_advantage_vanishes(self):
+        slow = theorem2_rendezvous_bound(1.5, 0.2, 0.99, 0.0, 1)
+        fast = theorem2_rendezvous_bound(1.5, 0.2, 0.5, 0.0, 1)
+        assert slow > fast
+
+    def test_infeasible_configuration_has_no_bound(self):
+        with pytest.raises(InvalidParameterError):
+            theorem2_rendezvous_bound(1.0, 0.1, 1.0, 0.0, 1)
+
+    def test_mirrored_fast_robot_needs_normalisation(self):
+        with pytest.raises(InvalidParameterError):
+            theorem2_rendezvous_bound(1.0, 0.1, 1.5, 0.0, -1)

@@ -1,0 +1,129 @@
+"""Unit tests for the Theorem 4 feasibility test and the Section 3 reduction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    RendezvousReduction,
+    adversarial_separation_direction,
+    classify_feasibility,
+    is_feasible,
+)
+from repro.errors import InvalidParameterError
+from repro.geometry import Vec2, mu_factor
+from repro.robots import RobotAttributes
+
+
+class TestFeasibility:
+    def test_identical_robots_are_infeasible(self):
+        assert not is_feasible(RobotAttributes())
+
+    def test_different_speeds_are_feasible(self):
+        assert is_feasible(RobotAttributes(speed=0.5))
+
+    def test_different_clocks_are_feasible(self):
+        assert is_feasible(RobotAttributes(time_unit=2.0))
+
+    def test_rotation_with_equal_chirality_is_feasible(self):
+        assert is_feasible(RobotAttributes(orientation=1.0))
+
+    def test_mirrored_only_is_infeasible(self):
+        assert not is_feasible(RobotAttributes(chirality=-1))
+
+    def test_mirrored_with_rotation_is_still_infeasible(self):
+        assert not is_feasible(RobotAttributes(orientation=2.0, chirality=-1))
+
+    def test_mirrored_with_different_speed_is_feasible(self):
+        assert is_feasible(RobotAttributes(speed=0.7, chirality=-1))
+
+    def test_mirrored_with_different_clock_is_feasible(self):
+        assert is_feasible(RobotAttributes(time_unit=0.5, orientation=1.0, chirality=-1))
+
+    def test_full_turn_orientation_counts_as_equal(self):
+        assert not is_feasible(RobotAttributes(orientation=2 * math.pi))
+
+    def test_reasons_mention_the_differing_attribute(self):
+        verdict = classify_feasibility(RobotAttributes(speed=0.5, time_unit=2.0))
+        text = " ".join(verdict.reasons)
+        assert "clocks differ" in text and "speeds differ" in text
+
+    def test_infeasible_verdict_explains_why(self):
+        verdict = classify_feasibility(RobotAttributes(chirality=-1))
+        assert not verdict.feasible
+        assert "reflection" in verdict.reasons[0]
+
+
+class TestAdversarialDirection:
+    def test_direction_is_a_unit_vector(self):
+        for attributes in (
+            RobotAttributes(),
+            RobotAttributes(chirality=-1),
+            RobotAttributes(orientation=1.3, chirality=-1),
+        ):
+            assert adversarial_separation_direction(attributes).norm() == pytest.approx(1.0)
+
+    def test_mirrored_direction_is_invariant_under_the_relative_map(self):
+        """The adversarial separation has no component in the relative motion's range."""
+        from repro.geometry import relative_matrix
+
+        attributes = RobotAttributes(orientation=1.3, chirality=-1)
+        direction = adversarial_separation_direction(attributes)
+        matrix = relative_matrix(1.0, 1.3, -1)
+        for probe in (Vec2(1.0, 0.0), Vec2(0.3, -0.8), Vec2(-2.0, 1.0)):
+            image = matrix.apply(probe)
+            assert abs(image.dot(direction)) <= 1e-9
+
+
+class TestReduction:
+    def test_rejects_asymmetric_clocks(self):
+        with pytest.raises(InvalidParameterError):
+            RendezvousReduction(RobotAttributes(time_unit=0.5))
+
+    def test_mu_property(self):
+        reduction = RendezvousReduction(RobotAttributes(speed=0.5, orientation=1.0))
+        assert reduction.mu == pytest.approx(mu_factor(0.5, 1.0))
+
+    def test_equal_chirality_bearing_scale_is_mu_for_every_bearing(self):
+        reduction = RendezvousReduction(RobotAttributes(speed=0.5, orientation=1.0))
+        for bearing in (0.0, 0.7, 2.0, 4.5):
+            assert reduction.bearing_scale(Vec2.polar(1.0, bearing)) == pytest.approx(reduction.mu)
+
+    def test_effective_parameters_scale_d_and_r_together(self):
+        reduction = RendezvousReduction(RobotAttributes(speed=0.5, orientation=2.0))
+        separation = Vec2(1.4, 0.3)
+        d_eff, r_eff = reduction.effective_parameters(separation, 0.2)
+        assert d_eff / r_eff == pytest.approx(separation.norm() / 0.2)
+
+    def test_adversarial_bearing_of_an_infeasible_mirror_has_zero_scale(self):
+        attributes = RobotAttributes(orientation=1.0, chirality=-1)
+        reduction = RendezvousReduction(attributes)
+        direction = adversarial_separation_direction(attributes)
+        assert reduction.bearing_scale(direction) == pytest.approx(0.0, abs=1e-12)
+        with pytest.raises(InvalidParameterError):
+            reduction.effective_parameters(direction, 0.2)
+
+    def test_worst_case_scale_for_mirrored_slow_robot_is_positive(self):
+        reduction = RendezvousReduction(RobotAttributes(speed=0.5, chirality=-1))
+        assert reduction.worst_case_scale() > 0.0
+
+    def test_equivalent_trajectory_matches_matrix_action(self):
+        from repro.motion import TrajectoryBuilder
+
+        attributes = RobotAttributes(speed=0.6, orientation=0.8, chirality=-1)
+        reduction = RendezvousReduction(attributes)
+        builder = TrajectoryBuilder()
+        builder.move_to(Vec2(1.0, 0.0))
+        builder.move_to(Vec2(1.0, 1.0))
+        walk = builder.build()
+        equivalent = reduction.equivalent_trajectory(walk)
+        for t in (0.0, 0.5, 1.7, 2.0):
+            expected = reduction.relative_map.apply(walk.position(t))
+            assert equivalent.position(t).is_close(expected, 1e-12)
+
+    def test_qr_factors_reconstruct_the_relative_map(self):
+        reduction = RendezvousReduction(RobotAttributes(speed=0.7, orientation=2.2, chirality=-1))
+        phi_matrix, upper = reduction.qr_factors()
+        assert (phi_matrix @ upper).is_close(reduction.relative_map, 1e-9)

@@ -1,0 +1,45 @@
+"""Unit tests for the Lambert W implementation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy.special import lambertw as scipy_lambertw
+
+from repro.core import lambert_w, lambert_w_upper_bound
+from repro.errors import InvalidParameterError
+
+
+class TestLambertW:
+    def test_known_values(self):
+        assert lambert_w(0.0) == 0.0
+        assert lambert_w(math.e) == pytest.approx(1.0)
+
+    def test_defining_identity(self):
+        for value in (0.1, 1.0, 5.0, 100.0, 1e6):
+            w = lambert_w(value)
+            assert w * math.exp(w) == pytest.approx(value, rel=1e-9)
+
+    @pytest.mark.parametrize("value", [0.01, 0.5, 2.0, 10.0, 1e3, 1e8, 1e12])
+    def test_matches_scipy(self, value):
+        assert lambert_w(value) == pytest.approx(float(scipy_lambertw(value).real), rel=1e-9)
+
+    def test_negative_argument_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            lambert_w(-1.0)
+
+    def test_monotonicity(self):
+        values = [lambert_w(x) for x in (1.0, 10.0, 100.0, 1000.0)]
+        assert values == sorted(values)
+
+
+class TestAsymptoticEstimate:
+    def test_estimate_close_to_w_for_large_arguments(self):
+        for value in (1e3, 1e6, 1e9):
+            estimate = lambert_w_upper_bound(value)
+            assert estimate == pytest.approx(lambert_w(value), rel=0.15)
+
+    def test_small_argument_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            lambert_w_upper_bound(1.0)

@@ -1,0 +1,119 @@
+"""Unit tests for the asymmetric-clock round bounds (Lemmas 11-13, Theorem 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    decompose_tau,
+    guaranteed_discovery_round,
+    inactive_phase_start,
+    lemma11_round_bound,
+    lemma12_round_bound,
+    lemma12_round_bound_exact,
+    lemma13_round_bound,
+    normalize_clock_ratio,
+    theorem3_time_bound,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestTauDecomposition:
+    def test_reconstruction(self):
+        for tau in (0.9, 0.7, 0.51, 0.3, 0.13, 0.06):
+            decomposition = decompose_tau(tau)
+            assert decomposition.tau == pytest.approx(tau)
+
+    def test_t_range(self):
+        for tau in (0.9, 0.6, 0.4, 0.2, 0.05):
+            decomposition = decompose_tau(tau)
+            assert 0.5 <= decomposition.t < 1.0
+
+    def test_powers_of_two_use_t_equals_one_half(self):
+        decomposition = decompose_tau(0.25)
+        assert decomposition.t == pytest.approx(0.5)
+        assert decomposition.a == 1
+
+    def test_one_half_decomposition(self):
+        decomposition = decompose_tau(0.5)
+        assert decomposition.t == pytest.approx(0.5)
+        assert decomposition.a == 0
+
+    def test_out_of_range_rejected(self):
+        for tau in (0.0, 1.0, 1.5, -0.3):
+            with pytest.raises(InvalidParameterError):
+                decompose_tau(tau)
+
+
+class TestRoundBounds:
+    def test_lemma11_formula(self):
+        assert lemma11_round_bound(8, 0) == 8 + math.ceil(math.log2(8))
+
+    def test_lemma11_small_n_does_not_go_below_n(self):
+        assert lemma11_round_bound(1, 3) == 1
+
+    def test_lemma12_formula(self):
+        n, a, k0 = 8, 0, 6
+        expected = n + math.ceil(math.log2(n) + math.log2(1 + k0 / (a + 1)))
+        assert lemma12_round_bound(n, a, k0) == expected
+
+    def test_lemma12_exact_version_is_finite_and_close(self):
+        exact = lemma12_round_bound_exact(8, 0, 6)
+        assert exact < 40
+
+    def test_lemma13_small_t_branch(self):
+        # tau = 0.5 -> t = 1/2, a = 0 -> k* = max(8, n + ceil(log2 n)).
+        assert lemma13_round_bound(0.5, 2) == 8
+        assert lemma13_round_bound(0.5, 12) == 12 + math.ceil(math.log2(12))
+
+    def test_lemma13_large_t_branch(self):
+        # tau = 0.9 -> t = 0.9, a = 0 -> first term ceil(0.9/0.1) = 9.
+        assert lemma13_round_bound(0.9, 1) >= 9
+
+    def test_round_bound_grows_as_tau_approaches_one(self):
+        assert lemma13_round_bound(0.99, 2) > lemma13_round_bound(0.6, 2)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            lemma13_round_bound(1.2, 3)
+        with pytest.raises(InvalidParameterError):
+            lemma11_round_bound(0, 0)
+
+
+class TestTheorem3Bound:
+    def test_bound_is_finite_for_any_tau_below_one(self):
+        for tau in (0.9, 0.5, 0.1):
+            assert math.isfinite(theorem3_time_bound(1.0, 0.4, tau))
+
+    def test_bound_is_the_completion_time_of_round_k_star(self):
+        distance, visibility, tau = 1.0, 0.4, 0.5
+        n = guaranteed_discovery_round(distance, visibility)
+        k_star = lemma13_round_bound(tau, n)
+        assert theorem3_time_bound(distance, visibility, tau) == pytest.approx(
+            inactive_phase_start(k_star + 1)
+        )
+
+    def test_bound_grows_with_difficulty(self):
+        assert theorem3_time_bound(3.0, 0.05, 0.5) > theorem3_time_bound(1.0, 0.4, 0.5)
+
+    def test_tau_of_one_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            theorem3_time_bound(1.0, 0.4, 1.0)
+
+
+class TestClockNormalisation:
+    def test_slow_partner_is_already_normal(self):
+        tau, scale = normalize_clock_ratio(0.5)
+        assert tau == pytest.approx(0.5)
+        assert scale == pytest.approx(1.0)
+
+    def test_fast_partner_swaps_roles(self):
+        tau, scale = normalize_clock_ratio(2.0)
+        assert tau == pytest.approx(0.5)
+        assert scale == pytest.approx(2.0)
+
+    def test_equal_clocks_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            normalize_clock_ratio(1.0)

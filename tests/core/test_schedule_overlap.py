@@ -1,0 +1,139 @@
+"""Unit tests for the Algorithm 7 schedule and the overlap lemmas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    RoundSchedule,
+    active_phase_start,
+    inactive_phase_start,
+    lemma9_applies,
+    lemma9_overlap_amount,
+    lemma9_tau_window,
+    lemma10_applies,
+    lemma10_overlap_amount,
+    lemma10_tau_window,
+    measured_overlap,
+    round_duration,
+    search_all_time,
+    universal_search_prefix_duration,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestClosedForms:
+    def test_search_all_time_formula(self):
+        assert search_all_time(3) == pytest.approx(12 * (math.pi + 1) * 3 * 8)
+
+    def test_prefix_duration_equals_search_all_time(self):
+        for k in (1, 2, 5):
+            assert universal_search_prefix_duration(k) == pytest.approx(search_all_time(k))
+
+    def test_inactive_phase_start_formula(self):
+        assert inactive_phase_start(1) == pytest.approx(0.0)
+        assert inactive_phase_start(2) == pytest.approx(24 * (math.pi + 1) * 4)
+
+    def test_active_phase_start_is_inactive_plus_wait(self):
+        for n in (1, 2, 4):
+            assert active_phase_start(n) == pytest.approx(
+                inactive_phase_start(n) + 2 * search_all_time(n)
+            )
+
+    def test_round_duration_is_four_search_alls(self):
+        for n in (1, 3):
+            assert round_duration(n) == pytest.approx(4 * search_all_time(n))
+
+    def test_rounds_are_contiguous(self):
+        for n in (1, 2, 3, 6):
+            assert inactive_phase_start(n + 1) == pytest.approx(
+                inactive_phase_start(n) + round_duration(n)
+            )
+
+    def test_invalid_round_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            inactive_phase_start(0)
+
+
+class TestRoundSchedule:
+    def test_time_unit_dilates_every_boundary(self):
+        reference = RoundSchedule(1.0)
+        slow = RoundSchedule(2.0)
+        for n in (1, 2, 3):
+            assert slow.inactive_start(n) == pytest.approx(2.0 * reference.inactive_start(n))
+            assert slow.active_start(n) == pytest.approx(2.0 * reference.active_start(n))
+
+    def test_phases_alternate_and_cover_time(self):
+        schedule = RoundSchedule(1.0)
+        phases = list(schedule.phases(4))
+        assert [p.kind for p in phases[:4]] == ["inactive", "active", "inactive", "active"]
+        for earlier, later in zip(phases, phases[1:]):
+            assert later.start == pytest.approx(earlier.end)
+
+    def test_active_phase_breakdown_structure(self):
+        schedule = RoundSchedule(1.0)
+        breakdown = schedule.active_phase_breakdown(3)
+        labels = [label for label, _, _ in breakdown]
+        assert labels == ["Search(1)", "Search(2)", "Search(3)", "Search(3)", "Search(2)", "Search(1)"]
+
+    def test_phase_interval_overlap_helper(self):
+        schedule = RoundSchedule(1.0)
+        phase = schedule.inactive_phase(2)
+        assert phase.overlap_with(schedule.active_phase(2)) == pytest.approx(0.0)
+        assert phase.overlap_with(phase) == pytest.approx(phase.duration)
+
+    def test_describe_contains_each_round(self):
+        text = RoundSchedule(0.5).describe(3)
+        assert "round  3" in text
+
+    def test_invalid_time_unit_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RoundSchedule(0.0)
+
+
+class TestOverlapLemmas:
+    def test_lemma9_window_shape(self):
+        low, high = lemma9_tau_window(6, 0)
+        assert high == pytest.approx(1.5 * low)
+        assert 0.0 < low < 1.0
+
+    def test_lemma10_window_is_above_lemma9s(self):
+        low9, high9 = lemma9_tau_window(8, 0)
+        low10, high10 = lemma10_tau_window(8, 0)
+        assert low10 > low9
+
+    def test_applicability_requires_large_enough_round(self):
+        assert not lemma9_applies(1, 0, 0.5)
+        assert not lemma10_applies(1, 0, 0.9)
+
+    def test_lemma9_applies_for_tau_one_half(self):
+        assert lemma9_applies(4, 0, 0.5)
+
+    def test_measured_overlap_is_non_negative_and_bounded_by_the_phases(self):
+        window = measured_overlap(4, 5, 0.5)
+        schedule = RoundSchedule(1.0)
+        assert 0.0 <= window.amount <= schedule.active_phase(4).duration + 1e-9
+
+    def test_overlap_amount_formulas(self):
+        tau, k, a = 0.5, 4, 0
+        assert lemma9_overlap_amount(k, a, tau) == pytest.approx(
+            tau * active_phase_start(k + 1 + a) - active_phase_start(k)
+        )
+        assert lemma10_overlap_amount(k, a, tau) == pytest.approx(
+            inactive_phase_start(k) - tau * inactive_phase_start(k + a)
+        )
+
+    def test_overlap_grows_without_bound(self):
+        """The crux of Theorem 3: overlaps keep growing with the round index."""
+        tau = 0.5
+        amounts = [measured_overlap(k, k + 1, tau).amount for k in range(4, 14)]
+        assert all(later >= earlier for earlier, later in zip(amounts, amounts[1:]))
+        assert amounts[-1] > 100 * amounts[0]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            measured_overlap(1, 1, 0.0)
+        with pytest.raises(InvalidParameterError):
+            lemma9_tau_window(0, 0)

@@ -1,0 +1,109 @@
+"""Unit tests for the high-level solve_search / solve_rendezvous API."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms import ConcentricCoverageSearch, WaitAndSearchRendezvous
+from repro.core import rendezvous_time_bound, solve_rendezvous, solve_search
+from repro.errors import HorizonExceededError, InfeasibleConfigurationError
+from repro.geometry import Vec2
+from repro.robots import RobotAttributes
+from repro.simulation import RendezvousInstance, SearchInstance, fixed_horizon
+
+
+class TestSolveSearch:
+    def test_report_fields(self, simple_search_instance):
+        report = solve_search(simple_search_instance)
+        assert report.outcome.solved
+        assert report.time < report.bound
+        assert 0.0 < report.bound_ratio < 1.0
+        assert report.guaranteed_round >= 1
+        assert "Theorem 1" in report.summary()
+
+    def test_custom_algorithm(self, simple_search_instance):
+        report = solve_search(
+            simple_search_instance,
+            algorithm=ConcentricCoverageSearch(simple_search_instance.visibility),
+        )
+        assert report.outcome.solved
+        assert "concentric" in report.algorithm_name.lower() or "Concentric" in report.algorithm_name
+
+    def test_too_small_horizon_raises(self, simple_search_instance):
+        with pytest.raises(HorizonExceededError):
+            solve_search(simple_search_instance, horizon=fixed_horizon(0.1))
+
+
+class TestRendezvousBound:
+    def test_equal_clock_bound_uses_theorem2(self, speed_rendezvous_instance):
+        bound = rendezvous_time_bound(speed_rendezvous_instance)
+        assert bound is not None and math.isfinite(bound)
+
+    def test_asymmetric_clock_bound_uses_theorem3(self, clock_rendezvous_instance):
+        bound = rendezvous_time_bound(clock_rendezvous_instance)
+        assert bound is not None and math.isfinite(bound)
+
+    def test_infeasible_instance_has_no_bound(self, infeasible_instance):
+        assert rendezvous_time_bound(infeasible_instance) is None
+
+    def test_fast_mirrored_robot_bound_via_role_swap(self):
+        instance = RendezvousInstance(
+            separation=Vec2(1.0, 0.5),
+            visibility=0.3,
+            attributes=RobotAttributes(speed=2.0, chirality=-1),
+        )
+        bound = rendezvous_time_bound(instance)
+        assert bound is not None and bound > 0.0
+
+    def test_fast_clock_bound_via_role_swap(self):
+        instance = RendezvousInstance(
+            separation=Vec2(1.0, 0.5), visibility=0.4, attributes=RobotAttributes(time_unit=2.0)
+        )
+        bound = rendezvous_time_bound(instance)
+        assert bound is not None and math.isfinite(bound)
+
+
+class TestSolveRendezvous:
+    def test_speed_difference_solves_within_bound(self, speed_rendezvous_instance):
+        report = solve_rendezvous(speed_rendezvous_instance)
+        assert report.solved
+        assert report.bound_ratio is not None and report.bound_ratio < 1.0
+
+    def test_clock_difference_solves(self, clock_rendezvous_instance):
+        report = solve_rendezvous(clock_rendezvous_instance)
+        assert report.solved
+        assert "wait-and-search" in report.algorithm_name.lower() or "WaitAndSearch" in report.algorithm_name
+
+    def test_orientation_difference_solves(self):
+        instance = RendezvousInstance(
+            separation=Vec2(1.1, -0.3), visibility=0.35, attributes=RobotAttributes(orientation=2.5)
+        )
+        report = solve_rendezvous(instance)
+        assert report.solved
+
+    def test_infeasible_instance_raises_by_default(self, infeasible_instance):
+        with pytest.raises(InfeasibleConfigurationError):
+            solve_rendezvous(infeasible_instance)
+
+    def test_infeasible_instance_needs_an_explicit_horizon(self, infeasible_instance):
+        with pytest.raises(InfeasibleConfigurationError):
+            solve_rendezvous(infeasible_instance, allow_infeasible=True)
+
+    def test_infeasible_instance_can_be_simulated_to_a_horizon(self, infeasible_instance):
+        report = solve_rendezvous(
+            infeasible_instance, allow_infeasible=True, horizon=fixed_horizon(300.0)
+        )
+        assert not report.solved
+        assert report.bound is None
+        assert "infeasible" in report.summary()
+
+    def test_explicit_algorithm_is_respected(self, speed_rendezvous_instance):
+        report = solve_rendezvous(speed_rendezvous_instance, algorithm=WaitAndSearchRendezvous())
+        assert report.solved
+        assert "wait" in report.algorithm_name.lower()
+
+    def test_summary_reports_measured_time_and_bound(self, speed_rendezvous_instance):
+        text = solve_rendezvous(speed_rendezvous_instance).summary()
+        assert "measured time" in text and "bound" in text

@@ -1,0 +1,147 @@
+"""Tests for the multi-robot gathering extension."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry import Vec2
+from repro.gathering import (
+    GatheringInstance,
+    SwarmMember,
+    pair_feasibility,
+    relative_attributes,
+    simulate_gathering,
+    swarm_feasibility,
+)
+from repro.robots import RobotAttributes
+
+
+def _swarm(attributes: list[RobotAttributes], spacing: float = 1.0) -> GatheringInstance:
+    positions = [Vec2.polar(spacing, 2.0 * math.pi * i / len(attributes)) for i in range(len(attributes))]
+    return GatheringInstance.create(positions, attributes, visibility=0.4)
+
+
+class TestRelativeAttributes:
+    def test_relative_to_itself_is_the_reference(self):
+        attributes = RobotAttributes(speed=0.7, time_unit=2.0, orientation=1.0, chirality=-1)
+        assert relative_attributes(attributes, attributes).is_reference()
+
+    def test_speed_and_clock_ratios(self):
+        observer = RobotAttributes(speed=2.0, time_unit=4.0)
+        other = RobotAttributes(speed=1.0, time_unit=1.0)
+        relative = relative_attributes(observer, other)
+        assert relative.speed == pytest.approx(0.5)
+        assert relative.time_unit == pytest.approx(0.25)
+
+    def test_relative_chirality_is_the_product(self):
+        mirrored = RobotAttributes(chirality=-1)
+        upright = RobotAttributes()
+        assert relative_attributes(mirrored, upright).chirality == -1
+        assert relative_attributes(mirrored, mirrored).chirality == 1
+
+    def test_pair_feasibility_is_symmetric(self):
+        a = RobotAttributes(speed=0.5, orientation=1.0)
+        b = RobotAttributes(speed=0.5, orientation=2.5)
+        assert pair_feasibility(a, b).feasible == pair_feasibility(b, a).feasible
+
+    def test_two_mirrored_robots_with_same_speed_are_infeasible(self):
+        a = RobotAttributes(orientation=0.3, chirality=-1)
+        b = RobotAttributes(orientation=1.9, chirality=1)
+        assert not pair_feasibility(a, b).feasible
+
+    def test_same_chirality_different_rotation_is_feasible(self):
+        a = RobotAttributes(orientation=0.3, chirality=-1)
+        b = RobotAttributes(orientation=1.9, chirality=-1)
+        assert pair_feasibility(a, b).feasible
+
+
+class TestInstance:
+    def test_requires_at_least_two_members(self):
+        with pytest.raises(InvalidParameterError):
+            GatheringInstance.create([Vec2(0.0, 0.0)], [RobotAttributes()], visibility=0.2)
+
+    def test_rejects_coincident_starts(self):
+        with pytest.raises(InvalidParameterError):
+            GatheringInstance.create(
+                [Vec2(0.0, 0.0), Vec2(0.0, 0.0)],
+                [RobotAttributes(), RobotAttributes(speed=0.5)],
+                visibility=0.2,
+            )
+
+    def test_pairs_enumeration(self):
+        swarm = _swarm([RobotAttributes(speed=s) for s in (0.5, 0.8, 1.2)])
+        assert swarm.pairs() == [(0, 1), (0, 2), (1, 2)]
+        assert swarm.size == 3
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GatheringInstance.create([Vec2(0.0, 0.0)], [], visibility=0.2)
+
+
+class TestSwarmFeasibility:
+    def test_all_distinct_speeds_fully_feasible(self):
+        swarm = _swarm([RobotAttributes(speed=s) for s in (0.5, 0.8, 1.2)])
+        feasibility = swarm_feasibility(swarm)
+        assert feasibility.pairwise_gathering_feasible
+        assert feasibility.connectivity_gathering_feasible
+        assert feasibility.infeasible_pairs() == []
+
+    def test_two_identical_robots_break_pairwise_but_not_connectivity(self):
+        swarm = _swarm([RobotAttributes(), RobotAttributes(), RobotAttributes(speed=0.5)])
+        feasibility = swarm_feasibility(swarm)
+        assert not feasibility.pairwise_gathering_feasible
+        assert feasibility.connectivity_gathering_feasible
+        assert feasibility.infeasible_pairs() == [(0, 1)]
+
+    def test_fully_identical_swarm_is_disconnected(self):
+        swarm = _swarm([RobotAttributes(), RobotAttributes(), RobotAttributes()])
+        feasibility = swarm_feasibility(swarm)
+        assert not feasibility.connectivity_gathering_feasible
+
+    def test_describe_mentions_every_pair(self):
+        swarm = _swarm([RobotAttributes(speed=0.5), RobotAttributes()])
+        assert "(R0, R1)" in swarm_feasibility(swarm).describe()
+
+
+class TestSimulateGathering:
+    def test_distinct_speeds_meet_pairwise(self):
+        swarm = _swarm([RobotAttributes(speed=s) for s in (0.5, 0.8, 1.3)], spacing=0.8)
+        outcome = simulate_gathering(swarm, horizon=6000.0)
+        assert outcome.all_pairs_met
+        assert outcome.pairwise_gathering_time is not None
+        assert outcome.connectivity_gathering_time is not None
+        assert outcome.connectivity_gathering_time <= outcome.pairwise_gathering_time
+
+    def test_identical_pair_blocks_pairwise_but_not_connectivity(self):
+        swarm = GatheringInstance.create(
+            [Vec2(0.0, 0.0), Vec2(1.2, 0.0), Vec2(0.5, 0.9)],
+            [RobotAttributes(), RobotAttributes(), RobotAttributes(time_unit=0.5)],
+            visibility=0.45,
+        )
+        outcome = simulate_gathering(swarm, horizon=6000.0)
+        identical_pair = outcome.result_for(0, 1)
+        assert not identical_pair.feasible
+        assert not identical_pair.met
+        assert outcome.pairwise_gathering_time is None
+        assert outcome.connectivity_gathering_time is not None
+
+    def test_meeting_graph_edges_carry_times(self):
+        swarm = _swarm([RobotAttributes(speed=0.6), RobotAttributes(speed=1.4)], spacing=0.7)
+        outcome = simulate_gathering(swarm, horizon=4000.0)
+        graph = outcome.meeting_graph()
+        assert graph.has_edge(0, 1)
+        assert graph.edges[0, 1]["time"] == pytest.approx(outcome.result_for(0, 1).time)
+
+    def test_unknown_pair_lookup_rejected(self):
+        swarm = _swarm([RobotAttributes(speed=0.6), RobotAttributes(speed=1.4)], spacing=0.7)
+        outcome = simulate_gathering(swarm, horizon=2000.0)
+        with pytest.raises(InvalidParameterError):
+            outcome.result_for(0, 5)
+
+    def test_describe_reports_both_criteria(self):
+        swarm = _swarm([RobotAttributes(speed=0.6), RobotAttributes(speed=1.4)], spacing=0.7)
+        text = simulate_gathering(swarm, horizon=2000.0).describe()
+        assert "pairwise gathering" in text and "connectivity gathering" in text

@@ -1,0 +1,70 @@
+"""Unit tests for repro.geometry.angles."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    TWO_PI,
+    angle_difference,
+    is_zero_angle,
+    normalize_angle,
+    normalize_signed_angle,
+)
+
+
+class TestNormalizeAngle:
+    def test_angles_in_range_are_unchanged(self):
+        assert normalize_angle(1.23) == pytest.approx(1.23)
+
+    def test_negative_angles_wrap_up(self):
+        assert normalize_angle(-math.pi / 2) == pytest.approx(3 * math.pi / 2)
+
+    def test_large_angles_wrap_down(self):
+        assert normalize_angle(5 * math.pi) == pytest.approx(math.pi)
+
+    def test_result_is_always_in_range(self):
+        for angle in (-100.0, -7.3, 0.0, 6.28318, 123.456):
+            assert 0.0 <= normalize_angle(angle) < TWO_PI
+
+    def test_two_pi_maps_to_zero(self):
+        assert normalize_angle(TWO_PI) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSignedAngle:
+    def test_signed_range(self):
+        for angle in (-10.0, -3.0, 0.0, 3.0, 10.0):
+            value = normalize_signed_angle(angle)
+            assert -math.pi < value <= math.pi
+
+    def test_pi_stays_pi(self):
+        assert normalize_signed_angle(math.pi) == pytest.approx(math.pi)
+
+    def test_slightly_more_than_pi_becomes_negative(self):
+        assert normalize_signed_angle(math.pi + 0.1) == pytest.approx(-math.pi + 0.1)
+
+
+class TestAngleDifference:
+    def test_difference_is_antisymmetric(self):
+        assert angle_difference(1.0, 2.5) == pytest.approx(-angle_difference(2.5, 1.0))
+
+    def test_difference_across_the_wrap(self):
+        assert angle_difference(0.1, TWO_PI - 0.1) == pytest.approx(0.2)
+
+
+class TestIsZeroAngle:
+    def test_exact_zero(self):
+        assert is_zero_angle(0.0)
+
+    def test_multiples_of_two_pi(self):
+        assert is_zero_angle(4 * math.pi)
+        assert is_zero_angle(-2 * math.pi)
+
+    def test_nonzero_angle(self):
+        assert not is_zero_angle(0.5)
+
+    def test_tolerance_is_respected(self):
+        assert is_zero_angle(1e-13)
+        assert not is_zero_angle(1e-3)

@@ -1,0 +1,78 @@
+"""Unit tests for repro.geometry.distance."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    Vec2,
+    point_arc_distance,
+    point_segment_closest_point,
+    point_segment_distance,
+    segment_segment_distance,
+)
+
+
+class TestPointSegment:
+    def test_closest_point_is_projection_when_inside(self):
+        closest = point_segment_closest_point(Vec2(1.0, 1.0), Vec2(0.0, 0.0), Vec2(2.0, 0.0))
+        assert closest.is_close(Vec2(1.0, 0.0))
+
+    def test_closest_point_clamps_to_endpoint(self):
+        closest = point_segment_closest_point(Vec2(5.0, 1.0), Vec2(0.0, 0.0), Vec2(2.0, 0.0))
+        assert closest.is_close(Vec2(2.0, 0.0))
+
+    def test_distance_to_interior(self):
+        assert point_segment_distance(Vec2(1.0, 2.0), Vec2(0.0, 0.0), Vec2(2.0, 0.0)) == pytest.approx(2.0)
+
+    def test_distance_to_degenerate_segment(self):
+        assert point_segment_distance(Vec2(1.0, 1.0), Vec2(0.0, 0.0), Vec2(0.0, 0.0)) == pytest.approx(
+            math.sqrt(2.0)
+        )
+
+
+class TestPointArc:
+    def test_full_circle_distance_is_radial(self):
+        distance = point_arc_distance(Vec2(3.0, 0.0), Vec2(0.0, 0.0), 1.0, 0.0, 2 * math.pi)
+        assert distance == pytest.approx(2.0)
+
+    def test_point_inside_angular_window(self):
+        # Quarter arc from angle 0 to pi/2; the point at bearing pi/4 is in range.
+        point = Vec2.polar(2.0, math.pi / 4)
+        distance = point_arc_distance(point, Vec2(0.0, 0.0), 1.0, 0.0, math.pi / 2)
+        assert distance == pytest.approx(1.0)
+
+    def test_point_outside_angular_window_uses_endpoints(self):
+        # Quarter arc from 0 to pi/2; the point at bearing pi is closest to the arc start/end.
+        point = Vec2.polar(1.0, math.pi)
+        distance = point_arc_distance(point, Vec2(0.0, 0.0), 1.0, 0.0, math.pi / 2)
+        expected = min(point.distance_to(Vec2(1.0, 0.0)), point.distance_to(Vec2(0.0, 1.0)))
+        assert distance == pytest.approx(expected)
+
+    def test_clockwise_sweep(self):
+        # Arc from angle 0 sweeping -pi/2 (clockwise) covers bearing -pi/4.
+        point = Vec2.polar(3.0, -math.pi / 4)
+        distance = point_arc_distance(point, Vec2(0.0, 0.0), 1.0, 0.0, -math.pi / 2)
+        assert distance == pytest.approx(2.0)
+
+    def test_center_point(self):
+        assert point_arc_distance(Vec2(0.0, 0.0), Vec2(0.0, 0.0), 1.5, 0.3, 1.0) == pytest.approx(1.5)
+
+
+class TestSegmentSegment:
+    def test_crossing_segments_have_zero_distance(self):
+        assert segment_segment_distance(
+            Vec2(-1.0, 0.0), Vec2(1.0, 0.0), Vec2(0.0, -1.0), Vec2(0.0, 1.0)
+        ) == pytest.approx(0.0)
+
+    def test_parallel_segments(self):
+        assert segment_segment_distance(
+            Vec2(0.0, 0.0), Vec2(1.0, 0.0), Vec2(0.0, 1.0), Vec2(1.0, 1.0)
+        ) == pytest.approx(1.0)
+
+    def test_collinear_disjoint_segments(self):
+        assert segment_segment_distance(
+            Vec2(0.0, 0.0), Vec2(1.0, 0.0), Vec2(3.0, 0.0), Vec2(4.0, 0.0)
+        ) == pytest.approx(2.0)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.geometry.frame."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry import GLOBAL_FRAME, ReferenceFrame, Vec2
+
+
+class TestValidation:
+    def test_non_positive_speed_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ReferenceFrame(speed=0.0)
+
+    def test_non_positive_time_unit_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ReferenceFrame(time_unit=-1.0)
+
+    def test_bad_chirality_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ReferenceFrame(chirality=0)
+
+    def test_non_finite_orientation_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ReferenceFrame(orientation=float("inf"))
+
+
+class TestDistanceUnit:
+    def test_distance_unit_is_speed_times_time_unit(self):
+        frame = ReferenceFrame(speed=0.5, time_unit=3.0)
+        assert frame.distance_unit == pytest.approx(1.5)
+
+    def test_reference_frame_has_unit_distance(self):
+        assert GLOBAL_FRAME.distance_unit == pytest.approx(1.0)
+
+
+class TestSpaceConversions:
+    def test_world_point_adds_origin(self):
+        frame = ReferenceFrame(origin=Vec2(2.0, 3.0))
+        assert frame.to_world_point(Vec2(1.0, 0.0)).is_close(Vec2(3.0, 3.0))
+
+    def test_orientation_rotates_displacements(self):
+        frame = ReferenceFrame(orientation=math.pi / 2)
+        assert frame.to_world_displacement(Vec2(1.0, 0.0)).is_close(Vec2(0.0, 1.0))
+
+    def test_chirality_mirrors_displacements(self):
+        frame = ReferenceFrame(chirality=-1)
+        assert frame.to_world_displacement(Vec2(0.0, 1.0)).is_close(Vec2(0.0, -1.0))
+
+    def test_speed_scales_displacements(self):
+        frame = ReferenceFrame(speed=2.0)
+        assert frame.to_world_displacement(Vec2(1.0, 0.0)).is_close(Vec2(2.0, 0.0))
+
+    def test_round_trip_world_local(self):
+        frame = ReferenceFrame(
+            origin=Vec2(1.0, -2.0), speed=0.7, time_unit=1.3, orientation=0.9, chirality=-1
+        )
+        point = Vec2(0.3, 0.8)
+        assert frame.to_local_point(frame.to_world_point(point)).is_close(point, 1e-9)
+
+
+class TestTimeConversions:
+    def test_world_duration_scales_by_time_unit(self):
+        frame = ReferenceFrame(time_unit=0.5)
+        assert frame.to_world_duration(4.0) == pytest.approx(2.0)
+
+    def test_local_duration_is_inverse(self):
+        frame = ReferenceFrame(time_unit=0.5)
+        assert frame.to_local_duration(frame.to_world_duration(3.3)) == pytest.approx(3.3)
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GLOBAL_FRAME.to_world_duration(-1.0)
+
+
+class TestHelpers:
+    def test_with_origin_keeps_attributes(self):
+        frame = ReferenceFrame(speed=0.7, orientation=1.0).with_origin(Vec2(5.0, 5.0))
+        assert frame.origin == Vec2(5.0, 5.0)
+        assert frame.speed == pytest.approx(0.7)
+
+    def test_is_reference_detects_the_global_frame(self):
+        assert GLOBAL_FRAME.is_reference()
+        assert not ReferenceFrame(speed=0.9).is_reference()

@@ -1,0 +1,86 @@
+"""Unit tests for repro.geometry.primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry import Annulus, Circle, Disc, Vec2
+
+
+class TestCircle:
+    def test_distance_from_inside_point(self):
+        circle = Circle(Vec2(0.0, 0.0), 2.0)
+        assert circle.distance_to(Vec2(1.0, 0.0)) == pytest.approx(1.0)
+
+    def test_distance_from_outside_point(self):
+        circle = Circle(Vec2(0.0, 0.0), 2.0)
+        assert circle.distance_to(Vec2(5.0, 0.0)) == pytest.approx(3.0)
+
+    def test_point_at_angle(self):
+        circle = Circle(Vec2(1.0, 1.0), 2.0)
+        assert circle.point_at(math.pi / 2).is_close(Vec2(1.0, 3.0))
+
+    def test_circumference(self):
+        assert Circle(Vec2(0.0, 0.0), 1.0).circumference() == pytest.approx(2 * math.pi)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Circle(Vec2(0.0, 0.0), -1.0)
+
+
+class TestDisc:
+    def test_contains_boundary_point(self):
+        disc = Disc(Vec2(0.0, 0.0), 1.0)
+        assert disc.contains(Vec2(1.0, 0.0))
+
+    def test_excludes_outside_point(self):
+        disc = Disc(Vec2(0.0, 0.0), 1.0)
+        assert not disc.contains(Vec2(1.1, 0.0))
+
+    def test_tolerance_inflates_the_disc(self):
+        disc = Disc(Vec2(0.0, 0.0), 1.0)
+        assert disc.contains(Vec2(1.05, 0.0), tolerance=0.1)
+
+    def test_area(self):
+        assert Disc(Vec2(0.0, 0.0), 2.0).area() == pytest.approx(4 * math.pi)
+
+
+class TestAnnulus:
+    def test_contains_points_between_radii(self):
+        annulus = Annulus(Vec2(0.0, 0.0), 1.0, 2.0)
+        assert annulus.contains(Vec2(1.5, 0.0))
+        assert not annulus.contains(Vec2(0.5, 0.0))
+        assert not annulus.contains(Vec2(2.5, 0.0))
+
+    def test_width_and_area(self):
+        annulus = Annulus(Vec2(0.0, 0.0), 1.0, 3.0)
+        assert annulus.width() == pytest.approx(2.0)
+        assert annulus.area() == pytest.approx(math.pi * 8.0)
+
+    def test_inverted_radii_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Annulus(Vec2(0.0, 0.0), 2.0, 1.0)
+
+    def test_coverage_by_evenly_spaced_circles(self):
+        annulus = Annulus(Vec2(0.0, 0.0), 1.0, 2.0)
+        radii = [1.0, 1.5, 2.0]
+        assert annulus.covered_by_circles(radii, granularity=0.25)
+
+    def test_coverage_fails_when_circles_too_sparse(self):
+        annulus = Annulus(Vec2(0.0, 0.0), 1.0, 2.0)
+        assert not annulus.covered_by_circles([1.0, 2.0], granularity=0.25)
+
+    def test_coverage_fails_when_boundary_unreached(self):
+        annulus = Annulus(Vec2(0.0, 0.0), 1.0, 2.0)
+        assert not annulus.covered_by_circles([1.4, 1.6], granularity=0.15)
+
+    def test_paper_annulus_is_covered_by_its_own_circles(self):
+        """The radii and granularity of Algorithm 2 really cover the annulus."""
+        delta1, delta2, rho = 0.5, 1.0, 0.0625
+        steps = math.ceil((delta2 - delta1) / (2 * rho))
+        radii = [delta1 + 2 * i * rho for i in range(steps + 1)]
+        annulus = Annulus(Vec2(0.0, 0.0), delta1, delta2)
+        assert annulus.covered_by_circles(radii, granularity=rho)

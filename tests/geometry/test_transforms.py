@@ -1,0 +1,175 @@
+"""Unit tests for repro.geometry.transforms (Lemmas 4-5 algebra)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry import (
+    LinearMap2,
+    Vec2,
+    attribute_matrix,
+    identity,
+    mu_factor,
+    qr_factor_relative,
+    reflection_x,
+    relative_matrix,
+    rotation,
+    scaling,
+)
+
+
+class TestLinearMap2:
+    def test_identity_leaves_vectors_unchanged(self):
+        v = Vec2(1.2, -3.4)
+        assert identity().apply(v).is_close(v)
+
+    def test_composition_matches_numpy(self):
+        a = LinearMap2(1.0, 2.0, 3.0, 4.0)
+        b = LinearMap2(-1.0, 0.5, 2.0, 1.5)
+        composed = a @ b
+        expected = a.to_array() @ b.to_array()
+        assert np.allclose(composed.to_array(), expected)
+
+    def test_determinant(self):
+        assert LinearMap2(1.0, 2.0, 3.0, 4.0).determinant() == pytest.approx(-2.0)
+
+    def test_inverse_times_original_is_identity(self):
+        m = LinearMap2(2.0, 1.0, 1.0, 3.0)
+        assert (m @ m.inverse()).is_close(identity())
+
+    def test_singular_matrix_cannot_be_inverted(self):
+        with pytest.raises(InvalidParameterError):
+            LinearMap2(1.0, 2.0, 2.0, 4.0).inverse()
+
+    def test_transpose(self):
+        m = LinearMap2(1.0, 2.0, 3.0, 4.0)
+        assert m.transpose().is_close(LinearMap2(1.0, 3.0, 2.0, 4.0))
+
+    def test_operator_norm_of_scaling(self):
+        assert scaling(3.0).operator_norm() == pytest.approx(3.0)
+
+    def test_smallest_singular_value_of_scaling(self):
+        assert scaling(0.5).smallest_singular_value() == pytest.approx(0.5)
+
+    def test_rotation_is_orthogonal_with_unit_determinant(self):
+        m = rotation(0.7)
+        assert m.is_orthogonal()
+        assert m.is_rotation()
+
+    def test_reflection_is_orthogonal_but_not_a_rotation(self):
+        m = reflection_x()
+        assert m.is_orthogonal()
+        assert not m.is_rotation()
+
+    def test_from_array_rejects_wrong_shape(self):
+        with pytest.raises(InvalidParameterError):
+            LinearMap2.from_array(np.zeros((3, 3)))
+
+
+class TestAttributeMatrix:
+    """Lemma 4: S'(t) = v R(phi) diag(1, chi) S(t)."""
+
+    def test_reference_attributes_give_identity(self):
+        assert attribute_matrix(1.0, 0.0, 1).is_close(identity())
+
+    def test_speed_scales_uniformly(self):
+        m = attribute_matrix(0.5, 0.0, 1)
+        assert m.apply(Vec2(2.0, 4.0)).is_close(Vec2(1.0, 2.0))
+
+    def test_orientation_rotates(self):
+        m = attribute_matrix(1.0, math.pi / 2, 1)
+        assert m.apply(Vec2(1.0, 0.0)).is_close(Vec2(0.0, 1.0))
+
+    def test_negative_chirality_mirrors_before_rotating(self):
+        m = attribute_matrix(1.0, 0.0, -1)
+        assert m.apply(Vec2(1.0, 1.0)).is_close(Vec2(1.0, -1.0))
+
+    def test_determinant_sign_tracks_chirality(self):
+        assert attribute_matrix(0.8, 1.0, 1).determinant() > 0.0
+        assert attribute_matrix(0.8, 1.0, -1).determinant() < 0.0
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            attribute_matrix(0.0, 0.0, 1)
+
+    def test_invalid_chirality_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            attribute_matrix(1.0, 0.0, 2)
+
+
+class TestRelativeMatrix:
+    """Definition 1: T_circ = I - T."""
+
+    def test_identical_robots_give_zero_matrix(self):
+        m = relative_matrix(1.0, 0.0, 1)
+        assert m.is_close(LinearMap2(0.0, 0.0, 0.0, 0.0))
+
+    def test_relative_matrix_is_identity_minus_attribute_matrix(self):
+        v, phi, chi = 0.7, 1.1, -1
+        expected = identity().subtract(attribute_matrix(v, phi, chi))
+        assert relative_matrix(v, phi, chi).is_close(expected)
+
+    def test_mirrored_equal_speed_matrix_is_rank_deficient(self):
+        m = relative_matrix(1.0, 0.9, -1)
+        assert abs(m.determinant()) < 1e-12
+
+
+class TestMuFactor:
+    def test_matches_formula(self):
+        v, phi = 0.6, 1.2
+        assert mu_factor(v, phi) == pytest.approx(math.sqrt(v * v - 2 * v * math.cos(phi) + 1))
+
+    def test_zero_exactly_when_identical(self):
+        assert mu_factor(1.0, 0.0) == 0.0
+        assert mu_factor(1.0, 0.1) > 0.0
+        assert mu_factor(0.99, 0.0) > 0.0
+
+    def test_maximum_over_orientation_is_one_plus_speed(self):
+        v = 0.4
+        assert mu_factor(v, math.pi) == pytest.approx(1.0 + v)
+
+    def test_rejects_non_positive_speed(self):
+        with pytest.raises(InvalidParameterError):
+            mu_factor(-1.0, 0.0)
+
+
+class TestQrFactorisation:
+    """Lemma 5: T_circ = Phi T'_circ with Phi a rotation."""
+
+    @pytest.mark.parametrize("speed", [0.3, 0.8, 1.5])
+    @pytest.mark.parametrize("orientation", [0.2, 1.0, math.pi, 5.5])
+    @pytest.mark.parametrize("chirality", [1, -1])
+    def test_factorisation_reconstructs_the_relative_matrix(self, speed, orientation, chirality):
+        phi_matrix, upper = qr_factor_relative(speed, orientation, chirality)
+        assert (phi_matrix @ upper).is_close(relative_matrix(speed, orientation, chirality), 1e-9)
+
+    @pytest.mark.parametrize("chirality", [1, -1])
+    def test_phi_is_a_proper_rotation(self, chirality):
+        phi_matrix, _ = qr_factor_relative(0.7, 2.0, chirality)
+        assert phi_matrix.is_rotation()
+
+    def test_upper_factor_is_triangular_with_mu_in_the_corner(self):
+        speed, orientation = 0.7, 2.0
+        _, upper = qr_factor_relative(speed, orientation, 1)
+        assert upper.c == pytest.approx(0.0)
+        assert upper.a == pytest.approx(mu_factor(speed, orientation))
+
+    def test_equal_chirality_upper_factor_is_mu_times_identity(self):
+        speed, orientation = 0.6, 1.3
+        _, upper = qr_factor_relative(speed, orientation, 1)
+        mu = mu_factor(speed, orientation)
+        assert upper.is_close(scaling(mu), 1e-9)
+
+    def test_mirrored_second_diagonal_is_one_minus_v_squared_over_mu(self):
+        speed, orientation = 0.6, 1.3
+        _, upper = qr_factor_relative(speed, orientation, -1)
+        mu = mu_factor(speed, orientation)
+        assert upper.d == pytest.approx((1.0 - speed * speed) / mu)
+
+    def test_degenerate_case_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            qr_factor_relative(1.0, 0.0, 1)

@@ -1,0 +1,122 @@
+"""Unit tests for repro.geometry.vec."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import ORIGIN, UNIT_X, UNIT_Y, Vec2, centroid
+
+
+class TestConstruction:
+    def test_polar_zero_angle_lies_on_x_axis(self):
+        assert Vec2.polar(2.0, 0.0).is_close(Vec2(2.0, 0.0))
+
+    def test_polar_quarter_turn_lies_on_y_axis(self):
+        assert Vec2.polar(3.0, math.pi / 2).is_close(Vec2(0.0, 3.0))
+
+    def test_from_iterable_accepts_lists(self):
+        assert Vec2.from_iterable([1.5, -2.0]) == Vec2(1.5, -2.0)
+
+    def test_from_iterable_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            Vec2.from_iterable([1.0, 2.0, 3.0])
+
+
+class TestAlgebra:
+    def test_addition_and_subtraction_are_inverse(self):
+        a, b = Vec2(1.0, 2.0), Vec2(-0.5, 4.0)
+        assert (a + b - b).is_close(a)
+
+    def test_scalar_multiplication_commutes(self):
+        v = Vec2(1.0, -3.0)
+        assert (2.5 * v) == (v * 2.5)
+
+    def test_division_by_scalar(self):
+        assert (Vec2(2.0, 4.0) / 2.0) == Vec2(1.0, 2.0)
+
+    def test_negation(self):
+        assert -Vec2(1.0, -2.0) == Vec2(-1.0, 2.0)
+
+    def test_dot_product_of_orthogonal_vectors_is_zero(self):
+        assert UNIT_X.dot(UNIT_Y) == 0.0
+
+    def test_cross_product_sign(self):
+        assert UNIT_X.cross(UNIT_Y) == pytest.approx(1.0)
+        assert UNIT_Y.cross(UNIT_X) == pytest.approx(-1.0)
+
+
+class TestMetric:
+    def test_norm_matches_hypot(self):
+        assert Vec2(3.0, 4.0).norm() == pytest.approx(5.0)
+
+    def test_norm_squared_avoids_sqrt(self):
+        assert Vec2(3.0, 4.0).norm_squared() == pytest.approx(25.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Vec2(0.0, 1.0), Vec2(2.0, -1.0)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_normalized_has_unit_length(self):
+        assert Vec2(5.0, -7.0).normalized().norm() == pytest.approx(1.0)
+
+    def test_normalizing_zero_vector_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ORIGIN.normalized()
+
+    def test_angle_of_unit_y(self):
+        assert UNIT_Y.angle() == pytest.approx(math.pi / 2)
+
+
+class TestTransformations:
+    def test_rotation_by_quarter_turn(self):
+        assert UNIT_X.rotated(math.pi / 2).is_close(UNIT_Y)
+
+    def test_rotation_preserves_norm(self):
+        v = Vec2(2.3, -1.1)
+        assert v.rotated(1.234).norm() == pytest.approx(v.norm())
+
+    def test_reflection_flips_y(self):
+        assert Vec2(1.0, 2.0).reflected_x() == Vec2(1.0, -2.0)
+
+    def test_perpendicular_is_orthogonal(self):
+        v = Vec2(3.0, -2.0)
+        assert v.dot(v.perpendicular()) == pytest.approx(0.0)
+
+    def test_lerp_endpoints(self):
+        a, b = Vec2(0.0, 0.0), Vec2(2.0, 4.0)
+        assert a.lerp(b, 0.0).is_close(a)
+        assert a.lerp(b, 1.0).is_close(b)
+
+    def test_lerp_midpoint(self):
+        assert Vec2(0.0, 0.0).lerp(Vec2(2.0, 4.0), 0.5).is_close(Vec2(1.0, 2.0))
+
+
+class TestInterop:
+    def test_to_array_round_trip(self):
+        v = Vec2(1.25, -3.5)
+        assert np.allclose(v.to_array(), [1.25, -3.5])
+
+    def test_iteration_and_indexing(self):
+        v = Vec2(1.0, 2.0)
+        assert list(v) == [1.0, 2.0]
+        assert v[0] == 1.0 and v[1] == 2.0
+        assert len(v) == 2
+
+    def test_is_finite_detects_nan(self):
+        assert Vec2(1.0, 2.0).is_finite()
+        assert not Vec2(float("nan"), 0.0).is_finite()
+
+    def test_vectors_are_hashable(self):
+        assert len({Vec2(1.0, 2.0), Vec2(1.0, 2.0), Vec2(3.0, 4.0)}) == 2
+
+
+class TestCentroid:
+    def test_centroid_of_two_points_is_midpoint(self):
+        assert centroid([Vec2(0.0, 0.0), Vec2(2.0, 2.0)]).is_close(Vec2(1.0, 1.0))
+
+    def test_centroid_of_empty_sequence_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])

@@ -1,0 +1,73 @@
+"""Integration tests for Theorem 1: the universal search algorithm.
+
+These run the full pipeline (algorithm -> frame transform -> simulator ->
+bound comparison) on a spread of instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import UniversalSearch
+from repro.core import guaranteed_discovery_round, solve_search, theorem1_search_bound
+from repro.core.schedule import universal_search_prefix_duration
+from repro.geometry import Vec2
+from repro.simulation import SearchInstance, bound_multiple_horizon, simulate_search
+from repro.workloads import InstanceGenerator
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize(
+        "distance,visibility",
+        [(0.6, 0.2), (1.0, 0.1), (1.7, 0.3), (2.4, 0.15), (3.1, 0.05), (4.0, 0.4)],
+    )
+    @pytest.mark.parametrize("bearing", [0.0, 1.9, 4.1])
+    def test_search_finishes_below_the_bound(self, distance, visibility, bearing):
+        instance = SearchInstance(target=Vec2.polar(distance, bearing), visibility=visibility)
+        report = solve_search(instance)
+        assert report.time < report.bound
+
+    def test_search_finishes_by_the_guaranteed_round(self):
+        generator = InstanceGenerator(seed=42)
+        for instance in generator.search_suite(10):
+            report = solve_search(instance)
+            deadline = universal_search_prefix_duration(
+                guaranteed_discovery_round(instance.distance, instance.visibility)
+            )
+            assert report.time <= deadline + 1e-6
+
+    def test_detection_is_within_the_visibility_radius(self):
+        generator = InstanceGenerator(seed=1)
+        for instance in generator.search_suite(5):
+            outcome = simulate_search(
+                UniversalSearch(),
+                instance,
+                bound_multiple_horizon(theorem1_search_bound(instance.distance, instance.visibility)),
+            )
+            assert outcome.solved
+            assert outcome.event.gap <= instance.visibility + 1e-6
+
+    def test_harder_instances_take_longer_in_the_worst_case_bound(self):
+        easy = solve_search(SearchInstance(target=Vec2(1.0, 0.0), visibility=0.5))
+        hard = solve_search(SearchInstance(target=Vec2(3.0, 0.0), visibility=0.05))
+        assert hard.bound > easy.bound
+
+    def test_search_time_is_independent_of_the_unknown_attributes(self):
+        """A searcher's own attributes only rescale time/space consistently.
+
+        With tau = 1 and speed v the same algorithm finds a target at
+        distance v*d with visibility v*r in exactly the same global time as
+        the unit robot finds (d, r) -- the scale invariance behind Lemma 6.
+        """
+        from repro.robots import RobotAttributes
+
+        base = SearchInstance(target=Vec2(1.3, 0.4), visibility=0.25)
+        scaled = SearchInstance(
+            target=Vec2(1.3 * 0.5, 0.4 * 0.5),
+            visibility=0.25 * 0.5,
+            attributes=RobotAttributes(speed=0.5),
+        )
+        horizon = bound_multiple_horizon(theorem1_search_bound(base.distance, base.visibility), 1.5)
+        time_base = simulate_search(UniversalSearch(), base, horizon).time
+        time_scaled = simulate_search(UniversalSearch(), scaled, horizon).time
+        assert time_scaled == pytest.approx(time_base, rel=1e-6)

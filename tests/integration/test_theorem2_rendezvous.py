@@ -1,0 +1,103 @@
+"""Integration tests for Theorem 2: rendezvous with symmetric clocks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms import UniversalSearch
+from repro.core import RendezvousReduction, solve_rendezvous
+from repro.geometry import Vec2
+from repro.robots import RobotAttributes
+from repro.simulation import RendezvousInstance, fixed_horizon, simulate_rendezvous, simulate_search
+from repro.simulation import SearchInstance
+
+
+class TestTheorem2EqualChirality:
+    @pytest.mark.parametrize("speed", [0.4, 0.8, 1.5])
+    @pytest.mark.parametrize("orientation", [0.0, math.pi / 2, math.pi])
+    def test_rendezvous_below_the_bound(self, speed, orientation):
+        if speed == 1.0 and orientation == 0.0:
+            pytest.skip("infeasible configuration")
+        instance = RendezvousInstance(
+            separation=Vec2(1.4, 0.5),
+            visibility=0.35,
+            attributes=RobotAttributes(speed=speed, orientation=orientation),
+        )
+        report = solve_rendezvous(instance)
+        assert report.solved
+        assert report.time < report.bound
+
+    def test_pure_orientation_difference_is_enough(self):
+        instance = RendezvousInstance(
+            separation=Vec2(0.0, 1.2),
+            visibility=0.3,
+            attributes=RobotAttributes(orientation=math.pi / 2),
+        )
+        report = solve_rendezvous(instance)
+        assert report.solved
+
+    def test_reduction_predicts_the_simulated_rendezvous_time(self):
+        """The two-robot simulation and the induced one-robot search agree.
+
+        For equal clocks the rendezvous time of Algorithm 4 equals the time
+        at which the *equivalent searcher* (the trajectory scaled by T_circ)
+        reaches the static target d -- this is Definition 1 made executable.
+        """
+        attributes = RobotAttributes(speed=0.7, orientation=1.1)
+        separation = Vec2(1.1, -0.6)
+        visibility = 0.3
+        instance = RendezvousInstance(separation=separation, visibility=visibility, attributes=attributes)
+        rendezvous_time = solve_rendezvous(instance).time
+
+        reduction = RendezvousReduction(attributes)
+        # For chi = +1 Lemma 5 gives T_circ = Phi * (mu I), so the condition
+        # |T_circ S(t) - d| <= r is the search condition for the target
+        # Phi^T d / mu with visibility r / mu.
+        phi_matrix, _ = reduction.qr_factors()
+        mu = reduction.mu
+        equivalent_instance = SearchInstance(
+            target=phi_matrix.transpose().apply(separation) / mu,
+            visibility=visibility / mu,
+        )
+        search_time = simulate_search(
+            UniversalSearch(), equivalent_instance, fixed_horizon(rendezvous_time * 3.0 + 10.0)
+        ).time
+        assert search_time == pytest.approx(rendezvous_time, rel=1e-2)
+
+
+class TestTheorem2OppositeChirality:
+    @pytest.mark.parametrize("speed", [0.3, 0.6, 0.85])
+    def test_mirrored_slow_robot_rendezvous_below_bound(self, speed):
+        instance = RendezvousInstance(
+            separation=Vec2(1.2, 0.4),
+            visibility=0.4,
+            attributes=RobotAttributes(speed=speed, orientation=2.0, chirality=-1),
+        )
+        report = solve_rendezvous(instance)
+        assert report.solved
+        assert report.time < report.bound
+
+    def test_mirrored_equal_speed_does_not_meet_under_adversarial_placement(self):
+        # For phi = 0 the mirror-invariant direction is the x axis, so an
+        # x-aligned separation can never be reduced (the impossibility half
+        # of Theorem 4); a y-aligned separation, by contrast, *can* be met
+        # by luck, which is why the adversarial placement matters.
+        instance = RendezvousInstance(
+            separation=Vec2(1.5, 0.0),
+            visibility=0.3,
+            attributes=RobotAttributes(orientation=0.0, chirality=-1),
+        )
+        outcome = simulate_rendezvous(UniversalSearch(), instance, fixed_horizon(800.0))
+        assert not outcome.solved
+
+    def test_mirrored_fast_robot_still_meets(self):
+        instance = RendezvousInstance(
+            separation=Vec2(1.0, 0.6),
+            visibility=0.4,
+            attributes=RobotAttributes(speed=1.6, orientation=1.0, chirality=-1),
+        )
+        report = solve_rendezvous(instance)
+        assert report.solved
+        assert report.bound is not None and report.time < report.bound

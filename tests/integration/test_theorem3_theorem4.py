@@ -1,0 +1,109 @@
+"""Integration tests for Theorems 3-4: asymmetric clocks and feasibility."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms import UniversalSearch, WaitAndSearchRendezvous
+from repro.core import (
+    classify_feasibility,
+    guaranteed_discovery_round,
+    lemma13_round_bound,
+    inactive_phase_start,
+    solve_rendezvous,
+    theorem3_time_bound,
+)
+from repro.geometry import Vec2
+from repro.robots import RobotAttributes
+from repro.simulation import RendezvousInstance, fixed_horizon, simulate_rendezvous
+from repro.workloads import feasibility_grid, infeasible_mirrored_instance
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("tau", [0.5, 0.6, 0.75])
+    def test_asymmetric_clocks_meet_below_the_theorem3_bound(self, tau):
+        instance = RendezvousInstance(
+            separation=Vec2(1.0, 0.35), visibility=0.45, attributes=RobotAttributes(time_unit=tau)
+        )
+        report = solve_rendezvous(instance)
+        assert report.solved
+        bound = theorem3_time_bound(instance.distance, instance.visibility, tau)
+        assert report.time < bound
+
+    def test_rendezvous_round_respects_lemma13(self):
+        tau = 0.5
+        instance = RendezvousInstance(
+            separation=Vec2(0.9, 0.5), visibility=0.45, attributes=RobotAttributes(time_unit=tau)
+        )
+        report = solve_rendezvous(instance)
+        n = guaranteed_discovery_round(instance.distance, instance.visibility)
+        k_star = lemma13_round_bound(tau, n)
+        assert report.time <= inactive_phase_start(k_star + 1)
+
+    def test_clock_difference_combined_with_other_differences_still_works(self):
+        instance = RendezvousInstance(
+            separation=Vec2(1.1, 0.2),
+            visibility=0.4,
+            attributes=RobotAttributes(speed=0.7, time_unit=0.5, orientation=2.0, chirality=-1),
+        )
+        report = solve_rendezvous(instance)
+        assert report.solved
+
+    def test_algorithm7_also_solves_speed_only_differences(self):
+        """Theorem 4: the universal algorithm covers the equal-clock cases too."""
+        instance = RendezvousInstance(
+            separation=Vec2(1.2, 0.3), visibility=0.4, attributes=RobotAttributes(speed=0.6)
+        )
+        outcome = simulate_rendezvous(WaitAndSearchRendezvous(), instance, fixed_horizon(6000.0))
+        assert outcome.solved
+
+    def test_algorithm7_also_solves_orientation_only_differences(self):
+        instance = RendezvousInstance(
+            separation=Vec2(1.0, 0.5),
+            visibility=0.4,
+            attributes=RobotAttributes(orientation=math.pi / 2),
+        )
+        outcome = simulate_rendezvous(WaitAndSearchRendezvous(), instance, fixed_horizon(6000.0))
+        assert outcome.solved
+
+    def test_fast_clock_instance_via_role_swap(self):
+        instance = RendezvousInstance(
+            separation=Vec2(0.9, 0.4), visibility=0.45, attributes=RobotAttributes(time_unit=2.0)
+        )
+        report = solve_rendezvous(instance)
+        assert report.solved
+
+
+class TestTheorem4Feasibility:
+    def test_grid_agreement(self):
+        """Every labelled grid configuration behaves as Theorem 4 predicts."""
+        for label, instance, expected in feasibility_grid():
+            verdict = classify_feasibility(instance.attributes)
+            assert verdict.feasible == expected, label
+
+    def test_infeasible_gap_is_exactly_preserved_for_identical_robots(self):
+        instance = RendezvousInstance(
+            separation=Vec2(0.7, 1.1), visibility=0.2, attributes=RobotAttributes()
+        )
+        pair = instance.robot_pair()
+        reference = pair.reference.world_trajectory(UniversalSearch())
+        other = pair.other.world_trajectory(UniversalSearch())
+        for t in (0.0, 5.0, 40.0, 123.4):
+            gap = reference.position(t).distance_to(other.position(t))
+            assert gap == pytest.approx(instance.distance, abs=1e-9)
+
+    def test_infeasible_mirrored_gap_never_shrinks_below_the_invariant(self):
+        instance = infeasible_mirrored_instance(orientation=1.2, distance=1.5, visibility=0.3)
+        pair = instance.robot_pair()
+        reference = pair.reference.world_trajectory(UniversalSearch())
+        other = pair.other.world_trajectory(UniversalSearch())
+        for t in (0.0, 3.0, 17.0, 99.0, 250.0):
+            gap = reference.position(t).distance_to(other.position(t))
+            assert gap >= instance.distance - 1e-9
+
+    def test_infeasible_instances_do_not_meet_with_algorithm7_either(self):
+        instance = infeasible_mirrored_instance(orientation=2.2, distance=1.5, visibility=0.3)
+        outcome = simulate_rendezvous(WaitAndSearchRendezvous(), instance, fixed_horizon(900.0))
+        assert not outcome.solved

@@ -1,0 +1,89 @@
+"""Unit tests for the local-frame trajectory builder."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry import ORIGIN, Vec2
+from repro.motion import ArcMotion, LinearMotion, TrajectoryBuilder, WaitMotion
+
+
+class TestCommands:
+    def test_move_to_emits_linear_segment_at_unit_speed(self):
+        builder = TrajectoryBuilder()
+        segment = builder.move_to(Vec2(3.0, 4.0))
+        assert isinstance(segment, LinearMotion)
+        assert segment.duration == pytest.approx(5.0)
+        assert segment.speed == pytest.approx(1.0)
+
+    def test_move_by_is_relative(self):
+        builder = TrajectoryBuilder(Vec2(1.0, 1.0))
+        builder.move_by(Vec2(1.0, 0.0))
+        assert builder.position.is_close(Vec2(2.0, 1.0))
+
+    def test_wait_keeps_position(self):
+        builder = TrajectoryBuilder(Vec2(2.0, 2.0))
+        segment = builder.wait(3.0)
+        assert isinstance(segment, WaitMotion)
+        assert builder.position.is_close(Vec2(2.0, 2.0))
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TrajectoryBuilder().wait(-1.0)
+
+    def test_arc_around_unit_speed_duration(self):
+        builder = TrajectoryBuilder(Vec2(2.0, 0.0))
+        segment = builder.arc_around(ORIGIN, math.pi)
+        assert isinstance(segment, ArcMotion)
+        assert segment.duration == pytest.approx(2.0 * math.pi)
+        assert builder.position.is_close(Vec2(-2.0, 0.0))
+
+    def test_full_circle_returns_to_start(self):
+        builder = TrajectoryBuilder(Vec2(1.0, 0.0))
+        builder.full_circle_around(ORIGIN)
+        assert builder.position.is_close(Vec2(1.0, 0.0))
+
+    def test_clockwise_circle(self):
+        builder = TrajectoryBuilder(Vec2(1.0, 0.0))
+        segment = builder.full_circle_around(ORIGIN, counter_clockwise=False)
+        assert segment.sweep == pytest.approx(-2 * math.pi)
+
+
+class TestStateAndOutput:
+    def test_elapsed_accumulates_durations(self):
+        builder = TrajectoryBuilder()
+        builder.move_to(Vec2(1.0, 0.0))
+        builder.wait(2.0)
+        assert builder.elapsed == pytest.approx(3.0)
+
+    def test_build_produces_contiguous_trajectory(self):
+        builder = TrajectoryBuilder()
+        builder.move_to(Vec2(1.0, 0.0))
+        builder.full_circle_around(ORIGIN)
+        builder.move_to(ORIGIN)
+        trajectory = builder.build()
+        assert trajectory.segment_count() == 3
+        assert trajectory.duration == pytest.approx(2.0 * (math.pi + 1.0))
+
+    def test_drain_clears_accumulated_segments(self):
+        builder = TrajectoryBuilder()
+        builder.move_to(Vec2(1.0, 0.0))
+        segments = list(builder.drain())
+        assert len(segments) == 1
+        assert len(builder) == 0
+        # The cursor position is preserved across a drain.
+        assert builder.position.is_close(Vec2(1.0, 0.0))
+
+    def test_search_circle_shape(self):
+        """The builder reproduces the exact SearchCircle(delta) walk of Algorithm 1."""
+        delta = 0.75
+        builder = TrajectoryBuilder()
+        builder.move_to(Vec2(delta, 0.0))
+        builder.full_circle_around(ORIGIN)
+        builder.move_to(ORIGIN)
+        trajectory = builder.build()
+        assert trajectory.duration == pytest.approx(2.0 * (math.pi + 1.0) * delta)
+        assert trajectory.path_length() == pytest.approx(2.0 * delta + 2.0 * math.pi * delta)

@@ -1,0 +1,88 @@
+"""Unit tests for relative motion and the equivalent search trajectory."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import ORIGIN, Vec2, relative_matrix
+from repro.motion import (
+    EquivalentSearchTrajectory,
+    RelativeMotion,
+    Trajectory,
+    TrajectoryBuilder,
+    transform_trajectory,
+)
+from repro.robots import RobotAttributes
+
+
+def _reference_walk() -> Trajectory:
+    builder = TrajectoryBuilder()
+    builder.move_to(Vec2(1.0, 0.0))
+    builder.full_circle_around(ORIGIN)
+    builder.move_to(ORIGIN)
+    builder.wait(1.0)
+    return builder.build()
+
+
+class TestEquivalentSearchTrajectory:
+    def test_identical_robots_give_the_zero_trajectory(self):
+        matrix = relative_matrix(1.0, 0.0, 1)
+        equivalent = EquivalentSearchTrajectory(_reference_walk(), matrix)
+        for t in (0.0, 1.0, 3.0):
+            assert equivalent.position(t).is_close(Vec2(0.0, 0.0))
+
+    def test_scaled_rotation_case_matches_mu_scaling(self):
+        """With chi = +1 the equivalent trajectory is a scaled rotation of S(t) (Lemma 6)."""
+        attributes = RobotAttributes(speed=0.5, orientation=1.0)
+        matrix = relative_matrix(attributes.speed, attributes.orientation, attributes.chirality)
+        walk = _reference_walk()
+        equivalent = EquivalentSearchTrajectory(walk, matrix)
+        mu = math.sqrt(0.25 - 2 * 0.5 * math.cos(1.0) + 1)
+        for t in (0.3, 1.5, 4.0):
+            assert equivalent.position(t).norm() == pytest.approx(mu * walk.position(t).norm())
+
+    def test_distance_to_target(self):
+        matrix = relative_matrix(0.5, 0.0, 1)
+        equivalent = EquivalentSearchTrajectory(_reference_walk(), matrix)
+        target = Vec2(0.25, 0.0)
+        # At t = 1 the reference robot is at (1, 0) hence the equivalent
+        # searcher is at (0.5, 0).
+        assert equivalent.distance_to_target(1.0, target) == pytest.approx(0.25)
+
+    def test_max_speed_bound(self):
+        matrix = relative_matrix(0.5, math.pi, 1)
+        equivalent = EquivalentSearchTrajectory(_reference_walk(), matrix)
+        assert equivalent.max_speed_up_to(2.0) <= matrix.operator_norm() + 1e-9
+
+
+class TestRelativeMotion:
+    def test_gap_between_parked_robots_is_constant(self):
+        first = Trajectory.stationary(Vec2(0.0, 0.0), 5.0)
+        second = Trajectory.stationary(Vec2(3.0, 4.0), 5.0)
+        relative = RelativeMotion(first, second)
+        assert relative.gap(0.0) == pytest.approx(5.0)
+        assert relative.gap(5.0) == pytest.approx(5.0)
+
+    def test_within_visibility(self):
+        first = Trajectory.stationary(Vec2(0.0, 0.0), 5.0)
+        second = Trajectory.stationary(Vec2(0.0, 0.4), 5.0)
+        relative = RelativeMotion(first, second)
+        assert relative.within(1.0, 0.5)
+        assert not relative.within(1.0, 0.3)
+
+    def test_gap_matches_the_reduction_for_equal_clocks(self):
+        """|S(t) - S'(t) - d| computed two ways must agree (Section 3 reduction)."""
+        attributes = RobotAttributes(speed=0.6, orientation=2.0, chirality=-1)
+        separation = Vec2(1.3, -0.4)
+        walk = _reference_walk()
+        world_reference = walk
+        world_other = transform_trajectory(walk, attributes.frame(separation))
+        relative = RelativeMotion(world_reference, world_other)
+        matrix = relative_matrix(attributes.speed, attributes.orientation, attributes.chirality)
+        equivalent = EquivalentSearchTrajectory(walk, matrix)
+        for t in (0.0, 0.7, 2.2, 5.0):
+            direct = relative.gap(t)
+            via_reduction = equivalent.position(t).distance_to(separation)
+            assert direct == pytest.approx(via_reduction, abs=1e-9)

@@ -1,0 +1,61 @@
+"""Unit tests for trajectory sampling utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry import ORIGIN, Vec2
+from repro.motion import (
+    TrajectoryBuilder,
+    numeric_max_speed,
+    numeric_path_length,
+    positions_array,
+    sample_positions,
+    sample_times,
+)
+
+
+def _quarter_turn_walk():
+    builder = TrajectoryBuilder()
+    builder.move_to(Vec2(1.0, 0.0))
+    builder.arc_around(ORIGIN, math.pi / 2)
+    return builder.build()
+
+
+class TestSampling:
+    def test_sample_times_span_the_interval(self):
+        times = sample_times(2.0, 5)
+        assert times[0] == 0.0
+        assert times[-1] == pytest.approx(2.0)
+        assert len(times) == 5
+
+    def test_sample_times_needs_two_points(self):
+        with pytest.raises(InvalidParameterError):
+            sample_times(1.0, 1)
+
+    def test_sample_positions_matches_position_queries(self):
+        trajectory = _quarter_turn_walk()
+        times = sample_times(trajectory.duration, 7)
+        points = sample_positions(trajectory, times)
+        assert points[0].is_close(trajectory.start)
+        assert points[-1].is_close(trajectory.end)
+
+    def test_positions_array_shape(self):
+        trajectory = _quarter_turn_walk()
+        array = positions_array(trajectory, sample_times(trajectory.duration, 10))
+        assert array.shape == (10, 2)
+
+
+class TestNumericCrossChecks:
+    def test_numeric_path_length_converges_to_exact(self):
+        trajectory = _quarter_turn_walk()
+        assert numeric_path_length(trajectory, samples_per_segment=256) == pytest.approx(
+            trajectory.path_length(), rel=1e-3
+        )
+
+    def test_numeric_max_speed_close_to_unit(self):
+        trajectory = _quarter_turn_walk()
+        assert numeric_max_speed(trajectory, samples_per_segment=256) == pytest.approx(1.0, rel=1e-2)

@@ -1,0 +1,116 @@
+"""Unit tests for the three motion primitives (linear, arc, wait)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError, TimeOutOfRangeError
+from repro.geometry import Vec2
+from repro.motion import ArcMotion, LinearMotion, WaitMotion
+
+
+class TestLinearMotion:
+    def test_endpoints(self):
+        segment = LinearMotion(Vec2(0.0, 0.0), Vec2(3.0, 4.0), 5.0)
+        assert segment.start.is_close(Vec2(0.0, 0.0))
+        assert segment.end.is_close(Vec2(3.0, 4.0))
+
+    def test_position_interpolates_linearly(self):
+        segment = LinearMotion(Vec2(0.0, 0.0), Vec2(2.0, 0.0), 4.0)
+        assert segment.position(1.0).is_close(Vec2(0.5, 0.0))
+
+    def test_speed_is_length_over_duration(self):
+        segment = LinearMotion(Vec2(0.0, 0.0), Vec2(3.0, 4.0), 2.5)
+        assert segment.speed == pytest.approx(2.0)
+
+    def test_with_speed_constructor(self):
+        segment = LinearMotion.with_speed(Vec2(0.0, 0.0), Vec2(0.0, 2.0), speed=0.5)
+        assert segment.duration == pytest.approx(4.0)
+
+    def test_path_length(self):
+        assert LinearMotion(Vec2(0.0, 0.0), Vec2(3.0, 4.0), 5.0).path_length() == pytest.approx(5.0)
+
+    def test_zero_duration_positive_length_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LinearMotion(Vec2(0.0, 0.0), Vec2(1.0, 0.0), 0.0)
+
+    def test_query_outside_domain_raises(self):
+        segment = LinearMotion(Vec2(0.0, 0.0), Vec2(1.0, 0.0), 1.0)
+        with pytest.raises(TimeOutOfRangeError):
+            segment.position(2.0)
+
+    def test_bounding_disc_contains_path(self):
+        segment = LinearMotion(Vec2(0.0, 0.0), Vec2(2.0, 2.0), 1.0)
+        center, radius = segment.bounding_center_radius()
+        for fraction in (0.0, 0.25, 0.5, 1.0):
+            assert center.distance_to(segment.position(fraction)) <= radius + 1e-12
+
+    def test_distance_bounds(self):
+        segment = LinearMotion(Vec2(0.0, 0.0), Vec2(2.0, 0.0), 1.0)
+        probe = Vec2(1.0, 3.0)
+        assert segment.min_distance_lower_bound(probe) <= 3.0 <= segment.max_distance_from(probe)
+
+
+class TestArcMotion:
+    def test_start_and_end_points(self):
+        arc = ArcMotion(Vec2(0.0, 0.0), 1.0, 0.0, math.pi / 2, 1.0)
+        assert arc.start.is_close(Vec2(1.0, 0.0))
+        assert arc.end.is_close(Vec2(0.0, 1.0))
+
+    def test_position_midway(self):
+        arc = ArcMotion(Vec2(0.0, 0.0), 2.0, 0.0, math.pi, 2.0)
+        assert arc.position(1.0).is_close(Vec2.polar(2.0, math.pi / 2))
+
+    def test_path_length_is_radius_times_sweep(self):
+        arc = ArcMotion(Vec2(0.0, 0.0), 2.0, 0.0, math.pi, 2.0)
+        assert arc.path_length() == pytest.approx(2.0 * math.pi)
+
+    def test_speed(self):
+        arc = ArcMotion(Vec2(0.0, 0.0), 2.0, 0.0, math.pi, 2.0)
+        assert arc.speed == pytest.approx(math.pi)
+
+    def test_with_speed_constructor(self):
+        arc = ArcMotion.with_speed(Vec2(0.0, 0.0), 1.0, 0.0, 2 * math.pi, speed=1.0)
+        assert arc.duration == pytest.approx(2 * math.pi)
+
+    def test_clockwise_sweep_moves_negative_y_first(self):
+        arc = ArcMotion(Vec2(0.0, 0.0), 1.0, 0.0, -math.pi / 2, 1.0)
+        assert arc.end.is_close(Vec2(0.0, -1.0))
+
+    def test_all_points_stay_on_the_circle(self):
+        arc = ArcMotion(Vec2(1.0, 1.0), 0.5, 0.3, 2 * math.pi, 3.0)
+        for t in (0.0, 0.5, 1.0, 2.0, 3.0):
+            assert arc.position(t).distance_to(Vec2(1.0, 1.0)) == pytest.approx(0.5)
+
+    def test_bounding_disc_contains_arc(self):
+        arc = ArcMotion(Vec2(0.0, 0.0), 1.0, 0.4, 1.1, 1.0)
+        center, radius = arc.bounding_center_radius()
+        for t in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert center.distance_to(arc.position(t)) <= radius + 1e-9
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ArcMotion(Vec2(0.0, 0.0), -1.0, 0.0, 1.0, 1.0)
+
+
+class TestWaitMotion:
+    def test_position_is_constant(self):
+        wait = WaitMotion(Vec2(1.0, 2.0), 5.0)
+        assert wait.position(0.0).is_close(Vec2(1.0, 2.0))
+        assert wait.position(5.0).is_close(Vec2(1.0, 2.0))
+
+    def test_zero_speed_and_length(self):
+        wait = WaitMotion(Vec2(1.0, 2.0), 5.0)
+        assert wait.speed == 0.0
+        assert wait.path_length() == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WaitMotion(Vec2(0.0, 0.0), -1.0)
+
+    def test_bounding_disc_is_a_point(self):
+        center, radius = WaitMotion(Vec2(3.0, 3.0), 1.0).bounding_center_radius()
+        assert center.is_close(Vec2(3.0, 3.0))
+        assert radius == 0.0

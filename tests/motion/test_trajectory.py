@@ -1,0 +1,154 @@
+"""Unit tests for finite and lazy trajectories."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.errors import TimeOutOfRangeError, TrajectoryError
+from repro.geometry import Vec2
+from repro.motion import ArcMotion, LazyTrajectory, LinearMotion, Trajectory, WaitMotion
+
+
+def _l_shape() -> Trajectory:
+    return Trajectory(
+        [
+            LinearMotion(Vec2(0.0, 0.0), Vec2(1.0, 0.0), 1.0),
+            LinearMotion(Vec2(1.0, 0.0), Vec2(1.0, 2.0), 2.0),
+            WaitMotion(Vec2(1.0, 2.0), 0.5),
+        ]
+    )
+
+
+class TestTrajectory:
+    def test_duration_is_sum_of_segment_durations(self):
+        assert _l_shape().duration == pytest.approx(3.5)
+
+    def test_path_length(self):
+        assert _l_shape().path_length() == pytest.approx(3.0)
+
+    def test_position_dispatches_to_the_right_segment(self):
+        trajectory = _l_shape()
+        assert trajectory.position(0.5).is_close(Vec2(0.5, 0.0))
+        assert trajectory.position(2.0).is_close(Vec2(1.0, 1.0))
+        assert trajectory.position(3.4).is_close(Vec2(1.0, 2.0))
+
+    def test_position_at_exact_boundaries(self):
+        trajectory = _l_shape()
+        assert trajectory.position(1.0).is_close(Vec2(1.0, 0.0))
+        assert trajectory.position(3.5).is_close(Vec2(1.0, 2.0))
+
+    def test_empty_trajectory_rejected(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory([])
+
+    def test_discontinuous_segments_rejected(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory(
+                [
+                    LinearMotion(Vec2(0.0, 0.0), Vec2(1.0, 0.0), 1.0),
+                    LinearMotion(Vec2(5.0, 0.0), Vec2(6.0, 0.0), 1.0),
+                ]
+            )
+
+    def test_query_outside_domain_raises(self):
+        with pytest.raises(TimeOutOfRangeError):
+            _l_shape().position(10.0)
+
+    def test_max_speed(self):
+        assert _l_shape().max_speed() == pytest.approx(1.0)
+
+    def test_concatenation(self):
+        first = _l_shape()
+        second = Trajectory([LinearMotion(Vec2(1.0, 2.0), Vec2(0.0, 2.0), 1.0)])
+        combined = first.followed_by(second)
+        assert combined.duration == pytest.approx(4.5)
+        assert combined.end.is_close(Vec2(0.0, 2.0))
+
+    def test_window_returns_overlapping_segments(self):
+        window = _l_shape().window(0.5, 1.5)
+        assert len(window) == 2
+
+    def test_stationary_factory(self):
+        trajectory = Trajectory.stationary(Vec2(1.0, 1.0), 2.0)
+        assert trajectory.position(1.0).is_close(Vec2(1.0, 1.0))
+
+    def test_timed_segments_are_contiguous(self):
+        times = list(_l_shape().timed_segments())
+        for (_, end, _), (start, _, _) in zip(times, times[1:]):
+            assert end == pytest.approx(start)
+
+
+def _circle_stream():
+    """An infinite stream of unit circles traversed at unit speed."""
+    while True:
+        yield ArcMotion(Vec2(0.0, 0.0), 1.0, 0.0, 2 * math.pi, 2 * math.pi)
+
+
+class TestLazyTrajectory:
+    def test_materialises_only_what_is_needed(self):
+        lazy = LazyTrajectory(_circle_stream())
+        lazy.position(1.0)
+        assert lazy.materialised_segments == 1
+
+    def test_position_far_in_the_future(self):
+        lazy = LazyTrajectory(_circle_stream())
+        point = lazy.position(10 * math.pi)
+        assert point.distance_to(Vec2(0.0, 0.0)) == pytest.approx(1.0)
+        assert lazy.materialised_segments == 5
+
+    def test_finite_source_parks_at_the_end(self):
+        lazy = LazyTrajectory(iter([LinearMotion(Vec2(0.0, 0.0), Vec2(1.0, 0.0), 1.0)]))
+        assert lazy.position(5.0).is_close(Vec2(1.0, 0.0))
+        assert lazy.exhausted
+
+    def test_timed_segment_by_index(self):
+        lazy = LazyTrajectory(_circle_stream())
+        start, end, segment = lazy.timed_segment(2)
+        assert start == pytest.approx(4 * math.pi)
+        assert end == pytest.approx(6 * math.pi)
+        assert isinstance(segment, ArcMotion)
+
+    def test_timed_segment_beyond_finite_source_is_none(self):
+        lazy = LazyTrajectory(iter([WaitMotion(Vec2(0.0, 0.0), 1.0)]))
+        assert lazy.timed_segment(3) is None
+
+    def test_segment_at_time(self):
+        lazy = LazyTrajectory(_circle_stream())
+        entry = lazy.segment_at(7.0)
+        assert entry is not None
+        start, end, _ = entry
+        assert start <= 7.0 <= end
+
+    def test_discontinuous_stream_rejected_on_materialisation(self):
+        def broken():
+            yield LinearMotion(Vec2(0.0, 0.0), Vec2(1.0, 0.0), 1.0)
+            yield LinearMotion(Vec2(9.0, 9.0), Vec2(10.0, 9.0), 1.0)
+
+        lazy = LazyTrajectory(broken())
+        with pytest.raises(TrajectoryError):
+            lazy.ensure_time(5.0)
+
+    def test_max_speed_up_to(self):
+        lazy = LazyTrajectory(
+            iter(
+                [
+                    WaitMotion(Vec2(0.0, 0.0), 1.0),
+                    LinearMotion(Vec2(0.0, 0.0), Vec2(2.0, 0.0), 1.0),
+                ]
+            )
+        )
+        assert lazy.max_speed_up_to(0.5) == pytest.approx(0.0)
+        assert lazy.max_speed_up_to(2.0) == pytest.approx(2.0)
+
+    def test_negative_time_rejected(self):
+        lazy = LazyTrajectory(_circle_stream())
+        with pytest.raises(TimeOutOfRangeError):
+            lazy.position(-1.0)
+
+    def test_window_over_lazy_prefix(self):
+        lazy = LazyTrajectory(_circle_stream())
+        window = lazy.window(0.0, 4 * math.pi)
+        assert len(window) == 2

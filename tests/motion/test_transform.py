@@ -1,0 +1,106 @@
+"""Unit tests for local-to-world trajectory transforms (Lemma 4 in motion form)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import ORIGIN, ReferenceFrame, Vec2
+from repro.motion import (
+    ArcMotion,
+    LinearMotion,
+    Trajectory,
+    TrajectoryBuilder,
+    WaitMotion,
+    lazy_world_trajectory,
+    transform_segment,
+    transform_trajectory,
+)
+
+
+def _local_search_circle(delta: float) -> Trajectory:
+    builder = TrajectoryBuilder()
+    builder.move_to(Vec2(delta, 0.0))
+    builder.full_circle_around(ORIGIN)
+    builder.move_to(ORIGIN)
+    return builder.build()
+
+
+class TestSegmentTransforms:
+    def test_wait_keeps_duration_scaled_by_time_unit(self):
+        frame = ReferenceFrame(time_unit=0.5)
+        world = transform_segment(WaitMotion(Vec2(1.0, 0.0), 4.0), frame)
+        assert isinstance(world, WaitMotion)
+        assert world.duration == pytest.approx(2.0)
+
+    def test_linear_segment_is_rotated_and_scaled(self):
+        frame = ReferenceFrame(speed=2.0, orientation=math.pi / 2)
+        world = transform_segment(LinearMotion(Vec2(0.0, 0.0), Vec2(1.0, 0.0), 1.0), frame)
+        assert isinstance(world, LinearMotion)
+        assert world.end.is_close(Vec2(0.0, 2.0))
+
+    def test_world_speed_equals_robot_speed(self):
+        """A robot of speed v covers its own unit-length command at speed v."""
+        frame = ReferenceFrame(speed=0.25, time_unit=2.0)
+        world = transform_segment(LinearMotion(Vec2(0.0, 0.0), Vec2(1.0, 0.0), 1.0), frame)
+        assert world.speed == pytest.approx(0.25)
+
+    def test_arc_stays_an_arc_under_similarity(self):
+        frame = ReferenceFrame(speed=0.5, orientation=1.0, chirality=-1)
+        local = ArcMotion(Vec2(0.0, 0.0), 1.0, 0.3, math.pi, math.pi)
+        world = transform_segment(local, frame)
+        assert isinstance(world, ArcMotion)
+        assert world.radius == pytest.approx(0.5)
+
+    def test_mirrored_arc_flips_sweep_direction(self):
+        frame = ReferenceFrame(chirality=-1)
+        local = ArcMotion(Vec2(0.0, 0.0), 1.0, 0.0, math.pi / 2, 1.0)
+        world = transform_segment(local, frame)
+        assert world.sweep == pytest.approx(-math.pi / 2)
+
+    def test_transform_agrees_with_pointwise_frame_mapping(self):
+        frame = ReferenceFrame(
+            origin=Vec2(1.0, -1.0), speed=0.7, time_unit=1.5, orientation=2.1, chirality=-1
+        )
+        local = ArcMotion(Vec2(0.5, 0.0), 0.5, 0.0, 2 * math.pi, math.pi)
+        world = transform_segment(local, frame)
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            local_time = local.duration * fraction
+            world_time = world.duration * fraction
+            expected = frame.to_world_point(local.position(local_time))
+            assert world.position(world_time).is_close(expected, 1e-9)
+
+
+class TestTrajectoryTransforms:
+    def test_durations_scale_by_time_unit(self):
+        frame = ReferenceFrame(time_unit=3.0)
+        local = _local_search_circle(1.0)
+        world = transform_trajectory(local, frame)
+        assert world.duration == pytest.approx(3.0 * local.duration)
+
+    def test_path_length_scales_by_distance_unit(self):
+        frame = ReferenceFrame(speed=0.5, time_unit=2.0)
+        local = _local_search_circle(1.0)
+        world = transform_trajectory(local, frame)
+        assert world.path_length() == pytest.approx(local.path_length() * frame.distance_unit)
+
+    def test_world_trajectory_starts_at_the_frame_origin(self):
+        frame = ReferenceFrame(origin=Vec2(4.0, 4.0))
+        world = transform_trajectory(_local_search_circle(1.0), frame)
+        assert world.start.is_close(Vec2(4.0, 4.0))
+
+    def test_lazy_world_trajectory_matches_eager_transform(self):
+        frame = ReferenceFrame(origin=Vec2(1.0, 2.0), speed=0.8, orientation=0.4)
+        local = _local_search_circle(0.5)
+        eager = transform_trajectory(local, frame)
+        lazy = lazy_world_trajectory(iter(local.segments), frame)
+        for t in (0.0, 0.3, 1.1, eager.duration):
+            assert lazy.position(t).is_close(eager.position(t), 1e-9)
+
+    def test_reference_frame_transform_is_the_identity(self):
+        frame = ReferenceFrame()
+        local = _local_search_circle(1.25)
+        world = transform_trajectory(local, frame)
+        for t in (0.0, 1.0, 2.0, local.duration):
+            assert world.position(t).is_close(local.position(t), 1e-12)

@@ -1,0 +1,96 @@
+"""Property-based tests for the event detector and the feasibility test."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import classify_feasibility, is_feasible
+from repro.geometry import Vec2
+from repro.robots import RobotAttributes
+from repro.simulation import find_first_crossing
+
+speeds = st.floats(min_value=0.1, max_value=5.0, allow_nan=False, allow_infinity=False)
+clocks = st.floats(min_value=0.1, max_value=5.0, allow_nan=False, allow_infinity=False)
+angles = st.floats(min_value=0.0, max_value=2.0 * math.pi, exclude_max=True, allow_nan=False)
+chiralities = st.sampled_from([1, -1])
+
+
+class TestDetectorProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.floats(min_value=-3.0, max_value=3.0),
+        st.floats(min_value=0.2, max_value=3.0),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_planted_linear_crossing_is_always_found(self, offset, slope, threshold):
+        """gap(t) = |offset + t*slope... actually a planted V-shape is always detected."""
+        dip_time = 2.0 + abs(offset)
+
+        def gap(t: float) -> float:
+            return abs(t - dip_time) * slope
+
+        result = find_first_crossing(gap, 0.0, dip_time + 5.0, slope, threshold, time_tolerance=1e-9)
+        assert result.found
+        # The first crossing of the V-shape is at dip_time - threshold/slope
+        # (or immediately, when the threshold is generous enough).
+        expected = max(dip_time - threshold / slope, 0.0)
+        assert math.isclose(result.time, expected, rel_tol=1e-4, abs_tol=1e-4)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.floats(min_value=0.3, max_value=5.0),
+        st.floats(min_value=0.01, max_value=0.29),
+    )
+    def test_no_false_positive_when_the_function_stays_above(self, floor, threshold):
+        def gap(t: float) -> float:
+            return floor + 0.5 * math.sin(3.0 * t) ** 2
+
+        result = find_first_crossing(gap, 0.0, 20.0, 3.0, threshold, time_tolerance=1e-6)
+        assert not result.found
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.1, max_value=4.0), min_size=2, max_size=6))
+    def test_reported_crossing_never_precedes_the_true_first_crossing(self, dips):
+        """With several dips the detector reports (approximately) the earliest one."""
+        dip_times = sorted(3.0 * (i + 1) for i in range(len(dips)))
+        threshold = 0.05
+
+        def gap(t: float) -> float:
+            return min(abs(t - dip) for dip in dip_times) + 0.0
+
+        result = find_first_crossing(gap, 0.0, dip_times[-1] + 2.0, 1.0, threshold, time_tolerance=1e-9)
+        assert result.found
+        assert result.time >= dip_times[0] - threshold - 1e-6
+        assert result.time <= dip_times[0] + threshold + 1e-6
+
+
+class TestFeasibilityProperties:
+    @settings(max_examples=200)
+    @given(speeds, clocks, angles, chiralities)
+    def test_characterisation_matches_the_theorem_formula(self, speed, clock, angle, chirality):
+        attributes = RobotAttributes(speed=speed, time_unit=clock, orientation=angle, chirality=chirality)
+        expected = (
+            not math.isclose(speed, 1.0, rel_tol=0.0, abs_tol=1e-12)
+            or not math.isclose(clock, 1.0, rel_tol=0.0, abs_tol=1e-12)
+            or (chirality == 1 and not math.isclose(angle, 0.0, abs_tol=1e-12) and not math.isclose(angle, 2 * math.pi, abs_tol=1e-12))
+        )
+        assert is_feasible(attributes) == expected
+
+    @settings(max_examples=100)
+    @given(speeds, clocks, angles)
+    def test_verdict_reasons_are_consistent_with_the_flag(self, speed, clock, angle):
+        verdict = classify_feasibility(RobotAttributes(speed=speed, time_unit=clock, orientation=angle))
+        assert verdict.reasons
+        if verdict.feasible:
+            assert any(
+                "differ" in reason for reason in verdict.reasons
+            ), verdict.reasons
+
+    @settings(max_examples=100)
+    @given(angles)
+    def test_mirror_only_configurations_are_always_infeasible(self, angle):
+        attributes = RobotAttributes(orientation=angle, chirality=-1)
+        assert not is_feasible(attributes)

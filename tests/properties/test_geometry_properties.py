@@ -1,0 +1,138 @@
+"""Property-based tests for the geometry substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    LinearMap2,
+    ReferenceFrame,
+    Vec2,
+    attribute_matrix,
+    mu_factor,
+    normalize_angle,
+    normalize_signed_angle,
+    qr_factor_relative,
+    relative_matrix,
+    rotation,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+angles = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+speeds = st.floats(min_value=0.05, max_value=20.0, allow_nan=False, allow_infinity=False)
+chiralities = st.sampled_from([1, -1])
+vectors = st.builds(Vec2, finite_floats, finite_floats)
+
+
+class TestVectorProperties:
+    @given(vectors, vectors)
+    def test_triangle_inequality(self, a, b):
+        assert (a + b).norm() <= a.norm() + b.norm() + 1e-6
+
+    @given(vectors, angles)
+    def test_rotation_preserves_norm(self, v, angle):
+        assert math.isclose(v.rotated(angle).norm(), v.norm(), rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(vectors, vectors)
+    def test_dot_product_symmetry(self, a, b):
+        assert math.isclose(a.dot(b), b.dot(a), rel_tol=1e-12, abs_tol=1e-9)
+
+    @given(vectors)
+    def test_perpendicular_is_orthogonal_and_same_length(self, v):
+        p = v.perpendicular()
+        assert math.isclose(p.norm(), v.norm(), rel_tol=1e-12, abs_tol=1e-12)
+        assert abs(p.dot(v)) <= 1e-6 * max(1.0, v.norm_squared())
+
+
+class TestAngleProperties:
+    @given(angles)
+    def test_normalize_angle_is_idempotent(self, angle):
+        once = normalize_angle(angle)
+        assert math.isclose(normalize_angle(once), once, abs_tol=1e-12)
+
+    @given(angles)
+    def test_normalized_angles_preserve_direction(self, angle):
+        original = Vec2.polar(1.0, angle)
+        reduced = Vec2.polar(1.0, normalize_angle(angle))
+        assert original.is_close(reduced, 1e-9)
+
+    @given(angles)
+    def test_signed_normalization_range(self, angle):
+        value = normalize_signed_angle(angle)
+        assert -math.pi < value <= math.pi
+
+
+class TestAttributeTransformProperties:
+    @given(speeds, angles, chiralities, vectors)
+    def test_attribute_map_scales_norms_by_the_speed(self, speed, orientation, chirality, v):
+        image = attribute_matrix(speed, orientation, chirality).apply(v)
+        assert math.isclose(image.norm(), speed * v.norm(), rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(speeds, angles, chiralities)
+    def test_attribute_map_determinant_is_signed_speed_squared(self, speed, orientation, chirality):
+        determinant = attribute_matrix(speed, orientation, chirality).determinant()
+        assert math.isclose(determinant, chirality * speed * speed, rel_tol=1e-9)
+
+    @given(speeds, angles)
+    def test_mu_is_the_distance_between_unit_images(self, speed, orientation):
+        """mu = |T e - e| for any unit vector e when chi = +1."""
+        matrix = attribute_matrix(speed, orientation, 1)
+        e = Vec2(1.0, 0.0)
+        assert math.isclose(
+            (matrix.apply(e) - e).norm(), mu_factor(speed, orientation), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @settings(max_examples=200)
+    @given(speeds, angles, chiralities)
+    def test_qr_factorisation_properties(self, speed, orientation, chirality):
+        if mu_factor(speed, orientation) < 1e-6:
+            return  # the factorisation is undefined in the degenerate case
+        phi_matrix, upper = qr_factor_relative(speed, orientation, chirality)
+        assert phi_matrix.is_rotation(1e-6)
+        assert abs(upper.c) <= 1e-9
+        reconstructed = phi_matrix @ upper
+        assert reconstructed.is_close(relative_matrix(speed, orientation, chirality), 1e-6)
+
+    @given(speeds, angles, chiralities, vectors)
+    def test_relative_map_is_identity_minus_attribute_map(self, speed, orientation, chirality, v):
+        lhs = relative_matrix(speed, orientation, chirality).apply(v)
+        rhs = v - attribute_matrix(speed, orientation, chirality).apply(v)
+        assert lhs.is_close(rhs, 1e-6)
+
+
+class TestFrameProperties:
+    @given(
+        st.builds(Vec2, finite_floats, finite_floats),
+        speeds,
+        st.floats(min_value=0.05, max_value=20.0),
+        angles,
+        chiralities,
+        vectors,
+    )
+    def test_world_local_round_trip(self, origin, speed, time_unit, orientation, chirality, point):
+        frame = ReferenceFrame(
+            origin=origin,
+            speed=speed,
+            time_unit=time_unit,
+            orientation=orientation,
+            chirality=chirality,
+        )
+        recovered = frame.to_local_point(frame.to_world_point(point))
+        assert recovered.is_close(point, 1e-6 * max(1.0, point.norm()))
+
+    @given(speeds, st.floats(min_value=0.05, max_value=20.0), st.floats(min_value=0.0, max_value=1e3))
+    def test_time_round_trip(self, speed, time_unit, duration):
+        frame = ReferenceFrame(speed=speed, time_unit=time_unit)
+        assert math.isclose(
+            frame.to_local_duration(frame.to_world_duration(duration)), duration, rel_tol=1e-12, abs_tol=1e-12
+        )
+
+
+class TestRotationComposition:
+    @given(angles, angles, vectors)
+    def test_rotations_compose_additively(self, first, second, v):
+        composed = rotation(first) @ rotation(second)
+        assert composed.apply(v).is_close(rotation(first + second).apply(v), 1e-6)

@@ -1,0 +1,92 @@
+"""Property-based tests for trajectories and the frame transform."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import ORIGIN, ReferenceFrame, Vec2
+from repro.motion import TrajectoryBuilder, transform_trajectory
+
+coordinates = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+points = st.builds(Vec2, coordinates, coordinates)
+radii = st.floats(min_value=0.05, max_value=5.0, allow_nan=False, allow_infinity=False)
+waits = st.floats(min_value=0.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+speeds = st.floats(min_value=0.1, max_value=5.0, allow_nan=False, allow_infinity=False)
+angles = st.floats(min_value=-7.0, max_value=7.0, allow_nan=False, allow_infinity=False)
+chiralities = st.sampled_from([1, -1])
+
+
+@st.composite
+def random_walks(draw):
+    """A random but valid local-frame trajectory built from mixed commands."""
+    builder = TrajectoryBuilder(ORIGIN)
+    commands = draw(st.integers(min_value=1, max_value=6))
+    for _ in range(commands):
+        kind = draw(st.sampled_from(["move", "wait", "circle"]))
+        if kind == "move":
+            builder.move_to(draw(points))
+        elif kind == "wait":
+            builder.wait(draw(waits))
+        else:
+            radius = draw(radii)
+            builder.move_to(Vec2(radius, 0.0))
+            builder.full_circle_around(ORIGIN)
+    return builder.build()
+
+
+class TestTrajectoryInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(random_walks())
+    def test_positions_stay_within_the_travelled_distance(self, trajectory):
+        """|S(t) - S(0)| can never exceed the elapsed time (unit local speed)."""
+        for fraction in (0.0, 0.17, 0.5, 0.83, 1.0):
+            t = trajectory.duration * fraction
+            displacement = trajectory.position(t).distance_to(trajectory.start)
+            assert displacement <= t + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_walks())
+    def test_local_speed_never_exceeds_one(self, trajectory):
+        assert trajectory.max_speed() <= 1.0 + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_walks())
+    def test_path_length_at_most_duration(self, trajectory):
+        assert trajectory.path_length() <= trajectory.duration + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_walks(), st.floats(min_value=0.0, max_value=1.0))
+    def test_adjacent_samples_satisfy_the_lipschitz_bound(self, trajectory, fraction):
+        t0 = trajectory.duration * fraction
+        t1 = min(trajectory.duration, t0 + 0.25)
+        gap = trajectory.position(t0).distance_to(trajectory.position(t1))
+        assert gap <= (t1 - t0) + 1e-6
+
+
+class TestFrameTransformInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(random_walks(), speeds, speeds, angles, chiralities, points)
+    def test_transformed_positions_match_pointwise_mapping(
+        self, trajectory, speed, time_unit, orientation, chirality, origin
+    ):
+        frame = ReferenceFrame(
+            origin=origin, speed=speed, time_unit=time_unit, orientation=orientation, chirality=chirality
+        )
+        world = transform_trajectory(trajectory, frame)
+        assert math.isclose(world.duration, trajectory.duration * time_unit, rel_tol=1e-9, abs_tol=1e-9)
+        for fraction in (0.0, 0.33, 0.71, 1.0):
+            local_time = trajectory.duration * fraction
+            world_time = world.duration * fraction
+            expected = frame.to_world_point(trajectory.position(local_time))
+            actual = world.position(world_time)
+            assert actual.is_close(expected, 1e-6 * max(1.0, expected.norm()))
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_walks(), speeds, speeds)
+    def test_world_speed_is_the_robot_speed(self, trajectory, speed, time_unit):
+        frame = ReferenceFrame(speed=speed, time_unit=time_unit)
+        world = transform_trajectory(trajectory, frame)
+        assert world.max_speed() <= speed + 1e-9

@@ -1,0 +1,88 @@
+"""Property-based tests for the schedule, overlap and bound formulas."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    active_phase_start,
+    decompose_tau,
+    guaranteed_discovery_round,
+    inactive_phase_start,
+    lemma13_round_bound,
+    measured_overlap,
+    round_duration,
+    search_all_time,
+    theorem1_search_bound,
+    theorem3_time_bound,
+)
+
+rounds = st.integers(min_value=1, max_value=20)
+taus = st.floats(min_value=0.02, max_value=0.98, allow_nan=False, allow_infinity=False)
+distances = st.floats(min_value=0.2, max_value=8.0, allow_nan=False, allow_infinity=False)
+visibilities = st.floats(min_value=0.01, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+
+class TestScheduleFormulaProperties:
+    @given(rounds)
+    def test_phase_boundaries_are_ordered(self, n):
+        assert inactive_phase_start(n) < active_phase_start(n) < inactive_phase_start(n + 1)
+
+    @given(rounds)
+    def test_round_is_split_evenly_between_phases(self, n):
+        inactive = active_phase_start(n) - inactive_phase_start(n)
+        active = inactive_phase_start(n + 1) - active_phase_start(n)
+        assert math.isclose(inactive, active, rel_tol=1e-12)
+        assert math.isclose(inactive + active, round_duration(n), rel_tol=1e-12)
+
+    @given(rounds)
+    def test_search_all_time_is_increasing(self, n):
+        assert search_all_time(n + 1) > search_all_time(n)
+
+    @given(taus, rounds)
+    def test_measured_overlap_fits_inside_both_phases(self, tau, k):
+        window = measured_overlap(k, k, tau)
+        assert 0.0 <= window.amount <= min(2.0 * search_all_time(k), tau * 2.0 * search_all_time(k)) + 1e-9
+
+
+class TestTauDecompositionProperties:
+    @given(taus)
+    def test_round_trip(self, tau):
+        decomposition = decompose_tau(tau)
+        assert math.isclose(decomposition.tau, tau, rel_tol=1e-9)
+        assert 0.5 <= decomposition.t < 1.0
+        assert decomposition.a >= 0
+
+
+class TestBoundProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(distances, visibilities)
+    def test_search_bound_is_at_least_the_direct_travel_time(self, distance, visibility):
+        if distance <= visibility:
+            return
+        bound = theorem1_search_bound(distance, visibility)
+        assert bound >= distance - visibility
+
+    @settings(max_examples=100, deadline=None)
+    @given(distances, visibilities)
+    def test_guaranteed_round_covers_the_instance(self, distance, visibility):
+        k = guaranteed_discovery_round(distance, visibility)
+        covered = any(
+            2.0 ** (-k + j + 1) >= distance and 2.0 ** (-3 * k + 2 * j - 1) <= visibility
+            for j in range(2 * k)
+        )
+        assert covered
+
+    @settings(max_examples=60, deadline=None)
+    @given(distances, visibilities, st.floats(min_value=0.05, max_value=0.95))
+    def test_theorem3_bound_is_finite_and_at_least_the_schedule_prefix(self, distance, visibility, tau):
+        if distance <= visibility:
+            return
+        bound = theorem3_time_bound(distance, visibility, tau)
+        assert math.isfinite(bound)
+        n = guaranteed_discovery_round(distance, visibility)
+        # The bound must at least allow one full active phase of round n.
+        assert bound >= inactive_phase_start(n + 1)

@@ -1,0 +1,74 @@
+"""Unit tests for robot attributes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry import Vec2
+from repro.robots import REFERENCE_ATTRIBUTES, RobotAttributes
+
+
+class TestValidation:
+    def test_defaults_are_the_reference_robot(self):
+        assert RobotAttributes() == REFERENCE_ATTRIBUTES
+        assert REFERENCE_ATTRIBUTES.is_reference()
+
+    @pytest.mark.parametrize("speed", [0.0, -1.0, float("inf")])
+    def test_invalid_speed_rejected(self, speed):
+        with pytest.raises(InvalidParameterError):
+            RobotAttributes(speed=speed)
+
+    @pytest.mark.parametrize("time_unit", [0.0, -0.5, float("nan")])
+    def test_invalid_time_unit_rejected(self, time_unit):
+        with pytest.raises(InvalidParameterError):
+            RobotAttributes(time_unit=time_unit)
+
+    def test_invalid_chirality_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RobotAttributes(chirality=0)
+
+
+class TestNormalisation:
+    def test_orientation_reduced_to_canonical_range(self):
+        attributes = RobotAttributes(orientation=-math.pi / 2).normalized()
+        assert attributes.orientation == pytest.approx(3 * math.pi / 2)
+
+    def test_full_turn_counts_as_reference(self):
+        assert RobotAttributes(orientation=2 * math.pi).is_reference()
+
+
+class TestDifferencePredicates:
+    def test_speed_difference(self):
+        assert RobotAttributes(speed=0.5).differs_in_speed()
+        assert not RobotAttributes(speed=1.0).differs_in_speed()
+
+    def test_clock_difference(self):
+        assert RobotAttributes(time_unit=2.0).differs_in_clock()
+        assert not RobotAttributes().differs_in_clock()
+
+    def test_orientation_difference(self):
+        assert RobotAttributes(orientation=1.0).differs_in_orientation()
+        assert not RobotAttributes(orientation=0.0).differs_in_orientation()
+        assert not RobotAttributes(orientation=2 * math.pi).differs_in_orientation()
+
+    def test_chirality_difference(self):
+        assert RobotAttributes(chirality=-1).differs_in_chirality()
+        assert not RobotAttributes().differs_in_chirality()
+
+
+class TestFrame:
+    def test_frame_carries_all_attributes(self):
+        attributes = RobotAttributes(speed=0.5, time_unit=2.0, orientation=1.0, chirality=-1)
+        frame = attributes.frame(Vec2(3.0, 3.0))
+        assert frame.origin == Vec2(3.0, 3.0)
+        assert frame.speed == pytest.approx(0.5)
+        assert frame.time_unit == pytest.approx(2.0)
+        assert frame.orientation == pytest.approx(1.0)
+        assert frame.chirality == -1
+
+    def test_describe_mentions_all_parameters(self):
+        text = RobotAttributes(speed=0.5, time_unit=2.0).describe()
+        assert "v=0.5" in text and "tau=2" in text

@@ -1,0 +1,74 @@
+"""Unit tests for Robot and RobotPair."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms import SearchCircle
+from repro.errors import InvalidParameterError
+from repro.geometry import Vec2
+from repro.robots import REFERENCE_ATTRIBUTES, Robot, RobotAttributes, make_pair
+
+
+class TestRobot:
+    def test_world_trajectory_of_the_reference_robot_matches_local_commands(self):
+        robot = Robot(name="R", start=Vec2(0.0, 0.0))
+        trajectory = robot.world_trajectory(SearchCircle(1.0))
+        assert trajectory.position(0.0).is_close(Vec2(0.0, 0.0))
+        assert trajectory.position(1.0).is_close(Vec2(1.0, 0.0))
+
+    def test_world_trajectory_respects_the_start_position(self):
+        robot = Robot(name="R'", start=Vec2(5.0, -2.0))
+        trajectory = robot.world_trajectory(SearchCircle(1.0))
+        assert trajectory.position(0.0).is_close(Vec2(5.0, -2.0))
+
+    def test_slow_robot_moves_at_its_own_speed(self):
+        robot = Robot(name="R'", start=Vec2(0.0, 0.0), attributes=RobotAttributes(speed=0.5))
+        trajectory = robot.world_trajectory(SearchCircle(1.0))
+        # After one (global) time unit a speed-0.5 robot has covered 0.5.
+        assert trajectory.position(1.0).distance_to(Vec2(0.0, 0.0)) == pytest.approx(0.5)
+
+    def test_max_speed(self):
+        assert Robot(name="x", attributes=RobotAttributes(speed=0.7)).max_speed == pytest.approx(0.7)
+
+    def test_describe_includes_name_and_attributes(self):
+        text = Robot(name="R-prime", attributes=RobotAttributes(speed=2.0)).describe()
+        assert "R-prime" in text and "v=2" in text
+
+
+class TestMakePair:
+    def test_reference_robot_is_at_the_requested_start(self):
+        pair = make_pair(Vec2(1.0, 1.0), RobotAttributes(speed=0.5))
+        assert pair.reference.start.is_close(Vec2(0.0, 0.0))
+        assert pair.reference.attributes == REFERENCE_ATTRIBUTES
+
+    def test_other_robot_is_displaced_by_the_separation(self):
+        pair = make_pair(Vec2(3.0, 4.0), RobotAttributes())
+        assert pair.other.start.is_close(Vec2(3.0, 4.0))
+        assert pair.initial_distance == pytest.approx(5.0)
+
+    def test_separation_vector(self):
+        pair = make_pair(Vec2(2.0, -1.0), RobotAttributes(), reference_start=Vec2(1.0, 1.0))
+        assert pair.separation.is_close(Vec2(2.0, -1.0))
+        assert pair.other.start.is_close(Vec2(3.0, 0.0))
+
+    def test_zero_separation_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_pair(Vec2(0.0, 0.0), RobotAttributes())
+
+    def test_mirrored_robots_follow_mirror_image_trajectories(self):
+        """Lemma 4's reflection shows up in the actual world trajectories."""
+        attributes = RobotAttributes(chirality=-1)
+        pair = make_pair(Vec2(0.0, 2.0), attributes)
+        algorithm = SearchCircle(1.0)
+        reference_trajectory = pair.reference.world_trajectory(algorithm)
+        other_trajectory = pair.other.world_trajectory(algorithm)
+        # Sample a point a quarter of the way around the circle: the y
+        # displacements (relative to each robot's start) must be opposite.
+        t = 1.0 + math.pi / 2
+        reference_displacement = reference_trajectory.position(t) - pair.reference.start
+        other_displacement = other_trajectory.position(t) - pair.other.start
+        assert reference_displacement.x == pytest.approx(other_displacement.x, abs=1e-9)
+        assert reference_displacement.y == pytest.approx(-other_displacement.y, abs=1e-9)

@@ -1,0 +1,88 @@
+"""Unit tests for the Lipschitz first-crossing detector."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.simulation import find_first_crossing, interval_minimum_lower_bound
+
+
+class TestLowerBound:
+    def test_tent_bound_for_a_v_shape(self):
+        # A V-shaped function with slope 1 dips to 0 in the middle.
+        bound = interval_minimum_lower_bound(1.0, 1.0, 2.0, 1.0)
+        assert bound == pytest.approx(0.0)
+
+    def test_bound_never_exceeds_endpoint_values(self):
+        assert interval_minimum_lower_bound(2.0, 5.0, 1.0, 1.0) <= 2.0
+
+
+class TestFindFirstCrossing:
+    def test_immediate_crossing_at_the_left_endpoint(self):
+        result = find_first_crossing(lambda t: 0.1, 0.0, 1.0, 0.0, threshold=0.5)
+        assert result.found
+        assert result.time == pytest.approx(0.0)
+
+    def test_no_crossing_when_function_stays_above(self):
+        result = find_first_crossing(lambda t: 1.0 + t, 0.0, 5.0, 1.0, threshold=0.5)
+        assert not result.found
+
+    def test_linear_crossing_time_is_accurate(self):
+        # gap(t) = 2 - t crosses 0.5 at t = 1.5.
+        result = find_first_crossing(lambda t: 2.0 - t, 0.0, 4.0, 1.0, threshold=0.5, time_tolerance=1e-9)
+        assert result.found
+        assert result.time == pytest.approx(1.5, abs=1e-6)
+
+    def test_returns_the_first_of_several_crossings(self):
+        # A wave that dips below the threshold around t = 1 and t = 3.
+        def gap(t: float) -> float:
+            return 1.0 + math.cos(math.pi * t)
+
+        result = find_first_crossing(gap, 0.0, 4.0, math.pi, threshold=0.1, time_tolerance=1e-9)
+        assert result.found
+        assert result.time < 1.5
+
+    def test_narrow_dip_is_not_missed(self):
+        """A dip of width much larger than the tolerance must be detected."""
+
+        def gap(t: float) -> float:
+            return min(abs(t - 2.345) * 1.0, 1.0)
+
+        result = find_first_crossing(gap, 0.0, 10.0, 1.0, threshold=1e-3, time_tolerance=1e-9)
+        assert result.found
+        assert result.time == pytest.approx(2.345 - 1e-3, abs=1e-5)
+
+    def test_reported_value_respects_the_threshold(self):
+        def gap(t: float) -> float:
+            return abs(t - 1.0) + 0.2
+
+        result = find_first_crossing(gap, 0.0, 2.0, 1.0, threshold=0.25)
+        assert result.found
+        assert result.value <= 0.25 + 1e-12
+
+    def test_degenerate_interval(self):
+        result = find_first_crossing(lambda t: 1.0, 2.0, 2.0, 1.0, threshold=0.5)
+        assert not result.found
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            find_first_crossing(lambda t: 1.0, 1.0, 0.0, 1.0, threshold=0.5)
+
+    def test_invalid_lipschitz_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            find_first_crossing(lambda t: 1.0, 0.0, 1.0, -1.0, threshold=0.5)
+
+    def test_evaluation_count_is_reported(self):
+        result = find_first_crossing(lambda t: 10.0, 0.0, 1.0, 0.5, threshold=1.0)
+        assert result.evaluations >= 2
+
+    def test_large_lipschitz_constant_still_correct(self):
+        """Overestimating the Lipschitz constant costs evaluations, not correctness."""
+        result = find_first_crossing(
+            lambda t: 2.0 - t, 0.0, 4.0, 100.0, threshold=0.5, time_tolerance=1e-6
+        )
+        assert result.found
+        assert result.time == pytest.approx(1.5, abs=1e-3)

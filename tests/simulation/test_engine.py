@@ -1,0 +1,133 @@
+"""Unit tests for the simulation engine (search and rendezvous)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms import SearchCircle, SearchRound, UniversalSearch, WaitAndSearchRendezvous
+from repro.core import theorem1_search_bound
+from repro.geometry import Vec2
+from repro.robots import RobotAttributes
+from repro.simulation import (
+    RendezvousInstance,
+    SearchInstance,
+    bound_multiple_horizon,
+    fixed_horizon,
+    simulate_rendezvous,
+    simulate_search,
+)
+
+
+class TestSimulateSearch:
+    def test_target_on_the_first_radial_leg_is_found_immediately(self):
+        instance = SearchInstance(target=Vec2(0.4, 0.0), visibility=0.1)
+        outcome = simulate_search(SearchCircle(1.0), instance, fixed_horizon(100.0))
+        assert outcome.solved
+        assert outcome.time == pytest.approx(0.3, abs=1e-6)
+
+    def test_target_behind_the_robot_is_found_on_the_circle(self):
+        instance = SearchInstance(target=Vec2(-1.0, 0.0), visibility=0.05)
+        outcome = simulate_search(SearchCircle(1.0), instance, fixed_horizon(100.0))
+        assert outcome.solved
+        # The robot reaches (−1, 0) after the radial leg (1) plus half the circle (pi).
+        assert outcome.time == pytest.approx(1.0 + math.pi - 0.05, abs=1e-3)
+
+    def test_unreachable_target_times_out(self):
+        instance = SearchInstance(target=Vec2(10.0, 0.0), visibility=0.01)
+        outcome = simulate_search(SearchCircle(1.0), instance, fixed_horizon(50.0))
+        assert not outcome.solved
+
+    def test_detection_event_is_consistent(self):
+        instance = SearchInstance(target=Vec2(1.3, -0.4), visibility=0.25)
+        bound = theorem1_search_bound(instance.distance, instance.visibility)
+        outcome = simulate_search(UniversalSearch(), instance, bound_multiple_horizon(bound))
+        assert outcome.solved
+        event = outcome.event
+        assert event is not None
+        assert event.gap <= instance.visibility + 1e-6
+        assert event.position_other.is_close(instance.target)
+
+    def test_first_crossing_is_minimal(self):
+        """No earlier time along the trajectory is within the visibility radius."""
+        instance = SearchInstance(target=Vec2(0.9, 0.35), visibility=0.2)
+        outcome = simulate_search(UniversalSearch(), instance, fixed_horizon(500.0))
+        assert outcome.solved
+        from repro.motion import lazy_world_trajectory
+        from repro.geometry import GLOBAL_FRAME
+
+        trajectory = lazy_world_trajectory(UniversalSearch().segments(), GLOBAL_FRAME)
+        for fraction in (0.2, 0.5, 0.8, 0.95, 0.999):
+            earlier = outcome.time * fraction
+            assert trajectory.position(earlier).distance_to(instance.target) >= instance.visibility - 1e-6
+
+    def test_finite_algorithm_parks_and_gives_up(self):
+        instance = SearchInstance(target=Vec2(3.0, 0.0), visibility=0.1)
+        outcome = simulate_search(SearchRound(1), instance, fixed_horizon(500.0))
+        assert not outcome.solved
+
+    def test_rejects_infinite_horizon(self):
+        instance = SearchInstance(target=Vec2(1.0, 0.0), visibility=0.1)
+        with pytest.raises(Exception):
+            simulate_search(SearchCircle(1.0), instance, float("inf"))
+
+
+class TestSimulateRendezvous:
+    def test_instance_already_solved_returns_time_zero(self):
+        instance = RendezvousInstance(
+            separation=Vec2(0.2, 0.0), visibility=0.5, attributes=RobotAttributes(speed=0.5)
+        )
+        outcome = simulate_rendezvous(UniversalSearch(), instance, fixed_horizon(10.0))
+        assert outcome.solved
+        assert outcome.time == 0.0
+
+    def test_different_speeds_rendezvous_with_algorithm4(self):
+        instance = RendezvousInstance(
+            separation=Vec2(1.2, 0.3), visibility=0.3, attributes=RobotAttributes(speed=0.5)
+        )
+        outcome = simulate_rendezvous(UniversalSearch(), instance, fixed_horizon(3000.0))
+        assert outcome.solved
+        assert outcome.event is not None
+        assert outcome.event.gap <= instance.visibility + 1e-6
+
+    def test_rendezvous_event_positions_belong_to_both_robots(self):
+        instance = RendezvousInstance(
+            separation=Vec2(1.0, 0.2), visibility=0.4, attributes=RobotAttributes(speed=0.6)
+        )
+        outcome = simulate_rendezvous(UniversalSearch(), instance, fixed_horizon(3000.0))
+        assert outcome.solved
+        event = outcome.event
+        pair = instance.robot_pair()
+        reference_trajectory = pair.reference.world_trajectory(UniversalSearch())
+        other_trajectory = pair.other.world_trajectory(UniversalSearch())
+        assert reference_trajectory.position(event.time).is_close(event.position_reference, 1e-6)
+        assert other_trajectory.position(event.time).is_close(event.position_other, 1e-6)
+
+    def test_identical_robots_never_meet(self):
+        instance = RendezvousInstance(
+            separation=Vec2(0.0, 1.5), visibility=0.3, attributes=RobotAttributes()
+        )
+        outcome = simulate_rendezvous(UniversalSearch(), instance, fixed_horizon(500.0))
+        assert not outcome.solved
+
+    def test_asymmetric_clocks_rendezvous_with_algorithm7(self):
+        instance = RendezvousInstance(
+            separation=Vec2(1.0, 0.4), visibility=0.45, attributes=RobotAttributes(time_unit=0.5)
+        )
+        outcome = simulate_rendezvous(WaitAndSearchRendezvous(), instance, fixed_horizon(5000.0))
+        assert outcome.solved
+
+    def test_gap_never_below_visibility_before_the_event(self):
+        instance = RendezvousInstance(
+            separation=Vec2(1.4, -0.2), visibility=0.35, attributes=RobotAttributes(speed=0.7)
+        )
+        outcome = simulate_rendezvous(UniversalSearch(), instance, fixed_horizon(3000.0))
+        assert outcome.solved
+        pair = instance.robot_pair()
+        reference_trajectory = pair.reference.world_trajectory(UniversalSearch())
+        other_trajectory = pair.other.world_trajectory(UniversalSearch())
+        for fraction in (0.1, 0.4, 0.7, 0.9, 0.99):
+            t = outcome.time * fraction
+            gap = reference_trajectory.position(t).distance_to(other_trajectory.position(t))
+            assert gap >= instance.visibility - 1e-6

@@ -1,0 +1,146 @@
+"""Unit tests for the per-window gap computations."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.motion import ArcMotion, LinearMotion, WaitMotion
+from repro.simulation import (
+    first_time_within_linear_relative,
+    first_time_within_pair,
+    first_time_within_static,
+    static_min_distance,
+)
+
+
+class TestStaticMinDistance:
+    def test_wait_segment(self):
+        segment = WaitMotion(Vec2(1.0, 1.0), 2.0)
+        assert static_min_distance(segment, Vec2(4.0, 5.0), 0.0, 2.0) == pytest.approx(5.0)
+
+    def test_linear_segment_full_window(self):
+        segment = LinearMotion(Vec2(-1.0, 1.0), Vec2(1.0, 1.0), 2.0)
+        assert static_min_distance(segment, Vec2(0.0, 0.0), 0.0, 2.0) == pytest.approx(1.0)
+
+    def test_linear_segment_partial_window(self):
+        segment = LinearMotion(Vec2(-1.0, 1.0), Vec2(1.0, 1.0), 2.0)
+        # Restricting to the first half keeps the robot on x in [-1, 0].
+        assert static_min_distance(segment, Vec2(1.0, 1.0), 0.0, 1.0) == pytest.approx(1.0)
+
+    def test_arc_segment(self):
+        segment = ArcMotion(Vec2(0.0, 0.0), 1.0, 0.0, 2 * math.pi, 2 * math.pi)
+        assert static_min_distance(segment, Vec2(3.0, 0.0), 0.0, segment.duration) == pytest.approx(2.0)
+
+    def test_arc_partial_window_uses_the_swept_part_only(self):
+        segment = ArcMotion(Vec2(0.0, 0.0), 1.0, 0.0, 2 * math.pi, 2 * math.pi)
+        # During the first quarter turn the robot stays in the first quadrant.
+        probe = Vec2(-1.0, 0.0)
+        distance = static_min_distance(segment, probe, 0.0, segment.duration / 4.0)
+        assert distance == pytest.approx(probe.distance_to(Vec2(0.0, 1.0)))
+
+
+class TestFirstTimeWithinStatic:
+    def test_linear_closed_form(self):
+        segment = LinearMotion(Vec2(-2.0, 0.3), Vec2(2.0, 0.3), 4.0)
+        time, evaluations = first_time_within_static(segment, Vec2(0.0, 0.0), 0.5, 0.0, 4.0)
+        assert time is not None
+        assert segment.position(time).distance_to(Vec2(0.0, 0.0)) == pytest.approx(0.5, abs=1e-9)
+        assert evaluations == 0  # closed form, no numeric evaluations
+
+    def test_linear_miss(self):
+        segment = LinearMotion(Vec2(-2.0, 1.0), Vec2(2.0, 1.0), 4.0)
+        time, _ = first_time_within_static(segment, Vec2(0.0, 0.0), 0.5, 0.0, 4.0)
+        assert time is None
+
+    def test_wait_hit_and_miss(self):
+        segment = WaitMotion(Vec2(0.0, 0.4), 3.0)
+        hit, _ = first_time_within_static(segment, Vec2(0.0, 0.0), 0.5, 1.0, 3.0)
+        miss, _ = first_time_within_static(segment, Vec2(0.0, 0.0), 0.3, 1.0, 3.0)
+        assert hit == pytest.approx(1.0)
+        assert miss is None
+
+    def test_arc_first_crossing(self):
+        # Full circle starting at angle 0; the target sits near angle pi/2.
+        segment = ArcMotion(Vec2(0.0, 0.0), 1.0, 0.0, 2 * math.pi, 2 * math.pi)
+        target = Vec2.polar(1.0, math.pi / 2)
+        time, evaluations = first_time_within_static(segment, target, 0.05, 0.0, segment.duration)
+        assert time is not None
+        assert evaluations > 0
+        assert segment.position(time).distance_to(target) <= 0.05 + 1e-9
+        # The crossing should happen just before the quarter-turn mark.
+        assert time == pytest.approx(math.pi / 2 - 0.05, abs=1e-3)
+
+    def test_empty_window(self):
+        segment = WaitMotion(Vec2(0.0, 0.0), 1.0)
+        time, _ = first_time_within_static(segment, Vec2(0.0, 0.0), 1.0, 2.0, 1.0)
+        assert time is None
+
+
+class TestLinearRelative:
+    def test_head_on_approach(self):
+        time = first_time_within_linear_relative(
+            Vec2(0.0, 0.0), Vec2(1.0, 0.0), Vec2(10.0, 0.0), Vec2(-1.0, 0.0), 2.0, 10.0
+        )
+        assert time == pytest.approx(4.0)
+
+    def test_parallel_motion_never_meets(self):
+        time = first_time_within_linear_relative(
+            Vec2(0.0, 0.0), Vec2(1.0, 0.0), Vec2(0.0, 5.0), Vec2(1.0, 0.0), 1.0, 100.0
+        )
+        assert time is None
+
+    def test_already_within_threshold(self):
+        time = first_time_within_linear_relative(
+            Vec2(0.0, 0.0), Vec2(1.0, 0.0), Vec2(0.5, 0.0), Vec2(0.0, 0.0), 1.0, 10.0
+        )
+        assert time == pytest.approx(0.0)
+
+
+class TestFirstTimeWithinPair:
+    def test_two_waits(self):
+        first = WaitMotion(Vec2(0.0, 0.0), 10.0)
+        second = WaitMotion(Vec2(0.0, 3.0), 10.0)
+        hit, _ = first_time_within_pair(first, 0.0, second, 0.0, 2.0, 8.0, 3.5)
+        miss, _ = first_time_within_pair(first, 0.0, second, 0.0, 2.0, 8.0, 2.5)
+        assert hit == pytest.approx(2.0)
+        assert miss is None
+
+    def test_moving_vs_waiting(self):
+        mover = LinearMotion(Vec2(-5.0, 0.0), Vec2(5.0, 0.0), 10.0)
+        waiter = WaitMotion(Vec2(0.0, 0.2), 10.0)
+        time, _ = first_time_within_pair(mover, 0.0, waiter, 0.0, 0.0, 10.0, 0.5)
+        assert time is not None
+        assert mover.position(time).distance_to(Vec2(0.0, 0.2)) == pytest.approx(0.5, abs=1e-9)
+
+    def test_two_linear_motions_closed_form(self):
+        first = LinearMotion(Vec2(0.0, 0.0), Vec2(10.0, 0.0), 10.0)
+        second = LinearMotion(Vec2(10.0, 0.0), Vec2(0.0, 0.0), 10.0)
+        time, evaluations = first_time_within_pair(first, 0.0, second, 0.0, 0.0, 10.0, 1.0)
+        assert evaluations == 0
+        assert time == pytest.approx(4.5)
+
+    def test_offset_segment_start_times(self):
+        """Segments active from different global times are aligned correctly."""
+        first = LinearMotion(Vec2(0.0, 0.0), Vec2(10.0, 0.0), 10.0)  # starts at t=0
+        second = WaitMotion(Vec2(6.0, 0.0), 10.0)  # starts at t=2
+        time, _ = first_time_within_pair(first, 0.0, second, 2.0, 2.0, 10.0, 1.0)
+        assert time == pytest.approx(5.0)
+
+    def test_arc_pair_falls_back_to_branch_and_bound(self):
+        first = ArcMotion(Vec2(0.0, 0.0), 1.0, 0.0, 2 * math.pi, 2 * math.pi)
+        second = ArcMotion(Vec2(2.0, 0.0), 1.0, math.pi, -2 * math.pi, 2 * math.pi)
+        # Both robots start at (1, 0) + ... they begin at distance 0 actually:
+        # first starts at (1,0), second starts at (1,0) as well -> immediate.
+        time, _ = first_time_within_pair(first, 0.0, second, 0.0, 0.0, 2 * math.pi, 0.1)
+        assert time == pytest.approx(0.0, abs=1e-6)
+
+    def test_arc_pair_miss(self):
+        first = ArcMotion(Vec2(0.0, 0.0), 1.0, 0.0, 2 * math.pi, 2 * math.pi)
+        second = ArcMotion(Vec2(10.0, 0.0), 1.0, 0.0, 2 * math.pi, 2 * math.pi)
+        time, evaluations = first_time_within_pair(first, 0.0, second, 0.0, 0.0, 2 * math.pi, 0.5)
+        assert time is None
+        # The bounding-disc rejection should avoid any gap evaluation.
+        assert evaluations == 0

@@ -1,0 +1,114 @@
+"""Unit tests for problem instances, horizons, events and traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry import Vec2
+from repro.motion import Trajectory
+from repro.robots import RobotAttributes
+from repro.simulation import (
+    DetectionEvent,
+    HorizonPolicy,
+    RendezvousInstance,
+    SearchInstance,
+    SimulationOutcome,
+    bound_multiple_horizon,
+    fixed_horizon,
+    record_trace,
+)
+
+
+class TestSearchInstance:
+    def test_distance_and_difficulty(self):
+        instance = SearchInstance(target=Vec2(3.0, 4.0), visibility=0.5)
+        assert instance.distance == pytest.approx(5.0)
+        assert instance.difficulty == pytest.approx(50.0)
+
+    def test_zero_visibility_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SearchInstance(target=Vec2(1.0, 0.0), visibility=0.0)
+
+    def test_target_at_the_origin_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SearchInstance(target=Vec2(0.0, 0.0), visibility=0.5)
+
+    def test_describe_mentions_difficulty(self):
+        assert "d^2/r" in SearchInstance(target=Vec2(1.0, 0.0), visibility=0.5).describe()
+
+
+class TestRendezvousInstance:
+    def test_robot_pair_construction(self):
+        instance = RendezvousInstance(
+            separation=Vec2(2.0, 0.0), visibility=0.5, attributes=RobotAttributes(speed=0.5)
+        )
+        pair = instance.robot_pair()
+        assert pair.other.start.is_close(Vec2(2.0, 0.0))
+        assert pair.other.attributes.speed == pytest.approx(0.5)
+
+    def test_already_solved_detection(self):
+        instance = RendezvousInstance(
+            separation=Vec2(0.3, 0.0), visibility=0.5, attributes=RobotAttributes()
+        )
+        assert instance.already_solved()
+
+    def test_zero_separation_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RendezvousInstance(separation=Vec2(0.0, 0.0), visibility=0.5, attributes=RobotAttributes())
+
+
+class TestHorizons:
+    def test_fixed_horizon(self):
+        assert fixed_horizon(100.0).limit == pytest.approx(100.0)
+
+    def test_bound_multiple_horizon(self):
+        policy = bound_multiple_horizon(200.0, 1.5)
+        assert policy.limit == pytest.approx(300.0)
+        assert "200" in policy.reason
+
+    def test_non_positive_horizon_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            fixed_horizon(0.0)
+
+    def test_infinite_horizon_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            HorizonPolicy(limit=float("inf"), reason="nope")
+
+    def test_safety_factor_below_one_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            bound_multiple_horizon(100.0, 0.5)
+
+
+class TestOutcomeAndTrace:
+    def test_outcome_time_requires_a_solution(self):
+        outcome = SimulationOutcome(
+            solved=False, event=None, horizon=10.0, segments_processed=3, gap_evaluations=1
+        )
+        with pytest.raises(ValueError):
+            _ = outcome.time
+
+    def test_solved_outcome_describes_the_event(self):
+        event = DetectionEvent(
+            time=1.5, gap=0.2, position_reference=Vec2(0.0, 0.0), position_other=Vec2(0.2, 0.0)
+        )
+        outcome = SimulationOutcome(
+            solved=True, event=event, horizon=10.0, segments_processed=3, gap_evaluations=4
+        )
+        assert outcome.time == pytest.approx(1.5)
+        assert "solved" in outcome.describe()
+
+    def test_record_trace_samples_the_requested_window(self):
+        trajectory = Trajectory.stationary(Vec2(1.0, 1.0), 10.0)
+        trace = record_trace(trajectory, until=5.0, samples=11, label="test")
+        assert len(trace.points) == 11
+        assert trace.duration == pytest.approx(5.0)
+        lower, upper = trace.bounding_box()
+        assert lower.is_close(Vec2(1.0, 1.0)) and upper.is_close(Vec2(1.0, 1.0))
+
+    def test_record_trace_validates_arguments(self):
+        trajectory = Trajectory.stationary(Vec2(0.0, 0.0), 1.0)
+        with pytest.raises(InvalidParameterError):
+            record_trace(trajectory, until=-1.0)
+        with pytest.raises(InvalidParameterError):
+            record_trace(trajectory, until=1.0, samples=1)

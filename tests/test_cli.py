@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_rendezvous_options(self):
+        namespace = build_parser().parse_args(
+            ["rendezvous", "--distance", "1.5", "--visibility", "0.3", "--speed", "0.7"]
+        )
+        assert namespace.command == "rendezvous"
+        assert namespace.speed == pytest.approx(0.7)
+
+
+class TestCommands:
+    def test_feasibility_feasible(self, capsys):
+        assert main(["feasibility", "--speed", "0.5"]) == 0
+        assert "feasible" in capsys.readouterr().out
+
+    def test_feasibility_infeasible(self, capsys):
+        assert main(["feasibility", "--chirality", "-1"]) == 0
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_search_command(self, capsys):
+        code = main(["search", "--distance", "1.2", "--bearing", "0.6", "--visibility", "0.3"])
+        assert code == 0
+        assert "Theorem 1 bound" in capsys.readouterr().out
+
+    def test_rendezvous_command(self, capsys):
+        code = main(
+            ["rendezvous", "--distance", "1.4", "--visibility", "0.35", "--speed", "0.6"]
+        )
+        assert code == 0
+        assert "measured time" in capsys.readouterr().out
+
+    def test_rendezvous_infeasible_without_horizon_fails_cleanly(self, capsys):
+        code = main(["rendezvous", "--distance", "1.4", "--visibility", "0.35"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_rendezvous_infeasible_with_horizon_runs(self, capsys):
+        code = main(
+            [
+                "rendezvous",
+                "--distance",
+                "1.4",
+                "--visibility",
+                "0.35",
+                "--allow-infeasible",
+                "--horizon",
+                "200",
+            ]
+        )
+        assert code == 0
+        assert "not solved" in capsys.readouterr().out
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        assert "E01" in capsys.readouterr().out
+
+    def test_experiments_single_quick_run(self, capsys, tmp_path):
+        code = main(["experiments", "F01", "--quick", "--output", str(tmp_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "F01" in output and "summary written" in output
+
+    def test_experiments_without_selection_is_an_error(self, capsys):
+        assert main(["experiments"]) == 2
+
+    def test_schedule_command(self, capsys):
+        assert main(["schedule", "--rounds", "2", "--tau", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "tau = 0.5" in out
+
+    def test_gather_command(self, capsys):
+        code = main(
+            [
+                "gather",
+                "--robot", "0,0,1.0,1.0,0,1",
+                "--robot", "1.0,0.3,0.6,1.0,0,1",
+                "--visibility", "0.4",
+                "--horizon", "5000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pairwise gathering" in out and "met at" in out
+
+    def test_gather_command_rejects_malformed_robot(self, capsys):
+        code = main(["gather", "--robot", "0,0,1.0", "--visibility", "0.4"])
+        assert code == 1
+        assert "6 comma-separated fields" in capsys.readouterr().err

@@ -1,0 +1,74 @@
+"""Tests for the error hierarchy, constants and package metadata."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro
+from repro import constants
+from repro.errors import (
+    ExperimentError,
+    HorizonExceededError,
+    InfeasibleConfigurationError,
+    InvalidParameterError,
+    ReproError,
+    SimulationError,
+    TimeOutOfRangeError,
+    TrajectoryError,
+)
+
+
+class TestErrorHierarchy:
+    def test_every_library_error_is_a_repro_error(self):
+        for error_type in (
+            InvalidParameterError,
+            TrajectoryError,
+            TimeOutOfRangeError,
+            SimulationError,
+            HorizonExceededError,
+            InfeasibleConfigurationError,
+            ExperimentError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_invalid_parameter_error_is_also_a_value_error(self):
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_horizon_exceeded_records_the_horizon(self):
+        error = HorizonExceededError(123.0)
+        assert error.horizon == pytest.approx(123.0)
+        assert "123" in str(error)
+
+    def test_horizon_exceeded_custom_message(self):
+        error = HorizonExceededError(10.0, "custom message")
+        assert str(error) == "custom message"
+
+
+class TestConstants:
+    def test_factors_are_consistent_multiples_of_pi_plus_one(self):
+        base = math.pi + 1.0
+        assert constants.SEARCH_CIRCLE_FACTOR == pytest.approx(2 * base)
+        assert constants.SEARCH_ROUND_FACTOR == pytest.approx(3 * base)
+        assert constants.THEOREM1_FACTOR == pytest.approx(6 * base)
+        assert constants.SEARCH_ALL_FACTOR == pytest.approx(12 * base)
+        assert constants.PHASE_FACTOR == pytest.approx(24 * base)
+
+    def test_tolerances_are_small_and_positive(self):
+        assert 0.0 < constants.TIME_TOLERANCE < 1e-6
+        assert 0.0 < constants.DISTANCE_TOLERANCE < 1e-6
+
+
+class TestPackageSurface:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points_are_importable_from_the_top_level(self):
+        assert callable(repro.solve_search)
+        assert callable(repro.solve_rendezvous)
+        assert callable(repro.is_feasible)

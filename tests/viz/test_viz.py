@@ -1,0 +1,129 @@
+"""Unit tests for the SVG writer, ASCII renderers and figure plots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry import Vec2
+from repro.motion import Trajectory
+from repro.simulation import record_trace
+from repro.viz import (
+    SvgCanvas,
+    Viewport,
+    active_phase_rows,
+    overlap_rows,
+    plot_schedule_svg,
+    plot_traces,
+    render_intervals_ascii,
+    render_schedule_ascii,
+    render_trace_ascii,
+    round_structure_rows,
+)
+
+
+class TestViewport:
+    def test_corner_mapping(self):
+        viewport = Viewport(0.0, 10.0, 0.0, 10.0, width=100.0, height=100.0, margin=10.0)
+        assert viewport.to_pixels(0.0, 0.0) == pytest.approx((10.0, 90.0))
+        assert viewport.to_pixels(10.0, 10.0) == pytest.approx((90.0, 10.0))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Viewport(0.0, 0.0, 0.0, 1.0)
+
+    def test_scale_is_positive(self):
+        assert Viewport(0.0, 2.0, 0.0, 1.0).scale() > 0.0
+
+
+class TestSvgCanvas:
+    def _canvas(self) -> SvgCanvas:
+        return SvgCanvas(Viewport(-1.0, 1.0, -1.0, 1.0))
+
+    def test_document_structure(self):
+        canvas = self._canvas()
+        canvas.polyline([(0.0, 0.0), (0.5, 0.5)])
+        canvas.circle((0.0, 0.0), 0.5)
+        canvas.marker((0.1, 0.1))
+        canvas.rectangle((-0.5, -0.5), (0.5, 0.5))
+        canvas.line((-1.0, 0.0), (1.0, 0.0), dashed=True)
+        canvas.text((0.0, 0.9), "label <with> markup")
+        svg = canvas.to_svg()
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        for tag in ("<polyline", "<circle", "<rect", "<line", "<text"):
+            assert tag in svg
+        # Text is escaped.
+        assert "&lt;with&gt;" in svg
+
+    def test_single_point_polyline_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            self._canvas().polyline([(0.0, 0.0)])
+
+    def test_write_creates_the_file(self, tmp_path):
+        canvas = self._canvas()
+        canvas.marker((0.0, 0.0))
+        path = canvas.write(tmp_path / "out.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+
+class TestAsciiRenderers:
+    def test_trace_rendering_contains_markers_and_legend(self):
+        trajectory = Trajectory.stationary(Vec2(0.0, 0.0), 1.0)
+        trace = record_trace(trajectory, until=1.0, samples=4, label="still")
+        text = render_trace_ascii([trace])
+        assert "still" in text
+        assert "*" in text
+
+    def test_trace_rendering_needs_at_least_one_trace(self):
+        with pytest.raises(InvalidParameterError):
+            render_trace_ascii([])
+
+    def test_interval_rendering(self):
+        rows = [("row", [(0.0, 1.0, "w"), (1.0, 2.0, "a")])]
+        text = render_intervals_ascii(rows, width=40)
+        assert "W" in text and "A" in text
+
+    def test_interval_rendering_requires_intervals(self):
+        with pytest.raises(InvalidParameterError):
+            render_intervals_ascii([("row", [])])
+
+
+class TestFigureRows:
+    def test_round_structure_rows_alternate(self):
+        (label, intervals), = round_structure_rows(2)
+        assert [kind for _, _, kind in intervals] == ["w", "a", "w", "a"]
+
+    def test_active_phase_rows_split_forward_and_reverse(self):
+        rows = active_phase_rows(3)
+        assert rows[0][0] == "SearchAll"
+        assert rows[1][0] == "SearchAllRev"
+        assert len(rows[0][1]) == 3 and len(rows[1][1]) == 3
+
+    def test_overlap_rows_have_two_robots(self):
+        rows = overlap_rows(3, 0.5)
+        assert len(rows) == 2
+        assert "0.5" in rows[1][0]
+
+    def test_render_schedule_ascii(self):
+        text = render_schedule_ascii(round_structure_rows(2))
+        assert "tau=1" in text
+
+
+class TestPlots:
+    def test_plot_traces_writes_svg(self, tmp_path):
+        trajectory = Trajectory.stationary(Vec2(0.0, 0.0), 1.0)
+        trace = record_trace(trajectory, until=1.0, samples=8, label="robot")
+        path = plot_traces([trace], tmp_path / "trace.svg", title="demo")
+        assert path.exists()
+        assert "<svg" in path.read_text()
+
+    def test_plot_traces_requires_traces(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            plot_traces([], tmp_path / "never.svg")
+
+    def test_plot_schedule_svg(self, tmp_path):
+        path = plot_schedule_svg(round_structure_rows(2), tmp_path / "schedule.svg", title="fig")
+        assert path.exists()
+        content = path.read_text()
+        assert "<rect" in content

@@ -1,0 +1,125 @@
+"""Unit tests for workload generators, adversarial cases and suites."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import is_feasible
+from repro.errors import InvalidParameterError
+from repro.workloads import (
+    InstanceGenerator,
+    asymmetric_clock_suite,
+    baseline_comparison_suite,
+    feasibility_grid,
+    infeasible_identical_instance,
+    infeasible_mirrored_instance,
+    mirrored_suite,
+    mirrored_worst_instance,
+    near_symmetric_attributes,
+    search_random_suite,
+    search_sweep_suite,
+    symmetric_clock_suite,
+    worst_case_orientation,
+)
+
+
+class TestInstanceGenerator:
+    def test_same_seed_gives_identical_instances(self):
+        first = InstanceGenerator(seed=7).search_suite(5)
+        second = InstanceGenerator(seed=7).search_suite(5)
+        for a, b in zip(first, second):
+            assert a.target.is_close(b.target)
+            assert a.visibility == pytest.approx(b.visibility)
+
+    def test_different_seeds_differ(self):
+        a = InstanceGenerator(seed=1).search_instance()
+        b = InstanceGenerator(seed=2).search_instance()
+        assert not a.target.is_close(b.target)
+
+    def test_search_instances_respect_ranges(self):
+        generator = InstanceGenerator(seed=3)
+        for instance in generator.search_suite(20, distance_range=(1.0, 2.0), visibility_range=(0.1, 0.2)):
+            assert 1.0 <= instance.distance <= 2.0
+            assert 0.1 <= instance.visibility <= 0.2
+
+    def test_rendezvous_instances_are_never_trivially_solved(self):
+        generator = InstanceGenerator(seed=5)
+        for instance in generator.rendezvous_suite(20):
+            assert not instance.already_solved()
+
+    def test_attribute_generation_ranges(self):
+        generator = InstanceGenerator(seed=9)
+        attributes = generator.attributes(speed_range=(0.5, 0.6), time_unit_range=(2.0, 2.0))
+        assert 0.5 <= attributes.speed <= 0.6
+        assert attributes.time_unit == pytest.approx(2.0)
+
+    def test_impossible_range_rejected(self):
+        generator = InstanceGenerator(seed=1)
+        with pytest.raises(InvalidParameterError):
+            generator.rendezvous_instance(distance_range=(0.1, 0.2), visibility_range=(0.5, 0.6))
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            InstanceGenerator().search_suite(0)
+
+
+class TestAdversarial:
+    def test_worst_case_orientation_is_pi(self):
+        assert worst_case_orientation(0.5) == pytest.approx(math.pi)
+
+    def test_mirrored_worst_instance_is_feasible(self):
+        instance = mirrored_worst_instance(0.5, 1.5, 0.3)
+        assert is_feasible(instance.attributes)
+        assert instance.attributes.chirality == -1
+
+    def test_mirrored_worst_instance_requires_slow_robot(self):
+        with pytest.raises(InvalidParameterError):
+            mirrored_worst_instance(1.5, 1.0, 0.3)
+
+    def test_infeasible_instances_really_are_infeasible(self):
+        assert not is_feasible(infeasible_identical_instance(1.0, 0.2).attributes)
+        assert not is_feasible(infeasible_mirrored_instance(1.1, 1.0, 0.2).attributes)
+
+    def test_near_symmetric_attributes(self):
+        assert near_symmetric_attributes(0.01, "speed").speed == pytest.approx(0.99)
+        assert near_symmetric_attributes(0.01, "clock").time_unit == pytest.approx(0.99)
+        assert near_symmetric_attributes(0.01, "orientation").orientation == pytest.approx(0.01)
+        with pytest.raises(InvalidParameterError):
+            near_symmetric_attributes(0.01, "bogus")
+
+
+class TestSuites:
+    def test_search_sweep_suite_is_nonempty_and_valid(self):
+        suite = search_sweep_suite()
+        assert len(suite) > 20
+        assert all(instance.distance > instance.visibility for instance in suite)
+
+    def test_random_suites_are_deterministic(self):
+        assert [i.visibility for i in search_random_suite(5, seed=3)] == pytest.approx(
+            [i.visibility for i in search_random_suite(5, seed=3)]
+        )
+
+    def test_symmetric_clock_suite_is_feasible_and_clock_free(self):
+        for instance in symmetric_clock_suite():
+            assert instance.attributes.time_unit == 1.0
+            assert is_feasible(instance.attributes)
+
+    def test_mirrored_suite_uses_slow_mirrored_robots(self):
+        for instance in mirrored_suite():
+            assert instance.attributes.chirality == -1
+            assert instance.attributes.speed < 1.0
+
+    def test_asymmetric_suite_has_differing_clocks(self):
+        for instance in asymmetric_clock_suite():
+            assert instance.attributes.time_unit != 1.0
+
+    def test_feasibility_grid_labels_match_the_theorem(self):
+        for label, instance, expected in feasibility_grid():
+            assert is_feasible(instance.attributes) == expected, label
+
+    def test_baseline_suite_size(self):
+        assert len(baseline_comparison_suite(count=7)) == 7
+        with pytest.raises(InvalidParameterError):
+            baseline_comparison_suite(count=0)
