@@ -1,0 +1,106 @@
+"""Throughput benchmark for the ``repro.api`` batch facade.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_api.py [--processes N] [--output PATH]
+
+Measures batch solve throughput (specs/second) across the facade's three
+levers -- backend fidelity, worker pool, result cache -- on the
+deterministic workload suites, and writes a ``BENCH_api.json`` snapshot
+next to the other benchmark artefacts so future PRs can track the
+trajectory.
+
+Scenarios:
+
+* ``analytic_serial``        -- closed forms only, one process;
+* ``simulation_serial_cold`` -- full simulation, one process, empty cache;
+* ``simulation_serial_warm`` -- same runner again: every spec cache-hits;
+* ``simulation_pooled_cold`` -- full simulation fanned out over a pool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro._version import __version__
+from repro.api import BatchRunner
+from repro.workloads import spec_suite
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_api.json"
+
+
+def _workload() -> list:
+    """The benchmark workload: every deterministic suite, concatenated."""
+    specs = []
+    for name in ("search-sweep", "symmetric-clock", "asymmetric-clock"):
+        specs.extend(spec_suite(name))
+    return specs
+
+
+def _measure(runner: BatchRunner, specs: list) -> dict:
+    start = time.perf_counter()
+    results, stats = runner.run(specs)
+    wall = time.perf_counter() - start
+    solved = sum(1 for result in results if result.solved)
+    return {
+        "specs": stats.total,
+        "unique": stats.unique,
+        "cache_hits": stats.cache_hits,
+        "processes": stats.processes,
+        "wall_time_s": round(wall, 4),
+        "specs_per_second": round(stats.total / wall, 2) if wall > 0 else None,
+        "solved": solved,
+    }
+
+
+def run_benchmark(processes: int) -> dict:
+    specs = _workload()
+
+    analytic = BatchRunner(backend="analytic")
+    simulation = BatchRunner(backend="simulation")
+    pooled = BatchRunner(backend="simulation", processes=processes)
+
+    scenarios = {
+        "analytic_serial": _measure(analytic, specs),
+        "simulation_serial_cold": _measure(simulation, specs),
+        "simulation_serial_warm": _measure(simulation, specs),
+        "simulation_pooled_cold": _measure(pooled, specs),
+    }
+    return {
+        "benchmark": "repro.api batch solve throughput",
+        "library_version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "generated_at_unix": int(time.time()),
+        "workload": {
+            "suites": ["search-sweep", "symmetric-clock", "asymmetric-clock"],
+            "total_specs": len(specs),
+        },
+        "scenarios": scenarios,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--processes", type=int, default=2, help="pool size for the pooled scenario"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="where to write the JSON snapshot"
+    )
+    namespace = parser.parse_args()
+
+    snapshot = run_benchmark(namespace.processes)
+    namespace.output.parent.mkdir(parents=True, exist_ok=True)
+    namespace.output.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
+
+    print(json.dumps(snapshot, indent=2))
+    print(f"\nsnapshot written to {namespace.output}")
+
+
+if __name__ == "__main__":
+    main()

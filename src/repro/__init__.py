@@ -11,26 +11,42 @@ The package is organised as:
 * :mod:`repro.algorithms` -- the paper's Algorithms 1-7 plus baselines;
 * :mod:`repro.simulation` -- the continuous-time event-driven simulator;
 * :mod:`repro.core`       -- feasibility, closed-form bounds, schedules and
-  the high-level ``solve_search`` / ``solve_rendezvous`` API;
+  the engine-level ``solve_search`` / ``solve_rendezvous`` entry points;
+* :mod:`repro.api`        -- the unified facade: serializable problem
+  specs, pluggable solver backends (analytic / simulation / auto) and
+  batched execution -- the recommended front door;
 * :mod:`repro.analysis`, :mod:`repro.workloads`, :mod:`repro.viz`,
   :mod:`repro.experiments` -- the evaluation harness reproducing every
   theorem, lemma and figure of the paper.
 
 Quickstart::
 
-    from repro import RobotAttributes, RendezvousInstance, Vec2
-    from repro import solve_rendezvous
+    from repro.api import RendezvousProblem, solve
 
-    instance = RendezvousInstance(
-        separation=Vec2(2.0, 1.0),
-        visibility=0.25,
-        attributes=RobotAttributes(speed=1.5),
-    )
-    report = solve_rendezvous(instance)
-    print(report.summary())
+    spec = RendezvousProblem(distance=2.2, visibility=0.25, speed=1.5)
+    result = solve(spec)
+    print(result.summary())
+    print(result.to_json(indent=2))
+
+The pre-facade entry points (``solve_search`` / ``solve_rendezvous`` on
+rich instances) remain available as thin compatibility shims; see
+``CHANGES.md`` for the deprecation policy.
 """
 
 from ._version import __version__
+from .api import (
+    BatchRunner,
+    GatheringMember,
+    GatheringProblem,
+    ProblemSpec,
+    RendezvousProblem,
+    SearchProblem,
+    SolveResult,
+    solve,
+    solve_batch,
+    spec_from_dict,
+    spec_from_json,
+)
 from .algorithms import (
     MobilityAlgorithm,
     SearchAll,
@@ -72,6 +88,17 @@ from .simulation import (
 
 __all__ = [
     "__version__",
+    "BatchRunner",
+    "GatheringMember",
+    "GatheringProblem",
+    "ProblemSpec",
+    "RendezvousProblem",
+    "SearchProblem",
+    "SolveResult",
+    "solve",
+    "solve_batch",
+    "spec_from_dict",
+    "spec_from_json",
     "MobilityAlgorithm",
     "SearchAll",
     "SearchAllRev",

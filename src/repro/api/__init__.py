@@ -1,0 +1,79 @@
+"""``repro.api`` -- the single front door of the library.
+
+Every way of solving a problem -- closed-form bounds, the continuous-time
+simulation engine, batched sweeps -- sits behind one request/response
+seam:
+
+* :mod:`repro.api.spec`     -- frozen, JSON-round-trippable problem specs
+  with canonical hashing (:class:`SearchProblem`,
+  :class:`RendezvousProblem`, :class:`GatheringProblem`);
+* :mod:`repro.api.backends` -- pluggable solver backends behind a name
+  registry (``analytic`` / ``simulation`` / ``auto``) and the
+  single-spec :func:`solve` entry point;
+* :mod:`repro.api.result`   -- the uniform :class:`SolveResult` envelope
+  (measured time, bound, provenance), also JSON-round-trippable;
+* :mod:`repro.api.batch`    -- :class:`BatchRunner`, the throughput path:
+  LRU result cache, deterministic seeding and multiprocessing fan-out.
+
+Quickstart::
+
+    from repro.api import RendezvousProblem, solve
+
+    spec = RendezvousProblem(distance=1.7, visibility=0.3, speed=0.6)
+    result = solve(spec)                    # auto backend: simulates
+    print(result.summary())
+    print(result.to_json(indent=2))         # stable wire format
+
+    from repro.api import BatchRunner
+    runner = BatchRunner(backend="simulation", processes=4)
+    results, stats = runner.run(sweep_of_specs)
+"""
+
+from .backends import (
+    AnalyticBackend,
+    AutoBackend,
+    SimulationBackend,
+    SolverBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+    solve,
+)
+from .batch import BatchRunner, BatchStats, solve_batch
+from .result import Provenance, SolveResult
+from .spec import (
+    SCHEMA_VERSION,
+    GatheringMember,
+    GatheringProblem,
+    ProblemSpec,
+    RendezvousProblem,
+    SearchProblem,
+    spec_from_dict,
+    spec_from_json,
+    spec_kinds,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ProblemSpec",
+    "SearchProblem",
+    "RendezvousProblem",
+    "GatheringMember",
+    "GatheringProblem",
+    "spec_from_dict",
+    "spec_from_json",
+    "spec_kinds",
+    "Provenance",
+    "SolveResult",
+    "SolverBackend",
+    "AnalyticBackend",
+    "SimulationBackend",
+    "AutoBackend",
+    "backend_names",
+    "register_backend",
+    "create_backend",
+    "solve",
+    "BatchRunner",
+    "BatchStats",
+    "solve_batch",
+]

@@ -1,0 +1,215 @@
+"""Batched solving: the facade's throughput path.
+
+A :class:`BatchRunner` turns an iterable of specs into a list of
+:class:`~repro.api.result.SolveResult` envelopes, with three throughput
+levers on top of the single-spec facade:
+
+* **result cache** -- an LRU keyed by ``(backend, canonical spec hash)``;
+  sweep workloads revisit the same spec (warm-up rows, shared baselines)
+  and pay for it once.
+* **multiprocessing** -- cache misses fan out over a worker pool in
+  chunks; specs and results cross process boundaries in their JSON-dict
+  form, so only the stable wire format is pickled.  Only the untouched
+  built-in backends fan out: a backend registered -- or a built-in name
+  replaced -- at runtime would not resolve the same way in a freshly
+  spawned worker's registry, so such backends always solve in-process.
+* **deterministic seeding** -- every spec carries a seed derived from its
+  canonical hash (see :meth:`~repro.api.spec.ProblemSpec.seed`),
+  recorded in the result provenance; the built-in backends are fully
+  deterministic, so a batch produces identical result fingerprints
+  whether it runs serially, pooled, or split across machines.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from ..errors import InvalidParameterError
+from .backends import _REGISTRY as _BACKEND_REGISTRY
+from .backends import AnalyticBackend, AutoBackend, SimulationBackend, solve
+from .result import SolveResult
+from .spec import ProblemSpec, spec_from_dict
+
+__all__ = ["BatchStats", "BatchRunner", "solve_batch"]
+
+#: The import-time backend registrations.  A worker process re-imports the
+#: module and sees exactly these; any runtime registration or replacement
+#: would be invisible there, so such backends must solve in-process.
+_BUILTIN_FACTORIES = {
+    AnalyticBackend.name: AnalyticBackend,
+    SimulationBackend.name: SimulationBackend,
+    AutoBackend.name: AutoBackend,
+}
+
+
+def _pool_safe(backend: str) -> bool:
+    """True when ``backend`` resolves identically in a fresh worker."""
+    return _BACKEND_REGISTRY.get(backend) is _BUILTIN_FACTORIES.get(backend)
+
+
+def _solve_serialized(payload: tuple[str, dict[str, Any]]) -> dict[str, Any]:
+    """Pool worker: solve one spec shipped as its wire-format dict."""
+    backend_name, spec_dict = payload
+    spec = spec_from_dict(spec_dict)
+    return solve(spec, backend=backend_name).to_dict()
+
+
+@dataclass(frozen=True, slots=True)
+class BatchStats:
+    """Bookkeeping for one :meth:`BatchRunner.run` call."""
+
+    total: int
+    unique: int
+    cache_hits: int
+    solved_in_pool: int
+    processes: int
+    chunksize: int
+    wall_time: float
+
+    @property
+    def specs_per_second(self) -> float:
+        """End-to-end throughput of the batch (including cache hits)."""
+        if self.wall_time <= 0.0:
+            return float("inf")
+        return self.total / self.wall_time
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"{self.total} specs ({self.unique} unique, {self.cache_hits} cache hits) "
+            f"in {self.wall_time:.3f}s = {self.specs_per_second:.1f} specs/s "
+            f"[{self.processes} process(es), chunksize {self.chunksize}]"
+        )
+
+
+class BatchRunner:
+    """Solve iterables of specs with caching and optional worker pools.
+
+    Args:
+        backend: backend name every spec is solved with (``"auto"`` by
+            default; any registered name works).
+        processes: worker-pool size; ``None`` or ``1`` solves serially in
+            this process.
+        chunksize: specs per pool task; defaults to an even split across
+            ``4 * processes`` waves (bounds scheduling overhead without
+            starving the pool on skewed workloads).
+        cache_size: maximum number of results kept in the LRU cache
+            (``0`` disables caching).
+    """
+
+    def __init__(
+        self,
+        backend: str = "auto",
+        processes: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        cache_size: int = 4096,
+    ) -> None:
+        if processes is not None and processes < 1:
+            raise InvalidParameterError(f"processes must be >= 1, got {processes!r}")
+        if chunksize is not None and chunksize < 1:
+            raise InvalidParameterError(f"chunksize must be >= 1, got {chunksize!r}")
+        if cache_size < 0:
+            raise InvalidParameterError(f"cache_size must be >= 0, got {cache_size!r}")
+        self.backend = backend
+        self.processes = processes
+        self.chunksize = chunksize
+        self.cache_size = cache_size
+        self._cache: OrderedDict[tuple[str, str], SolveResult] = OrderedDict()
+
+    # -- cache -----------------------------------------------------------------
+    def clear_cache(self) -> None:
+        """Drop every cached result."""
+        self._cache.clear()
+
+    @property
+    def cache_len(self) -> int:
+        """Number of results currently cached."""
+        return len(self._cache)
+
+    def _cache_get(self, key: tuple[str, str]) -> Optional[SolveResult]:
+        result = self._cache.get(key)
+        if result is not None:
+            self._cache.move_to_end(key)
+        return result
+
+    def _cache_put(self, key: tuple[str, str], result: SolveResult) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # -- solving ---------------------------------------------------------------
+    def solve_many(self, specs: Iterable[ProblemSpec]) -> list[SolveResult]:
+        """Solve every spec, in input order (see :meth:`run` for stats)."""
+        return self.run(specs)[0]
+
+    def run(self, specs: Iterable[ProblemSpec]) -> tuple[list[SolveResult], BatchStats]:
+        """Solve every spec and report batch statistics.
+
+        Duplicate specs (equal canonical hash) are solved once.  The
+        returned list matches the input order and length exactly.
+        """
+        spec_list: Sequence[ProblemSpec] = list(specs)
+        start = time.perf_counter()
+        keys = [(self.backend, spec.canonical_hash()) for spec in spec_list]
+
+        resolved: dict[tuple[str, str], SolveResult] = {}
+        misses: list[tuple[tuple[str, str], ProblemSpec]] = []
+        cache_hits = 0
+        for key, spec in zip(keys, spec_list):
+            if key in resolved:
+                continue
+            cached = self._cache_get(key)
+            if cached is not None:
+                resolved[key] = cached
+                cache_hits += 1
+            else:
+                resolved[key] = None  # type: ignore[assignment]  # placeholder, filled below
+                misses.append((key, spec))
+
+        processes = self.processes or 1
+        use_pool = processes > 1 and len(misses) > 1 and _pool_safe(self.backend)
+        chunksize = self.chunksize or max(1, len(misses) // (4 * processes) or 1)
+        solved_in_pool = 0
+        if use_pool:
+            import multiprocessing
+
+            payloads = [(self.backend, spec.to_dict()) for _, spec in misses]
+            with multiprocessing.Pool(processes) as pool:
+                raw = pool.map(_solve_serialized, payloads, chunksize=chunksize)
+            for (key, _), data in zip(misses, raw):
+                result = SolveResult.from_dict(data)
+                resolved[key] = result
+                self._cache_put(key, result)
+            solved_in_pool = len(misses)
+        else:
+            for key, spec in misses:
+                result = solve(spec, backend=self.backend)
+                resolved[key] = result
+                self._cache_put(key, result)
+
+        wall_time = time.perf_counter() - start
+        stats = BatchStats(
+            total=len(spec_list),
+            unique=len(resolved),
+            cache_hits=cache_hits,
+            solved_in_pool=solved_in_pool,
+            processes=processes if use_pool else 1,
+            chunksize=chunksize if use_pool else 1,
+            wall_time=wall_time,
+        )
+        return [resolved[key] for key in keys], stats
+
+
+def solve_batch(
+    specs: Iterable[ProblemSpec],
+    backend: str = "auto",
+    processes: Optional[int] = None,
+) -> list[SolveResult]:
+    """One-shot convenience wrapper around a throwaway :class:`BatchRunner`."""
+    return BatchRunner(backend=backend, processes=processes).solve_many(specs)

@@ -1,0 +1,184 @@
+"""The uniform result envelope returned by every solver backend.
+
+A :class:`SolveResult` carries the answer (feasibility, measured time,
+analytic bound), the provenance needed to reproduce or audit it (backend,
+spec hash, seed, library version, wall time) and backend-specific details
+in a JSON-safe mapping.  Like specs, results round-trip through JSON, so a
+batch of results can be written to disk by one process and re-read by
+another without loss.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional
+
+from .._version import __version__
+from ..errors import InvalidParameterError
+from .spec import SCHEMA_VERSION, ProblemSpec, spec_from_dict
+
+__all__ = ["Provenance", "SolveResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class Provenance:
+    """Where a result came from and what it cost to produce.
+
+    Attributes:
+        backend: name of the backend that actually solved the spec.
+        fidelity: ``"bound"`` (closed form only) or ``"measured"``
+            (continuous-time simulation).
+        spec_hash: canonical hash of the solved spec (the cache key).
+        seed: the deterministic per-spec seed.
+        schema_version: spec wire-format version at solve time.
+        library_version: ``repro.__version__`` at solve time.
+        wall_time: seconds spent inside the backend.
+    """
+
+    backend: str
+    fidelity: str
+    spec_hash: str
+    seed: int
+    schema_version: int = SCHEMA_VERSION
+    library_version: str = __version__
+    wall_time: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "fidelity": self.fidelity,
+            "spec_hash": self.spec_hash,
+            "seed": self.seed,
+            "schema_version": self.schema_version,
+            "library_version": self.library_version,
+            "wall_time": self.wall_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Provenance":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True, slots=True)
+class SolveResult:
+    """Uniform answer envelope for every problem kind and backend.
+
+    Attributes:
+        spec: the problem that was solved.
+        feasible: Theorem 4 verdict (None for plain search, which is
+            always solvable).
+        solved: whether the simulated event fired before the horizon
+            (None when no simulation ran, i.e. analytic fidelity).
+        measured_time: simulated solve time (None without simulation or
+            when unsolved).
+        bound: the paper's closed-form time bound (None when no finite
+            bound applies, e.g. infeasible rendezvous).
+        algorithm: mobility algorithm that was simulated (None for
+            analytic results).
+        details: JSON-safe backend-specific extras (verdict text,
+            guaranteed round, effort counters, gathering breakdowns...).
+        provenance: reproducibility record, see :class:`Provenance`.
+    """
+
+    spec: ProblemSpec
+    feasible: Optional[bool]
+    solved: Optional[bool]
+    measured_time: Optional[float]
+    bound: Optional[float]
+    algorithm: Optional[str]
+    details: Mapping[str, Any]
+    provenance: Provenance
+
+    # -- derived ---------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        """The solved problem's kind."""
+        return self.spec.kind
+
+    @property
+    def backend(self) -> str:
+        """Name of the backend that produced this result."""
+        return self.provenance.backend
+
+    @property
+    def bound_ratio(self) -> Optional[float]:
+        """Measured time over the analytic bound (None when either is missing)."""
+        if self.measured_time is None or self.bound is None or self.bound == 0.0:
+            return None
+        return self.measured_time / self.bound
+
+    # -- wire format -----------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Full JSON-safe envelope (round-trips via :meth:`from_dict`)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "spec": self.spec.to_dict(),
+            "feasible": self.feasible,
+            "solved": self.solved,
+            "measured_time": self.measured_time,
+            "bound": self.bound,
+            "bound_ratio": self.bound_ratio,
+            "algorithm": self.algorithm,
+            "details": dict(self.details),
+            "provenance": self.provenance.to_dict(),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolveResult":
+        payload = dict(data)
+        version = payload.pop("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise InvalidParameterError(
+                f"unsupported result schema_version {version!r} "
+                f"(this library speaks {SCHEMA_VERSION})"
+            )
+        payload.pop("bound_ratio", None)  # derived, recomputed from fields
+        spec = spec_from_dict(payload.pop("spec"))
+        provenance = Provenance.from_dict(payload.pop("provenance"))
+        return cls(spec=spec, provenance=provenance, **payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveResult":
+        return cls.from_dict(json.loads(text))
+
+    def fingerprint(self) -> dict[str, Any]:
+        """The envelope minus wall-clock time: equal for identical reruns.
+
+        Two runs of the same spec on the same backend -- serial, pooled or
+        in different processes -- produce equal fingerprints; only the
+        ``wall_time`` provenance field may differ.
+        """
+        data = self.to_dict()
+        data["provenance"] = replace(self.provenance, wall_time=0.0).to_dict()
+        return data
+
+    # -- presentation ----------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable multi-line summary (what the CLI prints)."""
+        lines = [self.spec.describe()]
+        verdict = self.details.get("verdict")
+        if verdict:
+            lines.append(str(verdict))
+        if self.algorithm:
+            lines.append(f"algorithm: {self.algorithm}")
+        bound_label = "Theorem 1 bound" if self.kind == "search" else "bound"
+        if self.solved:
+            bound_text = f"{self.bound:.6g}" if self.bound is not None else "n/a"
+            ratio = self.bound_ratio
+            ratio_text = f"{ratio:.3f}" if ratio is not None else "n/a"
+            lines.append(
+                f"measured time: {self.measured_time:.6g}  |  {bound_label}: {bound_text}  "
+                f"(ratio {ratio_text})"
+            )
+        elif self.solved is False:
+            horizon = self.details.get("horizon")
+            horizon_text = f" {horizon:.6g}" if isinstance(horizon, (int, float)) else ""
+            lines.append(f"not solved within horizon{horizon_text}")
+        elif self.bound is not None:
+            lines.append(f"analytic {bound_label}: {self.bound:.6g} (no simulation requested)")
+        lines.append(f"[{self.backend} backend, {self.provenance.wall_time * 1e3:.2f} ms]")
+        return "\n".join(lines)

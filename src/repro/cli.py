@@ -1,30 +1,51 @@
 """Command-line interface.
 
-Four sub-commands::
+Sub-commands::
 
+    repro solve        --kind rendezvous --distance 1.5 --visibility 0.3 --speed 0.7 --json
+    repro solve        --spec-file specs.json --backend analytic --processes 4
     repro feasibility  --speed 1.0 --time-unit 0.5 --orientation 0 --chirality 1
-    repro search       --distance 1.5 --bearing 0.8 --visibility 0.3
-    repro rendezvous   --distance 1.5 --bearing 0.8 --visibility 0.3 --speed 0.7 ...
+    repro search       --distance 1.5 --bearing 0.8 --visibility 0.3 [--json]
+    repro rendezvous   --distance 1.5 --bearing 0.8 --visibility 0.3 --speed 0.7 ... [--json]
     repro experiments  --all [--quick] [--output results/]
     repro schedule     --rounds 4 --tau 0.5
+    repro gather       --robot X,Y,V,TAU,PHI,CHI ... --visibility 0.4
 
 (also available as ``python -m repro ...``).
+
+``solve`` is the facade entry point: it accepts a problem spec either as
+flags or as a JSON file (one spec object or a list; ``-`` reads stdin),
+dispatches it through the :mod:`repro.api` backend registry and prints
+either a human summary or the JSON ``SolveResult`` envelope.  The older
+``search`` / ``rendezvous`` sub-commands are kept as thin wrappers over
+the same facade and grew a ``--json`` flag.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
 
-from .core import classify_feasibility, solve_rendezvous, solve_search
+from .api import (
+    BatchRunner,
+    GatheringMember,
+    GatheringProblem,
+    ProblemSpec,
+    RendezvousProblem,
+    SearchProblem,
+    backend_names,
+    spec_from_dict,
+)
+from .api import solve as api_solve
+from .core import classify_feasibility
 from .core.schedule import RoundSchedule
-from .errors import ReproError
+from .errors import InvalidParameterError, ReproError
 from .experiments import experiment_ids, run_all, run_experiment, write_summary
 from .geometry import Vec2
 from .robots import RobotAttributes
-from .simulation import RendezvousInstance, SearchInstance
 from .viz import overlap_rows, render_schedule_ascii
 
 __all__ = ["main", "build_parser"]
@@ -41,13 +62,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    solve = subparsers.add_parser(
+        "solve", help="solve problem specs through the repro.api facade"
+    )
+    solve.add_argument(
+        "--spec-file",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="JSON file holding one spec object or a list of specs ('-' reads stdin)",
+    )
+    solve.add_argument(
+        "--kind",
+        choices=("search", "rendezvous", "gathering"),
+        default=None,
+        help="problem kind when building the spec from flags",
+    )
+    solve.add_argument("--distance", type=float, default=None, help="initial distance d")
+    solve.add_argument("--bearing", type=float, default=0.0, help="bearing in radians")
+    solve.add_argument("--visibility", type=float, default=None, help="visibility radius r")
+    solve.add_argument(
+        "--horizon", type=float, default=None, help="explicit simulation horizon"
+    )
+    solve.add_argument(
+        "--allow-infeasible",
+        action="store_true",
+        help="simulate even when Theorem 4 says infeasible (needs --horizon)",
+    )
+    solve.add_argument(
+        "--robot",
+        action="append",
+        default=None,
+        metavar="X,Y,V,TAU,PHI,CHI",
+        help="gathering swarm member (repeat per robot; only with --kind gathering)",
+    )
+    _add_attribute_arguments(solve)
+    solve.add_argument(
+        "--backend",
+        default="auto",
+        help=f"solver backend (registered: {', '.join(backend_names())})",
+    )
+    solve.add_argument(
+        "--processes", type=int, default=None, help="worker processes for multi-spec files"
+    )
+    solve.add_argument(
+        "--json", action="store_true", help="emit the SolveResult envelope(s) as JSON"
+    )
+
     feasibility = subparsers.add_parser("feasibility", help="apply the Theorem 4 feasibility test")
     _add_attribute_arguments(feasibility)
+    feasibility.add_argument(
+        "--json", action="store_true", help="emit the verdict as JSON"
+    )
 
     search = subparsers.add_parser("search", help="simulate the universal search (Algorithm 4)")
     search.add_argument("--distance", type=float, required=True, help="target distance d")
     search.add_argument("--bearing", type=float, default=0.0, help="target bearing in radians")
     search.add_argument("--visibility", type=float, required=True, help="visibility radius r")
+    search.add_argument(
+        "--json", action="store_true", help="emit the SolveResult envelope as JSON"
+    )
 
     rendezvous = subparsers.add_parser("rendezvous", help="simulate a rendezvous instance")
     rendezvous.add_argument("--distance", type=float, required=True, help="initial distance d")
@@ -60,6 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--allow-infeasible", action="store_true", help="simulate even when Theorem 4 says infeasible"
     )
     _add_attribute_arguments(rendezvous)
+    rendezvous.add_argument(
+        "--json", action="store_true", help="emit the SolveResult envelope as JSON"
+    )
 
     experiments = subparsers.add_parser("experiments", help="run the evaluation harness")
     experiments.add_argument("ids", nargs="*", help="experiment identifiers (e.g. E01 F03)")
@@ -104,31 +181,124 @@ def _attributes_from(namespace: argparse.Namespace) -> RobotAttributes:
     )
 
 
+# -- the facade sub-command ---------------------------------------------------------
+
+
+def _specs_from_file(path: str) -> tuple[list[ProblemSpec], bool]:
+    """Parse a spec file; the flag reports whether the file held a JSON list.
+
+    List-ness is preserved in the ``--json`` output: a file containing a
+    one-element list still prints a one-element array, so downstream
+    consumers see a stable shape regardless of batch size.
+    """
+    text = sys.stdin.read() if path == "-" else Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise InvalidParameterError(f"invalid spec JSON in {path!r}: {error}") from error
+    if isinstance(data, list):
+        return [spec_from_dict(item) for item in data], True
+    return [spec_from_dict(data)], False
+
+
+def _spec_from_flags(namespace: argparse.Namespace) -> ProblemSpec:
+    if namespace.kind is None:
+        raise InvalidParameterError("pass --spec-file FILE or --kind with problem flags")
+    if namespace.kind == "gathering":
+        if not namespace.robot:
+            raise InvalidParameterError("--kind gathering needs at least two --robot members")
+        members = tuple(
+            _gathering_member_from(specification) for specification in namespace.robot
+        )
+        if namespace.visibility is None:
+            raise InvalidParameterError("--kind gathering needs --visibility")
+        return GatheringProblem(
+            members=members,
+            visibility=namespace.visibility,
+            horizon=namespace.horizon if namespace.horizon is not None else 20000.0,
+        )
+    if namespace.distance is None or namespace.visibility is None:
+        raise InvalidParameterError(f"--kind {namespace.kind} needs --distance and --visibility")
+    if namespace.kind == "search":
+        return SearchProblem(
+            distance=namespace.distance,
+            visibility=namespace.visibility,
+            bearing=namespace.bearing,
+        )
+    return RendezvousProblem(
+        distance=namespace.distance,
+        visibility=namespace.visibility,
+        bearing=namespace.bearing,
+        speed=namespace.speed,
+        time_unit=namespace.time_unit,
+        orientation=namespace.orientation,
+        chirality=namespace.chirality,
+        horizon=namespace.horizon,
+        allow_infeasible=namespace.allow_infeasible,
+    )
+
+
+def _command_solve(namespace: argparse.Namespace) -> int:
+    if namespace.spec_file is not None:
+        specs, emit_list = _specs_from_file(namespace.spec_file)
+    else:
+        specs, emit_list = [_spec_from_flags(namespace)], False
+    runner = BatchRunner(backend=namespace.backend, processes=namespace.processes)
+    results, stats = runner.run(specs)
+    if namespace.json:
+        if emit_list:
+            print(json.dumps([result.to_dict() for result in results], indent=2))
+        else:
+            print(results[0].to_json(indent=2))
+    else:
+        for result in results:
+            print(result.summary())
+            print()
+        print(stats.describe())
+    return 0
+
+
+# -- classic sub-commands (thin wrappers over the facade) ----------------------------
+
+
 def _command_feasibility(namespace: argparse.Namespace) -> int:
     verdict = classify_feasibility(_attributes_from(namespace))
-    print(verdict.describe())
+    if namespace.json:
+        print(
+            json.dumps(
+                {"feasible": verdict.feasible, "reasons": list(verdict.reasons)}, indent=2
+            )
+        )
+    else:
+        print(verdict.describe())
     return 0
 
 
 def _command_search(namespace: argparse.Namespace) -> int:
-    instance = SearchInstance(
-        target=Vec2.polar(namespace.distance, namespace.bearing), visibility=namespace.visibility
+    spec = SearchProblem(
+        distance=namespace.distance,
+        visibility=namespace.visibility,
+        bearing=namespace.bearing,
     )
-    report = solve_search(instance)
-    print(report.summary())
+    result = api_solve(spec, backend="simulation")
+    print(result.to_json(indent=2) if namespace.json else result.summary())
     return 0
 
 
 def _command_rendezvous(namespace: argparse.Namespace) -> int:
-    instance = RendezvousInstance(
-        separation=Vec2.polar(namespace.distance, namespace.bearing),
+    spec = RendezvousProblem(
+        distance=namespace.distance,
         visibility=namespace.visibility,
-        attributes=_attributes_from(namespace),
+        bearing=namespace.bearing,
+        speed=namespace.speed,
+        time_unit=namespace.time_unit,
+        orientation=namespace.orientation,
+        chirality=namespace.chirality,
+        horizon=namespace.horizon,
+        allow_infeasible=namespace.allow_infeasible,
     )
-    report = solve_rendezvous(
-        instance, horizon=namespace.horizon, allow_infeasible=namespace.allow_infeasible
-    )
-    print(report.summary())
+    result = api_solve(spec, backend="simulation")
+    print(result.to_json(indent=2) if namespace.json else result.summary())
     return 0
 
 
@@ -177,6 +347,18 @@ def _parse_swarm_member(specification: str) -> tuple[Vec2, RobotAttributes]:
     )
 
 
+def _gathering_member_from(specification: str) -> GatheringMember:
+    position, attributes = _parse_swarm_member(specification)
+    return GatheringMember(
+        x=position.x,
+        y=position.y,
+        speed=attributes.speed,
+        time_unit=attributes.time_unit,
+        orientation=attributes.orientation,
+        chirality=attributes.chirality,
+    )
+
+
 def _command_gather(namespace: argparse.Namespace) -> int:
     from .gathering import GatheringInstance, simulate_gathering, swarm_feasibility
 
@@ -194,6 +376,7 @@ def _command_gather(namespace: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "solve": _command_solve,
     "feasibility": _command_feasibility,
     "search": _command_search,
     "rendezvous": _command_rendezvous,

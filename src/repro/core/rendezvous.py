@@ -1,6 +1,12 @@
-"""High-level rendezvous API.
+"""Engine-level rendezvous entry point.
 
-``solve_rendezvous`` is the main entry point of the library: it applies
+New code should prefer the :mod:`repro.api` facade
+(``solve(RendezvousProblem(...))``), which wraps this function behind the
+serializable spec/result envelope and the backend registry; this module
+remains as the engine the simulation backend calls and as a stable
+compatibility shim for existing imports.
+
+``solve_rendezvous`` is the engine entry point of the library: it applies
 the Theorem 4 feasibility test, picks the right algorithm for the instance
 (Algorithm 4 when the clocks agree, the universal Algorithm 7 otherwise --
 or always Algorithm 7 if asked to be fully attribute-oblivious), derives a

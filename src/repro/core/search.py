@@ -1,10 +1,16 @@
-"""High-level search API: run Algorithm 4 on an instance and report.
+"""Engine-level search entry point: run Algorithm 4 on an instance and report.
 
 ``solve_search`` wires together the pieces a user would otherwise have to
 assemble by hand: it picks the universal search algorithm (or any other
 registered mobility algorithm), derives a horizon from Theorem 1, runs the
 continuous-time simulation, and returns a report comparing the measured
 search time against the paper's bound.
+
+New code should prefer the :mod:`repro.api` facade
+(``solve(SearchProblem(...))``), which wraps this function behind the
+serializable spec/result envelope and the backend registry; this module
+remains as the engine the simulation backend calls and as a stable
+compatibility shim for existing imports.
 """
 
 from __future__ import annotations

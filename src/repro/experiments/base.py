@@ -9,11 +9,12 @@ artefact writing and the common "measured vs bound" bookkeeping.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..analysis import ExperimentReport
+from ..api import BatchRunner, ProblemSpec, SolveResult
 
-__all__ = ["finalize_report"]
+__all__ = ["finalize_report", "solve_specs"]
 
 
 def finalize_report(report: ExperimentReport, output_dir: Optional[Path | str]) -> ExperimentReport:
@@ -21,3 +22,18 @@ def finalize_report(report: ExperimentReport, output_dir: Optional[Path | str]) 
     if output_dir is not None:
         report.write_artifacts(Path(output_dir))
     return report
+
+
+def solve_specs(
+    specs: Iterable[ProblemSpec],
+    backend: str = "simulation",
+    processes: Optional[int] = None,
+) -> list[SolveResult]:
+    """Solve a batch of specs through the facade (the experiments' solve path).
+
+    Experiments default to the simulation backend -- they exist to compare
+    measured behaviour against the paper's bounds -- but share the facade's
+    batch runner, so caching and pooling come for free when a driver wants
+    them.
+    """
+    return BatchRunner(backend=backend, processes=processes).solve_many(specs)

@@ -16,9 +16,8 @@ from pathlib import Path
 from typing import Optional
 
 from ..analysis import ExperimentReport, Table, scaling_fit, summarize
-from ..core import solve_search
-from ..workloads import search_sweep_suite
-from .base import finalize_report
+from ..workloads import as_specs, search_sweep_suite
+from .base import finalize_report, solve_specs
 
 EXPERIMENT_ID = "E01"
 TITLE = "Universal search time vs the Theorem 1 bound"
@@ -32,9 +31,9 @@ def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> Experim
     report = ExperimentReport(
         experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
     )
-    instances = search_sweep_suite()
+    specs = as_specs(search_sweep_suite())
     if quick:
-        instances = instances[:: max(1, len(instances) // 12)]
+        specs = specs[:: max(1, len(specs) // 12)]
 
     table = Table(
         columns=["d", "r", "d^2/r", "measured", "bound", "ratio", "round"],
@@ -43,23 +42,22 @@ def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> Experim
     ratios = []
     shape_difficulties = []
     shape_times = []
-    for instance in instances:
-        result = solve_search(instance)
+    for spec, result in zip(specs, solve_specs(specs)):
         ratios.append(result.bound_ratio)
         table.add_row(
             [
-                instance.distance,
-                instance.visibility,
-                instance.difficulty,
-                result.time,
+                spec.distance,
+                spec.visibility,
+                spec.difficulty,
+                result.measured_time,
                 result.bound,
                 result.bound_ratio,
-                result.guaranteed_round,
+                result.details["guaranteed_round"],
             ]
         )
-        if instance.difficulty >= 8.0:
-            shape_difficulties.append(instance.difficulty)
-            shape_times.append(result.time)
+        if spec.difficulty >= 8.0:
+            shape_difficulties.append(spec.difficulty)
+            shape_times.append(result.measured_time)
 
     stats = summarize(ratios)
     report.add_note(f"bound ratios: {stats.describe()}")

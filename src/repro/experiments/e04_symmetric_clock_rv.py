@@ -12,10 +12,9 @@ from pathlib import Path
 from typing import Optional
 
 from ..analysis import ExperimentReport, Table, summarize
-from ..core import solve_rendezvous
 from ..core.reduction import RendezvousReduction
-from ..workloads import symmetric_clock_suite
-from .base import finalize_report
+from ..workloads import as_specs, symmetric_clock_suite
+from .base import finalize_report, solve_specs
 
 EXPERIMENT_ID = "E04"
 TITLE = "Symmetric-clock rendezvous vs the Theorem 2 bound (equal chirality)"
@@ -29,29 +28,28 @@ def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> Experim
     report = ExperimentReport(
         experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
     )
-    instances = symmetric_clock_suite()
+    specs = as_specs(symmetric_clock_suite())
     if quick:
-        instances = instances[:: max(1, len(instances) // 8)]
+        specs = specs[:: max(1, len(specs) // 8)]
 
     table = Table(
         columns=["v", "phi", "d", "r", "mu", "d^2/(mu r)", "measured", "bound", "ratio"],
         title="Measured rendezvous time vs Theorem 2 (chi = +1)",
     )
     ratios = []
-    for instance in instances:
-        result = solve_rendezvous(instance)
-        reduction = RendezvousReduction(instance.attributes)
+    for spec, result in zip(specs, solve_specs(specs)):
+        reduction = RendezvousReduction(spec.attributes)
         mu = reduction.mu
         ratios.append(result.bound_ratio)
         table.add_row(
             [
-                instance.attributes.speed,
-                instance.attributes.orientation,
-                instance.distance,
-                instance.visibility,
+                spec.speed,
+                spec.orientation,
+                spec.distance,
+                spec.visibility,
                 mu,
-                instance.difficulty / mu,
-                result.time,
+                spec.difficulty / mu,
+                result.measured_time,
                 result.bound,
                 result.bound_ratio,
             ]
@@ -66,6 +64,6 @@ def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> Experim
     )
     report.add_check(
         "all instances in the sweep rendezvoused (Theorem 2 feasibility)",
-        len([r for r in ratios if r is not None]) == len(instances),
+        len([r for r in ratios if r is not None]) == len(specs),
     )
     return finalize_report(report, output_dir)

@@ -9,16 +9,22 @@ from .adversarial import (
 )
 from .generators import InstanceGenerator
 from .suites import (
+    as_specs,
     asymmetric_clock_suite,
     baseline_comparison_suite,
     feasibility_grid,
     mirrored_suite,
     search_random_suite,
     search_sweep_suite,
+    spec_suite,
+    spec_suite_names,
     symmetric_clock_suite,
 )
 
 __all__ = [
+    "as_specs",
+    "spec_suite",
+    "spec_suite_names",
     "infeasible_identical_instance",
     "infeasible_mirrored_instance",
     "mirrored_worst_instance",

@@ -8,7 +8,9 @@ same work and results are comparable across machines and runs.
 from __future__ import annotations
 
 import math
+from typing import Callable, Iterable, Sequence
 
+from ..api.spec import ProblemSpec, RendezvousProblem, SearchProblem
 from ..errors import InvalidParameterError
 from ..geometry import Vec2
 from ..robots import RobotAttributes
@@ -24,6 +26,9 @@ __all__ = [
     "asymmetric_clock_suite",
     "feasibility_grid",
     "baseline_comparison_suite",
+    "as_specs",
+    "spec_suite",
+    "spec_suite_names",
 ]
 
 
@@ -172,3 +177,54 @@ def baseline_comparison_suite(count: int = 10, seed: int = 23) -> list[SearchIns
     return generator.search_suite(
         count, distance_range=(0.8, 3.0), visibility_range=(0.15, 0.45)
     )
+
+
+# -- facade bridging -----------------------------------------------------------------
+
+
+def as_specs(
+    instances: Iterable[SearchInstance | RendezvousInstance],
+) -> list[ProblemSpec]:
+    """Convert simulation-layer instances to :mod:`repro.api` problem specs.
+
+    The conversion is the bridge between the suites above (rich in-memory
+    instances) and the facade's serializable, hashable wire format used by
+    the batch runner and the benchmarks.
+    """
+    specs: list[ProblemSpec] = []
+    for instance in instances:
+        if isinstance(instance, SearchInstance):
+            specs.append(SearchProblem.from_instance(instance))
+        elif isinstance(instance, RendezvousInstance):
+            specs.append(RendezvousProblem.from_instance(instance))
+        else:
+            raise InvalidParameterError(
+                f"cannot convert {type(instance).__name__} to a problem spec"
+            )
+    return specs
+
+
+_SPEC_SUITES: dict[str, Callable[[], Sequence[SearchInstance | RendezvousInstance]]] = {
+    "search-sweep": search_sweep_suite,
+    "search-random": search_random_suite,
+    "symmetric-clock": symmetric_clock_suite,
+    "mirrored": mirrored_suite,
+    "asymmetric-clock": asymmetric_clock_suite,
+    "baseline-comparison": baseline_comparison_suite,
+}
+
+
+def spec_suite_names() -> list[str]:
+    """Sorted names of the workload suites available as spec lists."""
+    return sorted(_SPEC_SUITES)
+
+
+def spec_suite(name: str) -> list[ProblemSpec]:
+    """A named deterministic workload suite as facade specs."""
+    try:
+        factory = _SPEC_SUITES[name]
+    except KeyError as error:
+        raise InvalidParameterError(
+            f"unknown spec suite {name!r}; available: {', '.join(spec_suite_names())}"
+        ) from error
+    return as_specs(factory())

@@ -1,0 +1,156 @@
+"""Tests for BatchRunner: determinism (serial vs pooled), caching, ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import BatchRunner, RendezvousProblem, SearchProblem, solve, solve_batch
+from repro.errors import InvalidParameterError
+
+
+def _small_workload():
+    return [
+        SearchProblem(distance=1.2, visibility=0.3, bearing=0.6),
+        RendezvousProblem(distance=1.4, visibility=0.35, speed=0.6),
+        SearchProblem(distance=0.9, visibility=0.25, bearing=2.1),
+    ]
+
+
+def _fingerprints(results):
+    return [result.fingerprint() for result in results]
+
+
+class TestDeterminism:
+    def test_two_serial_runs_are_identical(self):
+        specs = _small_workload()
+        first = BatchRunner(backend="simulation").solve_many(specs)
+        second = BatchRunner(backend="simulation").solve_many(specs)
+        assert _fingerprints(first) == _fingerprints(second)
+
+    def test_serial_and_pooled_runs_are_identical(self):
+        specs = _small_workload()
+        serial = BatchRunner(backend="simulation").solve_many(specs)
+        pooled = BatchRunner(backend="simulation", processes=2).solve_many(specs)
+        assert _fingerprints(serial) == _fingerprints(pooled)
+
+    def test_runtime_registered_backend_solves_in_process_despite_pool(self):
+        from repro.api import SolverBackend, register_backend
+        from repro.api.backends import _REGISTRY
+
+        class EchoBackend(SolverBackend):
+            name = "echo-batch"
+            fidelity = "bound"
+
+            def _solve(self, spec):
+                return {
+                    "feasible": None,
+                    "solved": None,
+                    "measured_time": None,
+                    "bound": 7.0,
+                    "algorithm": None,
+                    "details": {},
+                }
+
+        register_backend("echo-batch", EchoBackend)
+        try:
+            # A spawn-style worker would not see the runtime registration,
+            # so custom backends must bypass the pool.
+            runner = BatchRunner(backend="echo-batch", processes=2)
+            results, stats = runner.run(_small_workload())
+            assert all(result.bound == 7.0 for result in results)
+            assert stats.processes == 1 and stats.solved_in_pool == 0
+        finally:
+            _REGISTRY.pop("echo-batch", None)
+
+        # Replacing a *builtin* name must equally bypass the pool: a fresh
+        # worker would resolve "analytic" to the original builtin.
+        original = _REGISTRY["analytic"]
+        register_backend("analytic", EchoBackend)
+        try:
+            runner = BatchRunner(backend="analytic", processes=2)
+            results, stats = runner.run(_small_workload())
+            assert all(result.bound == 7.0 for result in results)
+            assert stats.processes == 1 and stats.solved_in_pool == 0
+        finally:
+            register_backend("analytic", original)
+
+    def test_seeds_derive_from_the_spec_alone(self):
+        specs = _small_workload()
+        results = BatchRunner(backend="analytic").solve_many(specs)
+        assert [r.provenance.seed for r in results] == [s.seed() for s in specs]
+
+
+class TestOrderingAndDuplicates:
+    def test_results_match_input_order(self):
+        specs = _small_workload()
+        results = BatchRunner(backend="analytic").solve_many(specs)
+        assert [result.spec for result in results] == specs
+
+    def test_duplicate_specs_solved_once(self):
+        spec = SearchProblem(distance=1.2, visibility=0.3)
+        runner = BatchRunner(backend="analytic")
+        results, stats = runner.run([spec, spec, spec])
+        assert stats.total == 3 and stats.unique == 1
+        assert len(results) == 3
+        assert _fingerprints(results)[0] == _fingerprints(results)[1]
+
+
+class TestCache:
+    def test_second_run_hits_the_cache(self):
+        specs = _small_workload()
+        runner = BatchRunner(backend="simulation")
+        _, cold = runner.run(specs)
+        warm_results, warm = runner.run(specs)
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == len(specs)
+        assert runner.cache_len == len(specs)
+        assert _fingerprints(warm_results) == _fingerprints(runner.solve_many(specs))
+
+    def test_lru_eviction_respects_cache_size(self):
+        runner = BatchRunner(backend="analytic", cache_size=1)
+        a = SearchProblem(distance=1.0, visibility=0.2)
+        b = SearchProblem(distance=2.0, visibility=0.2)
+        runner.solve_many([a])
+        runner.solve_many([b])
+        assert runner.cache_len == 1
+        _, stats = runner.run([a])  # evicted, must be re-solved
+        assert stats.cache_hits == 0
+
+    def test_cache_disabled_with_size_zero(self):
+        runner = BatchRunner(backend="analytic", cache_size=0)
+        spec = SearchProblem(distance=1.0, visibility=0.2)
+        runner.solve_many([spec])
+        _, stats = runner.run([spec])
+        assert stats.cache_hits == 0 and runner.cache_len == 0
+
+    def test_clear_cache(self):
+        runner = BatchRunner(backend="analytic")
+        runner.solve_many([SearchProblem(distance=1.0, visibility=0.2)])
+        runner.clear_cache()
+        assert runner.cache_len == 0
+
+
+class TestStatsAndValidation:
+    def test_stats_describe_mentions_throughput(self):
+        runner = BatchRunner(backend="analytic")
+        _, stats = runner.run(_small_workload())
+        text = stats.describe()
+        assert "specs/s" in text and "cache hits" in text
+        assert stats.specs_per_second > 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BatchRunner(processes=0)
+        with pytest.raises(InvalidParameterError):
+            BatchRunner(chunksize=0)
+        with pytest.raises(InvalidParameterError):
+            BatchRunner(cache_size=-1)
+
+    def test_empty_batch(self):
+        results, stats = BatchRunner().run([])
+        assert results == [] and stats.total == 0
+
+    def test_solve_batch_convenience_matches_solve(self):
+        spec = SearchProblem(distance=1.2, visibility=0.3, bearing=0.6)
+        (batched,) = solve_batch([spec], backend="simulation")
+        assert batched.fingerprint() == solve(spec, backend="simulation").fingerprint()

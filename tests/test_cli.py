@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro.api import SolveResult, spec_from_dict
 from repro.cli import build_parser, main
 
 
@@ -98,3 +101,114 @@ class TestCommands:
         code = main(["gather", "--robot", "0,0,1.0", "--visibility", "0.4"])
         assert code == 1
         assert "6 comma-separated fields" in capsys.readouterr().err
+
+
+class TestSolveCommand:
+    def test_solve_search_flags_json_envelope_round_trips(self, capsys):
+        code = main(
+            ["solve", "--kind", "search", "--distance", "1.2", "--visibility", "0.3", "--json"]
+        )
+        assert code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        result = SolveResult.from_dict(envelope)
+        assert result.spec == spec_from_dict(envelope["spec"])
+        assert result.solved is True
+        assert result.bound_ratio is not None and result.bound_ratio < 1.0
+
+    def test_solve_rendezvous_flags_human_summary(self, capsys):
+        code = main(
+            ["solve", "--kind", "rendezvous", "--distance", "1.4", "--visibility", "0.35",
+             "--speed", "0.6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured time" in out and "specs/s" in out
+
+    def test_solve_infeasible_auto_falls_back_to_analytic(self, capsys):
+        code = main(
+            ["solve", "--kind", "rendezvous", "--distance", "1.4", "--visibility", "0.35",
+             "--json"]
+        )
+        assert code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["feasible"] is False
+        assert envelope["provenance"]["backend"] == "analytic"
+
+    def test_solve_spec_file_with_list_and_backend(self, capsys, tmp_path):
+        specs = [
+            {"schema_version": 1, "kind": "search", "distance": 1.2, "visibility": 0.3},
+            {"schema_version": 1, "kind": "rendezvous", "distance": 1.4, "visibility": 0.35,
+             "speed": 0.6},
+        ]
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(json.dumps(specs), encoding="utf-8")
+        code = main(
+            ["solve", "--spec-file", str(spec_file), "--backend", "analytic", "--json"]
+        )
+        assert code == 0
+        envelopes = json.loads(capsys.readouterr().out)
+        assert len(envelopes) == 2
+        assert all(e["provenance"]["backend"] == "analytic" for e in envelopes)
+        assert all(SolveResult.from_dict(e).bound is not None for e in envelopes)
+
+    def test_solve_single_element_list_file_stays_a_list(self, capsys, tmp_path):
+        spec_file = tmp_path / "one.json"
+        spec_file.write_text(
+            json.dumps(
+                [{"schema_version": 1, "kind": "search", "distance": 1.2, "visibility": 0.3}]
+            ),
+            encoding="utf-8",
+        )
+        code = main(["solve", "--spec-file", str(spec_file), "--backend", "analytic", "--json"])
+        assert code == 0
+        envelopes = json.loads(capsys.readouterr().out)
+        assert isinstance(envelopes, list) and len(envelopes) == 1
+
+    def test_solve_gathering_via_robot_flags(self, capsys):
+        code = main(
+            ["solve", "--kind", "gathering",
+             "--robot", "0,0,1.0,1.0,0,1",
+             "--robot", "1.0,0.3,0.6,1.0,0,1",
+             "--visibility", "0.4", "--horizon", "5000", "--json"]
+        )
+        assert code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["spec"]["kind"] == "gathering"
+        assert envelope["solved"] is True
+
+    def test_solve_without_kind_or_file_is_an_error(self, capsys):
+        assert main(["solve"]) == 1
+        assert "spec-file" in capsys.readouterr().err
+
+    def test_solve_unknown_backend_is_an_error(self, capsys):
+        code = main(
+            ["solve", "--kind", "search", "--distance", "1.0", "--visibility", "0.3",
+             "--backend", "quantum"]
+        )
+        assert code == 1
+        assert "unknown backend" in capsys.readouterr().err
+
+
+class TestJsonFlags:
+    def test_search_json(self, capsys):
+        code = main(["search", "--distance", "1.2", "--visibility", "0.3", "--json"])
+        assert code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["spec"]["kind"] == "search"
+        assert envelope["solved"] is True
+
+    def test_rendezvous_json(self, capsys):
+        code = main(
+            ["rendezvous", "--distance", "1.4", "--visibility", "0.35", "--speed", "0.6",
+             "--json"]
+        )
+        assert code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["spec"]["kind"] == "rendezvous"
+        assert envelope["measured_time"] is not None
+
+    def test_feasibility_json(self, capsys):
+        code = main(["feasibility", "--chirality", "-1", "--json"])
+        assert code == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["feasible"] is False and verdict["reasons"]
