@@ -1,21 +1,31 @@
-"""Throughput benchmark for the ``repro.api`` batch facade.
+"""Throughput benchmark for the ``repro.api`` batch facade and the kernel.
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/bench_api.py [--processes N] [--output PATH]
+    PYTHONPATH=src python benchmarks/bench_api.py [--processes N] [--quick]
+        [--output PATH] [--kernel-output PATH]
 
-Measures batch solve throughput (specs/second) across the facade's three
-levers -- backend fidelity, worker pool, result cache -- on the
-deterministic workload suites, and writes a ``BENCH_api.json`` snapshot
-next to the other benchmark artefacts so future PRs can track the
-trajectory.
+Measures batch solve throughput (specs/second) across the facade's levers
+-- backend fidelity, the vectorized kernel, worker pool, result cache --
+on the deterministic workload suites, and writes two snapshots next to
+the other benchmark artefacts so future PRs can track the trajectory:
 
-Scenarios:
+* ``BENCH_api.json``    -- the facade scenarios (analytic / simulation /
+  vectorized, serial / warm / pooled) on the mixed workload;
+* ``BENCH_kernel.json`` -- the kernel-focused snapshot: scalar-engine
+  baseline vs the vectorized backend on the search-sweep suite, the
+  speedup ratio, a per-spec event-time parity check against
+  ``TIME_TOLERANCE``, and the large sweep that is only tractable through
+  the kernel.
 
-* ``analytic_serial``        -- closed forms only, one process;
-* ``simulation_serial_cold`` -- full simulation, one process, empty cache;
-* ``simulation_serial_warm`` -- same runner again: every spec cache-hits;
-* ``simulation_pooled_cold`` -- full simulation fanned out over a pool.
+``solved`` counts only specs whose simulated event actually fired;
+``bound_only`` counts analytic answers (``solved is None`` -- no
+simulation was performed, which is *not* the same as unsolved) and
+``unsolved`` counts simulations that hit their horizon.
+
+``--quick`` is the CI smoke mode: small workloads, no pooled scenario,
+and a non-zero exit code when the kernel's event times drift from the
+scalar engine beyond ``TIME_TOLERANCE`` (no timings are asserted).
 """
 
 from __future__ import annotations
@@ -23,53 +33,70 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import sys
 import time
 from pathlib import Path
 
 from repro._version import __version__
 from repro.api import BatchRunner
+from repro.constants import TIME_TOLERANCE
+from repro.simulation.kernel import clear_compiled_cache
 from repro.workloads import spec_suite
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_api.json"
+DEFAULT_KERNEL_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_kernel.json"
+
+KERNEL_SUITE = "search-sweep"
+KERNEL_LARGE_SUITE = "search-sweep-large"
 
 
-def _workload() -> list:
-    """The benchmark workload: every deterministic suite, concatenated."""
+def _workload(quick: bool) -> list:
+    """The facade workload: every small deterministic suite, concatenated."""
+    names = ("search-sweep",) if quick else ("search-sweep", "symmetric-clock", "asymmetric-clock")
     specs = []
-    for name in ("search-sweep", "symmetric-clock", "asymmetric-clock"):
+    for name in names:
         specs.extend(spec_suite(name))
     return specs
 
 
-def _measure(runner: BatchRunner, specs: list) -> dict:
+def _measure(runner: BatchRunner, specs: list) -> tuple[dict, list]:
     start = time.perf_counter()
     results, stats = runner.run(specs)
     wall = time.perf_counter() - start
-    solved = sum(1 for result in results if result.solved)
-    return {
+    record = {
         "specs": stats.total,
         "unique": stats.unique,
         "cache_hits": stats.cache_hits,
         "processes": stats.processes,
+        "solved_in_batch": stats.solved_in_batch,
         "wall_time_s": round(wall, 4),
         "specs_per_second": round(stats.total / wall, 2) if wall > 0 else None,
-        "solved": solved,
+        # A backend that performed no simulation reports solved=None; that
+        # is a bound-only answer, not an unsolved run.
+        "solved": sum(1 for result in results if result.solved is True),
+        "unsolved": sum(1 for result in results if result.solved is False),
+        "bound_only": sum(1 for result in results if result.solved is None),
     }
+    return record, results
 
 
-def run_benchmark(processes: int) -> dict:
-    specs = _workload()
+def run_benchmark(processes: int, quick: bool) -> dict:
+    specs = _workload(quick)
 
     analytic = BatchRunner(backend="analytic")
     simulation = BatchRunner(backend="simulation")
-    pooled = BatchRunner(backend="simulation", processes=processes)
+    vectorized = BatchRunner(backend="vectorized")
 
-    scenarios = {
-        "analytic_serial": _measure(analytic, specs),
-        "simulation_serial_cold": _measure(simulation, specs),
-        "simulation_serial_warm": _measure(simulation, specs),
-        "simulation_pooled_cold": _measure(pooled, specs),
-    }
+    scenarios = {}
+    scenarios["analytic_serial"], _ = _measure(analytic, specs)
+    scenarios["simulation_serial_cold"], _ = _measure(simulation, specs)
+    scenarios["simulation_serial_warm"], _ = _measure(simulation, specs)
+    clear_compiled_cache()
+    scenarios["vectorized_serial_cold"], _ = _measure(vectorized, specs)
+    scenarios["vectorized_serial_warm"], _ = _measure(vectorized, specs)
+    if not quick:
+        pooled = BatchRunner(backend="simulation", processes=processes)
+        scenarios["simulation_pooled_cold"], _ = _measure(pooled, specs)
     return {
         "benchmark": "repro.api batch solve throughput",
         "library_version": __version__,
@@ -77,30 +104,141 @@ def run_benchmark(processes: int) -> dict:
         "machine": platform.machine(),
         "generated_at_unix": int(time.time()),
         "workload": {
-            "suites": ["search-sweep", "symmetric-clock", "asymmetric-clock"],
+            "suites": ["search-sweep"]
+            if quick
+            else ["search-sweep", "symmetric-clock", "asymmetric-clock"],
             "total_specs": len(specs),
         },
         "scenarios": scenarios,
     }
 
 
-def main() -> None:
+def _measure_best_of(make_runner, specs: list, repeats: int, prepare=None) -> tuple[dict, list]:
+    """Best-of-``repeats`` measurement (fresh runner each repeat).
+
+    Wall-clock minima are the standard way to strip scheduler noise from
+    short benchmark runs; the solved counts and results come from the
+    fastest repeat (every repeat computes identical results -- the
+    backends are deterministic).
+    """
+    best_record: dict | None = None
+    best_results: list = []
+    for _ in range(max(repeats, 1)):
+        if prepare is not None:
+            prepare()
+        record, results = _measure(make_runner(), specs)
+        if best_record is None or record["wall_time_s"] < best_record["wall_time_s"]:
+            best_record, best_results = record, results
+    best_record["repeats"] = max(repeats, 1)
+    return best_record, best_results
+
+
+def run_kernel_benchmark(quick: bool) -> dict:
+    """The kernel snapshot: baseline vs vectorized plus the parity check."""
+    specs = spec_suite(KERNEL_SUITE)
+    repeats = 1 if quick else 3
+
+    simulation_record, simulation_results = _measure_best_of(
+        lambda: BatchRunner(backend="simulation"), specs, repeats
+    )
+    # Cold = compiled-trajectory cache emptied before every repeat.
+    vectorized_record, vectorized_results = _measure_best_of(
+        lambda: BatchRunner(backend="vectorized"), specs, repeats, prepare=clear_compiled_cache
+    )
+    # Same suite with fresh runners: the result cache starts cold but the
+    # compiled trajectory is reused -- the steady-state sweep rate.
+    warm_record, _ = _measure_best_of(lambda: BatchRunner(backend="vectorized"), specs, repeats)
+
+    deltas = []
+    for scalar, kernel in zip(simulation_results, vectorized_results):
+        if scalar.solved and kernel.solved:
+            deltas.append(abs(scalar.measured_time - kernel.measured_time))
+    agreement = (
+        len(deltas) == len(specs)
+        and all(result.solved for result in simulation_results)
+        and all(result.solved for result in vectorized_results)
+    )
+    max_delta = max(deltas) if deltas else None
+    parity = {
+        "specs": len(specs),
+        "compared": len(deltas),
+        "max_abs_time_delta": max_delta,
+        "tolerance": TIME_TOLERANCE,
+        "within_tolerance": agreement and max_delta is not None and max_delta <= TIME_TOLERANCE,
+    }
+
+    scenarios = {
+        "simulation_serial_cold": simulation_record,
+        "vectorized_cold": vectorized_record,
+        "vectorized_warm_compiled": warm_record,
+    }
+    if not quick:
+        large = spec_suite(KERNEL_LARGE_SUITE)
+        scenarios["vectorized_large"], large_results = _measure(
+            BatchRunner(backend="vectorized"), large
+        )
+        scenarios["vectorized_large"]["suite"] = KERNEL_LARGE_SUITE
+        scenarios["vectorized_large"]["all_solved"] = all(r.solved for r in large_results)
+
+    baseline = simulation_record["specs_per_second"] or 0.0
+    vector_rate = vectorized_record["specs_per_second"] or 0.0
+    return {
+        "benchmark": "repro vectorized kernel throughput",
+        "library_version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "generated_at_unix": int(time.time()),
+        "suite": KERNEL_SUITE,
+        "scenarios": scenarios,
+        "speedup_vectorized_vs_simulation": round(vector_rate / baseline, 2) if baseline else None,
+        "parity": parity,
+    }
+
+
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--processes", type=int, default=2, help="pool size for the pooled scenario"
     )
     parser.add_argument(
-        "--output", type=Path, default=DEFAULT_OUTPUT, help="where to write the JSON snapshot"
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small workload, no pool, fail on kernel parity drift",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="where to write BENCH_api.json"
+    )
+    parser.add_argument(
+        "--kernel-output",
+        type=Path,
+        default=DEFAULT_KERNEL_OUTPUT,
+        help="where to write BENCH_kernel.json",
     )
     namespace = parser.parse_args()
 
-    snapshot = run_benchmark(namespace.processes)
+    snapshot = run_benchmark(namespace.processes, namespace.quick)
     namespace.output.parent.mkdir(parents=True, exist_ok=True)
     namespace.output.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
 
+    kernel_snapshot = run_kernel_benchmark(namespace.quick)
+    namespace.kernel_output.parent.mkdir(parents=True, exist_ok=True)
+    namespace.kernel_output.write_text(
+        json.dumps(kernel_snapshot, indent=2) + "\n", encoding="utf-8"
+    )
+
     print(json.dumps(snapshot, indent=2))
-    print(f"\nsnapshot written to {namespace.output}")
+    print(json.dumps(kernel_snapshot, indent=2))
+    print(f"\nsnapshots written to {namespace.output} and {namespace.kernel_output}")
+
+    if not kernel_snapshot["parity"]["within_tolerance"]:
+        print(
+            "ERROR: vectorized kernel event times drifted from the scalar engine "
+            f"beyond TIME_TOLERANCE ({kernel_snapshot['parity']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -8,12 +8,15 @@ seam:
   with canonical hashing (:class:`SearchProblem`,
   :class:`RendezvousProblem`, :class:`GatheringProblem`);
 * :mod:`repro.api.backends` -- pluggable solver backends behind a name
-  registry (``analytic`` / ``simulation`` / ``auto``) and the
-  single-spec :func:`solve` entry point;
+  registry (``analytic`` / ``simulation`` / ``vectorized`` / ``auto``)
+  and the single-spec :func:`solve` entry point;
+* :mod:`repro.api.vectorized` -- the batch-kernel backend: search sweeps
+  solved array-at-a-time against one compiled trajectory;
 * :mod:`repro.api.result`   -- the uniform :class:`SolveResult` envelope
   (measured time, bound, provenance), also JSON-round-trippable;
 * :mod:`repro.api.batch`    -- :class:`BatchRunner`, the throughput path:
-  LRU result cache, deterministic seeding and multiprocessing fan-out.
+  LRU result cache, deterministic seeding, batch-kernel routing and
+  multiprocessing fan-out.
 
 Quickstart::
 
@@ -41,6 +44,7 @@ from .backends import (
 )
 from .batch import BatchRunner, BatchStats, solve_batch
 from .result import Provenance, SolveResult
+from .vectorized import VectorizedBackend
 from .spec import (
     SCHEMA_VERSION,
     GatheringMember,
@@ -68,6 +72,7 @@ __all__ = [
     "SolverBackend",
     "AnalyticBackend",
     "SimulationBackend",
+    "VectorizedBackend",
     "AutoBackend",
     "backend_names",
     "register_backend",

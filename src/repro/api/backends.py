@@ -51,6 +51,10 @@ __all__ = [
     "backend_names",
     "register_backend",
     "create_backend",
+    "batchable_search_group",
+    "route_search_batch",
+    "search_report_fields",
+    "rendezvous_report_fields",
     "solve",
 ]
 
@@ -89,6 +93,42 @@ def _unsupported(backend: SolverBackend, spec: ProblemSpec) -> InvalidParameterE
     return InvalidParameterError(
         f"backend {backend.name!r} cannot solve spec kind {spec.kind!r}"
     )
+
+
+def batchable_search_group(specs: Any) -> list[int]:
+    """Indices of the specs the batch kernel can solve together.
+
+    Search specs are homogeneous by construction (the searcher always
+    carries the reference attributes); a group of at least two is worth a
+    kernel call.  Shared by every batch-capable backend and by
+    :class:`~repro.api.batch.BatchRunner` when deciding whether the batch
+    path beats the worker pool.
+    """
+    indices = [index for index, spec in enumerate(specs) if isinstance(spec, SearchProblem)]
+    return indices if len(indices) >= 2 else []
+
+
+def route_search_batch(
+    spec_list: list,
+    solve_group: Callable[[list], Any],
+    solve_one: Callable[[ProblemSpec], SolveResult],
+) -> list[SolveResult]:
+    """Common batch scaffold: kernel for search groups, per-spec otherwise.
+
+    ``solve_group`` receives the batchable search specs and returns their
+    results in order (or None to decline); every remaining spec goes
+    through ``solve_one``.  Results come back in input order.
+    """
+    results: dict[int, SolveResult] = {}
+    search_indices = batchable_search_group(spec_list)
+    if search_indices:
+        group = solve_group([spec_list[i] for i in search_indices])
+        if group is not None:
+            results.update(zip(search_indices, group))
+    for index, spec in enumerate(spec_list):
+        if index not in results:
+            results[index] = solve_one(spec)
+    return [results[index] for index in range(len(spec_list))]
 
 
 class AnalyticBackend(SolverBackend):
@@ -147,6 +187,46 @@ class AnalyticBackend(SolverBackend):
         raise _unsupported(self, spec)
 
 
+def search_report_fields(spec: "SearchProblem", report: Any) -> dict[str, Any]:
+    """Envelope fields for a :class:`~repro.core.search.SearchReport`.
+
+    Shared by every measuring backend (simulation and vectorized), so the
+    two produce identical envelopes for identical outcomes.
+    """
+    return {
+        "feasible": True,
+        "solved": report.outcome.solved,
+        "measured_time": report.time,
+        "bound": report.bound,
+        "algorithm": report.algorithm_name,
+        "details": {
+            "guaranteed_round": report.guaranteed_round,
+            "difficulty": spec.difficulty,
+            "segments_processed": report.outcome.segments_processed,
+            "gap_evaluations": report.outcome.gap_evaluations,
+            "horizon": report.outcome.horizon,
+        },
+    }
+
+
+def rendezvous_report_fields(spec: "RendezvousProblem", report: Any) -> dict[str, Any]:
+    """Envelope fields for a :class:`~repro.core.rendezvous.RendezvousReport`."""
+    return {
+        "feasible": report.verdict.feasible,
+        "solved": report.solved,
+        "measured_time": report.time if report.solved else None,
+        "bound": report.bound,
+        "algorithm": report.algorithm_name,
+        "details": {
+            "verdict": report.verdict.describe(),
+            "difficulty": spec.difficulty,
+            "segments_processed": report.outcome.segments_processed,
+            "gap_evaluations": report.outcome.gap_evaluations,
+            "horizon": report.outcome.horizon,
+        },
+    }
+
+
 class SimulationBackend(SolverBackend):
     """The continuous-time engine: measured times next to the bounds."""
 
@@ -155,41 +235,14 @@ class SimulationBackend(SolverBackend):
 
     def _solve(self, spec: ProblemSpec) -> dict[str, Any]:
         if isinstance(spec, SearchProblem):
-            report = solve_search(spec.to_instance())
-            return {
-                "feasible": True,
-                "solved": report.outcome.solved,
-                "measured_time": report.time,
-                "bound": report.bound,
-                "algorithm": report.algorithm_name,
-                "details": {
-                    "guaranteed_round": report.guaranteed_round,
-                    "difficulty": spec.difficulty,
-                    "segments_processed": report.outcome.segments_processed,
-                    "gap_evaluations": report.outcome.gap_evaluations,
-                    "horizon": report.outcome.horizon,
-                },
-            }
+            return search_report_fields(spec, solve_search(spec.to_instance()))
         if isinstance(spec, RendezvousProblem):
             report = solve_rendezvous(
                 spec.to_instance(),
                 horizon=spec.horizon,
                 allow_infeasible=spec.allow_infeasible,
             )
-            return {
-                "feasible": report.verdict.feasible,
-                "solved": report.solved,
-                "measured_time": report.time if report.solved else None,
-                "bound": report.bound,
-                "algorithm": report.algorithm_name,
-                "details": {
-                    "verdict": report.verdict.describe(),
-                    "difficulty": spec.difficulty,
-                    "segments_processed": report.outcome.segments_processed,
-                    "gap_evaluations": report.outcome.gap_evaluations,
-                    "horizon": report.outcome.horizon,
-                },
-            }
+            return rendezvous_report_fields(spec, report)
         if isinstance(spec, GatheringProblem):
             from ..gathering import simulate_gathering, swarm_feasibility
 
@@ -218,12 +271,20 @@ class SimulationBackend(SolverBackend):
 class AutoBackend(SolverBackend):
     """Per-spec fidelity choice: measure when a run can terminate.
 
-    Simulation is the higher-fidelity answer, so it is preferred whenever
-    the simulation can run to completion: a feasible instance (the bound
-    derives a horizon) or an explicitly permitted infeasible run (both
-    ``horizon`` and ``allow_infeasible`` set).  Every other provably
-    infeasible rendezvous spec falls back to the analytic verdict instead
-    of raising, which makes ``auto`` total over all valid specs.
+    Measured answers are preferred whenever the simulation can run to
+    completion: a feasible instance (the bound derives a horizon) or an
+    explicitly permitted infeasible run (both ``horizon`` and
+    ``allow_infeasible`` set).  Every other provably infeasible
+    rendezvous spec falls back to the analytic verdict instead of
+    raising, which makes ``auto`` total over all valid specs.
+
+    Search specs always go through the vectorized kernel backend --
+    singly or, for *batches* (:meth:`solve_specs`, used by
+    :class:`~repro.api.batch.BatchRunner`), as one array-at-a-time
+    group.  Routing singles and batches identically keeps the
+    determinism contract: the same spec under ``auto`` produces the same
+    result fingerprint whether it is solved alone, in a batch, or in a
+    pool worker.
     """
 
     name: ClassVar[str] = "auto"
@@ -232,11 +293,42 @@ class AutoBackend(SolverBackend):
     def __init__(self) -> None:
         self._analytic = AnalyticBackend()
         self._simulation = SimulationBackend()
+        self._vectorized: SolverBackend | None = None
 
     def solve(self, spec: ProblemSpec) -> SolveResult:
         return self._pick(spec).solve(spec)
 
+    def solve_specs(self, specs: Any) -> list[SolveResult]:
+        """Batch entry point: kernel for search groups, per-spec otherwise."""
+
+        def solve_group(group: list) -> Any:
+            try:
+                vectorized = create_backend("vectorized")
+            except InvalidParameterError:  # pragma: no cover - registered on import
+                return None
+            if not hasattr(vectorized, "solve_specs"):
+                return None
+            return vectorized.solve_specs(group)
+
+        return route_search_batch(list(specs), solve_group, self.solve)
+
+    def batchable_indices(self, specs: Any) -> list[int]:
+        """Indices :meth:`solve_specs` would solve in one kernel call.
+
+        :class:`~repro.api.batch.BatchRunner` uses this to batch only the
+        vectorizable group and keep fanning the remainder out over its
+        worker pool.
+        """
+        return batchable_search_group(list(specs))
+
     def _pick(self, spec: ProblemSpec) -> SolverBackend:
+        if isinstance(spec, SearchProblem):
+            if self._vectorized is None:
+                try:
+                    self._vectorized = create_backend("vectorized")
+                except InvalidParameterError:  # pragma: no cover - registered on import
+                    self._vectorized = self._simulation
+            return self._vectorized
         if isinstance(spec, RendezvousProblem):
             simulable = spec.horizon is not None and spec.allow_infeasible
             if not simulable and not classify_feasibility(spec.attributes).feasible:

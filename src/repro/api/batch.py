@@ -29,9 +29,10 @@ from typing import Any, Iterable, Optional, Sequence
 
 from ..errors import InvalidParameterError
 from .backends import _REGISTRY as _BACKEND_REGISTRY
-from .backends import AnalyticBackend, AutoBackend, SimulationBackend, solve
+from .backends import AnalyticBackend, AutoBackend, SimulationBackend, create_backend, solve
 from .result import SolveResult
 from .spec import ProblemSpec, spec_from_dict
+from .vectorized import VectorizedBackend
 
 __all__ = ["BatchStats", "BatchRunner", "solve_batch"]
 
@@ -42,6 +43,7 @@ _BUILTIN_FACTORIES = {
     AnalyticBackend.name: AnalyticBackend,
     SimulationBackend.name: SimulationBackend,
     AutoBackend.name: AutoBackend,
+    VectorizedBackend.name: VectorizedBackend,
 }
 
 
@@ -68,6 +70,9 @@ class BatchStats:
     processes: int
     chunksize: int
     wall_time: float
+    #: Misses solved through a batch-capable backend's ``solve_specs``
+    #: (the vectorized kernel path) instead of per-spec calls.
+    solved_in_batch: int = 0
 
     @property
     def specs_per_second(self) -> float:
@@ -78,10 +83,15 @@ class BatchStats:
 
     def describe(self) -> str:
         """One-line human readable summary."""
+        modes = []
+        if self.solved_in_batch:
+            modes.append(f"batched ({self.solved_in_batch})")
+        if self.solved_in_pool or not self.solved_in_batch:
+            modes.append(f"{self.processes} process(es), chunksize {self.chunksize}")
         return (
             f"{self.total} specs ({self.unique} unique, {self.cache_hits} cache hits) "
             f"in {self.wall_time:.3f}s = {self.specs_per_second:.1f} specs/s "
-            f"[{self.processes} process(es), chunksize {self.chunksize}]"
+            f"[{'; '.join(modes)}]"
         )
 
 
@@ -172,26 +182,63 @@ class BatchRunner:
                 resolved[key] = None  # type: ignore[assignment]  # placeholder, filled below
                 misses.append((key, spec))
 
-        processes = self.processes or 1
-        use_pool = processes > 1 and len(misses) > 1 and _pool_safe(self.backend)
-        chunksize = self.chunksize or max(1, len(misses) // (4 * processes) or 1)
-        solved_in_pool = 0
-        if use_pool:
-            import multiprocessing
+        backend_obj = create_backend(self.backend)
+        # A backend exposing ``solve_specs`` solves homogeneous groups
+        # array-at-a-time (vectorized kernel, auto routing).  Only the
+        # group the backend reports as batchable skips the pool; the
+        # remaining misses still fan out when a pool was requested, so a
+        # mixed workload gets the kernel *and* the requested parallelism.
+        batch_misses: list[tuple[tuple[str, str], ProblemSpec]] = []
+        rest = misses
+        if hasattr(backend_obj, "solve_specs") and len(misses) > 1:
+            if hasattr(backend_obj, "batchable_indices"):
+                indices = set(backend_obj.batchable_indices([spec for _, spec in misses]))
+            else:
+                # A custom batch backend with no batchability report
+                # takes the whole miss list, as before.
+                indices = set(range(len(misses)))
+            if len(indices) >= 2:
+                batch_misses = [miss for i, miss in enumerate(misses) if i in indices]
+                rest = [miss for i, miss in enumerate(misses) if i not in indices]
 
-            payloads = [(self.backend, spec.to_dict()) for _, spec in misses]
-            with multiprocessing.Pool(processes) as pool:
-                raw = pool.map(_solve_serialized, payloads, chunksize=chunksize)
-            for (key, _), data in zip(misses, raw):
-                result = SolveResult.from_dict(data)
-                resolved[key] = result
-                self._cache_put(key, result)
-            solved_in_pool = len(misses)
-        else:
-            for key, spec in misses:
-                result = solve(spec, backend=self.backend)
-                resolved[key] = result
-                self._cache_put(key, result)
+        processes = self.processes or 1
+        use_pool = processes > 1 and len(rest) > 1 and _pool_safe(self.backend)
+        chunksize = self.chunksize or max(1, len(rest) // (4 * processes) or 1)
+        solved_in_pool = 0
+        solved_in_batch = 0
+        pool = None
+        pending = None
+        try:
+            if use_pool:
+                # Dispatch the pool before the in-process kernel batch so
+                # the two run concurrently instead of back to back.
+                import multiprocessing
+
+                payloads = [(self.backend, spec.to_dict()) for _, spec in rest]
+                pool = multiprocessing.Pool(processes)
+                pending = pool.map_async(_solve_serialized, payloads, chunksize=chunksize)
+            if batch_misses:
+                batch_results = backend_obj.solve_specs([spec for _, spec in batch_misses])
+                for (key, _), result in zip(batch_misses, batch_results):
+                    resolved[key] = result
+                    self._cache_put(key, result)
+                solved_in_batch = len(batch_misses)
+            if pending is not None:
+                raw = pending.get()
+                for (key, _), data in zip(rest, raw):
+                    result = SolveResult.from_dict(data)
+                    resolved[key] = result
+                    self._cache_put(key, result)
+                solved_in_pool = len(rest)
+            elif rest:
+                for key, spec in rest:
+                    result = backend_obj.solve(spec)
+                    resolved[key] = result
+                    self._cache_put(key, result)
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
 
         wall_time = time.perf_counter() - start
         stats = BatchStats(
@@ -202,6 +249,7 @@ class BatchRunner:
             processes=processes if use_pool else 1,
             chunksize=chunksize if use_pool else 1,
             wall_time=wall_time,
+            solved_in_batch=solved_in_batch,
         )
         return [resolved[key] for key in keys], stats
 

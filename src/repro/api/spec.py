@@ -102,6 +102,16 @@ class ProblemSpec:
         """
         return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
 
+    @staticmethod
+    def seed_from_hash(canonical_hash: str) -> int:
+        """The deterministic 63-bit seed belonging to a canonical hash.
+
+        Exposed separately so batch paths that already computed the hash
+        derive the seed without re-canonicalising the spec -- one
+        derivation, used everywhere.
+        """
+        return int(canonical_hash[:16], 16) & (2**63 - 1)
+
     def seed(self) -> int:
         """Deterministic 63-bit seed derived from the canonical hash.
 
@@ -109,7 +119,7 @@ class ProblemSpec:
         backend can draw per-spec randomness reproducibly.  The current
         backends are fully deterministic and do not consume it.
         """
-        return int(self.canonical_hash()[:16], 16) & (2**63 - 1)
+        return self.seed_from_hash(self.canonical_hash())
 
     # -- materialisation -------------------------------------------------------
     def to_instance(self) -> Any:

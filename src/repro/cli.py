@@ -8,6 +8,7 @@ Sub-commands::
     repro search       --distance 1.5 --bearing 0.8 --visibility 0.3 [--json]
     repro rendezvous   --distance 1.5 --bearing 0.8 --visibility 0.3 --speed 0.7 ... [--json]
     repro experiments  --all [--quick] [--output results/]
+    repro suites       [--json]
     repro schedule     --rounds 4 --tau 0.5
     repro gather       --robot X,Y,V,TAU,PHI,CHI ... --visibility 0.4
 
@@ -144,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--list", action="store_true", help="list available experiments")
     experiments.add_argument("--quick", action="store_true", help="reduced workloads for smoke runs")
     experiments.add_argument("--output", type=Path, default=None, help="directory for artefacts")
+
+    suites = subparsers.add_parser(
+        "suites", help="list the named workload suites (for solve/benchmark sweeps)"
+    )
+    suites.add_argument("--json", action="store_true", help="emit the listing as JSON")
 
     schedule = subparsers.add_parser("schedule", help="print the Algorithm 7 schedule and overlaps")
     schedule.add_argument("--rounds", type=int, default=4, help="number of rounds to display")
@@ -326,6 +332,23 @@ def _command_experiments(namespace: argparse.Namespace) -> int:
     return 0 if all(report.all_passed for report in reports) else 1
 
 
+def _command_suites(namespace: argparse.Namespace) -> int:
+    from .workloads import spec_suite, spec_suite_names
+
+    rows = []
+    for name in spec_suite_names():
+        specs = spec_suite(name)
+        kinds = sorted({spec.kind for spec in specs})
+        rows.append({"name": name, "specs": len(specs), "kinds": kinds})
+    if namespace.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    width = max(len(row["name"]) for row in rows)
+    for row in rows:
+        print(f"{row['name']:<{width}}  {row['specs']:>5} specs  [{', '.join(row['kinds'])}]")
+    return 0
+
+
 def _command_schedule(namespace: argparse.Namespace) -> int:
     print(RoundSchedule(1.0).describe(namespace.rounds))
     print()
@@ -381,6 +404,7 @@ _COMMANDS = {
     "search": _command_search,
     "rendezvous": _command_rendezvous,
     "experiments": _command_experiments,
+    "suites": _command_suites,
     "schedule": _command_schedule,
     "gather": _command_gather,
 }

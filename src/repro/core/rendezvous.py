@@ -141,6 +141,7 @@ def solve_rendezvous(
     horizon: Optional[HorizonPolicy | float] = None,
     safety_factor: float = 1.25,
     allow_infeasible: bool = False,
+    simulate=simulate_rendezvous,
 ) -> RendezvousReport:
     """Solve a rendezvous instance and compare against the paper's bounds.
 
@@ -154,6 +155,9 @@ def solve_rendezvous(
         safety_factor: slack applied to the bound-derived horizon.
         allow_infeasible: run anyway (up to ``horizon``) when the instance
             is provably infeasible, instead of raising.
+        simulate: the simulation entry point to drive (the scalar engine
+            by default; the vectorized backend passes
+            :func:`repro.simulation.kernel.kernel_simulate_rendezvous`).
 
     Raises:
         InfeasibleConfigurationError: infeasible instance without
@@ -186,7 +190,7 @@ def solve_rendezvous(
             )
         horizon = bound_multiple_horizon(bound, safety_factor)
 
-    outcome = simulate_rendezvous(algorithm, instance, horizon)
+    outcome = simulate(algorithm, instance, horizon)
     if verdict.feasible and not outcome.solved:
         raise HorizonExceededError(
             outcome.horizon,

@@ -68,6 +68,7 @@ def solve_search(
     algorithm: Optional[MobilityAlgorithm] = None,
     horizon: Optional[HorizonPolicy | float] = None,
     safety_factor: float = 1.25,
+    simulate=simulate_search,
 ) -> SearchReport:
     """Solve a search instance and compare the measured time to Theorem 1.
 
@@ -77,6 +78,9 @@ def solve_search(
         horizon: optional explicit horizon; by default the Theorem 1 bound
             times ``safety_factor`` is used.
         safety_factor: slack applied to the default horizon.
+        simulate: the simulation entry point to drive (the scalar engine
+            by default; the vectorized backend passes
+            :func:`repro.simulation.kernel.kernel_simulate_search`).
 
     Raises:
         HorizonExceededError: when the simulation hits the horizon without
@@ -88,7 +92,7 @@ def solve_search(
     resolved_horizon = (
         horizon if horizon is not None else bound_multiple_horizon(bound, safety_factor)
     )
-    outcome = simulate_search(algorithm, instance, resolved_horizon)
+    outcome = simulate(algorithm, instance, resolved_horizon)
     if not outcome.solved:
         raise HorizonExceededError(
             outcome.horizon,

@@ -12,6 +12,10 @@ the experiment reports three things:
 * how often the literal Lemma 3 inequality holds for the *actual* round
   (informational: the paper applies the inequality only to the guaranteed
   round inside the proof of Theorem 1).
+
+Discovery times come from the facade's batch path with the
+``vectorized`` backend, which solves the whole random suite against one
+compiled trajectory.
 """
 
 from __future__ import annotations
@@ -19,13 +23,11 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional
 
-from ..algorithms import UniversalSearch
 from ..analysis import ExperimentReport, Table
-from ..core import guaranteed_discovery_round, lemma3_difficulty_lower_bound, theorem1_search_bound
+from ..core import guaranteed_discovery_round, lemma3_difficulty_lower_bound
 from ..core.schedule import universal_search_prefix_duration
-from ..simulation import bound_multiple_horizon, simulate_search
-from ..workloads import search_random_suite
-from .base import finalize_report
+from ..workloads import as_specs, search_random_suite
+from .base import finalize_report, solve_specs
 
 EXPERIMENT_ID = "E03"
 TITLE = "Discovery rounds and the Lemma 3 difficulty lower bound"
@@ -48,6 +50,7 @@ def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> Experim
         experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
     )
     instances = search_random_suite(count=8 if quick else 24, seed=11)
+    results = solve_specs(as_specs(instances), backend="vectorized")
 
     table = Table(
         columns=[
@@ -65,10 +68,8 @@ def run(output_dir: Optional[Path | str] = None, quick: bool = False) -> Experim
     never_late = True
     guaranteed_holds = True
     literal_holds = 0
-    for instance in instances:
-        bound = theorem1_search_bound(instance.distance, instance.visibility)
-        outcome = simulate_search(UniversalSearch(), instance, bound_multiple_horizon(bound, 1.5))
-        found_round = _round_of_time(outcome.time)
+    for instance, result in zip(instances, results):
+        found_round = _round_of_time(result.measured_time)
         guaranteed = guaranteed_discovery_round(instance.distance, instance.visibility)
         never_late = never_late and found_round <= guaranteed
         lower_guaranteed = lemma3_difficulty_lower_bound(guaranteed) if guaranteed >= 1 else 0.0

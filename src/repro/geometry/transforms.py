@@ -25,6 +25,7 @@ numpy arrays through every signature.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 
@@ -213,6 +214,14 @@ def attribute_matrix(speed: float, orientation: float, chirality: int) -> Linear
         The 2x2 matrix ``T`` with ``S'(t) = T @ S(t)``.
     """
     _validate_attributes(speed, chirality)
+    return _attribute_matrix_cached(speed, orientation, chirality)
+
+
+@functools.lru_cache(maxsize=1024)
+def _attribute_matrix_cached(speed: float, orientation: float, chirality: int) -> LinearMap2:
+    # LinearMap2 is immutable, so sharing one instance per attribute vector
+    # is safe; the frame transform queries this once per segment, which
+    # made the trigonometry a measurable cost on long trajectories.
     return rotation(orientation).compose(reflection_x() if chirality == -1 else identity()).scaled(speed)
 
 

@@ -2,6 +2,14 @@
 
 from .arc import ArcMotion
 from .builder import TrajectoryBuilder
+from .compiled import (
+    KIND_ARC,
+    KIND_LINEAR,
+    KIND_WAIT,
+    CompiledTrajectory,
+    SegmentStreamCompiler,
+    compile_segments,
+)
 from .lazy import LazyTrajectory
 from .linear import LinearMotion
 from .relative import EquivalentSearchTrajectory, RelativeMotion
@@ -15,6 +23,7 @@ from .sampling import (
 from .segment import MotionSegment
 from .trajectory import Trajectory
 from .transform import (
+    is_identity_frame,
     lazy_world_trajectory,
     transform_segment,
     transform_segments,
@@ -25,6 +34,12 @@ from .wait import WaitMotion
 __all__ = [
     "ArcMotion",
     "TrajectoryBuilder",
+    "KIND_ARC",
+    "KIND_LINEAR",
+    "KIND_WAIT",
+    "CompiledTrajectory",
+    "SegmentStreamCompiler",
+    "compile_segments",
     "LazyTrajectory",
     "LinearMotion",
     "EquivalentSearchTrajectory",
@@ -36,6 +51,7 @@ __all__ = [
     "sample_times",
     "MotionSegment",
     "Trajectory",
+    "is_identity_frame",
     "lazy_world_trajectory",
     "transform_segment",
     "transform_segments",

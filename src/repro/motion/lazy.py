@@ -106,6 +106,24 @@ class LazyTrajectory:
         ]
         return max(speeds, default=0.0)
 
+    def compile(self, up_to: float) -> "CompiledTrajectory":
+        """Lower the prefix covering ``[0, up_to]`` into arrays.
+
+        Materialises segments as needed (like :meth:`ensure_time`); for a
+        finite source that ends before ``up_to`` the whole trajectory is
+        compiled.  See :mod:`repro.motion.compiled`.
+        """
+        from .compiled import CompiledTrajectory
+
+        if up_to < 0.0:
+            raise TimeOutOfRangeError(f"time {up_to!r} is negative")
+        self.ensure_time(up_to)
+        if not self._segments and not self.ensure_segments(1):
+            raise TrajectoryError("the underlying segment source is empty")
+        count = bisect.bisect_left(self._start_times, up_to)
+        count = max(count, 1)
+        return CompiledTrajectory.from_segments(self._segments[:count])
+
     # -- evaluation -----------------------------------------------------------------
     def position(self, t: float) -> Vec2:
         """Position at global time ``t``.

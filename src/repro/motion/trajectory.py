@@ -114,6 +114,16 @@ class Trajectory:
         segment = self._segments[index]
         return segment.position(min(local_time, segment.duration))
 
+    def compile(self) -> "CompiledTrajectory":
+        """Lower the whole trajectory into a structure-of-arrays view.
+
+        The compiled form backs the vectorized simulation kernel; see
+        :mod:`repro.motion.compiled`.
+        """
+        from .compiled import CompiledTrajectory
+
+        return CompiledTrajectory.from_segments(self._segments)
+
     def timed_segments(self) -> Iterator[tuple[float, float, MotionSegment]]:
         """Iterate ``(start_time, end_time, segment)`` triples."""
         for start_time, segment in zip(self._start_times, self._segments):

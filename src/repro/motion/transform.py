@@ -26,6 +26,7 @@ from .trajectory import Trajectory
 from .wait import WaitMotion
 
 __all__ = [
+    "is_identity_frame",
     "transform_segment",
     "transform_segments",
     "transform_trajectory",
@@ -72,10 +73,37 @@ def _transform_arc(segment: ArcMotion, frame: ReferenceFrame, duration: float) -
     return world_arc
 
 
+def is_identity_frame(frame: ReferenceFrame) -> bool:
+    """True when the frame transform is *bitwise* the identity.
+
+    Only exact equality counts: multiplying through a matrix that is
+    merely close to the identity would perturb every coordinate by an
+    ulp, whereas skipping the map entirely is exact.  The reference robot
+    R of every canonical instance has exactly this frame, which is what
+    lets the vectorized kernel share one compiled trajectory across a
+    whole batch.
+    """
+    return (
+        frame.origin.x == 0.0
+        and frame.origin.y == 0.0
+        and frame.speed == 1.0
+        and frame.time_unit == 1.0
+        and frame.orientation == 0.0
+        and frame.chirality == 1
+    )
+
+
 def transform_segments(
     segments: Iterable[MotionSegment], frame: ReferenceFrame
 ) -> Iterator[MotionSegment]:
-    """Lazily map a stream of local segments into the world frame."""
+    """Lazily map a stream of local segments into the world frame.
+
+    The reference robot's frame (the common case for every search batch)
+    is the exact identity, so its segments pass through untouched.
+    """
+    if is_identity_frame(frame):
+        yield from segments
+        return
     for segment in segments:
         yield transform_segment(segment, frame)
 

@@ -11,6 +11,12 @@ from .gap import (
 )
 from .horizon import HorizonPolicy, bound_multiple_horizon, fixed_horizon
 from .instance import RendezvousInstance, SearchInstance
+from .kernel import (
+    kernel_simulate_rendezvous,
+    kernel_simulate_search,
+    simulate_robot_pair_kernel,
+    simulate_search_batch,
+)
 from .trace import Trace, record_trace
 
 __all__ = [
@@ -31,6 +37,10 @@ __all__ = [
     "fixed_horizon",
     "RendezvousInstance",
     "SearchInstance",
+    "kernel_simulate_rendezvous",
+    "kernel_simulate_search",
+    "simulate_robot_pair_kernel",
+    "simulate_search_batch",
     "Trace",
     "record_trace",
 ]

@@ -30,23 +30,11 @@ from ..motion import LazyTrajectory, MotionSegment, WaitMotion
 from ..robots import Robot
 from .events import DetectionEvent, SimulationOutcome
 from .gap import first_time_within_pair, first_time_within_static
-from .horizon import HorizonPolicy
+from .horizon import MIN_WINDOW as _MIN_WINDOW
+from .horizon import HorizonPolicy, resolve_horizon as _resolve_horizon
 from .instance import RendezvousInstance, SearchInstance
 
 __all__ = ["simulate_search", "simulate_rendezvous", "simulate_robot_pair"]
-
-#: Windows narrower than this are treated as empty (guards against
-#: zero-duration segments creating infinite loops).
-_MIN_WINDOW = 1e-15
-
-
-def _resolve_horizon(horizon: HorizonPolicy | float) -> float:
-    if isinstance(horizon, HorizonPolicy):
-        return horizon.limit
-    limit = float(horizon)
-    if not (limit > 0.0) or math.isinf(limit):
-        raise InvalidParameterError(f"the horizon must be positive and finite, got {horizon!r}")
-    return limit
 
 
 def _segment_or_parked(

@@ -14,7 +14,19 @@ from dataclasses import dataclass
 
 from ..errors import InvalidParameterError
 
-__all__ = ["HorizonPolicy", "fixed_horizon", "bound_multiple_horizon"]
+__all__ = [
+    "MIN_WINDOW",
+    "HorizonPolicy",
+    "fixed_horizon",
+    "bound_multiple_horizon",
+    "resolve_horizon",
+]
+
+#: Windows narrower than this are treated as empty by both the scalar
+#: engine and the vectorized kernel (guards against zero-duration
+#: segments creating infinite loops).  One definition, shared, so the
+#: two simulation paths cannot drift.
+MIN_WINDOW: float = 1e-15
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,6 +41,22 @@ class HorizonPolicy:
             raise InvalidParameterError(f"the horizon must be positive, got {self.limit!r}")
         if math.isinf(self.limit):
             raise InvalidParameterError("an infinite horizon would never terminate the run")
+
+
+def resolve_horizon(horizon: "HorizonPolicy | float") -> float:
+    """The numeric limit of a horizon given as a policy or a bare number.
+
+    Shared by the scalar engine and the vectorized kernel so both accept
+    exactly the same horizon spellings.
+    """
+    if isinstance(horizon, HorizonPolicy):
+        return horizon.limit
+    limit = float(horizon)
+    if not (limit > 0.0) or math.isinf(limit):
+        raise InvalidParameterError(
+            f"the horizon must be positive and finite, got {horizon!r}"
+        )
+    return limit
 
 
 def fixed_horizon(limit: float) -> HorizonPolicy:

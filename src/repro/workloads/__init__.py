@@ -15,9 +15,11 @@ from .suites import (
     feasibility_grid,
     mirrored_suite,
     search_random_suite,
+    search_sweep_large_suite,
     search_sweep_suite,
     spec_suite,
     spec_suite_names,
+    symmetric_clock_large_suite,
     symmetric_clock_suite,
 )
 
@@ -37,5 +39,7 @@ __all__ = [
     "mirrored_suite",
     "search_random_suite",
     "search_sweep_suite",
+    "search_sweep_large_suite",
     "symmetric_clock_suite",
+    "symmetric_clock_large_suite",
 ]

@@ -20,8 +20,10 @@ from .generators import InstanceGenerator
 
 __all__ = [
     "search_sweep_suite",
+    "search_sweep_large_suite",
     "search_random_suite",
     "symmetric_clock_suite",
+    "symmetric_clock_large_suite",
     "mirrored_suite",
     "asymmetric_clock_suite",
     "feasibility_grid",
@@ -44,6 +46,29 @@ def search_sweep_suite() -> list[SearchInstance]:
     return instances
 
 
+def search_sweep_large_suite() -> list[SearchInstance]:
+    """Dense deterministic (d, r, bearing) sweep -- 600 instances.
+
+    At ~4 ms per instance the scalar engine needs seconds for this suite;
+    it exists for the vectorized kernel, which shares one compiled
+    trajectory across the whole batch and solves it in tens of
+    milliseconds.  Kept fully deterministic (a fixed grid, no RNG) so
+    throughput numbers are comparable across machines and PRs.
+    """
+    instances = []
+    for i in range(10):
+        distance = 0.5 + 0.35 * i
+        for visibility in (0.1, 0.18, 0.26, 0.34, 0.42):
+            for j in range(12):
+                bearing = 2.0 * math.pi * j / 12.0 + 0.1
+                instances.append(
+                    SearchInstance(
+                        target=Vec2.polar(distance, bearing), visibility=visibility
+                    )
+                )
+    return instances
+
+
 def search_random_suite(count: int = 24, seed: int = 11) -> list[SearchInstance]:
     """Random search instances (E03, E10)."""
     generator = InstanceGenerator(seed=seed)
@@ -62,6 +87,31 @@ def symmetric_clock_suite() -> list[RendezvousInstance]:
                     RendezvousInstance(
                         separation=Vec2.polar(1.6, bearing),
                         visibility=0.35,
+                        attributes=RobotAttributes(speed=speed, orientation=orientation),
+                    )
+                )
+    return instances
+
+
+def symmetric_clock_large_suite() -> list[RendezvousInstance]:
+    """Dense equal-clock rendezvous sweep -- 512 feasible instances.
+
+    Every instance differs from the reference robot in speed, so Theorem
+    4 guarantees feasibility and the default horizon derivation applies.
+    Like :func:`search_sweep_large_suite`, this only becomes a practical
+    benchmark workload through the kernel-backed batch path.
+    """
+    instances = []
+    speeds = (0.3, 0.5, 0.7, 0.85, 1.15, 1.4, 1.7, 2.0)
+    orientations = tuple(2.0 * math.pi * j / 8.0 for j in range(8))
+    bearings = tuple(2.0 * math.pi * j / 8.0 + 0.25 for j in range(8))
+    for speed in speeds:
+        for orientation in orientations:
+            for bearing in bearings:
+                instances.append(
+                    RendezvousInstance(
+                        separation=Vec2.polar(1.4, bearing),
+                        visibility=0.4,
                         attributes=RobotAttributes(speed=speed, orientation=orientation),
                     )
                 )
@@ -206,8 +256,10 @@ def as_specs(
 
 _SPEC_SUITES: dict[str, Callable[[], Sequence[SearchInstance | RendezvousInstance]]] = {
     "search-sweep": search_sweep_suite,
+    "search-sweep-large": search_sweep_large_suite,
     "search-random": search_random_suite,
     "symmetric-clock": symmetric_clock_suite,
+    "symmetric-clock-large": symmetric_clock_large_suite,
     "mirrored": mirrored_suite,
     "asymmetric-clock": asymmetric_clock_suite,
     "baseline-comparison": baseline_comparison_suite,

@@ -1,0 +1,186 @@
+"""Tests for the vectorized backend and its batch routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BatchRunner,
+    GatheringMember,
+    GatheringProblem,
+    RendezvousProblem,
+    SearchProblem,
+    VectorizedBackend,
+    backend_names,
+    solve,
+)
+from repro.constants import TIME_TOLERANCE
+from repro.errors import InfeasibleConfigurationError
+from repro.workloads import spec_suite
+
+SEARCH = SearchProblem(distance=1.2, visibility=0.3, bearing=0.6)
+FEASIBLE_RV = RendezvousProblem(distance=1.4, visibility=0.35, speed=0.6)
+INFEASIBLE_RV = RendezvousProblem(distance=1.4, visibility=0.35)
+
+
+class TestRegistration:
+    def test_vectorized_is_registered(self):
+        assert "vectorized" in backend_names()
+
+    def test_cli_backend_flag_accepts_vectorized(self):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "solve",
+                    "--kind",
+                    "search",
+                    "--distance",
+                    "1.2",
+                    "--visibility",
+                    "0.3",
+                    "--backend",
+                    "vectorized",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+
+
+class TestSingleSpecEnvelopes:
+    def test_search_matches_the_simulation_backend(self):
+        kernel = solve(SEARCH, backend="vectorized")
+        scalar = solve(SEARCH, backend="simulation")
+        assert kernel.solved is True
+        assert abs(kernel.measured_time - scalar.measured_time) <= TIME_TOLERANCE
+        assert kernel.bound == scalar.bound
+        assert kernel.algorithm == scalar.algorithm
+        assert kernel.details["guaranteed_round"] == scalar.details["guaranteed_round"]
+        assert kernel.provenance.backend == "vectorized"
+        assert kernel.provenance.fidelity == "measured"
+
+    def test_rendezvous_matches_the_simulation_backend(self):
+        kernel = solve(FEASIBLE_RV, backend="vectorized")
+        scalar = solve(FEASIBLE_RV, backend="simulation")
+        assert kernel.solved is True
+        assert abs(kernel.measured_time - scalar.measured_time) <= TIME_TOLERANCE
+        assert kernel.feasible is True
+        assert kernel.details["verdict"] == scalar.details["verdict"]
+
+    def test_infeasible_rendezvous_raises_like_the_engine(self):
+        with pytest.raises(InfeasibleConfigurationError):
+            solve(INFEASIBLE_RV, backend="vectorized")
+
+    def test_infeasible_with_horizon_runs_to_horizon(self):
+        spec = RendezvousProblem(
+            distance=1.4, visibility=0.35, horizon=200.0, allow_infeasible=True
+        )
+        result = solve(spec, backend="vectorized")
+        assert result.solved is False
+        assert result.feasible is False
+
+    def test_gathering_falls_back_to_the_scalar_engine(self):
+        spec = GatheringProblem(
+            members=(
+                GatheringMember(x=0.0, y=0.0),
+                GatheringMember(x=1.0, y=0.3, speed=0.6),
+            ),
+            visibility=0.4,
+        )
+        kernel = solve(spec, backend="vectorized")
+        scalar = solve(spec, backend="simulation")
+        assert kernel.provenance.backend == "simulation"  # honest fallback
+        assert kernel.solved == scalar.solved
+
+    def test_result_round_trips_through_json(self):
+        from repro.api import SolveResult
+
+        result = solve(SEARCH, backend="vectorized")
+        assert SolveResult.from_json(result.to_json()).fingerprint() == result.fingerprint()
+
+
+class TestBatchRouting:
+    def test_batch_runner_uses_the_batch_path(self):
+        specs = spec_suite("search-sweep")[:8]
+        runner = BatchRunner(backend="vectorized")
+        results, stats = runner.run(specs)
+        assert stats.solved_in_batch == len({s.canonical_hash() for s in specs})
+        assert stats.solved_in_pool == 0
+        assert all(result.solved for result in results)
+        assert [result.spec for result in results] == specs
+
+    def test_batched_and_single_results_have_equal_fingerprints(self):
+        spec = SearchProblem(distance=1.6, visibility=0.25, bearing=1.2)
+        single = solve(spec, backend="vectorized")
+        batched = VectorizedBackend().solve_specs([spec, SEARCH])[0]
+        assert batched.fingerprint() == single.fingerprint()
+
+    def test_mixed_batch_keeps_input_order(self):
+        specs = [SEARCH, FEASIBLE_RV, SearchProblem(distance=0.9, visibility=0.25, bearing=2.1)]
+        results = VectorizedBackend().solve_specs(specs)
+        assert [result.spec for result in results] == specs
+        assert all(result.solved for result in results)
+
+    def test_cache_hits_on_the_second_run(self):
+        specs = spec_suite("search-sweep")[:6]
+        runner = BatchRunner(backend="vectorized")
+        _, cold = runner.run(specs)
+        _, warm = runner.run(specs)
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == len(specs)
+
+    def test_auto_routes_search_batches_through_the_kernel(self):
+        specs = [SEARCH, FEASIBLE_RV, SearchProblem(distance=0.9, visibility=0.25, bearing=2.1)]
+        results, stats = BatchRunner(backend="auto").run(specs)
+        # Only the search group goes through the kernel; the rendezvous
+        # spec solves per spec.
+        assert stats.solved_in_batch == 2
+        assert results[0].provenance.backend == "vectorized"
+        assert results[1].provenance.backend == "simulation"
+        assert results[2].provenance.backend == "vectorized"
+
+    def test_mixed_workload_batches_search_and_pools_the_rest(self):
+        specs = [
+            SEARCH,
+            SearchProblem(distance=0.9, visibility=0.25, bearing=2.1),
+            RendezvousProblem(distance=1.1, visibility=0.35, speed=0.6),
+            RendezvousProblem(distance=1.3, visibility=0.35, speed=0.6),
+        ]
+        _, stats = BatchRunner(backend="auto", processes=2).run(specs)
+        assert stats.solved_in_batch == 2
+        assert stats.solved_in_pool == 2
+        assert stats.processes == 2
+
+    def test_auto_routes_search_consistently_for_singles_and_batches(self):
+        # Singles and batches must pick the same solver so the same spec
+        # always produces the same result fingerprint under "auto".
+        single = solve(SEARCH, backend="auto")
+        assert single.provenance.backend == "vectorized"
+        batched = BatchRunner(backend="auto").solve_many(
+            [SEARCH, SearchProblem(distance=0.9, visibility=0.25, bearing=2.1)]
+        )[0]
+        assert batched.fingerprint() == single.fingerprint()
+
+    def test_auto_single_rendezvous_still_uses_the_scalar_engine(self):
+        result = solve(FEASIBLE_RV, backend="auto")
+        assert result.provenance.backend == "simulation"
+
+    def test_explicit_pool_still_engages_when_nothing_is_batchable(self):
+        # A rendezvous-only workload has no search group for the kernel,
+        # so an explicitly requested pool must not be silently dropped.
+        specs = [
+            RendezvousProblem(distance=1.0 + 0.1 * i, visibility=0.35, speed=0.6)
+            for i in range(3)
+        ]
+        _, stats = BatchRunner(backend="auto", processes=2).run(specs)
+        assert stats.solved_in_pool == len(specs)
+        assert stats.solved_in_batch == 0
+
+    def test_vectorized_event_times_match_simulation_across_a_suite(self):
+        specs = spec_suite("search-sweep")
+        kernel_results = BatchRunner(backend="vectorized").solve_many(specs)
+        scalar_results = BatchRunner(backend="simulation").solve_many(specs)
+        for kernel, scalar in zip(kernel_results, scalar_results):
+            assert abs(kernel.measured_time - scalar.measured_time) <= TIME_TOLERANCE

@@ -46,6 +46,27 @@ class TestTauDecomposition:
             with pytest.raises(InvalidParameterError):
                 decompose_tau(tau)
 
+    def test_every_exact_power_of_two_decomposes_with_t_one_half(self):
+        # Lemma 13's edge case: tau = 2^-k must pick t = 1/2, a = k - 1
+        # (not t -> 1, a = k, which would violate the t < 1 constraint).
+        for k in range(1, 40):
+            tau = 2.0**-k
+            decomposition = decompose_tau(tau)
+            assert decomposition.t == 0.5, (tau, decomposition)
+            assert decomposition.a == k - 1, (tau, decomposition)
+            # The reconstruction is exact for powers of two, not approximate.
+            assert decomposition.tau == tau
+
+    def test_values_just_off_a_power_of_two_do_not_take_the_special_case(self):
+        for k in (1, 3, 10):
+            tau = 2.0**-k
+            below = math.nextafter(tau, 0.0)
+            above = math.nextafter(tau, 1.0)
+            for neighbour in (below, above):
+                decomposition = decompose_tau(neighbour)
+                assert 0.5 <= decomposition.t < 1.0
+                assert decomposition.tau == pytest.approx(neighbour, rel=1e-12)
+
 
 class TestRoundBounds:
     def test_lemma11_formula(self):

@@ -1,0 +1,92 @@
+"""Property-based parity: the vectorized kernel vs the scalar engine.
+
+The acceptance bar for the kernel is that *every* event time it reports
+agrees with the scalar reference implementation within ``TIME_TOLERANCE``
+-- not just on the curated suites, but across randomly drawn instances.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import UniversalSearch
+from repro.constants import TIME_TOLERANCE
+from repro.core import rendezvous_time_bound, theorem1_search_bound
+from repro.geometry import Vec2
+from repro.robots import RobotAttributes
+from repro.simulation import (
+    RendezvousInstance,
+    SearchInstance,
+    bound_multiple_horizon,
+    kernel_simulate_rendezvous,
+    kernel_simulate_search,
+    simulate_rendezvous,
+    simulate_search,
+    simulate_search_batch,
+)
+from repro.workloads import InstanceGenerator
+
+distances = st.floats(min_value=0.3, max_value=3.5, allow_nan=False)
+visibilities = st.floats(min_value=0.08, max_value=0.6, allow_nan=False)
+bearings = st.floats(min_value=0.0, max_value=2.0 * math.pi, exclude_max=True, allow_nan=False)
+speeds = st.floats(min_value=0.25, max_value=2.5, allow_nan=False).filter(
+    lambda v: abs(v - 1.0) > 1e-3
+)
+orientations = st.floats(min_value=0.0, max_value=2.0 * math.pi, exclude_max=True)
+
+
+class TestSearchParity:
+    @settings(max_examples=30, deadline=None)
+    @given(distances, visibilities, bearings)
+    def test_random_search_instances_agree_within_tolerance(
+        self, distance, visibility, bearing
+    ):
+        instance = SearchInstance(target=Vec2.polar(distance, bearing), visibility=visibility)
+        horizon = bound_multiple_horizon(
+            theorem1_search_bound(instance.distance, instance.visibility), 1.25
+        )
+        scalar = simulate_search(UniversalSearch(), instance, horizon)
+        kernel = kernel_simulate_search(UniversalSearch(), instance, horizon)
+        assert kernel.solved == scalar.solved
+        if scalar.solved:
+            assert abs(kernel.event.time - scalar.event.time) <= TIME_TOLERANCE
+
+    def test_random_suite_as_one_batch_agrees_within_tolerance(self):
+        instances = InstanceGenerator(seed=1234).search_suite(20)
+        horizons = [
+            bound_multiple_horizon(
+                theorem1_search_bound(i.distance, i.visibility), 1.25
+            )
+            for i in instances
+        ]
+        scalar = [
+            simulate_search(UniversalSearch(), instance, horizon)
+            for instance, horizon in zip(instances, horizons)
+        ]
+        batch = simulate_search_batch(UniversalSearch(), instances, horizons)
+        for reference, kernel in zip(scalar, batch):
+            assert kernel.solved == reference.solved
+            assert abs(kernel.event.time - reference.event.time) <= TIME_TOLERANCE
+
+
+class TestRendezvousParity:
+    @settings(max_examples=12, deadline=None)
+    @given(distances, speeds, orientations, bearings)
+    def test_random_feasible_rendezvous_agree_within_tolerance(
+        self, distance, speed, orientation, bearing
+    ):
+        instance = RendezvousInstance(
+            separation=Vec2.polar(distance, bearing),
+            visibility=0.4,
+            attributes=RobotAttributes(speed=speed, orientation=orientation),
+        )
+        bound = rendezvous_time_bound(instance)
+        horizon = bound_multiple_horizon(bound, 1.25)
+        scalar = simulate_rendezvous(UniversalSearch(), instance, horizon)
+        kernel = kernel_simulate_rendezvous(UniversalSearch(), instance, horizon)
+        assert kernel.solved == scalar.solved
+        if scalar.solved:
+            assert abs(kernel.event.time - scalar.event.time) <= TIME_TOLERANCE

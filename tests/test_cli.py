@@ -83,6 +83,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "tau = 0.5" in out
 
+    def test_suites_command_lists_every_named_suite_with_sizes(self, capsys):
+        from repro.workloads import spec_suite, spec_suite_names
+
+        assert main(["suites"]) == 0
+        out = capsys.readouterr().out
+        for name in spec_suite_names():
+            assert name in out
+        assert f"{len(spec_suite('search-sweep')):>5} specs" in out
+
+    def test_suites_command_json(self, capsys):
+        from repro.workloads import spec_suite_names
+
+        assert main(["suites", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["name"] for row in rows] == spec_suite_names()
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["search-sweep-large"]["specs"] >= 500
+        assert by_name["search-sweep"]["kinds"] == ["search"]
+
     def test_gather_command(self, capsys):
         code = main(
             [
