@@ -16,7 +16,12 @@ the other benchmark artefacts so future PRs can track the trajectory:
   baseline vs the vectorized backend on the search-sweep suite, the
   speedup ratio, a per-spec event-time parity check against
   ``TIME_TOLERANCE``, and the large sweep that is only tractable through
-  the kernel.
+  the kernel;
+* ``BENCH_store.json``  -- the persistent-store snapshot: a cold run of
+  the large search sweep recorded into a fresh ``ResultStore``, then a
+  warm replay from a brand-new process-state (fresh runner, fresh store
+  handle) that must solve **zero** specs and reproduce every result
+  fingerprint bit-identically.
 
 ``solved`` counts only specs whose simulated event actually fired;
 ``bound_only`` counts analytic answers (``solved is None`` -- no
@@ -25,29 +30,36 @@ simulation was performed, which is *not* the same as unsolved) and
 
 ``--quick`` is the CI smoke mode: small workloads, no pooled scenario,
 and a non-zero exit code when the kernel's event times drift from the
-scalar engine beyond ``TIME_TOLERANCE`` (no timings are asserted).
+scalar engine beyond ``TIME_TOLERANCE`` or when the warm store replay
+misses the store / drifts from the cold fingerprints (no timings are
+asserted).
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import platform
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 from repro._version import __version__
-from repro.api import BatchRunner
+from repro.api import BatchRunner, ResultStore
 from repro.constants import TIME_TOLERANCE
 from repro.simulation.kernel import clear_compiled_cache
 from repro.workloads import spec_suite
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_api.json"
 DEFAULT_KERNEL_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_kernel.json"
+DEFAULT_STORE_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_store.json"
 
 KERNEL_SUITE = "search-sweep"
 KERNEL_LARGE_SUITE = "search-sweep-large"
+STORE_SUITE = KERNEL_LARGE_SUITE
 
 
 def _workload(quick: bool) -> list:
@@ -69,6 +81,7 @@ def _measure(runner: BatchRunner, specs: list) -> tuple[dict, list]:
         "cache_hits": stats.cache_hits,
         "processes": stats.processes,
         "solved_in_batch": stats.solved_in_batch,
+        "solved_from_store": stats.solved_from_store,
         "wall_time_s": round(wall, 4),
         "specs_per_second": round(stats.total / wall, 2) if wall > 0 else None,
         # A backend that performed no simulation reports solved=None; that
@@ -195,6 +208,74 @@ def run_kernel_benchmark(quick: bool) -> dict:
     }
 
 
+def run_store_benchmark(quick: bool) -> dict:
+    """The persistent-store snapshot: cold suite replay vs 100% warm hits.
+
+    The cold pass records every envelope into a fresh store; the warm
+    pass rebuilds the whole stack from disk (fresh :class:`BatchRunner`,
+    fresh :class:`ResultStore` handle -- exactly what a new process or a
+    CI machine with a shipped cache would see) and must answer all specs
+    from the store with bit-identical fingerprints.
+    """
+    suite_name = KERNEL_SUITE if quick else STORE_SUITE
+    specs = spec_suite(suite_name)
+    suite_digest = hashlib.sha256(
+        "\n".join(spec.canonical_hash() for spec in specs).encode("utf-8")
+    ).hexdigest()
+
+    store_dir = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    try:
+        clear_compiled_cache()
+        cold_runner = BatchRunner(backend="vectorized", store=ResultStore(store_dir))
+        cold_record, cold_results = _measure(cold_runner, specs)
+
+        # A brand-new runner *and* store handle: everything must come
+        # back from the segments on disk, not from any in-memory state.
+        warm_store = ResultStore(store_dir)
+        warm_runner = BatchRunner(backend="vectorized", store=warm_store)
+        warm_record, warm_results = _measure(warm_runner, specs)
+
+        fingerprints_identical = [r.fingerprint() for r in cold_results] == [
+            r.fingerprint() for r in warm_results
+        ]
+        store_stats = warm_store.stats()
+        disk = {
+            "segments": store_stats.segments,
+            "records": store_stats.records,
+            "unique": store_stats.unique,
+            "total_bytes": store_stats.total_bytes,
+        }
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    cold_rate = cold_record["specs_per_second"] or 0.0
+    warm_rate = warm_record["specs_per_second"] or 0.0
+    return {
+        "benchmark": "repro persistent result store replay",
+        "library_version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "generated_at_unix": int(time.time()),
+        "suite": suite_name,
+        "suite_spec_hash_digest": suite_digest,
+        "scenarios": {
+            "store_cold": cold_record,
+            "store_warm_replay": warm_record,
+        },
+        "store_on_disk": disk,
+        "speedup_warm_vs_cold": round(warm_rate / cold_rate, 2) if cold_rate else None,
+        "warm_replay": {
+            "specs": len(specs),
+            "store_hits": warm_record["solved_from_store"],
+            "solved_fresh": len(specs)
+            - warm_record["cache_hits"]
+            - warm_record["solved_from_store"],
+            "all_from_store": warm_record["solved_from_store"] == len(specs),
+            "fingerprints_identical_to_cold": fingerprints_identical,
+        },
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -214,6 +295,12 @@ def main() -> int:
         default=DEFAULT_KERNEL_OUTPUT,
         help="where to write BENCH_kernel.json",
     )
+    parser.add_argument(
+        "--store-output",
+        type=Path,
+        default=DEFAULT_STORE_OUTPUT,
+        help="where to write BENCH_store.json",
+    )
     namespace = parser.parse_args()
 
     snapshot = run_benchmark(namespace.processes, namespace.quick)
@@ -226,14 +313,34 @@ def main() -> int:
         json.dumps(kernel_snapshot, indent=2) + "\n", encoding="utf-8"
     )
 
+    store_snapshot = run_store_benchmark(namespace.quick)
+    namespace.store_output.parent.mkdir(parents=True, exist_ok=True)
+    namespace.store_output.write_text(
+        json.dumps(store_snapshot, indent=2) + "\n", encoding="utf-8"
+    )
+
     print(json.dumps(snapshot, indent=2))
     print(json.dumps(kernel_snapshot, indent=2))
-    print(f"\nsnapshots written to {namespace.output} and {namespace.kernel_output}")
+    print(json.dumps(store_snapshot, indent=2))
+    print(
+        f"\nsnapshots written to {namespace.output}, {namespace.kernel_output} "
+        f"and {namespace.store_output}"
+    )
 
     if not kernel_snapshot["parity"]["within_tolerance"]:
         print(
             "ERROR: vectorized kernel event times drifted from the scalar engine "
             f"beyond TIME_TOLERANCE ({kernel_snapshot['parity']})",
+            file=sys.stderr,
+        )
+        return 1
+    warm_replay = store_snapshot["warm_replay"]
+    if not (
+        warm_replay["all_from_store"] and warm_replay["fingerprints_identical_to_cold"]
+    ):
+        print(
+            "ERROR: warm store replay missed the store or drifted from the cold "
+            f"fingerprints ({warm_replay})",
             file=sys.stderr,
         )
         return 1

@@ -8,6 +8,7 @@ from .competitive import (
 )
 from .report import CheckResult, ExperimentReport, combine_markdown
 from .statistics import SummaryStatistics, geometric_mean, log_log_slope, scaling_fit, summarize
+from .streaming import EnvelopeAggregate, GroupAggregate, StreamingStats, fold_envelopes
 from .sweep import ParameterSweep, geometric_grid, linear_grid
 from .tables import Table
 
@@ -28,4 +29,8 @@ __all__ = [
     "geometric_grid",
     "linear_grid",
     "Table",
+    "StreamingStats",
+    "GroupAggregate",
+    "EnvelopeAggregate",
+    "fold_envelopes",
 ]

@@ -1,0 +1,198 @@
+"""Streaming aggregation of stored result envelopes.
+
+The persistent :class:`~repro.api.store.ResultStore` can hold far more
+envelopes than it is sensible to materialise as :class:`SolveResult`
+objects at once.  This module folds envelopes -- in their JSON wire form,
+one at a time -- into compact per-``(kind, backend)`` aggregates using
+Welford's online algorithm, so summarising a million-record store costs
+one pass and constant memory:
+
+    from repro.api import ResultStore
+    from repro.analysis import fold_envelopes
+
+    store = ResultStore(".repro-store")
+    aggregate = fold_envelopes(envelope for _, envelope in store.scan())
+    print(aggregate.to_table().to_text())
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from .tables import Table
+
+__all__ = ["StreamingStats", "GroupAggregate", "EnvelopeAggregate", "fold_envelopes"]
+
+
+@dataclass
+class StreamingStats:
+    """Single-pass (Welford) mean/variance/extrema accumulator."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def push(self, value: float) -> None:
+        """Fold one observation in (constant memory)."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def merge(self, other: "StreamingStats") -> None:
+        """Fold another accumulator in (Chan's parallel combination)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / self.count)
+
+    def describe(self) -> str:
+        """Compact single-line rendering (mirrors ``SummaryStatistics``)."""
+        if self.count == 0:
+            return "n=0"
+        return (
+            f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} max={self.maximum:.4g}"
+        )
+
+
+@dataclass
+class GroupAggregate:
+    """Folded view of one ``(kind, backend)`` envelope group."""
+
+    kind: str
+    backend: str
+    count: int = 0
+    solved: int = 0
+    unsolved: int = 0
+    bound_only: int = 0
+    infeasible: int = 0
+    measured_time: StreamingStats = field(default_factory=StreamingStats)
+    bound_ratio: StreamingStats = field(default_factory=StreamingStats)
+
+    def push(self, envelope: Mapping[str, Any]) -> None:
+        """Fold one wire-format envelope in."""
+        self.count += 1
+        solved = envelope.get("solved")
+        if solved is True:
+            self.solved += 1
+        elif solved is False:
+            self.unsolved += 1
+        else:
+            self.bound_only += 1
+        if envelope.get("feasible") is False:
+            self.infeasible += 1
+        measured = envelope.get("measured_time")
+        if isinstance(measured, (int, float)):
+            self.measured_time.push(float(measured))
+        ratio = envelope.get("bound_ratio")
+        if isinstance(ratio, (int, float)):
+            self.bound_ratio.push(float(ratio))
+
+
+@dataclass
+class EnvelopeAggregate:
+    """All groups of a folded envelope stream."""
+
+    groups: dict[tuple[str, str], GroupAggregate] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """Number of envelopes folded in."""
+        return sum(group.count for group in self.groups.values())
+
+    def push(self, envelope: Mapping[str, Any]) -> None:
+        """Fold one wire-format envelope into its ``(kind, backend)`` group."""
+        spec = envelope.get("spec")
+        kind = spec.get("kind", "?") if isinstance(spec, Mapping) else "?"
+        provenance = envelope.get("provenance")
+        backend = (
+            provenance.get("backend", "?") if isinstance(provenance, Mapping) else "?"
+        )
+        key = (str(kind), str(backend))
+        group = self.groups.get(key)
+        if group is None:
+            group = self.groups[key] = GroupAggregate(kind=key[0], backend=key[1])
+        group.push(envelope)
+
+    def to_table(self, title: str = "Stored results by kind and backend") -> Table:
+        """Render the aggregate as a :class:`~repro.analysis.tables.Table`."""
+        table = Table(
+            columns=[
+                "kind",
+                "backend",
+                "results",
+                "solved",
+                "unsolved",
+                "bound only",
+                "infeasible",
+                "mean time",
+                "max time",
+                "mean ratio",
+                "max ratio",
+            ],
+            title=title,
+        )
+        for key in sorted(self.groups):
+            group = self.groups[key]
+            measured = group.measured_time
+            ratio = group.bound_ratio
+            table.add_row(
+                [
+                    group.kind,
+                    group.backend,
+                    group.count,
+                    group.solved,
+                    group.unsolved,
+                    group.bound_only,
+                    group.infeasible,
+                    measured.mean if measured.count else "",
+                    measured.maximum if measured.count else "",
+                    ratio.mean if ratio.count else "",
+                    ratio.maximum if ratio.count else "",
+                ]
+            )
+        return table
+
+
+def fold_envelopes(
+    envelopes: Iterable[Mapping[str, Any]],
+    aggregate: Optional[EnvelopeAggregate] = None,
+) -> EnvelopeAggregate:
+    """Fold an envelope stream into per-group aggregates, one at a time.
+
+    Accepts any iterable of wire-format envelopes (e.g. ``envelope for
+    _, envelope in store.scan()``) and never holds more than one live.
+    Passing an existing ``aggregate`` continues a previous fold, so
+    several stores can be summarised into one view.
+    """
+    if aggregate is None:
+        aggregate = EnvelopeAggregate()
+    for envelope in envelopes:
+        aggregate.push(envelope)
+    return aggregate

@@ -16,7 +16,10 @@ seam:
   (measured time, bound, provenance), also JSON-round-trippable;
 * :mod:`repro.api.batch`    -- :class:`BatchRunner`, the throughput path:
   LRU result cache, deterministic seeding, batch-kernel routing and
-  multiprocessing fan-out.
+  multiprocessing fan-out;
+* :mod:`repro.api.store`    -- :class:`ResultStore`, the durable tier:
+  an append-only, content-addressed log of envelopes that survives the
+  process and ships between machines (``export`` / ``import_file``).
 
 Quickstart::
 
@@ -44,6 +47,7 @@ from .backends import (
 )
 from .batch import BatchRunner, BatchStats, solve_batch
 from .result import Provenance, SolveResult
+from .store import ResultStore, StoreKey, StoreStats
 from .vectorized import VectorizedBackend
 from .spec import (
     SCHEMA_VERSION,
@@ -81,4 +85,7 @@ __all__ = [
     "BatchRunner",
     "BatchStats",
     "solve_batch",
+    "ResultStore",
+    "StoreKey",
+    "StoreStats",
 ]

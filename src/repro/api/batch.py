@@ -7,6 +7,13 @@ levers on top of the single-spec facade:
 * **result cache** -- an LRU keyed by ``(backend, canonical spec hash)``;
   sweep workloads revisit the same spec (warm-up rows, shared baselines)
   and pay for it once.
+* **persistent store** -- an optional
+  :class:`~repro.api.store.ResultStore` tier below the LRU: envelopes
+  solved in any previous process answer from disk
+  (``BatchStats.solved_from_store``), and everything solved here is
+  recorded for the next run.  Served envelopes carry
+  ``provenance.from_store = True`` (fingerprint-neutral, see
+  :meth:`~repro.api.result.SolveResult.fingerprint`).
 * **multiprocessing** -- cache misses fan out over a worker pool in
   chunks; specs and results cross process boundaries in their JSON-dict
   form, so only the stable wire format is pickled.  Only the untouched
@@ -25,13 +32,15 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Any, Iterable, Optional, Sequence, Union
 
 from ..errors import InvalidParameterError
 from .backends import _REGISTRY as _BACKEND_REGISTRY
 from .backends import AnalyticBackend, AutoBackend, SimulationBackend, create_backend, solve
 from .result import SolveResult
 from .spec import ProblemSpec, spec_from_dict
+from .store import ResultStore
 from .vectorized import VectorizedBackend
 
 __all__ = ["BatchStats", "BatchRunner", "solve_batch"]
@@ -73,6 +82,8 @@ class BatchStats:
     #: Misses solved through a batch-capable backend's ``solve_specs``
     #: (the vectorized kernel path) instead of per-spec calls.
     solved_in_batch: int = 0
+    #: Unique keys answered by the persistent result store tier.
+    solved_from_store: int = 0
 
     @property
     def specs_per_second(self) -> float:
@@ -80,6 +91,18 @@ class BatchStats:
         if self.wall_time <= 0.0:
             return float("inf")
         return self.total / self.wall_time
+
+    @property
+    def solved_fresh(self) -> int:
+        """Unique keys actually solved in this run (no cache, no store)."""
+        return self.unique - self.cache_hits - self.solved_from_store
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of unique keys answered without solving (LRU + store)."""
+        if self.unique <= 0:
+            return 0.0
+        return (self.cache_hits + self.solved_from_store) / self.unique
 
     def describe(self) -> str:
         """One-line human readable summary."""
@@ -89,7 +112,8 @@ class BatchStats:
         if self.solved_in_pool or not self.solved_in_batch:
             modes.append(f"{self.processes} process(es), chunksize {self.chunksize}")
         return (
-            f"{self.total} specs ({self.unique} unique, {self.cache_hits} cache hits) "
+            f"{self.total} specs ({self.unique} unique, {self.cache_hits} cache hits, "
+            f"{self.solved_from_store} store hits, hit rate {self.hit_rate:.0%}) "
             f"in {self.wall_time:.3f}s = {self.specs_per_second:.1f} specs/s "
             f"[{'; '.join(modes)}]"
         )
@@ -108,6 +132,10 @@ class BatchRunner:
             starving the pool on skewed workloads).
         cache_size: maximum number of results kept in the LRU cache
             (``0`` disables caching).
+        store: persistent result tier below the LRU -- a
+            :class:`~repro.api.store.ResultStore`, or a directory path to
+            open one at.  Misses are looked up there before solving, and
+            fresh results are recorded for future runs.
     """
 
     def __init__(
@@ -116,6 +144,7 @@ class BatchRunner:
         processes: Optional[int] = None,
         chunksize: Optional[int] = None,
         cache_size: int = 4096,
+        store: Union[ResultStore, str, Path, None] = None,
     ) -> None:
         if processes is not None and processes < 1:
             raise InvalidParameterError(f"processes must be >= 1, got {processes!r}")
@@ -127,6 +156,9 @@ class BatchRunner:
         self.processes = processes
         self.chunksize = chunksize
         self.cache_size = cache_size
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store: Optional[ResultStore] = store
         self._cache: OrderedDict[tuple[str, str], SolveResult] = OrderedDict()
 
     # -- cache -----------------------------------------------------------------
@@ -153,24 +185,44 @@ class BatchRunner:
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
 
-    # -- solving ---------------------------------------------------------------
-    def solve_many(self, specs: Iterable[ProblemSpec]) -> list[SolveResult]:
-        """Solve every spec, in input order (see :meth:`run` for stats)."""
-        return self.run(specs)[0]
+    def _record_solved(self, key: tuple[str, str], result: SolveResult) -> None:
+        """File one freshly solved result with the LRU and the store tier."""
+        self._cache_put(key, result)
+        if self.store is not None:
+            self.store.put(key[0], result)
 
-    def run(self, specs: Iterable[ProblemSpec]) -> tuple[list[SolveResult], BatchStats]:
+    # -- solving ---------------------------------------------------------------
+    def solve_many(
+        self, specs: Iterable[ProblemSpec], backend: Optional[str] = None
+    ) -> list[SolveResult]:
+        """Solve every spec, in input order (see :meth:`run` for stats)."""
+        return self.run(specs, backend=backend)[0]
+
+    def run(
+        self, specs: Iterable[ProblemSpec], backend: Optional[str] = None
+    ) -> tuple[list[SolveResult], BatchStats]:
         """Solve every spec and report batch statistics.
 
         Duplicate specs (equal canonical hash) are solved once.  The
         returned list matches the input order and length exactly.
+
+        Args:
+            specs: the problems to solve.
+            backend: per-call backend override; defaults to the runner's
+                configured backend.  The LRU and the store key by the
+                effective backend name, so one shared runner can serve
+                callers with different fidelity needs without mixing
+                their results.
         """
+        effective = backend if backend is not None else self.backend
         spec_list: Sequence[ProblemSpec] = list(specs)
         start = time.perf_counter()
-        keys = [(self.backend, spec.canonical_hash()) for spec in spec_list]
+        keys = [(effective, spec.canonical_hash()) for spec in spec_list]
 
         resolved: dict[tuple[str, str], SolveResult] = {}
-        misses: list[tuple[tuple[str, str], ProblemSpec]] = []
+        lru_misses: list[tuple[tuple[str, str], ProblemSpec]] = []
         cache_hits = 0
+        store_hits = 0
         for key, spec in zip(keys, spec_list):
             if key in resolved:
                 continue
@@ -178,11 +230,25 @@ class BatchRunner:
             if cached is not None:
                 resolved[key] = cached
                 cache_hits += 1
-            else:
-                resolved[key] = None  # type: ignore[assignment]  # placeholder, filled below
-                misses.append((key, spec))
+                continue
+            resolved[key] = None  # type: ignore[assignment]  # placeholder, filled below
+            lru_misses.append((key, spec))
+        # The store tier answers LRU misses in one batched read (one file
+        # open per segment) before anything is solved.
+        misses = lru_misses
+        if self.store is not None and lru_misses:
+            stored_map = self.store.get_many(effective, [key[1] for key, _ in lru_misses])
+            misses = []
+            for key, spec in lru_misses:
+                stored = stored_map.get(key[1])
+                if stored is not None:
+                    resolved[key] = stored
+                    self._cache_put(key, stored)
+                    store_hits += 1
+                else:
+                    misses.append((key, spec))
 
-        backend_obj = create_backend(self.backend)
+        backend_obj = create_backend(effective)
         # A backend exposing ``solve_specs`` solves homogeneous groups
         # array-at-a-time (vectorized kernel, auto routing).  Only the
         # group the backend reports as batchable skips the pool; the
@@ -202,7 +268,7 @@ class BatchRunner:
                 rest = [miss for i, miss in enumerate(misses) if i not in indices]
 
         processes = self.processes or 1
-        use_pool = processes > 1 and len(rest) > 1 and _pool_safe(self.backend)
+        use_pool = processes > 1 and len(rest) > 1 and _pool_safe(effective)
         chunksize = self.chunksize or max(1, len(rest) // (4 * processes) or 1)
         solved_in_pool = 0
         solved_in_batch = 0
@@ -214,31 +280,33 @@ class BatchRunner:
                 # the two run concurrently instead of back to back.
                 import multiprocessing
 
-                payloads = [(self.backend, spec.to_dict()) for _, spec in rest]
+                payloads = [(effective, spec.to_dict()) for _, spec in rest]
                 pool = multiprocessing.Pool(processes)
                 pending = pool.map_async(_solve_serialized, payloads, chunksize=chunksize)
             if batch_misses:
                 batch_results = backend_obj.solve_specs([spec for _, spec in batch_misses])
                 for (key, _), result in zip(batch_misses, batch_results):
                     resolved[key] = result
-                    self._cache_put(key, result)
+                    self._record_solved(key, result)
                 solved_in_batch = len(batch_misses)
             if pending is not None:
                 raw = pending.get()
                 for (key, _), data in zip(rest, raw):
                     result = SolveResult.from_dict(data)
                     resolved[key] = result
-                    self._cache_put(key, result)
+                    self._record_solved(key, result)
                 solved_in_pool = len(rest)
             elif rest:
                 for key, spec in rest:
                     result = backend_obj.solve(spec)
                     resolved[key] = result
-                    self._cache_put(key, result)
+                    self._record_solved(key, result)
         finally:
             if pool is not None:
                 pool.close()
                 pool.join()
+            if self.store is not None:
+                self.store.flush()
 
         wall_time = time.perf_counter() - start
         stats = BatchStats(
@@ -250,6 +318,7 @@ class BatchRunner:
             chunksize=chunksize if use_pool else 1,
             wall_time=wall_time,
             solved_in_batch=solved_in_batch,
+            solved_from_store=store_hits,
         )
         return [resolved[key] for key in keys], stats
 

@@ -34,6 +34,12 @@ class Provenance:
         schema_version: spec wire-format version at solve time.
         library_version: ``repro.__version__`` at solve time.
         wall_time: seconds spent inside the backend.
+        from_store: True when this envelope was reused from a persistent
+            :class:`~repro.api.store.ResultStore` instead of being solved
+            in this process.  Like ``wall_time`` it describes the *run*
+            rather than the *answer*, so :meth:`SolveResult.fingerprint`
+            neutralises it: warm replays stay bit-identical to cold runs
+            while the live envelope stays honest about reuse.
     """
 
     backend: str
@@ -43,6 +49,7 @@ class Provenance:
     schema_version: int = SCHEMA_VERSION
     library_version: str = __version__
     wall_time: float = 0.0
+    from_store: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -53,6 +60,7 @@ class Provenance:
             "schema_version": self.schema_version,
             "library_version": self.library_version,
             "wall_time": self.wall_time,
+            "from_store": self.from_store,
         }
 
     @classmethod
@@ -146,14 +154,17 @@ class SolveResult:
         return cls.from_dict(json.loads(text))
 
     def fingerprint(self) -> dict[str, Any]:
-        """The envelope minus wall-clock time: equal for identical reruns.
+        """The envelope minus run-specific provenance: equal for identical reruns.
 
-        Two runs of the same spec on the same backend -- serial, pooled or
-        in different processes -- produce equal fingerprints; only the
-        ``wall_time`` provenance field may differ.
+        Two runs of the same spec on the same backend -- serial, pooled,
+        in different processes, or replayed from a persistent store --
+        produce equal fingerprints; only the ``wall_time`` and
+        ``from_store`` provenance fields may differ.
         """
         data = self.to_dict()
-        data["provenance"] = replace(self.provenance, wall_time=0.0).to_dict()
+        data["provenance"] = replace(
+            self.provenance, wall_time=0.0, from_store=False
+        ).to_dict()
         return data
 
     # -- presentation ----------------------------------------------------------

@@ -4,10 +4,12 @@ Sub-commands::
 
     repro solve        --kind rendezvous --distance 1.5 --visibility 0.3 --speed 0.7 --json
     repro solve        --spec-file specs.json --backend analytic --processes 4
+    repro solve        --spec-file specs.json --store .repro-store
     repro feasibility  --speed 1.0 --time-unit 0.5 --orientation 0 --chirality 1
     repro search       --distance 1.5 --bearing 0.8 --visibility 0.3 [--json]
     repro rendezvous   --distance 1.5 --bearing 0.8 --visibility 0.3 --speed 0.7 ... [--json]
-    repro experiments  --all [--quick] [--output results/]
+    repro experiments  --all [--quick] [--output results/] [--store DIR] [--expect-warm]
+    repro store        stats|gc|export|import --store DIR [--file FILE] [--json]
     repro suites       [--json]
     repro schedule     --rounds 4 --tau 0.5
     repro gather       --robot X,Y,V,TAU,PHI,CHI ... --visibility 0.4
@@ -20,15 +22,22 @@ dispatches it through the :mod:`repro.api` backend registry and prints
 either a human summary or the JSON ``SolveResult`` envelope.  The older
 ``search`` / ``rendezvous`` sub-commands are kept as thin wrappers over
 the same facade and grew a ``--json`` flag.
+
+``--store DIR`` on ``solve`` and ``experiments`` enables the persistent
+result store: envelopes solved in any earlier run answer from disk, and
+fresh solves are recorded for the next one (the ``REPRO_STORE``
+environment variable sets a default; ``--no-store`` overrides it).
+``repro store`` inspects and maintains a store directory.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .api import (
     BatchRunner,
@@ -36,6 +45,7 @@ from .api import (
     GatheringProblem,
     ProblemSpec,
     RendezvousProblem,
+    ResultStore,
     SearchProblem,
     backend_names,
     spec_from_dict,
@@ -44,10 +54,13 @@ from .api import solve as api_solve
 from .core import classify_feasibility
 from .core.schedule import RoundSchedule
 from .errors import InvalidParameterError, ReproError
-from .experiments import experiment_ids, run_all, run_experiment, write_summary
+from .experiments import experiment_ids, run_all_resumable, write_summary
 from .geometry import Vec2
 from .robots import RobotAttributes
 from .viz import overlap_rows, render_schedule_ascii
+
+#: Environment variable that provides a default ``--store`` directory.
+STORE_ENV_VAR = "REPRO_STORE"
 
 __all__ = ["main", "build_parser"]
 
@@ -109,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--json", action="store_true", help="emit the SolveResult envelope(s) as JSON"
     )
+    _add_store_arguments(solve)
 
     feasibility = subparsers.add_parser("feasibility", help="apply the Theorem 4 feasibility test")
     _add_attribute_arguments(feasibility)
@@ -145,6 +159,37 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--list", action="store_true", help="list available experiments")
     experiments.add_argument("--quick", action="store_true", help="reduced workloads for smoke runs")
     experiments.add_argument("--output", type=Path, default=None, help="directory for artefacts")
+    experiments.add_argument(
+        "--processes", type=int, default=None, help="worker processes for the shared runner"
+    )
+    experiments.add_argument(
+        "--expect-warm",
+        action="store_true",
+        help=(
+            "fail when any spec had to be solved fresh (not served by the store/cache) "
+            "or a result fingerprint diverged from the recorded run -- the CI resume check"
+        ),
+    )
+    _add_store_arguments(experiments)
+
+    store = subparsers.add_parser(
+        "store", help="inspect and maintain a persistent result store"
+    )
+    store.add_argument(
+        "action",
+        choices=("stats", "gc", "export", "import"),
+        help="stats: counts + streaming aggregate; gc: compact segments; "
+        "export/import: ship a warm cache as one JSONL file",
+    )
+    store.add_argument(
+        "--file",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="JSONL file to export to / import from",
+    )
+    store.add_argument("--json", action="store_true", help="emit the outcome as JSON")
+    _add_store_arguments(store)
 
     suites = subparsers.add_parser(
         "suites", help="list the named workload suites (for solve/benchmark sweeps)"
@@ -169,6 +214,32 @@ def build_parser() -> argparse.ArgumentParser:
     gather.add_argument("--horizon", type=float, default=20000.0, help="per-pair simulation horizon")
 
     return parser
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=f"persistent result store directory (default: ${STORE_ENV_VAR} when set)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help=f"disable the persistent store even when ${STORE_ENV_VAR} is set",
+    )
+
+
+def _store_path_from(namespace: argparse.Namespace) -> Optional[str]:
+    """Resolve the effective store directory: flag, then env, then None."""
+    if namespace.no_store:
+        if namespace.store is not None:
+            raise InvalidParameterError("--store and --no-store are mutually exclusive")
+        return None
+    if namespace.store is not None:
+        return namespace.store
+    return os.environ.get(STORE_ENV_VAR) or None
 
 
 def _add_attribute_arguments(parser: argparse.ArgumentParser) -> None:
@@ -249,13 +320,19 @@ def _command_solve(namespace: argparse.Namespace) -> int:
         specs, emit_list = _specs_from_file(namespace.spec_file)
     else:
         specs, emit_list = [_spec_from_flags(namespace)], False
-    runner = BatchRunner(backend=namespace.backend, processes=namespace.processes)
+    runner = BatchRunner(
+        backend=namespace.backend,
+        processes=namespace.processes,
+        store=_store_path_from(namespace),
+    )
     results, stats = runner.run(specs)
     if namespace.json:
         if emit_list:
             print(json.dumps([result.to_dict() for result in results], indent=2))
         else:
             print(results[0].to_json(indent=2))
+        # Cache effectiveness goes to stderr so stdout stays parseable.
+        print(stats.describe(), file=sys.stderr)
     else:
         for result in results:
             print(result.summary())
@@ -313,23 +390,136 @@ def _command_experiments(namespace: argparse.Namespace) -> int:
         for identifier in experiment_ids():
             print(identifier)
         return 0
-    if namespace.all:
-        reports = run_all(output_dir=namespace.output, quick=namespace.quick)
-    elif namespace.ids:
-        reports = [
-            run_experiment(identifier, output_dir=namespace.output, quick=namespace.quick)
-            for identifier in namespace.ids
-        ]
-    else:
+    if not namespace.all and not namespace.ids:
         print("nothing to run: pass experiment ids, --all or --list", file=sys.stderr)
         return 2
+    store_path = _store_path_from(namespace)
+    if namespace.expect_warm and store_path is None:
+        raise InvalidParameterError(
+            f"--expect-warm needs a store to answer from: pass --store DIR "
+            f"(or set ${STORE_ENV_VAR})"
+        )
+    reports, run_summary = run_all_resumable(
+        output_dir=namespace.output,
+        quick=namespace.quick,
+        ids=None if namespace.all else namespace.ids,
+        store=store_path,
+        processes=namespace.processes,
+    )
     for report in reports:
         print(report.to_text())
+        print()
+    if store_path is not None:
+        print(run_summary.describe())
         print()
     if namespace.output is not None:
         summary = write_summary(reports, Path(namespace.output) / "summary.md")
         print(f"summary written to {summary}")
+    if namespace.expect_warm:
+        if not run_summary.fully_warm:
+            print(
+                f"error: --expect-warm but {run_summary.fresh_solves} spec(s) were "
+                "solved fresh instead of answering from the store",
+                file=sys.stderr,
+            )
+            return 1
+        if run_summary.fingerprint_mismatches:
+            print(
+                "error: --expect-warm but result fingerprints diverged in: "
+                + ", ".join(run_summary.fingerprint_mismatches),
+                file=sys.stderr,
+            )
+            return 1
     return 0 if all(report.all_passed for report in reports) else 1
+
+
+def _command_store(namespace: argparse.Namespace) -> int:
+    from .analysis import fold_envelopes
+
+    store_path = _store_path_from(namespace)
+    if store_path is None:
+        raise InvalidParameterError(
+            f"repro store needs --store DIR (or ${STORE_ENV_VAR} in the environment)"
+        )
+    # Only `import` may create the directory; the inspect/maintain
+    # actions on a mistyped path should say so, not report an empty store.
+    if namespace.action != "import" and not Path(store_path).is_dir():
+        raise InvalidParameterError(f"store directory {store_path!r} does not exist")
+    store = ResultStore(store_path)
+    if namespace.action == "stats":
+        stats = store.stats()
+        aggregate = fold_envelopes(envelope for _, envelope in store.scan())
+        if namespace.json:
+            payload = {
+                "path": stats.path,
+                "segments": stats.segments,
+                "records": stats.records,
+                "unique": stats.unique,
+                "duplicates": stats.duplicates,
+                "skipped_lines": stats.skipped_lines,
+                "total_bytes": stats.total_bytes,
+                "backends": stats.backends,
+                "groups": [
+                    {
+                        "kind": group.kind,
+                        "backend": group.backend,
+                        "results": group.count,
+                        "solved": group.solved,
+                        "unsolved": group.unsolved,
+                        "bound_only": group.bound_only,
+                        "infeasible": group.infeasible,
+                        "mean_measured_time": group.measured_time.mean
+                        if group.measured_time.count
+                        else None,
+                        "max_bound_ratio": group.bound_ratio.maximum
+                        if group.bound_ratio.count
+                        else None,
+                    }
+                    for _, group in sorted(aggregate.groups.items())
+                ],
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print(stats.describe())
+            if aggregate.groups:
+                print()
+                print(aggregate.to_table().to_text())
+        return 0
+    if namespace.action == "gc":
+        kept, removed = store.gc()
+        if namespace.json:
+            print(json.dumps({"action": "gc", "kept": kept, "removed_segments": removed}))
+        else:
+            print(f"compacted {removed} segment(s) into 1; {kept} live record(s) kept")
+        return 0
+    if namespace.file is None:
+        raise InvalidParameterError(f"repro store {namespace.action} needs --file FILE")
+    if namespace.action == "export":
+        count = store.export(namespace.file)
+        if namespace.json:
+            print(
+                json.dumps(
+                    {"action": "export", "records": count, "file": str(namespace.file)}
+                )
+            )
+        else:
+            print(f"exported {count} record(s) to {namespace.file}")
+        return 0
+    added = store.import_file(namespace.file)
+    if namespace.json:
+        print(
+            json.dumps(
+                {
+                    "action": "import",
+                    "added": added,
+                    "total": len(store),
+                    "file": str(namespace.file),
+                }
+            )
+        )
+    else:
+        print(f"imported {added} new record(s) from {namespace.file} ({len(store)} total)")
+    return 0
 
 
 def _command_suites(namespace: argparse.Namespace) -> int:
@@ -404,6 +594,7 @@ _COMMANDS = {
     "search": _command_search,
     "rendezvous": _command_rendezvous,
     "experiments": _command_experiments,
+    "store": _command_store,
     "suites": _command_suites,
     "schedule": _command_schedule,
     "gather": _command_gather,

@@ -83,7 +83,12 @@ def rendezvous_time_bound(instance: RendezvousInstance) -> Optional[float]:
     * equal clocks  -> Theorem 2 (through ``mu`` or ``1 - v``),
     * different clocks -> Theorem 3 (converted to global time when the
       other robot's clock is the fast one),
-    * infeasible    -> None.
+    * infeasible    -> None,
+    * asymmetric clocks whose Theorem 3 time saturates past float64
+      range (Lemma 13's ``k*`` explodes as ``t -> 1``) -> None: no
+      *finite* bound is representable, and ``None`` keeps the JSON wire
+      format RFC-clean (``inf`` would serialise as the non-standard
+      ``Infinity`` token).
 
     The Theorem 2 ``chi = -1`` closed form is stated for ``v < 1``; for a
     mirrored instance with ``v > 1`` the bound is computed from the other
@@ -129,10 +134,14 @@ def rendezvous_time_bound(instance: RendezvousInstance) -> Optional[float]:
     # whose distance unit in the swapped view is the world unit divided by
     # the fast robot's distance unit.
     if attributes.time_unit < 1.0:
-        return theorem3_time_bound(instance.distance, instance.visibility, tau)
-    unit = attributes.speed * attributes.time_unit
-    bound_local = theorem3_time_bound(instance.distance / unit, instance.visibility / unit, tau)
-    return bound_local * attributes.time_unit
+        bound = theorem3_time_bound(instance.distance, instance.visibility, tau)
+    else:
+        unit = attributes.speed * attributes.time_unit
+        bound_local = theorem3_time_bound(
+            instance.distance / unit, instance.visibility / unit, tau
+        )
+        bound = bound_local * attributes.time_unit
+    return bound if math.isfinite(bound) else None
 
 
 def solve_rendezvous(

@@ -113,12 +113,25 @@ def theorem3_time_bound(distance: float, visibility: float, tau: float) -> float
     rendezvous time is below the time needed to complete ``k*`` full rounds,
     ``I(k* + 1)`` in the notation of Lemma 8 (the paper states the bound
     through the same quantity).
+
+    The bound is always mathematically finite, but when ``tau``'s Lemma 13
+    decomposition has ``t`` very close to 1, ``k*`` grows like
+    ``(a+1) t/(1-t)`` and ``I(k*+1) ~ 2^{k*}`` exceeds float64 range; the
+    returned value then saturates to ``math.inf`` (the schedule formulas
+    themselves stay loud -- see
+    :func:`~repro.core.schedule.inactive_phase_start` -- because they are
+    used in differences where ``inf`` would decay to ``nan``; a time
+    *bound* has no such consumer, and ``inf`` is the honest order-preserving
+    answer).
     """
     if not (0.0 < tau < 1.0):
         raise InvalidParameterError(f"Theorem 3 is stated for 0 < tau < 1, got {tau!r}")
     n = guaranteed_discovery_round(distance, visibility)
     k_star = lemma13_round_bound(tau, n)
-    return inactive_phase_start(k_star + 1)
+    try:
+        return inactive_phase_start(k_star + 1)
+    except OverflowError:
+        return math.inf
 
 
 def normalize_clock_ratio(time_unit: float) -> tuple[float, float]:

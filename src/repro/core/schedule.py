@@ -16,6 +16,7 @@ Lemmas 9-10, handled in :mod:`repro.core.overlap`).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -38,10 +39,30 @@ def _check_round(n: int) -> None:
         raise InvalidParameterError(f"the round index must be a positive integer, got {n!r}")
 
 
+def _finite_time(value: float, n: int) -> float:
+    """Guard a schedule time against leaving float64 range.
+
+    Raises ``OverflowError`` uniformly (bare ``2^n`` raises on its own
+    from n=1024, but the *products* overflow silently to ``inf`` from
+    n~1007): the schedule formulas are used in *differences* (phase
+    durations, overlap windows), where a saturated ``inf`` would
+    silently turn into ``inf - inf = nan``.  The one consumer that must
+    stay total for astronomically large rounds --
+    :func:`repro.core.rounds.theorem3_time_bound` -- catches the
+    overflow and saturates at its own boundary instead.
+    """
+    if not math.isfinite(value):
+        raise OverflowError(f"schedule time for round {n} exceeds float64 range")
+    return value
+
+
 def search_all_time(n: int) -> float:
-    """``S(n) = 12(pi+1) n 2^n`` -- duration of ``SearchAll(n)`` (equation (1))."""
+    """``S(n) = 12(pi+1) n 2^n`` -- duration of ``SearchAll(n)`` (equation (1)).
+
+    Raises ``OverflowError`` beyond float64 range (see :func:`_finite_time`).
+    """
     _check_round(n)
-    return SEARCH_ALL_FACTOR * n * 2.0**n
+    return _finite_time(SEARCH_ALL_FACTOR * n * 2.0**n, n)
 
 
 def universal_search_prefix_duration(k: int) -> float:
@@ -51,19 +72,22 @@ def universal_search_prefix_duration(k: int) -> float:
     same walk as ``SearchAll(k)``.
     """
     _check_round(k)
-    return SEARCH_ROUND_FACTOR * k * 2.0 ** (k + 2)
+    return _finite_time(SEARCH_ROUND_FACTOR * k * 2.0 ** (k + 2), k)
 
 
 def inactive_phase_start(n: int) -> float:
-    """``I(n) = 24(pi+1)[(2n-4) 2^n + 4]`` -- start of round ``n``'s inactive phase (Lemma 8)."""
+    """``I(n) = 24(pi+1)[(2n-4) 2^n + 4]`` -- start of round ``n``'s inactive phase (Lemma 8).
+
+    Raises ``OverflowError`` beyond float64 range (see :func:`_finite_time`).
+    """
     _check_round(n)
-    return PHASE_FACTOR * ((2 * n - 4) * 2.0**n + 4)
+    return _finite_time(PHASE_FACTOR * ((2 * n - 4) * 2.0**n + 4), n)
 
 
 def active_phase_start(n: int) -> float:
     """``A(n) = 24(pi+1)[(3n-4) 2^n + 4]`` -- start of round ``n``'s active phase (Lemma 8)."""
     _check_round(n)
-    return PHASE_FACTOR * ((3 * n - 4) * 2.0**n + 4)
+    return _finite_time(PHASE_FACTOR * ((3 * n - 4) * 2.0**n + 4), n)
 
 
 def round_duration(n: int) -> float:

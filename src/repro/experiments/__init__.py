@@ -1,7 +1,24 @@
-"""The evaluation harness: one module per reproduced theorem, lemma or figure."""
+"""The evaluation harness: one module per reproduced theorem, lemma or figure.
 
+``run_all`` / ``repro experiments --all`` is *incremental* when given a
+persistent store: a shared :class:`~repro.api.BatchRunner` serves every
+experiment from one LRU plus the store, and the run manifest
+(:mod:`repro.experiments.manifest`) records what each experiment solved
+-- an interrupted or repeated sweep only solves what is missing, and
+repeated runs verify result-fingerprint digests against the recorded
+ones.
+"""
+
+from .base import active_runner, shared_runner, solve_specs
+from .manifest import ExperimentRecorder, RunManifest, fingerprint_digest
 from .registry import ExperimentEntry, experiment_ids, get_experiment, run_experiment
-from .runall import run_all, write_summary
+from .runall import (
+    ExperimentRunInfo,
+    RunAllSummary,
+    run_all,
+    run_all_resumable,
+    write_summary,
+)
 
 __all__ = [
     "ExperimentEntry",
@@ -9,5 +26,14 @@ __all__ = [
     "get_experiment",
     "run_experiment",
     "run_all",
+    "run_all_resumable",
+    "ExperimentRunInfo",
+    "RunAllSummary",
     "write_summary",
+    "solve_specs",
+    "shared_runner",
+    "active_runner",
+    "ExperimentRecorder",
+    "RunManifest",
+    "fingerprint_digest",
 ]

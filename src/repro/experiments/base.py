@@ -4,17 +4,56 @@ Every experiment module exposes ``run(output_dir=None, quick=False)``
 returning an :class:`~repro.analysis.report.ExperimentReport`.  The helpers
 here keep the per-experiment code focused on the science: they handle
 artefact writing and the common "measured vs bound" bookkeeping.
+
+Solving goes through :func:`solve_specs`.  Historically it built a fresh
+:class:`~repro.api.BatchRunner` per call, which silently defeated the LRU
+across the stages of a single experiment (and across experiments in a
+``--all`` sweep).  It now prefers a *shared* runner: either one passed
+explicitly, or the ambient one installed by :func:`shared_runner` -- the
+run-all driver wraps every experiment in that context, so one LRU (and,
+when requested, one persistent store) serves the whole sweep.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Any, Iterable, Iterator, Optional
 
 from ..analysis import ExperimentReport
 from ..api import BatchRunner, ProblemSpec, SolveResult
 
-__all__ = ["finalize_report", "solve_specs"]
+__all__ = ["finalize_report", "solve_specs", "shared_runner", "active_runner"]
+
+#: Stack of ``(runner, recorder)`` pairs installed by :func:`shared_runner`.
+_ACTIVE: list[tuple[BatchRunner, Optional[Any]]] = []
+
+
+@contextmanager
+def shared_runner(
+    runner: Optional[BatchRunner] = None, recorder: Optional[Any] = None
+) -> Iterator[BatchRunner]:
+    """Install a runner every :func:`solve_specs` call in the block shares.
+
+    Args:
+        runner: the runner to share (a default one is built when omitted).
+        recorder: optional observer with a
+            ``record(backend, specs, results, stats)`` method (see
+            :class:`~repro.experiments.manifest.ExperimentRecorder`),
+            notified after every solve.
+    """
+    if runner is None:
+        runner = BatchRunner()
+    _ACTIVE.append((runner, recorder))
+    try:
+        yield runner
+    finally:
+        _ACTIVE.pop()
+
+
+def active_runner() -> Optional[BatchRunner]:
+    """The innermost shared runner, or None outside any context."""
+    return _ACTIVE[-1][0] if _ACTIVE else None
 
 
 def finalize_report(report: ExperimentReport, output_dir: Optional[Path | str]) -> ExperimentReport:
@@ -28,12 +67,30 @@ def solve_specs(
     specs: Iterable[ProblemSpec],
     backend: str = "simulation",
     processes: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> list[SolveResult]:
     """Solve a batch of specs through the facade (the experiments' solve path).
 
     Experiments default to the simulation backend -- they exist to compare
     measured behaviour against the paper's bounds -- but share the facade's
-    batch runner, so caching and pooling come for free when a driver wants
-    them.
+    batch runner, so caching, the persistent store and pooling come for
+    free when a driver wants them.
+
+    Resolution order for the runner: the explicit ``runner`` argument,
+    then the ambient :func:`shared_runner` context, then a throwaway
+    runner (in which case ``processes`` configures its pool; a shared
+    runner keeps its own pool configuration).  The requested ``backend``
+    always applies per call -- the shared runner keys its caches by
+    backend name, so experiments with different fidelity needs never mix
+    results.
     """
-    return BatchRunner(backend=backend, processes=processes).solve_many(specs)
+    spec_list = list(specs)
+    recorder = None
+    if runner is None and _ACTIVE:
+        runner, recorder = _ACTIVE[-1]
+    if runner is None:
+        runner = BatchRunner(backend=backend, processes=processes)
+    results, stats = runner.run(spec_list, backend=backend)
+    if recorder is not None:
+        recorder.record(backend, spec_list, results, stats)
+    return results

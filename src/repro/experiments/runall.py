@@ -2,29 +2,216 @@
 
 This is the programmatic backend of ``python -m repro experiments --all``
 and of the EXPERIMENTS.md regeneration helper.
+
+Every sweep shares one :class:`~repro.api.BatchRunner` (one LRU across
+all experiments), and -- when a ``store`` is given -- one persistent
+:class:`~repro.api.store.ResultStore` plus a
+:class:`~repro.experiments.manifest.RunManifest`.  That combination makes
+``--all`` *incremental*: an interrupted or repeated run only solves the
+specs missing from the store, and the manifest's fingerprint digests
+verify that replayed results are bit-identical to the originals.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Union
 
 from ..analysis import ExperimentReport, combine_markdown
+from ..api import BatchRunner
+from ..api.store import ResultStore
+from .base import shared_runner
+from .manifest import MANIFEST_NAME, ExperimentRecorder, RunManifest
 from .registry import experiment_ids, run_experiment
 
-__all__ = ["run_all", "write_summary"]
+__all__ = [
+    "ExperimentRunInfo",
+    "RunAllSummary",
+    "run_all",
+    "run_all_resumable",
+    "write_summary",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentRunInfo:
+    """Solve accounting for one experiment inside a sweep."""
+
+    experiment_id: str
+    specs: int
+    #: Unique spec keys -- the unit of the three hit/solve counters
+    #: (they partition it exactly); ``specs`` additionally counts
+    #: duplicates.
+    unique: int
+    cache_hits: int
+    store_hits: int
+    fresh_solves: int
+    #: Digest of this run's results (None when the experiment solved nothing).
+    fingerprint: Optional[str] = None
+    #: Digest recorded by the previous run (None on first contact).
+    previous_fingerprint: Optional[str] = None
+    #: Recorded specs absent from the store before this run (None without history).
+    missing_before: Optional[int] = None
+
+    @property
+    def fingerprint_match(self) -> Optional[bool]:
+        """Whether this run reproduced the previous digest (None without one)."""
+        if self.fingerprint is None or self.previous_fingerprint is None:
+            return None
+        return self.fingerprint == self.previous_fingerprint
+
+    def describe(self) -> str:
+        """One-line summary for the CLI."""
+        if self.specs == 0:
+            return f"{self.experiment_id}: no facade solves (pure computation)"
+        match = self.fingerprint_match
+        match_text = (
+            ""
+            if match is None
+            else (", fingerprints match previous run" if match else ", FINGERPRINT MISMATCH")
+        )
+        missing_text = (
+            f" (resumed: {self.missing_before} recorded spec(s) were missing from the store)"
+            if self.missing_before
+            else ""
+        )
+        return (
+            f"{self.experiment_id}: {self.specs} specs ({self.unique} unique), "
+            f"{self.cache_hits} cache hits, {self.store_hits} store hits, "
+            f"{self.fresh_solves} solved fresh{match_text}{missing_text}"
+        )
+
+
+@dataclass
+class RunAllSummary:
+    """Aggregate solve accounting for one ``run_all`` sweep."""
+
+    store_path: Optional[str] = None
+    entries: list[ExperimentRunInfo] = field(default_factory=list)
+
+    @property
+    def specs(self) -> int:
+        return sum(entry.specs for entry in self.entries)
+
+    @property
+    def store_hits(self) -> int:
+        return sum(entry.store_hits for entry in self.entries)
+
+    @property
+    def fresh_solves(self) -> int:
+        return sum(entry.fresh_solves for entry in self.entries)
+
+    @property
+    def fingerprint_mismatches(self) -> list[str]:
+        """Experiments whose digest diverged from the recorded one."""
+        return [
+            entry.experiment_id
+            for entry in self.entries
+            if entry.fingerprint_match is False
+        ]
+
+    @property
+    def fully_warm(self) -> bool:
+        """True when every facade solve was answered by a cache or the store."""
+        return self.fresh_solves == 0
+
+    def describe(self) -> str:
+        """Multi-line summary for the CLI."""
+        lines = [entry.describe() for entry in self.entries]
+        store_text = f" [store: {self.store_path}]" if self.store_path else ""
+        lines.append(
+            f"sweep total: {self.specs} specs, {self.store_hits} store hits, "
+            f"{self.fresh_solves} solved fresh{store_text}"
+        )
+        if self.fingerprint_mismatches:
+            lines.append(
+                "FINGERPRINT MISMATCH in: " + ", ".join(self.fingerprint_mismatches)
+            )
+        return "\n".join(lines)
+
+
+def run_all_resumable(
+    output_dir: Optional[Path | str] = None,
+    quick: bool = False,
+    ids: Optional[list[str]] = None,
+    store: Union[ResultStore, str, Path, None] = None,
+    processes: Optional[int] = None,
+) -> tuple[list[ExperimentReport], RunAllSummary]:
+    """Run experiments through one shared runner; report solve accounting.
+
+    Args:
+        output_dir: artefact directory handed to every experiment.
+        quick: reduced workloads for smoke runs.
+        ids: experiment identifiers to run (all registered when None).
+        store: persistent result store (instance or directory path); when
+            given, solves are served from and recorded to it, and the run
+            manifest next to it tracks per-experiment spec hashes.
+        processes: worker-pool size of the shared runner.
+    """
+    selected = [identifier.upper() for identifier in ids] if ids else experiment_ids()
+    store_obj: Optional[ResultStore] = None
+    if store is not None:
+        store_obj = store if isinstance(store, ResultStore) else ResultStore(store)
+    manifest: Optional[RunManifest] = None
+    if store_obj is not None:
+        manifest = RunManifest.load(store_obj.path / MANIFEST_NAME)
+    runner = BatchRunner(store=store_obj, processes=processes)
+
+    reports: list[ExperimentReport] = []
+    summary = RunAllSummary(store_path=str(store_obj.path) if store_obj else None)
+    for experiment_id in selected:
+        recorder = ExperimentRecorder()
+        previous = manifest.entry(experiment_id, quick) if manifest else None
+        missing_before: Optional[int] = None
+        if manifest is not None and store_obj is not None:
+            missing = manifest.missing_pairs(experiment_id, quick, store_obj)
+            missing_before = len(missing) if missing is not None else None
+        with shared_runner(runner, recorder):
+            reports.append(
+                run_experiment(experiment_id, output_dir=output_dir, quick=quick)
+            )
+        summary.entries.append(
+            ExperimentRunInfo(
+                experiment_id=experiment_id,
+                specs=recorder.total,
+                unique=recorder.unique,
+                cache_hits=recorder.cache_hits,
+                store_hits=recorder.store_hits,
+                fresh_solves=recorder.fresh_solves,
+                fingerprint=recorder.digest,
+                previous_fingerprint=(
+                    previous.get("fingerprint_digest") if previous else None
+                ),
+                missing_before=missing_before,
+            )
+        )
+        if manifest is not None and recorder.pairs:
+            manifest.record(
+                experiment_id,
+                quick=quick,
+                pairs=recorder.pairs,
+                fingerprint=recorder.digest,
+            )
+            # Saved after every experiment, so an interrupted sweep keeps
+            # the progress it already paid for.
+            manifest.save()
+    if store_obj is not None:
+        store_obj.flush()
+    return reports, summary
 
 
 def run_all(
     output_dir: Optional[Path | str] = None,
     quick: bool = False,
     ids: Optional[list[str]] = None,
+    store: Union[ResultStore, str, Path, None] = None,
+    processes: Optional[int] = None,
 ) -> list[ExperimentReport]:
     """Run all (or the selected) experiments and return their reports."""
-    selected = [identifier.upper() for identifier in ids] if ids else experiment_ids()
-    reports = []
-    for experiment_id in selected:
-        reports.append(run_experiment(experiment_id, output_dir=output_dir, quick=quick))
+    reports, _ = run_all_resumable(
+        output_dir=output_dir, quick=quick, ids=ids, store=store, processes=processes
+    )
     return reports
 
 

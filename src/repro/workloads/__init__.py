@@ -19,6 +19,7 @@ from .suites import (
     search_sweep_suite,
     spec_suite,
     spec_suite_names,
+    suite_spec_hashes,
     symmetric_clock_large_suite,
     symmetric_clock_suite,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "as_specs",
     "spec_suite",
     "spec_suite_names",
+    "suite_spec_hashes",
     "infeasible_identical_instance",
     "infeasible_mirrored_instance",
     "mirrored_worst_instance",

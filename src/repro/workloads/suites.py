@@ -31,6 +31,7 @@ __all__ = [
     "as_specs",
     "spec_suite",
     "spec_suite_names",
+    "suite_spec_hashes",
 ]
 
 
@@ -280,3 +281,13 @@ def spec_suite(name: str) -> list[ProblemSpec]:
             f"unknown spec suite {name!r}; available: {', '.join(spec_suite_names())}"
         ) from error
     return as_specs(factory())
+
+
+def suite_spec_hashes(name: str) -> list[str]:
+    """Canonical hashes of a named suite's specs, in suite order.
+
+    The suites are deterministic, so this list identifies a suite's exact
+    workload across machines -- the benchmarks and the persistent result
+    store use it to check warm-replay coverage without re-solving.
+    """
+    return [spec.canonical_hash() for spec in spec_suite(name)]

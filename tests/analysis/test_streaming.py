@@ -1,0 +1,84 @@
+"""Tests for the streaming envelope aggregation path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import EnvelopeAggregate, StreamingStats, fold_envelopes
+from repro.api import ResultStore, SearchProblem, solve
+
+
+class TestStreamingStats:
+    def test_matches_numpy_on_a_reference_sample(self):
+        values = [0.3, 1.7, 2.2, 5.9, 3.1, 0.01, 4.4]
+        stats = StreamingStats()
+        for value in values:
+            stats.push(value)
+        assert stats.count == len(values)
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.std == pytest.approx(np.std(values))
+        assert stats.minimum == min(values) and stats.maximum == max(values)
+        assert "n=7" in stats.describe()
+
+    def test_merge_equals_single_pass(self):
+        values = [1.0, 2.0, 3.0, 10.0, -4.0, 0.5]
+        left, right, whole = StreamingStats(), StreamingStats(), StreamingStats()
+        for value in values[:3]:
+            left.push(value)
+        for value in values[3:]:
+            right.push(value)
+        for value in values:
+            whole.push(value)
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.mean == pytest.approx(whole.mean)
+        assert left.std == pytest.approx(whole.std)
+        assert left.minimum == whole.minimum and left.maximum == whole.maximum
+
+    def test_merge_into_empty(self):
+        empty, other = StreamingStats(), StreamingStats()
+        other.push(2.0)
+        empty.merge(other)
+        assert empty.count == 1 and empty.mean == 2.0
+        other.merge(StreamingStats())  # merging an empty one is a no-op
+        assert other.count == 1
+
+    def test_empty_describe(self):
+        assert StreamingStats().describe() == "n=0"
+
+
+class TestFoldEnvelopes:
+    def _envelopes(self, count: int):
+        for index in range(count):
+            spec = SearchProblem(distance=1.0 + 0.2 * index, visibility=0.3)
+            yield solve(spec, backend="simulation").to_dict()
+
+    def test_groups_by_kind_and_backend(self):
+        aggregate = fold_envelopes(self._envelopes(3))
+        assert aggregate.total == 3
+        ((kind, backend),) = aggregate.groups
+        assert kind == "search" and backend == "simulation"
+        group = aggregate.groups[(kind, backend)]
+        assert group.solved == 3 and group.measured_time.count == 3
+
+    def test_folds_a_store_scan_stream(self, tmp_path):
+        with ResultStore(tmp_path) as store:
+            for envelope in self._envelopes(2):
+                store.put_envelope("simulation", envelope)
+        store = ResultStore(tmp_path)
+        aggregate = fold_envelopes(envelope for _, envelope in store.scan())
+        assert aggregate.total == 2
+        table = aggregate.to_table()
+        assert len(table) == 1
+        assert table.column("results") == [2]
+
+    def test_continues_an_existing_aggregate(self):
+        aggregate = fold_envelopes(self._envelopes(1))
+        aggregate = fold_envelopes(self._envelopes(2), aggregate)
+        assert aggregate.total == 3
+
+    def test_tolerates_minimal_envelopes(self):
+        aggregate = EnvelopeAggregate()
+        aggregate.push({"solved": None})
+        assert aggregate.groups[("?", "?")].bound_only == 1

@@ -130,6 +130,51 @@ class TestCache:
         assert runner.cache_len == 0
 
 
+class TestStoreTier:
+    def test_store_answers_below_the_lru(self, tmp_path):
+        specs = _small_workload()
+        cold = BatchRunner(backend="analytic", store=tmp_path)
+        _, cold_stats = cold.run(specs)
+        assert cold_stats.solved_from_store == 0
+        assert cold_stats.solved_fresh == len(specs)
+
+        warm = BatchRunner(backend="analytic", store=tmp_path)
+        results, warm_stats = warm.run(specs)
+        assert warm_stats.solved_from_store == len(specs)
+        assert warm_stats.cache_hits == 0  # fresh runner: LRU is empty
+        assert warm_stats.solved_fresh == 0
+        assert warm_stats.hit_rate == 1.0
+        assert all(result.provenance.from_store for result in results)
+        # The LRU now holds the store answers: a second pass is pure LRU.
+        _, third_stats = warm.run(specs)
+        assert third_stats.cache_hits == len(specs)
+        assert third_stats.solved_from_store == 0
+
+    def test_store_accepts_a_path_string(self, tmp_path):
+        runner = BatchRunner(backend="analytic", store=str(tmp_path / "s"))
+        runner.run(_small_workload())
+        assert runner.store is not None and len(runner.store) == len(_small_workload())
+
+    def test_stats_describe_mentions_store_hits(self, tmp_path):
+        runner = BatchRunner(backend="analytic", store=tmp_path)
+        runner.run(_small_workload())
+        _, stats = BatchRunner(backend="analytic", store=tmp_path).run(_small_workload())
+        text = stats.describe()
+        assert "store hits" in text and "hit rate 100%" in text
+
+    def test_backend_override_keys_results_separately(self, tmp_path):
+        spec = SearchProblem(distance=1.2, visibility=0.3)
+        runner = BatchRunner(backend="analytic", store=tmp_path)
+        (analytic,), _ = runner.run([spec])
+        (simulated,), stats = runner.run([spec], backend="simulation")
+        assert stats.cache_hits == 0  # different backend, different key
+        assert analytic.backend == "analytic" and simulated.backend == "simulation"
+        assert simulated.measured_time is not None
+        # Both live in the store under their own backend namespace.
+        assert runner.store.contains("analytic", spec.canonical_hash())
+        assert runner.store.contains("simulation", spec.canonical_hash())
+
+
 class TestStatsAndValidation:
     def test_stats_describe_mentions_throughput(self):
         runner = BatchRunner(backend="analytic")

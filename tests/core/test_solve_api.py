@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import math
 
 import pytest
@@ -63,6 +64,27 @@ class TestRendezvousBound:
         )
         bound = rendezvous_time_bound(instance)
         assert bound is not None and math.isfinite(bound)
+
+    def test_unrepresentable_theorem3_bound_clamps_to_none(self):
+        # tau = 0.2494... decomposes with t -> 1, so k* ~ 1400 and the
+        # Theorem 3 time saturates past float64 range; the bound API
+        # reports "no finite bound" instead of leaking inf into
+        # envelopes (JSON would serialise it as the non-standard
+        # Infinity token).
+        instance = RendezvousInstance(
+            separation=Vec2(1.0, 0.0),
+            visibility=0.5,
+            attributes=RobotAttributes(time_unit=0.24946286322965355),
+        )
+        assert rendezvous_time_bound(instance) is None
+        from repro.api import RendezvousProblem, solve
+
+        result = solve(
+            RendezvousProblem.from_instance(instance), backend="analytic"
+        )
+        assert result.bound is None and result.feasible is True
+        json.loads(result.to_json())  # strict round trip, no Infinity token
+        assert "Infinity" not in result.to_json()
 
 
 class TestSolveRendezvous:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -82,7 +83,34 @@ class TestBoundProperties:
         if distance <= visibility:
             return
         bound = theorem3_time_bound(distance, visibility, tau)
-        assert math.isfinite(bound)
+        assert not math.isnan(bound) and bound > 0.0
         n = guaranteed_discovery_round(distance, visibility)
         # The bound must at least allow one full active phase of round n.
         assert bound >= inactive_phase_start(n + 1)
+        # The bound is mathematically finite everywhere, and representable
+        # whenever I(k*+1) ~ (2k*-2) 2^(k*+1) 24(pi+1) stays inside
+        # float64 range -- the *product* overflows from k* ~ 1006, before
+        # 2^k* itself does, so the guard is conservative.  A tau whose
+        # Lemma 13 decomposition has t -> 1 makes k* ~ (a+1) t/(1-t)
+        # astronomically large and the time saturates to inf.
+        if lemma13_round_bound(tau, n) < 1000:
+            assert math.isfinite(bound)
+
+    def test_theorem3_bound_saturates_instead_of_overflowing(self):
+        # Regression: t = tau * 2^a = 0.99785... puts k* ~ 1400, whose
+        # schedule time exceeds float64 range; this used to raise
+        # OverflowError mid-formula.
+        bound = theorem3_time_bound(1.0, 0.5, 0.24946286322965355)
+        assert bound == math.inf
+
+    def test_schedule_formulas_raise_loudly_instead_of_silent_inf(self):
+        # Differences of schedule times (phase durations, overlaps) would
+        # decay inf - inf -> nan, so the formulas refuse to saturate --
+        # both where 2^n itself overflows (n >= 1024) and where only the
+        # *product* does (n ~ 1007..1023, where float multiplication
+        # silently yields inf).
+        for n in (1010, 2000):
+            with pytest.raises(OverflowError):
+                inactive_phase_start(n)
+            with pytest.raises(OverflowError):
+                active_phase_start(n)

@@ -208,6 +208,135 @@ class TestSolveCommand:
         assert "unknown backend" in capsys.readouterr().err
 
 
+class TestStoreFlagsAndCommands:
+    def _populate(self, capsys, store: str) -> None:
+        assert (
+            main(
+                ["solve", "--kind", "search", "--distance", "1.2", "--visibility", "0.3",
+                 "--store", store]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_solve_store_warm_run_reports_store_hit(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        self._populate(capsys, store)
+        code = main(
+            ["solve", "--kind", "search", "--distance", "1.2", "--visibility", "0.3",
+             "--store", store]
+        )
+        assert code == 0
+        assert "1 store hits" in capsys.readouterr().out
+
+    def test_solve_json_keeps_stdout_parseable_stats_on_stderr(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code = main(
+            ["solve", "--kind", "search", "--distance", "1.2", "--visibility", "0.3",
+             "--store", store, "--json"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        envelope = json.loads(captured.out)
+        assert envelope["spec"]["kind"] == "search"
+        assert "store hits" in captured.err
+
+    def test_store_and_no_store_are_mutually_exclusive(self, capsys, tmp_path):
+        code = main(
+            ["solve", "--kind", "search", "--distance", "1.2", "--visibility", "0.3",
+             "--store", str(tmp_path), "--no-store"]
+        )
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_store_env_variable_provides_the_default(self, capsys, tmp_path, monkeypatch):
+        store = str(tmp_path / "env-store")
+        monkeypatch.setenv("REPRO_STORE", store)
+        self._populate(capsys, store)
+        code = main(
+            ["solve", "--kind", "search", "--distance", "1.2", "--visibility", "0.3"]
+        )
+        assert code == 0
+        assert "1 store hits" in capsys.readouterr().out
+
+    def test_no_store_overrides_the_environment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        code = main(
+            ["solve", "--kind", "search", "--distance", "1.2", "--visibility", "0.3",
+             "--no-store"]
+        )
+        assert code == 0
+        assert not (tmp_path / "env-store").exists()
+
+    def test_store_stats_renders_counts_and_aggregate(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        self._populate(capsys, store)
+        assert main(["store", "stats", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 unique results" in out
+        assert "Stored results by kind and backend" in out
+
+    def test_store_stats_json(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        self._populate(capsys, store)
+        assert main(["store", "stats", "--store", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["unique"] == 1
+        assert payload["groups"][0]["kind"] == "search"
+
+    def test_store_gc_export_import_round_trip(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        self._populate(capsys, store)
+        assert main(["store", "gc", "--store", store]) == 0
+        assert "compacted" in capsys.readouterr().out
+        export_file = str(tmp_path / "warm.jsonl")
+        assert main(["store", "export", "--store", store, "--file", export_file]) == 0
+        assert "exported 1" in capsys.readouterr().out
+        other = str(tmp_path / "other")
+        assert main(["store", "import", "--store", other, "--file", export_file]) == 0
+        assert "imported 1 new record(s)" in capsys.readouterr().out
+
+    def test_store_command_requires_a_directory(self, capsys):
+        assert main(["store", "stats"]) == 1
+        assert "--store" in capsys.readouterr().err
+
+    def test_store_stats_on_a_missing_directory_is_an_error(self, capsys, tmp_path):
+        # A mistyped path must not be silently created as an empty store.
+        missing = tmp_path / "repro-stroe"
+        assert main(["store", "stats", "--store", str(missing)]) == 1
+        assert "does not exist" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_store_export_requires_a_file(self, capsys, tmp_path):
+        assert main(["store", "export", "--store", str(tmp_path)]) == 1
+        assert "--file" in capsys.readouterr().err
+
+    def test_experiments_store_resume_and_expect_warm(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["experiments", "E01", "--quick", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "solved fresh" in out and "sweep total" in out
+        code = main(
+            ["experiments", "E01", "--quick", "--store", store, "--expect-warm"]
+        )
+        assert code == 0
+        assert "fingerprints match previous run" in capsys.readouterr().out
+
+    def test_experiments_expect_warm_without_a_store_errors_up_front(self, capsys):
+        code = main(["experiments", "E02", "--quick", "--expect-warm"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "--store" in err and "expect-warm" in err
+
+    def test_experiments_expect_warm_fails_on_a_cold_store(self, capsys, tmp_path):
+        code = main(
+            ["experiments", "E01", "--quick", "--store", str(tmp_path / "cold"),
+             "--expect-warm"]
+        )
+        assert code == 1
+        assert "solved fresh" in capsys.readouterr().err
+
+
 class TestJsonFlags:
     def test_search_json(self, capsys):
         code = main(["search", "--distance", "1.2", "--visibility", "0.3", "--json"])

@@ -123,3 +123,12 @@ class TestSuites:
         assert len(baseline_comparison_suite(count=7)) == 7
         with pytest.raises(InvalidParameterError):
             baseline_comparison_suite(count=0)
+
+    def test_suite_spec_hashes_identify_the_workload(self):
+        from repro.workloads import spec_suite, suite_spec_hashes
+
+        hashes = suite_spec_hashes("search-sweep")
+        assert hashes == [spec.canonical_hash() for spec in spec_suite("search-sweep")]
+        assert hashes == suite_spec_hashes("search-sweep")  # deterministic
+        with pytest.raises(InvalidParameterError):
+            suite_spec_hashes("no-such-suite")
