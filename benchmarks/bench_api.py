@@ -21,7 +21,13 @@ the other benchmark artefacts so future PRs can track the trajectory:
   the large search sweep recorded into a fresh ``ResultStore``, then a
   warm replay from a brand-new process-state (fresh runner, fresh store
   handle) that must solve **zero** specs and reproduce every result
-  fingerprint bit-identically.
+  fingerprint bit-identically;
+* ``BENCH_serve.json``  -- the serving-tier snapshot: a duplicate-heavy
+  workload fired by concurrent socket clients against ``repro serve``
+  (cold store, then a warm restart), reporting requests/s and p50/p99
+  request latency next to the no-service baseline (one facade
+  ``solve()`` per request), plus the daemon's own ``metrics`` document
+  so LRU/store hits and in-flight coalescing are observable.
 
 ``solved`` counts only specs whose simulated event actually fired;
 ``bound_only`` counts analytic answers (``solved is None`` -- no
@@ -30,8 +36,9 @@ simulation was performed, which is *not* the same as unsolved) and
 
 ``--quick`` is the CI smoke mode: small workloads, no pooled scenario,
 and a non-zero exit code when the kernel's event times drift from the
-scalar engine beyond ``TIME_TOLERANCE`` or when the warm store replay
-misses the store / drifts from the cold fingerprints (no timings are
+scalar engine beyond ``TIME_TOLERANCE``, when the warm store replay
+misses the store / drifts from the cold fingerprints, or when a served
+response drifts from the direct facade answer (no timings are
 asserted).
 """
 
@@ -56,10 +63,14 @@ from repro.workloads import spec_suite
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_api.json"
 DEFAULT_KERNEL_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_kernel.json"
 DEFAULT_STORE_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_store.json"
+DEFAULT_SERVE_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_serve.json"
 
 KERNEL_SUITE = "search-sweep"
 KERNEL_LARGE_SUITE = "search-sweep-large"
 STORE_SUITE = KERNEL_LARGE_SUITE
+SERVE_SUITE = KERNEL_SUITE
+SERVE_DUPLICATION = 4
+SERVE_CLIENTS = 8
 
 
 def _workload(quick: bool) -> list:
@@ -276,6 +287,177 @@ def run_store_benchmark(quick: bool) -> dict:
     }
 
 
+def _serve_round(
+    specs: list, store_dir: Path, backend: str
+) -> tuple[dict, dict, dict]:
+    """Fire the duplicate-heavy workload at one fresh daemon.
+
+    Returns the scenario record, the daemon's own metrics document and a
+    mapping of first-seen response fingerprints per unique spec hash.
+    """
+    import json as json_module
+    import threading
+
+    from repro.service import ReproServer, request_lines
+
+    latencies: list[float] = []
+    latency_lock = threading.Lock()
+    first_seen: dict[str, dict] = {}
+    failures: list[str] = []
+
+    with ReproServer(backend=backend, store=store_dir, max_inflight=SERVE_CLIENTS) as server:
+        server.serve_background()
+
+        def client(slot: int) -> None:
+            lines = [
+                json_module.dumps({"op": "solve", "spec": specs[i].to_dict(), "id": i})
+                for i in range(slot, len(specs), SERVE_CLIENTS)
+            ]
+            # One request at a time per connection: each response's
+            # latency is a true request round trip.
+            import socket
+
+            with socket.create_connection((server.host, server.port), timeout=120) as conn:
+                with conn.makefile("rwb") as stream:
+                    for line, index in zip(lines, range(slot, len(specs), SERVE_CLIENTS)):
+                        sent = time.perf_counter()
+                        stream.write((line + "\n").encode("utf-8"))
+                        stream.flush()
+                        raw = stream.readline()
+                        elapsed = time.perf_counter() - sent
+                        response = json_module.loads(raw)
+                        with latency_lock:
+                            latencies.append(elapsed)
+                            if not response.get("ok"):
+                                failures.append(str(response.get("error")))
+                            else:
+                                spec_hash = response["result"]["provenance"]["spec_hash"]
+                                first_seen.setdefault(spec_hash, response["result"])
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=client, args=(slot,)) for slot in range(SERVE_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        (metrics_line,) = request_lines(
+            server.host, server.port, [json_module.dumps({"op": "metrics"})]
+        )
+        metrics = json_module.loads(metrics_line)["metrics"]
+
+    ordered = sorted(latencies)
+
+    def percentile(fraction: float) -> float:
+        index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return round(ordered[index] * 1e3, 3)
+
+    record = {
+        "requests": len(specs),
+        "unique": len(first_seen),
+        "clients": SERVE_CLIENTS,
+        "failures": len(failures),
+        "wall_time_s": round(wall, 4),
+        "requests_per_second": round(len(specs) / wall, 2) if wall > 0 else None,
+        "latency_ms": {
+            "p50": percentile(0.50),
+            "p99": percentile(0.99),
+            "max": round(ordered[-1] * 1e3, 3) if ordered else None,
+        },
+    }
+    return record, metrics, first_seen
+
+
+def run_serve_benchmark(quick: bool) -> dict:
+    """The serving-tier snapshot: concurrent daemon vs per-request facade.
+
+    The workload is duplicate-heavy (every suite spec requested
+    ``SERVE_DUPLICATION`` times) -- exactly where a serving tier must
+    beat the no-service baseline of one facade ``solve()`` per request,
+    because the LRU, the store and in-flight coalescing answer the
+    duplicates without solving.
+    """
+    from repro.api import SolveResult, solve
+
+    backend = "auto"
+    suite = spec_suite(SERVE_SUITE)
+    if quick:
+        suite = suite[: max(8, len(suite) // 4)]
+    # Duplicates sit *adjacent* in the workload, so round-robin clients
+    # request the same spec at the same moment -- the in-flight
+    # coalescing case, not just the warm-cache one.
+    workload = [spec for spec in suite for _ in range(SERVE_DUPLICATION)]
+
+    # Baseline: the pre-daemon serving story, one independent facade
+    # call per request (no shared runner, no cache between requests).
+    clear_compiled_cache()
+    baseline_start = time.perf_counter()
+    baseline_results = [solve(spec, backend=backend) for spec in workload]
+    baseline_wall = time.perf_counter() - baseline_start
+    facade_record = {
+        "requests": len(workload),
+        "unique": len(suite),
+        "wall_time_s": round(baseline_wall, 4),
+        "requests_per_second": round(len(workload) / baseline_wall, 2)
+        if baseline_wall > 0
+        else None,
+    }
+    expected = {
+        result.provenance.spec_hash: result.fingerprint() for result in baseline_results
+    }
+
+    store_dir = Path(tempfile.mkdtemp(prefix="repro-bench-serve-"))
+    try:
+        clear_compiled_cache()
+        cold_record, cold_metrics, cold_seen = _serve_round(workload, store_dir, backend)
+        # Warm restart: a brand-new daemon over the published store --
+        # the redeploy story, everything answered from disk.
+        warm_record, warm_metrics, _ = _serve_round(workload, store_dir, backend)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    parity = all(
+        SolveResult.from_dict(envelope).fingerprint() == expected[spec_hash]
+        for spec_hash, envelope in cold_seen.items()
+    ) and set(cold_seen) == set(expected)
+
+    cold_rate = cold_record["requests_per_second"] or 0.0
+    warm_rate = warm_record["requests_per_second"] or 0.0
+    facade_rate = facade_record["requests_per_second"] or 0.0
+    cold_totals = cold_metrics["totals"]
+    return {
+        "benchmark": "repro serve concurrent throughput",
+        "library_version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "generated_at_unix": int(time.time()),
+        "suite": SERVE_SUITE,
+        "duplication": SERVE_DUPLICATION,
+        "scenarios": {
+            "facade_serial_per_request": facade_record,
+            "serve_cold_store": cold_record,
+            "serve_warm_store": warm_record,
+        },
+        "serve_metrics_cold": cold_metrics,
+        "serve_metrics_warm": warm_metrics,
+        "speedup_serve_cold_vs_facade": round(cold_rate / facade_rate, 2)
+        if facade_rate
+        else None,
+        "speedup_serve_warm_vs_facade": round(warm_rate / facade_rate, 2)
+        if facade_rate
+        else None,
+        "coalescing_observed": cold_totals["coalesced"] > 0,
+        "hits_observed": (
+            cold_totals["cache_hits"] + cold_totals["store_hits"] + cold_totals["coalesced"]
+        )
+        > 0,
+        "served_fingerprints_identical_to_facade": parity,
+        "serve_failures": cold_record["failures"] + warm_record["failures"],
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -301,6 +483,12 @@ def main() -> int:
         default=DEFAULT_STORE_OUTPUT,
         help="where to write BENCH_store.json",
     )
+    parser.add_argument(
+        "--serve-output",
+        type=Path,
+        default=DEFAULT_SERVE_OUTPUT,
+        help="where to write BENCH_serve.json",
+    )
     namespace = parser.parse_args()
 
     snapshot = run_benchmark(namespace.processes, namespace.quick)
@@ -319,12 +507,19 @@ def main() -> int:
         json.dumps(store_snapshot, indent=2) + "\n", encoding="utf-8"
     )
 
+    serve_snapshot = run_serve_benchmark(namespace.quick)
+    namespace.serve_output.parent.mkdir(parents=True, exist_ok=True)
+    namespace.serve_output.write_text(
+        json.dumps(serve_snapshot, indent=2) + "\n", encoding="utf-8"
+    )
+
     print(json.dumps(snapshot, indent=2))
     print(json.dumps(kernel_snapshot, indent=2))
     print(json.dumps(store_snapshot, indent=2))
+    print(json.dumps(serve_snapshot, indent=2))
     print(
-        f"\nsnapshots written to {namespace.output}, {namespace.kernel_output} "
-        f"and {namespace.store_output}"
+        f"\nsnapshots written to {namespace.output}, {namespace.kernel_output}, "
+        f"{namespace.store_output} and {namespace.serve_output}"
     )
 
     if not kernel_snapshot["parity"]["within_tolerance"]:
@@ -341,6 +536,18 @@ def main() -> int:
         print(
             "ERROR: warm store replay missed the store or drifted from the cold "
             f"fingerprints ({warm_replay})",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        serve_snapshot["serve_failures"]
+        or not serve_snapshot["served_fingerprints_identical_to_facade"]
+        or not serve_snapshot["hits_observed"]
+    ):
+        print(
+            "ERROR: serve benchmark failed requests, drifted from the direct facade "
+            "answers, or served a duplicate-heavy workload without any cache/store/"
+            f"coalescing hits ({serve_snapshot['scenarios']})",
             file=sys.stderr,
         )
         return 1

@@ -1,0 +1,136 @@
+"""CI smoke for the serving tier: daemon up, suite through the socket.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py [--suite NAME] [--clients N]
+
+Starts ``repro serve`` on an ephemeral port, streams every spec of the
+suite (plus one duplicate pass, so the caches have something to answer)
+through concurrent socket clients, and fails (non-zero exit) unless:
+
+* every response is ``ok`` and its fingerprint is bit-identical to a
+  direct in-process ``solve()`` of the same spec;
+* the daemon's ``metrics`` document is *consistent with the wire
+  traffic*: it counted exactly the requests we sent, its per-backend
+  sources (solves + cache + store + coalesced) partition them, zero
+  errors, and the duplicate pass was answered without re-solving;
+* ``health`` reports a serving daemon.
+
+No timings are asserted -- this is a correctness/parity gate, the
+throughput story lives in ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+
+from repro.api import BatchRunner, SolveResult
+from repro.service import ReproServer, request_lines
+from repro.workloads import spec_suite
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", default="search-sweep", help="workload suite to stream")
+    parser.add_argument("--clients", type=int, default=8, help="concurrent socket clients")
+    parser.add_argument("--backend", default="auto", help="daemon default backend")
+    namespace = parser.parse_args()
+
+    suite = spec_suite(namespace.suite)
+    workload = suite + suite  # the second pass must be all hits
+    # The reference answers, computed in-process through the facade.
+    expected_results, _ = BatchRunner(backend=namespace.backend).run(suite)
+    expected = {
+        result.provenance.spec_hash: result.fingerprint() for result in expected_results
+    }
+
+    responses: list[dict] = []
+    lock = threading.Lock()
+
+    with ReproServer(backend=namespace.backend, max_inflight=namespace.clients) as server:
+        server.serve_background()
+        print(f"serve smoke: daemon on {server.address}, {len(workload)} requests")
+
+        def client(slot: int) -> None:
+            lines = [
+                json.dumps({"op": "solve", "spec": workload[i].to_dict(), "id": i})
+                for i in range(slot, len(workload), namespace.clients)
+            ]
+            if not lines:
+                return
+            answered = [
+                json.loads(line)
+                for line in request_lines(server.host, server.port, lines)
+            ]
+            with lock:
+                responses.extend(answered)
+
+        threads = [
+            threading.Thread(target=client, args=(slot,))
+            for slot in range(namespace.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        health_line, metrics_line = request_lines(
+            server.host,
+            server.port,
+            [json.dumps({"op": "health"}), json.dumps({"op": "metrics"})],
+        )
+        health = json.loads(health_line)["health"]
+        metrics = json.loads(metrics_line)["metrics"]
+
+    failures: list[str] = []
+    if health["status"] != "serving":
+        failures.append(f"health reported {health['status']!r}, expected 'serving'")
+    if len(responses) != len(workload):
+        failures.append(f"{len(responses)} responses for {len(workload)} requests")
+    bad = [response for response in responses if not response.get("ok")]
+    if bad:
+        failures.append(f"{len(bad)} request(s) failed, first: {bad[0].get('error')}")
+    else:
+        for response in responses:
+            served = SolveResult.from_dict(response["result"])
+            fingerprint = expected.get(served.provenance.spec_hash)
+            if fingerprint is None or served.fingerprint() != fingerprint:
+                failures.append(
+                    f"response {response.get('id')} drifted from the direct solve"
+                )
+                break
+
+    totals = metrics["totals"]
+    answered = totals["solves"] + totals["cache_hits"] + totals["store_hits"] + totals["coalesced"]
+    if totals["requests"] != len(workload):
+        failures.append(
+            f"metrics counted {totals['requests']} requests, wire sent {len(workload)}"
+        )
+    if answered + totals["errors"] != totals["requests"]:
+        failures.append(f"metrics sources do not partition requests: {totals}")
+    if totals["errors"]:
+        failures.append(f"daemon recorded {totals['errors']} error(s)")
+    if totals["solves"] > len(suite):
+        failures.append(
+            f"{totals['solves']} solves for {len(suite)} unique specs -- "
+            "the duplicate pass was not answered from the caches"
+        )
+
+    print(
+        f"serve smoke: {totals['requests']} requests = {totals['solves']} solved + "
+        f"{totals['cache_hits']} cache + {totals['store_hits']} store + "
+        f"{totals['coalesced']} coalesced ({totals['errors']} errors)"
+    )
+    if failures:
+        for failure in failures:
+            print(f"ERROR: {failure}", file=sys.stderr)
+        return 1
+    print("serve smoke: metrics parity OK, fingerprints identical to direct solve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

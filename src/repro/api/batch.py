@@ -1,45 +1,60 @@
 """Batched solving: the facade's throughput path.
 
-A :class:`BatchRunner` turns an iterable of specs into a list of
-:class:`~repro.api.result.SolveResult` envelopes, with three throughput
-levers on top of the single-spec facade:
+A :class:`BatchRunner` turns an iterable of specs into
+:class:`~repro.api.result.SolveResult` envelopes.  Since the
+planner/executor split it is a thin facade over :mod:`repro.exec`:
 
-* **result cache** -- an LRU keyed by ``(backend, canonical spec hash)``;
-  sweep workloads revisit the same spec (warm-up rows, shared baselines)
-  and pay for it once.
-* **persistent store** -- an optional
-  :class:`~repro.api.store.ResultStore` tier below the LRU: envelopes
-  solved in any previous process answer from disk
-  (``BatchStats.solved_from_store``), and everything solved here is
-  recorded for the next run.  Served envelopes carry
-  ``provenance.from_store = True`` (fingerprint-neutral, see
-  :meth:`~repro.api.result.SolveResult.fingerprint`).
-* **multiprocessing** -- cache misses fan out over a worker pool in
-  chunks; specs and results cross process boundaries in their JSON-dict
-  form, so only the stable wire format is pickled.  Only the untouched
-  built-in backends fan out: a backend registered -- or a built-in name
-  replaced -- at runtime would not resolve the same way in a freshly
-  spawned worker's registry, so such backends always solve in-process.
-* **deterministic seeding** -- every spec carries a seed derived from its
-  canonical hash (see :meth:`~repro.api.spec.ProblemSpec.seed`),
-  recorded in the result provenance; the built-in backends are fully
-  deterministic, so a batch produces identical result fingerprints
-  whether it runs serially, pooled, or split across machines.
+* **planning** -- :meth:`BatchRunner.plan` asks a
+  :class:`~repro.exec.plan.Planner` to dedupe the input and tier it:
+  LRU hits, persistent-store hits, the kernel-batchable group, the
+  pool-eligible group and the serial leftovers, captured as a frozen
+  :class:`~repro.exec.plan.ExecutionPlan`;
+* **execution** -- an :class:`~repro.exec.executors.Executor` strategy
+  consumes the plan and emits
+  :class:`~repro.exec.plan.Completion` objects in completion order.
+  :meth:`BatchRunner.run_iter` exposes that stream directly (per-result
+  latency included); :meth:`BatchRunner.run` collects it, counts the
+  sources into :class:`BatchStats` and reorders by the plan's key
+  sequence -- the exact pre-split return contract.
+
+The throughput levers are unchanged: the LRU keyed by ``(backend,
+canonical spec hash)``, the optional persistent
+:class:`~repro.api.store.ResultStore` tier below it, the vectorized
+kernel for batchable groups, multiprocessing fan-out for the rest, and
+hash-derived deterministic seeding, so a batch produces identical result
+fingerprints whether it runs serially, pooled, threaded or split across
+machines.  Per-spec failures no longer abort a batch: everything that
+solves is retained (and flushed to the store) and the failures surface
+together as a :class:`~repro.errors.BatchExecutionError` naming each
+failing spec hash.
+
+The runner is **thread-safe**: the LRU and planning run under an
+internal lock, so one shared runner can serve many request threads (the
+:mod:`repro.service` tier builds on exactly this).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Union
 
-from ..errors import InvalidParameterError
+from ..errors import BatchExecutionError, InvalidParameterError
+from ..exec import (
+    Completion,
+    ExecutionPlan,
+    Executor,
+    Planner,
+    PoolExecutor,
+    SerialExecutor,
+)
 from .backends import _REGISTRY as _BACKEND_REGISTRY
-from .backends import AnalyticBackend, AutoBackend, SimulationBackend, create_backend, solve
+from .backends import AnalyticBackend, AutoBackend, SimulationBackend, create_backend
 from .result import SolveResult
-from .spec import ProblemSpec, spec_from_dict
+from .spec import ProblemSpec
 from .store import ResultStore
 from .vectorized import VectorizedBackend
 
@@ -59,13 +74,6 @@ _BUILTIN_FACTORIES = {
 def _pool_safe(backend: str) -> bool:
     """True when ``backend`` resolves identically in a fresh worker."""
     return _BACKEND_REGISTRY.get(backend) is _BUILTIN_FACTORIES.get(backend)
-
-
-def _solve_serialized(payload: tuple[str, dict[str, Any]]) -> dict[str, Any]:
-    """Pool worker: solve one spec shipped as its wire-format dict."""
-    backend_name, spec_dict = payload
-    spec = spec_from_dict(spec_dict)
-    return solve(spec, backend=backend_name).to_dict()
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,7 +128,7 @@ class BatchStats:
 
 
 class BatchRunner:
-    """Solve iterables of specs with caching and optional worker pools.
+    """Solve iterables of specs with caching and pluggable execution.
 
     Args:
         backend: backend name every spec is solved with (``"auto"`` by
@@ -136,6 +144,15 @@ class BatchRunner:
             :class:`~repro.api.store.ResultStore`, or a directory path to
             open one at.  Misses are looked up there before solving, and
             fresh results are recorded for future runs.
+        executor: execution strategy override (any
+            :class:`~repro.exec.executors.Executor`); by default each
+            plan picks :class:`~repro.exec.executors.PoolExecutor` when
+            it has a pooled tier and
+            :class:`~repro.exec.executors.SerialExecutor` otherwise.
+        flush_store: flush the store after every run/stream (the
+            default).  A long-lived server sets this False and flushes
+            on drain, so one segment is published per session instead of
+            per request.
     """
 
     def __init__(
@@ -145,6 +162,8 @@ class BatchRunner:
         chunksize: Optional[int] = None,
         cache_size: int = 4096,
         store: Union[ResultStore, str, Path, None] = None,
+        executor: Optional[Executor] = None,
+        flush_store: bool = True,
     ) -> None:
         if processes is not None and processes < 1:
             raise InvalidParameterError(f"processes must be >= 1, got {processes!r}")
@@ -159,31 +178,40 @@ class BatchRunner:
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store: Optional[ResultStore] = store
+        self.executor = executor
+        self.flush_store = flush_store
         self._cache: OrderedDict[tuple[str, str], SolveResult] = OrderedDict()
+        # Guards the LRU and planning; execution runs outside it, so
+        # many threads can share one runner and still solve concurrently.
+        self._lock = threading.RLock()
 
     # -- cache -----------------------------------------------------------------
     def clear_cache(self) -> None:
         """Drop every cached result."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     @property
     def cache_len(self) -> int:
         """Number of results currently cached."""
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     def _cache_get(self, key: tuple[str, str]) -> Optional[SolveResult]:
-        result = self._cache.get(key)
-        if result is not None:
-            self._cache.move_to_end(key)
-        return result
+        with self._lock:
+            result = self._cache.get(key)
+            if result is not None:
+                self._cache.move_to_end(key)
+            return result
 
     def _cache_put(self, key: tuple[str, str], result: SolveResult) -> None:
         if self.cache_size == 0:
             return
-        self._cache[key] = result
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[key] = result
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
 
     def _record_solved(self, key: tuple[str, str], result: SolveResult) -> None:
         """File one freshly solved result with the LRU and the store tier."""
@@ -191,7 +219,82 @@ class BatchRunner:
         if self.store is not None:
             self.store.put(key[0], result)
 
-    # -- solving ---------------------------------------------------------------
+    # -- planning --------------------------------------------------------------
+    def plan(
+        self,
+        specs: Sequence[ProblemSpec],
+        backend: Optional[str] = None,
+        backend_obj: Optional[Any] = None,
+    ) -> ExecutionPlan:
+        """Plan one batch without executing it.
+
+        Resolves the LRU and store tiers eagerly (store hits are
+        promoted into the LRU, exactly as the monolithic ``run`` did)
+        and tiers the remaining misses; see
+        :class:`~repro.exec.plan.ExecutionPlan`.
+        """
+        effective = backend if backend is not None else self.backend
+        if backend_obj is None:
+            backend_obj = create_backend(effective)
+        planner = Planner(
+            cache_get=self._cache_get if self.cache_size else None,
+            store=self.store,
+            processes=self.processes,
+            chunksize=self.chunksize,
+            pool_safe=_pool_safe,
+        )
+        with self._lock:
+            plan = planner.plan(specs, effective, backend_obj=backend_obj)
+            for resolved in plan.stored:
+                self._cache_put(resolved.key, resolved.result)
+        return plan
+
+    # -- execution -------------------------------------------------------------
+    def _executor_for(self, plan: ExecutionPlan) -> Executor:
+        if self.executor is not None:
+            return self.executor
+        return PoolExecutor() if plan.use_pool else SerialExecutor()
+
+    def execute_iter(
+        self, plan: ExecutionPlan, backend_obj: Optional[Any] = None
+    ) -> Iterator[Completion]:
+        """Execute a plan, streaming completions in completion order.
+
+        Fresh results are recorded into the LRU and the store as they
+        stream past; the store is flushed when the stream ends (also on
+        early close), unless the runner was built with
+        ``flush_store=False``.
+        """
+        executor = self._executor_for(plan)
+        try:
+            for completion in executor.execute(plan, backend_obj=backend_obj):
+                if completion.result is not None and completion.source not in (
+                    "cache",
+                    "store",
+                ):
+                    self._record_solved(completion.key, completion.result)
+                yield completion
+        finally:
+            if self.store is not None and self.flush_store:
+                self.store.flush()
+
+    def run_iter(
+        self, specs: Iterable[ProblemSpec], backend: Optional[str] = None
+    ) -> Iterator[Completion]:
+        """Stream one :class:`~repro.exec.plan.Completion` per unique key.
+
+        Completions arrive in **completion order** (cache and store hits
+        first, then solves as they finish) with per-result latency --
+        the streaming form :meth:`run` is reconstructed from.  Duplicate
+        input specs share their unique key's single completion; use
+        :meth:`plan` + :meth:`execute_iter` directly when the key
+        sequence is needed for reassembly.
+        """
+        effective = backend if backend is not None else self.backend
+        backend_obj = create_backend(effective)
+        plan = self.plan(list(specs), backend=effective, backend_obj=backend_obj)
+        return self.execute_iter(plan, backend_obj=backend_obj)
+
     def solve_many(
         self, specs: Iterable[ProblemSpec], backend: Optional[str] = None
     ) -> list[SolveResult]:
@@ -199,12 +302,18 @@ class BatchRunner:
         return self.run(specs, backend=backend)[0]
 
     def run(
-        self, specs: Iterable[ProblemSpec], backend: Optional[str] = None
+        self,
+        specs: Iterable[ProblemSpec],
+        backend: Optional[str] = None,
+        on_completion: Optional[Callable[[Completion], None]] = None,
     ) -> tuple[list[SolveResult], BatchStats]:
         """Solve every spec and report batch statistics.
 
         Duplicate specs (equal canonical hash) are solved once.  The
-        returned list matches the input order and length exactly.
+        returned list matches the input order and length exactly.  This
+        is literally a collect-and-reorder over the streaming pipeline:
+        drain the completion stream, count each source into the stats
+        partition, reassemble through the plan's key sequence.
 
         Args:
             specs: the problems to solve.
@@ -213,120 +322,79 @@ class BatchRunner:
                 effective backend name, so one shared runner can serve
                 callers with different fidelity needs without mixing
                 their results.
+            on_completion: optional observer invoked with every
+                :class:`~repro.exec.plan.Completion` as it happens --
+                streaming progress without giving up the ordered return.
+
+        Raises:
+            BatchExecutionError: when any spec failed.  Raised only
+                after the whole batch ran: every solved result is
+                already in the LRU/store (and on the exception's
+                ``completed`` mapping), so a retry re-attempts only the
+                failures.
         """
         effective = backend if backend is not None else self.backend
         spec_list: Sequence[ProblemSpec] = list(specs)
         start = time.perf_counter()
-        keys = [(effective, spec.canonical_hash()) for spec in spec_list]
+        backend_obj = create_backend(effective)
+        plan = self.plan(spec_list, backend=effective, backend_obj=backend_obj)
 
         resolved: dict[tuple[str, str], SolveResult] = {}
-        lru_misses: list[tuple[tuple[str, str], ProblemSpec]] = []
-        cache_hits = 0
-        store_hits = 0
-        for key, spec in zip(keys, spec_list):
-            if key in resolved:
-                continue
-            cached = self._cache_get(key)
-            if cached is not None:
-                resolved[key] = cached
-                cache_hits += 1
-                continue
-            resolved[key] = None  # type: ignore[assignment]  # placeholder, filled below
-            lru_misses.append((key, spec))
-        # The store tier answers LRU misses in one batched read (one file
-        # open per segment) before anything is solved.
-        misses = lru_misses
-        if self.store is not None and lru_misses:
-            stored_map = self.store.get_many(effective, [key[1] for key, _ in lru_misses])
-            misses = []
-            for key, spec in lru_misses:
-                stored = stored_map.get(key[1])
-                if stored is not None:
-                    resolved[key] = stored
-                    self._cache_put(key, stored)
-                    store_hits += 1
-                else:
-                    misses.append((key, spec))
-
-        backend_obj = create_backend(effective)
-        # A backend exposing ``solve_specs`` solves homogeneous groups
-        # array-at-a-time (vectorized kernel, auto routing).  Only the
-        # group the backend reports as batchable skips the pool; the
-        # remaining misses still fan out when a pool was requested, so a
-        # mixed workload gets the kernel *and* the requested parallelism.
-        batch_misses: list[tuple[tuple[str, str], ProblemSpec]] = []
-        rest = misses
-        if hasattr(backend_obj, "solve_specs") and len(misses) > 1:
-            if hasattr(backend_obj, "batchable_indices"):
-                indices = set(backend_obj.batchable_indices([spec for _, spec in misses]))
+        failures = []
+        counts = {"cache": 0, "store": 0, "batch": 0, "pool": 0, "serial": 0}
+        for completion in self.execute_iter(plan, backend_obj=backend_obj):
+            if completion.result is not None:
+                resolved[completion.key] = completion.result
+                counts[completion.source] += 1
             else:
-                # A custom batch backend with no batchability report
-                # takes the whole miss list, as before.
-                indices = set(range(len(misses)))
-            if len(indices) >= 2:
-                batch_misses = [miss for i, miss in enumerate(misses) if i in indices]
-                rest = [miss for i, miss in enumerate(misses) if i not in indices]
-
-        processes = self.processes or 1
-        use_pool = processes > 1 and len(rest) > 1 and _pool_safe(effective)
-        chunksize = self.chunksize or max(1, len(rest) // (4 * processes) or 1)
-        solved_in_pool = 0
-        solved_in_batch = 0
-        pool = None
-        pending = None
-        try:
-            if use_pool:
-                # Dispatch the pool before the in-process kernel batch so
-                # the two run concurrently instead of back to back.
-                import multiprocessing
-
-                payloads = [(effective, spec.to_dict()) for _, spec in rest]
-                pool = multiprocessing.Pool(processes)
-                pending = pool.map_async(_solve_serialized, payloads, chunksize=chunksize)
-            if batch_misses:
-                batch_results = backend_obj.solve_specs([spec for _, spec in batch_misses])
-                for (key, _), result in zip(batch_misses, batch_results):
-                    resolved[key] = result
-                    self._record_solved(key, result)
-                solved_in_batch = len(batch_misses)
-            if pending is not None:
-                raw = pending.get()
-                for (key, _), data in zip(rest, raw):
-                    result = SolveResult.from_dict(data)
-                    resolved[key] = result
-                    self._record_solved(key, result)
-                solved_in_pool = len(rest)
-            elif rest:
-                for key, spec in rest:
-                    result = backend_obj.solve(spec)
-                    resolved[key] = result
-                    self._record_solved(key, result)
-        finally:
-            if pool is not None:
-                pool.close()
-                pool.join()
-            if self.store is not None:
-                self.store.flush()
+                failures.append(completion.failure)
+            if on_completion is not None:
+                on_completion(completion)
 
         wall_time = time.perf_counter() - start
         stats = BatchStats(
-            total=len(spec_list),
-            unique=len(resolved),
-            cache_hits=cache_hits,
-            solved_in_pool=solved_in_pool,
-            processes=processes if use_pool else 1,
-            chunksize=chunksize if use_pool else 1,
+            total=plan.total,
+            unique=plan.unique,
+            cache_hits=counts["cache"],
+            solved_in_pool=counts["pool"],
+            processes=plan.processes,
+            chunksize=plan.chunksize,
             wall_time=wall_time,
-            solved_in_batch=solved_in_batch,
-            solved_from_store=store_hits,
+            solved_in_batch=counts["batch"],
+            solved_from_store=counts["store"],
         )
-        return [resolved[key] for key in keys], stats
+        if failures:
+            if plan.unique == 1 and failures[0].exception is not None:
+                # A batch of one keeps the historical single-spec
+                # contract: the backend's own exception, not a wrapper
+                # (what `solve()` would have raised; the serving tier
+                # relies on this for clean per-request errors).
+                raise failures[0].exception
+            error = BatchExecutionError(failures, completed=resolved)
+            error.stats = stats
+            raise error
+        return [resolved[key] for key in plan.keys], stats
 
 
 def solve_batch(
     specs: Iterable[ProblemSpec],
     backend: str = "auto",
     processes: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    cache_size: int = 4096,
+    store: Union[ResultStore, str, Path, None] = None,
 ) -> list[SolveResult]:
-    """One-shot convenience wrapper around a throwaway :class:`BatchRunner`."""
-    return BatchRunner(backend=backend, processes=processes).solve_many(specs)
+    """One-shot convenience wrapper around a throwaway :class:`BatchRunner`.
+
+    Passes every runner capability through -- ``store`` (persistent
+    tier), ``chunksize`` (pool task sizing) and ``cache_size`` (LRU
+    bound) used to be silently dropped here.
+    """
+    runner = BatchRunner(
+        backend=backend,
+        processes=processes,
+        chunksize=chunksize,
+        cache_size=cache_size,
+        store=store,
+    )
+    return runner.solve_many(specs)

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import uuid
 import warnings
 from dataclasses import dataclass, field, replace
@@ -147,6 +148,12 @@ class ResultStore:
         self._duplicates = 0
         self._skipped_lines = 0
         self._segment_seq = 0
+        # Guards the put buffer and the index mutations of flush():
+        # concurrent threads sharing one store handle (a thread-safe
+        # BatchRunner, the serving tier) buffer and publish atomically.
+        # Re-entrant because put_envelope triggers flush at the
+        # flush_every watermark.
+        self._write_lock = threading.RLock()
         self.refresh()
 
     # -- lifecycle -------------------------------------------------------------
@@ -157,7 +164,8 @@ class ResultStore:
         self.flush()
 
     def __len__(self) -> int:
-        return len(self._index) + len(self._pending_keys)
+        with self._write_lock:
+            return len(self._index) + len(self._pending_keys)
 
     # -- reading ---------------------------------------------------------------
     def refresh(self) -> int:
@@ -211,16 +219,24 @@ class ResultStore:
     def contains(self, backend: str, spec_hash: str) -> bool:
         """True when an envelope for this key is stored (or pending)."""
         key = StoreKey(SCHEMA_VERSION, backend, spec_hash)
-        return key in self._index or key in self._pending_keys
+        with self._write_lock:
+            return key in self._index or key in self._pending_keys
 
     def get_envelope(self, backend: str, spec_hash: str) -> Optional[dict[str, Any]]:
         """The stored wire-format envelope for a key, or None."""
         key = StoreKey(SCHEMA_VERSION, backend, spec_hash)
-        pending = self._pending_keys.get(key)
-        if pending is not None:
-            parsed = _parse_record(self._pending[pending][1])
+        # Snapshot under the lock: a concurrent watermark flush() clears
+        # the pending buffer while publishing it as a segment, so a
+        # pending index read outside the lock could dereference the
+        # wrong (or a vanished) buffer slot.  Published segments are
+        # immutable, so the disk read itself needs no lock.
+        with self._write_lock:
+            pending = self._pending_keys.get(key)
+            line_text = self._pending[pending][1] if pending is not None else None
+            location = self._index.get(key)
+        if line_text is not None:
+            parsed = _parse_record(line_text)
             return parsed[1] if parsed else None
-        location = self._index.get(key)
         if location is None:
             return None
         try:
@@ -266,19 +282,27 @@ class ResultStore:
         """
         results: dict[str, SolveResult] = {}
         by_segment: dict[Path, list[tuple[StoreKey, _Location]]] = {}
-        for spec_hash in spec_hashes:
-            key = StoreKey(SCHEMA_VERSION, backend, spec_hash)
-            pending = self._pending_keys.get(key)
-            if pending is not None:
-                parsed = _parse_record(self._pending[pending][1])
-                if parsed is not None:
-                    result = self._result_from_envelope(key, parsed[1])
-                    if result is not None:
-                        results[key.spec_hash] = result
-                continue
-            location = self._index.get(key)
-            if location is not None:
-                by_segment.setdefault(location.segment, []).append((key, location))
+        pending_lines: list[tuple[StoreKey, str]] = []
+        # Snapshot pending lines and index locations under the lock (a
+        # concurrent watermark flush republishes the pending buffer);
+        # segment files are immutable once published, so the bulk disk
+        # reads stay outside it.
+        with self._write_lock:
+            for spec_hash in spec_hashes:
+                key = StoreKey(SCHEMA_VERSION, backend, spec_hash)
+                pending = self._pending_keys.get(key)
+                if pending is not None:
+                    pending_lines.append((key, self._pending[pending][1]))
+                    continue
+                location = self._index.get(key)
+                if location is not None:
+                    by_segment.setdefault(location.segment, []).append((key, location))
+        for key, line_text in pending_lines:
+            parsed = _parse_record(line_text)
+            if parsed is not None:
+                result = self._result_from_envelope(key, parsed[1])
+                if result is not None:
+                    results[key.spec_hash] = result
         for segment in sorted(by_segment):
             records = sorted(by_segment[segment], key=lambda item: item[1].offset)
             try:
@@ -311,8 +335,12 @@ class ResultStore:
         holds more than one envelope live; each segment file is opened
         once and read in offset order, not once per record.
         """
+        with self._write_lock:
+            index_snapshot = list(self._index.items())
+            pending_snapshot = list(self._pending)
+        indexed_keys = {key for key, _ in index_snapshot}
         by_segment: dict[Path, list[tuple[StoreKey, _Location]]] = {}
-        for key, location in self._index.items():
+        for key, location in index_snapshot:
             if backend is not None and key.backend != backend:
                 continue
             by_segment.setdefault(location.segment, []).append((key, location))
@@ -329,8 +357,8 @@ class ResultStore:
                     parsed = _parse_record(line.decode("utf-8", errors="replace"))
                     if parsed is not None:
                         yield key, parsed[1]
-        for key, line in list(self._pending):
-            if key in self._index:
+        for key, line in pending_snapshot:
+            if key in indexed_keys:
                 continue
             if backend is not None and key.backend != backend:
                 continue
@@ -355,20 +383,21 @@ class ResultStore:
         if not isinstance(provenance, dict) or "spec_hash" not in provenance:
             raise InvalidParameterError("envelope has no provenance.spec_hash")
         key = StoreKey(SCHEMA_VERSION, backend, provenance["spec_hash"])
-        if key in self._index or key in self._pending_keys:
-            return False
-        record = {
-            "schema_version": SCHEMA_VERSION,
-            "backend": backend,
-            "spec_hash": key.spec_hash,
-            "result": envelope,
-        }
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        self._pending_keys[key] = len(self._pending)
-        self._pending.append((key, line))
-        if len(self._pending) >= self.flush_every:
-            self.flush()
-        return True
+        with self._write_lock:
+            if key in self._index or key in self._pending_keys:
+                return False
+            record = {
+                "schema_version": SCHEMA_VERSION,
+                "backend": backend,
+                "spec_hash": key.spec_hash,
+                "result": envelope,
+            }
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+            self._pending_keys[key] = len(self._pending)
+            self._pending.append((key, line))
+            if len(self._pending) >= self.flush_every:
+                self.flush()
+            return True
 
     @staticmethod
     def _segment_sequence(name: str) -> int:
@@ -409,45 +438,47 @@ class ResultStore:
 
     def flush(self) -> Optional[Path]:
         """Publish pending records as one new segment (None when idle)."""
-        if not self._pending:
-            return None
-        lines = [line for _, line in self._pending]
-        segment = self._publish_segment(lines)
-        self._seen_segments.add(segment.name)
-        offset = 0
-        for key, line in self._pending:
-            length = len(line.encode("utf-8"))
-            self._records += 1
-            if key in self._index:  # pragma: no cover - guarded at put time
-                self._duplicates += 1
-            self._index[key] = _Location(segment, offset, length)
-            offset += length + 1
-        self._pending.clear()
-        self._pending_keys.clear()
-        return segment
+        with self._write_lock:
+            if not self._pending:
+                return None
+            lines = [line for _, line in self._pending]
+            segment = self._publish_segment(lines)
+            self._seen_segments.add(segment.name)
+            offset = 0
+            for key, line in self._pending:
+                length = len(line.encode("utf-8"))
+                self._records += 1
+                if key in self._index:  # pragma: no cover - guarded at put time
+                    self._duplicates += 1
+                self._index[key] = _Location(segment, offset, length)
+                offset += length + 1
+            self._pending.clear()
+            self._pending_keys.clear()
+            return segment
 
     # -- maintenance -----------------------------------------------------------
     def stats(self) -> StoreStats:
         """Snapshot of segment, record and per-backend counts."""
         segments = sorted(self.path.glob(_SEGMENT_GLOB))
         total_bytes = sum(segment.stat().st_size for segment in segments)
-        backends: dict[str, int] = {}
-        for key in self._index:
-            backends[key.backend] = backends.get(key.backend, 0) + 1
-        for key in self._pending_keys:
-            if key not in self._index:
+        with self._write_lock:
+            backends: dict[str, int] = {}
+            for key in self._index:
                 backends[key.backend] = backends.get(key.backend, 0) + 1
-        return StoreStats(
-            path=str(self.path),
-            segments=len(segments),
-            records=self._records,
-            unique=len(self),
-            duplicates=self._duplicates,
-            skipped_lines=self._skipped_lines,
-            pending=len(self._pending),
-            total_bytes=total_bytes,
-            backends=backends,
-        )
+            for key in self._pending_keys:
+                if key not in self._index:
+                    backends[key.backend] = backends.get(key.backend, 0) + 1
+            return StoreStats(
+                path=str(self.path),
+                segments=len(segments),
+                records=self._records,
+                unique=len(self._index) + len(self._pending_keys),
+                duplicates=self._duplicates,
+                skipped_lines=self._skipped_lines,
+                pending=len(self._pending),
+                total_bytes=total_bytes,
+                backends=backends,
+            )
 
     def gc(self) -> tuple[int, int]:
         """Compact every live record into one fresh segment.

@@ -5,6 +5,8 @@ Sub-commands::
     repro solve        --kind rendezvous --distance 1.5 --visibility 0.3 --speed 0.7 --json
     repro solve        --spec-file specs.json --backend analytic --processes 4
     repro solve        --spec-file specs.json --store .repro-store
+    repro solve        --stdin-jsonl < requests.jsonl
+    repro serve        --port 7767 --backend auto --store .repro-store
     repro feasibility  --speed 1.0 --time-unit 0.5 --orientation 0 --chirality 1
     repro search       --distance 1.5 --bearing 0.8 --visibility 0.3 [--json]
     repro rendezvous   --distance 1.5 --bearing 0.8 --visibility 0.3 --speed 0.7 ... [--json]
@@ -28,6 +30,12 @@ result store: envelopes solved in any earlier run answer from disk, and
 fresh solves are recorded for the next one (the ``REPRO_STORE``
 environment variable sets a default; ``--no-store`` overrides it).
 ``repro store`` inspects and maintains a store directory.
+
+``serve`` runs the long-lived solver daemon: JSON-Lines over TCP, one
+request per line (``solve`` / ``health`` / ``metrics`` verbs), request
+coalescing and admission control via :mod:`repro.service`.  ``solve
+--stdin-jsonl`` streams the same wire format through an in-process
+service -- one response line per request line, no socket needed.
 """
 
 from __future__ import annotations
@@ -122,6 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--json", action="store_true", help="emit the SolveResult envelope(s) as JSON"
     )
+    solve.add_argument(
+        "--stdin-jsonl",
+        action="store_true",
+        help=(
+            "stream JSON-Lines requests from stdin through an in-process solver "
+            "service (one response line per request line; the serve wire format)"
+        ),
+    )
     _add_store_arguments(solve)
 
     feasibility = subparsers.add_parser("feasibility", help="apply the Theorem 4 feasibility test")
@@ -163,6 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=None, help="worker processes for the shared runner"
     )
     experiments.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-result progress to stderr while sweeps run",
+    )
+    experiments.add_argument(
         "--expect-warm",
         action="store_true",
         help=(
@@ -195,6 +216,32 @@ def build_parser() -> argparse.ArgumentParser:
         "suites", help="list the named workload suites (for solve/benchmark sweeps)"
     )
     suites.add_argument("--json", action="store_true", help="emit the listing as JSON")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the JSON-Lines solver daemon (TCP, one request per line)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7767, help="bind port (0 picks an ephemeral port)"
+    )
+    serve.add_argument(
+        "--backend",
+        default="auto",
+        help=f"default backend for requests (registered: {', '.join(backend_names())})",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="maximum concurrent solves (admission control)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=128,
+        help="requests allowed to queue for a solve slot before being refused",
+    )
+    _add_store_arguments(serve)
 
     schedule = subparsers.add_parser("schedule", help="print the Algorithm 7 schedule and overlaps")
     schedule.add_argument("--rounds", type=int, default=4, help="number of rounds to display")
@@ -316,6 +363,10 @@ def _spec_from_flags(namespace: argparse.Namespace) -> ProblemSpec:
 
 
 def _command_solve(namespace: argparse.Namespace) -> int:
+    if namespace.stdin_jsonl:
+        if namespace.spec_file is not None:
+            raise InvalidParameterError("--stdin-jsonl and --spec-file are mutually exclusive")
+        return _solve_stdin_jsonl(namespace)
     if namespace.spec_file is not None:
         specs, emit_list = _specs_from_file(namespace.spec_file)
     else:
@@ -338,6 +389,76 @@ def _command_solve(namespace: argparse.Namespace) -> int:
             print(result.summary())
             print()
         print(stats.describe())
+    return 0
+
+
+def _solve_stdin_jsonl(namespace: argparse.Namespace) -> int:
+    """Stream the serve wire format through an in-process service.
+
+    One request line in, one response line out, flushed immediately --
+    identical requests coalesce through the service's runner exactly as
+    they would against the daemon.  A metrics summary lands on stderr
+    when the stream ends.
+    """
+    from .api import BatchRunner
+    from .service import SolverService, encode_response, handle_line
+
+    # An explicit runner so --processes keeps meaning what it does in
+    # --spec-file mode; the store flushes once on drain, not per request.
+    runner = BatchRunner(
+        backend=namespace.backend,
+        processes=namespace.processes,
+        store=_store_path_from(namespace),
+        flush_store=False,
+    )
+    service = SolverService(runner=runner, backend=namespace.backend)
+    exit_code = 0
+    try:
+        for line in sys.stdin:
+            if not line.strip():
+                continue
+            response = handle_line(service, line)
+            if not response.get("ok"):
+                exit_code = 1
+            print(encode_response(response), flush=True)
+    finally:
+        service.drain()
+    totals = service.metrics_snapshot()["totals"]
+    print(
+        f"stdin-jsonl: {totals['requests']} request(s), {totals['solves']} solved, "
+        f"{totals['cache_hits']} cache hits, {totals['store_hits']} store hits, "
+        f"{totals['coalesced']} coalesced, {totals['errors']} error(s)",
+        file=sys.stderr,
+    )
+    return exit_code
+
+
+def _command_serve(namespace: argparse.Namespace) -> int:
+    from .service import ReproServer, SolverService
+
+    service = SolverService(
+        backend=namespace.backend,
+        store=_store_path_from(namespace),
+        max_inflight=namespace.max_inflight,
+        queue_limit=namespace.queue_limit,
+    )
+    server = ReproServer(service=service, host=namespace.host, port=namespace.port)
+    # ``is not None``: an empty ResultStore has len() == 0 and is falsy.
+    store_text = (
+        f", store {service.runner.store.path}" if service.runner.store is not None else ""
+    )
+    print(
+        f"repro serve: listening on {server.address} "
+        f"(backend {namespace.backend}, max in-flight {namespace.max_inflight}"
+        f"{store_text})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, draining in-flight requests", file=sys.stderr)
+    finally:
+        server.stop()
     return 0
 
 
@@ -405,7 +526,10 @@ def _command_experiments(namespace: argparse.Namespace) -> int:
         ids=None if namespace.all else namespace.ids,
         store=store_path,
         processes=namespace.processes,
+        progress=_experiment_progress_printer() if namespace.progress else None,
     )
+    if namespace.progress:
+        print(file=sys.stderr)
     for report in reports:
         print(report.to_text())
         print()
@@ -431,6 +555,32 @@ def _command_experiments(namespace: argparse.Namespace) -> int:
             )
             return 1
     return 0 if all(report.all_passed for report in reports) else 1
+
+
+def _experiment_progress_printer():
+    """A streaming progress line fed by ``BatchRunner`` completions.
+
+    Results arrive in completion order (the ``run_iter`` stream), so the
+    line advances while a sweep is still solving -- not after it.
+    """
+    state = {"experiment": None, "done": 0}
+
+    def show(experiment_id: str, completion) -> None:
+        if experiment_id != state["experiment"]:
+            if state["experiment"] is not None:
+                print(file=sys.stderr)
+            state["experiment"] = experiment_id
+            state["done"] = 0
+        state["done"] += 1
+        print(
+            f"\r{experiment_id}: {state['done']} result(s) "
+            f"[last: {completion.source}, {completion.latency * 1e3:.1f} ms]",
+            end="",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return show
 
 
 def _command_store(namespace: argparse.Namespace) -> int:
@@ -596,6 +746,7 @@ _COMMANDS = {
     "experiments": _command_experiments,
     "store": _command_store,
     "suites": _command_suites,
+    "serve": _command_serve,
     "schedule": _command_schedule,
     "gather": _command_gather,
 }

@@ -56,3 +56,31 @@ class InfeasibleConfigurationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment could not be configured or executed."""
+
+
+class BatchExecutionError(ReproError):
+    """One or more specs in a batch failed to solve.
+
+    Raised by ``BatchRunner.run`` *after* the whole batch has been
+    driven to completion: every spec that solved is already recorded in
+    the LRU (and flushed to the persistent store when one is
+    configured), so a retry of the same batch only re-attempts the
+    failed specs.  ``failures`` lists each failing spec's
+    ``(backend, spec_hash)`` key with the error type and message;
+    ``completed`` maps the keys that solved to their results.
+    """
+
+    def __init__(self, failures, completed=None) -> None:
+        self.failures = list(failures)
+        self.completed = dict(completed or {})
+        summary = "; ".join(failure.describe() for failure in self.failures[:5])
+        if len(self.failures) > 5:
+            summary += f"; ... ({len(self.failures) - 5} more)"
+        super().__init__(
+            f"{len(self.failures)} spec(s) failed to solve "
+            f"({len(self.completed)} completed and retained): {summary}"
+        )
+
+
+class ServiceUnavailableError(ReproError):
+    """The solver service refused a request (draining or at capacity)."""

@@ -1,0 +1,77 @@
+"""``repro.exec`` -- the planner/executor split behind the batch facade.
+
+Architecture
+------------
+
+Solving a batch used to be one ~120-line method interleaving decisions
+and work.  It is now an explicit two-stage pipeline::
+
+    specs --Planner--> ExecutionPlan --Executor--> stream of Completions
+
+**Stage 1 -- planning** (:mod:`repro.exec.plan`).  A :class:`Planner`
+deduplicates the input, resolves the cheap tiers eagerly (the runner's
+LRU, the persistent :class:`~repro.api.store.ResultStore`) and tiers
+the remaining misses: the kernel-batchable group (what the backend's
+``batchable_indices`` reports), the pool-eligible group (only when a
+pool was requested *and* the backend resolves identically in a fresh
+worker process), and the serial leftovers.  The outcome is a frozen
+:class:`ExecutionPlan` -- five disjoint tiers partitioning the unique
+keys, plus the per-input key sequence needed to reassemble input order.
+Planning is the only stage that touches shared runner state, so a
+thread-safe runner plans under its lock and executes outside it.
+
+**Stage 2 -- execution** (:mod:`repro.exec.executors`).  An
+:class:`Executor` strategy consumes a plan and emits
+:class:`Completion` objects **in completion order**, each carrying the
+key, the tier it was answered from (``cache`` / ``store`` / ``batch`` /
+``pool`` / ``serial``), the per-result latency, and either a
+:class:`~repro.api.result.SolveResult` or a :class:`SpecFailure` --
+failures never abort the stream, so everything that solved is still
+delivered (and cached/flushed) when one spec blows up.  Strategies:
+:class:`SerialExecutor` (in-process, one kernel call for the batch
+tier), :class:`PoolExecutor` (multiprocessing fan-out streaming back
+unordered, kernel batch running concurrently in-process) and
+:class:`ThreadedExecutor` (thread fan-out; works with
+runtime-registered backends that cannot cross a process boundary).
+
+How ``run()`` is reconstructed from ``run_iter()``
+--------------------------------------------------
+
+``BatchRunner.run_iter`` *is* the pipeline: plan, then yield the
+executor's completion stream (recording fresh results into the LRU and
+store as they pass).  ``BatchRunner.run`` is a thin collect-and-reorder
+wrapper over the same stream: it drains ``run_iter``, counts each
+completion's ``source`` into the :class:`~repro.api.batch.BatchStats`
+partition (``cache_hits`` / ``solved_from_store`` / ``solved_in_batch``
+/ ``solved_in_pool``), then maps the completed results back through
+``plan.keys`` -- the per-input key sequence -- to restore input order
+and duplicate multiplicity.  Nothing about the observable contract
+changed: byte-identical result fingerprints, the same stats partition,
+the same return shape.  The streaming form is what the serving tier
+(:mod:`repro.service`) and progress reporting build on.
+"""
+
+from .executors import Executor, PoolExecutor, SerialExecutor, ThreadedExecutor
+from .plan import (
+    Completion,
+    ExecutionPlan,
+    Key,
+    PlannedSpec,
+    Planner,
+    ResolvedSpec,
+    SpecFailure,
+)
+
+__all__ = [
+    "Completion",
+    "ExecutionPlan",
+    "Executor",
+    "Key",
+    "PlannedSpec",
+    "Planner",
+    "PoolExecutor",
+    "ResolvedSpec",
+    "SerialExecutor",
+    "SpecFailure",
+    "ThreadedExecutor",
+]

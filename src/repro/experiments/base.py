@@ -23,15 +23,24 @@ from typing import Any, Iterable, Iterator, Optional
 from ..analysis import ExperimentReport
 from ..api import BatchRunner, ProblemSpec, SolveResult
 
-__all__ = ["finalize_report", "solve_specs", "shared_runner", "active_runner"]
+__all__ = [
+    "finalize_report",
+    "solve_specs",
+    "shared_runner",
+    "active_runner",
+    "active_progress",
+]
 
-#: Stack of ``(runner, recorder)`` pairs installed by :func:`shared_runner`.
-_ACTIVE: list[tuple[BatchRunner, Optional[Any]]] = []
+#: Stack of ``(runner, recorder, progress)`` triples installed by
+#: :func:`shared_runner`.
+_ACTIVE: list[tuple[BatchRunner, Optional[Any], Optional[Any]]] = []
 
 
 @contextmanager
 def shared_runner(
-    runner: Optional[BatchRunner] = None, recorder: Optional[Any] = None
+    runner: Optional[BatchRunner] = None,
+    recorder: Optional[Any] = None,
+    progress: Optional[Any] = None,
 ) -> Iterator[BatchRunner]:
     """Install a runner every :func:`solve_specs` call in the block shares.
 
@@ -41,10 +50,13 @@ def shared_runner(
             ``record(backend, specs, results, stats)`` method (see
             :class:`~repro.experiments.manifest.ExperimentRecorder`),
             notified after every solve.
+        progress: optional streaming observer invoked with every
+            :class:`~repro.exec.plan.Completion` *as it happens* (the
+            runner's ``run_iter`` stream), not after the batch returns.
     """
     if runner is None:
         runner = BatchRunner()
-    _ACTIVE.append((runner, recorder))
+    _ACTIVE.append((runner, recorder, progress))
     try:
         yield runner
     finally:
@@ -54,6 +66,11 @@ def shared_runner(
 def active_runner() -> Optional[BatchRunner]:
     """The innermost shared runner, or None outside any context."""
     return _ACTIVE[-1][0] if _ACTIVE else None
+
+
+def active_progress() -> Optional[Any]:
+    """The innermost shared progress observer, or None."""
+    return _ACTIVE[-1][2] if _ACTIVE else None
 
 
 def finalize_report(report: ExperimentReport, output_dir: Optional[Path | str]) -> ExperimentReport:
@@ -85,12 +102,12 @@ def solve_specs(
     results.
     """
     spec_list = list(specs)
-    recorder = None
+    recorder = progress = None
     if runner is None and _ACTIVE:
-        runner, recorder = _ACTIVE[-1]
+        runner, recorder, progress = _ACTIVE[-1]
     if runner is None:
         runner = BatchRunner(backend=backend, processes=processes)
-    results, stats = runner.run(spec_list, backend=backend)
+    results, stats = runner.run(spec_list, backend=backend, on_completion=progress)
     if recorder is not None:
         recorder.record(backend, spec_list, results, stats)
     return results

@@ -15,8 +15,9 @@ verify that replayed results are bit-identical to the originals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from ..analysis import ExperimentReport, combine_markdown
 from ..api import BatchRunner
@@ -137,6 +138,7 @@ def run_all_resumable(
     ids: Optional[list[str]] = None,
     store: Union[ResultStore, str, Path, None] = None,
     processes: Optional[int] = None,
+    progress: Optional[Callable[[str, object], None]] = None,
 ) -> tuple[list[ExperimentReport], RunAllSummary]:
     """Run experiments through one shared runner; report solve accounting.
 
@@ -148,6 +150,10 @@ def run_all_resumable(
             given, solves are served from and recorded to it, and the run
             manifest next to it tracks per-experiment spec hashes.
         processes: worker-pool size of the shared runner.
+        progress: optional streaming observer called as
+            ``progress(experiment_id, completion)`` for every result
+            **as it completes** (the runner's streaming pipeline) --
+            live progress during a sweep instead of post-hoc stats.
     """
     selected = [identifier.upper() for identifier in ids] if ids else experiment_ids()
     store_obj: Optional[ResultStore] = None
@@ -159,7 +165,7 @@ def run_all_resumable(
     runner = BatchRunner(store=store_obj, processes=processes)
 
     reports: list[ExperimentReport] = []
-    summary = RunAllSummary(store_path=str(store_obj.path) if store_obj else None)
+    summary = RunAllSummary(store_path=str(store_obj.path) if store_obj is not None else None)
     for experiment_id in selected:
         recorder = ExperimentRecorder()
         previous = manifest.entry(experiment_id, quick) if manifest else None
@@ -167,7 +173,10 @@ def run_all_resumable(
         if manifest is not None and store_obj is not None:
             missing = manifest.missing_pairs(experiment_id, quick, store_obj)
             missing_before = len(missing) if missing is not None else None
-        with shared_runner(runner, recorder):
+        experiment_progress = None
+        if progress is not None:
+            experiment_progress = partial(progress, experiment_id)
+        with shared_runner(runner, recorder, experiment_progress):
             reports.append(
                 run_experiment(experiment_id, output_dir=output_dir, quick=quick)
             )

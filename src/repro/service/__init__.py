@@ -1,0 +1,42 @@
+"""``repro.service`` -- the long-lived, latency-aware serving tier.
+
+Built on the planner/executor split (:mod:`repro.exec`) and the
+thread-safe :class:`~repro.api.batch.BatchRunner`:
+
+* :mod:`repro.service.service`  -- :class:`SolverService`: one shared
+  runner (locked LRU + store tier), in-flight request coalescing by
+  ``(backend, spec hash)``, admission control (bounded in-flight +
+  bounded queue), per-backend metrics and graceful drain;
+* :mod:`repro.service.metrics`  -- :class:`ServiceMetrics`: request /
+  hit-rate / latency-percentile accounting;
+* :mod:`repro.service.protocol` -- the JSON-Lines wire format (one
+  request per line, one response per line; ``solve`` / ``health`` /
+  ``metrics`` verbs) shared by every transport;
+* :mod:`repro.service.daemon`   -- :class:`ReproServer`: the ``repro
+  serve`` TCP daemon, one thread per connection, stdlib only.
+
+Quickstart::
+
+    from repro.api import SearchProblem
+    from repro.service import SolverService
+
+    with SolverService(backend="auto", store=".repro-store") as service:
+        served = service.request(SearchProblem(distance=1.5, visibility=0.3))
+        print(served.result.summary(), served.source, served.latency)
+"""
+
+from .daemon import ReproServer, request_lines
+from .metrics import ServiceMetrics
+from .protocol import encode_response, handle_line, handle_request
+from .service import ServedResult, SolverService
+
+__all__ = [
+    "ReproServer",
+    "ServedResult",
+    "ServiceMetrics",
+    "SolverService",
+    "encode_response",
+    "handle_line",
+    "handle_request",
+    "request_lines",
+]

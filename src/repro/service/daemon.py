@@ -1,0 +1,179 @@
+"""``repro serve`` -- the JSON-Lines-over-TCP solver daemon.
+
+Stdlib only: a :class:`socketserver.ThreadingTCPServer` gives every
+connection its own thread, each speaking the line protocol of
+:mod:`repro.service.protocol` against one shared
+:class:`~repro.service.service.SolverService` -- so concurrency,
+coalescing, admission control and metrics all come from the service,
+and the daemon is pure transport.
+
+Requests on one connection are answered in order; concurrency comes
+from concurrent connections (exactly how the socket tests and the serve
+benchmark drive it).  The ``shutdown`` verb -- or ``Ctrl-C`` on the
+foreground CLI -- answers, stops accepting, and drains the service
+gracefully so buffered store segments are published.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Any, Optional
+
+from .protocol import SHUTDOWN_OP, encode_response, handle_line
+from .service import SolverService
+
+__all__ = ["ReproServer"]
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, write response lines."""
+
+    server: "ReproServer"
+
+    def handle(self) -> None:
+        while True:
+            try:
+                raw = self.rfile.readline()
+            except (ConnectionError, OSError):  # pragma: no cover - client vanished
+                return
+            if not raw:  # EOF: client closed its sending side
+                return
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            response = handle_line(self.server.service, line)
+            try:
+                self.wfile.write((encode_response(response) + "\n").encode("utf-8"))
+                self.wfile.flush()
+            except (ConnectionError, OSError):  # pragma: no cover - client vanished
+                return
+            if response.get("op") == SHUTDOWN_OP and response.get("ok"):
+                self.server.stop_async()
+                return
+
+
+class ReproServer(socketserver.ThreadingTCPServer):
+    """The serving daemon: a threading TCP server bound to one service.
+
+    Args:
+        service: the shared :class:`SolverService` (built from
+            ``service_kwargs`` when omitted).
+        host: bind address (default loopback).
+        port: bind port; ``0`` picks an ephemeral one -- read
+            :attr:`port` for the actual binding (what the tests and the
+            smoke script do).
+        service_kwargs: forwarded to :class:`SolverService` when no
+            service instance is given (``backend=``, ``store=``,
+            ``max_inflight=``, ...).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # The socketserver default backlog (5) resets bursts of concurrent
+    # connects -- exactly the serving workload; match the admission
+    # queue instead and let the service refuse excess load explicitly.
+    request_queue_size = 256
+
+    def __init__(
+        self,
+        service: Optional[SolverService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **service_kwargs: Any,
+    ) -> None:
+        self.service = service if service is not None else SolverService(**service_kwargs)
+        super().__init__((host, port), _RequestHandler)
+        self._serving = threading.Event()
+        self._stopped = threading.Event()
+        self._stop_done = threading.Event()
+        self._stop_lock = threading.Lock()
+        self._loop_started = False
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        return self.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------------
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._loop_started = True
+        super().serve_forever(poll_interval)
+
+    def serve_background(self) -> threading.Thread:
+        """Serve from a daemon thread; returns once the socket is accepting."""
+        thread = threading.Thread(
+            target=self.serve_forever, name=f"repro-serve-{self.port}", daemon=True
+        )
+        thread.start()
+        self._serving.wait(timeout=5.0)
+        return thread
+
+    def service_actions(self) -> None:  # called from the serve_forever loop
+        self._serving.set()
+        super().service_actions()
+
+    def stop_async(self) -> None:
+        """Initiate shutdown from a handler thread without deadlocking."""
+        threading.Thread(target=self.stop, daemon=True).start()
+
+    def stop(self, drain_timeout: Optional[float] = 30.0) -> None:
+        """Stop accepting, drain in-flight solves, flush the store.
+
+        Idempotent *and* blocking: a second caller waits for the first
+        stop to finish draining.  The shutdown verb stops the server
+        from a daemon thread while the CLI's foreground thread is
+        leaving ``serve_forever`` -- if the foreground call returned
+        immediately the process would exit with the drain (and the
+        store flush) still in progress.
+        """
+        with self._stop_lock:
+            first = not self._stopped.is_set()
+            self._stopped.set()
+        if not first:
+            self._stop_done.wait(timeout=drain_timeout)
+            return
+        try:
+            if self._loop_started:
+                # shutdown() blocks until the serve_forever loop exits;
+                # with no loop ever started it would wait forever.
+                self.shutdown()
+            self.server_close()
+            self.service.drain(timeout=drain_timeout)
+        finally:
+            self._stop_done.set()
+
+    def __enter__(self) -> "ReproServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def request_lines(host: str, port: int, lines: list[str], timeout: float = 60.0) -> list[str]:
+    """Tiny client: send request lines on one connection, return responses.
+
+    Used by the tests, the serve smoke and the benchmark -- and a
+    reasonable template for real clients: newline-delimited requests in,
+    exactly one response line back per request, in order.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as connection:
+        with connection.makefile("rwb") as stream:
+            for line in lines:
+                stream.write((line.strip() + "\n").encode("utf-8"))
+            stream.flush()
+            connection.shutdown(socket.SHUT_WR)
+            return [
+                raw.decode("utf-8").rstrip("\n")
+                for raw in stream
+                if raw.strip()
+            ]

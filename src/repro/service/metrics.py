@@ -1,0 +1,162 @@
+"""Thread-safe request metrics for the serving tier.
+
+One :class:`ServiceMetrics` instance aggregates per-backend counters
+(requests, fresh solves, LRU/store hits, in-flight coalescing, errors,
+rejections) and a bounded latency window from which p50/p99 are computed
+on demand.  Everything is guarded by one lock -- updates are a few
+dict/deque operations, far cheaper than any solve.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Optional
+
+__all__ = ["ServiceMetrics"]
+
+#: Completion sources that count as answered-without-solving.
+_HIT_SOURCES = frozenset({"cache", "store"})
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class _BackendMetrics:
+    __slots__ = (
+        "requests",
+        "solves",
+        "cache_hits",
+        "store_hits",
+        "coalesced",
+        "errors",
+        "latencies",
+        "latency_max",
+    )
+
+    def __init__(self, window: int) -> None:
+        self.requests = 0
+        self.solves = 0
+        self.cache_hits = 0
+        self.store_hits = 0
+        self.coalesced = 0
+        self.errors = 0
+        self.latencies: deque[float] = deque(maxlen=window)
+        self.latency_max = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        answered = self.requests - self.errors
+        if answered <= 0:
+            return 0.0
+        return (self.cache_hits + self.store_hits + self.coalesced) / answered
+
+    def snapshot(self) -> dict[str, Any]:
+        ordered = sorted(self.latencies)
+        latency: dict[str, Any] = {"window": len(ordered)}
+        if ordered:
+            latency.update(
+                mean_ms=round(1e3 * sum(ordered) / len(ordered), 3),
+                p50_ms=round(1e3 * _percentile(ordered, 0.50), 3),
+                p99_ms=round(1e3 * _percentile(ordered, 0.99), 3),
+                max_ms=round(1e3 * self.latency_max, 3),
+            )
+        return {
+            "requests": self.requests,
+            "solves": self.solves,
+            "cache_hits": self.cache_hits,
+            "store_hits": self.store_hits,
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "hit_rate": round(self.hit_rate, 4),
+            "latency": latency,
+        }
+
+
+class ServiceMetrics:
+    """Per-backend request/latency/hit-rate accounting.
+
+    Args:
+        window: number of most-recent per-request latencies kept per
+            backend for the p50/p99 estimates (counters are exact and
+            unbounded).
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+        self._window = window
+        self._lock = threading.Lock()
+        self._backends: dict[str, _BackendMetrics] = {}
+        self._rejected = 0
+        self._started = time.time()
+
+    def _backend(self, name: str) -> _BackendMetrics:
+        entry = self._backends.get(name)
+        if entry is None:
+            entry = self._backends[name] = _BackendMetrics(self._window)
+        return entry
+
+    # -- recording -------------------------------------------------------------
+    def record(self, backend: str, source: str, latency: float) -> None:
+        """Record one answered request: where it was served from, how long."""
+        with self._lock:
+            entry = self._backend(backend)
+            entry.requests += 1
+            if source == "coalesced":
+                entry.coalesced += 1
+            elif source == "cache":
+                entry.cache_hits += 1
+            elif source == "store":
+                entry.store_hits += 1
+            else:
+                entry.solves += 1
+            entry.latencies.append(latency)
+            entry.latency_max = max(entry.latency_max, latency)
+
+    def record_error(self, backend: str, latency: float) -> None:
+        """Record one request that raised instead of answering."""
+        with self._lock:
+            entry = self._backend(backend)
+            entry.requests += 1
+            entry.errors += 1
+            entry.latencies.append(latency)
+            entry.latency_max = max(entry.latency_max, latency)
+
+    def record_rejected(self) -> None:
+        """Record one request refused by admission control."""
+        with self._lock:
+            self._rejected += 1
+
+    # -- reading ---------------------------------------------------------------
+    def coalesced_total(self, backend: Optional[str] = None) -> int:
+        with self._lock:
+            if backend is not None:
+                entry = self._backends.get(backend)
+                return entry.coalesced if entry else 0
+            return sum(entry.coalesced for entry in self._backends.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-safe metrics document (what the ``metrics`` verb ships)."""
+        with self._lock:
+            backends = {
+                name: entry.snapshot() for name, entry in sorted(self._backends.items())
+            }
+            totals = {
+                "requests": sum(b["requests"] for b in backends.values()),
+                "solves": sum(b["solves"] for b in backends.values()),
+                "cache_hits": sum(b["cache_hits"] for b in backends.values()),
+                "store_hits": sum(b["store_hits"] for b in backends.values()),
+                "coalesced": sum(b["coalesced"] for b in backends.values()),
+                "errors": sum(b["errors"] for b in backends.values()),
+                "rejected": self._rejected,
+            }
+            return {
+                "uptime_s": round(time.time() - self._started, 3),
+                "totals": totals,
+                "backends": backends,
+            }

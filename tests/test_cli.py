@@ -360,3 +360,83 @@ class TestJsonFlags:
         assert code == 0
         verdict = json.loads(capsys.readouterr().out)
         assert verdict["feasible"] is False and verdict["reasons"]
+
+
+class TestServeAndStreaming:
+    def test_serve_parser_defaults(self):
+        namespace = build_parser().parse_args(["serve"])
+        assert namespace.command == "serve"
+        assert namespace.host == "127.0.0.1" and namespace.port == 7767
+        assert namespace.backend == "auto"
+        assert namespace.max_inflight == 8 and namespace.queue_limit == 128
+
+    def test_stdin_jsonl_streams_one_response_per_request(self, capsys, monkeypatch):
+        import io
+
+        requests = [
+            json.dumps({"op": "solve", "id": 1, "backend": "analytic",
+                        "spec": {"schema_version": 1, "kind": "search",
+                                 "distance": 1.2, "visibility": 0.3}}),
+            json.dumps({"schema_version": 1, "kind": "search",
+                        "distance": 1.2, "visibility": 0.3}),  # bare-spec duplicate
+            json.dumps({"op": "health"}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(requests) + "\n"))
+        code = main(["solve", "--stdin-jsonl", "--backend", "analytic", "--no-store"])
+        assert code == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(lines) == 3
+        assert lines[0]["ok"] and lines[0]["id"] == 1 and lines[0]["served_by"] == "solve"
+        assert lines[1]["ok"] and lines[1]["served_by"] == "cache"  # duplicate hit the LRU
+        assert lines[2]["health"]["status"] == "serving"
+        assert "cache hits" in captured.err
+
+    def test_stdin_jsonl_bad_request_sets_exit_code_but_keeps_streaming(
+        self, capsys, monkeypatch
+    ):
+        import io
+
+        requests = [
+            "not json at all",
+            json.dumps({"schema_version": 1, "kind": "search",
+                        "distance": 1.2, "visibility": 0.3}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(requests) + "\n"))
+        code = main(["solve", "--stdin-jsonl", "--backend", "analytic", "--no-store"])
+        assert code == 1
+        lines = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        assert [line["ok"] for line in lines] == [False, True]
+
+    def test_stdin_jsonl_conflicts_with_spec_file(self, capsys, tmp_path):
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text("[]", encoding="utf-8")
+        code = main(["solve", "--stdin-jsonl", "--spec-file", str(spec_file)])
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_stdin_jsonl_uses_the_store(self, capsys, monkeypatch, tmp_path):
+        import io
+
+        line = json.dumps({"schema_version": 1, "kind": "search",
+                           "distance": 1.5, "visibility": 0.3})
+        monkeypatch.setattr("sys.stdin", io.StringIO(line + "\n"))
+        assert main(["solve", "--stdin-jsonl", "--backend", "analytic",
+                     "--store", str(tmp_path)]) == 0
+        first = json.loads(capsys.readouterr().out.strip())
+        assert first["served_by"] == "solve"
+        monkeypatch.setattr("sys.stdin", io.StringIO(line + "\n"))
+        assert main(["solve", "--stdin-jsonl", "--backend", "analytic",
+                     "--store", str(tmp_path)]) == 0
+        second = json.loads(capsys.readouterr().out.strip())
+        assert second["served_by"] == "store"  # answered from the persisted tier
+        assert (
+            SolveResult.from_dict(second["result"]).fingerprint()
+            == SolveResult.from_dict(first["result"]).fingerprint()
+        )
+
+    def test_experiments_progress_flag_streams_to_stderr(self, capsys, tmp_path):
+        code = main(["experiments", "E01", "--quick", "--progress", "--no-store"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "E01" in err and "result(s)" in err
