@@ -27,7 +27,13 @@ the other benchmark artefacts so future PRs can track the trajectory:
   (cold store, then a warm restart), reporting requests/s and p50/p99
   request latency next to the no-service baseline (one facade
   ``solve()`` per request), plus the daemon's own ``metrics`` document
-  so LRU/store hits and in-flight coalescing are observable.
+  so LRU/store hits and in-flight coalescing are observable;
+* ``BENCH_cluster.json`` -- the sharded-serving snapshot: the same
+  duplicate-heavy workload against ``repro serve --workers N`` for
+  N in {1, 2, 4} (plus the single-process daemon as the no-router
+  baseline), reporting requests/s, p50/p99 latency, the shard spread
+  and a fingerprint-parity assertion against direct ``solve()`` for
+  every fleet size.
 
 ``solved`` counts only specs whose simulated event actually fired;
 ``bound_only`` counts analytic answers (``solved is None`` -- no
@@ -64,6 +70,7 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_api.json"
 DEFAULT_KERNEL_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_kernel.json"
 DEFAULT_STORE_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_store.json"
 DEFAULT_SERVE_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_serve.json"
+DEFAULT_CLUSTER_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_cluster.json"
 
 KERNEL_SUITE = "search-sweep"
 KERNEL_LARGE_SUITE = "search-sweep-large"
@@ -287,66 +294,54 @@ def run_store_benchmark(quick: bool) -> dict:
     }
 
 
-def _serve_round(
-    specs: list, store_dir: Path, backend: str
-) -> tuple[dict, dict, dict]:
-    """Fire the duplicate-heavy workload at one fresh daemon.
+def _fire_workload(host: str, port: int, specs: list) -> tuple[dict, dict, list]:
+    """Stream one duplicate-heavy workload at a daemon or router address.
 
-    Returns the scenario record, the daemon's own metrics document and a
-    mapping of first-seen response fingerprints per unique spec hash.
+    ``SERVE_CLIENTS`` concurrent connections, one request in flight per
+    connection (each latency is a true round trip).  Returns the
+    scenario record, the first-seen envelope per unique spec hash and
+    the failure list.
     """
     import json as json_module
+    import socket
     import threading
-
-    from repro.service import ReproServer, request_lines
 
     latencies: list[float] = []
     latency_lock = threading.Lock()
     first_seen: dict[str, dict] = {}
     failures: list[str] = []
 
-    with ReproServer(backend=backend, store=store_dir, max_inflight=SERVE_CLIENTS) as server:
-        server.serve_background()
-
-        def client(slot: int) -> None:
-            lines = [
-                json_module.dumps({"op": "solve", "spec": specs[i].to_dict(), "id": i})
-                for i in range(slot, len(specs), SERVE_CLIENTS)
-            ]
-            # One request at a time per connection: each response's
-            # latency is a true request round trip.
-            import socket
-
-            with socket.create_connection((server.host, server.port), timeout=120) as conn:
-                with conn.makefile("rwb") as stream:
-                    for line, index in zip(lines, range(slot, len(specs), SERVE_CLIENTS)):
-                        sent = time.perf_counter()
-                        stream.write((line + "\n").encode("utf-8"))
-                        stream.flush()
-                        raw = stream.readline()
-                        elapsed = time.perf_counter() - sent
-                        response = json_module.loads(raw)
-                        with latency_lock:
-                            latencies.append(elapsed)
-                            if not response.get("ok"):
-                                failures.append(str(response.get("error")))
-                            else:
-                                spec_hash = response["result"]["provenance"]["spec_hash"]
-                                first_seen.setdefault(spec_hash, response["result"])
-
-        start = time.perf_counter()
-        threads = [
-            threading.Thread(target=client, args=(slot,)) for slot in range(SERVE_CLIENTS)
+    def client(slot: int) -> None:
+        lines = [
+            json_module.dumps({"op": "solve", "spec": specs[i].to_dict(), "id": i})
+            for i in range(slot, len(specs), SERVE_CLIENTS)
         ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        wall = time.perf_counter() - start
-        (metrics_line,) = request_lines(
-            server.host, server.port, [json_module.dumps({"op": "metrics"})]
-        )
-        metrics = json_module.loads(metrics_line)["metrics"]
+        with socket.create_connection((host, port), timeout=120) as conn:
+            with conn.makefile("rwb") as stream:
+                for line in lines:
+                    sent = time.perf_counter()
+                    stream.write((line + "\n").encode("utf-8"))
+                    stream.flush()
+                    raw = stream.readline()
+                    elapsed = time.perf_counter() - sent
+                    response = json_module.loads(raw)
+                    with latency_lock:
+                        latencies.append(elapsed)
+                        if not response.get("ok"):
+                            failures.append(str(response.get("error")))
+                        else:
+                            spec_hash = response["result"]["provenance"]["spec_hash"]
+                            first_seen.setdefault(spec_hash, response["result"])
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, args=(slot,)) for slot in range(SERVE_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
 
     ordered = sorted(latencies)
 
@@ -367,6 +362,28 @@ def _serve_round(
             "max": round(ordered[-1] * 1e3, 3) if ordered else None,
         },
     }
+    return record, first_seen, failures
+
+
+def _serve_round(
+    specs: list, store_dir: Path, backend: str
+) -> tuple[dict, dict, dict]:
+    """Fire the duplicate-heavy workload at one fresh daemon.
+
+    Returns the scenario record, the daemon's own metrics document and a
+    mapping of first-seen response fingerprints per unique spec hash.
+    """
+    import json as json_module
+
+    from repro.service import ReproServer, request_lines
+
+    with ReproServer(backend=backend, store=store_dir, max_inflight=SERVE_CLIENTS) as server:
+        server.serve_background()
+        record, first_seen, _ = _fire_workload(server.host, server.port, specs)
+        (metrics_line,) = request_lines(
+            server.host, server.port, [json_module.dumps({"op": "metrics"})]
+        )
+        metrics = json_module.loads(metrics_line)["metrics"]
     return record, metrics, first_seen
 
 
@@ -458,6 +475,132 @@ def run_serve_benchmark(quick: bool) -> dict:
     }
 
 
+def _cluster_round(specs: list, workers: int, store_dir: Path, backend: str) -> tuple[dict, dict, dict]:
+    """Fire the duplicate-heavy workload at a fresh N-worker cluster.
+
+    Returns the scenario record (with the shard spread folded in), the
+    router's metrics document and the first-seen envelopes.
+    """
+    import json as json_module
+
+    from repro.cluster import ClusterSupervisor, boot_router
+    from repro.service import request_lines
+
+    supervisor = ClusterSupervisor(workers=workers, backend=backend, store=store_dir)
+    spawn_start = time.perf_counter()
+    router = boot_router(supervisor, backend=backend)
+    spawn_wall = time.perf_counter() - spawn_start
+    with router:
+        router.serve_background()
+        record, first_seen, _ = _fire_workload(router.host, router.port, specs)
+        (metrics_line,) = request_lines(
+            router.host, router.port, [json_module.dumps({"op": "metrics"})]
+        )
+        metrics = json_module.loads(metrics_line)["metrics"]
+    record["workers"] = workers
+    record["spawn_wall_time_s"] = round(spawn_wall, 4)
+    record["router_coalesced"] = metrics["cluster"]["router_coalesced"]
+    record["worker_restarts"] = metrics["cluster"]["worker_restarts"]
+    record["shard_spread"] = [row["forwarded"] for row in metrics["shards"]]
+    return record, metrics, first_seen
+
+
+def run_cluster_benchmark(quick: bool) -> dict:
+    """The sharded-serving snapshot: one router over 1/2/4 worker processes.
+
+    Same duplicate-heavy workload shape as the serve benchmark, fired at
+    a cold-store cluster per fleet size, plus the single-process daemon
+    as the no-router baseline.  The backend is ``simulation`` -- the
+    measured-fidelity, CPU-bound path a cluster exists to scale -- so
+    the scenario is solve-dominated rather than proxy-dominated; note
+    ``cpu_count`` in the snapshot, because fleet scaling is bounded by
+    the cores available to the worker processes.  Every unique envelope
+    must be bit-identical to the direct facade ``solve()`` no matter
+    which worker answered -- the fingerprint-parity assertion that
+    makes the sharding safe.
+    """
+    import os as os_module
+
+    from repro.api import SolveResult, solve
+
+    backend = "simulation"
+    suite = spec_suite(SERVE_SUITE)
+    if quick:
+        suite = suite[: max(8, len(suite) // 4)]
+    workload = [spec for spec in suite for _ in range(SERVE_DUPLICATION)]
+    worker_counts = (1, 2) if quick else (1, 2, 4)
+
+    clear_compiled_cache()
+    expected = {
+        result.provenance.spec_hash: result.fingerprint()
+        for result in (solve(spec, backend=backend) for spec in suite)
+    }
+
+    def parity_of(first_seen: dict) -> bool:
+        return set(first_seen) == set(expected) and all(
+            SolveResult.from_dict(envelope).fingerprint() == expected[spec_hash]
+            for spec_hash, envelope in first_seen.items()
+        )
+
+    scenarios: dict[str, dict] = {}
+    parity: dict[str, bool] = {}
+    failures_total = 0
+
+    # The no-router baseline: the single-process daemon on the same workload.
+    store_dir = Path(tempfile.mkdtemp(prefix="repro-bench-cluster-"))
+    try:
+        clear_compiled_cache()
+        record, _, first_seen = _serve_round(workload, store_dir / "single", backend)
+        scenarios["serve_single_daemon"] = record
+        parity["serve_single_daemon"] = parity_of(first_seen)
+        failures_total += record["failures"]
+
+        for workers in worker_counts:
+            clear_compiled_cache()
+            name = f"cluster_workers_{workers}"
+            record, _, first_seen = _cluster_round(
+                workload, workers, store_dir / name, backend
+            )
+            scenarios[name] = record
+            parity[name] = parity_of(first_seen)
+            failures_total += record["failures"]
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    def rate(name: str) -> float:
+        return scenarios[name]["requests_per_second"] or 0.0
+
+    base_rate = rate("cluster_workers_1")
+    single_rate = rate("serve_single_daemon")
+    return {
+        "benchmark": "repro sharded cluster serving throughput",
+        "library_version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os_module.cpu_count(),
+        "generated_at_unix": int(time.time()),
+        "suite": SERVE_SUITE,
+        "duplication": SERVE_DUPLICATION,
+        "clients": SERVE_CLIENTS,
+        "requests": len(workload),
+        "scenarios": scenarios,
+        "speedup_workers_2_vs_1": round(rate("cluster_workers_2") / base_rate, 2)
+        if base_rate
+        else None,
+        "speedup_workers_4_vs_1": round(rate("cluster_workers_4") / base_rate, 2)
+        if base_rate and "cluster_workers_4" in scenarios
+        else None,
+        "speedup_workers_2_vs_single_daemon": round(
+            rate("cluster_workers_2") / single_rate, 2
+        )
+        if single_rate
+        else None,
+        "served_fingerprints_identical_to_facade": all(parity.values()),
+        "parity_by_scenario": parity,
+        "cluster_failures": failures_total,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -489,6 +632,12 @@ def main() -> int:
         default=DEFAULT_SERVE_OUTPUT,
         help="where to write BENCH_serve.json",
     )
+    parser.add_argument(
+        "--cluster-output",
+        type=Path,
+        default=DEFAULT_CLUSTER_OUTPUT,
+        help="where to write BENCH_cluster.json",
+    )
     namespace = parser.parse_args()
 
     snapshot = run_benchmark(namespace.processes, namespace.quick)
@@ -513,13 +662,21 @@ def main() -> int:
         json.dumps(serve_snapshot, indent=2) + "\n", encoding="utf-8"
     )
 
+    cluster_snapshot = run_cluster_benchmark(namespace.quick)
+    namespace.cluster_output.parent.mkdir(parents=True, exist_ok=True)
+    namespace.cluster_output.write_text(
+        json.dumps(cluster_snapshot, indent=2) + "\n", encoding="utf-8"
+    )
+
     print(json.dumps(snapshot, indent=2))
     print(json.dumps(kernel_snapshot, indent=2))
     print(json.dumps(store_snapshot, indent=2))
     print(json.dumps(serve_snapshot, indent=2))
+    print(json.dumps(cluster_snapshot, indent=2))
     print(
         f"\nsnapshots written to {namespace.output}, {namespace.kernel_output}, "
-        f"{namespace.store_output} and {namespace.serve_output}"
+        f"{namespace.store_output}, {namespace.serve_output} and "
+        f"{namespace.cluster_output}"
     )
 
     if not kernel_snapshot["parity"]["within_tolerance"]:
@@ -548,6 +705,16 @@ def main() -> int:
             "ERROR: serve benchmark failed requests, drifted from the direct facade "
             "answers, or served a duplicate-heavy workload without any cache/store/"
             f"coalescing hits ({serve_snapshot['scenarios']})",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        cluster_snapshot["cluster_failures"]
+        or not cluster_snapshot["served_fingerprints_identical_to_facade"]
+    ):
+        print(
+            "ERROR: cluster benchmark dropped requests or a sharded answer "
+            f"drifted from the direct facade solve ({cluster_snapshot['parity_by_scenario']})",
             file=sys.stderr,
         )
         return 1

@@ -6,7 +6,8 @@ Sub-commands::
     repro solve        --spec-file specs.json --backend analytic --processes 4
     repro solve        --spec-file specs.json --store .repro-store
     repro solve        --stdin-jsonl < requests.jsonl
-    repro serve        --port 7767 --backend auto --store .repro-store
+    repro serve        --port 7767 --backend auto --store .repro-store [--workers 4]
+    repro cluster      status --port 7767 [--json]
     repro feasibility  --speed 1.0 --time-unit 0.5 --orientation 0 --chirality 1
     repro search       --distance 1.5 --bearing 0.8 --visibility 0.3 [--json]
     repro rendezvous   --distance 1.5 --bearing 0.8 --visibility 0.3 --speed 0.7 ... [--json]
@@ -33,7 +34,12 @@ environment variable sets a default; ``--no-store`` overrides it).
 
 ``serve`` runs the long-lived solver daemon: JSON-Lines over TCP, one
 request per line (``solve`` / ``health`` / ``metrics`` verbs), request
-coalescing and admission control via :mod:`repro.service`.  ``solve
+coalescing and admission control via :mod:`repro.service`.  ``serve
+--workers N`` shards the same wire format over N supervised worker
+processes behind a consistent-hash router (:mod:`repro.cluster`);
+``repro cluster status`` prints the per-shard health and metrics of a
+running router.  SIGTERM and SIGINT both drain gracefully, so buffered
+store segments are published before the process exits.  ``solve
 --stdin-jsonl`` streams the same wire format through an in-process
 service -- one response line per request line, no socket needed.
 """
@@ -41,11 +47,13 @@ service -- one response line per request line, no socket needed.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
+import signal
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Any, Callable, Iterator, Optional, Sequence
 
 from .api import (
     BatchRunner,
@@ -241,7 +249,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=128,
         help="requests allowed to queue for a solve slot before being refused",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "shard over N supervised worker processes behind a consistent-hash "
+            "router (1 = the single-process daemon)"
+        ),
+    )
+    serve.add_argument(
+        "--port-file",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the bound host:port to FILE once listening (for supervisors)",
+    )
     _add_store_arguments(serve)
+
+    cluster = subparsers.add_parser(
+        "cluster", help="inspect a running sharded cluster (see serve --workers)"
+    )
+    cluster.add_argument(
+        "action", choices=("status",), help="status: per-shard health and metrics"
+    )
+    cluster.add_argument("--host", default="127.0.0.1", help="router address")
+    cluster.add_argument("--port", type=int, default=7767, help="router port")
+    cluster.add_argument("--json", action="store_true", help="emit the raw documents as JSON")
 
     schedule = subparsers.add_parser("schedule", help="print the Algorithm 7 schedule and overlaps")
     schedule.add_argument("--rounds", type=int, default=4, help="number of rounds to display")
@@ -433,7 +467,50 @@ def _solve_stdin_jsonl(namespace: argparse.Namespace) -> int:
     return exit_code
 
 
+@contextlib.contextmanager
+def _graceful_signals(stop_async: Callable[[], None], name: str) -> Iterator[None]:
+    """Route SIGTERM/SIGINT through a daemon's graceful stop.
+
+    A supervisor stops a daemon with SIGTERM; without a handler the
+    process dies without draining, losing buffered store segments.  The
+    handler only *initiates* the stop (``stop_async`` spawns the real
+    stop off the main thread): blocking inside a signal handler would
+    deadlock the serve loop it is trying to unwind.  Handlers are
+    restored on exit so nested servers (a cluster worker is a full
+    ``repro serve``) never fight over them.
+    """
+    def _initiate(signum: int, frame: object) -> None:
+        print(
+            f"{name}: caught {signal.Signals(signum).name}, draining in-flight requests",
+            file=sys.stderr,
+            flush=True,
+        )
+        stop_async()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _initiate)
+        except ValueError:  # pragma: no cover - not on the main thread
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
+def _write_port_file(namespace: argparse.Namespace, address: str) -> None:
+    """Publish the bound address for supervisors (``--port-file``)."""
+    if getattr(namespace, "port_file", None):
+        Path(namespace.port_file).write_text(address + "\n", encoding="utf-8")
+
+
 def _command_serve(namespace: argparse.Namespace) -> int:
+    if namespace.workers < 1:
+        raise InvalidParameterError(f"--workers must be >= 1, got {namespace.workers!r}")
+    if namespace.workers > 1:
+        return _command_serve_cluster(namespace)
     from .service import ReproServer, SolverService
 
     service = SolverService(
@@ -453,12 +530,133 @@ def _command_serve(namespace: argparse.Namespace) -> int:
         f"{store_text})",
         flush=True,
     )
+    _write_port_file(namespace, server.address)
+    # The handlers stay installed through the blocking stop() below: a
+    # supervisor's follow-up signal during the drain must keep routing
+    # into the (idempotent) stop instead of killing the flush mid-way.
+    with _graceful_signals(server.stop_async, "repro serve"):
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
+            print("repro serve: interrupted, draining in-flight requests", file=sys.stderr)
+        finally:
+            server.stop()
+    return 0
+
+
+def _command_serve_cluster(namespace: argparse.Namespace) -> int:
+    import threading
+
+    from .cluster import ClusterSupervisor, boot_router
+
+    supervisor = ClusterSupervisor(
+        workers=namespace.workers,
+        backend=namespace.backend,
+        store=_store_path_from(namespace),
+        max_inflight=namespace.max_inflight,
+        queue_limit=namespace.queue_limit,
+    )
+    # Workers are detached processes (they survive parent death), so the
+    # signal handlers must cover the spawn window too: a SIGTERM while
+    # the fleet is booting kills the workers instead of leaking them.
+    # Once the router exists, signals route through its graceful stop.
+    state: dict[str, Any] = {"router": None, "stop_requested": False}
+
+    def _stop_cluster_async() -> None:
+        # Flag first, read second: pairs with the post-construction
+        # check below so a signal landing between supervisor.start()
+        # and the router assignment still stops the process.
+        state["stop_requested"] = True
+        router = state["router"]
+        if router is not None:
+            router.stop_async()
+        else:
+            threading.Thread(
+                target=lambda: supervisor.stop(drain=False), daemon=True
+            ).start()
+
+    with _graceful_signals(_stop_cluster_async, "repro serve"):
+        try:
+            router = boot_router(
+                supervisor, host=namespace.host, port=namespace.port, backend=namespace.backend
+            )
+        except ReproError:
+            if state["stop_requested"]:
+                # The signal tore the fleet down mid-boot; that is the
+                # stop the caller asked for, not a crash.
+                supervisor.stop(drain=False)
+                return 0
+            raise
+        state["router"] = router
+        if state["stop_requested"]:
+            # The signal beat the assignment: its handler tore the fleet
+            # down but could not see the router, so stop it here instead
+            # of serving a dead fleet.
+            router.stop()
+            return 0
+        print(
+            f"repro serve: router on {router.address} sharding over "
+            f"{namespace.workers} worker(s) "
+            f"({', '.join(handle.address or '?' for handle in supervisor.handles)})",
+            flush=True,
+        )
+        _write_port_file(namespace, router.address)
+        try:
+            router.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
+            print("repro serve: interrupted, draining the cluster", file=sys.stderr)
+        finally:
+            router.stop()
+    return 0
+
+
+def _command_cluster(namespace: argparse.Namespace) -> int:
+    from .cluster import CLUSTER_STATUS_OP
+    from .service import request_lines
+
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("repro serve: interrupted, draining in-flight requests", file=sys.stderr)
-    finally:
-        server.stop()
+        status_line, metrics_line = request_lines(
+            namespace.host,
+            namespace.port,
+            [json.dumps({"op": CLUSTER_STATUS_OP}), json.dumps({"op": "metrics"})],
+        )
+    except OSError as error:
+        raise ReproError(
+            f"cannot reach a router at {namespace.host}:{namespace.port}: {error}"
+        ) from error
+    status_response = json.loads(status_line)
+    if not status_response.get("ok"):
+        raise ReproError(
+            f"router refused {CLUSTER_STATUS_OP}: {status_response.get('error')} "
+            "(is this a single-process `repro serve` daemon?)"
+        )
+    status = status_response["cluster"]
+    metrics = json.loads(metrics_line).get("metrics", {})
+    if namespace.json:
+        print(json.dumps({"cluster": status, "metrics": metrics}, indent=2))
+        return 0
+    print(
+        f"router {namespace.host}:{namespace.port}: {status['status']}, "
+        f"{status['alive']}/{status['workers']} worker(s) alive, "
+        f"{status['worker_restarts']} restart(s), {status['reroutes']} reroute(s), "
+        f"{status['router_coalesced']} coalesced at the router"
+    )
+    shard_metrics = {row["worker"]: row for row in metrics.get("shards", [])}
+    for row in status["shards"]:
+        counters = shard_metrics.get(row["worker"], {})
+        worker_totals = (counters.get("metrics") or {}).get("totals", {})
+        state = "up" if row["alive"] else "DOWN"
+        if counters.get("degraded"):
+            state += " (degraded)"
+        print(
+            f"  shard {row['worker']}: {state}  {row['address'] or '?'}  "
+            f"pid {row['pid']}  restarts {row['restarts']}  "
+            f"forwarded {counters.get('forwarded', 0)}  "
+            f"failures {counters.get('failures', 0)}  "
+            f"requests {worker_totals.get('requests', 0)} "
+            f"(solves {worker_totals.get('solves', 0)}, "
+            f"hits {worker_totals.get('cache_hits', 0) + worker_totals.get('store_hits', 0)})"
+        )
     return 0
 
 
@@ -747,6 +945,7 @@ _COMMANDS = {
     "store": _command_store,
     "suites": _command_suites,
     "serve": _command_serve,
+    "cluster": _command_cluster,
     "schedule": _command_schedule,
     "gather": _command_gather,
 }

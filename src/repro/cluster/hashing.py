@@ -1,0 +1,92 @@
+"""Consistent hashing for the sharded serving tier.
+
+A :class:`HashRing` places every shard at ``replicas`` pseudo-random
+points on a 2^64 ring (SHA-256 of ``"node:replica"``) and routes a key
+to the first shard point at or after the key's own hash.  Two
+properties matter for the cluster:
+
+* **determinism** -- the ring is a pure function of the node names, so
+  the router, the tests and a future second router all agree on which
+  worker owns ``(backend, spec_hash)`` without any coordination;
+* **stability** -- when a shard is added or removed only ~1/N of the
+  key space moves, so a resized cluster keeps most per-worker stores
+  and LRU caches warm.
+
+:meth:`HashRing.preference` returns *all* distinct shards in ring
+order from a key's position -- the failover sequence: the first entry
+is the home shard, the rest are the re-route candidates the router
+tries when the home worker is down.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Sequence, Union
+
+from ..errors import InvalidParameterError
+
+__all__ = ["HashRing", "shard_key"]
+
+Node = Union[int, str]
+
+
+def shard_key(backend: str, spec_hash: str) -> str:
+    """The routing key of one request: the store/LRU key, stringified."""
+    return f"{backend}:{spec_hash}"
+
+
+def _ring_hash(text: str) -> int:
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over a fixed set of shards.
+
+    Args:
+        nodes: shard identifiers (worker indices or names); order is
+            irrelevant, the ring is the same for any permutation.
+        replicas: virtual points per shard; more points smooth the key
+            distribution at the cost of a larger (still tiny) ring.
+    """
+
+    def __init__(self, nodes: Sequence[Node], replicas: int = 64) -> None:
+        if not nodes:
+            raise InvalidParameterError("HashRing needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise InvalidParameterError(f"duplicate ring nodes in {nodes!r}")
+        if replicas < 1:
+            raise InvalidParameterError(f"replicas must be >= 1, got {replicas!r}")
+        self.nodes = tuple(nodes)
+        self.replicas = replicas
+        points = []
+        for node in self.nodes:
+            for replica in range(replicas):
+                points.append((_ring_hash(f"{node}:{replica}"), node))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [node for _, node in points]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def lookup(self, key: str) -> Node:
+        """The shard that owns ``key`` (its home worker)."""
+        index = bisect.bisect_right(self._hashes, _ring_hash(key)) % len(self._hashes)
+        return self._owners[index]
+
+    def preference(self, key: str) -> list[Node]:
+        """Every distinct shard in ring order from ``key``'s position.
+
+        ``preference(key)[0] == lookup(key)``; the remaining entries are
+        the deterministic failover order.
+        """
+        start = bisect.bisect_right(self._hashes, _ring_hash(key))
+        seen: list[Node] = []
+        for step in range(len(self._owners)):
+            owner = self._owners[(start + step) % len(self._owners)]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == len(self.nodes):
+                    break
+        return seen

@@ -1,0 +1,525 @@
+"""The shard router: one front daemon over N worker daemons.
+
+A :class:`ShardRouter` is a :class:`~repro.service.daemon.GracefulLineServer`
+that speaks **exactly** the JSON-Lines wire format of
+:mod:`repro.service.protocol` -- clients cannot tell a router from a
+single daemon -- but answers ``solve`` requests by consistent-hashing
+``(backend, spec_hash)`` onto a supervised worker fleet and proxying
+the line over a pooled connection.  What the router adds on top of
+plain proxying:
+
+* **router-side coalescing** -- concurrent identical requests cost one
+  shard round-trip: the first arrival forwards, every overlapping
+  duplicate shares the leader's response (with its own ``id``), exactly
+  the :class:`~repro.service.service.SolverService` rendezvous pattern
+  one level up the topology;
+* **failover** -- a dead worker is reported to the supervisor (which
+  respawns it, single-flight) while the request is re-routed along the
+  ring's preference order; with every worker down the router keeps
+  retrying until ``route_timeout`` before answering ``ok: false``.  A
+  re-routed solve is safe because the backends are deterministic:
+  any worker produces the bit-identical envelope;
+* **shard metrics** -- per-shard forwarded/failure/degraded counters
+  (the ``metrics`` verb) and per-worker health probes (the ``health``
+  and ``cluster-status`` verbs).
+
+The router holds no solver state at all; stopping it drains the fleet
+(every worker flushes its store segments) and merges the worker stores
+back into the primary, so a warm restart replays from one store.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Any, Optional
+
+from ..errors import ClusterError, ReproError
+from ..service.daemon import GracefulLineServer
+from ..service.metrics import ServiceMetrics
+from ..service.protocol import (
+    SHUTDOWN_OP,
+    decode_request,
+    error_response,
+    normalize_request,
+)
+from .hashing import HashRing, shard_key
+from .worker import ClusterSupervisor, WorkerHandle
+
+__all__ = ["ShardRouter", "CLUSTER_STATUS_OP", "boot_router"]
+
+#: Router-only verb: one document with the shard table, health and
+#: restart counters (the ``repro cluster status`` CLI reads it).
+CLUSTER_STATUS_OP = "cluster-status"
+
+
+class _WorkerDied(Exception):
+    """A round-trip to a worker failed mid-request (connect, write or read)."""
+
+
+class _WorkerTimeout(Exception):
+    """A worker accepted the request but did not answer within the budget.
+
+    Deliberately distinct from :class:`_WorkerDied`: the worker is busy,
+    not gone -- re-routing would duplicate a solve that is still
+    running, and respawning would kill it.  The request fails honestly
+    instead.
+    """
+
+
+class _InFlight:
+    """Rendezvous between one forwarded solve and its coalesced duplicates."""
+
+    __slots__ = ("event", "response", "waiters")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: Optional[dict[str, Any]] = None
+        #: Duplicates currently parked on this forward (under the
+        #: router's in-flight lock); lets tests observe joins before
+        #: the leader's round-trip completes.
+        self.waiters = 0
+
+
+class _WorkerPool:
+    """A small pool of persistent connections to one worker.
+
+    Connections are tagged with the worker generation they were opened
+    against; a respawned worker (new port, new process) invalidates
+    every pooled connection of older generations.
+    """
+
+    def __init__(self, handle: WorkerHandle, timeout: float) -> None:
+        self.handle = handle
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._idle: list[tuple[int, socket.socket, Any]] = []
+
+    def _connect(self) -> tuple[int, socket.socket, Any]:
+        generation = self.handle.generation
+        host, port = self.handle.host, self.handle.port
+        if host is None or port is None:
+            raise _WorkerDied(f"worker {self.handle.worker_id} has no address")
+        try:
+            conn = socket.create_connection((host, port), timeout=self.timeout)
+        except OSError as error:
+            raise _WorkerDied(
+                f"worker {self.handle.worker_id} refused a connection: {error}"
+            ) from error
+        return generation, conn, conn.makefile("rb")
+
+    def request(self, line: str, timeout: Optional[float] = None) -> dict[str, Any]:
+        """One round-trip: send a request line, read one response line.
+
+        ``timeout`` caps this round-trip only (the pool default
+        otherwise).  A timed-out read raises :class:`_WorkerTimeout`
+        (busy worker, request failed), any other socket failure raises
+        :class:`_WorkerDied` (dead worker, caller may fail over).
+        """
+        with self._lock:
+            while self._idle:
+                generation, conn, reader = self._idle.pop()
+                if generation == self.handle.generation:
+                    break
+                conn.close()
+            else:
+                conn = None
+        if conn is None:
+            generation, conn, reader = self._connect()
+        try:
+            conn.settimeout(timeout if timeout is not None else self.timeout)
+            conn.sendall((line + "\n").encode("utf-8"))
+            raw = reader.readline()
+        except TimeoutError as error:
+            # The connection is desynced (an answer may still arrive);
+            # it must not be reused.
+            conn.close()
+            raise _WorkerTimeout(
+                f"worker {self.handle.worker_id} did not answer within "
+                f"{timeout if timeout is not None else self.timeout}s"
+            ) from error
+        except OSError as error:
+            conn.close()
+            raise _WorkerDied(
+                f"worker {self.handle.worker_id} dropped mid-request: {error}"
+            ) from error
+        if not raw:
+            conn.close()
+            raise _WorkerDied(f"worker {self.handle.worker_id} closed mid-request")
+        with self._lock:
+            self._idle.append((generation, conn, reader))
+        try:
+            response = json.loads(raw.decode("utf-8"))
+        except json.JSONDecodeError as error:
+            raise _WorkerDied(
+                f"worker {self.handle.worker_id} answered malformed JSON: {error}"
+            ) from error
+        if not isinstance(response, dict):
+            raise _WorkerDied(f"worker {self.handle.worker_id} answered a non-object")
+        return response
+
+    def close(self) -> None:
+        with self._lock:
+            for _, conn, _ in self._idle:
+                conn.close()
+            self._idle.clear()
+
+
+class _ShardCounters:
+    """Per-shard routing counters (the router's own view of one worker)."""
+
+    __slots__ = ("forwarded", "failures", "degraded")
+
+    def __init__(self) -> None:
+        self.forwarded = 0
+        self.failures = 0
+        #: True from an observed failure until the next successful
+        #: round-trip -- "this shard recently lost a request".
+        self.degraded = False
+
+
+class ShardRouter(GracefulLineServer):
+    """The sharded serving front: routes, coalesces, fails over.
+
+    Args:
+        supervisor: the worker fleet (already started).
+        host / port: bind address of the router itself.
+        backend: default backend for requests that don't name one --
+            part of the routing key, so it must be pinned router-side.
+        worker_timeout: per-round-trip socket timeout against a worker.
+        route_timeout: total time a request may spend cycling the ring
+            (including waiting out worker respawns) before ``ok: false``.
+    """
+
+    def __init__(
+        self,
+        supervisor: ClusterSupervisor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backend: str = "auto",
+        worker_timeout: float = 120.0,
+        route_timeout: float = 60.0,
+    ) -> None:
+        self.supervisor = supervisor
+        self.backend = backend
+        self.worker_timeout = worker_timeout
+        self.route_timeout = route_timeout
+        self.ring = HashRing([handle.worker_id for handle in supervisor.handles])
+        self.metrics = ServiceMetrics()
+        self._pools = {
+            handle.worker_id: _WorkerPool(handle, worker_timeout)
+            for handle in supervisor.handles
+        }
+        self._shards = {handle.worker_id: _ShardCounters() for handle in supervisor.handles}
+        self._shard_lock = threading.Lock()
+        self._inflight: dict[str, _InFlight] = {}
+        self._inflight_lock = threading.Lock()
+        self._coalesced = 0
+        self._reroutes = 0
+        self._started = time.time()
+        super().__init__(host=host, port=port)
+
+    # -- the wire --------------------------------------------------------------
+    def answer_line(self, line: str) -> dict[str, Any]:
+        data, decode_error = decode_request(line)
+        if decode_error is not None:
+            return decode_error
+        op, data, request_id = normalize_request(data)
+        try:
+            if op == "solve":
+                return self._route_solve(data, request_id)
+            if op == "health":
+                return {"ok": True, "op": "health", "health": self.health()}
+            if op == "metrics":
+                return {"ok": True, "op": "metrics", "metrics": self.metrics_snapshot()}
+            if op == CLUSTER_STATUS_OP:
+                return {"ok": True, "op": CLUSTER_STATUS_OP, "cluster": self.cluster_status()}
+            if op == SHUTDOWN_OP:
+                return {"ok": True, "op": SHUTDOWN_OP, "stopping": True}
+            raise ReproError(
+                f"unknown op {op!r}; expected solve, health, metrics, "
+                f"{CLUSTER_STATUS_OP} or {SHUTDOWN_OP}"
+            )
+        except Exception as error:  # noqa: BLE001 - a request must never kill the stream
+            return error_response(str(op), error, request_id)
+
+    # -- solve routing ---------------------------------------------------------
+    def _route_solve(self, data: dict[str, Any], request_id: Any) -> dict[str, Any]:
+        from ..api.spec import spec_from_dict
+
+        started = time.perf_counter()
+        spec_data = data.get("spec")
+        if not isinstance(spec_data, dict):
+            raise ReproError('solve request needs a "spec" object')
+        backend = data.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            raise ReproError('"backend" must be a string backend name')
+        effective = backend if backend is not None else self.backend
+        spec = spec_from_dict(spec_data)
+        key = shard_key(effective, spec.canonical_hash())
+        # The forwarded line is normalised: no id (the leader and every
+        # coalesced duplicate stamp their own onto a shared response)
+        # and the backend always explicit -- the request was keyed and
+        # coalesced under the *router's* effective backend, so the
+        # worker must not substitute its own default.
+        forward: dict[str, Any] = {"op": "solve", "spec": spec_data, "backend": effective}
+
+        with self._inflight_lock:
+            entry = self._inflight.get(key)
+            leader = entry is None
+            if leader:
+                entry = self._inflight[key] = _InFlight()
+            else:
+                entry.waiters += 1
+        if not leader:
+            # Unbounded, like SolverService followers: the leader's
+            # finally below *always* resolves the entry, and the leader
+            # itself is bounded by the routing deadline.
+            entry.event.wait()
+            response = entry.response
+            if response is None:  # pragma: no cover - defensive
+                raise ClusterError("coalesced request never received its answer")
+            latency = time.perf_counter() - started
+            with self._shard_lock:
+                self._coalesced += 1
+            # Mirror the leader's accounting: a shared failure is an
+            # error for every duplicate too, not an answered request.
+            if response.get("ok"):
+                self.metrics.record(effective, "coalesced", latency)
+            else:
+                self.metrics.record_error(effective, latency)
+            return self._stamp(response, request_id)
+
+        try:
+            response = self._forward(
+                key, json.dumps(forward, sort_keys=True, separators=(",", ":"))
+            )
+            entry.response = response
+        except BaseException as error:
+            # The leader's failure must count too (followers mirror it):
+            # a dead fleet otherwise reports zero errors while every
+            # client is told ok:false.
+            self.metrics.record_error(effective, time.perf_counter() - started)
+            entry.response = error_response("solve", error)
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            entry.event.set()
+
+        latency = time.perf_counter() - started
+        if response.get("ok"):
+            self.metrics.record(effective, response.get("served_by", "solve"), latency)
+        else:
+            self.metrics.record_error(effective, latency)
+        return self._stamp(response, request_id)
+
+    @staticmethod
+    def _stamp(response: dict[str, Any], request_id: Any) -> dict[str, Any]:
+        """A caller-specific copy of a (possibly shared) response."""
+        stamped = dict(response)
+        stamped.pop("id", None)
+        if request_id is not None:
+            stamped["id"] = request_id
+        return stamped
+
+    def _forward(self, key: str, line: str) -> dict[str, Any]:
+        """Send one line to the key's home shard, failing over along the ring.
+
+        An accepted request is never dropped while any worker can be
+        reached (or respawned) within ``route_timeout``: every failure
+        is reported to the supervisor (which respawns the worker in the
+        background) and the request moves to the next shard in the
+        key's deterministic preference order, cycling with a small
+        backoff so a single-worker cluster rides out its own respawn.
+        """
+        candidates = self.ring.preference(key)
+        # ``route_timeout`` bounds the *failover cycling* over dead
+        # workers; each individual round-trip gets the full
+        # ``worker_timeout`` -- a solve legitimately slower than the
+        # routing deadline must still succeed, exactly as it would
+        # against the single-process daemon.
+        deadline = time.monotonic() + self.route_timeout
+        cycle = 0
+        attempts = 0
+        last_failure: Optional[str] = None
+        while True:
+            for position, worker_id in enumerate(candidates):
+                if attempts and time.monotonic() > deadline:
+                    break  # at least one attempt always runs
+                handle = self.supervisor.handles[worker_id]
+                generation = handle.generation
+                attempts += 1
+                try:
+                    response = self._pools[worker_id].request(line)
+                except _WorkerTimeout as timeout_error:
+                    # Busy, not dead: the solve may still be running on
+                    # that shard, so no respawn and no re-route (a second
+                    # shard would duplicate the work and take just as
+                    # long).  Fail the request honestly instead.
+                    self._record_shard_failure(worker_id)
+                    raise ClusterError(str(timeout_error)) from timeout_error
+                except _WorkerDied as death:
+                    last_failure = str(death)
+                    self._record_shard_failure(worker_id)
+                    self._report_failure(handle, generation)
+                    continue
+                self._record_shard_ok(worker_id, rerouted=position > 0 or cycle > 0)
+                return response
+            cycle += 1
+            if time.monotonic() > deadline:
+                raise ClusterError(
+                    f"no shard could answer within {self.route_timeout}s "
+                    f"({attempts} attempt(s) over {len(candidates)} worker(s)): "
+                    f"{last_failure}"
+                )
+            time.sleep(min(0.05 * cycle, 0.5))
+
+    def _record_shard_failure(self, worker_id: int) -> None:
+        with self._shard_lock:
+            counters = self._shards[worker_id]
+            counters.failures += 1
+            counters.degraded = True
+
+    def _record_shard_ok(self, worker_id: int, rerouted: bool) -> None:
+        with self._shard_lock:
+            counters = self._shards[worker_id]
+            counters.forwarded += 1
+            counters.degraded = False
+            if rerouted:
+                self._reroutes += 1
+
+    def _report_failure(self, handle: WorkerHandle, observed_generation: int) -> None:
+        """Hand a death report to the supervisor without blocking routing."""
+        threading.Thread(
+            target=self.supervisor.ensure_alive,
+            args=(handle, observed_generation),
+            daemon=True,
+        ).start()
+
+    # -- introspection ---------------------------------------------------------
+    def waiting_for(self, spec: Any, backend: Optional[str] = None) -> int:
+        """Duplicates currently coalesced onto a spec's in-flight forward."""
+        effective = backend if backend is not None else self.backend
+        key = shard_key(effective, spec.canonical_hash())
+        with self._inflight_lock:
+            entry = self._inflight.get(key)
+            return entry.waiters if entry is not None else 0
+
+    #: Health/metrics probes answer from memory, so a worker that cannot
+    #: answer within seconds is effectively down for observability
+    #: purposes -- and an unbounded probe against a wedged worker would
+    #: hang the health verb (and stall a concurrent graceful stop).
+    PROBE_TIMEOUT = 5.0
+
+    def _probe(self, handle: WorkerHandle, op: str) -> Optional[dict[str, Any]]:
+        """One best-effort verb round-trip to a worker (None when down)."""
+        try:
+            response = self._pools[handle.worker_id].request(
+                json.dumps({"op": op}), timeout=self.PROBE_TIMEOUT
+            )
+        except (_WorkerDied, _WorkerTimeout):
+            return None
+        if not response.get("ok"):
+            return None
+        return response.get(op)
+
+    def _shard_rows(self, probe: Optional[str] = None) -> list[dict[str, Any]]:
+        rows = []
+        with self._shard_lock:
+            counters = {
+                worker_id: (shard.forwarded, shard.failures, shard.degraded)
+                for worker_id, shard in self._shards.items()
+            }
+        handles = self.supervisor.handles
+        probes: dict[int, Optional[dict[str, Any]]] = {}
+        if probe is not None:
+            # Probe the shards concurrently: a wedged worker costs one
+            # PROBE_TIMEOUT for the whole verb, not one per shard.
+            def probe_one(handle: WorkerHandle) -> None:
+                probes[handle.worker_id] = self._probe(handle, probe)
+
+            threads = [
+                threading.Thread(target=probe_one, args=(handle,), daemon=True)
+                for handle in handles
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=self.PROBE_TIMEOUT + 5.0)
+        for handle in handles:
+            row = handle.describe()
+            forwarded, failures, degraded = counters[handle.worker_id]
+            row.update(forwarded=forwarded, failures=failures, degraded=degraded)
+            if probe is not None:
+                row[probe] = probes.get(handle.worker_id)
+            rows.append(row)
+        return rows
+
+    def health(self) -> dict[str, Any]:
+        """Router liveness plus a per-worker ``health`` probe."""
+        shards = self._shard_rows(probe="health")
+        alive = sum(1 for row in shards if row["alive"])
+        return {
+            "status": "draining" if self.stopping else "serving",
+            "role": "router",
+            "backend": self.backend,
+            "workers": len(shards),
+            "alive": alive,
+            "uptime_s": round(time.time() - self._started, 3),
+            "shards": shards,
+        }
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Router request metrics plus per-shard counters and worker metrics."""
+        snapshot = self.metrics.snapshot()
+        with self._shard_lock:
+            coalesced = self._coalesced
+            reroutes = self._reroutes
+            degraded = sorted(
+                worker_id for worker_id, shard in self._shards.items() if shard.degraded
+            )
+        snapshot["cluster"] = {
+            "workers": len(self.supervisor.handles),
+            "router_coalesced": coalesced,
+            "reroutes": reroutes,
+            "worker_restarts": sum(handle.restarts for handle in self.supervisor.handles),
+            "degraded": degraded,
+        }
+        snapshot["shards"] = self._shard_rows(probe="metrics")
+        return snapshot
+
+    def cluster_status(self) -> dict[str, Any]:
+        """The one-stop shard table for ``repro cluster status``."""
+        status = self.health()
+        with self._shard_lock:
+            status["reroutes"] = self._reroutes
+            status["router_coalesced"] = self._coalesced
+        status["worker_restarts"] = sum(
+            handle.restarts for handle in self.supervisor.handles
+        )
+        return status
+
+    # -- lifecycle -------------------------------------------------------------
+    def _drain(self, timeout: Optional[float]) -> None:
+        for pool in self._pools.values():
+            pool.close()
+        self.supervisor.stop(drain=True, timeout=timeout if timeout is not None else 30.0)
+
+
+def boot_router(supervisor: ClusterSupervisor, **router_kwargs: Any) -> ShardRouter:
+    """Start a fleet and build its router, leak-proof on failure.
+
+    The workers are detached processes; any failure between spawning
+    them and having a router that can stop them would otherwise leave
+    the fleet running unsupervised.  Every caller (CLI, benchmark,
+    smoke) boots through here so that invariant lives in one place.
+    """
+    try:
+        supervisor.start()
+        return ShardRouter(supervisor, **router_kwargs)
+    except BaseException:
+        supervisor.stop(drain=False)
+        raise

@@ -84,3 +84,7 @@ class BatchExecutionError(ReproError):
 
 class ServiceUnavailableError(ReproError):
     """The solver service refused a request (draining or at capacity)."""
+
+
+class ClusterError(ReproError):
+    """A sharded-cluster operation failed (spawn, routing, supervision)."""

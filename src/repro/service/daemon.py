@@ -9,9 +9,18 @@ and the daemon is pure transport.
 
 Requests on one connection are answered in order; concurrency comes
 from concurrent connections (exactly how the socket tests and the serve
-benchmark drive it).  The ``shutdown`` verb -- or ``Ctrl-C`` on the
-foreground CLI -- answers, stops accepting, and drains the service
-gracefully so buffered store segments are published.
+benchmark drive it).  The ``shutdown`` verb -- or ``Ctrl-C``/``SIGTERM``
+on the foreground CLI -- answers, stops accepting, lets every
+connection finish the line it is mid-way through, and drains the
+service gracefully so buffered store segments are published.
+Connections that read further lines after a stop began are answered
+with a clean ``ok: false`` shutting-down refusal instead of having
+their sockets torn down mid-response.
+
+The transport lifecycle (graceful stop, busy-line tracking, background
+serving) lives in :class:`GracefulLineServer` so the shard router of
+:mod:`repro.cluster` -- a daemon that proxies lines instead of solving
+them -- reuses it unchanged.
 """
 
 from __future__ import annotations
@@ -21,16 +30,38 @@ import socketserver
 import threading
 from typing import Any, Optional
 
-from .protocol import SHUTDOWN_OP, encode_response, handle_line
+from ..errors import ServiceUnavailableError
+from .protocol import (
+    SHUTDOWN_OP,
+    decode_request,
+    encode_response,
+    error_response,
+    handle_line,
+    normalize_request,
+)
 from .service import SolverService
 
-__all__ = ["ReproServer"]
+__all__ = ["GracefulLineServer", "ReproServer", "request_lines"]
+
+
+def _shutting_down_response(line: str) -> dict[str, Any]:
+    """The clean refusal a connection gets for lines read after stop began."""
+    data, _ = decode_request(line)
+    if data is not None:
+        op, _, request_id = normalize_request(data)
+    else:
+        op, request_id = None, None
+    return error_response(
+        str(op if op is not None else "?"),
+        ServiceUnavailableError("server is shutting down, request refused"),
+        request_id,
+    )
 
 
 class _RequestHandler(socketserver.StreamRequestHandler):
     """One connection: read request lines, write response lines."""
 
-    server: "ReproServer"
+    server: "GracefulLineServer"
 
     def handle(self) -> None:
         while True:
@@ -43,30 +74,50 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
-            response = handle_line(self.server.service, line)
+            # Atomically either claim a busy slot or learn the server is
+            # stopping -- checking ``stopping`` separately would leave a
+            # window where stop() observes zero busy lines and drains
+            # while this thread is about to answer one.
+            if not self.server.begin_line():
+                # A stop (shutdown verb on another connection, a signal,
+                # context exit) began while this connection was between
+                # lines: answer cleanly instead of racing the drain and
+                # having the socket torn down mid-response.
+                try:
+                    self.wfile.write(
+                        (encode_response(_shutting_down_response(line)) + "\n").encode("utf-8")
+                    )
+                    self.wfile.flush()
+                except (ConnectionError, OSError):  # pragma: no cover - client vanished
+                    return
+                continue
+            # The busy window covers answering *and* writing: stop()
+            # waits for it, so an in-flight line always finishes its
+            # response before the drain proceeds.
             try:
-                self.wfile.write((encode_response(response) + "\n").encode("utf-8"))
-                self.wfile.flush()
-            except (ConnectionError, OSError):  # pragma: no cover - client vanished
-                return
+                response = self.server.answer_line(line)
+                try:
+                    self.wfile.write((encode_response(response) + "\n").encode("utf-8"))
+                    self.wfile.flush()
+                except (ConnectionError, OSError):  # pragma: no cover - client vanished
+                    return
+            finally:
+                self.server.end_line()
             if response.get("op") == SHUTDOWN_OP and response.get("ok"):
                 self.server.stop_async()
                 return
 
 
-class ReproServer(socketserver.ThreadingTCPServer):
-    """The serving daemon: a threading TCP server bound to one service.
+class GracefulLineServer(socketserver.ThreadingTCPServer):
+    """A threading JSON-Lines TCP server with a graceful, idempotent stop.
 
-    Args:
-        service: the shared :class:`SolverService` (built from
-            ``service_kwargs`` when omitted).
-        host: bind address (default loopback).
-        port: bind port; ``0`` picks an ephemeral one -- read
-            :attr:`port` for the actual binding (what the tests and the
-            smoke script do).
-        service_kwargs: forwarded to :class:`SolverService` when no
-            service instance is given (``backend=``, ``store=``,
-            ``max_inflight=``, ...).
+    Subclasses implement :meth:`answer_line` (how one request line
+    becomes one response object) and :meth:`_drain` (what must finish
+    before the stop completes -- draining a service, stopping a worker
+    fleet).  Everything transport-shaped lives here: one thread per
+    connection, per-line busy tracking so no response is torn down
+    mid-write, the shutting-down refusal for lines read after a stop
+    began, and the blocking/idempotent :meth:`stop`.
     """
 
     daemon_threads = True
@@ -76,21 +127,26 @@ class ReproServer(socketserver.ThreadingTCPServer):
     # queue instead and let the service refuse excess load explicitly.
     request_queue_size = 256
 
-    def __init__(
-        self,
-        service: Optional[SolverService] = None,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        **service_kwargs: Any,
-    ) -> None:
-        self.service = service if service is not None else SolverService(**service_kwargs)
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
         super().__init__((host, port), _RequestHandler)
         self._serving = threading.Event()
         self._stopped = threading.Event()
         self._stop_done = threading.Event()
         self._stop_lock = threading.Lock()
         self._loop_started = False
+        self._busy = 0
+        self._busy_cond = threading.Condition()
 
+    # -- to be provided by subclasses ------------------------------------------
+    def answer_line(self, line: str) -> dict[str, Any]:
+        """Answer one request line; must never raise."""
+        raise NotImplementedError
+
+    def _drain(self, timeout: Optional[float]) -> None:
+        """Finish outstanding work once the socket stopped accepting."""
+        raise NotImplementedError
+
+    # -- addressing ------------------------------------------------------------
     @property
     def host(self) -> str:
         return self.server_address[0]
@@ -106,7 +162,10 @@ class ReproServer(socketserver.ThreadingTCPServer):
 
     # -- lifecycle -------------------------------------------------------------
     def serve_forever(self, poll_interval: float = 0.5) -> None:
-        self._loop_started = True
+        with self._stop_lock:
+            if self._stopped.is_set():
+                return  # stopped before the loop ever started (early signal)
+            self._loop_started = True
         super().serve_forever(poll_interval)
 
     def serve_background(self) -> threading.Thread:
@@ -122,12 +181,41 @@ class ReproServer(socketserver.ThreadingTCPServer):
         self._serving.set()
         super().service_actions()
 
+    @property
+    def stopping(self) -> bool:
+        """True once a stop has been initiated (connections must refuse)."""
+        return self._stopped.is_set()
+
+    def begin_line(self) -> bool:
+        """Claim one busy-line slot; False when the server is stopping.
+
+        The claim and the stopping check share the busy lock (stop()
+        sets the flag under the same lock), so every line is either
+        counted busy -- and stop() waits for its response -- or refused.
+        """
+        with self._busy_cond:
+            if self._stopped.is_set():
+                return False
+            self._busy += 1
+            return True
+
+    def end_line(self) -> None:
+        """Release a slot claimed by :meth:`begin_line`."""
+        with self._busy_cond:
+            self._busy -= 1
+            self._busy_cond.notify_all()
+
+    def _wait_idle(self, timeout: Optional[float]) -> bool:
+        """Wait for every mid-line connection to finish its response."""
+        with self._busy_cond:
+            return self._busy_cond.wait_for(lambda: self._busy == 0, timeout=timeout)
+
     def stop_async(self) -> None:
         """Initiate shutdown from a handler thread without deadlocking."""
         threading.Thread(target=self.stop, daemon=True).start()
 
     def stop(self, drain_timeout: Optional[float] = 30.0) -> None:
-        """Stop accepting, drain in-flight solves, flush the store.
+        """Stop accepting, finish in-flight lines, drain outstanding work.
 
         Idempotent *and* blocking: a second caller waits for the first
         stop to finish draining.  The shutdown verb stops the server
@@ -138,7 +226,10 @@ class ReproServer(socketserver.ThreadingTCPServer):
         """
         with self._stop_lock:
             first = not self._stopped.is_set()
-            self._stopped.set()
+            # Under the busy lock: after this, every line is either
+            # already counted busy (we wait for it below) or refused.
+            with self._busy_cond:
+                self._stopped.set()
         if not first:
             self._stop_done.wait(timeout=drain_timeout)
             return
@@ -148,15 +239,52 @@ class ReproServer(socketserver.ThreadingTCPServer):
                 # with no loop ever started it would wait forever.
                 self.shutdown()
             self.server_close()
-            self.service.drain(timeout=drain_timeout)
+            # Every connection mid-line finishes writing its current
+            # response before the drain; connections that read further
+            # lines answer them ok:false shutting-down (the ``stopping``
+            # flag is already set).
+            self._wait_idle(timeout=drain_timeout)
+            self._drain(drain_timeout)
         finally:
             self._stop_done.set()
 
-    def __enter__(self) -> "ReproServer":
+    def __enter__(self) -> "GracefulLineServer":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
+
+
+class ReproServer(GracefulLineServer):
+    """The serving daemon: a threading TCP server bound to one service.
+
+    Args:
+        service: the shared :class:`SolverService` (built from
+            ``service_kwargs`` when omitted).
+        host: bind address (default loopback).
+        port: bind port; ``0`` picks an ephemeral one -- read
+            :attr:`port` for the actual binding (what the tests and the
+            smoke script do).
+        service_kwargs: forwarded to :class:`SolverService` when no
+            service instance is given (``backend=``, ``store=``,
+            ``max_inflight=``, ...).
+    """
+
+    def __init__(
+        self,
+        service: Optional[SolverService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **service_kwargs: Any,
+    ) -> None:
+        self.service = service if service is not None else SolverService(**service_kwargs)
+        super().__init__(host=host, port=port)
+
+    def answer_line(self, line: str) -> dict[str, Any]:
+        return handle_line(self.service, line)
+
+    def _drain(self, timeout: Optional[float]) -> None:
+        self.service.drain(timeout=timeout)
 
 
 def request_lines(host: str, port: int, lines: list[str], timeout: float = 60.0) -> list[str]:

@@ -34,6 +34,7 @@ class _BackendMetrics:
         "store_hits",
         "coalesced",
         "errors",
+        "rejected",
         "latencies",
         "latency_max",
     )
@@ -45,6 +46,7 @@ class _BackendMetrics:
         self.store_hits = 0
         self.coalesced = 0
         self.errors = 0
+        self.rejected = 0
         self.latencies: deque[float] = deque(maxlen=window)
         self.latency_max = 0.0
 
@@ -57,7 +59,16 @@ class _BackendMetrics:
 
     def snapshot(self) -> dict[str, Any]:
         ordered = sorted(self.latencies)
-        latency: dict[str, Any] = {"window": len(ordered)}
+        # An empty window (e.g. a backend that has only recorded
+        # rejections) reports every statistic as null: "not measured"
+        # must never read as "measured 0.0 ms".
+        latency: dict[str, Any] = {
+            "window": len(ordered),
+            "mean_ms": None,
+            "p50_ms": None,
+            "p99_ms": None,
+            "max_ms": None,
+        }
         if ordered:
             latency.update(
                 mean_ms=round(1e3 * sum(ordered) / len(ordered), 3),
@@ -72,6 +83,7 @@ class _BackendMetrics:
             "store_hits": self.store_hits,
             "coalesced": self.coalesced,
             "errors": self.errors,
+            "rejected": self.rejected,
             "hit_rate": round(self.hit_rate, 4),
             "latency": latency,
         }
@@ -127,10 +139,18 @@ class ServiceMetrics:
             entry.latencies.append(latency)
             entry.latency_max = max(entry.latency_max, latency)
 
-    def record_rejected(self) -> None:
-        """Record one request refused by admission control."""
+    def record_rejected(self, backend: Optional[str] = None) -> None:
+        """Record one request refused by admission control.
+
+        With a ``backend`` the rejection is also attributed to that
+        backend's entry -- which may therefore exist with rejections
+        only and an empty latency window (admission refuses *before*
+        any latency is measured; rejections never count as requests).
+        """
         with self._lock:
             self._rejected += 1
+            if backend is not None:
+                self._backend(backend).rejected += 1
 
     # -- reading ---------------------------------------------------------------
     def coalesced_total(self, backend: Optional[str] = None) -> int:

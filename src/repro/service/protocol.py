@@ -33,16 +33,24 @@ from typing import Any, Optional
 from ..errors import ReproError
 from .service import SolverService
 
-__all__ = ["handle_request", "handle_line", "SHUTDOWN_OP"]
+__all__ = [
+    "decode_request",
+    "error_response",
+    "handle_request",
+    "handle_line",
+    "normalize_request",
+    "SHUTDOWN_OP",
+]
 
 #: The daemon-level verb; :func:`handle_request` answers it but leaves
 #: actually stopping the server to the transport layer.
 SHUTDOWN_OP = "shutdown"
 
 
-def _error_response(
+def error_response(
     op: str, error: BaseException, request_id: Any = None
 ) -> dict[str, Any]:
+    """The wire shape of a failed request -- defined exactly once."""
     response: dict[str, Any] = {
         "ok": False,
         "op": op,
@@ -54,17 +62,52 @@ def _error_response(
     return response
 
 
+# Backwards-compatible alias for the pre-cluster private name.
+_error_response = error_response
+
+
+def decode_request(line: str) -> tuple[Optional[dict[str, Any]], Optional[dict[str, Any]]]:
+    """Decode one request line into an object: ``(data, error_response)``.
+
+    Exactly one of the two is non-None; every transport (the daemon,
+    the shard router, ``--stdin-jsonl``) shares this decoding so
+    malformed-line behavior cannot drift between them.
+    """
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as error:
+        return None, error_response("?", ReproError(f"invalid request JSON: {error}"))
+    if not isinstance(data, dict):
+        return None, error_response(
+            "?", ReproError(f"request must be a JSON object, got {type(data).__name__}")
+        )
+    return data, None
+
+
+def normalize_request(data: dict[str, Any]) -> tuple[Any, dict[str, Any], Any]:
+    """Resolve ``(op, data, request_id)``, applying the bare-spec shorthand.
+
+    A bare spec may carry an ``id`` like any other request; it belongs
+    to the envelope, not the spec, so it is lifted out before the spec
+    is validated (a spec with an ``id`` field would be rejected as an
+    unknown field).
+    """
+    request_id = data.get("id")
+    op = data.get("op")
+    if op is None and "kind" in data:
+        op = "solve"
+        spec = {key: value for key, value in data.items() if key != "id"}
+        data = {"spec": spec, "id": request_id}
+    return op, data, request_id
+
+
 def handle_request(service: SolverService, data: Any) -> dict[str, Any]:
     """Answer one decoded request object; never raises."""
     if not isinstance(data, dict):
         return _error_response(
             "?", ReproError(f"request must be a JSON object, got {type(data).__name__}")
         )
-    request_id = data.get("id")
-    op = data.get("op")
-    if op is None and "kind" in data:
-        op = "solve"
-        data = {"spec": data}
+    op, data, request_id = normalize_request(data)
     try:
         if op == "solve":
             return _solve_response(service, data, request_id)
@@ -110,10 +153,9 @@ def _solve_response(
 
 def handle_line(service: SolverService, line: str) -> dict[str, Any]:
     """Decode one request line and answer it; never raises."""
-    try:
-        data = json.loads(line)
-    except json.JSONDecodeError as error:
-        return _error_response("?", ReproError(f"invalid request JSON: {error}"))
+    data, decode_error = decode_request(line)
+    if decode_error is not None:
+        return decode_error
     return handle_request(service, data)
 
 

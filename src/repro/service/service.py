@@ -188,7 +188,7 @@ class SolverService:
 
         with self._lock:
             if self._draining:
-                self.metrics.record_rejected()
+                self.metrics.record_rejected(effective)
                 raise ServiceUnavailableError("service is draining, request refused")
             entry = self._inflight.get(key)
             if entry is not None:
@@ -196,7 +196,7 @@ class SolverService:
                 leader = False
             else:
                 if len(self._inflight) >= self.max_inflight + self.queue_limit:
-                    self.metrics.record_rejected()
+                    self.metrics.record_rejected(effective)
                     raise ServiceUnavailableError(
                         f"service at capacity ({self.max_inflight} in flight "
                         f"+ {self.queue_limit} queued), request refused"
@@ -212,7 +212,7 @@ class SolverService:
                 # Mirror the leader's accounting: an admission refusal is
                 # a rejection, not a backend error, for followers too.
                 if isinstance(entry.error, ServiceUnavailableError):
-                    self.metrics.record_rejected()
+                    self.metrics.record_rejected(effective)
                 else:
                     self.metrics.record_error(effective, latency)
                 raise entry.error
@@ -221,7 +221,7 @@ class SolverService:
 
         try:
             if not self._slots.acquire(timeout=self.admission_timeout):
-                self.metrics.record_rejected()
+                self.metrics.record_rejected(effective)
                 raise ServiceUnavailableError(
                     f"no solve slot freed within {self.admission_timeout}s, "
                     "request refused"

@@ -1,0 +1,66 @@
+"""HashRing: determinism, coverage, balance and resize stability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HashRing, shard_key
+from repro.errors import InvalidParameterError
+
+
+def _keys(count: int) -> list[str]:
+    return [shard_key("auto", f"{i:064x}") for i in range(count)]
+
+
+class TestRing:
+    def test_lookup_is_deterministic_and_order_independent(self):
+        ring_a = HashRing([0, 1, 2, 3])
+        ring_b = HashRing([3, 1, 0, 2])
+        for key in _keys(200):
+            assert ring_a.lookup(key) == ring_b.lookup(key)
+
+    def test_preference_starts_at_home_and_covers_every_shard(self):
+        ring = HashRing([0, 1, 2, 3])
+        for key in _keys(50):
+            preference = ring.preference(key)
+            assert preference[0] == ring.lookup(key)
+            assert sorted(preference) == [0, 1, 2, 3]
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = HashRing([0, 1, 2, 3], replicas=64)
+        counts = {node: 0 for node in ring.nodes}
+        keys = _keys(4000)
+        for key in keys:
+            counts[ring.lookup(key)] += 1
+        for node, count in counts.items():
+            # Within a factor ~2 of the fair share is plenty for 64
+            # virtual points; this guards against gross clumping.
+            assert count > len(keys) / (2 * len(ring.nodes)), (node, counts)
+
+    def test_removing_a_shard_only_moves_its_own_keys(self):
+        before = HashRing([0, 1, 2, 3])
+        after = HashRing([0, 1, 2])  # shard 3 removed
+        moved = 0
+        for key in _keys(1000):
+            owner = before.lookup(key)
+            if owner == 3:
+                moved += 1
+            else:
+                assert after.lookup(key) == owner  # survivors keep their keys
+        assert moved > 0  # shard 3 did own part of the space
+
+    def test_single_node_ring_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.lookup(key) == "only" for key in _keys(20))
+        assert ring.preference(_keys(1)[0]) == ["only"]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HashRing([])
+        with pytest.raises(InvalidParameterError):
+            HashRing([0, 0])
+        with pytest.raises(InvalidParameterError):
+            HashRing([0], replicas=0)
+
+    def test_shard_key_includes_the_backend(self):
+        assert shard_key("auto", "abc") != shard_key("analytic", "abc")

@@ -120,6 +120,16 @@ class TestWireProtocol:
         response = json.loads(line)
         assert response["ok"] and response["op"] == "solve"
 
+    def test_bare_spec_shorthand_with_id(self, server):
+        """The envelope ``id`` is lifted out before spec validation."""
+        spec = SearchProblem(distance=1.2, visibility=0.3)
+        (line,) = request_lines(
+            server.host, server.port, [json.dumps({**spec.to_dict(), "id": 7})]
+        )
+        response = json.loads(line)
+        assert response["ok"] and response["op"] == "solve"
+        assert response["id"] == 7
+
     def test_health_and_metrics_verbs(self, server):
         health_line, metrics_line = request_lines(
             server.host,
@@ -154,6 +164,61 @@ class TestWireProtocol:
         response = json.loads(line)
         assert not response["ok"]
         assert response["error_type"] == "InfeasibleConfigurationError"
+
+
+class TestShutdownRace:
+    def test_inflight_connection_finishes_its_line_then_gets_clean_refusals(self):
+        """Regression: a connection mid-solve when another connection issues
+        ``shutdown`` must still receive its full response, and lines it sends
+        afterwards must be answered ``ok:false`` shutting-down instead of the
+        socket being torn down mid-response."""
+        import socket
+
+        _SlowAnalytic.release.clear()
+        register_backend(_SlowAnalytic.name, _SlowAnalytic)
+        server = ReproServer(backend="auto")
+        server.serve_background()
+        try:
+            spec = SearchProblem(distance=1.3, visibility=0.3)
+            with socket.create_connection((server.host, server.port), timeout=30) as conn:
+                stream = conn.makefile("rwb")
+                # Line 1 pins this connection mid-solve on the gated backend.
+                stream.write(
+                    (_solve_line(spec, backend=_SlowAnalytic.name, request_id=1) + "\n").encode()
+                )
+                stream.flush()
+                deadline = time.monotonic() + 10.0
+                while server.service.inflight < 1:
+                    assert time.monotonic() < deadline, "solve never started"
+                    time.sleep(0.005)
+                # Another connection stops the daemon while line 1 is in flight.
+                (shutdown_line,) = request_lines(
+                    server.host, server.port, [json.dumps({"op": "shutdown"})]
+                )
+                assert json.loads(shutdown_line)["stopping"]
+                deadline = time.monotonic() + 10.0
+                while not server.stopping:
+                    assert time.monotonic() < deadline, "stop never initiated"
+                    time.sleep(0.005)
+                # Line 2 is already queued when the solve completes.
+                stream.write((_solve_line(spec, request_id=2) + "\n").encode())
+                stream.flush()
+                _SlowAnalytic.release.set()
+                first = json.loads(stream.readline())
+                second = json.loads(stream.readline())
+            assert first["ok"] and first["id"] == 1
+            served = SolveResult.from_dict(first["result"])
+            assert (
+                served.fingerprint()
+                == solve(spec, backend=_SlowAnalytic.name).fingerprint()
+            )
+            assert not second["ok"] and second["id"] == 2
+            assert second["error_type"] == "ServiceUnavailableError"
+            assert "shutting down" in second["error"]
+        finally:
+            _SlowAnalytic.release.set()
+            _REGISTRY.pop(_SlowAnalytic.name, None)
+            server.stop()
 
 
 class TestLifecycle:

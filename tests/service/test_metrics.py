@@ -1,0 +1,63 @@
+"""ServiceMetrics edge cases: empty latency windows, rejection attribution."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceUnavailableError
+from repro.service import ServiceMetrics, SolverService
+
+
+class TestEmptyWindowSnapshot:
+    def test_rejection_only_backend_reports_null_percentiles(self):
+        """Regression: a backend with only rejections (zero latencies) must
+        report p50/p99 as null, not crash and not report a measured 0.0."""
+        metrics = ServiceMetrics()
+        metrics.record_rejected("analytic")
+        snapshot = metrics.snapshot()
+        backend = snapshot["backends"]["analytic"]
+        assert backend["requests"] == 0
+        assert backend["rejected"] == 1
+        latency = backend["latency"]
+        assert latency["window"] == 0
+        assert latency["mean_ms"] is None
+        assert latency["p50_ms"] is None
+        assert latency["p99_ms"] is None
+        assert latency["max_ms"] is None
+        assert snapshot["totals"]["rejected"] == 1
+
+    def test_unattributed_rejection_keeps_the_global_counter(self):
+        metrics = ServiceMetrics()
+        metrics.record_rejected()
+        snapshot = metrics.snapshot()
+        assert snapshot["totals"]["rejected"] == 1
+        assert snapshot["backends"] == {}
+
+    def test_measured_backend_reports_real_percentiles(self):
+        metrics = ServiceMetrics()
+        metrics.record("analytic", "solve", 0.010)
+        metrics.record("analytic", "cache", 0.002)
+        metrics.record_rejected("analytic")
+        backend = metrics.snapshot()["backends"]["analytic"]
+        assert backend["requests"] == 2 and backend["rejected"] == 1
+        assert backend["latency"]["p50_ms"] == pytest.approx(2.0)
+        assert backend["latency"]["p99_ms"] == pytest.approx(10.0)
+        assert backend["latency"]["max_ms"] == pytest.approx(10.0)
+
+
+class TestServiceRejectionAttribution:
+    def test_draining_service_attributes_the_rejection_to_the_backend(self):
+        from repro.api import SearchProblem
+
+        service = SolverService(backend="analytic")
+        service.drain()
+        with pytest.raises(ServiceUnavailableError):
+            service.request(SearchProblem(distance=1.2, visibility=0.3))
+        snapshot = service.metrics_snapshot()
+        backend = snapshot["backends"]["analytic"]
+        assert backend["rejected"] == 1 and backend["requests"] == 0
+        assert backend["latency"]["p50_ms"] is None  # nothing was measured
+        assert snapshot["totals"]["rejected"] == 1

@@ -370,6 +370,10 @@ class TestServeAndStreaming:
         assert namespace.backend == "auto"
         assert namespace.max_inflight == 8 and namespace.queue_limit == 128
 
+    def test_serve_rejects_non_positive_workers(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 1
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
     def test_stdin_jsonl_streams_one_response_per_request(self, capsys, monkeypatch):
         import io
 
@@ -435,8 +439,130 @@ class TestServeAndStreaming:
             == SolveResult.from_dict(first["result"]).fingerprint()
         )
 
+    def test_stdin_jsonl_solve_error_sets_exit_code(self, capsys, monkeypatch):
+        """Satellite regression: a line whose *solve* fails (backend raises,
+        not just malformed JSON) must flip the exit code so shell pipelines
+        see partial failure; per-line behavior is unchanged."""
+        import io
+
+        requests = [
+            json.dumps({"op": "solve", "backend": "simulation",
+                        "spec": {"schema_version": 1, "kind": "rendezvous",
+                                 "distance": 1.4, "visibility": 0.3}}),  # infeasible
+            json.dumps({"schema_version": 1, "kind": "search",
+                        "distance": 1.2, "visibility": 0.3}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(requests) + "\n"))
+        code = main(["solve", "--stdin-jsonl", "--backend", "analytic", "--no-store"])
+        assert code == 1
+        lines = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        assert [line["ok"] for line in lines] == [False, True]
+        assert lines[0]["error_type"] == "InfeasibleConfigurationError"
+
+    def test_stdin_jsonl_all_lines_failing_exits_nonzero(self, capsys, monkeypatch):
+        import io
+
+        requests = [json.dumps({"op": "solve", "spec": {"kind": "search"}})] * 2
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(requests) + "\n"))
+        code = main(["solve", "--stdin-jsonl", "--backend", "analytic", "--no-store"])
+        assert code == 1
+        lines = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        assert [line["ok"] for line in lines] == [False, False]
+
     def test_experiments_progress_flag_streams_to_stderr(self, capsys, tmp_path):
         code = main(["experiments", "E01", "--quick", "--progress", "--no-store"])
         assert code == 0
         err = capsys.readouterr().err
         assert "E01" in err and "result(s)" in err
+
+
+class TestServeSignals:
+    """Satellite: SIGTERM (how a supervisor stops a daemon) must drain."""
+
+    def _spawn_serve(self, tmp_path, *extra):
+        import os
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        import repro
+
+        port_file = tmp_path / "serve.port"
+        env = os.environ.copy()
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = os.pathsep.join(
+            [package_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--backend", "analytic", "--port-file", str(port_file), *extra],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 60.0
+        while not (port_file.exists() and port_file.read_text().strip()):
+            assert process.poll() is None, "serve exited before binding"
+            assert time.monotonic() < deadline, "serve never published its port"
+            time.sleep(0.02)
+        host, _, port = port_file.read_text().strip().rpartition(":")
+        return process, host, int(port)
+
+    def test_sigterm_drains_and_flushes_the_store(self, tmp_path):
+        """A SIGTERM'd daemon exits 0 and publishes exactly one buffered
+        store segment (the drain flush), losing nothing."""
+        import os
+        import signal
+
+        from repro.api import ResultStore
+        from repro.service import request_lines
+
+        store_dir = tmp_path / "store"
+        process, host, port = self._spawn_serve(tmp_path, "--store", str(store_dir))
+        try:
+            lines = [
+                json.dumps({"op": "solve", "id": i,
+                            "spec": {"schema_version": 1, "kind": "search",
+                                     "distance": 1.0 + 0.1 * i, "visibility": 0.3}})
+                for i in range(3)
+            ]
+            responses = [json.loads(line) for line in request_lines(host, port, lines)]
+            assert all(response["ok"] for response in responses)
+            # The serving runner buffers store writes: nothing published yet.
+            assert list(store_dir.glob("segment-*.jsonl")) == []
+            os.kill(process.pid, signal.SIGTERM)
+            assert process.wait(timeout=30.0) == 0
+        finally:
+            if process.poll() is None:  # pragma: no cover - only on failure
+                process.kill()
+        segments = list(store_dir.glob("segment-*.jsonl"))
+        assert len(segments) == 1  # one drain flush, not one segment per request
+        assert len(ResultStore(store_dir)) == 3
+
+    def test_sigint_also_drains(self, tmp_path):
+        import os
+        import signal
+
+        from repro.api import ResultStore
+        from repro.service import request_lines
+
+        store_dir = tmp_path / "store"
+        process, host, port = self._spawn_serve(tmp_path, "--store", str(store_dir))
+        try:
+            (line,) = request_lines(host, port, [
+                json.dumps({"spec": None, "op": "health"})
+            ])
+            assert json.loads(line)["ok"]
+            (solve_line,) = request_lines(host, port, [
+                json.dumps({"op": "solve",
+                            "spec": {"schema_version": 1, "kind": "search",
+                                     "distance": 1.5, "visibility": 0.3}})
+            ])
+            assert json.loads(solve_line)["ok"]
+            os.kill(process.pid, signal.SIGINT)
+            assert process.wait(timeout=30.0) == 0
+        finally:
+            if process.poll() is None:  # pragma: no cover - only on failure
+                process.kill()
+        assert len(ResultStore(store_dir)) == 1
