@@ -33,7 +33,13 @@ the other benchmark artefacts so future PRs can track the trajectory:
   N in {1, 2, 4} (plus the single-process daemon as the no-router
   baseline), reporting requests/s, p50/p99 latency, the shard spread
   and a fingerprint-parity assertion against direct ``solve()`` for
-  every fleet size.
+  every fleet size;
+* ``BENCH_montecarlo.json`` -- the fault-ensemble snapshot: the
+  ``montecarlo`` backend over the ``fault-crash-sweep`` and
+  ``fault-byzantine`` suites, reporting trials/s serially and through
+  the worker pool, with a bit-identical-envelope assertion across
+  independent serial and pooled runs (the seeded determinism
+  contract).
 
 ``solved`` counts only specs whose simulated event actually fired;
 ``bound_only`` counts analytic answers (``solved is None`` -- no
@@ -71,6 +77,9 @@ DEFAULT_KERNEL_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_ker
 DEFAULT_STORE_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_store.json"
 DEFAULT_SERVE_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_serve.json"
 DEFAULT_CLUSTER_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_cluster.json"
+DEFAULT_MONTECARLO_OUTPUT = (
+    Path(__file__).resolve().parent / "results" / "BENCH_montecarlo.json"
+)
 
 KERNEL_SUITE = "search-sweep"
 KERNEL_LARGE_SUITE = "search-sweep-large"
@@ -78,6 +87,7 @@ STORE_SUITE = KERNEL_LARGE_SUITE
 SERVE_SUITE = KERNEL_SUITE
 SERVE_DUPLICATION = 4
 SERVE_CLIENTS = 8
+MONTECARLO_SUITES = ("fault-crash-sweep", "fault-byzantine")
 
 
 def _workload(quick: bool) -> list:
@@ -601,6 +611,72 @@ def run_cluster_benchmark(quick: bool) -> dict:
     }
 
 
+def _measure_montecarlo(runner: BatchRunner, specs: list) -> tuple[dict, list]:
+    """One montecarlo pass: the facade record plus ensemble-level rates."""
+    record, results = _measure(runner, specs)
+    trials = sum(result.details.get("trials", 0) for result in results)
+    wall = record["wall_time_s"]
+    record["trials"] = trials
+    record["trials_requested"] = sum(
+        result.details.get("trials_requested", 0) for result in results
+    )
+    record["trials_per_second"] = round(trials / wall, 2) if wall > 0 else None
+    record["mean_solve_rate"] = round(
+        sum(result.details.get("solve_rate", 0.0) for result in results) / len(results), 4
+    )
+    return record, results
+
+
+def run_montecarlo_benchmark(processes: int, quick: bool) -> dict:
+    """Seeded trial ensembles through the montecarlo backend.
+
+    Reports trials/s serially and through the worker pool, and asserts the
+    determinism contract the faults subsystem is built on: independent
+    runners -- serial repeat and pooled -- must produce bit-identical
+    envelopes and result fingerprints for every spec.
+    """
+    specs = [spec for name in MONTECARLO_SUITES for spec in spec_suite(name)]
+
+    scenarios = {}
+    scenarios["montecarlo_serial_cold"], serial_results = _measure_montecarlo(
+        BatchRunner(backend="montecarlo"), specs
+    )
+    scenarios["montecarlo_serial_repeat"], repeat_results = _measure_montecarlo(
+        BatchRunner(backend="montecarlo"), specs
+    )
+    pool_size = min(processes, 2) if quick else processes
+    scenarios["montecarlo_pooled_cold"], pooled_results = _measure_montecarlo(
+        BatchRunner(backend="montecarlo", processes=pool_size), specs
+    )
+
+    reference = [result.fingerprint() for result in serial_results]
+    envelopes = [result.details["envelope"] for result in serial_results]
+    repeat_identical = (
+        reference == [result.fingerprint() for result in repeat_results]
+        and envelopes == [result.details["envelope"] for result in repeat_results]
+    )
+    pooled_identical = (
+        reference == [result.fingerprint() for result in pooled_results]
+        and envelopes == [result.details["envelope"] for result in pooled_results]
+    )
+
+    return {
+        "benchmark": "repro.faults montecarlo trial-ensemble throughput",
+        "library_version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "generated_at_unix": int(time.time()),
+        "workload": {
+            "suites": list(MONTECARLO_SUITES),
+            "total_specs": len(specs),
+            "trials_requested": scenarios["montecarlo_serial_cold"]["trials_requested"],
+        },
+        "scenarios": scenarios,
+        "envelopes_identical_serial_repeat": repeat_identical,
+        "envelopes_identical_serial_pooled": pooled_identical,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -638,6 +714,12 @@ def main() -> int:
         default=DEFAULT_CLUSTER_OUTPUT,
         help="where to write BENCH_cluster.json",
     )
+    parser.add_argument(
+        "--montecarlo-output",
+        type=Path,
+        default=DEFAULT_MONTECARLO_OUTPUT,
+        help="where to write BENCH_montecarlo.json",
+    )
     namespace = parser.parse_args()
 
     snapshot = run_benchmark(namespace.processes, namespace.quick)
@@ -668,15 +750,22 @@ def main() -> int:
         json.dumps(cluster_snapshot, indent=2) + "\n", encoding="utf-8"
     )
 
+    montecarlo_snapshot = run_montecarlo_benchmark(namespace.processes, namespace.quick)
+    namespace.montecarlo_output.parent.mkdir(parents=True, exist_ok=True)
+    namespace.montecarlo_output.write_text(
+        json.dumps(montecarlo_snapshot, indent=2) + "\n", encoding="utf-8"
+    )
+
     print(json.dumps(snapshot, indent=2))
     print(json.dumps(kernel_snapshot, indent=2))
     print(json.dumps(store_snapshot, indent=2))
     print(json.dumps(serve_snapshot, indent=2))
     print(json.dumps(cluster_snapshot, indent=2))
+    print(json.dumps(montecarlo_snapshot, indent=2))
     print(
         f"\nsnapshots written to {namespace.output}, {namespace.kernel_output}, "
-        f"{namespace.store_output}, {namespace.serve_output} and "
-        f"{namespace.cluster_output}"
+        f"{namespace.store_output}, {namespace.serve_output}, "
+        f"{namespace.cluster_output} and {namespace.montecarlo_output}"
     )
 
     if not kernel_snapshot["parity"]["within_tolerance"]:
@@ -715,6 +804,17 @@ def main() -> int:
         print(
             "ERROR: cluster benchmark dropped requests or a sharded answer "
             f"drifted from the direct facade solve ({cluster_snapshot['parity_by_scenario']})",
+            file=sys.stderr,
+        )
+        return 1
+    if not (
+        montecarlo_snapshot["envelopes_identical_serial_repeat"]
+        and montecarlo_snapshot["envelopes_identical_serial_pooled"]
+    ):
+        print(
+            "ERROR: montecarlo envelopes are not bit-identical across independent "
+            "serial/pooled runs -- the seeded determinism contract is broken "
+            f"({montecarlo_snapshot['scenarios']})",
             file=sys.stderr,
         )
         return 1

@@ -8,7 +8,14 @@ from .competitive import (
 )
 from .report import CheckResult, ExperimentReport, combine_markdown
 from .statistics import SummaryStatistics, geometric_mean, log_log_slope, scaling_fit, summarize
-from .streaming import EnvelopeAggregate, GroupAggregate, StreamingStats, fold_envelopes
+from .streaming import (
+    EnvelopeAggregate,
+    GroupAggregate,
+    StreamingStats,
+    fold_envelopes,
+    percentile,
+    summarize_trials,
+)
 from .sweep import ParameterSweep, geometric_grid, linear_grid
 from .tables import Table
 
@@ -33,4 +40,6 @@ __all__ = [
     "GroupAggregate",
     "EnvelopeAggregate",
     "fold_envelopes",
+    "percentile",
+    "summarize_trials",
 ]

@@ -23,7 +23,14 @@ from typing import Any, Iterable, Mapping, Optional
 
 from .tables import Table
 
-__all__ = ["StreamingStats", "GroupAggregate", "EnvelopeAggregate", "fold_envelopes"]
+__all__ = [
+    "StreamingStats",
+    "GroupAggregate",
+    "EnvelopeAggregate",
+    "fold_envelopes",
+    "percentile",
+    "summarize_trials",
+]
 
 
 @dataclass
@@ -71,6 +78,24 @@ class StreamingStats:
             return 0.0
         return math.sqrt(self._m2 / self.count)
 
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe mapping (no infinities: empty extrema become None)."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "mean": self.mean if not empty else 0.0,
+            "std": self.std,
+            "min": None if empty else self.minimum,
+            "max": None if empty else self.maximum,
+        }
+
     def describe(self) -> str:
         """Compact single-line rendering (mirrors ``SummaryStatistics``)."""
         if self.count == 0:
@@ -79,6 +104,59 @@ class StreamingStats:
             f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
             f"min={self.minimum:.4g} max={self.maximum:.4g}"
         )
+
+
+def percentile(sorted_values: "list[float] | tuple[float, ...]", fraction: float) -> float:
+    """Linear-interpolation percentile of a pre-sorted sequence.
+
+    Deterministic (pure arithmetic on the inputs, no RNG, no platform
+    dependence), which is what lets Monte-Carlo envelopes be bit-identical
+    across serial, pooled and served execution.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError(f"percentile fraction must lie in [0, 1], got {fraction!r}")
+    last = len(sorted_values) - 1
+    rank = fraction * last
+    low = math.floor(rank)
+    high = min(low + 1, last)
+    weight = rank - low
+    return sorted_values[low] + (sorted_values[high] - sorted_values[low]) * weight
+
+
+def summarize_trials(values: Iterable[float]) -> dict[str, Any]:
+    """Statistical envelope of a fixed-order trial sequence.
+
+    Folds the observations through merged single-observation
+    :class:`StreamingStats` accumulators -- the same mergeable path the
+    distributed folds use -- and adds deterministic percentiles and a
+    normal-approximation 95% confidence halfwidth.  The fold order is the
+    caller's trial order, so the result is bitwise reproducible for a
+    given seeded trial sequence.
+    """
+    observed = [float(value) for value in values]
+    stats = StreamingStats()
+    for value in observed:
+        single = StreamingStats()
+        single.push(value)
+        stats.merge(single)
+    envelope: dict[str, Any] = stats.to_dict()
+    if not observed:
+        envelope.update({"mean": None, "p50": None, "p90": None, "p99": None})
+        envelope.update({"ci95_low": None, "ci95_high": None, "ci95_halfwidth": 0.0})
+        return envelope
+    ordered = sorted(observed)
+    envelope["p50"] = percentile(ordered, 0.50)
+    envelope["p90"] = percentile(ordered, 0.90)
+    envelope["p99"] = percentile(ordered, 0.99)
+    halfwidth = 0.0
+    if stats.count >= 2:
+        halfwidth = 1.96 * stats.std / math.sqrt(stats.count)
+    envelope["ci95_halfwidth"] = halfwidth
+    envelope["ci95_low"] = stats.mean - halfwidth
+    envelope["ci95_high"] = stats.mean + halfwidth
+    return envelope
 
 
 @dataclass

@@ -45,6 +45,8 @@ from .backends import (
     register_backend,
     solve,
 )
+from ..faults.model import FaultModel
+from ..faults.montecarlo import MonteCarloBackend
 from .batch import BatchRunner, BatchStats, solve_batch
 from .result import Provenance, SolveResult
 from .store import ResultStore, StoreKey, StoreStats
@@ -77,6 +79,8 @@ __all__ = [
     "AnalyticBackend",
     "SimulationBackend",
     "VectorizedBackend",
+    "MonteCarloBackend",
+    "FaultModel",
     "AutoBackend",
     "backend_names",
     "register_backend",

@@ -102,9 +102,15 @@ def batchable_search_group(specs: Any) -> list[int]:
     carries the reference attributes); a group of at least two is worth a
     kernel call.  Shared by every batch-capable backend and by
     :class:`~repro.api.batch.BatchRunner` when deciding whether the batch
-    path beats the worker pool.
+    path beats the worker pool.  Faulted specs are excluded: the kernel
+    shares one healthy compiled trajectory across the batch, which a
+    crash/recovery injection would invalidate per spec.
     """
-    indices = [index for index, spec in enumerate(specs) if isinstance(spec, SearchProblem)]
+    indices = [
+        index
+        for index, spec in enumerate(specs)
+        if isinstance(spec, SearchProblem) and spec.fault_model is None
+    ]
     return indices if len(indices) >= 2 else []
 
 
@@ -138,6 +144,17 @@ class AnalyticBackend(SolverBackend):
     fidelity: ClassVar[str] = "bound"
 
     def _solve(self, spec: ProblemSpec) -> dict[str, Any]:
+        fields = self._solve_nominal(spec)
+        fault = getattr(spec, "fault_model", None)
+        if fault is not None and fault.is_fault:
+            # The closed forms describe the fault-free protocol; the
+            # envelope says so instead of silently pretending otherwise.
+            details = dict(fields.get("details") or {})
+            details["fault"] = {"modeled": False, **fault.to_dict()}
+            fields["details"] = details
+        return fields
+
+    def _solve_nominal(self, spec: ProblemSpec) -> dict[str, Any]:
         if isinstance(spec, SearchProblem):
             return {
                 "feasible": True,
@@ -234,6 +251,15 @@ class SimulationBackend(SolverBackend):
     fidelity: ClassVar[str] = "measured"
 
     def _solve(self, spec: ProblemSpec) -> dict[str, Any]:
+        fault = getattr(spec, "fault_model", None)
+        if fault is not None and fault.is_fault:
+            # One representative trial at the nominal fault times; the
+            # montecarlo backend owns the jittered ensembles.
+            from ..faults.solver import nominal_realization, solve_spec_with_fault
+
+            return solve_spec_with_fault(
+                spec, nominal_realization(fault, spec.canonical_hash())
+            )
         if isinstance(spec, SearchProblem):
             return search_report_fields(spec, solve_search(spec.to_instance()))
         if isinstance(spec, RendezvousProblem):
@@ -322,6 +348,12 @@ class AutoBackend(SolverBackend):
         return batchable_search_group(list(specs))
 
     def _pick(self, spec: ProblemSpec) -> SolverBackend:
+        fault = getattr(spec, "fault_model", None)
+        if fault is not None and fault.is_fault:
+            # The fault path is total (typed results, no exceptions) and
+            # scalar-only; it also covers provably infeasible instances,
+            # which a crash can make solvable.
+            return self._simulation
         if isinstance(spec, SearchProblem):
             if self._vectorized is None:
                 try:

@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from ..errors import BatchExecutionError, InvalidParameterError
+from ..faults.montecarlo import MonteCarloBackend
 from ..exec import (
     Completion,
     ExecutionPlan,
@@ -68,6 +69,7 @@ _BUILTIN_FACTORIES = {
     SimulationBackend.name: SimulationBackend,
     AutoBackend.name: AutoBackend,
     VectorizedBackend.name: VectorizedBackend,
+    MonteCarloBackend.name: MonteCarloBackend,
 }
 
 

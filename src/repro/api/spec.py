@@ -26,6 +26,7 @@ from dataclasses import dataclass, fields
 from typing import Any, Callable, ClassVar, Mapping, Optional
 
 from ..errors import InvalidParameterError
+from ..faults.model import FaultModel
 from ..geometry import Vec2
 from ..robots import RobotAttributes
 from ..simulation import RendezvousInstance, SearchInstance
@@ -60,6 +61,29 @@ def _coerce_float(name: str, value: Any, allow_none: bool = False) -> Any:
     return result
 
 
+def _coerce_fault_model(value: Any, spec_kind: str) -> Optional[FaultModel]:
+    """Validate a spec's optional fault model (accepts mappings off the wire)."""
+    if value is None:
+        return None
+    if isinstance(value, Mapping):
+        value = FaultModel.from_dict(value)
+    if not isinstance(value, FaultModel):
+        raise InvalidParameterError(
+            f"fault_model must be a FaultModel or mapping, got {type(value).__name__}"
+        )
+    if spec_kind == "search" and value.is_fault:
+        if value.robot != "reference":
+            raise InvalidParameterError(
+                "a search problem has a single robot; fault_model.robot must be 'reference'"
+            )
+        if value.kind == "byzantine":
+            raise InvalidParameterError(
+                "byzantine faults need a partner to deceive; they apply to "
+                "rendezvous problems, not search"
+            )
+    return value
+
+
 def _coerce_chirality(value: Any) -> int:
     if value not in (-1, 1, -1.0, 1.0):
         raise InvalidParameterError(f"chirality must be +1 or -1, got {value!r}")
@@ -78,8 +102,22 @@ class ProblemSpec:
 
     # -- wire format -----------------------------------------------------------
     def payload(self) -> dict[str, Any]:
-        """The spec's own fields as a JSON-safe mapping (no envelope)."""
-        return {field.name: getattr(self, field.name) for field in fields(self)}  # type: ignore[arg-type]
+        """The spec's own fields as a JSON-safe mapping (no envelope).
+
+        ``fault_model`` is *omitted* when unset rather than serialised as
+        null: every spec written before the fault axis existed keeps its
+        exact canonical JSON, hash and fingerprint, so warm stores and
+        caches from older runs stay valid byte for byte.
+        """
+        data: dict[str, Any] = {}
+        for field in fields(self):  # type: ignore[arg-type]
+            value = getattr(self, field.name)
+            if field.name == "fault_model":
+                if value is None:
+                    continue
+                value = value.to_dict()
+            data[field.name] = value
+        return data
 
     def to_dict(self) -> dict[str, Any]:
         """Full JSON-safe envelope including ``schema_version`` and ``kind``."""
@@ -128,7 +166,11 @@ class ProblemSpec:
 
     def describe(self) -> str:
         """Human-readable one-liner (delegates to the instance)."""
-        return self.to_instance().describe()
+        text = self.to_instance().describe()
+        fault = getattr(self, "fault_model", None)
+        if fault is not None:
+            text += f"  [{fault.describe()}]"
+        return text
 
     # -- parsing ---------------------------------------------------------------
     @classmethod
@@ -211,6 +253,10 @@ class SearchProblem(ProblemSpec):
         target_x / target_y: optional exact target components; when given
             they are authoritative (``to_instance`` reproduces the target
             bit for bit) and distance/bearing are derived from them.
+        fault_model: optional :class:`~repro.faults.model.FaultModel` for
+            the searching robot (crash kinds only -- there is no partner
+            for a byzantine robot to deceive).  Omitted specs hash
+            exactly as they did before the fault axis existed.
     """
 
     kind: ClassVar[str] = "search"
@@ -220,9 +266,13 @@ class SearchProblem(ProblemSpec):
     bearing: float = 0.0
     target_x: Optional[float] = None
     target_y: Optional[float] = None
+    fault_model: Optional[FaultModel] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "visibility", _coerce_float("visibility", self.visibility))
+        object.__setattr__(
+            self, "fault_model", _coerce_fault_model(self.fault_model, self.kind)
+        )
         distance, bearing, x, y = _resolve_components(
             self.distance, self.bearing, self.target_x, self.target_y, "target"
         )
@@ -272,6 +322,11 @@ class RendezvousProblem(ProblemSpec):
     ``separation_x`` / ``separation_y`` are optional exact components of
     the separation vector; when given they are authoritative (bit-exact
     ``to_instance``) and distance/bearing are derived from them.
+
+    ``fault_model`` optionally makes one of the two robots faulty
+    (crash-stop / crash-recovery / byzantine, see
+    :class:`~repro.faults.model.FaultModel`); specs without it hash
+    exactly as they did before the fault axis existed.
     """
 
     kind: ClassVar[str] = "rendezvous"
@@ -287,9 +342,13 @@ class RendezvousProblem(ProblemSpec):
     allow_infeasible: bool = False
     separation_x: Optional[float] = None
     separation_y: Optional[float] = None
+    fault_model: Optional[FaultModel] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "visibility", _coerce_float("visibility", self.visibility))
+        object.__setattr__(
+            self, "fault_model", _coerce_fault_model(self.fault_model, self.kind)
+        )
         distance, bearing, x, y = _resolve_components(
             self.distance, self.bearing, self.separation_x, self.separation_y, "separation"
         )

@@ -74,6 +74,12 @@ class VectorizedBackend(SolverBackend):
             # No vectorized gathering path yet: fall back per-spec to the
             # scalar engine, stamping the backend that actually ran.
             return SimulationBackend().solve(spec)
+        fault = getattr(spec, "fault_model", None)
+        if fault is not None and fault.is_fault:
+            # Fault injection rewrites trajectories per spec, which the
+            # shared-compiled-trajectory kernel cannot express; the
+            # scalar fault path solves it and provenance names it.
+            return SimulationBackend().solve(spec)
         return super().solve(spec)
 
     def _solve(self, spec: ProblemSpec) -> dict[str, Any]:

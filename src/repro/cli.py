@@ -126,6 +126,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="X,Y,V,TAU,PHI,CHI",
         help="gathering swarm member (repeat per robot; only with --kind gathering)",
     )
+    solve.add_argument(
+        "--fault-model",
+        default=None,
+        metavar="JSON",
+        help=(
+            "attach a fault model to every spec, as a JSON object, e.g. "
+            '\'{"kind": "crash-stop", "robot": "other", "crash_time": 2.0}\' '
+            "(kinds: none, crash-stop, crash-recovery, byzantine)"
+        ),
+    )
+    solve.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="Monte-Carlo trials per spec (overrides the fault model's trials)",
+    )
+    solve.add_argument(
+        "--mc-seed",
+        type=int,
+        default=None,
+        help="Monte-Carlo base seed (overrides the fault model's mc_seed)",
+    )
     _add_attribute_arguments(solve)
     solve.add_argument(
         "--backend",
@@ -396,6 +418,47 @@ def _spec_from_flags(namespace: argparse.Namespace) -> ProblemSpec:
     )
 
 
+def _fault_overrides_from(namespace: argparse.Namespace) -> Optional[dict]:
+    """The ``--fault-model`` / ``--trials`` / ``--mc-seed`` flags as one mapping."""
+    overrides: dict = {}
+    if namespace.fault_model is not None:
+        try:
+            parsed = json.loads(namespace.fault_model)
+        except json.JSONDecodeError as error:
+            raise InvalidParameterError(f"invalid --fault-model JSON: {error}") from error
+        if not isinstance(parsed, dict):
+            raise InvalidParameterError("--fault-model must be a JSON object")
+        overrides.update(parsed)
+    if namespace.trials is not None:
+        overrides["trials"] = namespace.trials
+    if namespace.mc_seed is not None:
+        overrides["mc_seed"] = namespace.mc_seed
+    return overrides or None
+
+
+def _apply_fault_overrides(
+    specs: list[ProblemSpec], namespace: argparse.Namespace
+) -> list[ProblemSpec]:
+    """Merge the fault flags into every spec (validated by the spec layer)."""
+    overrides = _fault_overrides_from(namespace)
+    if overrides is None:
+        return specs
+    from dataclasses import replace
+
+    from .faults.model import FaultModel
+
+    rebuilt: list[ProblemSpec] = []
+    for spec in specs:
+        if not hasattr(spec, "fault_model"):
+            raise InvalidParameterError(
+                f"spec kind {spec.kind!r} does not support a fault model"
+            )
+        merged = dict(spec.fault_model.to_dict()) if spec.fault_model is not None else {}
+        merged.update(overrides)
+        rebuilt.append(replace(spec, fault_model=FaultModel.from_dict(merged)))
+    return rebuilt
+
+
 def _command_solve(namespace: argparse.Namespace) -> int:
     if namespace.stdin_jsonl:
         if namespace.spec_file is not None:
@@ -405,6 +468,7 @@ def _command_solve(namespace: argparse.Namespace) -> int:
         specs, emit_list = _specs_from_file(namespace.spec_file)
     else:
         specs, emit_list = [_spec_from_flags(namespace)], False
+    specs = _apply_fault_overrides(specs, namespace)
     runner = BatchRunner(
         backend=namespace.backend,
         processes=namespace.processes,
@@ -871,19 +935,40 @@ def _command_store(namespace: argparse.Namespace) -> int:
 
 
 def _command_suites(namespace: argparse.Namespace) -> int:
+    import hashlib
+
     from .workloads import spec_suite, spec_suite_names
 
     rows = []
     for name in spec_suite_names():
         specs = spec_suite(name)
         kinds = sorted({spec.kind for spec in specs})
-        rows.append({"name": name, "specs": len(specs), "kinds": kinds})
+        hashes = [spec.canonical_hash() for spec in specs]
+        digest = hashlib.sha256("".join(hashes).encode("utf-8")).hexdigest()[:12]
+        faulted = sum(
+            1
+            for spec in specs
+            if getattr(spec, "fault_model", None) is not None and spec.fault_model.is_fault
+        )
+        rows.append(
+            {
+                "name": name,
+                "specs": len(specs),
+                "kinds": kinds,
+                "faulted": faulted,
+                "digest": digest,
+            }
+        )
     if namespace.json:
         print(json.dumps(rows, indent=2))
         return 0
     width = max(len(row["name"]) for row in rows)
     for row in rows:
-        print(f"{row['name']:<{width}}  {row['specs']:>5} specs  [{', '.join(row['kinds'])}]")
+        fault_note = f"  {row['faulted']:>3} faulted" if row["faulted"] else "            "
+        print(
+            f"{row['name']:<{width}}  {row['specs']:>5} specs{fault_note}  "
+            f"[{', '.join(row['kinds'])}]  {row['digest']}"
+        )
     return 0
 
 

@@ -1,6 +1,6 @@
 """Registry of all experiments.
 
-Maps experiment identifiers (E01-E11, F01-F03) to their ``run`` functions
+Maps experiment identifiers (E01-E14, F01-F03) to their ``run`` functions
 and metadata.  Used by the CLI, the run-all driver and the benchmarks.
 """
 
@@ -26,6 +26,7 @@ from . import (
     e11_ablation,
     e12_gathering,
     e13_near_symmetry,
+    e14_fault_tolerance,
     f01_figure_rounds,
     f02_figure_active_phase,
     f03_figure_overlap,
@@ -60,6 +61,7 @@ _MODULES = (
     e11_ablation,
     e12_gathering,
     e13_near_symmetry,
+    e14_fault_tolerance,
     f01_figure_rounds,
     f02_figure_active_phase,
     f03_figure_overlap,

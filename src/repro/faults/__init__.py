@@ -1,0 +1,40 @@
+"""``repro.faults`` -- fault models, trajectory injection, seeded trials.
+
+The subsystem has four layers, bottom-up:
+
+* :mod:`repro.faults.model` -- :class:`FaultModel`, the frozen
+  declarative taxonomy (crash-stop / crash-recovery / byzantine) plus
+  the Monte-Carlo trial configuration.  Specs embed it as an optional
+  ``fault_model`` field that participates in canonical hashing only when
+  present.
+* :mod:`repro.faults.injection` -- pure trajectory surgery: truncate,
+  pause-and-resume, or divert a robot's world-frame segment stream.
+* :mod:`repro.faults.solver` -- one seeded trial of a (possibly
+  faulted) spec as typed envelope fields; never raises on
+  unsolvable-under-fault cases.
+* :mod:`repro.faults.montecarlo` -- the ``montecarlo`` backend folding
+  N deterministic trials into a statistical envelope.
+
+Only the model and injection layers are imported here: the solver and
+backend import :mod:`repro.api`, which itself imports
+:class:`FaultModel` from this package, so they load on first use
+(``import repro.api`` registers the backend).
+"""
+
+from .injection import (
+    byzantine_trajectory,
+    crash_recovery_trajectory,
+    crash_stop_trajectory,
+    split_segment,
+)
+from .model import FAULT_KINDS, FAULT_ROBOTS, FaultModel
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_ROBOTS",
+    "FaultModel",
+    "split_segment",
+    "crash_stop_trajectory",
+    "crash_recovery_trajectory",
+    "byzantine_trajectory",
+]

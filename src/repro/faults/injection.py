@@ -1,0 +1,229 @@
+"""Trajectory-level fault injection.
+
+A fault never changes the *algorithm* a robot runs -- it changes what the
+robot's body actually does.  This module therefore operates on the
+world-frame segment stream of a robot's trajectory:
+
+* ``crash-stop`` truncates the stream at the realized crash time.  The
+  resulting trajectory is finite; the simulation engine parks finite
+  trajectories at their final position, so the wreck stays physically
+  present and a live partner that comes within visibility of it still
+  completes the rendezvous.
+* ``crash-recovery`` splits the stream at the crash time, inserts a
+  stationary :class:`~repro.motion.wait.WaitMotion` of the realized
+  downtime, and resumes the remaining segments unchanged -- the robot
+  continues its protocol exactly where it left off, shifted in time.
+* ``byzantine`` follows the protocol until the onset time and then
+  abandons it for a seeded adversarial random walk at the robot's full
+  physical speed.  Its own detection announcements are untrusted (and
+  ignored by the fault solver); only the correct robot's
+  distance-within-``r`` sensing counts.
+
+All three injectors preserve continuity (every produced segment starts
+where the previous one ended), so the strict :class:`LazyTrajectory`
+continuity check keeps guarding the fault path too.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..errors import InvalidParameterError, TrajectoryError
+from ..geometry import Vec2
+from ..motion import ArcMotion, LazyTrajectory, LinearMotion, MotionSegment, WaitMotion
+
+__all__ = [
+    "split_segment",
+    "crash_stop_trajectory",
+    "crash_recovery_trajectory",
+    "byzantine_trajectory",
+]
+
+#: Local times closer than this to a segment boundary snap to the boundary
+#: instead of producing a sliver segment.
+_SPLIT_TOLERANCE = 1e-12
+
+
+def split_segment(segment: MotionSegment, local_time: float) -> tuple[MotionSegment, MotionSegment]:
+    """Split one motion segment at local time ``t`` into (head, tail).
+
+    Both halves are exact primitives of the same kind as the input (a
+    similarity-closed family), so a split trajectory remains exactly
+    simulatable -- no resampling, no drift.
+    """
+    duration = segment.duration
+    if not (0.0 <= local_time <= duration):
+        raise InvalidParameterError(
+            f"split time {local_time!r} outside the segment's [0, {duration!r}]"
+        )
+    head_duration = local_time
+    tail_duration = duration - local_time
+    if isinstance(segment, WaitMotion):
+        return (
+            WaitMotion(segment.start, head_duration),
+            WaitMotion(segment.start, tail_duration),
+        )
+    if isinstance(segment, LinearMotion):
+        mid = segment.position(local_time)
+        return (
+            LinearMotion(segment.start, mid, head_duration),
+            LinearMotion(mid, segment.end, tail_duration),
+        )
+    if isinstance(segment, ArcMotion):
+        fraction = 0.0 if duration == 0.0 else local_time / duration
+        return (
+            ArcMotion(
+                segment.center,
+                segment.radius,
+                segment.start_angle,
+                segment.sweep * fraction,
+                head_duration,
+            ),
+            ArcMotion(
+                segment.center,
+                segment.radius,
+                segment.angle_at(local_time),
+                segment.sweep * (1.0 - fraction),
+                tail_duration,
+            ),
+        )
+    raise TrajectoryError(f"cannot split segment type {type(segment).__name__!r}")
+
+
+def _timed_segments(base: LazyTrajectory) -> Iterator[tuple[float, float, MotionSegment]]:
+    """Stream every ``(start, end, segment)`` triple of ``base`` in order."""
+    index = 0
+    while True:
+        entry = base.timed_segment(index)
+        if entry is None:
+            return
+        yield entry
+        index += 1
+
+
+def _prefix_until(
+    base: LazyTrajectory, cutoff: float
+) -> Iterator[tuple[MotionSegment | None, MotionSegment]]:
+    """Yield ``(pending_tail, produced_segment)`` pairs covering ``[0, cutoff]``.
+
+    Segments strictly before the cutoff come through unchanged (with a
+    None tail); the segment straddling the cutoff is split and its tail is
+    attached so callers can resume the protocol (crash-recovery) or drop
+    it (crash-stop).  The final pair carries the tail; every earlier pair
+    has ``pending_tail is None``.
+    """
+    for start, end, segment in _timed_segments(base):
+        if end <= cutoff + _SPLIT_TOLERANCE:
+            yield None, segment
+            continue
+        local = min(max(cutoff - start, 0.0), segment.duration)
+        head, tail = split_segment(segment, local)
+        yield tail, head
+        return
+
+
+def _position_at_cutoff(base: LazyTrajectory, cutoff: float) -> Vec2:
+    """Position of the robot at the cutoff (falls back to the start)."""
+    try:
+        return base.position(cutoff)
+    except TrajectoryError:
+        raise
+    except Exception:  # pragma: no cover - defensive
+        return base.start
+
+
+def crash_stop_trajectory(base: LazyTrajectory, crash_time: float) -> LazyTrajectory:
+    """The prefix of ``base`` up to ``crash_time``; the robot never moves again.
+
+    The result is a *finite* trajectory.  The engine parks finite
+    trajectories at their final position, which is exactly the crash-stop
+    semantics: the robot halts mid-motion and stays there, still visible.
+    """
+    if crash_time <= 0.0:
+        raise InvalidParameterError(f"crash_time must be positive, got {crash_time!r}")
+
+    def segments() -> Iterator[MotionSegment]:
+        produced = False
+        for tail, segment in _prefix_until(base, crash_time):
+            del tail  # crash-stop never resumes
+            produced = True
+            yield segment
+        if not produced:
+            # Degenerate: crash before any motion materialised.
+            yield WaitMotion(base.start, 0.0)
+
+    return LazyTrajectory(segments())
+
+
+def crash_recovery_trajectory(
+    base: LazyTrajectory, crash_time: float, recovery_delay: float
+) -> LazyTrajectory:
+    """``base`` with a stationary gap of ``recovery_delay`` inserted at ``crash_time``.
+
+    The robot freezes wherever the crash caught it, waits out the
+    downtime, then resumes its protocol exactly where it left off (the
+    split tail followed by every remaining segment).  Everything after the
+    crash happens ``recovery_delay`` later in global time.
+    """
+    if crash_time <= 0.0:
+        raise InvalidParameterError(f"crash_time must be positive, got {crash_time!r}")
+    if recovery_delay <= 0.0:
+        raise InvalidParameterError(f"recovery_delay must be positive, got {recovery_delay!r}")
+
+    def segments() -> Iterator[MotionSegment]:
+        pending_tail: MotionSegment | None = None
+        produced = False
+        consumed = 0
+        for tail, segment in _prefix_until(base, crash_time):
+            produced = True
+            yield segment
+            consumed += 1
+            pending_tail = tail
+        halt_at = _position_at_cutoff(base, crash_time) if produced else base.start
+        yield WaitMotion(halt_at, recovery_delay)
+        if pending_tail is not None and pending_tail.duration > 0.0:
+            yield pending_tail
+        for index, entry in enumerate(_timed_segments(base)):
+            if index < consumed:
+                continue
+            yield entry[2]
+
+    return LazyTrajectory(segments())
+
+
+def byzantine_trajectory(
+    base: LazyTrajectory, onset: float, seed: int, speed: float
+) -> LazyTrajectory:
+    """``base`` until ``onset``, then a seeded adversarial random walk.
+
+    The walk moves at the robot's full physical ``speed`` in uniformly
+    random directions with step durations in ``[0.25, 1.5)`` -- an
+    adversary constrained only by the robot's physics.  The walk is fully
+    determined by ``seed``, so the same trial seed reproduces the same
+    adversary bit-for-bit.
+    """
+    if onset < 0.0:
+        raise InvalidParameterError(f"onset must be non-negative, got {onset!r}")
+    if speed <= 0.0:
+        raise InvalidParameterError(f"speed must be positive, got {speed!r}")
+
+    def segments() -> Iterator[MotionSegment]:
+        produced = False
+        if onset > 0.0:
+            for tail, segment in _prefix_until(base, onset):
+                del tail
+                produced = True
+                yield segment
+        position = _position_at_cutoff(base, onset) if produced else base.start
+        if not produced:
+            yield WaitMotion(position, 0.0)
+        rng = random.Random(seed)
+        while True:
+            duration = 0.25 + 1.25 * rng.random()
+            heading = rng.random() * 6.283185307179586
+            target = position + Vec2.polar(speed * duration, heading)
+            yield LinearMotion(position, target, duration)
+            position = target
+
+    return LazyTrajectory(segments())

@@ -1,0 +1,107 @@
+"""The ``montecarlo`` backend: seeded trial ensembles with statistical envelopes.
+
+Runs ``fault_model.trials`` independent realizations of a spec, each
+seeded by :func:`~repro.faults.solver.trial_seed` from ``(spec_hash,
+mc_seed, trial_index)``, and folds the solved-trial times through the
+mergeable Welford accumulators of :mod:`repro.analysis.streaming` into a
+mean / percentile / CI envelope carried in ``SolveResult.details``.
+
+Determinism contract: every per-trial seed is a pure function of the
+canonical spec hash, so the whole envelope is a pure function of the
+spec.  Trials run (and fold) in index order, making the envelope
+*bitwise* identical across serial, pooled, served and warm-store-replay
+execution -- which is exactly what lets the LRU, the persistent store,
+request coalescing and the cluster tier treat ``montecarlo`` like any
+other deterministic backend.
+
+Specs whose fault model is non-randomized (no jitter, non-Byzantine) --
+including the ``kind="none"`` Monte-Carlo carrier -- would produce
+``trials`` copies of one deterministic run; the backend runs that single
+trial once and says so in ``details["trials"]`` versus
+``details["trials_requested"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from ..analysis.streaming import summarize_trials
+from ..api.backends import SolverBackend, _unsupported, register_backend
+from ..api.spec import ProblemSpec
+from .model import FaultModel
+from .solver import realize, solve_spec_with_fault
+
+__all__ = ["MonteCarloBackend"]
+
+
+class MonteCarloBackend(SolverBackend):
+    """Envelope fidelity: N seeded trials folded into summary statistics."""
+
+    name: ClassVar[str] = "montecarlo"
+    fidelity: ClassVar[str] = "envelope"
+
+    def _solve(self, spec: ProblemSpec) -> dict[str, Any]:
+        fault = getattr(spec, "fault_model", None)
+        if fault is None and not hasattr(spec, "fault_model"):
+            # Gathering (and any future fault-less kind): no per-trial
+            # seeding surface to randomize over.
+            raise _unsupported(self, spec)
+        if fault is None:
+            fault = FaultModel()
+        spec_hash = spec.canonical_hash()
+        requested = fault.trials
+        # Non-randomized models repeat one deterministic run; collapse.
+        runs = requested if fault.randomized else 1
+
+        trials: list[dict[str, Any]] = []
+        statuses: dict[str, int] = {}
+        segments = 0
+        evaluations = 0
+        for index in range(runs):
+            realization = realize(fault, spec_hash, index)
+            fields = solve_spec_with_fault(spec, realization)
+            trials.append(fields)
+            details = fields.get("details") or {}
+            fault_block = details.get("fault") or {}
+            status = fault_block.get("status")
+            if status is None:
+                status = "solved" if fields.get("solved") else "unsolved-within-horizon"
+            statuses[status] = statuses.get(status, 0) + 1
+            segments += int(details.get("segments_processed") or 0)
+            evaluations += int(details.get("gap_evaluations") or 0)
+
+        solved_count = sum(1 for fields in trials if fields.get("solved"))
+        solve_rate = solved_count / runs
+        solved_times = [
+            float(fields["measured_time"])
+            for fields in trials
+            if fields.get("solved") and fields.get("measured_time") is not None
+        ]
+        envelope = summarize_trials(solved_times)
+        first = trials[0]
+        base_algorithm = first.get("algorithm")
+        if base_algorithm is None:
+            algorithm = f"montecarlo x{runs}"
+        else:
+            algorithm = f"montecarlo x{runs} [{base_algorithm}]"
+        return {
+            "feasible": first.get("feasible"),
+            "solved": solve_rate == 1.0,
+            "measured_time": envelope["mean"],
+            "bound": first.get("bound"),
+            "algorithm": algorithm,
+            "details": {
+                "trials": runs,
+                "trials_requested": requested,
+                "mc_seed": fault.mc_seed,
+                "solve_rate": solve_rate,
+                "statuses": {key: statuses[key] for key in sorted(statuses)},
+                "envelope": envelope,
+                "segments_processed": segments,
+                "gap_evaluations": evaluations,
+                "fault": fault.to_dict(),
+            },
+        }
+
+
+register_backend(MonteCarloBackend.name, MonteCarloBackend)

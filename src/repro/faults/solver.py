@@ -1,0 +1,385 @@
+"""Fault-aware solving: one seeded trial of a faulted (or healthy) spec.
+
+This module turns a spec + :class:`FaultRealization` into the same
+envelope-field dictionaries the healthy backends produce, with one hard
+guarantee: **the fault path never raises**.  An instance that cannot meet
+under the injected fault -- a robot that crashed before discovery, a
+Byzantine partner that wandered off -- comes back as a typed unsolved
+result (``solved=False`` plus a ``details["fault"]["status"]`` tag), not
+as a :class:`HorizonExceededError`.  Fault sweeps are *supposed* to
+contain unreachable cases; exceptions would abort the sweep, typed
+results let the envelope count them.
+
+Seeding contract (the determinism gate of the Monte-Carlo backend): the
+seed of trial ``i`` is ``sha256(f"{spec_hash}:{mc_seed}:{i}")`` truncated
+to 63 bits.  It depends only on the canonical spec hash, the spec's own
+``mc_seed`` and the trial index -- never on process, thread, host or
+wall clock -- so the same spec produces the same realizations everywhere.
+
+A deliberately *emergent* property of the model: a provably infeasible
+rendezvous (identical robots, Theorem 4) can become solvable under a
+crash fault, because the wreck is a static target that breaks the
+symmetry the impossibility proof needs.  The envelope keeps the analytic
+verdict in ``feasible`` (still False) next to ``solved=True``; E14
+asserts this crossover.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..algorithms import UniversalSearch, WaitAndSearchRendezvous
+from ..core import (
+    classify_feasibility,
+    guaranteed_discovery_round,
+    rendezvous_time_bound,
+    theorem1_search_bound,
+)
+from ..errors import HorizonExceededError, InfeasibleConfigurationError, InvalidParameterError
+from ..geometry import ORIGIN
+from ..robots import Robot
+from ..simulation import simulate_search_trajectory, simulate_trajectory_pair
+from .injection import byzantine_trajectory, crash_recovery_trajectory, crash_stop_trajectory
+from .model import FaultModel
+
+__all__ = [
+    "FaultRealization",
+    "trial_seed",
+    "realize",
+    "nominal_realization",
+    "solve_spec_with_fault",
+]
+
+#: Safety slack applied to bound-derived horizons (mirrors the core solvers).
+SAFETY_FACTOR = 1.25
+
+#: Crash faults retry with a doubled horizon this many times before the
+#: trial is declared unsolved; Byzantine faults get a single attempt (no
+#: theorem guarantees an adversarial walk ever comes close).
+MAX_CRASH_ATTEMPTS = 4
+
+#: Floor applied to jittered times so a perturbation can never produce a
+#: non-positive crash time or recovery delay.
+_MIN_REALIZED_TIME = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRealization:
+    """The concrete, per-trial draw of a fault model.
+
+    Attributes:
+        trial_index: which Monte-Carlo trial this is (0 for the nominal
+            single-shot realization used by the simulation backend).
+        seed: the 63-bit deterministic trial seed (see :func:`trial_seed`).
+        crash_time: realized fault onset (None for ``kind="none"``).
+        recovery_delay: realized downtime (crash-recovery only).
+        walk_seed: seed of the Byzantine adversarial walk, derived from
+            ``seed`` so the walk and the jitter draws are independent.
+    """
+
+    trial_index: int
+    seed: int
+    crash_time: Optional[float] = None
+    recovery_delay: Optional[float] = None
+    walk_seed: int = 0
+
+
+def trial_seed(spec_hash: str, mc_seed: int, trial_index: int) -> int:
+    """The deterministic 63-bit seed of one Monte-Carlo trial.
+
+    Depends only on ``(spec_hash, mc_seed, trial_index)`` -- same spec,
+    same seed, same trial gives the same randomness on every machine,
+    process and execution tier.
+    """
+    if trial_index < 0:
+        raise InvalidParameterError(f"trial_index must be non-negative, got {trial_index!r}")
+    digest = hashlib.sha256(f"{spec_hash}:{mc_seed}:{trial_index}".encode("utf-8")).hexdigest()
+    return int(digest[:16], 16) & (2**63 - 1)
+
+
+def realize(fault: FaultModel, spec_hash: str, trial_index: int) -> FaultRealization:
+    """Draw the concrete fault times of trial ``trial_index``.
+
+    With ``jitter == 0`` every trial realizes the nominal times (only a
+    Byzantine walk still varies, through its per-trial walk seed); with
+    ``jitter > 0`` the crash time and recovery delay are perturbed
+    uniformly within ``value * [1 - jitter, 1 + jitter]``.
+    """
+    seed = trial_seed(spec_hash, fault.mc_seed, trial_index)
+    if not fault.is_fault:
+        return FaultRealization(trial_index=trial_index, seed=seed)
+    rng = random.Random(seed)
+    walk_seed = rng.getrandbits(63)
+
+    def jittered(value: Optional[float], allow_zero: bool) -> Optional[float]:
+        if value is None:
+            return None
+        if fault.jitter > 0.0:
+            value = value * (1.0 + fault.jitter * rng.uniform(-1.0, 1.0))
+        if value <= 0.0 and not allow_zero:
+            value = _MIN_REALIZED_TIME
+        return max(value, 0.0)
+
+    return FaultRealization(
+        trial_index=trial_index,
+        seed=seed,
+        crash_time=jittered(fault.crash_time, allow_zero=fault.kind == "byzantine"),
+        recovery_delay=jittered(fault.recovery_delay, allow_zero=False),
+        walk_seed=walk_seed,
+    )
+
+
+def nominal_realization(fault: FaultModel, spec_hash: str) -> FaultRealization:
+    """Trial 0 with the jitter suppressed: the fault at its nominal times.
+
+    This is what the deterministic ``simulation`` backend runs for a
+    faulted spec -- one representative realization, reproducible without
+    any Monte-Carlo machinery.
+    """
+    seed = trial_seed(spec_hash, fault.mc_seed, 0)
+    walk_seed = random.Random(seed).getrandbits(63)
+    return FaultRealization(
+        trial_index=0,
+        seed=seed,
+        crash_time=fault.crash_time if fault.is_fault else None,
+        recovery_delay=fault.recovery_delay,
+        walk_seed=walk_seed,
+    )
+
+
+def _fault_details(fault: FaultModel, realization: FaultRealization) -> dict[str, Any]:
+    """The ``details["fault"]`` block shared by all fault envelopes."""
+    return {
+        "kind": fault.kind,
+        "robot": fault.robot,
+        "crash_time": realization.crash_time,
+        "recovery_delay": realization.recovery_delay,
+        "trial_index": realization.trial_index,
+        "trial_seed": realization.seed,
+        "jitter": fault.jitter,
+    }
+
+
+def _inject(base, fault: FaultModel, realization: FaultRealization, speed: float):
+    """The faulty robot's world trajectory under this realization."""
+    if fault.kind == "crash-stop":
+        return crash_stop_trajectory(base, realization.crash_time)
+    if fault.kind == "crash-recovery":
+        return crash_recovery_trajectory(base, realization.crash_time, realization.recovery_delay)
+    if fault.kind == "byzantine":
+        return byzantine_trajectory(base, realization.crash_time, realization.walk_seed, speed)
+    raise InvalidParameterError(f"cannot inject fault kind {fault.kind!r}")
+
+
+def _solve_search_with_fault(spec: Any, realization: FaultRealization) -> dict[str, Any]:
+    """One trial of a faulted search spec (crash kinds on the sole robot)."""
+    fault: FaultModel = spec.fault_model
+    instance = spec.to_instance()
+    bound = theorem1_search_bound(instance.distance, instance.visibility)
+    algorithm = UniversalSearch()
+    robot = Robot(name="R", start=ORIGIN, attributes=instance.attributes)
+    world = _inject(robot.world_trajectory(algorithm), fault, realization, robot.max_speed)
+    horizon = bound * SAFETY_FACTOR
+    if fault.kind == "crash-recovery":
+        horizon += realization.recovery_delay
+    outcome = simulate_search_trajectory(world, instance.target, instance.visibility, horizon)
+    if outcome.solved:
+        status = "solved"
+    elif fault.kind == "crash-stop":
+        status = "crashed-before-discovery"
+    else:
+        status = "unsolved-within-horizon"
+    details_fault = _fault_details(fault, realization)
+    details_fault["status"] = status
+    return {
+        "feasible": True,
+        "solved": outcome.solved,
+        "measured_time": outcome.event.time if outcome.solved else None,
+        "bound": bound,
+        "algorithm": f"{algorithm.describe()} [fault-injected]",
+        "details": {
+            "guaranteed_round": guaranteed_discovery_round(
+                instance.distance, instance.visibility
+            ),
+            "difficulty": spec.difficulty,
+            "segments_processed": outcome.segments_processed,
+            "gap_evaluations": outcome.gap_evaluations,
+            "horizon": outcome.horizon,
+            "fault": details_fault,
+        },
+    }
+
+
+def _rendezvous_base_horizon(
+    spec: Any, instance: Any, bound: Optional[float], fault: FaultModel,
+    realization: FaultRealization, faulty_speed: float,
+) -> float:
+    """First-attempt horizon for a faulted rendezvous trial.
+
+    Preference order: the spec's explicit horizon, then the analytic
+    rendezvous bound, then (crash kinds) the Theorem 1 time to search out
+    the wreck -- whose distance from the healthy robot's start is at most
+    ``d + v * crash_time`` -- and as a last resort a difficulty-scaled
+    guess.  Crash attempts escalate from here; the derivation only has to
+    be in the right ballpark, not tight.
+    """
+    extra = (realization.recovery_delay or 0.0) + (realization.crash_time or 0.0)
+    if spec.horizon is not None:
+        return spec.horizon + (realization.recovery_delay or 0.0)
+    candidates = []
+    if bound is not None:
+        candidates.append(bound * SAFETY_FACTOR)
+    if fault.kind in ("crash-stop", "crash-recovery"):
+        wreck_distance = instance.distance + faulty_speed * (realization.crash_time or 0.0)
+        candidates.append(
+            theorem1_search_bound(
+                max(wreck_distance, instance.visibility * 1.001), instance.visibility
+            )
+            * SAFETY_FACTOR
+        )
+    if not candidates:
+        candidates.append(
+            theorem1_search_bound(instance.distance, instance.visibility) * SAFETY_FACTOR
+        )
+    return max(candidates) + extra
+
+
+def _solve_rendezvous_with_fault(spec: Any, realization: FaultRealization) -> dict[str, Any]:
+    """One trial of a faulted rendezvous spec."""
+    fault: FaultModel = spec.fault_model
+    instance = spec.to_instance()
+    attributes = instance.attributes.normalized()
+    verdict = classify_feasibility(attributes)
+    bound = rendezvous_time_bound(instance)
+    if attributes.differs_in_clock() or not verdict.feasible:
+        algorithm = WaitAndSearchRendezvous()
+    else:
+        algorithm = UniversalSearch()
+    pair = instance.robot_pair()
+    trajectory_reference = pair.reference.world_trajectory(algorithm)
+    trajectory_other = pair.other.world_trajectory(algorithm)
+    if fault.robot == "reference":
+        faulty_speed = pair.reference.max_speed
+        trajectory_reference = _inject(trajectory_reference, fault, realization, faulty_speed)
+    else:
+        faulty_speed = pair.other.max_speed
+        trajectory_other = _inject(trajectory_other, fault, realization, faulty_speed)
+
+    horizon = _rendezvous_base_horizon(spec, instance, bound, fault, realization, faulty_speed)
+    attempts = MAX_CRASH_ATTEMPTS if fault.kind != "byzantine" and spec.horizon is None else 1
+    outcome = None
+    used_attempts = 0
+    for attempt in range(attempts):
+        used_attempts = attempt + 1
+        outcome = simulate_trajectory_pair(
+            trajectory_reference, trajectory_other, instance.visibility, horizon
+        )
+        if outcome.solved:
+            break
+        horizon *= 2.0
+
+    solved = outcome.solved
+    status = "solved" if solved else "unsolved-within-horizon"
+    details_fault = _fault_details(fault, realization)
+    details_fault["status"] = status
+    details_fault["attempts"] = used_attempts
+    return {
+        "feasible": verdict.feasible,
+        "solved": solved,
+        "measured_time": outcome.event.time if solved else None,
+        "bound": bound,
+        "algorithm": f"{algorithm.describe()} [fault-injected]",
+        "details": {
+            "verdict": verdict.describe(),
+            "difficulty": spec.difficulty,
+            "segments_processed": outcome.segments_processed,
+            "gap_evaluations": outcome.gap_evaluations,
+            "horizon": outcome.horizon,
+            "fault": details_fault,
+        },
+    }
+
+
+def _solve_healthy(spec: Any, realization: FaultRealization) -> dict[str, Any]:
+    """One trial of a spec whose fault model is the 'none' carrier.
+
+    Runs the plain deterministic solvers but converts their exceptions
+    into typed results so a Monte-Carlo sweep over mixed suites never
+    aborts mid-envelope.
+    """
+    # Imported here: repro.core and repro.api.backends are import-time
+    # consumers of this module's package, so the envelope builders are
+    # resolved lazily at first call.
+    from ..api.backends import (
+        SimulationBackend,
+        rendezvous_report_fields,
+        search_report_fields,
+    )
+    from ..api.spec import RendezvousProblem, SearchProblem
+    from ..core import solve_rendezvous, solve_search
+
+    try:
+        if isinstance(spec, SearchProblem):
+            fields = search_report_fields(spec, solve_search(spec.to_instance()))
+        elif isinstance(spec, RendezvousProblem):
+            report = solve_rendezvous(
+                spec.to_instance(),
+                horizon=spec.horizon,
+                allow_infeasible=spec.allow_infeasible,
+            )
+            fields = rendezvous_report_fields(spec, report)
+        else:
+            fields = SimulationBackend()._solve(spec)
+        status = "solved" if fields.get("solved") else "unsolved-within-horizon"
+    except InfeasibleConfigurationError as error:
+        fields = {
+            "feasible": False,
+            "solved": False,
+            "measured_time": None,
+            "bound": None,
+            "algorithm": None,
+            "details": {"verdict": str(error)},
+        }
+        status = "infeasible"
+    except HorizonExceededError as error:
+        fields = {
+            "feasible": True,
+            "solved": False,
+            "measured_time": None,
+            "bound": None,
+            "algorithm": None,
+            "details": {"horizon": error.horizon, "error": str(error)},
+        }
+        status = "unsolved-within-horizon"
+    details = dict(fields.get("details") or {})
+    fault = getattr(spec, "fault_model", None)
+    if fault is not None:
+        block = _fault_details(fault, realization)
+        block["status"] = status
+        details["fault"] = block
+    fields["details"] = details
+    return fields
+
+
+def solve_spec_with_fault(spec: Any, realization: FaultRealization) -> dict[str, Any]:
+    """Envelope fields for one seeded trial of ``spec``.
+
+    Dispatches on the spec kind and the fault kind; specs without a
+    misbehaving robot (``fault_model`` absent or ``kind="none"``) run the
+    plain deterministic solvers with exception-to-typed-result capture.
+    """
+    fault: Optional[FaultModel] = getattr(spec, "fault_model", None)
+    if fault is None or not fault.is_fault:
+        return _solve_healthy(spec, realization)
+    from ..api.spec import RendezvousProblem, SearchProblem
+
+    if isinstance(spec, SearchProblem):
+        return _solve_search_with_fault(spec, realization)
+    if isinstance(spec, RendezvousProblem):
+        return _solve_rendezvous_with_fault(spec, realization)
+    raise InvalidParameterError(
+        f"fault injection does not support spec kind {getattr(spec, 'kind', '?')!r}"
+    )

@@ -1,7 +1,13 @@
 """Continuous-time simulation of search and rendezvous."""
 
 from .closest_approach import CrossingSearchResult, find_first_crossing, interval_minimum_lower_bound
-from .engine import simulate_rendezvous, simulate_robot_pair, simulate_search
+from .engine import (
+    simulate_rendezvous,
+    simulate_robot_pair,
+    simulate_search,
+    simulate_search_trajectory,
+    simulate_trajectory_pair,
+)
 from .events import DetectionEvent, SimulationOutcome
 from .gap import (
     first_time_within_linear_relative,
@@ -26,6 +32,8 @@ __all__ = [
     "simulate_rendezvous",
     "simulate_robot_pair",
     "simulate_search",
+    "simulate_search_trajectory",
+    "simulate_trajectory_pair",
     "DetectionEvent",
     "SimulationOutcome",
     "first_time_within_linear_relative",

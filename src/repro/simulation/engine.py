@@ -34,7 +34,13 @@ from .horizon import MIN_WINDOW as _MIN_WINDOW
 from .horizon import HorizonPolicy, resolve_horizon as _resolve_horizon
 from .instance import RendezvousInstance, SearchInstance
 
-__all__ = ["simulate_search", "simulate_rendezvous", "simulate_robot_pair"]
+__all__ = [
+    "simulate_search",
+    "simulate_search_trajectory",
+    "simulate_rendezvous",
+    "simulate_robot_pair",
+    "simulate_trajectory_pair",
+]
 
 
 def _segment_or_parked(
@@ -58,9 +64,32 @@ def simulate_search(
     time_tolerance: float = TIME_TOLERANCE,
 ) -> SimulationOutcome:
     """Run ``algorithm`` from the origin until the target is seen or the horizon hits."""
-    limit = _resolve_horizon(horizon)
     robot = Robot(name="R", start=ORIGIN, attributes=instance.attributes)
     world = robot.world_trajectory(algorithm)
+    return simulate_search_trajectory(
+        world, instance.target, instance.visibility, horizon, time_tolerance
+    )
+
+
+def simulate_search_trajectory(
+    world: LazyTrajectory,
+    target: Vec2,
+    visibility: float,
+    horizon: HorizonPolicy | float,
+    time_tolerance: float = TIME_TOLERANCE,
+) -> SimulationOutcome:
+    """First time an arbitrary world-frame trajectory comes within ``visibility`` of ``target``.
+
+    This is the trajectory-level core of :func:`simulate_search`; the fault
+    layer uses it directly so that injected (truncated / delayed / adversarial)
+    trajectories go through exactly the same detection machinery as healthy
+    runs.  A finite trajectory that ends before the horizon simply stops
+    contributing windows -- a crashed robot that never saw the target stays
+    unsolved.
+    """
+    if visibility <= 0.0 or not math.isfinite(visibility):
+        raise InvalidParameterError(f"visibility must be positive and finite, got {visibility!r}")
+    limit = _resolve_horizon(horizon)
 
     intervals = 0
     evaluations = 0
@@ -79,8 +108,8 @@ def simulate_search(
             intervals += 1
             local_time, n_evals = first_time_within_static(
                 segment,
-                instance.target,
-                instance.visibility,
+                target,
+                visibility,
                 window_lo - segment_start,
                 window_hi - segment_start,
                 time_tolerance,
@@ -91,9 +120,9 @@ def simulate_search(
                 position = segment.position(local_time)
                 event = DetectionEvent(
                     time=event_time,
-                    gap=position.distance_to(instance.target),
+                    gap=position.distance_to(target),
                     position_reference=position,
-                    position_other=instance.target,
+                    position_other=target,
                 )
                 return SimulationOutcome(
                     solved=True,
@@ -140,11 +169,31 @@ def simulate_robot_pair(
     reference attributes -- this is what the multi-robot gathering
     extension uses to simulate every pair of a swarm.
     """
+    trajectory_reference = robot_reference.world_trajectory(algorithm)
+    trajectory_other = robot_other.world_trajectory(algorithm)
+    return simulate_trajectory_pair(
+        trajectory_reference, trajectory_other, visibility, horizon, time_tolerance
+    )
+
+
+def simulate_trajectory_pair(
+    trajectory_reference: LazyTrajectory,
+    trajectory_other: LazyTrajectory,
+    visibility: float,
+    horizon: HorizonPolicy | float,
+    time_tolerance: float = TIME_TOLERANCE,
+) -> SimulationOutcome:
+    """First contact between two arbitrary world-frame trajectories.
+
+    The trajectory-level core of :func:`simulate_robot_pair`: the fault
+    layer substitutes injected trajectories (crashed, recovering or
+    Byzantine robots) for one side while reusing the exact-crossing
+    detection unchanged.  Finite trajectories park at their final position
+    until the horizon, so a crashed robot remains visible to its partner.
+    """
     if visibility <= 0.0 or not math.isfinite(visibility):
         raise InvalidParameterError(f"visibility must be positive and finite, got {visibility!r}")
     limit = _resolve_horizon(horizon)
-    trajectory_reference = robot_reference.world_trajectory(algorithm)
-    trajectory_other = robot_other.world_trajectory(algorithm)
 
     intervals = 0
     evaluations = 0
@@ -153,13 +202,15 @@ def simulate_robot_pair(
     current_time = 0.0
 
     # Immediate detection at t = 0 (the robots may already see each other).
-    initial_gap = robot_reference.start.distance_to(robot_other.start)
+    start_reference = trajectory_reference.start
+    start_other = trajectory_other.start
+    initial_gap = start_reference.distance_to(start_other)
     if initial_gap <= visibility:
         event = DetectionEvent(
             time=0.0,
             gap=initial_gap,
-            position_reference=robot_reference.start,
-            position_other=robot_other.start,
+            position_reference=start_reference,
+            position_other=start_other,
         )
         return SimulationOutcome(
             solved=True, event=event, horizon=limit, segments_processed=0, gap_evaluations=1

@@ -12,6 +12,8 @@ from .suites import (
     as_specs,
     asymmetric_clock_suite,
     baseline_comparison_suite,
+    fault_byzantine_suite,
+    fault_crash_sweep_suite,
     feasibility_grid,
     mirrored_suite,
     search_random_suite,
@@ -37,6 +39,8 @@ __all__ = [
     "InstanceGenerator",
     "asymmetric_clock_suite",
     "baseline_comparison_suite",
+    "fault_byzantine_suite",
+    "fault_crash_sweep_suite",
     "feasibility_grid",
     "mirrored_suite",
     "search_random_suite",

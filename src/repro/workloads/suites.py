@@ -12,6 +12,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..api.spec import ProblemSpec, RendezvousProblem, SearchProblem
 from ..errors import InvalidParameterError
+from ..faults.model import FaultModel
 from ..geometry import Vec2
 from ..robots import RobotAttributes
 from ..simulation import RendezvousInstance, SearchInstance
@@ -28,6 +29,8 @@ __all__ = [
     "asymmetric_clock_suite",
     "feasibility_grid",
     "baseline_comparison_suite",
+    "fault_crash_sweep_suite",
+    "fault_byzantine_suite",
     "as_specs",
     "spec_suite",
     "spec_suite_names",
@@ -230,21 +233,161 @@ def baseline_comparison_suite(count: int = 10, seed: int = 23) -> list[SearchIns
     )
 
 
+# -- fault suites --------------------------------------------------------------------
+#
+# Unlike the instance suites above, the fault suites are built directly as
+# facade specs: the fault axis lives on the spec (it must participate in
+# canonical hashing), not on the simulation-layer instance.
+
+#: Shared Monte-Carlo configuration of the deterministic fault suites.
+_FAULT_TRIALS = 6
+_FAULT_MC_SEED = 97
+
+
+def fault_crash_sweep_suite() -> list[ProblemSpec]:
+    """Deterministic crash-stop / crash-recovery sweep (E14, benchmarks).
+
+    Covers the two crash kinds over a small grid of onset times for both
+    problem kinds, the partner-crash rendezvous case, and the signature
+    symmetry-breaking case: a provably infeasible identical-robots
+    rendezvous whose partner crashes (the wreck is a static target, so
+    the healthy robot's search finds it despite Theorem 4).
+    """
+    specs: list[ProblemSpec] = []
+    for crash_time in (0.5, 2.0, 8.0):
+        for visibility in (0.2, 0.35):
+            specs.append(
+                SearchProblem(
+                    distance=1.5,
+                    visibility=visibility,
+                    bearing=0.8,
+                    fault_model=FaultModel(
+                        kind="crash-stop",
+                        robot="reference",
+                        crash_time=crash_time,
+                        trials=_FAULT_TRIALS,
+                        mc_seed=_FAULT_MC_SEED,
+                        jitter=0.25,
+                    ),
+                )
+            )
+            specs.append(
+                SearchProblem(
+                    distance=1.5,
+                    visibility=visibility,
+                    bearing=0.8,
+                    fault_model=FaultModel(
+                        kind="crash-recovery",
+                        robot="reference",
+                        crash_time=crash_time,
+                        recovery_delay=4.0,
+                        trials=_FAULT_TRIALS,
+                        mc_seed=_FAULT_MC_SEED,
+                        jitter=0.25,
+                    ),
+                )
+            )
+    for crash_time in (1.0, 4.0):
+        for robot in ("reference", "other"):
+            specs.append(
+                RendezvousProblem(
+                    distance=1.6,
+                    visibility=0.35,
+                    bearing=0.9,
+                    speed=0.7,
+                    fault_model=FaultModel(
+                        kind="crash-stop",
+                        robot=robot,
+                        crash_time=crash_time,
+                        trials=_FAULT_TRIALS,
+                        mc_seed=_FAULT_MC_SEED,
+                        jitter=0.25,
+                    ),
+                )
+            )
+            specs.append(
+                RendezvousProblem(
+                    distance=1.6,
+                    visibility=0.35,
+                    bearing=0.9,
+                    speed=0.7,
+                    fault_model=FaultModel(
+                        kind="crash-recovery",
+                        robot=robot,
+                        crash_time=crash_time,
+                        recovery_delay=3.0,
+                        trials=_FAULT_TRIALS,
+                        mc_seed=_FAULT_MC_SEED,
+                        jitter=0.25,
+                    ),
+                )
+            )
+    # Symmetry breaking: infeasible without the fault, solvable with it.
+    for crash_time in (1.0, 3.0):
+        specs.append(
+            RendezvousProblem(
+                distance=1.5,
+                visibility=0.3,
+                fault_model=FaultModel(
+                    kind="crash-stop",
+                    robot="other",
+                    crash_time=crash_time,
+                    trials=_FAULT_TRIALS,
+                    mc_seed=_FAULT_MC_SEED,
+                    jitter=0.25,
+                ),
+            )
+        )
+    return specs
+
+
+def fault_byzantine_suite() -> list[ProblemSpec]:
+    """Deterministic Byzantine-partner sweep (rendezvous only).
+
+    The adversarial walk varies per trial through the seeded trial
+    stream, so this suite exercises the genuinely randomized side of the
+    ``montecarlo`` backend even with ``jitter=0``.
+    """
+    specs: list[ProblemSpec] = []
+    for onset in (0.0, 2.0, 6.0):
+        for speed in (0.7, 1.3):
+            for bearing in (0.9, 3.7):
+                specs.append(
+                    RendezvousProblem(
+                        distance=1.6,
+                        visibility=0.35,
+                        bearing=bearing,
+                        speed=speed,
+                        fault_model=FaultModel(
+                            kind="byzantine",
+                            robot="other",
+                            crash_time=onset,
+                            trials=_FAULT_TRIALS,
+                            mc_seed=_FAULT_MC_SEED,
+                        ),
+                    )
+                )
+    return specs
+
+
 # -- facade bridging -----------------------------------------------------------------
 
 
 def as_specs(
-    instances: Iterable[SearchInstance | RendezvousInstance],
+    instances: Iterable[SearchInstance | RendezvousInstance | ProblemSpec],
 ) -> list[ProblemSpec]:
     """Convert simulation-layer instances to :mod:`repro.api` problem specs.
 
     The conversion is the bridge between the suites above (rich in-memory
     instances) and the facade's serializable, hashable wire format used by
-    the batch runner and the benchmarks.
+    the batch runner and the benchmarks.  Suites built directly from
+    specs (the fault suites) pass through unchanged.
     """
     specs: list[ProblemSpec] = []
     for instance in instances:
-        if isinstance(instance, SearchInstance):
+        if isinstance(instance, ProblemSpec):
+            specs.append(instance)
+        elif isinstance(instance, SearchInstance):
             specs.append(SearchProblem.from_instance(instance))
         elif isinstance(instance, RendezvousInstance):
             specs.append(RendezvousProblem.from_instance(instance))
@@ -264,6 +407,8 @@ _SPEC_SUITES: dict[str, Callable[[], Sequence[SearchInstance | RendezvousInstanc
     "mirrored": mirrored_suite,
     "asymmetric-clock": asymmetric_clock_suite,
     "baseline-comparison": baseline_comparison_suite,
+    "fault-crash-sweep": fault_crash_sweep_suite,
+    "fault-byzantine": fault_byzantine_suite,
 }
 
 

@@ -1,0 +1,149 @@
+"""Algebraic properties of StreamingStats.merge and the envelope helpers.
+
+The montecarlo backend folds trial times through merged single-observation
+accumulators, so the envelope's determinism rests on ``merge`` behaving
+like a well-defined monoid operation: merging in any grouping (and with
+empties) must agree with a single sequential pass to float tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import StreamingStats, percentile, summarize_trials
+
+
+def _samples(seed: int, count: int) -> list[float]:
+    rng = random.Random(seed)
+    scale = 10.0 ** rng.uniform(-3, 3)
+    return [rng.gauss(0.0, 1.0) * scale + rng.uniform(-5, 5) for _ in range(count)]
+
+
+def _fold(values) -> StreamingStats:
+    stats = StreamingStats()
+    for value in values:
+        stats.push(value)
+    return stats
+
+
+def _assert_close(left: StreamingStats, right: StreamingStats) -> None:
+    assert left.count == right.count
+    assert left.mean == pytest.approx(right.mean, rel=1e-9, abs=1e-12)
+    assert left.std == pytest.approx(right.std, rel=1e-6, abs=1e-9)
+    assert left.minimum == right.minimum
+    assert left.maximum == right.maximum
+
+
+class TestMergeProperties:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_merge_is_commutative(self, seed):
+        a_values = _samples(seed, 17)
+        b_values = _samples(seed + 100, 5)
+        ab, ba = _fold(a_values), _fold(b_values)
+        ab.merge(_fold(b_values))
+        ba.merge(_fold(a_values))
+        _assert_close(ab, ba)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_merge_is_associative(self, seed):
+        chunks = [_samples(seed + i * 31, 3 + i * 7) for i in range(3)]
+        left = _fold(chunks[0])
+        left.merge(_fold(chunks[1]))
+        left.merge(_fold(chunks[2]))
+        inner = _fold(chunks[1])
+        inner.merge(_fold(chunks[2]))
+        right = _fold(chunks[0])
+        right.merge(inner)
+        _assert_close(left, right)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_empty_is_the_identity(self, seed):
+        values = _samples(seed, 9)
+        left = _fold(values)
+        left.merge(StreamingStats())
+        _assert_close(left, _fold(values))
+        right = StreamingStats()
+        right.merge(_fold(values))
+        _assert_close(right, _fold(values))
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("split", [0, 1, 10, 20])
+    def test_merge_equals_single_pass(self, seed, split):
+        values = _samples(seed, 20)
+        merged = _fold(values[:split])
+        merged.merge(_fold(values[split:]))
+        _assert_close(merged, _fold(values))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_single_observation_fold_matches_push(self, seed):
+        """Exactly the montecarlo fold: merge a chain of n=1 accumulators."""
+        values = _samples(seed, 13)
+        chained = StreamingStats()
+        for value in values:
+            chained.merge(_fold([value]))
+        _assert_close(chained, _fold(values))
+
+    def test_merging_two_empties_stays_empty(self):
+        stats = StreamingStats()
+        stats.merge(StreamingStats())
+        assert stats.count == 0
+        assert stats.to_dict() == {"count": 0, "mean": 0.0, "std": 0.0, "min": None, "max": None}
+
+
+class TestToDict:
+    def test_empty_extrema_are_json_safe(self):
+        payload = StreamingStats().to_dict()
+        assert payload["min"] is None and payload["max"] is None
+        assert not any(
+            isinstance(v, float) and not math.isfinite(v) for v in payload.values()
+        )
+
+    def test_populated_payload(self):
+        payload = _fold([1.0, 3.0]).to_dict()
+        assert payload == {"count": 2, "mean": 2.0, "std": 1.0, "min": 1.0, "max": 3.0}
+
+
+class TestPercentile:
+    def test_interpolates_linearly(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 0.5) == pytest.approx(5.0)
+        assert percentile(values, 0.9) == pytest.approx(9.0)
+
+    def test_endpoints(self):
+        values = [1.0, 2.0, 7.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 7.0
+
+    def test_single_value(self):
+        assert percentile([4.2], 0.37) == 4.2
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestSummarizeTrials:
+    def test_empty_envelope_is_none_filled(self):
+        envelope = summarize_trials([])
+        assert envelope["count"] == 0
+        assert envelope["mean"] is None and envelope["p50"] is None
+        assert envelope["ci95_halfwidth"] == 0.0
+
+    def test_envelope_is_order_insensitive_in_value(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        a = summarize_trials(values)
+        b = summarize_trials(list(reversed(values)))
+        assert a["p50"] == b["p50"] == 3.0
+        assert a["mean"] == pytest.approx(b["mean"])
+
+    def test_ci_is_symmetric_about_the_mean(self):
+        envelope = summarize_trials([1.0, 2.0, 3.0, 4.0])
+        half = envelope["ci95_halfwidth"]
+        assert envelope["ci95_low"] == pytest.approx(envelope["mean"] - half)
+        assert envelope["ci95_high"] == pytest.approx(envelope["mean"] + half)
+        assert half == pytest.approx(1.96 * envelope["std"] / math.sqrt(4))

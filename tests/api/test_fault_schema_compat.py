@@ -1,0 +1,136 @@
+"""Golden-hash regression: adding fault models must not move any old hash.
+
+The ``fault_model`` field joined the spec schema with the faults
+subsystem.  Because the canonical payload omits it when unset, every
+pre-fault spec must keep its exact canonical JSON, canonical hash,
+derived seed and store key.  The hex digests below were recorded on the
+spec schema *before* the field existed; if any of them moves, cache
+keys, store files and cluster shard routing silently diverge between
+library versions -- treat a failure here as a wire-format break, not as
+a test to update.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+from repro.api import (
+    GatheringMember,
+    GatheringProblem,
+    RendezvousProblem,
+    ResultStore,
+    SearchProblem,
+    solve,
+    spec_from_json,
+)
+from repro.experiments import fingerprint_digest
+from repro.faults import FaultModel
+from repro.workloads import spec_suite
+
+GOLDEN_SEARCH_HASH = "a8e7271502ed7b05f8ac6473b2e9d302a1f9b9510deaa2bc0b1d41e76531f958"
+GOLDEN_SEARCH_JSON = (
+    '{"bearing":0.8,"distance":1.5,"kind":"search","schema_version":1,'
+    '"target_x":null,"target_y":null,"visibility":0.3}'
+)
+GOLDEN_RENDEZVOUS_HASH = "0e2274315e43167a0e6d7d71bb932304a50328156512467f722cbbef0e6f0ebf"
+GOLDEN_GATHERING_HASH = "88a09ef55354a07cb3bd1d4757d3931d812dbaeb8df8517ca6c91c8137de922e"
+GOLDEN_SUITE_DIGESTS = {
+    "search-sweep": "95ac1df39dc754d6321e5ba8efeea6b2443d86df66997802e6255a69ef928852",
+    "symmetric-clock": "c33ffab36d7700c867bb42e57a624883c9af7f233046135b1928d35f6eae80c1",
+}
+GOLDEN_ANALYTIC_FINGERPRINT = "1fe17c5c2c36ccba0f8495289d553419601a2b87d9cf8f3c09ea85bf04216d3e"
+
+
+def _search() -> SearchProblem:
+    return SearchProblem(distance=1.5, visibility=0.3, bearing=0.8)
+
+
+def _rendezvous() -> RendezvousProblem:
+    return RendezvousProblem(distance=1.6, visibility=0.35, bearing=0.9, speed=0.7)
+
+
+def _gathering() -> GatheringProblem:
+    return GatheringProblem(
+        members=(GatheringMember(0.0, 0.0), GatheringMember(1.0, 0.5, speed=0.8)),
+        visibility=0.4,
+    )
+
+
+class TestGoldenHashes:
+    def test_search_canonical_json_is_byte_identical(self):
+        assert _search().canonical_json() == GOLDEN_SEARCH_JSON
+
+    def test_search_hash(self):
+        assert _search().canonical_hash() == GOLDEN_SEARCH_HASH
+
+    def test_rendezvous_hash(self):
+        assert _rendezvous().canonical_hash() == GOLDEN_RENDEZVOUS_HASH
+
+    def test_gathering_hash(self):
+        assert _gathering().canonical_hash() == GOLDEN_GATHERING_HASH
+
+    def test_none_fault_model_is_never_serialized(self):
+        spec = _search()
+        assert spec.fault_model is None
+        assert "fault_model" not in spec.payload()
+        assert "fault_model" not in spec.canonical_json()
+
+    def test_explicit_fault_model_does_move_the_hash(self):
+        """Sanity: the field genuinely participates when it is set."""
+        faulted = dataclasses.replace(
+            _search(),
+            fault_model=FaultModel(kind="crash-stop", robot="reference", crash_time=1.0),
+        )
+        assert faulted.canonical_hash() != GOLDEN_SEARCH_HASH
+        carrier = dataclasses.replace(_search(), fault_model=FaultModel(trials=2))
+        assert carrier.canonical_hash() != GOLDEN_SEARCH_HASH
+
+    def test_derived_seed_unchanged(self):
+        assert _search().seed() == _search().seed_from_hash(GOLDEN_SEARCH_HASH)
+
+
+class TestRoundTrips:
+    def test_json_round_trip_preserves_spec_and_hash(self):
+        for spec in (_search(), _rendezvous(), _gathering()):
+            restored = spec_from_json(spec.to_json())
+            assert restored == spec
+            assert restored.canonical_hash() == spec.canonical_hash()
+
+    def test_faulted_spec_round_trips_too(self):
+        spec = dataclasses.replace(
+            _rendezvous(),
+            fault_model=FaultModel(
+                kind="crash-recovery",
+                crash_time=1.5,
+                recovery_delay=3.0,
+                trials=8,
+                mc_seed=5,
+                jitter=0.2,
+            ),
+        )
+        restored = spec_from_json(spec.to_json())
+        assert restored == spec
+        assert restored.fault_model == spec.fault_model
+        assert restored.canonical_hash() == spec.canonical_hash()
+
+    def test_store_keys_unchanged_for_pre_fault_specs(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = _search()
+        result = solve(spec, backend="analytic")
+        store.put("analytic", result)
+        loaded = store.get("analytic", spec)
+        assert loaded is not None
+        assert loaded.provenance.spec_hash == GOLDEN_SEARCH_HASH
+
+
+class TestSuiteDigests:
+    def test_pre_fault_suites_are_frozen(self):
+        for name, expected in GOLDEN_SUITE_DIGESTS.items():
+            joined = "".join(spec.canonical_hash() for spec in spec_suite(name))
+            digest = hashlib.sha256(joined.encode("utf-8")).hexdigest()
+            assert digest == expected, f"suite {name!r} drifted"
+
+    def test_analytic_result_fingerprints_are_frozen(self):
+        digest = fingerprint_digest([solve(_search(), backend="analytic")])
+        assert digest == GOLDEN_ANALYTIC_FINGERPRINT

@@ -18,9 +18,9 @@ from repro.experiments import experiment_ids, get_experiment, run_all, run_exper
 class TestRegistry:
     def test_all_expected_ids_are_registered(self):
         ids = experiment_ids()
-        for expected in ("E01", "E02", "E06", "E09", "E11", "F01", "F03"):
+        for expected in ("E01", "E02", "E06", "E09", "E11", "E14", "F01", "F03"):
             assert expected in ids
-        assert len(ids) == 16
+        assert len(ids) == 17
 
     def test_lookup_is_case_insensitive(self):
         assert get_experiment("e01").experiment_id == "E01"

@@ -1,0 +1,176 @@
+"""Trajectory-level fault injection: exact splits, crash/recovery/byzantine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.faults import (
+    byzantine_trajectory,
+    crash_recovery_trajectory,
+    crash_stop_trajectory,
+    split_segment,
+)
+from repro.geometry import Vec2
+from repro.motion import ArcMotion, LazyTrajectory, LinearMotion, WaitMotion
+
+
+def _total_duration(trajectory: LazyTrajectory) -> float:
+    """Full duration of a finite trajectory (materialises everything)."""
+    assert not trajectory.ensure_time(1e9), "expected a finite trajectory"
+    return trajectory.covered_duration
+
+
+def _base() -> LazyTrajectory:
+    """Wait, straight line, half circle -- one of each primitive."""
+    return LazyTrajectory(
+        [
+            WaitMotion(Vec2(0.0, 0.0), 1.0),
+            LinearMotion(Vec2(0.0, 0.0), Vec2(2.0, 0.0), 2.0),
+            ArcMotion(Vec2(2.0, 1.0), 1.0, -math.pi / 2.0, math.pi, 3.0),
+        ]
+    )
+
+
+class TestSplitSegment:
+    @pytest.mark.parametrize(
+        "segment",
+        [
+            WaitMotion(Vec2(1.0, -2.0), 3.0),
+            LinearMotion(Vec2(0.0, 0.0), Vec2(3.0, 4.0), 2.5),
+            ArcMotion(Vec2(0.0, 0.0), 2.0, 0.3, 1.9, 4.0),
+        ],
+    )
+    @pytest.mark.parametrize("fraction", [0.0, 0.25, 0.7, 1.0])
+    def test_halves_reproduce_the_original_positions(self, segment, fraction):
+        cut = segment.duration * fraction
+        head, tail = split_segment(segment, cut)
+        assert type(head) is type(segment) and type(tail) is type(segment)
+        assert head.duration == pytest.approx(cut)
+        assert tail.duration == pytest.approx(segment.duration - cut)
+        # Continuity at the joint and exactness everywhere.
+        assert head.position(head.duration).distance_to(tail.position(0.0)) < 1e-9
+        for t in (0.0, segment.duration * 0.5, segment.duration):
+            original = segment.position(t)
+            if t <= cut:
+                rebuilt = head.position(t)
+            else:
+                rebuilt = tail.position(t - cut)
+            assert original.distance_to(rebuilt) < 1e-9
+
+    def test_out_of_range_cut_rejected(self):
+        segment = LinearMotion(Vec2(0.0, 0.0), Vec2(1.0, 0.0), 1.0)
+        with pytest.raises(InvalidParameterError):
+            split_segment(segment, -0.1)
+        with pytest.raises(InvalidParameterError):
+            split_segment(segment, 1.1)
+
+
+class TestCrashStop:
+    def test_prefix_matches_base_then_trajectory_ends(self):
+        base = _base()
+        crashed = crash_stop_trajectory(_base(), 2.0)
+        for t in (0.0, 0.5, 1.0, 1.5, 2.0):
+            assert base.position(t).distance_to(crashed.position(t)) < 1e-9
+        assert _total_duration(crashed) == pytest.approx(2.0)
+
+    def test_mid_arc_crash_is_exact(self):
+        base = _base()
+        crashed = crash_stop_trajectory(_base(), 4.5)
+        assert _total_duration(crashed) == pytest.approx(4.5)
+        assert crashed.position(4.5).distance_to(base.position(4.5)) < 1e-9
+
+    def test_crash_on_a_segment_boundary_produces_no_sliver(self):
+        crashed = crash_stop_trajectory(_base(), 3.0)
+        durations = []
+        index = 0
+        while (entry := crashed.timed_segment(index)) is not None:
+            durations.append(entry[2].duration)
+            index += 1
+        # The straddling segment snaps to the boundary: either it is absent
+        # or it is an exactly-zero head, never a positive sliver.
+        assert [d for d in durations if d > 0.0] == [1.0, 2.0]
+        assert sum(durations) == pytest.approx(3.0)
+
+    def test_non_positive_crash_time_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            crash_stop_trajectory(_base(), 0.0)
+
+
+class TestCrashRecovery:
+    def test_schedule_is_shifted_by_the_downtime(self):
+        base = _base()
+        recovered = crash_recovery_trajectory(_base(), 1.5, 2.0)
+        # Before the crash: identical.
+        for t in (0.0, 0.75, 1.5):
+            assert base.position(t).distance_to(recovered.position(t)) < 1e-9
+        # During the downtime: frozen where the crash caught it.
+        halt = base.position(1.5)
+        for t in (1.6, 2.5, 3.5):
+            assert recovered.position(t).distance_to(halt) < 1e-9
+        # After recovery: the base protocol, delayed by exactly 2.0.
+        for t in (3.6, 4.5, 6.0, 8.0):
+            assert recovered.position(t).distance_to(base.position(t - 2.0)) < 1e-9
+        assert _total_duration(recovered) == pytest.approx(_total_duration(base) + 2.0)
+
+    def test_boundary_crash_resumes_cleanly(self):
+        base = _base()
+        recovered = crash_recovery_trajectory(_base(), 1.0, 0.5)
+        assert recovered.position(1.2).distance_to(base.position(1.0)) < 1e-9
+        assert recovered.position(2.0).distance_to(base.position(1.5)) < 1e-9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            crash_recovery_trajectory(_base(), 0.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            crash_recovery_trajectory(_base(), 1.0, 0.0)
+
+
+class TestByzantine:
+    def test_protocol_until_onset_then_walk(self):
+        base = _base()
+        adversarial = byzantine_trajectory(_base(), 2.0, seed=123, speed=1.5)
+        for t in (0.0, 1.0, 2.0):
+            assert base.position(t).distance_to(adversarial.position(t)) < 1e-9
+        # The walk is unbounded: it keeps producing motion far past the base.
+        far = adversarial.position(56.0)
+        assert math.isfinite(far.x) and math.isfinite(far.y)
+
+    def test_walk_moves_at_full_speed(self):
+        adversarial = byzantine_trajectory(_base(), 0.0, seed=9, speed=2.0)
+        index = 0
+        checked = 0
+        while checked < 5:
+            entry = adversarial.timed_segment(index)
+            assert entry is not None
+            segment = entry[2]
+            index += 1
+            if not isinstance(segment, LinearMotion) or segment.duration == 0.0:
+                continue
+            speed = segment.start.distance_to(segment.end) / segment.duration
+            assert speed == pytest.approx(2.0)
+            checked += 1
+
+    def test_same_seed_reproduces_the_walk_exactly(self):
+        first = byzantine_trajectory(_base(), 1.0, seed=42, speed=1.0)
+        second = byzantine_trajectory(_base(), 1.0, seed=42, speed=1.0)
+        for t in (0.5, 2.0, 7.3, 31.0):
+            assert first.position(t).distance_to(second.position(t)) == 0.0
+
+    def test_different_seed_diverges(self):
+        first = byzantine_trajectory(_base(), 0.0, seed=1, speed=1.0)
+        second = byzantine_trajectory(_base(), 0.0, seed=2, speed=1.0)
+        assert first.position(10.0).distance_to(second.position(10.0)) > 1e-6
+
+    def test_zero_onset_walks_from_the_start(self):
+        adversarial = byzantine_trajectory(_base(), 0.0, seed=5, speed=1.0)
+        assert adversarial.position(0.0).distance_to(Vec2(0.0, 0.0)) < 1e-9
+        assert adversarial.position(3.0).distance_to(Vec2(0.0, 0.0)) > 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            byzantine_trajectory(_base(), -1.0, seed=0, speed=1.0)
+        with pytest.raises(InvalidParameterError):
+            byzantine_trajectory(_base(), 0.0, seed=0, speed=0.0)

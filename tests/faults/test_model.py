@@ -1,0 +1,141 @@
+"""FaultModel: taxonomy validation, wire format, behaviour flags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.faults import FAULT_KINDS, FAULT_ROBOTS, FaultModel
+
+
+class TestValidation:
+    def test_default_is_the_none_carrier(self):
+        fault = FaultModel()
+        assert fault.kind == "none"
+        assert not fault.is_fault
+        assert not fault.randomized
+        assert fault.crash_time is None and fault.recovery_delay is None
+
+    def test_taxonomy_constants(self):
+        assert FAULT_KINDS == ("none", "crash-stop", "crash-recovery", "byzantine")
+        assert FAULT_ROBOTS == ("reference", "other")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown fault kind"):
+            FaultModel(kind="meltdown")
+
+    def test_unknown_robot_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown fault robot"):
+            FaultModel(kind="crash-stop", robot="bystander", crash_time=1.0)
+
+    @pytest.mark.parametrize("kind", ["crash-stop", "crash-recovery"])
+    def test_crash_kinds_require_crash_time(self, kind):
+        with pytest.raises(InvalidParameterError, match="needs crash_time"):
+            FaultModel(kind=kind, recovery_delay=1.0 if kind == "crash-recovery" else None)
+
+    def test_crash_time_must_be_positive(self):
+        with pytest.raises(InvalidParameterError, match="positive"):
+            FaultModel(kind="crash-stop", crash_time=0.0)
+        with pytest.raises(InvalidParameterError):
+            FaultModel(kind="crash-stop", crash_time=-2.0)
+        with pytest.raises(InvalidParameterError, match="finite"):
+            FaultModel(kind="crash-stop", crash_time=float("inf"))
+
+    def test_byzantine_onset_defaults_to_zero_and_allows_zero(self):
+        assert FaultModel(kind="byzantine").crash_time == 0.0
+        assert FaultModel(kind="byzantine", crash_time=0.0).crash_time == 0.0
+        assert FaultModel(kind="byzantine", crash_time=3.5).crash_time == 3.5
+
+    def test_none_kind_must_not_set_crash_time(self):
+        with pytest.raises(InvalidParameterError, match="must not set crash_time"):
+            FaultModel(kind="none", crash_time=1.0)
+
+    def test_recovery_delay_required_exactly_for_crash_recovery(self):
+        with pytest.raises(InvalidParameterError, match="needs recovery_delay"):
+            FaultModel(kind="crash-recovery", crash_time=1.0)
+        with pytest.raises(InvalidParameterError, match="only applies"):
+            FaultModel(kind="crash-stop", crash_time=1.0, recovery_delay=2.0)
+        fault = FaultModel(kind="crash-recovery", crash_time=1.0, recovery_delay=2.0)
+        assert fault.recovery_delay == 2.0
+
+    def test_trials_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            FaultModel(trials=0)
+        with pytest.raises(InvalidParameterError):
+            FaultModel(trials=10_001)
+        with pytest.raises(InvalidParameterError, match="integer"):
+            FaultModel(trials=2.5)
+        with pytest.raises(InvalidParameterError, match="integer"):
+            FaultModel(trials=True)
+
+    def test_mc_seed_non_negative_integer(self):
+        with pytest.raises(InvalidParameterError):
+            FaultModel(mc_seed=-1)
+        assert FaultModel(mc_seed=0).mc_seed == 0
+
+    def test_jitter_range(self):
+        with pytest.raises(InvalidParameterError, match="jitter"):
+            FaultModel(jitter=1.0)
+        with pytest.raises(InvalidParameterError, match="jitter"):
+            FaultModel(jitter=-0.1)
+        with pytest.raises(InvalidParameterError, match="jitter"):
+            FaultModel(jitter=float("nan"))
+        assert FaultModel(jitter=0.99).jitter == pytest.approx(0.99)
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            FaultModel(),
+            FaultModel(kind="crash-stop", robot="reference", crash_time=2.0, jitter=0.3),
+            FaultModel(
+                kind="crash-recovery", crash_time=1.5, recovery_delay=4.0, trials=16, mc_seed=7
+            ),
+            FaultModel(kind="byzantine", crash_time=0.0, trials=32),
+        ],
+    )
+    def test_round_trip(self, fault):
+        assert FaultModel.from_dict(fault.to_dict()) == fault
+
+    def test_to_dict_has_stable_shape(self):
+        keys = set(FaultModel().to_dict())
+        assert keys == {
+            "kind",
+            "robot",
+            "crash_time",
+            "recovery_delay",
+            "trials",
+            "mc_seed",
+            "jitter",
+        }
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(InvalidParameterError, match="unknown fault_model field"):
+            FaultModel.from_dict({"kind": "none", "flux_capacitor": 1})
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(InvalidParameterError, match="JSON object"):
+            FaultModel.from_dict(["crash-stop"])
+
+    def test_partial_dict_uses_defaults(self):
+        fault = FaultModel.from_dict({"kind": "byzantine"})
+        assert fault.crash_time == 0.0 and fault.trials == 1
+
+
+class TestBehaviourFlags:
+    def test_randomized_requires_a_fault(self):
+        assert not FaultModel(jitter=0.5).randomized  # the 'none' carrier
+        assert not FaultModel(kind="crash-stop", crash_time=1.0).randomized
+        assert FaultModel(kind="crash-stop", crash_time=1.0, jitter=0.1).randomized
+        assert FaultModel(kind="byzantine").randomized  # walk varies per trial
+
+    def test_describe_mentions_the_salient_knobs(self):
+        assert "no fault" in FaultModel(trials=4).describe()
+        text = FaultModel(
+            kind="crash-recovery", crash_time=1.5, recovery_delay=4.0, jitter=0.2, trials=8
+        ).describe()
+        assert "crash-recovery" in text
+        assert "recovery after 4" in text
+        assert "jitter 0.2" in text
+        assert "trials=8" in text

@@ -1,0 +1,195 @@
+"""The montecarlo backend: envelopes, determinism, collapse, routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    MonteCarloBackend,
+    RendezvousProblem,
+    SearchProblem,
+    create_backend,
+    solve,
+)
+from repro.errors import InvalidParameterError
+from repro.faults import FaultModel
+
+
+def _byzantine_spec(trials: int = 4) -> RendezvousProblem:
+    return RendezvousProblem(
+        distance=1.6,
+        visibility=0.35,
+        bearing=0.9,
+        speed=0.7,
+        fault_model=FaultModel(kind="byzantine", robot="other", crash_time=2.0, trials=trials),
+    )
+
+
+def _jittered_crash_spec(trials: int = 5) -> SearchProblem:
+    return SearchProblem(
+        distance=1.5,
+        visibility=0.3,
+        bearing=0.8,
+        fault_model=FaultModel(
+            kind="crash-recovery",
+            robot="reference",
+            crash_time=2.0,
+            recovery_delay=4.0,
+            trials=trials,
+            jitter=0.25,
+        ),
+    )
+
+
+class TestRegistryAndRouting:
+    def test_registered_under_its_name(self):
+        backend = create_backend("montecarlo")
+        assert isinstance(backend, MonteCarloBackend)
+        assert backend.fidelity == "envelope"
+
+    def test_solve_accepts_the_backend_name(self):
+        result = solve(_jittered_crash_spec(trials=2), backend="montecarlo")
+        assert result.provenance.backend == "montecarlo"
+
+    def test_gathering_unsupported(self):
+        from repro.api import GatheringMember, GatheringProblem
+
+        spec = GatheringProblem(
+            members=(GatheringMember(0.0, 0.0), GatheringMember(1.0, 0.5, speed=0.8)),
+            visibility=0.4,
+        )
+        with pytest.raises(InvalidParameterError):
+            MonteCarloBackend().solve(spec)
+
+
+class TestEnvelope:
+    def test_envelope_fields_and_counts(self):
+        result = MonteCarloBackend().solve(_jittered_crash_spec(trials=5))
+        details = result.details
+        assert details["trials"] == 5
+        assert details["trials_requested"] == 5
+        assert details["solve_rate"] == 1.0
+        envelope = details["envelope"]
+        assert envelope["count"] == 5
+        assert envelope["min"] <= envelope["p50"] <= envelope["p90"] <= envelope["max"]
+        assert envelope["ci95_low"] <= envelope["mean"] <= envelope["ci95_high"]
+        assert result.measured_time == envelope["mean"]
+        assert result.algorithm.startswith("montecarlo x5 [")
+
+    def test_mixed_outcomes_populate_statuses(self):
+        spec = SearchProblem(
+            distance=1.5,
+            visibility=0.3,
+            bearing=0.8,
+            fault_model=FaultModel(
+                kind="crash-stop",
+                robot="reference",
+                # Healthy completion is ~41.7; a widely jittered onset at 45
+                # straddles it, so some trials solve and some crash first.
+                crash_time=45.0,
+                trials=12,
+                jitter=0.3,
+            ),
+        )
+        result = MonteCarloBackend().solve(spec)
+        statuses = result.details["statuses"]
+        assert sum(statuses.values()) == 12
+        assert set(statuses) <= {"solved", "crashed-before-discovery"}
+        assert result.solved is (result.details["solve_rate"] == 1.0)
+
+    def test_envelope_counts_only_solved_trials(self):
+        spec = SearchProblem(
+            distance=1.5,
+            visibility=0.3,
+            fault_model=FaultModel(
+                kind="crash-stop", robot="reference", crash_time=0.5, trials=3, jitter=0.1
+            ),
+        )
+        result = MonteCarloBackend().solve(spec)
+        assert result.details["solve_rate"] == 0.0
+        assert result.details["envelope"]["count"] == 0
+        assert result.details["envelope"]["mean"] is None
+        assert result.measured_time is None
+
+
+class TestDeterminism:
+    def test_independent_instances_agree_bitwise(self):
+        spec = _byzantine_spec(trials=6)
+        first = MonteCarloBackend().solve(spec)
+        second = MonteCarloBackend().solve(spec)
+        assert first.details["envelope"] == second.details["envelope"]
+        assert first.details["statuses"] == second.details["statuses"]
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_json_round_trip_preserves_the_envelope(self):
+        from repro.api import SolveResult
+
+        result = MonteCarloBackend().solve(_byzantine_spec(trials=3))
+        restored = SolveResult.from_json(result.to_json())
+        assert restored.details["envelope"] == result.details["envelope"]
+
+    def test_mc_seed_changes_the_ensemble(self):
+        base = _jittered_crash_spec(trials=4)
+        import dataclasses
+
+        other = dataclasses.replace(
+            base,
+            fault_model=FaultModel.from_dict({**base.fault_model.to_dict(), "mc_seed": 1}),
+        )
+        first = MonteCarloBackend().solve(base)
+        second = MonteCarloBackend().solve(other)
+        assert first.details["envelope"] != second.details["envelope"]
+
+
+class TestCollapse:
+    def test_non_randomized_fault_collapses_to_one_trial(self):
+        spec = SearchProblem(
+            distance=1.5,
+            visibility=0.3,
+            fault_model=FaultModel(
+                kind="crash-recovery",
+                robot="reference",
+                crash_time=2.0,
+                recovery_delay=4.0,
+                trials=64,  # jitter=0: every trial would be identical
+            ),
+        )
+        result = MonteCarloBackend().solve(spec)
+        assert result.details["trials"] == 1
+        assert result.details["trials_requested"] == 64
+        assert result.details["envelope"]["count"] == 1
+
+    def test_none_carrier_collapses_and_matches_the_plain_solver(self):
+        spec = SearchProblem(
+            distance=1.5, visibility=0.3, bearing=0.8, fault_model=FaultModel(trials=8)
+        )
+        plain = SearchProblem(distance=1.5, visibility=0.3, bearing=0.8)
+        mc = MonteCarloBackend().solve(spec)
+        reference = solve(plain, backend="simulation")
+        assert mc.details["trials"] == 1
+        assert mc.measured_time == pytest.approx(reference.measured_time)
+
+    def test_byzantine_never_collapses(self):
+        result = MonteCarloBackend().solve(_byzantine_spec(trials=4))
+        assert result.details["trials"] == 4
+
+
+class TestBackendRouting:
+    def test_simulation_backend_runs_the_nominal_realization(self):
+        result = solve(_jittered_crash_spec(), backend="simulation")
+        block = result.details["fault"]
+        assert block["trial_index"] == 0
+        assert block["crash_time"] == 2.0  # nominal: jitter suppressed
+
+    def test_auto_backend_routes_faulted_specs_to_simulation(self):
+        result = solve(_jittered_crash_spec(), backend="auto")
+        assert result.provenance.backend == "simulation"
+        assert "fault" in result.details
+
+    def test_vectorized_backend_falls_back_for_faulted_specs(self):
+        result = solve(_jittered_crash_spec(), backend="vectorized")
+        assert "fault" in result.details
+
+    def test_analytic_backend_flags_unmodeled_faults(self):
+        result = solve(_jittered_crash_spec(), backend="analytic")
+        assert result.details["fault"]["modeled"] is False

@@ -1,0 +1,169 @@
+"""Fault-aware solving: seeding contract, realizations, typed outcomes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RendezvousProblem, SearchProblem
+from repro.errors import InvalidParameterError
+from repro.faults import FaultModel
+from repro.faults.solver import (
+    FaultRealization,
+    nominal_realization,
+    realize,
+    solve_spec_with_fault,
+    trial_seed,
+)
+
+_HASH = "ab" * 32  # any fixed 64-hex string works as a spec hash
+
+
+class TestTrialSeed:
+    def test_pure_function_of_the_inputs(self):
+        assert trial_seed(_HASH, 7, 3) == trial_seed(_HASH, 7, 3)
+
+    def test_distinct_along_every_axis(self):
+        base = trial_seed(_HASH, 7, 3)
+        assert base != trial_seed(_HASH, 7, 4)
+        assert base != trial_seed(_HASH, 8, 3)
+        assert base != trial_seed("cd" * 32, 7, 3)
+
+    def test_fits_in_63_bits(self):
+        for index in range(50):
+            assert 0 <= trial_seed(_HASH, 0, index) < 2**63
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            trial_seed(_HASH, 0, -1)
+
+
+class TestRealize:
+    def test_zero_jitter_realizes_nominal_times(self):
+        fault = FaultModel(kind="crash-recovery", crash_time=2.0, recovery_delay=3.0)
+        for index in (0, 1, 5):
+            realization = realize(fault, _HASH, index)
+            assert realization.crash_time == 2.0
+            assert realization.recovery_delay == 3.0
+
+    def test_jitter_stays_within_the_declared_band(self):
+        fault = FaultModel(kind="crash-stop", crash_time=4.0, jitter=0.25, trials=64)
+        times = [realize(fault, _HASH, index).crash_time for index in range(64)]
+        assert all(3.0 - 1e-9 <= t <= 5.0 + 1e-9 for t in times)
+        assert len(set(times)) > 1  # the trials genuinely differ
+
+    def test_realization_is_deterministic(self):
+        fault = FaultModel(kind="byzantine", crash_time=1.0, jitter=0.3)
+        assert realize(fault, _HASH, 9) == realize(fault, _HASH, 9)
+
+    def test_walk_seed_independent_of_jitter(self):
+        """Adding jitter must not change which adversarial walk trial i gets."""
+        plain = FaultModel(kind="byzantine", crash_time=1.0)
+        jittered = FaultModel(kind="byzantine", crash_time=1.0, jitter=0.3)
+        assert realize(plain, _HASH, 4).walk_seed == realize(jittered, _HASH, 4).walk_seed
+
+    def test_none_carrier_has_no_times(self):
+        realization = realize(FaultModel(trials=8), _HASH, 2)
+        assert realization.crash_time is None and realization.recovery_delay is None
+
+    def test_nominal_realization_suppresses_jitter(self):
+        fault = FaultModel(kind="crash-stop", crash_time=4.0, jitter=0.25)
+        nominal = nominal_realization(fault, _HASH)
+        assert nominal.trial_index == 0
+        assert nominal.crash_time == 4.0
+        assert nominal.seed == trial_seed(_HASH, fault.mc_seed, 0)
+
+
+class TestSolveWithFault:
+    def _fields(self, spec) -> dict:
+        realization = nominal_realization(spec.fault_model, spec.canonical_hash())
+        return solve_spec_with_fault(spec, realization)
+
+    def test_early_crash_stop_search_is_typed_not_raised(self):
+        spec = SearchProblem(
+            distance=1.5,
+            visibility=0.3,
+            bearing=0.8,
+            fault_model=FaultModel(kind="crash-stop", robot="reference", crash_time=0.5),
+        )
+        fields = self._fields(spec)
+        assert fields["solved"] is False
+        assert fields["measured_time"] is None
+        assert fields["details"]["fault"]["status"] == "crashed-before-discovery"
+
+    def test_crash_recovery_search_completes_late(self):
+        healthy = SearchProblem(distance=1.5, visibility=0.3, bearing=0.8)
+        spec = SearchProblem(
+            distance=1.5,
+            visibility=0.3,
+            bearing=0.8,
+            fault_model=FaultModel(
+                kind="crash-recovery", robot="reference", crash_time=2.0, recovery_delay=4.0
+            ),
+        )
+        from repro.core import solve_search
+
+        healthy_time = solve_search(healthy.to_instance()).time
+        fields = self._fields(spec)
+        assert fields["solved"] is True
+        assert fields["details"]["fault"]["status"] == "solved"
+        # Crash at t=2 < discovery: the whole schedule shifts by the downtime.
+        assert fields["measured_time"] == pytest.approx(healthy_time + 4.0)
+
+    def test_partner_crash_breaks_theorem4_infeasibility(self):
+        spec = RendezvousProblem(
+            distance=1.5,
+            visibility=0.3,
+            fault_model=FaultModel(kind="crash-stop", robot="other", crash_time=1.0),
+        )
+        fields = self._fields(spec)
+        assert fields["feasible"] is False  # the analytic verdict survives
+        assert fields["solved"] is True  # ...but the wreck is findable
+        assert fields["details"]["fault"]["status"] == "solved"
+
+    def test_healthy_infeasible_spec_is_typed_infeasible(self):
+        spec = RendezvousProblem(
+            distance=1.5, visibility=0.3, fault_model=FaultModel(trials=4)
+        )
+        fields = self._fields(spec)
+        assert fields["solved"] is False
+        assert fields["details"]["fault"]["status"] == "infeasible"
+
+    def test_faulted_rendezvous_keeps_solving_when_partner_recovers(self):
+        spec = RendezvousProblem(
+            distance=1.6,
+            visibility=0.35,
+            bearing=0.9,
+            speed=0.7,
+            fault_model=FaultModel(
+                kind="crash-recovery", robot="other", crash_time=1.0, recovery_delay=3.0
+            ),
+        )
+        fields = self._fields(spec)
+        assert fields["solved"] is True
+        assert fields["details"]["fault"]["attempts"] >= 1
+
+    def test_fault_details_carry_the_realization(self):
+        spec = SearchProblem(
+            distance=1.5,
+            visibility=0.3,
+            fault_model=FaultModel(
+                kind="crash-stop", robot="reference", crash_time=2.0, mc_seed=11
+            ),
+        )
+        block = self._fields(spec)["details"]["fault"]
+        assert block["kind"] == "crash-stop"
+        assert block["robot"] == "reference"
+        assert block["trial_index"] == 0
+        assert block["trial_seed"] == trial_seed(spec.canonical_hash(), 11, 0)
+
+    def test_gathering_specs_are_rejected(self):
+        from repro.api import GatheringMember, GatheringProblem
+
+        spec = GatheringProblem(
+            members=(GatheringMember(0.0, 0.0), GatheringMember(1.0, 0.5, speed=0.8)),
+            visibility=0.4,
+        )
+        realization = FaultRealization(trial_index=0, seed=1)
+        # No fault model on gathering: healthy dispatch handles it fine...
+        fields = solve_spec_with_fault(spec, realization)
+        assert "fault" not in fields["details"]

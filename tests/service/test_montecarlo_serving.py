@@ -1,0 +1,124 @@
+"""Montecarlo through the serving tiers: bit-identical envelopes everywhere.
+
+The determinism gate of the faults PR: the same faulted spec must yield
+the same envelope whether solved directly, served cold, served warm
+(cache), replayed from the persistent store, or coalesced onto another
+request's in-flight solve.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import MonteCarloBackend, RendezvousProblem, ResultStore
+from repro.api.backends import _REGISTRY, SolverBackend, register_backend
+from repro.faults import FaultModel
+from repro.service import SolverService
+
+
+def _spec(trials: int = 5) -> RendezvousProblem:
+    return RendezvousProblem(
+        distance=1.6,
+        visibility=0.35,
+        bearing=0.9,
+        speed=0.7,
+        fault_model=FaultModel(
+            kind="crash-stop",
+            robot="other",
+            crash_time=2.0,
+            trials=trials,
+            mc_seed=11,
+            jitter=0.25,
+        ),
+    )
+
+
+class _GatedMonteCarlo(SolverBackend):
+    """The real montecarlo backend behind a gate, to pin requests in flight."""
+
+    name = "montecarlo-gated"
+    fidelity = "envelope"
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self._lock = threading.Lock()
+        self.release = threading.Event()
+        self.release.set()
+        self._inner = MonteCarloBackend()
+
+    def _solve(self, spec):
+        with self._lock:
+            self.calls += 1
+        assert self.release.wait(timeout=30.0), "test never released the backend"
+        return self._inner._solve(spec)
+
+
+@pytest.fixture
+def gated_backend():
+    backend = _GatedMonteCarlo()
+    register_backend(_GatedMonteCarlo.name, lambda: backend)
+    yield backend
+    _REGISTRY.pop(_GatedMonteCarlo.name, None)
+
+
+class TestServedDeterminism:
+    def test_served_twice_and_direct_agree_bitwise(self):
+        spec = _spec()
+        direct = MonteCarloBackend().solve(spec)
+        service = SolverService(backend="montecarlo")
+        first = service.solve(spec)
+        second = service.solve(spec)
+        service.drain()
+        for result in (first, second):
+            assert result.details["envelope"] == direct.details["envelope"]
+            assert result.details["statuses"] == direct.details["statuses"]
+            assert result.fingerprint() == direct.fingerprint()
+        # The repeat was answered without re-solving.
+        assert service.metrics.snapshot()["totals"]["cache_hits"] >= 1
+
+    def test_warm_store_replay_agrees_bitwise(self, tmp_path):
+        spec = _spec(trials=4)
+        store_dir = tmp_path / "store"
+        cold_service = SolverService(backend="montecarlo", store=ResultStore(store_dir))
+        cold = cold_service.solve(spec)
+        cold_service.drain()
+        assert cold.provenance.from_store is False
+        # Fresh service, same store: the envelope replays from disk.
+        warm_service = SolverService(backend="montecarlo", store=ResultStore(store_dir))
+        warm = warm_service.solve(spec)
+        warm_service.drain()
+        assert warm.provenance.from_store is True
+        assert warm.details["envelope"] == cold.details["envelope"]
+        assert warm.fingerprint() == cold.fingerprint()
+
+    def test_duplicate_request_coalesces_onto_one_trial_ensemble(self, gated_backend):
+        spec = _spec(trials=3)
+        gated_backend.release.clear()
+        service = SolverService(backend=_GatedMonteCarlo.name)
+        results: list = [None, None]
+
+        def request(slot: int) -> None:
+            results[slot] = service.solve(spec)
+
+        threads = [threading.Thread(target=request, args=(i,)) for i in range(2)]
+        threads[0].start()
+        # Wait until the leader's solve is registered, then pile on.
+        deadline = threading.Event()
+        for _ in range(200):
+            if service.inflight:
+                break
+            deadline.wait(0.01)
+        threads[1].start()
+        for _ in range(200):
+            if service.waiting_for(spec, _GatedMonteCarlo.name):
+                break
+            deadline.wait(0.01)
+        gated_backend.release.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        service.drain()
+        assert gated_backend.calls == 1, "duplicate request must not re-run the trials"
+        assert results[0].details["envelope"] == results[1].details["envelope"]
+        assert service.metrics.coalesced_total() >= 1

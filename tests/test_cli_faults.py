@@ -1,0 +1,152 @@
+"""CLI surface of the faults subsystem: --fault-model/--trials/--mc-seed, suites."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _solve_args(*extra: str) -> list[str]:
+    return [
+        "solve",
+        "--kind",
+        "rendezvous",
+        "--distance",
+        "1.6",
+        "--visibility",
+        "0.35",
+        "--speed",
+        "0.7",
+        "--bearing",
+        "0.9",
+        "--json",
+        *extra,
+    ]
+
+
+def _run_json(capsys, args: list[str]) -> dict:
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    return json.loads(out[out.index("{") :])
+
+
+class TestFaultFlags:
+    def test_fault_model_json_attaches_to_the_spec(self, capsys):
+        payload = _run_json(
+            capsys,
+            _solve_args(
+                "--backend",
+                "montecarlo",
+                "--fault-model",
+                '{"kind": "crash-stop", "robot": "other", "crash_time": 2.0, "jitter": 0.2}',
+                "--trials",
+                "4",
+                "--mc-seed",
+                "3",
+            ),
+        )
+        fault = payload["spec"]["fault_model"]
+        assert fault["kind"] == "crash-stop"
+        assert fault["trials"] == 4
+        assert fault["mc_seed"] == 3
+        assert payload["details"]["trials"] == 4
+        assert payload["provenance"]["backend"] == "montecarlo"
+
+    def test_trials_alone_wraps_a_none_carrier(self, capsys):
+        payload = _run_json(capsys, _solve_args("--backend", "montecarlo", "--trials", "6"))
+        fault = payload["spec"]["fault_model"]
+        assert fault["kind"] == "none"
+        assert fault["trials"] == 6
+        # Deterministic spec: the backend collapses to one actual trial.
+        assert payload["details"]["trials"] == 1
+        assert payload["details"]["trials_requested"] == 6
+
+    def test_invalid_fault_model_json_fails_cleanly(self, capsys):
+        assert main(_solve_args("--fault-model", "{not json")) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_fault_field_fails_cleanly(self, capsys):
+        assert main(_solve_args("--fault-model", '{"kind": "none", "bogus": 1}')) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_no_fault_flags_leaves_the_spec_untouched(self, capsys):
+        payload = _run_json(capsys, _solve_args("--backend", "simulation"))
+        # The canonical payload omits an unset fault model entirely -- the
+        # backward-compatibility contract of the schema change.
+        assert "fault_model" not in payload["spec"]
+
+    def test_gathering_specs_reject_fault_overrides(self, capsys, tmp_path):
+        from repro.api import GatheringMember, GatheringProblem
+
+        spec = GatheringProblem(
+            members=(GatheringMember(0.0, 0.0), GatheringMember(1.0, 0.5, speed=0.8)),
+            visibility=0.4,
+        )
+        path = tmp_path / "specs.json"
+        path.write_text(spec.to_json())
+        code = main(["solve", "--spec-file", str(path), "--trials", "4", "--json"])
+        assert code == 1
+        assert "fault" in capsys.readouterr().err
+
+
+class TestSuitesCommand:
+    def test_json_rows_carry_fault_counts_and_digest(self, capsys):
+        assert main(["suites", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["fault-crash-sweep"]["faulted"] == by_name["fault-crash-sweep"]["specs"]
+        assert by_name["fault-byzantine"]["faulted"] == 12
+        assert by_name["search-sweep"]["faulted"] == 0
+        for row in rows:
+            assert len(row["digest"]) == 12
+            int(row["digest"], 16)  # hex
+
+    def test_digest_is_stable_across_invocations(self, capsys):
+        assert main(["suites", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["suites", "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+
+    def test_text_output_lists_fault_suites(self, capsys):
+        assert main(["suites"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-crash-sweep" in out
+        assert "faulted" in out
+
+
+class TestFaultSuitesContent:
+    def test_crash_sweep_contains_the_symmetry_breaking_case(self):
+        from repro.workloads import fault_crash_sweep_suite
+
+        specs = fault_crash_sweep_suite()
+        assert all(spec.fault_model is not None for spec in specs)
+        crossover = [
+            spec
+            for spec in specs
+            if spec.kind == "rendezvous"
+            and spec.fault_model.robot == "other"
+            and spec.speed == 1.0
+            and spec.bearing == 0.0
+        ]
+        assert crossover, "expected the infeasible identical-robots crash case"
+
+    def test_byzantine_suite_is_all_randomized(self):
+        from repro.workloads import fault_byzantine_suite
+
+        specs = fault_byzantine_suite()
+        assert len(specs) == 12
+        assert all(spec.fault_model.kind == "byzantine" for spec in specs)
+        assert all(spec.fault_model.randomized for spec in specs)
+
+    def test_suite_hashes_are_distinct(self):
+        from repro.workloads import fault_byzantine_suite, fault_crash_sweep_suite
+
+        hashes = [
+            spec.canonical_hash()
+            for spec in fault_crash_sweep_suite() + fault_byzantine_suite()
+        ]
+        assert len(set(hashes)) == len(hashes)
