@@ -27,13 +27,18 @@ the other benchmark artefacts so future PRs can track the trajectory:
   (cold store, then a warm restart), reporting requests/s and p50/p99
   request latency next to the no-service baseline (one facade
   ``solve()`` per request), plus the daemon's own ``metrics`` document
-  so LRU/store hits and in-flight coalescing are observable;
+  so LRU/store hits and in-flight coalescing are observable.  The warm
+  store is measured through both wire formats (JSON lines and the
+  negotiated binary frames, with bytes-on-wire), and the
+  single-connection warm-hit latency of each format gates the binary
+  hot path under 0.5 ms p50;
 * ``BENCH_cluster.json`` -- the sharded-serving snapshot: the same
   duplicate-heavy workload against ``repro serve --workers N`` for
   N in {1, 2, 4} (plus the single-process daemon as the no-router
-  baseline), reporting requests/s, p50/p99 latency, the shard spread
-  and a fingerprint-parity assertion against direct ``solve()`` for
-  every fleet size;
+  baseline), reporting requests/s, p50/p99 latency, the shard spread,
+  a fingerprint-parity assertion against direct ``solve()`` for every
+  fleet size, and the shared-arena proof that each unique trajectory
+  was compiled exactly once fleet-wide;
 * ``BENCH_montecarlo.json`` -- the fault-ensemble snapshot: the
   ``montecarlo`` backend over the ``fault-crash-sweep`` and
   ``fault-byzantine`` suites, reporting trials/s serially and through
@@ -304,44 +309,61 @@ def run_store_benchmark(quick: bool) -> dict:
     }
 
 
-def _fire_workload(host: str, port: int, specs: list) -> tuple[dict, dict, list]:
+def _percentiles(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+
+    def percentile(fraction: float) -> float:
+        index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return round(ordered[index] * 1e3, 3)
+
+    return {
+        "p50": percentile(0.50),
+        "p99": percentile(0.99),
+        "max": round(ordered[-1] * 1e3, 3) if ordered else None,
+    }
+
+
+def _fire_workload(
+    host: str, port: int, specs: list, binary: bool = False
+) -> tuple[dict, dict, list]:
     """Stream one duplicate-heavy workload at a daemon or router address.
 
     ``SERVE_CLIENTS`` concurrent connections, one request in flight per
-    connection (each latency is a true round trip).  Returns the
-    scenario record, the first-seen envelope per unique spec hash and
-    the failure list.
+    connection (each latency is a true round trip); ``binary`` switches
+    every client to the negotiated binary frames.  Returns the scenario
+    record (including bytes-on-wire), the first-seen envelope per unique
+    spec hash and the failure list.
     """
-    import json as json_module
-    import socket
     import threading
+
+    from repro.service import ServiceClient
 
     latencies: list[float] = []
     latency_lock = threading.Lock()
     first_seen: dict[str, dict] = {}
     failures: list[str] = []
+    wire = {"sent": 0, "received": 0}
 
     def client(slot: int) -> None:
-        lines = [
-            json_module.dumps({"op": "solve", "spec": specs[i].to_dict(), "id": i})
-            for i in range(slot, len(specs), SERVE_CLIENTS)
-        ]
-        with socket.create_connection((host, port), timeout=120) as conn:
-            with conn.makefile("rwb") as stream:
-                for line in lines:
-                    sent = time.perf_counter()
-                    stream.write((line + "\n").encode("utf-8"))
-                    stream.flush()
-                    raw = stream.readline()
-                    elapsed = time.perf_counter() - sent
-                    response = json_module.loads(raw)
-                    with latency_lock:
-                        latencies.append(elapsed)
-                        if not response.get("ok"):
-                            failures.append(str(response.get("error")))
-                        else:
-                            spec_hash = response["result"]["provenance"]["spec_hash"]
-                            first_seen.setdefault(spec_hash, response["result"])
+        indices = range(slot, len(specs), SERVE_CLIENTS)
+        if not indices:
+            return
+        with ServiceClient(host, port, binary=binary, timeout=120) as connection:
+            for i in indices:
+                request = {"op": "solve", "spec": specs[i].to_dict(), "id": i}
+                sent = time.perf_counter()
+                response = connection.request(request)
+                elapsed = time.perf_counter() - sent
+                with latency_lock:
+                    latencies.append(elapsed)
+                    if not response.get("ok"):
+                        failures.append(str(response.get("error")))
+                    else:
+                        spec_hash = response["result"]["provenance"]["spec_hash"]
+                        first_seen.setdefault(spec_hash, response["result"])
+            with latency_lock:
+                wire["sent"] += connection.bytes_sent
+                wire["received"] += connection.bytes_received
 
     start = time.perf_counter()
     threads = [
@@ -353,30 +375,57 @@ def _fire_workload(host: str, port: int, specs: list) -> tuple[dict, dict, list]
         thread.join()
     wall = time.perf_counter() - start
 
-    ordered = sorted(latencies)
-
-    def percentile(fraction: float) -> float:
-        index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-        return round(ordered[index] * 1e3, 3)
-
     record = {
         "requests": len(specs),
         "unique": len(first_seen),
         "clients": SERVE_CLIENTS,
+        "wire_format": "binary" if binary else "json",
         "failures": len(failures),
         "wall_time_s": round(wall, 4),
         "requests_per_second": round(len(specs) / wall, 2) if wall > 0 else None,
-        "latency_ms": {
-            "p50": percentile(0.50),
-            "p99": percentile(0.99),
-            "max": round(ordered[-1] * 1e3, 3) if ordered else None,
-        },
+        "latency_ms": _percentiles(latencies),
+        "bytes_sent": wire["sent"],
+        "bytes_received": wire["received"],
+        "bytes_per_request": round((wire["sent"] + wire["received"]) / len(specs), 1)
+        if specs
+        else None,
     }
     return record, first_seen, failures
 
 
+def _hot_latency(host: str, port: int, spec, binary: bool, rounds: int) -> dict:
+    """Warm-hit latency of one persistent connection requesting one spec.
+
+    The first two requests populate the service LRU and (on the binary
+    path) the daemon's hot response cache; the measured rounds are the
+    steady-state repeat-request story the wire format is judged on.
+    """
+    from repro.service import ServiceClient
+
+    request = {"op": "solve", "spec": spec.to_dict()}
+    latencies: list[float] = []
+    with ServiceClient(host, port, binary=binary, timeout=120) as connection:
+        for _ in range(2):
+            warmup = connection.request(request)
+            assert warmup.get("ok"), warmup
+        for _ in range(rounds):
+            sent = time.perf_counter()
+            response = connection.request(request)
+            latencies.append(time.perf_counter() - sent)
+        served_by = response.get("served_by")
+        per_request = (connection.bytes_sent + connection.bytes_received) / (rounds + 2)
+    return {
+        "rounds": rounds,
+        "wire_format": "binary" if binary else "json",
+        "served_by": served_by,
+        "latency_ms": _percentiles(latencies),
+        "mean_latency_ms": round(sum(latencies) / len(latencies) * 1e3, 3),
+        "bytes_per_request": round(per_request, 1),
+    }
+
+
 def _serve_round(
-    specs: list, store_dir: Path, backend: str
+    specs: list, store_dir: Path, backend: str, binary: bool = False
 ) -> tuple[dict, dict, dict]:
     """Fire the duplicate-heavy workload at one fresh daemon.
 
@@ -389,7 +438,7 @@ def _serve_round(
 
     with ReproServer(backend=backend, store=store_dir, max_inflight=SERVE_CLIENTS) as server:
         server.serve_background()
-        record, first_seen, _ = _fire_workload(server.host, server.port, specs)
+        record, first_seen, _ = _fire_workload(server.host, server.port, specs, binary=binary)
         (metrics_line,) = request_lines(
             server.host, server.port, [json_module.dumps({"op": "metrics"})]
         )
@@ -405,8 +454,16 @@ def run_serve_benchmark(quick: bool) -> dict:
     beat the no-service baseline of one facade ``solve()`` per request,
     because the LRU, the store and in-flight coalescing answer the
     duplicates without solving.
+
+    Two wire formats are measured on the same warm store -- JSON lines
+    and the negotiated binary frames -- plus the single-connection
+    warm-hit latency of each (the daemon's hot response cache is the
+    binary path's reason to exist).
     """
+    import os as os_module
+
     from repro.api import SolveResult, solve
+    from repro.service import ReproServer
 
     backend = "auto"
     suite = spec_suite(SERVE_SUITE)
@@ -442,23 +499,43 @@ def run_serve_benchmark(quick: bool) -> dict:
         # Warm restart: a brand-new daemon over the published store --
         # the redeploy story, everything answered from disk.
         warm_record, warm_metrics, _ = _serve_round(workload, store_dir, backend)
+        # The same warm store through binary frames: identical answers,
+        # fewer bytes, and no JSON on the hot path.
+        binary_record, binary_metrics, binary_seen = _serve_round(
+            workload, store_dir, backend, binary=True
+        )
+
+        # Warm-hit latency tiers on one fresh daemon: a persistent
+        # connection re-requesting one spec, JSON vs binary.
+        hot_rounds = 50 if quick else 300
+        with ReproServer(backend=backend, max_inflight=SERVE_CLIENTS) as server:
+            server.serve_background()
+            hot_json = _hot_latency(server.host, server.port, suite[0], False, hot_rounds)
+            hot_binary = _hot_latency(server.host, server.port, suite[0], True, hot_rounds)
     finally:
         shutil.rmtree(store_dir, ignore_errors=True)
 
-    parity = all(
-        SolveResult.from_dict(envelope).fingerprint() == expected[spec_hash]
-        for spec_hash, envelope in cold_seen.items()
-    ) and set(cold_seen) == set(expected)
+    def parity_of(first_seen: dict) -> bool:
+        return set(first_seen) == set(expected) and all(
+            SolveResult.from_dict(envelope).fingerprint() == expected[spec_hash]
+            for spec_hash, envelope in first_seen.items()
+        )
+
+    parity = parity_of(cold_seen) and parity_of(binary_seen)
 
     cold_rate = cold_record["requests_per_second"] or 0.0
     warm_rate = warm_record["requests_per_second"] or 0.0
+    binary_rate = binary_record["requests_per_second"] or 0.0
     facade_rate = facade_record["requests_per_second"] or 0.0
     cold_totals = cold_metrics["totals"]
+    json_wire = warm_record["bytes_sent"] + warm_record["bytes_received"]
+    binary_wire = binary_record["bytes_sent"] + binary_record["bytes_received"]
     return {
         "benchmark": "repro serve concurrent throughput",
         "library_version": __version__,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os_module.cpu_count(),
         "generated_at_unix": int(time.time()),
         "suite": SERVE_SUITE,
         "duplication": SERVE_DUPLICATION,
@@ -466,22 +543,36 @@ def run_serve_benchmark(quick: bool) -> dict:
             "facade_serial_per_request": facade_record,
             "serve_cold_store": cold_record,
             "serve_warm_store": warm_record,
+            "serve_warm_store_binary": binary_record,
+            "serve_hot_single_connection_json": hot_json,
+            "serve_hot_single_connection_binary": hot_binary,
         },
         "serve_metrics_cold": cold_metrics,
         "serve_metrics_warm": warm_metrics,
+        "serve_metrics_binary": binary_metrics,
         "speedup_serve_cold_vs_facade": round(cold_rate / facade_rate, 2)
         if facade_rate
         else None,
         "speedup_serve_warm_vs_facade": round(warm_rate / facade_rate, 2)
         if facade_rate
         else None,
+        "speedup_binary_vs_json_warm": round(binary_rate / warm_rate, 2)
+        if warm_rate
+        else None,
+        "wire_bytes_binary_vs_json": round(binary_wire / json_wire, 3)
+        if json_wire
+        else None,
+        "warm_hit_p50_binary_ms": hot_binary["latency_ms"]["p50"],
+        "warm_hit_p50_json_ms": hot_json["latency_ms"]["p50"],
         "coalescing_observed": cold_totals["coalesced"] > 0,
         "hits_observed": (
             cold_totals["cache_hits"] + cold_totals["store_hits"] + cold_totals["coalesced"]
         )
         > 0,
         "served_fingerprints_identical_to_facade": parity,
-        "serve_failures": cold_record["failures"] + warm_record["failures"],
+        "serve_failures": cold_record["failures"]
+        + warm_record["failures"]
+        + binary_record["failures"],
     }
 
 
@@ -512,7 +603,73 @@ def _cluster_round(specs: list, workers: int, store_dir: Path, backend: str) -> 
     record["router_coalesced"] = metrics["cluster"]["router_coalesced"]
     record["worker_restarts"] = metrics["cluster"]["worker_restarts"]
     record["shard_spread"] = [row["forwarded"] for row in metrics["shards"]]
+    record["worker_links"] = "binary"  # router->worker frames negotiate up
+    arena = metrics.get("arena")
+    if arena is not None:
+        record["arena"] = {
+            "published_chunks": arena["published_chunks"],
+            "unique_trajectories": arena["unique_trajectories"],
+            "data_used": arena["data_used"],
+        }
+    kernel = [
+        row["metrics"].get("kernel_cache")
+        for row in metrics["shards"]
+        if isinstance(row.get("metrics"), dict)
+    ]
+    if all(stats is not None for stats in kernel):
+        record["worker_local_compiles"] = [stats["local_compiles"] for stats in kernel]
+        record["worker_arena_hits"] = [stats["arena_hits"] for stats in kernel]
     return record, metrics, first_seen
+
+
+def _cluster_compile_once_round(suite: list) -> dict:
+    """Prove each unique trajectory compiles exactly once fleet-wide.
+
+    A 2-worker vectorized cluster: the deepest spec goes through first
+    on its own (its home worker compiles the whole shared prefix into
+    the arena), then the full suite fans out over both shards.  If the
+    arena works, the other worker adopts every chunk -- the sum of the
+    workers' local compiles equals the chunks published in the arena.
+    """
+    import json as json_module
+
+    from repro.cluster import ClusterSupervisor, boot_router
+    from repro.service import ServiceClient, request_lines
+
+    backend = "vectorized"
+    ordered = sorted(suite, key=lambda spec: spec.distance, reverse=True)
+    supervisor = ClusterSupervisor(workers=2, backend=backend)
+    router = boot_router(supervisor, backend=backend)
+    with router:
+        router.serve_background()
+        with ServiceClient(router.host, router.port, binary=True, timeout=120) as warmup:
+            first = warmup.request({"op": "solve", "spec": ordered[0].to_dict()})
+            assert first.get("ok"), first
+        record, _, _ = _fire_workload(router.host, router.port, ordered, binary=True)
+        (metrics_line,) = request_lines(
+            router.host, router.port, [json_module.dumps({"op": "metrics"})]
+        )
+        metrics = json_module.loads(metrics_line)["metrics"]
+
+    arena = metrics.get("arena") or {}
+    kernel = [row["metrics"]["kernel_cache"] for row in metrics["shards"]]
+    local_compiles = [stats["local_compiles"] for stats in kernel]
+    published = arena.get("published_chunks", -1)
+    return {
+        "workers": 2,
+        "backend": backend,
+        "specs": len(ordered) + 1,
+        "failures": record["failures"],
+        "arena_active": bool(arena),
+        "unique_trajectories": arena.get("unique_trajectories"),
+        "published_chunks": published,
+        "worker_local_compiles": local_compiles,
+        "worker_arena_hits": [stats["arena_hits"] for stats in kernel],
+        "workers_arena_attached": all(stats["arena_attached"] for stats in kernel),
+        "compiled_once_fleetwide": bool(arena)
+        and sum(local_compiles) == published
+        and published > 0,
+    }
 
 
 def run_cluster_benchmark(quick: bool) -> dict:
@@ -574,6 +731,11 @@ def run_cluster_benchmark(quick: bool) -> dict:
             scenarios[name] = record
             parity[name] = parity_of(first_seen)
             failures_total += record["failures"]
+
+        # The shared-arena proof: every unique trajectory compiled
+        # exactly once across the whole fleet.
+        compile_once = _cluster_compile_once_round(suite)
+        failures_total += compile_once["failures"]
     finally:
         shutil.rmtree(store_dir, ignore_errors=True)
 
@@ -594,6 +756,7 @@ def run_cluster_benchmark(quick: bool) -> dict:
         "clients": SERVE_CLIENTS,
         "requests": len(workload),
         "scenarios": scenarios,
+        "arena_compile_once": compile_once,
         "speedup_workers_2_vs_1": round(rate("cluster_workers_2") / base_rate, 2)
         if base_rate
         else None,
@@ -804,6 +967,21 @@ def main() -> int:
         print(
             "ERROR: cluster benchmark dropped requests or a sharded answer "
             f"drifted from the direct facade solve ({cluster_snapshot['parity_by_scenario']})",
+            file=sys.stderr,
+        )
+        return 1
+    compile_once = cluster_snapshot["arena_compile_once"]
+    if compile_once["arena_active"] and not compile_once["compiled_once_fleetwide"]:
+        print(
+            "ERROR: the worker fleet recompiled trajectories the shared arena "
+            f"should have served ({compile_once})",
+            file=sys.stderr,
+        )
+        return 1
+    if not namespace.quick and serve_snapshot["warm_hit_p50_binary_ms"] >= 0.5:
+        print(
+            "ERROR: binary warm-hit p50 "
+            f"{serve_snapshot['warm_hit_p50_binary_ms']} ms missed the 0.5 ms budget",
             file=sys.stderr,
         )
         return 1

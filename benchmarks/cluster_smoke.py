@@ -12,11 +12,17 @@ through the router **twice** and fails (non-zero exit) unless:
   fingerprint to a direct in-process ``solve()`` of the same spec;
 * the second pass is answered entirely without fresh solves (worker
   LRU / store / coalescing hits) -- the warm-path gate;
+* a third pass through the **binary wire frames** returns the same
+  fingerprints again;
+* the router's metrics carry the shared-trajectory arena document
+  while the fleet is up;
 * the router's shard counters show every worker took traffic and no
   worker was restarted (this is the happy-path smoke; failover has its
   own tests);
 * after a drain the worker stores have merged into the primary store,
-  which holds exactly one record per unique spec.
+  which holds exactly one record per unique spec;
+* no shared-memory segment is left behind in ``/dev/shm`` after the
+  fleet drains (the arena is destroyed with the supervisor).
 
 No timings are asserted -- the throughput story lives in
 ``BENCH_cluster.json``.
@@ -26,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import shutil
 import sys
 import tempfile
@@ -33,8 +40,16 @@ from pathlib import Path
 
 from repro.api import BatchRunner, ResultStore, SolveResult
 from repro.cluster import ClusterSupervisor, ShardRouter, boot_router
-from repro.service import request_lines
+from repro.service import ServiceClient, request_lines
 from repro.workloads import spec_suite
+
+
+def shm_entries() -> set:
+    """Names currently in /dev/shm (empty off Linux)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:
+        return set()
 
 
 def _push(router: ShardRouter, specs: list) -> list[dict]:
@@ -59,6 +74,7 @@ def main() -> int:
     }
 
     failures: list[str] = []
+    shm_before = shm_entries()
     store_dir = Path(tempfile.mkdtemp(prefix="repro-cluster-smoke-"))
     supervisor = ClusterSupervisor(
         workers=namespace.workers, backend=namespace.backend, store=store_dir
@@ -78,6 +94,17 @@ def main() -> int:
 
             cold = _push(router, suite)
             warm = _push(router, suite)
+            binary: list[dict] = []
+            with ServiceClient(router.host, router.port, binary=True) as client:
+                if client.format != "binary":
+                    binary.append({"ok": False, "error": "binary upgrade was declined"})
+                else:
+                    for index, spec in enumerate(suite):
+                        binary.append(
+                            client.request(
+                                {"op": "solve", "spec": spec.to_dict(), "id": index}
+                            )
+                        )
             (metrics_line,) = request_lines(
                 router.host, router.port, [json.dumps({"op": "metrics"})]
             )
@@ -85,7 +112,7 @@ def main() -> int:
         finally:
             router.stop()
 
-        for label, responses in (("cold", cold), ("warm", warm)):
+        for label, responses in (("cold", cold), ("warm", warm), ("binary", binary)):
             bad = [response for response in responses if not response.get("ok")]
             if bad:
                 failures.append(
@@ -107,6 +134,13 @@ def main() -> int:
         if "solve" in warm_sources:
             failures.append(
                 f"warm pass re-solved specs instead of hitting the caches: {warm_sources}"
+            )
+        arena_doc = metrics.get("arena")
+        if not arena_doc:
+            failures.append("router metrics carried no shared-trajectory arena document")
+        elif arena_doc.get("published_chunks", 0) < 1:
+            failures.append(
+                f"fleet arena published no trajectory chunks: {arena_doc}"
             )
         shard_rows = metrics["shards"]
         if not all(row["forwarded"] > 0 for row in shard_rows):
@@ -138,11 +172,18 @@ def main() -> int:
     finally:
         shutil.rmtree(store_dir, ignore_errors=True)
 
+    leaked = shm_entries() - shm_before
+    if leaked:
+        failures.append(f"leaked /dev/shm segment(s) after drain: {sorted(leaked)}")
+
     if failures:
         for failure in failures:
             print(f"ERROR: {failure}", file=sys.stderr)
         return 1
-    print("cluster smoke: fingerprint parity OK on both passes, warm pass all hits")
+    print(
+        "cluster smoke: fingerprint parity OK on all three passes "
+        "(json cold/warm + binary), arena live, /dev/shm clean after drain"
+    )
     return 0
 
 

@@ -14,7 +14,11 @@ through concurrent socket clients, and fails (non-zero exit) unless:
   traffic*: it counted exactly the requests we sent, its per-backend
   sources (solves + cache + store + coalesced) partition them, zero
   errors, and the duplicate pass was answered without re-solving;
-* ``health`` reports a serving daemon.
+* a third pass through the **binary wire frames** answers every spec
+  with the same fingerprints, hits the daemon's hot response cache,
+  and is counted under the ``binary`` transport format;
+* ``health`` reports a serving daemon;
+* no shared-memory segment is left behind in ``/dev/shm`` afterwards.
 
 No timings are asserted -- this is a correctness/parity gate, the
 throughput story lives in ``BENCH_serve.json``.
@@ -24,12 +28,21 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import threading
 
 from repro.api import BatchRunner, SolveResult
-from repro.service import ReproServer, request_lines
+from repro.service import ReproServer, ServiceClient, request_lines
 from repro.workloads import spec_suite
+
+
+def shm_entries() -> set:
+    """Names currently in /dev/shm (empty off Linux)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:
+        return set()
 
 
 def main() -> int:
@@ -46,8 +59,10 @@ def main() -> int:
     expected = {
         result.provenance.spec_hash: result.fingerprint() for result in expected_results
     }
+    shm_before = shm_entries()
 
     responses: list[dict] = []
+    binary_responses: list[dict] = []
     lock = threading.Lock()
 
     with ReproServer(backend=namespace.backend, max_inflight=namespace.clients) as server:
@@ -77,6 +92,21 @@ def main() -> int:
         for thread in threads:
             thread.join()
 
+        # Third pass: same suite over the binary wire frames.  The daemon
+        # already holds every answer hot, so this also exercises the
+        # zero-re-encode response cache under the upgraded framing.
+        with ServiceClient(server.host, server.port, binary=True) as binary_client:
+            if binary_client.format != "binary":
+                with lock:
+                    binary_responses.append(
+                        {"ok": False, "error": "binary upgrade was declined"}
+                    )
+            else:
+                for i, spec in enumerate(suite):
+                    binary_responses.append(
+                        binary_client.request({"op": "solve", "spec": spec.to_dict(), "id": i})
+                    )
+
         health_line, metrics_line = request_lines(
             server.host,
             server.port,
@@ -103,11 +133,47 @@ def main() -> int:
                 )
                 break
 
+    if len(binary_responses) != len(suite):
+        failures.append(
+            f"{len(binary_responses)} binary responses for {len(suite)} requests"
+        )
+    bad_binary = [response for response in binary_responses if not response.get("ok")]
+    if bad_binary:
+        failures.append(
+            f"{len(bad_binary)} binary request(s) failed, "
+            f"first: {bad_binary[0].get('error')}"
+        )
+    else:
+        for response in binary_responses:
+            served = SolveResult.from_dict(response["result"])
+            fingerprint = expected.get(served.provenance.spec_hash)
+            if fingerprint is None or served.fingerprint() != fingerprint:
+                failures.append(
+                    f"binary response {response.get('id')} drifted from the direct solve"
+                )
+                break
+        cache_served = sum(
+            1 for response in binary_responses if response.get("served_by") == "cache"
+        )
+        if binary_responses and not cache_served:
+            failures.append(
+                "binary pass over a hot daemon was never answered from the response cache"
+            )
+
+    transport = metrics.get("transport", {})
+    binary_transport = transport.get("binary", {})
+    if binary_transport.get("requests", 0) < len(suite):
+        failures.append(
+            f"transport counted {binary_transport.get('requests', 0)} binary "
+            f"requests, wire sent {len(suite)}"
+        )
+
     totals = metrics["totals"]
     answered = totals["solves"] + totals["cache_hits"] + totals["store_hits"] + totals["coalesced"]
-    if totals["requests"] != len(workload):
+    expected_requests = len(workload) + len(suite)
+    if totals["requests"] != expected_requests:
         failures.append(
-            f"metrics counted {totals['requests']} requests, wire sent {len(workload)}"
+            f"metrics counted {totals['requests']} requests, wire sent {expected_requests}"
         )
     if answered + totals["errors"] != totals["requests"]:
         failures.append(f"metrics sources do not partition requests: {totals}")
@@ -119,16 +185,27 @@ def main() -> int:
             "the duplicate pass was not answered from the caches"
         )
 
+    leaked = shm_entries() - shm_before
+    if leaked:
+        failures.append(f"leaked /dev/shm segment(s): {sorted(leaked)}")
+
     print(
         f"serve smoke: {totals['requests']} requests = {totals['solves']} solved + "
         f"{totals['cache_hits']} cache + {totals['store_hits']} store + "
         f"{totals['coalesced']} coalesced ({totals['errors']} errors)"
     )
+    print(
+        f"serve smoke: binary pass {len(binary_responses)} responses, "
+        f"{binary_transport.get('requests', 0)} counted on the binary transport"
+    )
     if failures:
         for failure in failures:
             print(f"ERROR: {failure}", file=sys.stderr)
         return 1
-    print("serve smoke: metrics parity OK, fingerprints identical to direct solve")
+    print(
+        "serve smoke: metrics parity OK, fingerprints identical to direct solve "
+        "on both wire formats, /dev/shm clean"
+    )
     return 0
 
 

@@ -168,6 +168,17 @@ def build_parser() -> argparse.ArgumentParser:
             "service (one response line per request line; the serve wire format)"
         ),
     )
+    solve.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="send the solve(s) to a running repro serve daemon instead of solving here",
+    )
+    solve.add_argument(
+        "--binary",
+        action="store_true",
+        help="with --connect: negotiate binary wire frames (falls back to JSON)",
+    )
     _add_store_arguments(solve)
 
     feasibility = subparsers.add_parser("feasibility", help="apply the Theorem 4 feasibility test")
@@ -286,6 +297,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the bound host:port to FILE once listening (for supervisors)",
+    )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "query a running daemon at --host/--port for its metrics document "
+            "(frame-format counts, arena stats) and print it as JSON"
+        ),
     )
     _add_store_arguments(serve)
 
@@ -464,6 +483,10 @@ def _command_solve(namespace: argparse.Namespace) -> int:
         if namespace.spec_file is not None:
             raise InvalidParameterError("--stdin-jsonl and --spec-file are mutually exclusive")
         return _solve_stdin_jsonl(namespace)
+    if namespace.connect is not None:
+        return _solve_connect(namespace)
+    if namespace.binary:
+        raise InvalidParameterError("--binary only applies with --connect")
     if namespace.spec_file is not None:
         specs, emit_list = _specs_from_file(namespace.spec_file)
     else:
@@ -487,6 +510,59 @@ def _command_solve(namespace: argparse.Namespace) -> int:
             print(result.summary())
             print()
         print(stats.describe())
+    return 0
+
+
+def _parse_address(text: str) -> tuple[str, int]:
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise InvalidParameterError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port_text)
+
+
+def _solve_connect(namespace: argparse.Namespace) -> int:
+    """Send the solve(s) to a running daemon/router over one connection."""
+    from .api.result import SolveResult
+    from .service import ServiceClient
+
+    host, port = _parse_address(namespace.connect)
+    if namespace.spec_file is not None:
+        specs, emit_list = _specs_from_file(namespace.spec_file)
+    else:
+        specs, emit_list = [_spec_from_flags(namespace)], False
+    specs = _apply_fault_overrides(specs, namespace)
+    try:
+        client = ServiceClient(host, port, binary=namespace.binary)
+    except OSError as error:
+        raise ReproError(f"cannot reach a daemon at {host}:{port}: {error}") from error
+    envelopes: list[dict[str, Any]] = []
+    with client:
+        for spec in specs:
+            response = client.request(
+                {"op": "solve", "spec": spec.to_dict(), "backend": namespace.backend}
+            )
+            if not response.get("ok"):
+                raise ReproError(
+                    f"daemon refused the solve: {response.get('error')} "
+                    f"({response.get('error_type')})"
+                )
+            envelopes.append(response["result"])
+        wire = client.format
+        sent, received = client.bytes_sent, client.bytes_received
+    if namespace.json:
+        if emit_list:
+            print(json.dumps(envelopes, indent=2))
+        else:
+            print(json.dumps(envelopes[0], indent=2))
+    else:
+        for envelope in envelopes:
+            print(SolveResult.from_dict(envelope).summary())
+            print()
+    print(
+        f"connect {host}:{port} [{wire}]: {len(envelopes)} solve(s), "
+        f"{sent} B sent, {received} B received",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -571,6 +647,8 @@ def _write_port_file(namespace: argparse.Namespace, address: str) -> None:
 
 
 def _command_serve(namespace: argparse.Namespace) -> int:
+    if namespace.metrics:
+        return _serve_metrics(namespace)
     if namespace.workers < 1:
         raise InvalidParameterError(f"--workers must be >= 1, got {namespace.workers!r}")
     if namespace.workers > 1:
@@ -605,6 +683,23 @@ def _command_serve(namespace: argparse.Namespace) -> int:
             print("repro serve: interrupted, draining in-flight requests", file=sys.stderr)
         finally:
             server.stop()
+    return 0
+
+
+def _serve_metrics(namespace: argparse.Namespace) -> int:
+    """One-shot metrics probe against a running daemon or router."""
+    from .service import ServiceClient
+
+    try:
+        with ServiceClient(namespace.host, namespace.port) as client:
+            response = client.request({"op": "metrics"})
+    except OSError as error:
+        raise ReproError(
+            f"cannot reach a daemon at {namespace.host}:{namespace.port}: {error}"
+        ) from error
+    if not response.get("ok"):
+        raise ReproError(f"daemon refused metrics: {response.get('error')}")
+    print(json.dumps(response["metrics"], indent=2, sort_keys=True))
     return 0
 
 

@@ -38,11 +38,21 @@ from typing import Any, Optional
 
 from ..errors import ClusterError, ReproError
 from ..service.daemon import GracefulLineServer
+from ..service.frames import (
+    FORMAT_BINARY,
+    HELLO_OP,
+    FrameError,
+    decode_payload,
+    encode_frame,
+    materialize_raw,
+    read_frame,
+)
 from ..service.metrics import ServiceMetrics
 from ..service.protocol import (
     SHUTDOWN_OP,
     decode_request,
     error_response,
+    hello_response,
     normalize_request,
 )
 from .hashing import HashRing, shard_key
@@ -83,21 +93,31 @@ class _InFlight:
         self.waiters = 0
 
 
+#: Worker-response keys the router forwards as opaque byte spans on the
+#: binary path instead of materialising them (``result`` dominates the
+#: response; everything around it is a handful of scalars).
+_RAW_KEYS = frozenset({"result"})
+
+
 class _WorkerPool:
     """A small pool of persistent connections to one worker.
 
     Connections are tagged with the worker generation they were opened
     against; a respawned worker (new port, new process) invalidates
-    every pooled connection of older generations.
+    every pooled connection of older generations.  With ``binary`` the
+    pool offers the ``hello`` upgrade on every fresh connection and
+    remembers per connection what was negotiated, so a fleet of old
+    workers degrades to JSON transparently.
     """
 
-    def __init__(self, handle: WorkerHandle, timeout: float) -> None:
+    def __init__(self, handle: WorkerHandle, timeout: float, binary: bool = True) -> None:
         self.handle = handle
         self.timeout = timeout
+        self.binary = binary
         self._lock = threading.Lock()
-        self._idle: list[tuple[int, socket.socket, Any]] = []
+        self._idle: list[tuple[int, socket.socket, Any, bool]] = []
 
-    def _connect(self) -> tuple[int, socket.socket, Any]:
+    def _connect(self) -> tuple[int, socket.socket, Any, bool]:
         generation = self.handle.generation
         host, port = self.handle.host, self.handle.port
         if host is None or port is None:
@@ -108,30 +128,56 @@ class _WorkerPool:
             raise _WorkerDied(
                 f"worker {self.handle.worker_id} refused a connection: {error}"
             ) from error
-        return generation, conn, conn.makefile("rb")
+        reader = conn.makefile("rb")
+        is_binary = False
+        if self.binary:
+            try:
+                hello = json.dumps({"op": HELLO_OP, "format": FORMAT_BINARY})
+                conn.sendall((hello + "\n").encode("utf-8"))
+                raw = reader.readline()
+                answer = json.loads(raw.decode("utf-8")) if raw else {}
+                is_binary = bool(
+                    isinstance(answer, dict)
+                    and answer.get("ok")
+                    and answer.get("format") == FORMAT_BINARY
+                )
+            except (OSError, ValueError) as error:
+                conn.close()
+                raise _WorkerDied(
+                    f"worker {self.handle.worker_id} failed the hello round-trip: {error}"
+                ) from error
+        return generation, conn, reader, is_binary
 
-    def request(self, line: str, timeout: Optional[float] = None) -> dict[str, Any]:
-        """One round-trip: send a request line, read one response line.
+    def request(self, data: dict[str, Any], timeout: Optional[float] = None) -> dict[str, Any]:
+        """One round-trip: send a request object, read one response object.
 
         ``timeout`` caps this round-trip only (the pool default
         otherwise).  A timed-out read raises :class:`_WorkerTimeout`
         (busy worker, request failed), any other socket failure raises
-        :class:`_WorkerDied` (dead worker, caller may fail over).
+        :class:`_WorkerDied` (dead worker, caller may fail over).  On a
+        binary connection the response's ``result`` comes back as a
+        :class:`~repro.service.frames.Raw` span, ready to forward
+        without re-encoding.
         """
         with self._lock:
             while self._idle:
-                generation, conn, reader = self._idle.pop()
+                generation, conn, reader, is_binary = self._idle.pop()
                 if generation == self.handle.generation:
                     break
                 conn.close()
             else:
                 conn = None
         if conn is None:
-            generation, conn, reader = self._connect()
+            generation, conn, reader, is_binary = self._connect()
         try:
             conn.settimeout(timeout if timeout is not None else self.timeout)
-            conn.sendall((line + "\n").encode("utf-8"))
-            raw = reader.readline()
+            if is_binary:
+                conn.sendall(encode_frame(data))
+                payload = read_frame(reader)
+            else:
+                line = json.dumps(data, sort_keys=True, separators=(",", ":"))
+                conn.sendall((line + "\n").encode("utf-8"))
+                payload = reader.readline()
         except TimeoutError as error:
             # The connection is desynced (an answer may still arrive);
             # it must not be reused.
@@ -140,21 +186,29 @@ class _WorkerPool:
                 f"worker {self.handle.worker_id} did not answer within "
                 f"{timeout if timeout is not None else self.timeout}s"
             ) from error
+        except FrameError as error:
+            conn.close()
+            raise _WorkerDied(
+                f"worker {self.handle.worker_id} answered a broken frame: {error}"
+            ) from error
         except OSError as error:
             conn.close()
             raise _WorkerDied(
                 f"worker {self.handle.worker_id} dropped mid-request: {error}"
             ) from error
-        if not raw:
+        if not payload:
             conn.close()
             raise _WorkerDied(f"worker {self.handle.worker_id} closed mid-request")
         with self._lock:
-            self._idle.append((generation, conn, reader))
+            self._idle.append((generation, conn, reader, is_binary))
         try:
-            response = json.loads(raw.decode("utf-8"))
-        except json.JSONDecodeError as error:
+            if is_binary:
+                response = decode_payload(payload, raw_keys=_RAW_KEYS)
+            else:
+                response = json.loads(payload.decode("utf-8"))
+        except (FrameError, json.JSONDecodeError, UnicodeDecodeError) as error:
             raise _WorkerDied(
-                f"worker {self.handle.worker_id} answered malformed JSON: {error}"
+                f"worker {self.handle.worker_id} answered a malformed response: {error}"
             ) from error
         if not isinstance(response, dict):
             raise _WorkerDied(f"worker {self.handle.worker_id} answered a non-object")
@@ -162,7 +216,7 @@ class _WorkerPool:
 
     def close(self) -> None:
         with self._lock:
-            for _, conn, _ in self._idle:
+            for _, conn, _, _ in self._idle:
                 conn.close()
             self._idle.clear()
 
@@ -191,6 +245,8 @@ class ShardRouter(GracefulLineServer):
         worker_timeout: per-round-trip socket timeout against a worker.
         route_timeout: total time a request may spend cycling the ring
             (including waiting out worker respawns) before ``ok: false``.
+        worker_binary: offer the binary-frame upgrade on router->worker
+            connections (on by default; old workers degrade to JSON).
     """
 
     def __init__(
@@ -201,15 +257,17 @@ class ShardRouter(GracefulLineServer):
         backend: str = "auto",
         worker_timeout: float = 120.0,
         route_timeout: float = 60.0,
+        worker_binary: bool = True,
     ) -> None:
         self.supervisor = supervisor
         self.backend = backend
         self.worker_timeout = worker_timeout
         self.route_timeout = route_timeout
+        self.worker_binary = worker_binary
         self.ring = HashRing([handle.worker_id for handle in supervisor.handles])
         self.metrics = ServiceMetrics()
         self._pools = {
-            handle.worker_id: _WorkerPool(handle, worker_timeout)
+            handle.worker_id: _WorkerPool(handle, worker_timeout, binary=worker_binary)
             for handle in supervisor.handles
         }
         self._shards = {handle.worker_id: _ShardCounters() for handle in supervisor.handles}
@@ -227,6 +285,19 @@ class ShardRouter(GracefulLineServer):
         if decode_error is not None:
             return decode_error
         op, data, request_id = normalize_request(data)
+        # JSON clients must never see a Raw span a binary worker
+        # answered with; binary clients (answer_frame) forward it as-is.
+        return materialize_raw(self._dispatch(op, data, request_id))
+
+    def answer_frame(self, data: Any) -> dict[str, Any]:
+        if not isinstance(data, dict):
+            return error_response(
+                "?", ReproError(f"request must be an object, got {type(data).__name__}")
+            )
+        op, data, request_id = normalize_request(data)
+        return self._dispatch(op, data, request_id)
+
+    def _dispatch(self, op: Any, data: dict[str, Any], request_id: Any) -> dict[str, Any]:
         try:
             if op == "solve":
                 return self._route_solve(data, request_id)
@@ -234,12 +305,14 @@ class ShardRouter(GracefulLineServer):
                 return {"ok": True, "op": "health", "health": self.health()}
             if op == "metrics":
                 return {"ok": True, "op": "metrics", "metrics": self.metrics_snapshot()}
+            if op == HELLO_OP:
+                return hello_response(data, request_id)
             if op == CLUSTER_STATUS_OP:
                 return {"ok": True, "op": CLUSTER_STATUS_OP, "cluster": self.cluster_status()}
             if op == SHUTDOWN_OP:
                 return {"ok": True, "op": SHUTDOWN_OP, "stopping": True}
             raise ReproError(
-                f"unknown op {op!r}; expected solve, health, metrics, "
+                f"unknown op {op!r}; expected solve, health, metrics, {HELLO_OP}, "
                 f"{CLUSTER_STATUS_OP} or {SHUTDOWN_OP}"
             )
         except Exception as error:  # noqa: BLE001 - a request must never kill the stream
@@ -293,9 +366,7 @@ class ShardRouter(GracefulLineServer):
             return self._stamp(response, request_id)
 
         try:
-            response = self._forward(
-                key, json.dumps(forward, sort_keys=True, separators=(",", ":"))
-            )
+            response = self._forward(key, forward)
             entry.response = response
         except BaseException as error:
             # The leader's failure must count too (followers mirror it):
@@ -325,8 +396,8 @@ class ShardRouter(GracefulLineServer):
             stamped["id"] = request_id
         return stamped
 
-    def _forward(self, key: str, line: str) -> dict[str, Any]:
-        """Send one line to the key's home shard, failing over along the ring.
+    def _forward(self, key: str, forward: dict[str, Any]) -> dict[str, Any]:
+        """Send one request to the key's home shard, failing over along the ring.
 
         An accepted request is never dropped while any worker can be
         reached (or respawned) within ``route_timeout``: every failure
@@ -353,7 +424,7 @@ class ShardRouter(GracefulLineServer):
                 generation = handle.generation
                 attempts += 1
                 try:
-                    response = self._pools[worker_id].request(line)
+                    response = self._pools[worker_id].request(forward)
                 except _WorkerTimeout as timeout_error:
                     # Busy, not dead: the solve may still be running on
                     # that shard, so no respawn and no re-route (a second
@@ -418,7 +489,7 @@ class ShardRouter(GracefulLineServer):
         """One best-effort verb round-trip to a worker (None when down)."""
         try:
             response = self._pools[handle.worker_id].request(
-                json.dumps({"op": op}), timeout=self.PROBE_TIMEOUT
+                {"op": op}, timeout=self.PROBE_TIMEOUT
             )
         except (_WorkerDied, _WorkerTimeout):
             return None
@@ -488,6 +559,9 @@ class ShardRouter(GracefulLineServer):
             "worker_restarts": sum(handle.restarts for handle in self.supervisor.handles),
             "degraded": degraded,
         }
+        snapshot["transport"] = self.transport.snapshot()
+        if self.supervisor.arena is not None:
+            snapshot["arena"] = self.supervisor.arena.stats()
         snapshot["shards"] = self._shard_rows(probe="metrics")
         return snapshot
 

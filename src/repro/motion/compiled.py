@@ -43,15 +43,44 @@ __all__ = [
     "KIND_WAIT",
     "KIND_LINEAR",
     "KIND_ARC",
+    "FLOAT_FIELDS",
     "CompiledTrajectory",
     "SegmentStreamCompiler",
     "compile_segments",
+    "packed_chunk_nbytes",
 ]
 
 #: Segment-kind codes stored in :attr:`CompiledTrajectory.kinds`.
 KIND_WAIT: int = 0
 KIND_LINEAR: int = 1
 KIND_ARC: int = 2
+
+#: The float64 arrays of a :class:`CompiledTrajectory`, in the canonical
+#: serialisation order used by the shared-memory arena
+#: (:mod:`repro.simulation.arena`).  ``kinds`` (int8) trails them so every
+#: float view stays 8-byte aligned without per-array padding.
+FLOAT_FIELDS: tuple[str, ...] = (
+    "start_times",
+    "durations",
+    "speeds",
+    "ax",
+    "ay",
+    "bx",
+    "by",
+    "radius",
+    "theta0",
+    "omega",
+)
+
+
+def packed_chunk_nbytes(n_segments: int) -> int:
+    """Bytes one ``n_segments`` chunk occupies in the arena data region.
+
+    Ten float64 arrays, one int8 array, padded up to 8-byte alignment so
+    the next chunk's float views stay aligned.
+    """
+    raw = 8 * len(FLOAT_FIELDS) * n_segments + n_segments
+    return (raw + 7) & ~7
 
 
 @dataclass(frozen=True)

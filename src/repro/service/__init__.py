@@ -13,7 +13,12 @@ thread-safe :class:`~repro.api.batch.BatchRunner`:
   request per line, one response per line; ``solve`` / ``health`` /
   ``metrics`` verbs) shared by every transport;
 * :mod:`repro.service.daemon`   -- :class:`ReproServer`: the ``repro
-  serve`` TCP daemon, one thread per connection, stdlib only.
+  serve`` TCP daemon, one thread per connection, stdlib only;
+* :mod:`repro.service.frames`   -- the negotiated binary wire frames
+  (length-prefixed, hand-rolled tag codec) that skip JSON on the warm
+  path;
+* :mod:`repro.service.client`   -- :class:`ServiceClient`: persistent
+  connections with transparent binary negotiation.
 
 Quickstart::
 
@@ -25,16 +30,25 @@ Quickstart::
         print(served.result.summary(), served.source, served.latency)
 """
 
-from .daemon import ReproServer, request_lines
+from .client import ServiceClient
+from .daemon import ReproServer, TransportMetrics, request_lines
+from .frames import FORMAT_BINARY, FORMAT_JSON, FrameError, decode_payload, encode_frame
 from .metrics import ServiceMetrics
 from .protocol import encode_response, handle_line, handle_request
 from .service import ServedResult, SolverService
 
 __all__ = [
+    "FORMAT_BINARY",
+    "FORMAT_JSON",
+    "FrameError",
     "ReproServer",
     "ServedResult",
+    "ServiceClient",
     "ServiceMetrics",
     "SolverService",
+    "TransportMetrics",
+    "decode_payload",
+    "encode_frame",
     "encode_response",
     "handle_line",
     "handle_request",

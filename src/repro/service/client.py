@@ -1,0 +1,119 @@
+"""A small persistent client for the serving wire, JSON or binary.
+
+:func:`~repro.service.daemon.request_lines` stays the one-shot,
+JSON-only helper; :class:`ServiceClient` is the persistent-connection
+counterpart the CLI, the benchmarks and the smoke scripts use when they
+want the negotiated binary framing:
+
+    with ServiceClient(host, port, binary=True) as client:
+        response = client.request({"op": "solve", "spec": {...}})
+
+``binary=True`` sends the ``hello`` upgrade first and falls back to
+JSON transparently when the server declines (an old daemon answers
+``hello`` with an unknown-op error -- the client notices and keeps
+speaking JSON, so new clients work against old servers too).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from ..errors import ReproError
+from .frames import (
+    FORMAT_BINARY,
+    FORMAT_JSON,
+    HELLO_OP,
+    FrameError,
+    decode_payload,
+    encode_frame,
+    read_frame,
+)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One persistent connection to a daemon or router.
+
+    Args:
+        host / port: the server address.
+        binary: offer the binary-frame upgrade; :attr:`format` records
+            what the connection actually negotiated.
+        timeout: socket timeout per round-trip.
+    """
+
+    def __init__(
+        self, host: str, port: int, binary: bool = False, timeout: float = 60.0
+    ) -> None:
+        self._conn = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._conn.makefile("rwb")
+        self.format = FORMAT_JSON
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        if binary:
+            self._negotiate()
+
+    def _negotiate(self) -> None:
+        response = self._request_json({"op": HELLO_OP, "format": FORMAT_BINARY})
+        if response.get("ok") and response.get("format") == FORMAT_BINARY:
+            self.format = FORMAT_BINARY
+        # Any other answer (an old server's unknown-op error included)
+        # leaves the connection in JSON mode, fully usable.
+
+    @property
+    def binary(self) -> bool:
+        return self.format == FORMAT_BINARY
+
+    def _request_json(self, data: dict[str, Any]) -> dict[str, Any]:
+        encoded = (json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n").encode(
+            "utf-8"
+        )
+        self._stream.write(encoded)
+        self._stream.flush()
+        self.bytes_sent += len(encoded)
+        raw = self._stream.readline()
+        if not raw:
+            raise ReproError("server closed the connection mid-request")
+        self.bytes_received += len(raw)
+        response = json.loads(raw.decode("utf-8"))
+        if not isinstance(response, dict):
+            raise ReproError("server answered a non-object response")
+        return response
+
+    def _request_binary(self, data: dict[str, Any]) -> dict[str, Any]:
+        frame = encode_frame(data)
+        self._stream.write(frame)
+        self._stream.flush()
+        self.bytes_sent += len(frame)
+        payload = read_frame(self._stream)
+        if payload is None:
+            raise ReproError("server closed the connection mid-request")
+        self.bytes_received += 6 + len(payload)
+        response = decode_payload(payload)
+        if not isinstance(response, dict):
+            raise FrameError("server answered a non-object response")
+        return response
+
+    def request(self, data: dict[str, Any]) -> dict[str, Any]:
+        """One round-trip in whatever format the connection negotiated."""
+        if self.format == FORMAT_BINARY:
+            return self._request_binary(data)
+        return self._request_json(data)
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -25,23 +25,78 @@ them -- reuses it unchanged.
 
 from __future__ import annotations
 
+import collections
 import socket
 import socketserver
 import threading
+import time
 from typing import Any, Optional
 
-from ..errors import ServiceUnavailableError
+from ..errors import ReproError, ServiceUnavailableError
+from .frames import (
+    FORMAT_BINARY,
+    FORMAT_JSON,
+    FORMATS,
+    HELLO_OP,
+    FrameError,
+    Raw,
+    encode_frame,
+    encode_payload,
+    read_frame,
+)
 from .protocol import (
     SHUTDOWN_OP,
     decode_request,
     encode_response,
     error_response,
     handle_line,
+    handle_request,
     normalize_request,
 )
 from .service import SolverService
 
-__all__ = ["GracefulLineServer", "ReproServer", "request_lines"]
+__all__ = ["GracefulLineServer", "ReproServer", "TransportMetrics", "request_lines"]
+
+
+class TransportMetrics:
+    """Per-wire-format transport counters of one server.
+
+    A connection is counted under every format it actually spoke (an
+    upgraded connection starts as ``json`` for its hello and continues
+    as ``binary``); requests and bytes are counted under the format
+    that carried them.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._formats = {
+            fmt: {"connections": 0, "requests": 0, "bytes_in": 0, "bytes_out": 0}
+            for fmt in FORMATS
+        }
+
+    def record_connection(self, fmt: str) -> None:
+        with self._lock:
+            self._formats[fmt]["connections"] += 1
+
+    def record_request(self, fmt: str, bytes_in: int, bytes_out: int) -> None:
+        with self._lock:
+            counters = self._formats[fmt]
+            counters["requests"] += 1
+            counters["bytes_in"] += bytes_in
+            counters["bytes_out"] += bytes_out
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {fmt: dict(counters) for fmt, counters in self._formats.items()}
+
+
+def _refusal(op: Any, request_id: Any) -> dict[str, Any]:
+    """The clean refusal a request read after a stop began is answered with."""
+    return error_response(
+        str(op if op is not None else "?"),
+        ServiceUnavailableError("server is shutting down, request refused"),
+        request_id,
+    )
 
 
 def _shutting_down_response(line: str) -> dict[str, Any]:
@@ -51,19 +106,32 @@ def _shutting_down_response(line: str) -> dict[str, Any]:
         op, _, request_id = normalize_request(data)
     else:
         op, request_id = None, None
-    return error_response(
-        str(op if op is not None else "?"),
-        ServiceUnavailableError("server is shutting down, request refused"),
-        request_id,
-    )
+    return _refusal(op, request_id)
 
 
 class _RequestHandler(socketserver.StreamRequestHandler):
-    """One connection: read request lines, write response lines."""
+    """One connection: read request lines, write response lines.
+
+    A connection starts in JSON-Lines; a confirmed ``hello`` upgrade
+    hands it to :meth:`_serve_binary`, which speaks length-prefixed
+    frames in both directions for the rest of its lifetime.
+    """
 
     server: "GracefulLineServer"
 
+    def _write_line(self, response: dict[str, Any], bytes_in: int) -> bool:
+        """Write one JSON response line; False when the client vanished."""
+        encoded = (encode_response(response) + "\n").encode("utf-8")
+        try:
+            self.wfile.write(encoded)
+            self.wfile.flush()
+        except (ConnectionError, OSError):  # pragma: no cover - client vanished
+            return False
+        self.server.transport.record_request(FORMAT_JSON, bytes_in, len(encoded))
+        return True
+
     def handle(self) -> None:
+        self.server.transport.record_connection(FORMAT_JSON)
         while True:
             try:
                 raw = self.rfile.readline()
@@ -83,12 +151,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 # context exit) began while this connection was between
                 # lines: answer cleanly instead of racing the drain and
                 # having the socket torn down mid-response.
-                try:
-                    self.wfile.write(
-                        (encode_response(_shutting_down_response(line)) + "\n").encode("utf-8")
-                    )
-                    self.wfile.flush()
-                except (ConnectionError, OSError):  # pragma: no cover - client vanished
+                if not self._write_line(_shutting_down_response(line), len(raw)):
                     return
                 continue
             # The busy window covers answering *and* writing: stop()
@@ -96,10 +159,67 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             # response before the drain proceeds.
             try:
                 response = self.server.answer_line(line)
-                try:
-                    self.wfile.write((encode_response(response) + "\n").encode("utf-8"))
-                    self.wfile.flush()
-                except (ConnectionError, OSError):  # pragma: no cover - client vanished
+                if not self._write_line(response, len(raw)):
+                    return
+            finally:
+                self.server.end_line()
+            if response.get("op") == SHUTDOWN_OP and response.get("ok"):
+                self.server.stop_async()
+                return
+            if (
+                response.get("op") == HELLO_OP
+                and response.get("ok")
+                and response.get("format") == FORMAT_BINARY
+            ):
+                self._serve_binary()
+                return
+
+    # -- binary mode -----------------------------------------------------------
+    def _write_frame(self, response: Any, bytes_in: int) -> bool:
+        """Write one response frame; False when the client vanished."""
+        try:
+            frame = encode_frame(response)
+        except FrameError as error:  # pragma: no cover - responses are JSON-safe
+            frame = encode_frame(error_response("?", error))
+        try:
+            self.wfile.write(frame)
+            self.wfile.flush()
+        except (ConnectionError, OSError):  # pragma: no cover - client vanished
+            return False
+        self.server.transport.record_request(FORMAT_BINARY, bytes_in, len(frame))
+        return True
+
+    def _serve_binary(self) -> None:
+        self.server.transport.record_connection(FORMAT_BINARY)
+        while True:
+            try:
+                payload = read_frame(self.rfile)
+            except FrameError as error:
+                # A corrupted header is unsyncable: answer once, close.
+                self._write_frame(error_response("?", error), 0)
+                return
+            except (ConnectionError, OSError):  # pragma: no cover - client vanished
+                return
+            if payload is None:  # EOF at a frame boundary
+                return
+            bytes_in = 6 + len(payload)
+            try:
+                data = self.server.decode_frame_payload(payload)
+            except FrameError as error:
+                # Well-framed but malformed payload: the stream is still
+                # in sync, so answer cleanly and keep the connection.
+                if not self._write_frame(error_response("?", error), bytes_in):
+                    return
+                continue
+            if not self.server.begin_line():
+                op = data.get("op") if isinstance(data, dict) else None
+                request_id = data.get("id") if isinstance(data, dict) else None
+                if not self._write_frame(_refusal(op, request_id), bytes_in):
+                    return
+                continue
+            try:
+                response = self.server.answer_frame(data)
+                if not self._write_frame(response, bytes_in):
                     return
             finally:
                 self.server.end_line()
@@ -136,11 +256,22 @@ class GracefulLineServer(socketserver.ThreadingTCPServer):
         self._loop_started = False
         self._busy = 0
         self._busy_cond = threading.Condition()
+        self.transport = TransportMetrics()
 
     # -- to be provided by subclasses ------------------------------------------
     def answer_line(self, line: str) -> dict[str, Any]:
         """Answer one request line; must never raise."""
         raise NotImplementedError
+
+    def answer_frame(self, data: Any) -> dict[str, Any]:
+        """Answer one decoded binary request; must never raise."""
+        raise NotImplementedError
+
+    def decode_frame_payload(self, payload: bytes) -> Any:
+        """Decode one binary payload (subclasses may keep spans raw)."""
+        from .frames import decode_payload
+
+        return decode_payload(payload)
 
     def _drain(self, timeout: Optional[float]) -> None:
         """Finish outstanding work once the socket stopped accepting."""
@@ -270,6 +401,10 @@ class ReproServer(GracefulLineServer):
             ``max_inflight=``, ...).
     """
 
+    #: Hot-cache capacity: encoded result payloads for the most recent
+    #: unique binary solve requests.
+    HOT_CACHE_CAP = 256
+
     def __init__(
         self,
         service: Optional[SolverService] = None,
@@ -278,10 +413,85 @@ class ReproServer(GracefulLineServer):
         **service_kwargs: Any,
     ) -> None:
         self.service = service if service is not None else SolverService(**service_kwargs)
+        # request shape -> (encoded result payload, effective backend):
+        # a repeat binary solve replays the pre-encoded result without
+        # touching the service or the codec (the sub-millisecond warm
+        # path the binary framing exists for).
+        self._hot_lock = threading.Lock()
+        self._hot_cache: "collections.OrderedDict[Any, tuple[bytes, str]]" = (
+            collections.OrderedDict()
+        )
         super().__init__(host=host, port=port)
 
     def answer_line(self, line: str) -> dict[str, Any]:
-        return handle_line(self.service, line)
+        return self._enrich(handle_line(self.service, line))
+
+    def _enrich(self, response: dict[str, Any]) -> dict[str, Any]:
+        """Fold transport and kernel-cache stats into a metrics response."""
+        if response.get("op") == "metrics" and response.get("ok"):
+            metrics = response.get("metrics")
+            if isinstance(metrics, dict):
+                from ..simulation.kernel import kernel_cache_stats
+
+                metrics["transport"] = self.transport.snapshot()
+                metrics["kernel_cache"] = kernel_cache_stats()
+        return response
+
+    def _hot_key(self, data: Any) -> Optional[tuple[Optional[str], str]]:
+        """The hot-cache key of a solve request, or None when not cacheable."""
+        if not isinstance(data, dict):
+            return None
+        op = data.get("op")
+        spec = data.get("spec")
+        if op is None and "kind" in data:
+            op = "solve"
+            spec = {key: value for key, value in data.items() if key != "id"}
+        if op != "solve" or not isinstance(spec, dict):
+            return None
+        backend = data.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            return None
+        return backend, repr(sorted(spec.items(), key=lambda item: str(item[0])))
+
+    def answer_frame(self, data: Any) -> dict[str, Any]:
+        started = time.perf_counter()
+        key = self._hot_key(data)
+        if key is not None:
+            with self._hot_lock:
+                entry = self._hot_cache.get(key)
+                if entry is not None:
+                    self._hot_cache.move_to_end(key)
+            if entry is not None and not self.service.draining:
+                raw_result, effective = entry
+                latency = time.perf_counter() - started
+                self.service.metrics.record(effective, "cache", latency)
+                response: dict[str, Any] = {
+                    "ok": True,
+                    "op": "solve",
+                    "result": Raw(raw_result),
+                    "served_by": "cache",
+                    "latency_ms": round(latency * 1e3, 3),
+                }
+                request_id = data.get("id")
+                if request_id is not None:
+                    response["id"] = request_id
+                return response
+        response = handle_request(self.service, data)
+        if key is not None and response.get("ok") and response.get("op") == "solve":
+            try:
+                raw_result = encode_payload(response["result"])
+            except FrameError:  # pragma: no cover - results are JSON-safe
+                return response
+            effective = data.get("backend") or self.service.backend
+            with self._hot_lock:
+                self._hot_cache[key] = (raw_result, effective)
+                self._hot_cache.move_to_end(key)
+                while len(self._hot_cache) > self.HOT_CACHE_CAP:
+                    self._hot_cache.popitem(last=False)
+            # The response is about to be encoded anyway: splice the
+            # bytes just produced instead of encoding the result twice.
+            response["result"] = Raw(raw_result)
+        return self._enrich(response)
 
     def _drain(self, timeout: Optional[float]) -> None:
         self.service.drain(timeout=timeout)

@@ -11,6 +11,7 @@ Requests (one JSON object per line)::
     {...bare spec object with a "kind" field...}      # shorthand solve
     {"op": "health"}
     {"op": "metrics"}
+    {"op": "hello", "format": "binary"}                # upgrade offer
     {"op": "shutdown"}                                 # daemon only
 
 Responses always carry ``ok`` and echo any request ``id``::
@@ -31,6 +32,7 @@ import json
 from typing import Any, Optional
 
 from ..errors import ReproError
+from .frames import FORMAT_JSON, FORMATS, HELLO_OP
 from .service import SolverService
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "error_response",
     "handle_request",
     "handle_line",
+    "hello_response",
     "normalize_request",
     "SHUTDOWN_OP",
 ]
@@ -101,6 +104,29 @@ def normalize_request(data: dict[str, Any]) -> tuple[Any, dict[str, Any], Any]:
     return op, data, request_id
 
 
+def hello_response(data: dict[str, Any], request_id: Any) -> dict[str, Any]:
+    """Answer a wire-format negotiation; raises for an unknown format.
+
+    The response confirms the format the **rest of this connection**
+    will speak; the transport layer watches for a confirmed ``binary``
+    and switches both directions after writing the (JSON) answer.
+    """
+    requested = data.get("format", FORMAT_JSON)
+    if requested not in FORMATS:
+        raise ReproError(
+            f"unknown wire format {requested!r}; supported: {', '.join(FORMATS)}"
+        )
+    response: dict[str, Any] = {
+        "ok": True,
+        "op": HELLO_OP,
+        "format": requested,
+        "formats": list(FORMATS),
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
 def handle_request(service: SolverService, data: Any) -> dict[str, Any]:
     """Answer one decoded request object; never raises."""
     if not isinstance(data, dict):
@@ -115,10 +141,13 @@ def handle_request(service: SolverService, data: Any) -> dict[str, Any]:
             return {"ok": True, "op": "health", "health": service.health()}
         if op == "metrics":
             return {"ok": True, "op": "metrics", "metrics": service.metrics_snapshot()}
+        if op == HELLO_OP:
+            return hello_response(data, request_id)
         if op == SHUTDOWN_OP:
             return {"ok": True, "op": SHUTDOWN_OP, "stopping": True}
         raise ReproError(
-            f"unknown op {op!r}; expected solve, health, metrics or {SHUTDOWN_OP}"
+            f"unknown op {op!r}; expected solve, health, metrics, "
+            f"{HELLO_OP} or {SHUTDOWN_OP}"
         )
     except ReproError as error:
         return _error_response(str(op), error, request_id)

@@ -17,7 +17,10 @@ from .gap import (
 )
 from .horizon import HorizonPolicy, bound_multiple_horizon, fixed_horizon
 from .instance import RendezvousInstance, SearchInstance
+from .arena import TrajectoryArena
 from .kernel import (
+    clear_compiled_cache,
+    kernel_cache_stats,
     kernel_simulate_rendezvous,
     kernel_simulate_search,
     simulate_robot_pair_kernel,
@@ -45,6 +48,9 @@ __all__ = [
     "fixed_horizon",
     "RendezvousInstance",
     "SearchInstance",
+    "TrajectoryArena",
+    "clear_compiled_cache",
+    "kernel_cache_stats",
     "kernel_simulate_rendezvous",
     "kernel_simulate_search",
     "simulate_robot_pair_kernel",

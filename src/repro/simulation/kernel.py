@@ -30,6 +30,7 @@ within ``TIME_TOLERANCE`` on random suites.
 
 from __future__ import annotations
 
+import itertools
 import math
 import threading
 from collections import OrderedDict
@@ -61,6 +62,8 @@ __all__ = [
     "simulate_robot_pair_kernel",
     "kernel_simulate_search",
     "kernel_simulate_rendezvous",
+    "kernel_cache_stats",
+    "clear_compiled_cache",
 ]
 
 _TWO_PI = 2.0 * math.pi
@@ -76,25 +79,76 @@ _CACHED_CHUNK_SEGMENTS = 512
 _CACHE_SEGMENT_CAP = 1 << 18
 
 
+#: Cross-process / cross-batch cache observability.  ``cache_capped``
+#: counts entries whose prefix hit ``_CACHE_SEGMENT_CAP`` -- streams that
+#: long keep solving through the uncached continuation path, they just
+#: stop extending the shared prefix.  Reset by :func:`clear_compiled_cache`.
+_STATS_LOCK = threading.Lock()
+_STATS = {
+    "local_compiles": 0,
+    "arena_hits": 0,
+    "arena_misses": 0,
+    "arena_publishes": 0,
+    "arena_drops": 0,
+    "cache_capped": 0,
+}
+
+
+def _count(counter: str, amount: int = 1) -> None:
+    with _STATS_LOCK:
+        _STATS[counter] += amount
+
+
+def kernel_cache_stats() -> dict:
+    """JSON-safe snapshot of the compiled-chunk cache and arena counters."""
+    from . import arena as _arena
+
+    with _STATS_LOCK:
+        stats = dict(_STATS)
+    with _CHUNK_CACHE_LOCK:
+        stats["entries"] = len(_CHUNK_CACHE)
+    active = _arena.active_arena()
+    stats["arena_attached"] = active is not None
+    stats["arena"] = active.stats() if active is not None else None
+    return stats
+
+
 class _CacheEntry:
-    """Compiled prefix of one reference-frame trajectory, shared by key."""
+    """Compiled prefix of one reference-frame trajectory, shared by key.
+
+    The prefix has two backing tiers: this process's ``chunks`` list and,
+    when a :mod:`repro.simulation.arena` is active, the cross-process
+    shared-memory arena.  Extension checks the arena first (adopting
+    zero-copy views another process already compiled), compiles locally
+    on a miss, and publishes what it compiled -- so any trajectory is
+    compiled once fleet-wide.  ``stream_done`` distinguishes a genuinely
+    exhausted stream from a cap-limited prefix; adopting arena chunks
+    leaves the local compiler stale (``compiler`` None), and a later
+    local extension rebuilds it by skipping the covered prefix.
+    """
 
     __slots__ = (
         "algorithm",
+        "digest",
         "chunks",
         "compiler",
         "segment_total",
         "done",
+        "stream_done",
         "final_pos",
         "lock",
     )
 
-    def __init__(self, algorithm: MobilityAlgorithm) -> None:
+    def __init__(self, algorithm: MobilityAlgorithm, digest: bytes) -> None:
         self.algorithm = algorithm
+        self.digest = digest
         self.chunks: list[CompiledTrajectory] = []
-        self.compiler = SegmentStreamCompiler(algorithm.segments())
+        self.compiler: Optional[SegmentStreamCompiler] = SegmentStreamCompiler(
+            algorithm.segments()
+        )
         self.segment_total = 0
         self.done = False  # stream exhausted or cache cap reached
+        self.stream_done = False  # the underlying stream is known exhausted
         self.final_pos: Optional[Vec2] = None
         # Entries are shared across every thread solving the same
         # algorithm (the serving tier does exactly that); the compiler
@@ -102,22 +156,75 @@ class _CacheEntry:
         # serialised or concurrent solves read corrupted trajectories.
         self.lock = threading.Lock()
 
+    def _mark_capped(self) -> None:
+        if self.segment_total >= _CACHE_SEGMENT_CAP and not self.done:
+            self.done = True
+            _count("cache_capped")
+
+    def _extend(self) -> None:
+        """Grow the prefix by one chunk (arena first, then local compile)."""
+        from . import arena as _arena
+
+        shared = _arena.active_arena()
+        next_index = len(self.chunks)
+        if shared is not None:
+            found = shared.get(self.digest, next_index)
+            if found is not None:
+                compiled, final, final_pos = found
+                _count("arena_hits")
+                if compiled is not None:
+                    self.chunks.append(compiled)
+                    self.segment_total += len(compiled)
+                    self.compiler = None  # local stream now lags the prefix
+                if final:
+                    self.stream_done = True
+                    self.done = True
+                    if final_pos is not None:
+                        self.final_pos = Vec2(final_pos[0], final_pos[1])
+                else:
+                    self._mark_capped()
+                return
+            _count("arena_misses")
+        if self.compiler is None:
+            # Arena-adopted chunks outpaced the local stream: regenerate
+            # it and skip the prefix we already hold.
+            skipped = itertools.islice(self.algorithm.segments(), self.segment_total, None)
+            start = self.chunks[-1].t_end if self.chunks else 0.0
+            self.compiler = SegmentStreamCompiler(skipped, start_time=start)
+        compiled = self.compiler.next_chunk(max_segments=_CACHED_CHUNK_SEGMENTS)
+        if compiled is None:
+            self.stream_done = True
+            self.done = True
+            try:
+                self.final_pos = self.compiler.final_position()
+            except Exception:
+                self.final_pos = None
+            if self.final_pos is None and self.chunks:
+                self.final_pos = self.chunks[-1].end_position()
+            if shared is not None:
+                pos = None
+                if self.final_pos is not None:
+                    pos = (self.final_pos.x, self.final_pos.y)
+                if shared.publish_final(self.digest, next_index, pos):
+                    _count("arena_publishes")
+                else:
+                    _count("arena_drops")
+            return
+        self.chunks.append(compiled)
+        self.segment_total += len(compiled)
+        _count("local_compiles")
+        if shared is not None:
+            if shared.publish_chunk(self.digest, next_index, compiled):
+                _count("arena_publishes")
+            else:
+                _count("arena_drops")
+        self._mark_capped()
+
     def chunk(self, index: int) -> Optional[CompiledTrajectory]:
         """The ``index``-th fixed-size chunk, compiling (and caching) as needed."""
         with self.lock:
             while index >= len(self.chunks) and not self.done:
-                compiled = self.compiler.next_chunk(max_segments=_CACHED_CHUNK_SEGMENTS)
-                if compiled is None:
-                    self.done = True
-                    try:
-                        self.final_pos = self.compiler.final_position()
-                    except Exception:
-                        self.final_pos = None
-                    break
-                self.chunks.append(compiled)
-                self.segment_total += len(compiled)
-                if self.segment_total >= _CACHE_SEGMENT_CAP:
-                    self.done = True
+                self._extend()
             if index < len(self.chunks):
                 return self.chunks[index]
             return None
@@ -137,9 +244,12 @@ _CHUNK_CACHE_LOCK = threading.Lock()
 
 
 def clear_compiled_cache() -> None:
-    """Drop every cached compiled trajectory (mainly for tests)."""
+    """Drop every cached compiled trajectory and reset the cache counters."""
     with _CHUNK_CACHE_LOCK:
         _CHUNK_CACHE.clear()
+    with _STATS_LOCK:
+        for counter in _STATS:
+            _STATS[counter] = 0
 
 
 def _cache_key(algorithm: MobilityAlgorithm) -> tuple:
@@ -159,7 +269,9 @@ def _cache_entry_for(algorithm: MobilityAlgorithm) -> _CacheEntry:
     with _CHUNK_CACHE_LOCK:
         entry = _CHUNK_CACHE.get(key)
         if entry is None:
-            entry = _CacheEntry(algorithm)
+            from .arena import cache_digest
+
+            entry = _CacheEntry(algorithm, cache_digest(key))
             _CHUNK_CACHE[key] = entry
         _CHUNK_CACHE.move_to_end(key)
         while len(_CHUNK_CACHE) > _CACHE_ENTRY_CAP:
@@ -249,13 +361,11 @@ class _ChunkSource:
             entry = self._entry
             compiled = entry.chunk(self._index)
             if compiled is None:
-                if entry.final_pos is not None or entry.compiler.exhausted:
+                if entry.stream_done:
                     self._exhausted = True
                     return None
                 # Cache cap reached: compile onward without caching, by
                 # regenerating the stream and skipping the cached prefix.
-                import itertools
-
                 skipped = itertools.islice(
                     entry.algorithm.segments(), entry.segment_total, None
                 )

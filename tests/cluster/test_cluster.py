@@ -404,3 +404,42 @@ class TestSupervisorValidation:
         row = handle.describe()
         assert row["worker"] == 3 and row["alive"] is False
         assert row["address"] is None and row["store"] is None
+
+
+class TestFleetArenaAndBinaryLinks:
+    def test_one_fleet_arena_binary_worker_links_and_compile_once(self, cluster):
+        """The supervisor hands every worker one shared arena and the
+        router's worker links negotiate binary frames: a routed
+        vectorized solve compiles its trajectory exactly once
+        fleet-wide, bit-identical to an in-process solve."""
+        from repro.service import ServiceClient
+
+        spec = SearchProblem(distance=2.0, visibility=0.5)
+        expected = solve(spec, backend="vectorized").fingerprint()
+        with ServiceClient(cluster.host, cluster.port, binary=True) as client:
+            assert client.binary  # the router itself upgrades too
+            response = client.request(
+                {"op": "solve", "spec": spec.to_dict(), "backend": "vectorized"}
+            )
+            assert response["ok"]
+            assert SolveResult.from_dict(response["result"]).fingerprint() == expected
+            metrics = client.request({"op": "metrics"})["metrics"]
+
+        arena = metrics["arena"]
+        assert arena["published_chunks"] >= 1
+        assert arena["unique_trajectories"] >= 1
+        assert 0 < arena["data_used"] <= arena["data_capacity"]
+
+        shards = metrics["shards"]
+        kernel = [row["metrics"]["kernel_cache"] for row in shards]
+        assert all(stats["arena_attached"] for stats in kernel)
+        # Compiled exactly once fleet-wide: every published chunk is
+        # accounted for by exactly one worker's local compile.
+        assert sum(stats["local_compiles"] for stats in kernel) == arena["published_chunks"]
+
+        # The router->worker links are binary by default.
+        for row in shards:
+            assert row["metrics"]["transport"]["binary"]["connections"] >= 1
+        # And this client's binary traffic shows on the router's ledger.
+        assert metrics["transport"]["binary"]["requests"] >= 1
+        assert metrics["transport"]["binary"]["bytes_out"] > 0
