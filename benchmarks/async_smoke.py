@@ -1,0 +1,155 @@
+"""CI smoke for the asyncio serving tier: subscribe sweep, cold then warm.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/async_smoke.py [--suite NAME]
+
+Boots an :class:`~repro.service.AsyncReproServer` on an ephemeral port
+and pushes the whole suite through the streamed ``subscribe`` verb
+twice on one persistent connection, then once more over the binary
+wire frames.  Fails (non-zero exit) unless:
+
+* the cold pass streams every unique spec exactly once, in contiguous
+  sequence order, each record's fingerprint bit-identical to a direct
+  in-process ``solve()`` of the same spec;
+* the summary's order-independent ``fingerprint_digest`` equals the
+  digest of ``BatchRunner.run()`` over the same suite, and the streamed
+  completion set (the spec hashes) equals the batch run's;
+* the warm pass is answered entirely from the hot response cache
+  (``sources == {"cache": unique}``) with the identical digest;
+* the binary-negotiated pass agrees on the digest too — one stream
+  semantics, two wire formats;
+* shutdown is clean: every subscription retired, zero tasks leaked on
+  the event loop.
+
+No timings are asserted — this is a correctness/parity gate, the
+concurrency story lives in ``BENCH_async.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import BatchRunner, SolveResult
+from repro.experiments.manifest import fingerprint_digest
+from repro.service import AsyncReproServer, ServiceClient
+from repro.workloads import spec_suite
+
+
+def run_subscription(client: ServiceClient, specs, backend: str):
+    """One subscribe round trip: (records, summary)."""
+    stream = client.subscribe(specs, backend=backend)
+    records = list(stream)
+    assert stream.summary is not None  # iterator stops only on the summary
+    return records, stream.summary
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", default="search-sweep", help="workload suite to stream")
+    parser.add_argument("--backend", default="auto", help="daemon default backend")
+    namespace = parser.parse_args()
+
+    suite = spec_suite(namespace.suite)
+    # The reference answers, computed in-process through the facade.
+    expected_results, _ = BatchRunner(backend=namespace.backend).run(suite)
+    expected_digest = fingerprint_digest(expected_results)
+    expected_hashes = {result.provenance.spec_hash for result in expected_results}
+    expected_fingerprints = {
+        result.provenance.spec_hash: result.fingerprint() for result in expected_results
+    }
+
+    failures: list[str] = []
+    with AsyncReproServer(backend=namespace.backend) as server:
+        server.serve_background()
+        print(f"async smoke: daemon on {server.address}, {len(suite)} spec(s)")
+
+        with ServiceClient(server.host, server.port) as client:
+            cold_records, cold = run_subscription(client, suite, namespace.backend)
+            warm_records, warm = run_subscription(client, suite, namespace.backend)
+
+        # Cold pass: every unique spec once, in sequence, fingerprints
+        # identical to the direct solve.
+        if [record["seq"] for record in cold_records] != list(range(len(cold_records))):
+            failures.append("cold pass streamed out-of-sequence records")
+        bad = [record for record in cold_records if not record.get("ok")]
+        if bad:
+            failures.append(
+                f"{len(bad)} cold record(s) failed, first: {bad[0].get('error')}"
+            )
+        else:
+            for record in cold_records:
+                served = SolveResult.from_dict(record["result"])
+                fingerprint = expected_fingerprints.get(served.provenance.spec_hash)
+                if fingerprint is None or served.fingerprint() != fingerprint:
+                    failures.append(
+                        f"record seq={record['seq']} drifted from the direct solve"
+                    )
+                    break
+        streamed_hashes = {record["key"]["spec_hash"] for record in cold_records}
+        if streamed_hashes != expected_hashes:
+            failures.append(
+                f"completion set mismatch: streamed {len(streamed_hashes)} hashes, "
+                f"batch run produced {len(expected_hashes)}"
+            )
+        if cold["fingerprint_digest"] != expected_digest:
+            failures.append(
+                f"cold digest {cold['fingerprint_digest'][:16]}... != "
+                f"batch digest {expected_digest[:16]}..."
+            )
+        if cold["errors"]:
+            failures.append(f"cold pass recorded {cold['errors']} error(s)")
+
+        # Warm pass: the same suite on the same connection must be
+        # answered entirely from the hot response cache.
+        if warm["fingerprint_digest"] != expected_digest:
+            failures.append("warm digest drifted from the cold digest")
+        if warm["sources"] != {"cache": cold["unique"]}:
+            failures.append(
+                f"warm pass was not all cache hits: sources={warm['sources']}"
+            )
+        if len(warm_records) != len(cold_records):
+            failures.append(
+                f"warm pass streamed {len(warm_records)} records, cold {len(cold_records)}"
+            )
+
+        # Binary pass: same stream semantics under the negotiated frames.
+        with ServiceClient(server.host, server.port, binary=True) as binary_client:
+            if binary_client.format != "binary":
+                failures.append("binary upgrade was declined")
+                binary = None
+            else:
+                _, binary = run_subscription(binary_client, suite, namespace.backend)
+        if binary is not None and binary["fingerprint_digest"] != expected_digest:
+            failures.append("binary digest drifted from the JSON digest")
+
+        stats = server.subscription_stats()
+        if stats["active"]:
+            failures.append(f"{stats['active']} subscription(s) still active")
+        if stats["completed"] != stats["opened"]:
+            failures.append(
+                f"{stats['opened']} subscriptions opened, {stats['completed']} completed"
+            )
+
+    if server.leaked_tasks:
+        failures.append(f"leaked event-loop task(s): {server.leaked_tasks}")
+
+    print(
+        f"async smoke: cold {cold['records']} records in {cold['wall_time_ms']:.0f} ms "
+        f"(sources {cold['sources']}), warm {warm['records']} in "
+        f"{warm['wall_time_ms']:.0f} ms (sources {warm['sources']})"
+    )
+    if failures:
+        for failure in failures:
+            print(f"ERROR: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "async smoke: digest parity with the batch runner on both wire formats, "
+        "warm pass all cache hits, shutdown clean with zero leaked tasks"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

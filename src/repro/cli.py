@@ -6,7 +6,8 @@ Sub-commands::
     repro solve        --spec-file specs.json --backend analytic --processes 4
     repro solve        --spec-file specs.json --store .repro-store
     repro solve        --stdin-jsonl < requests.jsonl
-    repro serve        --port 7767 --backend auto --store .repro-store [--workers 4]
+    repro serve        --port 7767 --backend auto --store .repro-store [--workers 4] [--async]
+    repro sweep        search-sweep-large [--connect HOST:PORT --subscribe] [--json]
     repro cluster      status --port 7767 [--json]
     repro feasibility  --speed 1.0 --time-unit 0.5 --orientation 0 --chirality 1
     repro search       --distance 1.5 --bearing 0.8 --visibility 0.3 [--json]
@@ -35,8 +36,14 @@ environment variable sets a default; ``--no-store`` overrides it).
 ``serve`` runs the long-lived solver daemon: JSON-Lines over TCP, one
 request per line (``solve`` / ``health`` / ``metrics`` verbs), request
 coalescing and admission control via :mod:`repro.service`.  ``serve
---workers N`` shards the same wire format over N supervised worker
-processes behind a consistent-hash router (:mod:`repro.cluster`);
+--async`` swaps the thread-per-connection transport for the asyncio
+event loop -- same wire format, far higher connection ceiling, plus the
+streamed ``subscribe`` verb that ``repro sweep SUITE --connect ...
+--subscribe`` drives: the whole suite goes out on one connection and
+per-spec results stream back in completion order, ending in an
+order-independent fingerprint digest.  ``serve --workers N`` shards the
+same wire format over N supervised worker processes behind a
+consistent-hash router (:mod:`repro.cluster`);
 ``repro cluster status`` prints the per-shard health and metrics of a
 running router.  SIGTERM and SIGINT both drain gracefully, so buffered
 store segments are published before the process exits.  ``solve
@@ -258,6 +265,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     suites.add_argument("--json", action="store_true", help="emit the listing as JSON")
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help=(
+            "solve a named spec suite end to end and print its "
+            "order-independent fingerprint digest"
+        ),
+    )
+    sweep.add_argument("suite", help="suite name (see `repro suites`)")
+    sweep.add_argument(
+        "--backend",
+        default="auto",
+        help=f"backend for the sweep (registered: {', '.join(backend_names())})",
+    )
+    sweep.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="run the sweep against a running daemon/router instead of solving here",
+    )
+    sweep.add_argument(
+        "--subscribe",
+        action="store_true",
+        help=(
+            "with --connect: submit the whole suite on one connection and "
+            "stream per-spec results back in completion order "
+            "(needs `repro serve --async`)"
+        ),
+    )
+    sweep.add_argument(
+        "--binary",
+        action="store_true",
+        help="with --connect: negotiate binary wire frames (falls back to JSON)",
+    )
+    sweep.add_argument(
+        "--processes", type=int, default=None, help="worker processes for a local sweep"
+    )
+    sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-result progress to stderr while the sweep runs",
+    )
+    sweep.add_argument("--json", action="store_true", help="emit the outcome as JSON")
+    _add_store_arguments(sweep)
+
     serve = subparsers.add_parser(
         "serve", help="run the JSON-Lines solver daemon (TCP, one request per line)"
     )
@@ -289,6 +340,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "shard over N supervised worker processes behind a consistent-hash "
             "router (1 = the single-process daemon)"
+        ),
+    )
+    serve.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help=(
+            "serve on the asyncio transport: same wire format, far more "
+            "concurrent connections, and the streamed `subscribe` sweep verb"
         ),
     )
     serve.add_argument(
@@ -641,9 +701,23 @@ def _graceful_signals(stop_async: Callable[[], None], name: str) -> Iterator[Non
 
 
 def _write_port_file(namespace: argparse.Namespace, address: str) -> None:
-    """Publish the bound address for supervisors (``--port-file``)."""
-    if getattr(namespace, "port_file", None):
-        Path(namespace.port_file).write_text(address + "\n", encoding="utf-8")
+    """Publish the bound address for supervisors (``--port-file``).
+
+    Atomically: a supervisor polling the file must never read a
+    truncated address, so the content lands in a same-directory temp
+    file first and is renamed into place (rename is atomic on POSIX).
+    """
+    if not getattr(namespace, "port_file", None):
+        return
+    target = Path(namespace.port_file)
+    temporary = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+    temporary.write_text(address + "\n", encoding="utf-8")
+    try:
+        os.replace(temporary, target)
+    except OSError:
+        with contextlib.suppress(OSError):
+            temporary.unlink()
+        raise
 
 
 def _command_serve(namespace: argparse.Namespace) -> int:
@@ -653,7 +727,7 @@ def _command_serve(namespace: argparse.Namespace) -> int:
         raise InvalidParameterError(f"--workers must be >= 1, got {namespace.workers!r}")
     if namespace.workers > 1:
         return _command_serve_cluster(namespace)
-    from .service import ReproServer, SolverService
+    from .service import AsyncReproServer, ReproServer, SolverService
 
     service = SolverService(
         backend=namespace.backend,
@@ -661,7 +735,14 @@ def _command_serve(namespace: argparse.Namespace) -> int:
         max_inflight=namespace.max_inflight,
         queue_limit=namespace.queue_limit,
     )
-    server = ReproServer(service=service, host=namespace.host, port=namespace.port)
+    if namespace.use_async:
+        server = AsyncReproServer(
+            service=service, host=namespace.host, port=namespace.port
+        )
+        transport_text = ", asyncio"
+    else:
+        server = ReproServer(service=service, host=namespace.host, port=namespace.port)
+        transport_text = ""
     # ``is not None``: an empty ResultStore has len() == 0 and is falsy.
     store_text = (
         f", store {service.runner.store.path}" if service.runner.store is not None else ""
@@ -669,7 +750,7 @@ def _command_serve(namespace: argparse.Namespace) -> int:
     print(
         f"repro serve: listening on {server.address} "
         f"(backend {namespace.backend}, max in-flight {namespace.max_inflight}"
-        f"{store_text})",
+        f"{transport_text}{store_text})",
         flush=True,
     )
     _write_port_file(namespace, server.address)
@@ -714,6 +795,7 @@ def _command_serve_cluster(namespace: argparse.Namespace) -> int:
         store=_store_path_from(namespace),
         max_inflight=namespace.max_inflight,
         queue_limit=namespace.queue_limit,
+        async_workers=namespace.use_async,
     )
     # Workers are detached processes (they survive parent death), so the
     # signal handlers must cover the spawn window too: a SIGTERM while
@@ -737,7 +819,11 @@ def _command_serve_cluster(namespace: argparse.Namespace) -> int:
     with _graceful_signals(_stop_cluster_async, "repro serve"):
         try:
             router = boot_router(
-                supervisor, host=namespace.host, port=namespace.port, backend=namespace.backend
+                supervisor,
+                use_async=namespace.use_async,
+                host=namespace.host,
+                port=namespace.port,
+                backend=namespace.backend,
             )
         except ReproError:
             if state["stop_requested"]:
@@ -1067,6 +1153,144 @@ def _command_suites(namespace: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(namespace: argparse.Namespace) -> int:
+    """Solve one named suite end to end and report its fingerprint digest.
+
+    Three execution paths, one outcome shape: locally through the shared
+    :class:`BatchRunner`, remotely one solve per round-trip, or remotely
+    streamed through the async daemon's ``subscribe`` verb -- the digest
+    is order-independent, so all three agree bit-for-bit on the same
+    suite.
+    """
+    from .experiments.manifest import fingerprint_digest
+    from .workloads import spec_suite
+
+    specs = spec_suite(namespace.suite)
+    if namespace.connect is not None:
+        outcome = _sweep_connect(namespace, specs)
+    else:
+        if namespace.subscribe or namespace.binary:
+            raise InvalidParameterError(
+                "--subscribe and --binary only apply with --connect"
+            )
+        runner = BatchRunner(
+            backend=namespace.backend,
+            processes=namespace.processes,
+            store=_store_path_from(namespace),
+        )
+        results, stats = runner.run(specs)
+        outcome = {
+            "suite": namespace.suite,
+            "mode": "local",
+            "total": stats.total,
+            "unique": stats.unique,
+            "errors": 0,
+            "sources": {
+                key: value
+                for key, value in (
+                    ("cache", stats.cache_hits),
+                    ("store", stats.solved_from_store),
+                    ("solved", stats.solved_fresh),
+                )
+                if value
+            },
+            "fingerprint_digest": fingerprint_digest(results),
+            "wall_time_ms": round(stats.wall_time * 1e3, 3),
+        }
+    if namespace.json:
+        print(json.dumps(outcome, indent=2, sort_keys=True))
+    else:
+        sources = ", ".join(
+            f"{key}={value}" for key, value in sorted(outcome["sources"].items())
+        )
+        print(
+            f"sweep {outcome['suite']} [{outcome['mode']}]: "
+            f"{outcome['total']} spec(s) ({outcome['unique']} unique), "
+            f"{outcome['errors']} error(s), {outcome['wall_time_ms']:.0f} ms "
+            f"[{sources}]"
+        )
+        print(f"fingerprint digest: {outcome['fingerprint_digest']}")
+    return 0 if outcome["errors"] == 0 else 1
+
+
+def _sweep_connect(namespace: argparse.Namespace, specs: list) -> dict[str, Any]:
+    """Run one suite against a daemon/router, streamed or per-request."""
+    import time as _time
+
+    from .api.result import SolveResult
+    from .experiments.manifest import fingerprint_digest
+    from .service import ServiceClient
+
+    host, port = _parse_address(namespace.connect)
+    try:
+        client = ServiceClient(host, port, binary=namespace.binary)
+    except OSError as error:
+        raise ReproError(f"cannot reach a daemon at {host}:{port}: {error}") from error
+    with client:
+        if namespace.subscribe:
+            stream = client.subscribe(specs, backend=namespace.backend)
+            errors = 0
+            count = 0
+            for record in stream:
+                count += 1
+                if namespace.progress:
+                    print(
+                        f"  [{count}/{stream.ack['unique']}] seq={record['seq']} "
+                        f"{record['key']['spec_hash'][:12]} via {record['served_by']}",
+                        file=sys.stderr,
+                    )
+                if not record.get("ok"):
+                    errors += 1
+                    print(
+                        f"  spec {record['key']['spec_hash'][:12]} failed: "
+                        f"{record.get('error')}",
+                        file=sys.stderr,
+                    )
+            summary = stream.summary
+            assert summary is not None  # iterator stops only on the summary
+            return {
+                "suite": namespace.suite,
+                "mode": f"subscribe/{client.format}",
+                "total": summary["total"],
+                "unique": summary["unique"],
+                "errors": summary["errors"],
+                "sources": summary["sources"],
+                "fingerprint_digest": summary["fingerprint_digest"],
+                "wall_time_ms": summary["wall_time_ms"],
+            }
+        started = _time.perf_counter()
+        results = []
+        errors = 0
+        sources: dict[str, int] = {}
+        for index, spec in enumerate(specs):
+            response = client.request(
+                {"op": "solve", "spec": spec.to_dict(), "backend": namespace.backend}
+            )
+            if response.get("ok"):
+                results.append(SolveResult.from_dict(response["result"]))
+                source = response.get("served_by", "solve")
+                sources[source] = sources.get(source, 0) + 1
+            else:
+                errors += 1
+                sources["error"] = sources.get("error", 0) + 1
+                print(f"  spec {index} failed: {response.get('error')}", file=sys.stderr)
+            if namespace.progress:
+                print(
+                    f"  [{index + 1}/{len(specs)}] via {response.get('served_by', '?')}",
+                    file=sys.stderr,
+                )
+        return {
+            "suite": namespace.suite,
+            "mode": f"connect/{client.format}",
+            "total": len(specs),
+            "unique": len(specs),
+            "errors": errors,
+            "sources": sources,
+            "fingerprint_digest": fingerprint_digest(results),
+            "wall_time_ms": round((_time.perf_counter() - started) * 1e3, 3),
+        }
+
+
 def _command_schedule(namespace: argparse.Namespace) -> int:
     print(RoundSchedule(1.0).describe(namespace.rounds))
     print()
@@ -1124,6 +1348,7 @@ _COMMANDS = {
     "experiments": _command_experiments,
     "store": _command_store,
     "suites": _command_suites,
+    "sweep": _command_sweep,
     "serve": _command_serve,
     "cluster": _command_cluster,
     "schedule": _command_schedule,

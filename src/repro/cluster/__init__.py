@@ -36,10 +36,11 @@ Quickstart (also ``repro serve --workers 4``)::
 """
 
 from .hashing import HashRing, shard_key
-from .router import CLUSTER_STATUS_OP, ShardRouter, boot_router
+from .router import CLUSTER_STATUS_OP, AsyncShardRouter, ShardRouter, boot_router
 from .worker import ClusterSupervisor, WorkerHandle
 
 __all__ = [
+    "AsyncShardRouter",
     "CLUSTER_STATUS_OP",
     "ClusterSupervisor",
     "HashRing",

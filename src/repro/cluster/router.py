@@ -37,6 +37,7 @@ import time
 from typing import Any, Optional
 
 from ..errors import ClusterError, ReproError
+from ..service.aio import AsyncLineServer
 from ..service.daemon import GracefulLineServer
 from ..service.frames import (
     FORMAT_BINARY,
@@ -49,16 +50,21 @@ from ..service.frames import (
 )
 from ..service.metrics import ServiceMetrics
 from ..service.protocol import (
+    COMPLETION_OP,
     SHUTDOWN_OP,
+    SUBSCRIBE_OP,
     decode_request,
     error_response,
     hello_response,
     normalize_request,
+    parse_subscribe,
+    subscribe_ack,
+    subscribe_summary,
 )
 from .hashing import HashRing, shard_key
 from .worker import ClusterSupervisor, WorkerHandle
 
-__all__ = ["ShardRouter", "CLUSTER_STATUS_OP", "boot_router"]
+__all__ = ["AsyncShardRouter", "ShardRouter", "CLUSTER_STATUS_OP", "boot_router"]
 
 #: Router-only verb: one document with the shard table, health and
 #: restart counters (the ``repro cluster status`` CLI reads it).
@@ -583,16 +589,214 @@ class ShardRouter(GracefulLineServer):
         self.supervisor.stop(drain=True, timeout=timeout if timeout is not None else 30.0)
 
 
-def boot_router(supervisor: ClusterSupervisor, **router_kwargs: Any) -> ShardRouter:
+class AsyncShardRouter(AsyncLineServer):
+    """The asyncio sharded front: the router's verbs, plus ``subscribe``.
+
+    Composes an *unserved* :class:`ShardRouter` core -- the core binds
+    an ephemeral loopback socket it never accepts on, and everything
+    that matters (consistent-hash routing, router-side coalescing, ring
+    failover, worker pools, shard metrics, the drain-and-merge stop)
+    is reused wholesale through :meth:`ShardRouter._dispatch`.  This
+    front only replaces the transport: an event loop instead of a
+    thread per connection, so the router's connection ceiling scales
+    exactly like the single daemon's (:mod:`repro.service.aio`).
+
+    A ``subscribe`` suite fans out over the fleet: the unique specs are
+    submitted to a bounded per-subscription thread pool, each solved
+    through the core's routed (coalesced, failed-over) path, and the
+    completions stream back in completion order with the same record
+    shapes as the single-server verb -- summary digest included, so a
+    sweep through the cluster fingerprints identically to a local run.
+
+    Args:
+        supervisor: the worker fleet (already started).
+        host / port: bind address of the async front itself.
+        sweep_fanout: per-subscription cap on concurrent routed solves.
+        Remaining arguments match :class:`ShardRouter` /
+        :class:`~repro.service.aio.AsyncLineServer`.
+    """
+
+    def __init__(
+        self,
+        supervisor: ClusterSupervisor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backend: str = "auto",
+        worker_timeout: float = 120.0,
+        route_timeout: float = 60.0,
+        worker_binary: bool = True,
+        sweep_fanout: int = 8,
+        executor_workers: Optional[int] = None,
+        subscription_queue_max: Optional[int] = None,
+        connection_sndbuf: Optional[int] = None,
+    ) -> None:
+        self.core = ShardRouter(
+            supervisor,
+            host="127.0.0.1",
+            port=0,
+            backend=backend,
+            worker_timeout=worker_timeout,
+            route_timeout=route_timeout,
+            worker_binary=worker_binary,
+        )
+        self.sweep_fanout = max(1, int(sweep_fanout))
+        super().__init__(
+            host=host,
+            port=port,
+            executor_workers=executor_workers,
+            subscription_queue_max=subscription_queue_max,
+            connection_sndbuf=connection_sndbuf,
+        )
+
+    @property
+    def supervisor(self) -> ClusterSupervisor:
+        return self.core.supervisor
+
+    @property
+    def backend(self) -> str:
+        return self.core.backend
+
+    def answer_request(self, data: Any) -> dict[str, Any]:
+        if not isinstance(data, dict):
+            return error_response(
+                "?", ReproError(f"request must be a JSON object, got {type(data).__name__}")
+            )
+        op, data, request_id = normalize_request(data)
+        if op == SUBSCRIBE_OP:  # only reachable through handle_request-less path
+            return error_response(
+                SUBSCRIBE_OP,
+                ReproError("subscribe must be served by the streaming transport"),
+                request_id,
+            )
+        response = self.core._dispatch(op, data, request_id)
+        if response.get("op") == "metrics" and response.get("ok"):
+            metrics = response.get("metrics")
+            if isinstance(metrics, dict):
+                # The core's transport counters are all zeros (its socket
+                # never accepts); report the async front's wire instead.
+                metrics["transport"] = self.transport.snapshot()
+                metrics["subscriptions"] = self.subscription_stats()
+        return response
+
+    # -- the subscribe verb ----------------------------------------------------
+    def subscribe_open(self, data: dict[str, Any], request_id: Any) -> tuple[Any, dict]:
+        specs, backend = parse_subscribe(data)
+        effective = backend if backend is not None else self.core.backend
+        seen: set[str] = set()
+        unique: list[Any] = []
+        for spec in specs:
+            key = shard_key(effective, spec.canonical_hash())
+            if key not in seen:
+                seen.add(key)
+                unique.append(spec)
+        ack = subscribe_ack(request_id, len(specs), len(unique), effective)
+        return (unique, effective, request_id, len(specs)), ack
+
+    def _sweep_one(self, spec: Any, effective: str) -> dict[str, Any]:
+        """One routed solve of a subscription; never raises."""
+        try:
+            return self.core._route_solve(
+                {"spec": spec.to_dict(), "backend": effective}, None
+            )
+        except Exception as error:  # noqa: BLE001 - becomes a failed record
+            return error_response("solve", error)
+
+    def subscribe_pump(self, job: Any, bridge: Any) -> None:
+        from concurrent.futures import ThreadPoolExecutor, as_completed
+
+        from ..api.result import SolveResult
+        from ..experiments.manifest import fingerprint_digest
+
+        unique, effective, request_id, total = job
+        started = time.perf_counter()
+        seq = 0
+        errors = 0
+        sources: dict[str, int] = {}
+        results: list[Any] = []
+        aborted = False
+        with ThreadPoolExecutor(
+            max_workers=min(self.sweep_fanout, len(unique)),
+            thread_name_prefix="repro-sweep",
+        ) as pool:
+            futures = {
+                pool.submit(self._sweep_one, spec, effective): spec for spec in unique
+            }
+            for future in as_completed(futures):
+                if self.stopping:
+                    aborted = True
+                    for pending in futures:
+                        pending.cancel()
+                    bridge.put(
+                        error_response(
+                            SUBSCRIBE_OP,
+                            ClusterError("router is shutting down, subscription aborted"),
+                            request_id,
+                        )
+                    )
+                    break
+                spec = futures[future]
+                response = materialize_raw(future.result())
+                record: dict[str, Any] = {
+                    "ok": bool(response.get("ok")),
+                    "op": COMPLETION_OP,
+                    "seq": seq,
+                    "key": {"backend": effective, "spec_hash": spec.canonical_hash()},
+                    "served_by": response.get("served_by", "cluster"),
+                    "latency_ms": response.get("latency_ms", 0.0),
+                }
+                seq += 1
+                if response.get("ok"):
+                    record["result"] = response["result"]
+                    results.append(SolveResult.from_dict(response["result"]))
+                    source = response.get("served_by", "cluster")
+                    sources[source] = sources.get(source, 0) + 1
+                else:
+                    errors += 1
+                    record["served_by"] = "cluster"
+                    record["error"] = response.get("error", "routed solve failed")
+                    record["error_type"] = response.get("error_type", "ClusterError")
+                    sources["error"] = sources.get("error", 0) + 1
+                if request_id is not None:
+                    record["id"] = request_id
+                bridge.put(record)
+        if aborted:
+            return
+        bridge.put(
+            subscribe_summary(
+                request_id,
+                records=seq,
+                errors=errors,
+                total=total,
+                unique=len(unique),
+                fingerprint_digest=fingerprint_digest(results),
+                sources=sources,
+                wall_time_ms=(time.perf_counter() - started) * 1e3,
+            )
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+    def _drain(self, timeout: Optional[float]) -> None:
+        # The core was never served: its stop() skips the serve loop and
+        # goes straight to closing the pools and draining the fleet.
+        self.core.stop(drain_timeout=timeout)
+
+
+def boot_router(
+    supervisor: ClusterSupervisor, use_async: bool = False, **router_kwargs: Any
+) -> "ShardRouter | AsyncShardRouter":
     """Start a fleet and build its router, leak-proof on failure.
 
     The workers are detached processes; any failure between spawning
     them and having a router that can stop them would otherwise leave
     the fleet running unsupervised.  Every caller (CLI, benchmark,
     smoke) boots through here so that invariant lives in one place.
+    ``use_async`` boots the asyncio front (:class:`AsyncShardRouter`)
+    instead of the thread-per-connection router.
     """
     try:
         supervisor.start()
+        if use_async:
+            return AsyncShardRouter(supervisor, **router_kwargs)
         return ShardRouter(supervisor, **router_kwargs)
     except BaseException:
         supervisor.stop(drain=False)

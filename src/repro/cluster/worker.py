@@ -109,10 +109,14 @@ class ClusterSupervisor:
         queue_limit: int = 128,
         host: str = "127.0.0.1",
         spawn_timeout: float = 60.0,
+        async_workers: bool = False,
     ) -> None:
         if workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers!r}")
         self.backend = backend
+        #: Boot every worker on the asyncio transport (``serve --async``);
+        #: the wire is byte-compatible, so the router never notices.
+        self.async_workers = async_workers
         self.primary_store = Path(store) if store is not None else None
         self.max_inflight = max_inflight
         self.queue_limit = queue_limit
@@ -195,6 +199,8 @@ class ClusterSupervisor:
             "--port-file",
             str(port_file),
         ]
+        if self.async_workers:
+            command.append("--async")
         if handle.store_dir is not None:
             command += ["--store", str(handle.store_dir)]
         else:

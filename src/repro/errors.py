@@ -86,5 +86,15 @@ class ServiceUnavailableError(ReproError):
     """The solver service refused a request (draining or at capacity)."""
 
 
+class ServiceProtocolError(ReproError):
+    """The serving wire broke mid-conversation (timeout, EOF, bad frame).
+
+    Raised by :class:`~repro.service.client.ServiceClient`: once a read
+    times out or the stream desyncs, request and response framing can no
+    longer be matched up, so the client closes the connection *before*
+    raising -- a broken connection must never be reused.
+    """
+
+
 class ClusterError(ReproError):
     """A sharded-cluster operation failed (spawn, routing, supervision)."""

@@ -18,7 +18,12 @@ thread-safe :class:`~repro.api.batch.BatchRunner`:
   (length-prefixed, hand-rolled tag codec) that skip JSON on the warm
   path;
 * :mod:`repro.service.client`   -- :class:`ServiceClient`: persistent
-  connections with transparent binary negotiation.
+  connections with transparent binary negotiation and streamed
+  subscriptions;
+* :mod:`repro.service.aio`      -- :class:`AsyncReproServer`: the
+  ``repro serve --async`` asyncio transport -- same verbs byte-for-byte,
+  an order of magnitude more concurrent connections, plus the
+  ``subscribe`` streamed-sweep verb.
 
 Quickstart::
 
@@ -30,27 +35,44 @@ Quickstart::
         print(served.result.summary(), served.source, served.latency)
 """
 
-from .client import ServiceClient
-from .daemon import ReproServer, TransportMetrics, request_lines
+from ..errors import ServiceProtocolError
+from .aio import AsyncLineServer, AsyncReproServer
+from .client import ServiceClient, SubscribeStream
+from .daemon import ReproServer, TransportMetrics, hot_solve_key, request_lines
 from .frames import FORMAT_BINARY, FORMAT_JSON, FrameError, decode_payload, encode_frame
 from .metrics import ServiceMetrics
-from .protocol import encode_response, handle_line, handle_request
+from .protocol import (
+    COMPLETION_OP,
+    SUBSCRIBE_OP,
+    SUMMARY_OP,
+    encode_response,
+    handle_line,
+    handle_request,
+)
 from .service import ServedResult, SolverService
 
 __all__ = [
+    "AsyncLineServer",
+    "AsyncReproServer",
+    "COMPLETION_OP",
     "FORMAT_BINARY",
     "FORMAT_JSON",
     "FrameError",
     "ReproServer",
+    "SUBSCRIBE_OP",
+    "SUMMARY_OP",
     "ServedResult",
     "ServiceClient",
     "ServiceMetrics",
+    "ServiceProtocolError",
     "SolverService",
+    "SubscribeStream",
     "TransportMetrics",
     "decode_payload",
     "encode_frame",
     "encode_response",
     "handle_line",
     "handle_request",
+    "hot_solve_key",
     "request_lines",
 ]

@@ -1,0 +1,924 @@
+"""``repro serve --async`` -- the asyncio serving transport.
+
+One event loop per process handles every connection; solver work still
+runs on threads (the backends are blocking, CPU-bound code), but a
+connection no longer *costs* a thread -- idle connections are just
+loop-registered sockets, which is what lifts the concurrent-connection
+ceiling of the thread-per-connection daemon by an order of magnitude.
+
+:class:`AsyncLineServer` is the transport skeleton (the asyncio
+counterpart of :class:`~repro.service.daemon.GracefulLineServer`):
+
+* both wire formats of the serving tier -- the JSON-Lines verbs
+  byte-for-byte compatible with the threaded daemon, and the binary
+  frames behind the same ``hello`` negotiation;
+* per-connection requests answered strictly in order (identical to the
+  threaded daemon; concurrency comes from concurrent connections),
+  dispatched to a bounded thread pool so the loop never blocks;
+* backpressure-aware writes: every response goes through
+  ``writer.drain()``, so a slow reader throttles only its own
+  connection's stream, never the loop and never the solver;
+* a graceful, idempotent, thread-safe :meth:`stop` mirroring the
+  threaded server's: stop accepting, finish in-flight requests, wind
+  down subscriptions, drain the service, audit for leaked tasks.
+
+On top of it, the ``subscribe`` verb streams a whole sweep over one
+connection: the spec suite is planned once, executed through the
+runner's completion-order stream (:meth:`~repro.api.batch.BatchRunner.
+execute_iter`) on a dedicated producer thread, and every completion is
+bridged into the event loop via ``loop.call_soon_threadsafe`` feeding a
+per-subscription :class:`asyncio.Queue`.  The bridge is **bounded** by a
+credit semaphore: when a subscriber stops reading, at most
+``subscription_queue_max`` records buffer server-side and the producer
+blocks -- throttling only that subscription's own solve stream.  A
+subscriber that disconnects mid-stream flips the bridge to discard
+mode: the producer keeps draining the executor (so the LRU and the
+persistent store still receive every fresh result) and throws the
+records away.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import contextlib
+import os
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional
+
+from ..errors import ReproError, ServiceUnavailableError
+from .daemon import (
+    TransportMetrics,
+    _refusal,
+    _shutting_down_response,
+    hot_solve_key,
+)
+from .frames import (
+    FORMAT_BINARY,
+    FORMAT_JSON,
+    HEADER_SIZE,
+    HELLO_OP,
+    MAX_FRAME_BYTES,
+    FrameError,
+    Raw,
+    decode_header,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    materialize_raw,
+)
+from .protocol import (
+    SHUTDOWN_OP,
+    SUBSCRIBE_OP,
+    completion_record,
+    decode_request,
+    encode_response,
+    error_response,
+    handle_request,
+    normalize_request,
+    parse_subscribe,
+    subscribe_ack,
+    subscribe_summary,
+)
+from .service import SolverService
+
+__all__ = ["AsyncLineServer", "AsyncReproServer"]
+
+#: Queue sentinel: the producer thread finished (summary already queued,
+#: or the pump died after queueing its error record).
+_DONE = object()
+
+
+class _SubscriptionBridge:
+    """Thread-to-loop conduit with a hard bound on buffered records.
+
+    The producer thread acquires one credit per record before handing it
+    to the loop (``call_soon_threadsafe`` -> ``Queue.put_nowait``); the
+    loop-side consumer releases the credit after dequeueing.  The queue
+    therefore never holds more than ``maxsize`` records (plus the
+    terminating sentinel), no matter how far the solver runs ahead of a
+    slow subscriber -- the memory bound the backpressure tests pin down.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._loop = loop
+        self._queue: "asyncio.Queue[Any]" = asyncio.Queue()
+        self._credits = threading.Semaphore(maxsize)
+        self._cancelled = threading.Event()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    @property
+    def depth(self) -> int:
+        """Records currently buffered loop-side (<= maxsize + sentinel)."""
+        return self._queue.qsize()
+
+    def put(self, record: Any) -> bool:
+        """Deliver one record from the producer thread (blocking on credits).
+
+        Returns False when the consumer is gone -- the record is
+        discarded, and the caller is expected to keep iterating so the
+        execution stream (and with it the store) still drains fully.
+        """
+        while not self._credits.acquire(timeout=0.1):
+            if self._cancelled.is_set():
+                return False
+        if self._cancelled.is_set():
+            return False
+        try:
+            self._loop.call_soon_threadsafe(self._queue.put_nowait, record)
+        except RuntimeError:  # loop closed mid-stream (server teardown)
+            self._cancelled.set()
+            return False
+        return True
+
+    def finish(self) -> None:
+        """Queue the terminating sentinel (bypasses the credit bound)."""
+        try:
+            self._loop.call_soon_threadsafe(self._queue.put_nowait, _DONE)
+        except RuntimeError:  # pragma: no cover - loop closed at teardown
+            pass
+
+    async def get(self) -> Any:
+        record = await self._queue.get()
+        if record is not _DONE:
+            self._credits.release()
+        return record
+
+    def cancel(self) -> None:
+        """Consumer gone: discard future records, unblock the producer."""
+        self._cancelled.set()
+
+
+class _Subscription:
+    """One active subscription: its bridge, identity and lifecycle."""
+
+    __slots__ = ("bridge", "request_id", "thread", "done")
+
+    def __init__(self, bridge: _SubscriptionBridge, request_id: Any) -> None:
+        self.bridge = bridge
+        self.request_id = request_id
+        self.thread: Optional[threading.Thread] = None
+        self.done = threading.Event()
+
+
+class AsyncLineServer:
+    """Asyncio transport skeleton: JSON lines, binary frames, subscriptions.
+
+    Subclasses implement :meth:`answer_request` (blocking, runs on the
+    request thread pool), optionally :meth:`answer_fast` (non-blocking
+    in-loop fast path), :meth:`subscribe_open` / :meth:`subscribe_pump`
+    (the streamed-sweep verb) and :meth:`_drain` (what must finish
+    before a stop completes).
+
+    The listening socket is bound in the constructor -- :attr:`address`
+    is valid immediately, exactly like the threaded server -- and handed
+    to the event loop when serving starts.
+    """
+
+    #: Listen backlog: sized for connection-storm benchmarks, like the
+    #: threaded server's ``request_queue_size``.
+    BACKLOG = 512
+
+    #: Hard bound on records buffered per subscription (see
+    #: :class:`_SubscriptionBridge`).
+    SUBSCRIPTION_QUEUE_MAX = 64
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        executor_workers: Optional[int] = None,
+        subscription_queue_max: Optional[int] = None,
+        connection_sndbuf: Optional[int] = None,
+    ) -> None:
+        self.subscription_queue_max = (
+            subscription_queue_max
+            if subscription_queue_max is not None
+            else self.SUBSCRIPTION_QUEUE_MAX
+        )
+        #: Per-connection SO_SNDBUF override (and write high-water mark);
+        #: mostly an ops/test knob to make backpressure bite early.
+        self.connection_sndbuf = connection_sndbuf
+        self.transport = TransportMetrics()
+        workers = (
+            executor_workers
+            if executor_workers is not None
+            else min(32, max(8, (os.cpu_count() or 1) * 4))
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-aio"
+        )
+        self._sock = socket.create_server((host, port), backlog=self.BACKLOG)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._stop_requested = False
+        self._stop_lock = threading.Lock()
+        self._stop_done = threading.Event()
+        self._drain_timeout: Optional[float] = 30.0
+        self._busy = 0  # loop-confined: in-flight request count
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._subs: set[_Subscription] = set()
+        self._subs_lock = threading.Lock()
+        self._sub_counts = {"opened": 0, "completed": 0, "cancelled": 0}
+        #: Tasks still pending when the loop wound down -- the
+        #: zero-leaked-tasks gate of the async smoke reads this.
+        self.leaked_tasks: list[asyncio.Task] = []
+
+    # -- to be provided by subclasses ------------------------------------------
+    def answer_request(self, data: Any) -> dict[str, Any]:
+        """Answer one decoded request (thread pool; must never raise)."""
+        raise NotImplementedError
+
+    def answer_fast(self, data: Any, fmt: str) -> Optional[dict[str, Any]]:
+        """Optional in-loop fast path (hot caches); None falls through."""
+        return None
+
+    def after_answer(self, data: Any, response: dict[str, Any], fmt: str) -> None:
+        """In-loop hook after a pooled answer (hot-cache population)."""
+
+    def subscribe_open(self, data: dict[str, Any], request_id: Any) -> tuple[Any, dict]:
+        """Validate + plan one subscription (thread pool): ``(job, ack)``.
+
+        Raising refuses the subscription with a single ``ok: false``
+        response; no stream starts.
+        """
+        raise ReproError(
+            "subscribe streams results over one connection and needs the "
+            "asyncio transport; start the daemon with `repro serve --async`"
+        )
+
+    def subscribe_pump(self, job: Any, bridge: _SubscriptionBridge) -> None:
+        """Execute one subscription on its producer thread.
+
+        Must push every record (and the summary) through ``bridge.put``
+        and never raise -- the wrapper converts stray exceptions into a
+        terminal error record.
+        """
+        raise NotImplementedError  # pragma: no cover - paired with subscribe_open
+
+    def _drain(self, timeout: Optional[float]) -> None:
+        """Finish outstanding work once the socket stopped accepting."""
+        raise NotImplementedError
+
+    # -- addressing ------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._sock.getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self._sock.getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def stopping(self) -> bool:
+        return self._stop_requested
+
+    def serve_forever(self) -> None:
+        """Run the event loop in the calling thread until :meth:`stop`."""
+        with self._stop_lock:
+            if self._stop_requested:
+                return  # stopped before the loop ever started (early signal)
+        try:
+            asyncio.run(self._main())
+        finally:
+            self._ready.set()
+            self._stop_done.set()
+
+    def serve_background(self) -> threading.Thread:
+        """Serve from a daemon thread; returns once the loop is accepting."""
+        thread = threading.Thread(
+            target=self.serve_forever, name=f"repro-aio-{self.port}", daemon=True
+        )
+        thread.start()
+        self._ready.wait(timeout=10.0)
+        return thread
+
+    def stop_async(self) -> None:
+        """Initiate shutdown without blocking (signal handlers, verbs)."""
+        threading.Thread(target=self.stop, daemon=True).start()
+
+    def stop(self, drain_timeout: Optional[float] = 30.0) -> None:
+        """Stop accepting, finish in-flight work, drain; idempotent + blocking.
+
+        Must not be called from inside the event loop thread (use
+        :meth:`stop_async` there, exactly like the threaded server).
+        """
+        with self._stop_lock:
+            first = not self._stop_requested
+            self._stop_requested = True
+            self._drain_timeout = drain_timeout
+        wait = None if drain_timeout is None else drain_timeout + 30.0
+        if not first:
+            self._stop_done.wait(timeout=wait)
+            return
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self._signal_stop)
+            except RuntimeError:  # loop closed between the check and the call
+                pass
+            else:
+                self._stop_done.wait(timeout=wait)
+                return
+        # The loop never ran (or already finished): drain directly.
+        try:
+            self._finish_drain()
+        finally:
+            with contextlib.suppress(OSError):
+                self._sock.close()
+            self._stop_done.set()
+
+    def _signal_stop(self) -> None:  # loop thread
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def __enter__(self) -> "AsyncLineServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- the event loop --------------------------------------------------------
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        if self._stop_requested:
+            self._stop_event.set()
+        server = await asyncio.start_server(
+            self._on_connection, sock=self._sock, limit=MAX_FRAME_BYTES
+        )
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await self._shutdown_gracefully()
+
+    async def _shutdown_gracefully(self) -> None:
+        timeout = self._drain_timeout if self._drain_timeout is not None else 30.0
+        deadline = self._loop.time() + timeout
+        # 1. In-flight requests finish and write their responses
+        #    (connections reading further lines are answered with the
+        #    shutting-down refusal -- the ``stopping`` flag is set).
+        while self._busy > 0 and self._loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        # 2. Active subscriptions wind down: their producers observe the
+        #    stop flag at the next completion and terminate their streams.
+        while self._subs and self._loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        # 3. Idle connections (blocked in a read) are cancelled.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        # 4. Join producer threads, shut the request pool down, drain the
+        #    service -- blocking work, run off-loop on the default executor
+        #    (our own executor is one of the things being shut down).
+        await self._loop.run_in_executor(None, self._finish_drain)
+        # 5. Leaked-task audit: anything still pending besides this task
+        #    is a bug the async smoke gates on.
+        current = asyncio.current_task()
+        self.leaked_tasks = [
+            task
+            for task in asyncio.all_tasks(self._loop)
+            if task is not current and not task.done()
+        ]
+
+    def _finish_drain(self) -> None:
+        with self._subs_lock:
+            subs = list(self._subs)
+        for sub in subs:
+            sub.bridge.cancel()
+        for sub in subs:
+            sub.done.wait(timeout=10.0)
+        self._executor.shutdown(wait=True)
+        self._drain(self._drain_timeout)
+
+    # -- connections -----------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        if self.connection_sndbuf is not None:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                with contextlib.suppress(OSError):
+                    sock.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_SNDBUF, self.connection_sndbuf
+                    )
+            writer.transport.set_write_buffer_limits(high=self.connection_sndbuf)
+        try:
+            await self._serve_json(reader, writer)
+        except asyncio.CancelledError:  # server stopping: close quietly
+            pass
+        except Exception:  # noqa: BLE001 - a connection must never kill the loop
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    def _begin(self) -> bool:  # loop thread
+        if self._stop_requested:
+            return False
+        self._busy += 1
+        return True
+
+    def _end(self) -> None:  # loop thread
+        self._busy -= 1
+
+    async def _answer(self, data: Any, fmt: str) -> dict[str, Any]:
+        fast = self.answer_fast(data, fmt)
+        if fast is not None:
+            return fast
+        try:
+            response = await self._loop.run_in_executor(
+                self._executor, self.answer_request, data
+            )
+        except RuntimeError as error:  # pool shut down: a stop won the race
+            op = data.get("op") if isinstance(data, dict) else None
+            request_id = data.get("id") if isinstance(data, dict) else None
+            return error_response(
+                str(op if op is not None else "?"),
+                ServiceUnavailableError(f"server is shutting down: {error}"),
+                request_id,
+            )
+        self.after_answer(data, response, fmt)
+        return response
+
+    # -- JSON lines ------------------------------------------------------------
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        response: dict[str, Any],
+        bytes_in: int,
+        stream: bool = False,
+    ) -> bool:
+        encoded = (encode_response(materialize_raw(response)) + "\n").encode("utf-8")
+        try:
+            writer.write(encoded)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        if stream:
+            self.transport.record_stream(FORMAT_JSON, len(encoded))
+        else:
+            self.transport.record_request(FORMAT_JSON, bytes_in, len(encoded))
+        return True
+
+    async def _serve_json(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.transport.record_connection(FORMAT_JSON)
+        while True:
+            try:
+                raw = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                return  # line exceeded the transport limit: unsyncable
+            except (ConnectionError, OSError):
+                return
+            if not raw:  # EOF: client closed its sending side
+                return
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            if self._stop_requested:
+                if not await self._send_json(
+                    writer, _shutting_down_response(line), len(raw)
+                ):
+                    return
+                continue
+            data, decode_error = decode_request(line)
+            if decode_error is not None:
+                if not await self._send_json(writer, decode_error, len(raw)):
+                    return
+                continue
+            op, _, request_id = normalize_request(data)
+            if op == SUBSCRIBE_OP:
+                if not await self._serve_subscription(
+                    writer, FORMAT_JSON, data, request_id, len(raw)
+                ):
+                    return
+                continue
+            if not self._begin():
+                if not await self._send_json(writer, _refusal(op, request_id), len(raw)):
+                    return
+                continue
+            try:
+                response = await self._answer(data, FORMAT_JSON)
+                sent = await self._send_json(writer, response, len(raw))
+            finally:
+                self._end()
+            if not sent:
+                return
+            if response.get("op") == SHUTDOWN_OP and response.get("ok"):
+                self.stop_async()
+                return
+            if (
+                response.get("op") == HELLO_OP
+                and response.get("ok")
+                and response.get("format") == FORMAT_BINARY
+            ):
+                await self._serve_binary(reader, writer)
+                return
+
+    # -- binary frames ---------------------------------------------------------
+    async def _read_frame(self, reader: asyncio.StreamReader) -> Optional[bytes]:
+        try:
+            header = await reader.readexactly(HEADER_SIZE)
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None  # clean EOF at a frame boundary
+            raise FrameError("connection closed mid-frame-header") from error
+        length = decode_header(header)
+        try:
+            return await reader.readexactly(length)
+        except asyncio.IncompleteReadError as error:
+            raise FrameError("connection closed mid-frame") from error
+
+    async def _send_frame(
+        self,
+        writer: asyncio.StreamWriter,
+        response: Any,
+        bytes_in: int,
+        stream: bool = False,
+    ) -> bool:
+        try:
+            frame = encode_frame(response)
+        except FrameError as error:  # pragma: no cover - responses are JSON-safe
+            frame = encode_frame(error_response("?", error))
+        try:
+            writer.write(frame)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        if stream:
+            self.transport.record_stream(FORMAT_BINARY, len(frame))
+        else:
+            self.transport.record_request(FORMAT_BINARY, bytes_in, len(frame))
+        return True
+
+    def decode_frame_payload(self, payload: bytes) -> Any:
+        """Decode one binary request payload (subclasses may keep spans raw)."""
+        return decode_payload(payload)
+
+    async def _serve_binary(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.transport.record_connection(FORMAT_BINARY)
+        while True:
+            try:
+                payload = await self._read_frame(reader)
+            except FrameError as error:
+                # A corrupted header is unsyncable: answer once, close.
+                await self._send_frame(writer, error_response("?", error), 0)
+                return
+            except (ConnectionError, OSError):
+                return
+            if payload is None:
+                return
+            bytes_in = HEADER_SIZE + len(payload)
+            try:
+                data = self.decode_frame_payload(payload)
+            except FrameError as error:
+                # Well-framed but malformed payload: still in sync.
+                if not await self._send_frame(writer, error_response("?", error), bytes_in):
+                    return
+                continue
+            op = data.get("op") if isinstance(data, dict) else None
+            request_id = data.get("id") if isinstance(data, dict) else None
+            if isinstance(data, dict) and op is None and "kind" in data:
+                op = "solve"
+            if self._stop_requested:
+                if not await self._send_frame(writer, _refusal(op, request_id), bytes_in):
+                    return
+                continue
+            if op == SUBSCRIBE_OP and isinstance(data, dict):
+                if not await self._serve_subscription(
+                    writer, FORMAT_BINARY, data, data.get("id"), bytes_in
+                ):
+                    return
+                continue
+            if not self._begin():
+                if not await self._send_frame(writer, _refusal(op, request_id), bytes_in):
+                    return
+                continue
+            try:
+                response = await self._answer(data, FORMAT_BINARY)
+                sent = await self._send_frame(writer, response, bytes_in)
+            finally:
+                self._end()
+            if not sent:
+                return
+            if response.get("op") == SHUTDOWN_OP and response.get("ok"):
+                self.stop_async()
+                return
+
+    # -- subscriptions ---------------------------------------------------------
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        fmt: str,
+        response: dict[str, Any],
+        bytes_in: int,
+        stream: bool = False,
+    ) -> bool:
+        if fmt == FORMAT_BINARY:
+            return await self._send_frame(writer, response, bytes_in, stream=stream)
+        return await self._send_json(writer, response, bytes_in, stream=stream)
+
+    async def _serve_subscription(
+        self,
+        writer: asyncio.StreamWriter,
+        fmt: str,
+        data: dict[str, Any],
+        request_id: Any,
+        bytes_in: int,
+    ) -> bool:
+        """Serve one subscribe request; False when the connection died."""
+        if not self._begin():
+            return await self._send(writer, fmt, _refusal(SUBSCRIBE_OP, request_id), bytes_in)
+        try:
+            try:
+                job, ack = await self._loop.run_in_executor(
+                    self._executor, self.subscribe_open, data, request_id
+                )
+            except Exception as error:  # noqa: BLE001 - refuse, keep the connection
+                return await self._send(
+                    writer, fmt, error_response(SUBSCRIBE_OP, error, request_id), bytes_in
+                )
+            if not await self._send(writer, fmt, ack, bytes_in):
+                return False  # client vanished before the ack: nothing started
+            bridge = _SubscriptionBridge(self._loop, self.subscription_queue_max)
+            sub = _Subscription(bridge, request_id)
+            with self._subs_lock:
+                self._subs.add(sub)
+                self._sub_counts["opened"] += 1
+            sub.thread = threading.Thread(
+                target=self._pump_wrapper,
+                args=(job, sub),
+                name="repro-subscribe",
+                daemon=True,
+            )
+            sub.thread.start()
+        finally:
+            # The busy window covers validation, planning and the ack;
+            # the stream itself is tracked through ``self._subs``.
+            self._end()
+        alive = True
+        try:
+            while True:
+                record = await bridge.get()
+                if record is _DONE:
+                    break
+                if alive and not await self._send(writer, fmt, record, 0, stream=True):
+                    alive = False
+                    bridge.cancel()
+                    with self._subs_lock:
+                        self._sub_counts["cancelled"] += 1
+                # Keep consuming until the sentinel either way, so the
+                # producer thread can never deadlock on a full queue.
+        finally:
+            if not bridge.cancelled and not sub.done.is_set():
+                # The consumer task is going away mid-stream (connection
+                # cancelled during a stop): flip the bridge so the
+                # producer drains without blocking.
+                bridge.cancel()
+        return alive
+
+    def _pump_wrapper(self, job: Any, sub: _Subscription) -> None:
+        try:
+            self.subscribe_pump(job, sub.bridge)
+        except BaseException as error:  # noqa: BLE001 - terminal error record
+            sub.bridge.put(error_response(SUBSCRIBE_OP, error, sub.request_id))
+        finally:
+            sub.bridge.finish()
+            sub.done.set()
+            with self._subs_lock:
+                self._subs.discard(sub)
+                self._sub_counts["completed"] += 1
+
+    def subscription_stats(self) -> dict[str, int]:
+        """JSON-safe counters for the metrics document and the tests."""
+        with self._subs_lock:
+            stats = dict(self._sub_counts)
+            stats["active"] = len(self._subs)
+        stats["queue_max"] = self.subscription_queue_max
+        return stats
+
+
+class AsyncReproServer(AsyncLineServer):
+    """The asyncio solver daemon: one event loop, one shared service.
+
+    Answers every JSON-Lines verb of the threaded
+    :class:`~repro.service.daemon.ReproServer` byte-for-byte (the golden
+    transcript test pins this), speaks the same negotiated binary
+    frames, and adds the ``subscribe`` streamed-sweep verb.
+
+    Args:
+        service: the shared :class:`SolverService` (built from
+            ``service_kwargs`` when omitted).
+        host / port: bind address (``port=0`` picks an ephemeral one;
+            :attr:`address` is valid immediately).
+        executor_workers: request thread-pool size.
+        subscription_queue_max: per-subscription record buffer bound.
+        service_kwargs: forwarded to :class:`SolverService` when no
+            service instance is given.
+    """
+
+    #: Hot-cache capacity, mirroring the threaded daemon's.
+    HOT_CACHE_CAP = 256
+
+    def __init__(
+        self,
+        service: Optional[SolverService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        executor_workers: Optional[int] = None,
+        subscription_queue_max: Optional[int] = None,
+        connection_sndbuf: Optional[int] = None,
+        **service_kwargs: Any,
+    ) -> None:
+        self.service = service if service is not None else SolverService(**service_kwargs)
+        # request shape -> [result dict, encoded payload or None, backend]:
+        # loop-confined (answer_fast/after_answer both run on the loop),
+        # so no lock.  The raw payload is encoded lazily, on the first
+        # binary hit.
+        self._hot: "collections.OrderedDict[Any, list]" = collections.OrderedDict()
+        super().__init__(
+            host=host,
+            port=port,
+            executor_workers=executor_workers,
+            subscription_queue_max=subscription_queue_max,
+            connection_sndbuf=connection_sndbuf,
+        )
+
+    # -- request path ----------------------------------------------------------
+    def answer_request(self, data: Any) -> dict[str, Any]:
+        return self._enrich(handle_request(self.service, data))
+
+    def _enrich(self, response: dict[str, Any]) -> dict[str, Any]:
+        """Fold transport/kernel/subscription stats into a metrics response."""
+        if response.get("op") == "metrics" and response.get("ok"):
+            metrics = response.get("metrics")
+            if isinstance(metrics, dict):
+                from ..simulation.kernel import kernel_cache_stats
+
+                metrics["transport"] = self.transport.snapshot()
+                metrics["kernel_cache"] = kernel_cache_stats()
+                metrics["subscriptions"] = self.subscription_stats()
+        return response
+
+    def answer_fast(self, data: Any, fmt: str) -> Optional[dict[str, Any]]:
+        """Hot response cache, in-loop: repeat solves skip the thread hop.
+
+        The threaded daemon replays repeats from its hot cache on the
+        binary path and from the runner LRU on the JSON path; both are
+        ``served_by: "cache"`` on the wire, so answering JSON repeats
+        from the hot cache here changes latency, not semantics.
+        """
+        if self._stop_requested or self.service.draining:
+            return None
+        key = hot_solve_key(data)
+        if key is None:
+            return None
+        entry = self._hot.get(key)
+        if entry is None:
+            return None
+        started = time.perf_counter()
+        self._hot.move_to_end(key)
+        result_dict, raw, effective = entry
+        if fmt == FORMAT_BINARY:
+            if raw is None:
+                try:
+                    raw = entry[1] = encode_payload(result_dict)
+                except FrameError:  # pragma: no cover - results are JSON-safe
+                    return None
+            result: Any = Raw(raw)
+        else:
+            result = result_dict
+        latency = time.perf_counter() - started
+        self.service.metrics.record(effective, "cache", latency)
+        response: dict[str, Any] = {
+            "ok": True,
+            "op": "solve",
+            "result": result,
+            "served_by": "cache",
+            "latency_ms": round(latency * 1e3, 3),
+        }
+        request_id = data.get("id")
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    def after_answer(self, data: Any, response: dict[str, Any], fmt: str) -> None:
+        if not (response.get("ok") and response.get("op") == "solve"):
+            return
+        key = hot_solve_key(data)
+        if key is None:
+            return
+        result = response.get("result")
+        if not isinstance(result, dict):
+            return
+        effective = (
+            data.get("backend") if isinstance(data, dict) else None
+        ) or self.service.backend
+        self._hot[key] = [result, None, effective]
+        self._hot.move_to_end(key)
+        while len(self._hot) > self.HOT_CACHE_CAP:
+            self._hot.popitem(last=False)
+
+    # -- the subscribe verb ----------------------------------------------------
+    def subscribe_open(self, data: dict[str, Any], request_id: Any) -> tuple[Any, dict]:
+        from ..api.backends import create_backend
+
+        specs, backend = parse_subscribe(data)
+        effective = backend if backend is not None else self.service.backend
+        if self.service.draining:
+            raise ServiceUnavailableError("service is draining, request refused")
+        backend_obj = create_backend(effective)
+        runner = self.service.runner
+        plan = runner.plan(specs, backend=effective, backend_obj=backend_obj)
+        ack = subscribe_ack(request_id, plan.total, plan.unique, effective)
+        return (runner, plan, backend_obj, effective, request_id), ack
+
+    def subscribe_pump(self, job: Any, bridge: _SubscriptionBridge) -> None:
+        """Drive one planned sweep, streaming completions through the bridge.
+
+        Runs on a dedicated producer thread.  The execution stream is
+        **always drained fully** -- a cancelled bridge only discards the
+        records, so the LRU and the store still receive every fresh
+        result (the abrupt-disconnect invariant).  Only a server stop
+        aborts the stream early (closing the generator, which flushes).
+        """
+        runner, plan, backend_obj, effective, request_id = job
+        started = time.perf_counter()
+        seq = 0
+        errors = 0
+        sources: dict[str, int] = {}
+        results: list[Any] = []
+        aborted = False
+        stream = runner.execute_iter(plan, backend_obj=backend_obj)
+        try:
+            for completion in stream:
+                if self._stop_requested:
+                    aborted = True
+                    bridge.put(
+                        error_response(
+                            SUBSCRIBE_OP,
+                            ServiceUnavailableError(
+                                "server is shutting down, subscription aborted"
+                            ),
+                            request_id,
+                        )
+                    )
+                    break
+                record = completion_record(completion, request_id, seq)
+                seq += 1
+                sources[completion.source] = sources.get(completion.source, 0) + 1
+                if completion.result is not None:
+                    results.append(completion.result)
+                    self.service.metrics.record(
+                        effective, completion.source, completion.latency
+                    )
+                else:
+                    errors += 1
+                    self.service.metrics.record_error(effective, completion.latency)
+                bridge.put(record)
+        finally:
+            stream.close()
+        if aborted:
+            return
+        from ..experiments.manifest import fingerprint_digest
+
+        bridge.put(
+            subscribe_summary(
+                request_id,
+                records=seq,
+                errors=errors,
+                total=plan.total,
+                unique=plan.unique,
+                fingerprint_digest=fingerprint_digest(results),
+                sources=sources,
+                wall_time_ms=(time.perf_counter() - started) * 1e3,
+            )
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+    def _drain(self, timeout: Optional[float]) -> None:
+        self.service.drain(timeout=timeout)

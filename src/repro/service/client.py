@@ -12,15 +12,31 @@ want the negotiated binary framing:
 JSON transparently when the server declines (an old daemon answers
 ``hello`` with an unknown-op error -- the client notices and keeps
 speaking JSON, so new clients work against old servers too).
+
+Any wire-level failure -- a read timeout, an EOF mid-response, a frame
+that does not decode -- raises :class:`~repro.errors.ServiceProtocolError`
+**after closing the connection**: once framing desyncs there is no way
+to match a late response to its request, so a broken client must never
+be reused (and refuses to be: further requests raise immediately).
+
+Against an asyncio server, :meth:`ServiceClient.subscribe` submits a
+whole spec suite on this one connection and iterates the per-spec
+completion records as they stream back, in completion order::
+
+    with ServiceClient(host, port) as client:
+        stream = client.subscribe(specs)
+        for record in stream:          # {"op": "completion", "seq": ..., ...}
+            ...
+        print(stream.summary["fingerprint_digest"])
 """
 
 from __future__ import annotations
 
 import json
 import socket
-from typing import Any
+from typing import Any, Iterator, Optional
 
-from ..errors import ReproError
+from ..errors import ReproError, ServiceProtocolError
 from .frames import (
     FORMAT_BINARY,
     FORMAT_JSON,
@@ -30,8 +46,9 @@ from .frames import (
     encode_frame,
     read_frame,
 )
+from .protocol import COMPLETION_OP, SUBSCRIBE_OP, SUMMARY_OP
 
-__all__ = ["ServiceClient"]
+__all__ = ["ServiceClient", "SubscribeStream"]
 
 
 class ServiceClient:
@@ -41,7 +58,8 @@ class ServiceClient:
         host / port: the server address.
         binary: offer the binary-frame upgrade; :attr:`format` records
             what the connection actually negotiated.
-        timeout: socket timeout per round-trip.
+        timeout: socket timeout per round-trip (and per streamed record
+            during a subscription).
     """
 
     def __init__(
@@ -49,6 +67,7 @@ class ServiceClient:
     ) -> None:
         self._conn = socket.create_connection((host, port), timeout=timeout)
         self._stream = self._conn.makefile("rwb")
+        self._closed = False
         self.format = FORMAT_JSON
         self.bytes_sent = 0
         self.bytes_received = 0
@@ -56,7 +75,7 @@ class ServiceClient:
             self._negotiate()
 
     def _negotiate(self) -> None:
-        response = self._request_json({"op": HELLO_OP, "format": FORMAT_BINARY})
+        response = self._request({"op": HELLO_OP, "format": FORMAT_BINARY})
         if response.get("ok") and response.get("format") == FORMAT_BINARY:
             self.format = FORMAT_BINARY
         # Any other answer (an old server's unknown-op error included)
@@ -66,43 +85,124 @@ class ServiceClient:
     def binary(self) -> bool:
         return self.format == FORMAT_BINARY
 
-    def _request_json(self, data: dict[str, Any]) -> dict[str, Any]:
-        encoded = (json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n").encode(
-            "utf-8"
-        )
-        self._stream.write(encoded)
-        self._stream.flush()
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _broken(self, what: str, error: Optional[BaseException]) -> ServiceProtocolError:
+        """Close the connection and build the error to raise -- in that
+        order: a desynced connection must be dead before the caller can
+        see (and possibly swallow) the exception."""
+        self.close()
+        detail = f": {error}" if error is not None else ""
+        return ServiceProtocolError(f"{what}{detail}")
+
+    def _write(self, data: dict[str, Any]) -> None:
+        if self._closed:
+            raise ServiceProtocolError("client connection is closed")
+        if self.format == FORMAT_BINARY:
+            encoded = encode_frame(data)
+        else:
+            encoded = (
+                json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n"
+            ).encode("utf-8")
+        try:
+            self._stream.write(encoded)
+            self._stream.flush()
+        except (TimeoutError, OSError) as error:
+            raise self._broken("send failed, connection closed", error) from error
         self.bytes_sent += len(encoded)
-        raw = self._stream.readline()
+
+    def _read(self) -> dict[str, Any]:
+        if self._closed:
+            raise ServiceProtocolError("client connection is closed")
+        if self.format == FORMAT_BINARY:
+            return self._read_frame()
+        return self._read_line()
+
+    def _read_line(self) -> dict[str, Any]:
+        try:
+            raw = self._stream.readline()
+        except TimeoutError as error:
+            # The response may still arrive later; there is no way to
+            # pair it with its request any more, so the connection is
+            # unusable and must not be returned to the caller alive.
+            raise self._broken("read timed out, connection closed", error) from error
+        except OSError as error:
+            raise self._broken("read failed, connection closed", error) from error
         if not raw:
-            raise ReproError("server closed the connection mid-request")
+            raise self._broken("server closed the connection mid-request", None)
         self.bytes_received += len(raw)
-        response = json.loads(raw.decode("utf-8"))
+        try:
+            response = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise self._broken("undecodable response, connection closed", error) from error
         if not isinstance(response, dict):
-            raise ReproError("server answered a non-object response")
+            raise self._broken("server answered a non-object response", None)
         return response
 
-    def _request_binary(self, data: dict[str, Any]) -> dict[str, Any]:
-        frame = encode_frame(data)
-        self._stream.write(frame)
-        self._stream.flush()
-        self.bytes_sent += len(frame)
-        payload = read_frame(self._stream)
+    def _read_frame(self) -> dict[str, Any]:
+        try:
+            payload = read_frame(self._stream)
+        except TimeoutError as error:
+            raise self._broken("read timed out, connection closed", error) from error
+        except FrameError as error:
+            raise self._broken("undecodable frame, connection closed", error) from error
+        except OSError as error:
+            raise self._broken("read failed, connection closed", error) from error
         if payload is None:
-            raise ReproError("server closed the connection mid-request")
+            raise self._broken("server closed the connection mid-request", None)
         self.bytes_received += 6 + len(payload)
-        response = decode_payload(payload)
+        try:
+            response = decode_payload(payload)
+        except FrameError as error:
+            raise self._broken("undecodable frame, connection closed", error) from error
         if not isinstance(response, dict):
-            raise FrameError("server answered a non-object response")
+            raise self._broken("server answered a non-object response", None)
         return response
+
+    def _request(self, data: dict[str, Any]) -> dict[str, Any]:
+        self._write(data)
+        return self._read()
 
     def request(self, data: dict[str, Any]) -> dict[str, Any]:
         """One round-trip in whatever format the connection negotiated."""
-        if self.format == FORMAT_BINARY:
-            return self._request_binary(data)
-        return self._request_json(data)
+        return self._request(data)
+
+    def subscribe(
+        self,
+        specs: Any,
+        backend: Optional[str] = None,
+        request_id: Any = None,
+    ) -> "SubscribeStream":
+        """Submit a spec suite and stream its completions back.
+
+        ``specs`` may hold spec objects or already-serialised spec
+        dicts.  The server's ``ok`` ack is consumed here; a refusal
+        (``ok: false`` -- e.g. a threaded daemon, or an invalid suite)
+        raises :class:`~repro.errors.ReproError` and leaves the
+        connection usable.  Iterate the returned stream to exhaustion
+        before issuing other requests on this client.
+        """
+        request: dict[str, Any] = {
+            "op": SUBSCRIBE_OP,
+            "specs": [
+                spec.to_dict() if hasattr(spec, "to_dict") else spec for spec in specs
+            ],
+        }
+        if backend is not None:
+            request["backend"] = backend
+        if request_id is not None:
+            request["id"] = request_id
+        ack = self._request(request)
+        if not ack.get("ok"):
+            raise ReproError(
+                f"subscribe refused: {ack.get('error', 'unknown error')}"
+            )
+        return SubscribeStream(self, ack)
 
     def close(self) -> None:
+        self._closed = True
         try:
             self._stream.close()
         except OSError:  # pragma: no cover - already torn down
@@ -117,3 +217,39 @@ class ServiceClient:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class SubscribeStream:
+    """Iterator over one subscription's streamed completion records.
+
+    Yields each ``completion`` record as a dict; the terminating
+    ``summary`` record is not yielded but stashed on :attr:`summary`.
+    A mid-stream server abort (an ``ok: false`` record) raises
+    :class:`~repro.errors.ReproError`; wire breakage raises
+    :class:`~repro.errors.ServiceProtocolError` with the connection
+    closed, like any other read.
+    """
+
+    def __init__(self, client: ServiceClient, ack: dict[str, Any]) -> None:
+        self._client = client
+        self.ack = ack
+        self.summary: Optional[dict[str, Any]] = None
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return self
+
+    def __next__(self) -> dict[str, Any]:
+        if self.summary is not None:
+            raise StopIteration
+        record = self._client._read()
+        op = record.get("op")
+        if op == SUMMARY_OP:
+            self.summary = record
+            raise StopIteration
+        if not record.get("ok") and op != COMPLETION_OP:
+            # A terminal server-side abort (shutdown mid-sweep, pump
+            # failure); the stream is over but the connection is fine.
+            raise ReproError(
+                f"subscription aborted by server: {record.get('error', 'unknown error')}"
+            )
+        return record

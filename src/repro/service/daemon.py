@@ -55,7 +55,13 @@ from .protocol import (
 )
 from .service import SolverService
 
-__all__ = ["GracefulLineServer", "ReproServer", "TransportMetrics", "request_lines"]
+__all__ = [
+    "GracefulLineServer",
+    "ReproServer",
+    "TransportMetrics",
+    "hot_solve_key",
+    "request_lines",
+]
 
 
 class TransportMetrics:
@@ -85,9 +91,41 @@ class TransportMetrics:
             counters["bytes_in"] += bytes_in
             counters["bytes_out"] += bytes_out
 
+    def record_stream(self, fmt: str, bytes_out: int) -> None:
+        """Count bytes of one streamed record (not an individual request).
+
+        A subscription is one request (counted at its ack) followed by
+        many pushed records; counting each record as a request would make
+        the transport totals lie about the wire's request/response ratio.
+        """
+        with self._lock:
+            self._formats[fmt]["bytes_out"] += bytes_out
+
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
             return {fmt: dict(counters) for fmt, counters in self._formats.items()}
+
+
+def hot_solve_key(data: Any) -> Optional[tuple[Optional[str], str]]:
+    """The hot-response-cache key of a solve request (None: not cacheable).
+
+    Shared by the threaded daemon and the asyncio server so a request
+    shape that replays from one server's hot cache replays from the
+    other's too.
+    """
+    if not isinstance(data, dict):
+        return None
+    op = data.get("op")
+    spec = data.get("spec")
+    if op is None and "kind" in data:
+        op = "solve"
+        spec = {key: value for key, value in data.items() if key != "id"}
+    if op != "solve" or not isinstance(spec, dict):
+        return None
+    backend = data.get("backend")
+    if backend is not None and not isinstance(backend, str):
+        return None
+    return backend, repr(sorted(spec.items(), key=lambda item: str(item[0])))
 
 
 def _refusal(op: Any, request_id: Any) -> dict[str, Any]:
@@ -439,19 +477,7 @@ class ReproServer(GracefulLineServer):
 
     def _hot_key(self, data: Any) -> Optional[tuple[Optional[str], str]]:
         """The hot-cache key of a solve request, or None when not cacheable."""
-        if not isinstance(data, dict):
-            return None
-        op = data.get("op")
-        spec = data.get("spec")
-        if op is None and "kind" in data:
-            op = "solve"
-            spec = {key: value for key, value in data.items() if key != "id"}
-        if op != "solve" or not isinstance(spec, dict):
-            return None
-        backend = data.get("backend")
-        if backend is not None and not isinstance(backend, str):
-            return None
-        return backend, repr(sorted(spec.items(), key=lambda item: str(item[0])))
+        return hot_solve_key(data)
 
     def answer_frame(self, data: Any) -> dict[str, Any]:
         started = time.perf_counter()

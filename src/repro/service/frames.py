@@ -51,9 +51,11 @@ __all__ = [
     "FORMAT_JSON",
     "FORMATS",
     "FrameError",
+    "HEADER_SIZE",
     "HELLO_OP",
     "MAX_FRAME_BYTES",
     "Raw",
+    "decode_header",
     "decode_payload",
     "encode_frame",
     "encode_payload",
@@ -305,11 +307,32 @@ def materialize_raw(response: Any) -> Any:
 # -- framing -------------------------------------------------------------------
 
 
+#: Size of the fixed frame header in bytes (magic, version, length).
+HEADER_SIZE = _HEADER.size
+
+
 def pack_frame(payload: bytes) -> bytes:
     """Prefix encoded payload bytes with the frame header."""
     if len(payload) > MAX_FRAME_BYTES:
         raise FrameError(f"frame payload of {len(payload)} bytes exceeds the maximum")
     return _HEADER.pack(_MAGIC, _VERSION, len(payload)) + payload
+
+
+def decode_header(header: bytes) -> int:
+    """Validate one frame header and return its payload length.
+
+    Shared by the blocking :func:`read_frame` and the asyncio transport
+    (:mod:`repro.service.aio`), so a corrupted header fails identically
+    on both.
+    """
+    magic, version, length = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise FrameError(f"bad frame magic 0x{magic:02x}")
+    if version != _VERSION:
+        raise FrameError(f"unsupported frame version {version}")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds the maximum")
+    return length
 
 
 def encode_frame(value: Any) -> bytes:
@@ -329,13 +352,7 @@ def read_frame(stream: Any) -> Optional[bytes]:
         return None
     if len(header) < _HEADER.size:
         raise FrameError("connection closed mid-frame-header")
-    magic, version, length = _HEADER.unpack(header)
-    if magic != _MAGIC:
-        raise FrameError(f"bad frame magic 0x{magic:02x}")
-    if version != _VERSION:
-        raise FrameError(f"unsupported frame version {version}")
-    if length > MAX_FRAME_BYTES:
-        raise FrameError(f"frame length {length} exceeds the maximum")
+    length = decode_header(header)
     payload = stream.read(length)
     if len(payload) < length:
         raise FrameError("connection closed mid-frame")

@@ -36,18 +36,39 @@ from .frames import FORMAT_JSON, FORMATS, HELLO_OP
 from .service import SolverService
 
 __all__ = [
+    "completion_record",
     "decode_request",
     "error_response",
     "handle_request",
     "handle_line",
     "hello_response",
     "normalize_request",
+    "parse_subscribe",
+    "subscribe_ack",
+    "subscribe_summary",
+    "COMPLETION_OP",
     "SHUTDOWN_OP",
+    "SUBSCRIBE_OP",
+    "SUMMARY_OP",
 ]
 
 #: The daemon-level verb; :func:`handle_request` answers it but leaves
 #: actually stopping the server to the transport layer.
 SHUTDOWN_OP = "shutdown"
+
+#: The streamed-sweep verb: one request carrying a whole spec suite,
+#: answered with an ack, then one ``completion`` record per unique key
+#: in completion order, then one ``summary`` record.  Needs a streaming
+#: transport -- the asyncio servers of :mod:`repro.service.aio` and the
+#: async cluster front; the thread-per-connection daemon refuses it
+#: cleanly (one response per request is its whole contract).
+SUBSCRIBE_OP = "subscribe"
+
+#: ``op`` of each streamed per-spec record of a subscription.
+COMPLETION_OP = "completion"
+
+#: ``op`` of the terminating record of a subscription.
+SUMMARY_OP = "summary"
 
 
 def error_response(
@@ -145,6 +166,11 @@ def handle_request(service: SolverService, data: Any) -> dict[str, Any]:
             return hello_response(data, request_id)
         if op == SHUTDOWN_OP:
             return {"ok": True, "op": SHUTDOWN_OP, "stopping": True}
+        if op == SUBSCRIBE_OP:
+            raise ReproError(
+                "subscribe streams results over one connection and needs the "
+                "asyncio transport; start the daemon with `repro serve --async`"
+            )
         raise ReproError(
             f"unknown op {op!r}; expected solve, health, metrics, "
             f"{HELLO_OP} or {SHUTDOWN_OP}"
@@ -191,3 +217,102 @@ def handle_line(service: SolverService, line: str) -> dict[str, Any]:
 def encode_response(response: dict[str, Any]) -> str:
     """One response as its wire line (no trailing newline)."""
     return json.dumps(response, sort_keys=True, separators=(",", ":"))
+
+
+# -- the subscribe stream ------------------------------------------------------
+#
+# Every record shape of a subscription is built here, so the asyncio
+# daemon, the async cluster front and the client all agree on the wire
+# format (JSON lines and binary frames carry the same dicts).
+
+
+def parse_subscribe(data: dict[str, Any]) -> tuple[list[Any], Optional[str]]:
+    """Validate a subscribe request: ``(specs, backend_override)``.
+
+    Raises :class:`~repro.errors.ReproError` naming the offending entry,
+    so an invalid suite is refused with a single ``ok: false`` response
+    before any stream starts.
+    """
+    from ..api.spec import spec_from_dict
+
+    specs_data = data.get("specs")
+    if not isinstance(specs_data, list) or not specs_data:
+        raise ReproError('subscribe request needs a non-empty "specs" list')
+    backend = data.get("backend")
+    if backend is not None and not isinstance(backend, str):
+        raise ReproError('"backend" must be a string backend name')
+    specs = []
+    for index, item in enumerate(specs_data):
+        if not isinstance(item, dict):
+            raise ReproError(
+                f"specs[{index}] must be a spec object, got {type(item).__name__}"
+            )
+        try:
+            specs.append(spec_from_dict(item))
+        except ReproError as error:
+            raise ReproError(f"specs[{index}]: {error}") from error
+    return specs, backend
+
+
+def subscribe_ack(
+    request_id: Any, total: int, unique: int, backend: str
+) -> dict[str, Any]:
+    """The first response of an accepted subscription."""
+    ack: dict[str, Any] = {
+        "ok": True,
+        "op": SUBSCRIBE_OP,
+        "total": total,
+        "unique": unique,
+        "backend": backend,
+    }
+    if request_id is not None:
+        ack["id"] = request_id
+    return ack
+
+
+def completion_record(completion: Any, request_id: Any, seq: int) -> dict[str, Any]:
+    """One streamed per-spec record, tagged with key, source tier and seq."""
+    backend, spec_hash = completion.key
+    record: dict[str, Any] = {
+        "ok": completion.ok,
+        "op": COMPLETION_OP,
+        "seq": seq,
+        "key": {"backend": backend, "spec_hash": spec_hash},
+        "served_by": completion.source,
+        "latency_ms": round(completion.latency * 1e3, 3),
+    }
+    if completion.result is not None:
+        record["result"] = completion.result.to_dict()
+    if completion.failure is not None:
+        record["error"] = completion.failure.message
+        record["error_type"] = completion.failure.error_type
+    if request_id is not None:
+        record["id"] = request_id
+    return record
+
+
+def subscribe_summary(
+    request_id: Any,
+    records: int,
+    errors: int,
+    total: int,
+    unique: int,
+    fingerprint_digest: str,
+    sources: dict[str, int],
+    wall_time_ms: float,
+) -> dict[str, Any]:
+    """The terminating record: counts plus the order-independent digest."""
+    summary: dict[str, Any] = {
+        "ok": True,
+        "op": SUMMARY_OP,
+        "records": records,
+        "errors": errors,
+        "total": total,
+        "unique": unique,
+        "fingerprint_digest": fingerprint_digest,
+        "sources": dict(sorted(sources.items())),
+        "wall_time_ms": round(wall_time_ms, 3),
+    }
+    if request_id is not None:
+        summary["id"] = request_id
+    return summary

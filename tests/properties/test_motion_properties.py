@@ -10,10 +10,20 @@ from hypothesis import strategies as st
 from repro.geometry import ORIGIN, ReferenceFrame, Vec2
 from repro.motion import TrajectoryBuilder, transform_trajectory
 
-coordinates = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+# Subnormal coordinates/waits produce segments whose duration is a few
+# denormal ulps; length/duration then quantizes to multiples of 0.5 and
+# no additive tolerance can absorb it.  The invariants under test are
+# about geometry, not denormal arithmetic.
+coordinates = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False,
+    allow_subnormal=False,
+)
 points = st.builds(Vec2, coordinates, coordinates)
 radii = st.floats(min_value=0.05, max_value=5.0, allow_nan=False, allow_infinity=False)
-waits = st.floats(min_value=0.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+waits = st.floats(
+    min_value=0.0, max_value=5.0, allow_nan=False, allow_infinity=False,
+    allow_subnormal=False,
+)
 speeds = st.floats(min_value=0.1, max_value=5.0, allow_nan=False, allow_infinity=False)
 angles = st.floats(min_value=-7.0, max_value=7.0, allow_nan=False, allow_infinity=False)
 chiralities = st.sampled_from([1, -1])

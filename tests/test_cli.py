@@ -566,3 +566,104 @@ class TestServeSignals:
             if process.poll() is None:  # pragma: no cover - only on failure
                 process.kill()
         assert len(ResultStore(store_dir)) == 1
+
+
+class TestSweepCommand:
+    """``repro sweep``: one suite, three execution paths, one digest."""
+
+    SUITE = "asymmetric-clock"  # smallest named suite (7 specs)
+
+    def _local_digest(self):
+        from repro.api.batch import BatchRunner
+        from repro.experiments.manifest import fingerprint_digest
+        from repro.workloads import spec_suite
+
+        results, _ = BatchRunner(backend="analytic").run(spec_suite(self.SUITE))
+        return fingerprint_digest(results)
+
+    def test_sweep_parser_defaults(self):
+        namespace = build_parser().parse_args(["sweep", self.SUITE])
+        assert namespace.command == "sweep"
+        assert namespace.suite == self.SUITE
+        assert namespace.backend == "auto"
+        assert namespace.connect is None
+        assert not namespace.subscribe and not namespace.binary
+
+    def test_local_sweep_matches_batch_runner_digest(self, capsys):
+        code = main(["sweep", self.SUITE, "--backend", "analytic",
+                     "--no-store", "--json"])
+        assert code == 0
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome["mode"] == "local"
+        assert outcome["errors"] == 0
+        assert outcome["total"] == 7
+        assert outcome["fingerprint_digest"] == self._local_digest()
+
+    def test_subscribe_and_per_request_paths_agree(self, capsys):
+        from repro.service import AsyncReproServer
+
+        expected = self._local_digest()
+        server = AsyncReproServer(backend="analytic", host="127.0.0.1", port=0)
+        server.serve_background()
+        try:
+            address = f"{server.host}:{server.port}"
+            code = main(["sweep", self.SUITE, "--backend", "analytic",
+                         "--connect", address, "--subscribe", "--json"])
+            assert code == 0
+            streamed = json.loads(capsys.readouterr().out)
+            assert streamed["mode"] == "subscribe/json"
+            assert streamed["errors"] == 0
+            assert streamed["fingerprint_digest"] == expected
+
+            code = main(["sweep", self.SUITE, "--backend", "analytic",
+                         "--connect", address, "--json"])
+            assert code == 0
+            per_request = json.loads(capsys.readouterr().out)
+            assert per_request["mode"] == "connect/json"
+            assert per_request["fingerprint_digest"] == expected
+            # The second pass replays the first pass's answers.
+            assert per_request["sources"] == {"cache": 7}
+        finally:
+            server.stop()
+        assert server.leaked_tasks == []
+
+    def test_subscribe_requires_connect(self, capsys):
+        assert main(["sweep", self.SUITE, "--subscribe"]) == 1
+        assert "--connect" in capsys.readouterr().err
+
+    def test_unknown_suite_fails_cleanly(self, capsys):
+        assert main(["sweep", "no-such-suite"]) == 1
+        assert "no-such-suite" in capsys.readouterr().err
+
+
+class TestPortFilePublication:
+    """Satellite: ``--port-file`` lands atomically on both transports."""
+
+    _spawn_serve = TestServeSignals._spawn_serve
+
+    @pytest.mark.parametrize("extra", [(), ("--async",)],
+                             ids=["threaded", "asyncio"])
+    def test_port_file_is_complete_and_leaves_no_temp(self, tmp_path, extra):
+        import os
+        import signal
+
+        from repro.service import request_lines
+
+        process, host, port = self._spawn_serve(tmp_path, *extra)
+        try:
+            content = (tmp_path / "serve.port").read_text(encoding="utf-8")
+            assert content == f"{host}:{port}\n"
+            # write-temp + rename: no partial or leftover temp files.
+            assert list(tmp_path.glob("serve.port.*")) == []
+            (line,) = request_lines(host, port, [json.dumps({"op": "health"})])
+            assert json.loads(line)["ok"]
+            os.kill(process.pid, signal.SIGTERM)
+            assert process.wait(timeout=30.0) == 0
+        finally:
+            if process.poll() is None:  # pragma: no cover - only on failure
+                process.kill()
+
+    def test_serve_parser_accepts_async(self):
+        namespace = build_parser().parse_args(["serve", "--async"])
+        assert namespace.use_async
+        assert not build_parser().parse_args(["serve"]).use_async
