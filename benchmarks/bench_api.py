@@ -52,7 +52,16 @@ the other benchmark artefacts so future PRs can track the trajectory:
   ``fault-byzantine`` suites, reporting trials/s serially and through
   the worker pool, with a bit-identical-envelope assertion across
   independent serial and pooled runs (the seeded determinism
-  contract).
+  contract);
+* ``BENCH_sweep.json`` -- the distributed-sweep snapshot: the large
+  search sweep shipped to a 2-worker async cluster as one partitioned
+  ``sweep`` (each worker runs its partition as a single local batch
+  plan) vs the per-spec-routed ``subscribe`` baseline on an identical
+  fresh fleet, the warm replay, the ``fold`` pass (merged aggregate
+  tables, gated >=10x fewer bytes on the wire than the streamed
+  envelopes), and a mid-sweep worker kill -- every digest bit-identical
+  to a local ``BatchRunner.run()``, the fleet batch tier engaged, and
+  the killed worker respawned.
 
 ``solved`` counts only specs whose simulated event actually fired;
 ``bound_only`` counts analytic answers (``solved is None`` -- no
@@ -94,6 +103,7 @@ DEFAULT_MONTECARLO_OUTPUT = (
     Path(__file__).resolve().parent / "results" / "BENCH_montecarlo.json"
 )
 DEFAULT_ASYNC_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_async.json"
+DEFAULT_SWEEP_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_sweep.json"
 
 KERNEL_SUITE = "search-sweep"
 KERNEL_LARGE_SUITE = "search-sweep-large"
@@ -105,6 +115,8 @@ MONTECARLO_SUITES = ("fault-crash-sweep", "fault-byzantine")
 ASYNC_CONNECTION_STEPS = (8, 64, 256, 512)
 ASYNC_THREAD_BUDGET = 96
 ASYNC_SWEEP_SUITE = KERNEL_LARGE_SUITE
+SWEEP_SUITE = KERNEL_LARGE_SUITE
+SWEEP_WORKERS = 2
 
 
 def _workload(quick: bool) -> list:
@@ -1152,6 +1164,237 @@ def run_async_benchmark(quick: bool) -> dict:
     }
 
 
+def _drive_sweep_stream(client, suite, backend: str, mode: str, on_record=None) -> dict:
+    """One streamed pass (``subscribe`` or ``sweep``) with bytes-on-wire.
+
+    ``on_record(count)`` fires after every yielded completion record --
+    the kill pass uses it to take a worker down mid-stream.  Byte counts
+    are deltas of the client's counters, so one connection can host
+    several measured passes.
+    """
+    sent_before = client.bytes_sent
+    received_before = client.bytes_received
+    started = time.perf_counter()
+    if mode == "subscribe":
+        stream = client.subscribe(suite, backend=backend)
+    else:
+        stream = client.sweep(suite, backend=backend, mode=mode)
+    records = 0
+    fold_doc = None
+    for record in stream:
+        if record.get("op") == "partial":
+            fold_doc = record.get("fold")
+            continue
+        records += 1
+        if on_record is not None:
+            on_record(records)
+    wall = time.perf_counter() - started
+    summary = stream.summary
+    pass_record = {
+        "verb": "subscribe" if mode == "subscribe" else f"sweep/{mode}",
+        "records": records,
+        "errors": summary["errors"],
+        "unique": summary["unique"],
+        "sources": summary["sources"],
+        "wall_time_s": round(wall, 4),
+        "specs_per_second": round(summary["unique"] / wall, 1) if wall > 0 else None,
+        "bytes_sent": client.bytes_sent - sent_before,
+        "bytes_received": client.bytes_received - received_before,
+        "fanout": stream.ack.get("fanout"),
+        "ack_partitions": stream.ack.get("partitions"),
+        "partitions": summary.get("partitions"),
+        "repartitioned": summary.get("repartitioned"),
+        "fingerprint_digest": summary.get("fingerprint_digest"),
+        "fold_digest": summary.get("fold_digest"),
+    }
+    if fold_doc is not None:
+        pass_record["fold"] = fold_doc
+    return pass_record
+
+
+def _fold_tables_close(merged: dict, local: dict, tolerance: float = 1e-6) -> bool:
+    """Router-merged fold vs local single-stream fold, wire-doc form.
+
+    Counts must match exactly; the running moments merge in a different
+    association order than a single stream pushes, so means and extrema
+    compare within a relative tolerance instead of bit-for-bit.
+    """
+    if merged.get("total") != local.get("total"):
+        return False
+    merged_groups = {(g["kind"], g["backend"]): g for g in merged.get("groups", [])}
+    local_groups = {(g["kind"], g["backend"]): g for g in local.get("groups", [])}
+    if set(merged_groups) != set(local_groups):
+        return False
+    for key, mine in merged_groups.items():
+        other = local_groups[key]
+        for field in ("count", "solved", "unsolved", "bound_only", "infeasible"):
+            if mine[field] != other[field]:
+                return False
+        for stat in ("measured_time", "bound_ratio"):
+            a, b = mine[stat], other[stat]
+            if a["count"] != b["count"]:
+                return False
+            for field in ("mean", "min", "max"):
+                left, right = a.get(field), b.get(field)
+                if left is None or right is None:
+                    if left != right:
+                        return False
+                elif abs(left - right) > tolerance * max(1.0, abs(left), abs(right)):
+                    return False
+    return True
+
+
+def run_sweep_benchmark(quick: bool) -> dict:
+    """The distributed-sweep snapshot: partitioned batch plans vs routing.
+
+    Three fresh 2-worker async fleets on the large search sweep:
+
+    * **baseline** -- the PR-8 path: ``subscribe`` dissolves the suite
+      into per-spec routed solves, one round trip of work per spec;
+    * **sweep** -- the ``sweep`` verb ships each worker its whole
+      partition as one request; the worker runs it as a single local
+      batch plan (LRU / store / kernel batch / pool tiers all active)
+      and streams completions back.  Cold, then warm (all cache), then
+      a ``fold`` pass whose merged aggregate tables must match a local
+      fold and ride >=10x fewer bytes than the streamed envelopes;
+    * **kill** -- the same sweep on the ``simulation`` backend with
+      worker 0 SIGKILLed mid-stream: the router re-partitions the dead
+      worker's unfinished specs along the ring's failover order, the
+      digest stays bit-identical to a local run, and the supervisor
+      respawns the worker.
+    """
+    import json as json_module
+
+    from repro.analysis.streaming import fold_envelopes
+    from repro.cluster import ClusterSupervisor, boot_router
+    from repro.experiments.manifest import fingerprint_digest, fold_digest
+    from repro.service import ServiceClient, request_lines
+
+    backend = "auto"
+    suite = spec_suite(SWEEP_SUITE)
+
+    # Local references: the digests and fold tables every distributed
+    # pass must reproduce.
+    clear_compiled_cache()
+    local_results, local_stats = BatchRunner(backend=backend).run(suite)
+    expected_digest = fingerprint_digest(local_results)
+    expected_fold_digest = fold_digest(local_results)
+    local_fold = fold_envelopes(result.to_dict() for result in local_results).to_wire()
+    simulation_results, _ = BatchRunner(backend="simulation").run(suite)
+    expected_simulation_digest = fingerprint_digest(simulation_results)
+
+    def fleet(fleet_backend: str):
+        supervisor = ClusterSupervisor(
+            workers=SWEEP_WORKERS,
+            backend=fleet_backend,
+            store=None,
+            async_workers=True,
+        )
+        router = boot_router(supervisor, use_async=True, backend=fleet_backend)
+        router.serve_background()
+        return supervisor, router
+
+    scenarios: dict[str, dict] = {}
+
+    # Fleet A: the per-spec-routed subscribe baseline, cold.
+    _, router = fleet(backend)
+    with router:
+        with ServiceClient(router.host, router.port, timeout=300) as client:
+            scenarios["subscribe_cold"] = _drive_sweep_stream(
+                client, suite, backend, "subscribe"
+            )
+
+    # Fleet B: the partitioned sweep -- cold, warm, fold -- plus the
+    # router's per-shard sweep counters.
+    _, router = fleet(backend)
+    with router:
+        with ServiceClient(router.host, router.port, timeout=300) as client:
+            scenarios["sweep_cold"] = _drive_sweep_stream(client, suite, backend, "stream")
+            scenarios["sweep_warm"] = _drive_sweep_stream(client, suite, backend, "stream")
+            scenarios["sweep_fold"] = _drive_sweep_stream(client, suite, backend, "fold")
+        (metrics_line,) = request_lines(
+            router.host, router.port, [json_module.dumps({"op": "metrics"})]
+        )
+        sweep_counters = [
+            {"worker": row["worker"], **row["sweeps"]}
+            for row in json_module.loads(metrics_line)["metrics"]["shards"]
+        ]
+
+    # Fleet C: the mid-sweep worker kill, on the scalar simulation
+    # backend so the stream is paced and the kill lands mid-partition.
+    supervisor, router = fleet("simulation")
+    with router:
+        killed = {"done": False}
+
+        def kill_worker(count: int) -> None:
+            if count == 3 and not killed["done"]:
+                killed["done"] = True
+                supervisor.handles[0].process.kill()
+
+        with ServiceClient(router.host, router.port, timeout=300) as client:
+            scenarios["sweep_worker_kill"] = _drive_sweep_stream(
+                client, suite, "simulation", "stream", on_record=kill_worker
+            )
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline and not supervisor.handles[0].alive:
+            time.sleep(0.1)
+        respawned = supervisor.handles[0].alive and supervisor.handles[0].restarts >= 1
+
+    cold = scenarios["sweep_cold"]
+    warm = scenarios["sweep_warm"]
+    fold = scenarios["sweep_fold"]
+    kill = scenarios["sweep_worker_kill"]
+    unique = local_stats.unique
+    stream_bytes = cold["bytes_received"]
+    fold_bytes = fold["bytes_received"]
+
+    gates = {
+        "distributed_beats_per_spec_subscribe": cold["wall_time_s"]
+        < scenarios["subscribe_cold"]["wall_time_s"],
+        "fleet_batch_tier_engaged": cold["sources"].get("batch", 0) > 0
+        and all(row["completed"] > 0 for row in cold["partitions"]),
+        "digest_parity_cold": cold["fingerprint_digest"] == expected_digest,
+        "digest_parity_warm": warm["fingerprint_digest"] == expected_digest,
+        "digest_parity_after_worker_kill": kill["fingerprint_digest"]
+        == expected_simulation_digest,
+        "fold_digest_parity": fold["fold_digest"] == expected_fold_digest,
+        "fold_table_matches_local_fold": _fold_tables_close(fold["fold"], local_fold),
+        "fold_bytes_reduction_at_least_10x": fold_bytes > 0
+        and stream_bytes >= 10 * fold_bytes,
+        "warm_pass_all_cached": warm["sources"] == {"cache": unique},
+        "no_errors": all(record["errors"] == 0 for record in scenarios.values()),
+        "worker_killed_and_respawned": killed["done"] and respawned,
+    }
+
+    return {
+        "benchmark": "repro distributed sweep: partitioned batch plans over the fleet",
+        "library_version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "generated_at_unix": int(time.time()),
+        "quick": quick,
+        "suite": SWEEP_SUITE,
+        "specs": len(suite),
+        "unique": unique,
+        "workers": SWEEP_WORKERS,
+        "batch_runner_digest": expected_digest,
+        "batch_runner_fold_digest": expected_fold_digest,
+        "scenarios": scenarios,
+        "sweep_counters": sweep_counters,
+        "speedup_sweep_vs_subscribe": round(
+            scenarios["subscribe_cold"]["wall_time_s"] / cold["wall_time_s"], 2
+        )
+        if cold["wall_time_s"]
+        else None,
+        "fold_bytes_reduction": round(stream_bytes / fold_bytes, 1)
+        if fold_bytes
+        else None,
+        "kill_repartitioned": kill["repartitioned"],
+        "worker_respawned": respawned,
+        "gates": gates,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1201,6 +1444,12 @@ def main() -> int:
         default=DEFAULT_ASYNC_OUTPUT,
         help="where to write BENCH_async.json",
     )
+    parser.add_argument(
+        "--sweep-output",
+        type=Path,
+        default=DEFAULT_SWEEP_OUTPUT,
+        help="where to write BENCH_sweep.json",
+    )
     namespace = parser.parse_args()
 
     snapshot = run_benchmark(namespace.processes, namespace.quick)
@@ -1243,6 +1492,12 @@ def main() -> int:
         json.dumps(async_snapshot, indent=2) + "\n", encoding="utf-8"
     )
 
+    sweep_snapshot = run_sweep_benchmark(namespace.quick)
+    namespace.sweep_output.parent.mkdir(parents=True, exist_ok=True)
+    namespace.sweep_output.write_text(
+        json.dumps(sweep_snapshot, indent=2) + "\n", encoding="utf-8"
+    )
+
     print(json.dumps(snapshot, indent=2))
     print(json.dumps(kernel_snapshot, indent=2))
     print(json.dumps(store_snapshot, indent=2))
@@ -1250,11 +1505,12 @@ def main() -> int:
     print(json.dumps(cluster_snapshot, indent=2))
     print(json.dumps(montecarlo_snapshot, indent=2))
     print(json.dumps(async_snapshot, indent=2))
+    print(json.dumps(sweep_snapshot, indent=2))
     print(
         f"\nsnapshots written to {namespace.output}, {namespace.kernel_output}, "
         f"{namespace.store_output}, {namespace.serve_output}, "
-        f"{namespace.cluster_output}, {namespace.montecarlo_output} "
-        f"and {namespace.async_output}"
+        f"{namespace.cluster_output}, {namespace.montecarlo_output}, "
+        f"{namespace.async_output} and {namespace.sweep_output}"
     )
 
     if not kernel_snapshot["parity"]["within_tolerance"]:
@@ -1330,6 +1586,17 @@ def main() -> int:
             f"ERROR: async benchmark gates failed: {', '.join(failed_async_gates)} "
             f"(ceiling {async_snapshot['connection_ceiling']}, "
             f"warm p50 {async_snapshot['warm_p50']})",
+            file=sys.stderr,
+        )
+        return 1
+    failed_sweep_gates = [
+        name for name, passed in sweep_snapshot["gates"].items() if not passed
+    ]
+    if failed_sweep_gates:
+        print(
+            f"ERROR: distributed sweep gates failed: {', '.join(failed_sweep_gates)} "
+            f"(speedup {sweep_snapshot['speedup_sweep_vs_subscribe']}, "
+            f"fold bytes reduction {sweep_snapshot['fold_bytes_reduction']})",
             file=sys.stderr,
         )
         return 1

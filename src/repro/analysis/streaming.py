@@ -96,6 +96,37 @@ class StreamingStats:
             "max": None if empty else self.maximum,
         }
 
+    def to_wire(self) -> dict[str, Any]:
+        """Lossless JSON form for distributed merging.
+
+        Unlike :meth:`to_dict` (which renders ``std`` for humans and
+        drops the second moment), this carries ``m2`` itself, so an
+        accumulator shipped across the wire merges exactly as if it had
+        never left the process.
+        """
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self._m2,
+            "min": None if empty else self.minimum,
+            "max": None if empty else self.maximum,
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Mapping[str, Any]) -> "StreamingStats":
+        """Rebuild an accumulator from its :meth:`to_wire` form."""
+        count = int(doc.get("count", 0))
+        if count == 0:
+            return cls()
+        return cls(
+            count=count,
+            mean=float(doc.get("mean", 0.0)),
+            _m2=float(doc.get("m2", 0.0)),
+            minimum=float(doc["min"]) if doc.get("min") is not None else math.inf,
+            maximum=float(doc["max"]) if doc.get("max") is not None else -math.inf,
+        )
+
     def describe(self) -> str:
         """Compact single-line rendering (mirrors ``SummaryStatistics``)."""
         if self.count == 0:
@@ -192,6 +223,51 @@ class GroupAggregate:
         if isinstance(ratio, (int, float)):
             self.bound_ratio.push(float(ratio))
 
+    def merge(self, other: "GroupAggregate") -> None:
+        """Fold another group of the same ``(kind, backend)`` in.
+
+        Counters add and the streaming accumulators combine via Chan's
+        formula, so merging per-shard partials is equivalent (to float
+        round-off in the moments; counters are exact) to having folded
+        one stream.  ``other`` is left untouched.
+        """
+        self.count += other.count
+        self.solved += other.solved
+        self.unsolved += other.unsolved
+        self.bound_only += other.bound_only
+        self.infeasible += other.infeasible
+        self.measured_time.merge(other.measured_time)
+        self.bound_ratio.merge(other.bound_ratio)
+
+    def to_wire(self) -> dict[str, Any]:
+        """Lossless JSON form for shipping a partial aggregate."""
+        return {
+            "kind": self.kind,
+            "backend": self.backend,
+            "count": self.count,
+            "solved": self.solved,
+            "unsolved": self.unsolved,
+            "bound_only": self.bound_only,
+            "infeasible": self.infeasible,
+            "measured_time": self.measured_time.to_wire(),
+            "bound_ratio": self.bound_ratio.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Mapping[str, Any]) -> "GroupAggregate":
+        """Rebuild a group from its :meth:`to_wire` form."""
+        return cls(
+            kind=str(doc.get("kind", "?")),
+            backend=str(doc.get("backend", "?")),
+            count=int(doc.get("count", 0)),
+            solved=int(doc.get("solved", 0)),
+            unsolved=int(doc.get("unsolved", 0)),
+            bound_only=int(doc.get("bound_only", 0)),
+            infeasible=int(doc.get("infeasible", 0)),
+            measured_time=StreamingStats.from_wire(doc.get("measured_time") or {}),
+            bound_ratio=StreamingStats.from_wire(doc.get("bound_ratio") or {}),
+        )
+
 
 @dataclass
 class EnvelopeAggregate:
@@ -217,6 +293,32 @@ class EnvelopeAggregate:
         if group is None:
             group = self.groups[key] = GroupAggregate(kind=key[0], backend=key[1])
         group.push(envelope)
+
+    def merge(self, other: "EnvelopeAggregate") -> None:
+        """Fold another aggregate in, group by group (``other`` untouched)."""
+        for key, group in other.groups.items():
+            mine = self.groups.get(key)
+            if mine is None:
+                mine = self.groups[key] = GroupAggregate(
+                    kind=group.kind, backend=group.backend
+                )
+            mine.merge(group)
+
+    def to_wire(self) -> dict[str, Any]:
+        """Lossless JSON form: groups in sorted key order."""
+        return {
+            "total": self.total,
+            "groups": [self.groups[key].to_wire() for key in sorted(self.groups)],
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Mapping[str, Any]) -> "EnvelopeAggregate":
+        """Rebuild an aggregate from its :meth:`to_wire` form."""
+        aggregate = cls()
+        for entry in doc.get("groups") or []:
+            group = GroupAggregate.from_wire(entry)
+            aggregate.groups[(group.kind, group.backend)] = group
+        return aggregate
 
     def to_table(self, title: str = "Stored results by kind and backend") -> Table:
         """Render the aggregate as a :class:`~repro.analysis.tables.Table`."""

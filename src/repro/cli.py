@@ -43,7 +43,12 @@ streamed ``subscribe`` verb that ``repro sweep SUITE --connect ...
 per-spec results stream back in completion order, ending in an
 order-independent fingerprint digest.  ``serve --workers N`` shards the
 same wire format over N supervised worker processes behind a
-consistent-hash router (:mod:`repro.cluster`);
+consistent-hash router (:mod:`repro.cluster`); with ``--async`` the
+router also accepts the partitioned ``sweep`` verb that ``repro sweep
+SUITE --connect ... --distributed`` drives -- each worker runs its spec
+partition as one local batch plan, completions interleave back in
+completion order, and ``--fold`` returns merged per-(kind, backend)
+aggregate tables instead of per-spec envelopes.
 ``repro cluster status`` prints the per-shard health and metrics of a
 running router.  SIGTERM and SIGINT both drain gracefully, so buffered
 store segments are published before the process exits.  ``solve
@@ -291,6 +296,25 @@ def build_parser() -> argparse.ArgumentParser:
             "with --connect: submit the whole suite on one connection and "
             "stream per-spec results back in completion order "
             "(needs `repro serve --async`)"
+        ),
+    )
+    sweep.add_argument(
+        "--distributed",
+        action="store_true",
+        help=(
+            "with --connect: ship the suite as one partitioned sweep -- the "
+            "cluster front partitions the unique specs across shards and each "
+            "worker runs its partition as one local batch plan, all execution "
+            "tiers active (needs `repro serve --workers N --async`)"
+        ),
+    )
+    sweep.add_argument(
+        "--fold",
+        action="store_true",
+        help=(
+            "with --distributed: fold completions into per-(kind, backend) "
+            "aggregate tables on the workers and merge them at the router, "
+            "instead of streaming every result envelope back"
         ),
     )
     sweep.add_argument(
@@ -1123,14 +1147,22 @@ def _command_suites(namespace: argparse.Namespace) -> int:
     rows = []
     for name in spec_suite_names():
         specs = spec_suite(name)
-        kinds = sorted({spec.kind for spec in specs})
-        hashes = [spec.canonical_hash() for spec in specs]
-        digest = hashlib.sha256("".join(hashes).encode("utf-8")).hexdigest()[:12]
-        faulted = sum(
-            1
-            for spec in specs
-            if getattr(spec, "fault_model", None) is not None and spec.fault_model.is_fault
-        )
+        if hasattr(specs, "digest"):
+            # A lazy suite knows its own identity; asking it avoids
+            # materializing 10^5 spec objects just to list the row.
+            kinds = sorted(specs.kinds)
+            digest = specs.digest()
+            faulted = specs.faulted
+        else:
+            kinds = sorted({spec.kind for spec in specs})
+            hashes = [spec.canonical_hash() for spec in specs]
+            digest = hashlib.sha256("".join(hashes).encode("utf-8")).hexdigest()[:12]
+            faulted = sum(
+                1
+                for spec in specs
+                if getattr(spec, "fault_model", None) is not None
+                and spec.fault_model.is_fault
+            )
         rows.append(
             {
                 "name": name,
@@ -1156,22 +1188,30 @@ def _command_suites(namespace: argparse.Namespace) -> int:
 def _command_sweep(namespace: argparse.Namespace) -> int:
     """Solve one named suite end to end and report its fingerprint digest.
 
-    Three execution paths, one outcome shape: locally through the shared
-    :class:`BatchRunner`, remotely one solve per round-trip, or remotely
-    streamed through the async daemon's ``subscribe`` verb -- the digest
-    is order-independent, so all three agree bit-for-bit on the same
-    suite.
+    Four execution paths, one outcome shape: locally through the shared
+    :class:`BatchRunner`, remotely one solve per round-trip, remotely
+    streamed through the async daemon's ``subscribe`` verb, or shipped
+    as one partitioned ``--distributed`` sweep that the cluster front
+    spreads across its workers -- the digest is order-independent, so
+    all of them agree bit-for-bit on the same suite (``--fold`` swaps it
+    for the blob-hash fold digest, equally order-independent).
     """
     from .experiments.manifest import fingerprint_digest
     from .workloads import spec_suite
 
     specs = spec_suite(namespace.suite)
+    if namespace.fold and not namespace.distributed:
+        raise InvalidParameterError("--fold only applies with --distributed")
+    if namespace.distributed and namespace.subscribe:
+        raise InvalidParameterError(
+            "--distributed and --subscribe are different wire verbs; pick one"
+        )
     if namespace.connect is not None:
         outcome = _sweep_connect(namespace, specs)
     else:
-        if namespace.subscribe or namespace.binary:
+        if namespace.subscribe or namespace.binary or namespace.distributed:
             raise InvalidParameterError(
-                "--subscribe and --binary only apply with --connect"
+                "--subscribe, --distributed and --binary only apply with --connect"
             )
         runner = BatchRunner(
             backend=namespace.backend,
@@ -1209,7 +1249,26 @@ def _command_sweep(namespace: argparse.Namespace) -> int:
             f"{outcome['errors']} error(s), {outcome['wall_time_ms']:.0f} ms "
             f"[{sources}]"
         )
-        print(f"fingerprint digest: {outcome['fingerprint_digest']}")
+        if outcome.get("partitions") is not None:
+            shards = ", ".join(
+                f"worker {row['worker']}: {row['completed']}/{row['specs']}"
+                for row in outcome["partitions"]
+            )
+            print(
+                f"fan-out {outcome['fanout']} [{shards}]; "
+                f"repartitioned {outcome['repartitioned']}"
+            )
+        if "fold" in outcome:
+            from .analysis.streaming import EnvelopeAggregate
+
+            if outcome["fold"] is not None:
+                table = EnvelopeAggregate.from_wire(outcome["fold"]).to_table(
+                    title="Sweep results by kind and backend"
+                )
+                print(table.to_text())
+            print(f"fold digest: {outcome['fold_digest']}")
+        else:
+            print(f"fingerprint digest: {outcome['fingerprint_digest']}")
     return 0 if outcome["errors"] == 0 else 1
 
 
@@ -1227,6 +1286,48 @@ def _sweep_connect(namespace: argparse.Namespace, specs: list) -> dict[str, Any]
     except OSError as error:
         raise ReproError(f"cannot reach a daemon at {host}:{port}: {error}") from error
     with client:
+        if namespace.distributed:
+            mode = "fold" if namespace.fold else "stream"
+            stream = client.sweep(specs, backend=namespace.backend, mode=mode)
+            fold_doc = None
+            count = 0
+            for record in stream:
+                if record.get("op") == "partial":
+                    fold_doc = record.get("fold")
+                    continue
+                count += 1
+                if namespace.progress:
+                    print(
+                        f"  [{count}/{stream.ack['unique']}] seq={record['seq']} "
+                        f"{record['key']['spec_hash'][:12]} via {record['served_by']}",
+                        file=sys.stderr,
+                    )
+                if not record.get("ok"):
+                    print(
+                        f"  spec {record['key']['spec_hash'][:12]} failed: "
+                        f"{record.get('error')}",
+                        file=sys.stderr,
+                    )
+            summary = stream.summary
+            assert summary is not None  # iterator stops only on the summary
+            outcome = {
+                "suite": namespace.suite,
+                "mode": f"sweep/{mode}/{client.format}",
+                "total": summary["total"],
+                "unique": summary["unique"],
+                "errors": summary["errors"],
+                "sources": summary["sources"],
+                "fanout": stream.ack.get("fanout"),
+                "partitions": summary.get("partitions"),
+                "repartitioned": summary.get("repartitioned", 0),
+                "wall_time_ms": summary["wall_time_ms"],
+            }
+            if mode == "fold":
+                outcome["fold"] = fold_doc
+                outcome["fold_digest"] = summary.get("fold_digest")
+            else:
+                outcome["fingerprint_digest"] = summary["fingerprint_digest"]
+            return outcome
         if namespace.subscribe:
             stream = client.subscribe(specs, backend=namespace.backend)
             errors = 0

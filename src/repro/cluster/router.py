@@ -51,16 +51,23 @@ from ..service.frames import (
 from ..service.metrics import ServiceMetrics
 from ..service.protocol import (
     COMPLETION_OP,
+    PARTIAL_OP,
     SHUTDOWN_OP,
     SUBSCRIBE_OP,
+    SUMMARY_OP,
+    SWEEP_OP,
     decode_request,
     error_response,
     hello_response,
     normalize_request,
     parse_subscribe,
+    parse_sweep,
     subscribe_ack,
     subscribe_summary,
+    sweep_ack,
+    sweep_summary,
 )
+from ..exec.plan import partition_specs
 from .hashing import HashRing, shard_key
 from .worker import ClusterSupervisor, WorkerHandle
 
@@ -230,7 +237,15 @@ class _WorkerPool:
 class _ShardCounters:
     """Per-shard routing counters (the router's own view of one worker)."""
 
-    __slots__ = ("forwarded", "failures", "degraded")
+    __slots__ = (
+        "forwarded",
+        "failures",
+        "degraded",
+        "swept",
+        "completed",
+        "failed",
+        "repartitioned",
+    )
 
     def __init__(self) -> None:
         self.forwarded = 0
@@ -238,6 +253,22 @@ class _ShardCounters:
         #: True from an observed failure until the next successful
         #: round-trip -- "this shard recently lost a request".
         self.degraded = False
+        #: Distributed-sweep accounting: specs assigned to this shard
+        #: (re-assignments count again), spec records it answered, spec
+        #: records that answered with an error, and specs moved *away*
+        #: after this shard died mid-partition.
+        self.swept = 0
+        self.completed = 0
+        self.failed = 0
+        self.repartitioned = 0
+
+    def sweep_row(self) -> dict[str, int]:
+        return {
+            "swept": self.swept,
+            "completed": self.completed,
+            "failed": self.failed,
+            "repartitioned": self.repartitioned,
+        }
 
 
 class ShardRouter(GracefulLineServer):
@@ -317,6 +348,12 @@ class ShardRouter(GracefulLineServer):
                 return {"ok": True, "op": CLUSTER_STATUS_OP, "cluster": self.cluster_status()}
             if op == SHUTDOWN_OP:
                 return {"ok": True, "op": SHUTDOWN_OP, "stopping": True}
+            if op in (SUBSCRIBE_OP, SWEEP_OP):
+                raise ReproError(
+                    f"{op} streams results over one connection and needs the "
+                    "asyncio cluster front; start it with `repro serve "
+                    "--workers N --async`"
+                )
             raise ReproError(
                 f"unknown op {op!r}; expected solve, health, metrics, {HELLO_OP}, "
                 f"{CLUSTER_STATUS_OP} or {SHUTDOWN_OP}"
@@ -468,6 +505,24 @@ class ShardRouter(GracefulLineServer):
             if rerouted:
                 self._reroutes += 1
 
+    def _record_sweep(
+        self,
+        worker_id: int,
+        swept: int = 0,
+        completed: int = 0,
+        failed: int = 0,
+        repartitioned: int = 0,
+    ) -> None:
+        """Accumulate distributed-sweep deltas onto one shard's counters."""
+        with self._shard_lock:
+            counters = self._shards.get(worker_id)
+            if counters is None:  # pragma: no cover - defensive
+                return
+            counters.swept += swept
+            counters.completed += completed
+            counters.failed += failed
+            counters.repartitioned += repartitioned
+
     def _report_failure(self, handle: WorkerHandle, observed_generation: int) -> None:
         """Hand a death report to the supervisor without blocking routing."""
         threading.Thread(
@@ -507,7 +562,12 @@ class ShardRouter(GracefulLineServer):
         rows = []
         with self._shard_lock:
             counters = {
-                worker_id: (shard.forwarded, shard.failures, shard.degraded)
+                worker_id: (
+                    shard.forwarded,
+                    shard.failures,
+                    shard.degraded,
+                    shard.sweep_row(),
+                )
                 for worker_id, shard in self._shards.items()
             }
         handles = self.supervisor.handles
@@ -528,8 +588,10 @@ class ShardRouter(GracefulLineServer):
                 thread.join(timeout=self.PROBE_TIMEOUT + 5.0)
         for handle in handles:
             row = handle.describe()
-            forwarded, failures, degraded = counters[handle.worker_id]
-            row.update(forwarded=forwarded, failures=failures, degraded=degraded)
+            forwarded, failures, degraded, sweeps = counters[handle.worker_id]
+            row.update(
+                forwarded=forwarded, failures=failures, degraded=degraded, sweeps=sweeps
+            )
             if probe is not None:
                 row[probe] = probes.get(handle.worker_id)
             rows.append(row)
@@ -589,6 +651,122 @@ class ShardRouter(GracefulLineServer):
         self.supervisor.stop(drain=True, timeout=timeout if timeout is not None else 30.0)
 
 
+class _SweepState:
+    """Shared accounting of one distributed sweep across shard threads.
+
+    Every shard stream funnels through here: records get their global
+    ``seq`` and the client's ``id`` stamped under one lock (so the wire
+    order matches the sequence numbers), a completed-spec-hash set
+    guards against duplicate records when a failover races a late
+    delivery, and per-shard counters accumulate for the summary's
+    partition table.  Emission happens under the lock too -- a slow
+    client backpressures every shard reader, which is exactly the
+    bounded-memory contract of the subscription bridge.
+    """
+
+    def __init__(self, router: "AsyncShardRouter", bridge: Any, request_id: Any) -> None:
+        self.router = router
+        self.bridge = bridge
+        self.request_id = request_id
+        self.lock = threading.Lock()
+        self.aborted = False
+        self.seq = 0
+        self.errors = 0
+        self.tiers: dict[str, int] = {}
+        self.results: list[Any] = []
+        #: Fold-mode partial records in arrival order: (worker_id, order, record).
+        self.partials: list[tuple[Any, int, dict[str, Any]]] = []
+        self.completed: set[str] = set()
+        self.repartitioned = 0
+        self.shard_stats: dict[Any, dict[str, int]] = {}
+
+    def _shard(self, worker_id: Any) -> dict[str, int]:
+        stats = self.shard_stats.get(worker_id)
+        if stats is None:
+            stats = self.shard_stats[worker_id] = {
+                "specs": 0,
+                "completed": 0,
+                "failed": 0,
+                "repartitioned": 0,
+            }
+        return stats
+
+    def assign(self, worker_id: Any, count: int) -> None:
+        with self.lock:
+            self._shard(worker_id)["specs"] += count
+
+    def unfinished(self, pairs: list[tuple[Any, str]]) -> list[tuple[Any, str]]:
+        """The subset of ``pairs`` no shard has answered yet."""
+        with self.lock:
+            return [pair for pair in pairs if pair[1] not in self.completed]
+
+    def on_completion(self, worker_id: Any, record: dict[str, Any]) -> None:
+        """Re-sequence and forward one worker completion record."""
+        from ..api.result import SolveResult
+
+        with self.lock:
+            key = record.get("key") or {}
+            spec_hash = key.get("spec_hash")
+            if spec_hash in self.completed:
+                return  # a failover raced a late delivery: keep the first
+            if isinstance(spec_hash, str):
+                self.completed.add(spec_hash)
+            record = dict(record)
+            record["seq"] = self.seq
+            self.seq += 1
+            record["shard"] = worker_id
+            record.pop("id", None)
+            if self.request_id is not None:
+                record["id"] = self.request_id
+            tier = record.get("served_by", "?")
+            self.tiers[tier] = self.tiers.get(tier, 0) + 1
+            stats = self._shard(worker_id)
+            stats["completed"] += 1
+            failed = not (record.get("ok") and isinstance(record.get("result"), dict))
+            if failed:
+                self.errors += 1
+                stats["failed"] += 1
+            else:
+                self.results.append(SolveResult.from_dict(record["result"]))
+            self.bridge.put(record)
+        self.router.core._record_sweep(
+            worker_id, completed=1, failed=1 if failed else 0
+        )
+
+    def on_partial(
+        self, worker_id: Any, record: dict[str, Any], partition_hashes: list[str]
+    ) -> None:
+        """Absorb one shard's fold-mode aggregate (covers its whole partition)."""
+        records = int(record.get("records", 0))
+        errors = int(record.get("errors", 0))
+        with self.lock:
+            self.partials.append((worker_id, len(self.partials), record))
+            self.completed.update(partition_hashes)
+            self.seq += records
+            self.errors += errors
+            for tier, count in (record.get("sources") or {}).items():
+                self.tiers[tier] = self.tiers.get(tier, 0) + int(count)
+            stats = self._shard(worker_id)
+            stats["completed"] += records
+            stats["failed"] += errors
+        self.router.core._record_sweep(worker_id, completed=records, failed=errors)
+
+    def on_repartition(self, failed_worker: Any, count: int) -> None:
+        with self.lock:
+            self.repartitioned += count
+            self._shard(failed_worker)["repartitioned"] += count
+        self.router.core._record_sweep(failed_worker, repartitioned=count)
+
+    def partition_table(self) -> list[dict[str, Any]]:
+        with self.lock:
+            return [
+                {"worker": worker_id, **stats}
+                for worker_id, stats in sorted(
+                    self.shard_stats.items(), key=lambda item: str(item[0])
+                )
+            ]
+
+
 class AsyncShardRouter(AsyncLineServer):
     """The asyncio sharded front: the router's verbs, plus ``subscribe``.
 
@@ -607,6 +785,22 @@ class AsyncShardRouter(AsyncLineServer):
     completions stream back in completion order with the same record
     shapes as the single-server verb -- summary digest included, so a
     sweep through the cluster fingerprints identically to a local run.
+
+    A ``sweep`` suite goes further: instead of one routed solve per
+    spec, the router partitions the deduplicated suite across shards by
+    the ``(backend, spec_hash)`` routing key and ships each partition as
+    **one** request, which the worker runs through its local batch plan
+    (LRU, store, kernel batch, pool -- every tier active) while
+    streaming records back over a dedicated connection per shard.  The
+    router interleaves the shard streams in completion order; when a
+    shard dies mid-partition its unfinished specs are re-partitioned
+    along each spec's :meth:`HashRing.preference` failover order (next
+    candidate per retry round, with backoff, bounded by
+    ``route_timeout`` from the first failure and reset on progress), so
+    an accepted sweep finishes if any worker survives.  In ``fold``
+    mode the workers ship merged per-``(kind, backend)`` aggregates and
+    per-result blob hashes instead of envelopes; the router merges the
+    partials (deterministic worker order) and forwards one table record.
 
     Args:
         supervisor: the worker fleet (already started).
@@ -662,10 +856,10 @@ class AsyncShardRouter(AsyncLineServer):
                 "?", ReproError(f"request must be a JSON object, got {type(data).__name__}")
             )
         op, data, request_id = normalize_request(data)
-        if op == SUBSCRIBE_OP:  # only reachable through handle_request-less path
+        if op in (SUBSCRIBE_OP, SWEEP_OP):  # only reachable through handle_request-less path
             return error_response(
-                SUBSCRIBE_OP,
-                ReproError("subscribe must be served by the streaming transport"),
+                op,
+                ReproError(f"{op} must be served by the streaming transport"),
                 request_id,
             )
         response = self.core._dispatch(op, data, request_id)
@@ -678,8 +872,10 @@ class AsyncShardRouter(AsyncLineServer):
                 metrics["subscriptions"] = self.subscription_stats()
         return response
 
-    # -- the subscribe verb ----------------------------------------------------
+    # -- the subscribe + sweep verbs -------------------------------------------
     def subscribe_open(self, data: dict[str, Any], request_id: Any) -> tuple[Any, dict]:
+        if data.get("op") == SWEEP_OP:
+            return self._sweep_open(data, request_id)
         specs, backend = parse_subscribe(data)
         effective = backend if backend is not None else self.core.backend
         seen: set[str] = set()
@@ -689,8 +885,48 @@ class AsyncShardRouter(AsyncLineServer):
             if key not in seen:
                 seen.add(key)
                 unique.append(spec)
-        ack = subscribe_ack(request_id, len(specs), len(unique), effective)
-        return (unique, effective, request_id, len(specs)), ack
+        ack = subscribe_ack(
+            request_id,
+            len(specs),
+            len(unique),
+            effective,
+            fanout=min(self.sweep_fanout, len(unique)),
+        )
+        return ("subscribe", unique, effective, request_id, len(specs)), ack
+
+    def _sweep_open(self, data: dict[str, Any], request_id: Any) -> tuple[Any, dict]:
+        specs, backend, mode = parse_sweep(data)
+        if not self.core.supervisor.async_workers:
+            # Threaded workers are request/response only -- they cannot
+            # stream a partition back.  Refuse up front instead of
+            # failing over forever against a fleet that will never answer.
+            raise ClusterError(
+                "distributed sweep needs asyncio workers; start the fleet "
+                "with `repro serve --workers N --async`"
+            )
+        effective = backend if backend is not None else self.core.backend
+        ring = self.core.ring
+        partitions, total, unique = partition_specs(
+            specs,
+            effective,
+            lambda spec_hash: ring.lookup(shard_key(effective, spec_hash)),
+        )
+        partition_rows = [
+            {"worker": partition.node, "specs": len(partition.specs)}
+            for partition in partitions
+        ]
+        for partition in partitions:
+            self.core._record_sweep(partition.node, swept=len(partition.specs))
+        ack = sweep_ack(
+            request_id,
+            total,
+            unique,
+            effective,
+            mode,
+            fanout=len(partitions),
+            partitions=partition_rows,
+        )
+        return ("sweep", partitions, effective, request_id, total, unique, mode), ack
 
     def _sweep_one(self, spec: Any, effective: str) -> dict[str, Any]:
         """One routed solve of a subscription; never raises."""
@@ -702,12 +938,18 @@ class AsyncShardRouter(AsyncLineServer):
             return error_response("solve", error)
 
     def subscribe_pump(self, job: Any, bridge: Any) -> None:
+        if job[0] == "sweep":
+            self._sweep_pump(job, bridge)
+        else:
+            self._subscribe_pump(job, bridge)
+
+    def _subscribe_pump(self, job: Any, bridge: Any) -> None:
         from concurrent.futures import ThreadPoolExecutor, as_completed
 
         from ..api.result import SolveResult
         from ..experiments.manifest import fingerprint_digest
 
-        unique, effective, request_id, total = job
+        _, unique, effective, request_id, total = job
         started = time.perf_counter()
         seq = 0
         errors = 0
@@ -771,6 +1013,231 @@ class AsyncShardRouter(AsyncLineServer):
                 fingerprint_digest=fingerprint_digest(results),
                 sources=sources,
                 wall_time_ms=(time.perf_counter() - started) * 1e3,
+            )
+        )
+
+    # -- the distributed sweep -------------------------------------------------
+    def _run_shard_sweep(
+        self,
+        state: _SweepState,
+        worker_id: int,
+        pairs: list[tuple[Any, str]],
+        effective: str,
+        mode: str,
+    ) -> list[tuple[Any, str]]:
+        """Run one partition on one worker over a dedicated stream.
+
+        The worker pools are strict request/response (a pooled
+        connection must never carry a multi-record stream), so each
+        partition opens its own JSON-Lines connection for the sweep's
+        lifetime.  Returns the ``(spec, hash)`` pairs still unanswered
+        when the stream ends -- empty on success, the unfinished tail on
+        a death (reported to the supervisor for a background respawn).
+        """
+        core = self.core
+        handle = core.supervisor.handles[worker_id]
+        generation = handle.generation
+        host, port = handle.host, handle.port
+        try:
+            if host is None or port is None:
+                raise _WorkerDied(f"worker {worker_id} has no address")
+            conn = socket.create_connection((host, port), timeout=core.worker_timeout)
+        except (OSError, _WorkerDied):
+            core._record_shard_failure(worker_id)
+            core._report_failure(handle, generation)
+            return state.unfinished(pairs)
+        partition_hashes = [spec_hash for _, spec_hash in pairs]
+        try:
+            with conn:
+                conn.settimeout(core.worker_timeout)
+                reader = conn.makefile("rb")
+                request = {
+                    "op": SWEEP_OP,
+                    "mode": "fold" if mode == "fold" else "stream",
+                    "backend": effective,
+                    "specs": [spec.to_dict() for spec, _ in pairs],
+                }
+                line = json.dumps(request, sort_keys=True, separators=(",", ":"))
+                conn.sendall((line + "\n").encode("utf-8"))
+                raw = reader.readline()
+                ack = json.loads(raw.decode("utf-8")) if raw else None
+                if not isinstance(ack, dict) or not ack.get("ok"):
+                    detail = ack.get("error") if isinstance(ack, dict) else "no ack"
+                    raise _WorkerDied(f"worker {worker_id} refused the sweep: {detail}")
+                while True:
+                    if state.aborted or self.stopping:
+                        return []  # the pump reports the abort, not the shard
+                    raw = reader.readline()
+                    if not raw:
+                        raise _WorkerDied(
+                            f"worker {worker_id} closed its stream mid-partition"
+                        )
+                    record = json.loads(raw.decode("utf-8"))
+                    if not isinstance(record, dict):
+                        raise _WorkerDied(
+                            f"worker {worker_id} streamed a non-object record"
+                        )
+                    op = record.get("op")
+                    if op == COMPLETION_OP:
+                        state.on_completion(worker_id, record)
+                    elif op == PARTIAL_OP and record.get("ok"):
+                        state.on_partial(worker_id, record, partition_hashes)
+                    elif op == SUMMARY_OP:
+                        if not record.get("ok"):
+                            raise _WorkerDied(
+                                f"worker {worker_id} failed its partition: "
+                                f"{record.get('error', 'unknown error')}"
+                            )
+                        break
+                    elif not record.get("ok"):
+                        raise _WorkerDied(
+                            f"worker {worker_id} aborted its partition: "
+                            f"{record.get('error', 'unknown error')}"
+                        )
+        except (OSError, ValueError, _WorkerDied):
+            core._record_shard_failure(worker_id)
+            core._report_failure(handle, generation)
+            return state.unfinished(pairs)
+        core._record_shard_ok(worker_id, rerouted=False)
+        return []
+
+    def _sweep_pump(self, job: Any, bridge: Any) -> None:
+        """Drive one distributed sweep: fan out partitions, merge, fail over.
+
+        Retry rounds are barriers: a spec is only re-assigned after the
+        stream that owned it ended, so within a round the in-flight
+        partitions are disjoint by spec hash.  Round ``r`` re-assigns an
+        unfinished spec to ``preference[r % len]`` of its routing key --
+        the ring's deterministic failover order, cycling back to the
+        (respawned) home shard on a full lap.  The failover budget is
+        ``route_timeout`` from the first failure, reset whenever a round
+        makes progress; exhausting it aborts the sweep with an ``ok:
+        false`` record, exactly like a routed solve that ran out of
+        shards.
+        """
+        from concurrent.futures import ThreadPoolExecutor, as_completed
+
+        from ..analysis.streaming import EnvelopeAggregate
+        from ..experiments.manifest import digest_blob_hashes, fingerprint_digest
+
+        _, partitions, effective, request_id, total, unique, mode = job
+        started = time.perf_counter()
+        state = _SweepState(self, bridge, request_id)
+        assignments: list[tuple[Any, list[tuple[Any, str]]]] = [
+            (partition.node, list(zip(partition.specs, partition.hashes)))
+            for partition in partitions
+        ]
+        for worker_id, pairs in assignments:
+            state.assign(worker_id, len(pairs))
+        ring = self.core.ring
+        deadline: Optional[float] = None
+        round_index = 0
+        while assignments:
+            if self.stopping:
+                state.aborted = True
+                bridge.put(
+                    error_response(
+                        SWEEP_OP,
+                        ClusterError("router is shutting down, sweep aborted"),
+                        request_id,
+                    )
+                )
+                return
+            progress_before = state.seq
+            with ThreadPoolExecutor(
+                max_workers=max(1, len(assignments)),
+                thread_name_prefix="repro-sweep-shard",
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        self._run_shard_sweep, state, worker_id, pairs, effective, mode
+                    ): worker_id
+                    for worker_id, pairs in assignments
+                }
+                leftovers: list[tuple[Any, list[tuple[Any, str]]]] = []
+                for future in as_completed(futures):
+                    unfinished = future.result()
+                    if unfinished:
+                        leftovers.append((futures[future], unfinished))
+            if self.stopping:
+                continue  # the loop head reports the abort
+            if not leftovers:
+                break
+            now = time.monotonic()
+            if state.seq > progress_before:
+                deadline = None  # the fleet is advancing: reset the budget
+            if deadline is None:
+                deadline = now + self.core.route_timeout
+            elif now > deadline:
+                state.aborted = True
+                stranded = sum(len(pairs) for _, pairs in leftovers)
+                bridge.put(
+                    error_response(
+                        SWEEP_OP,
+                        ClusterError(
+                            f"sweep made no progress within {self.core.route_timeout}s "
+                            f"of the last shard failure; {stranded} spec(s) unfinished"
+                        ),
+                        request_id,
+                    )
+                )
+                return
+            round_index += 1
+            regrouped: dict[Any, list[tuple[Any, str]]] = {}
+            for failed_worker, pairs in leftovers:
+                state.on_repartition(failed_worker, len(pairs))
+                for spec, spec_hash in pairs:
+                    candidates = ring.preference(shard_key(effective, spec_hash))
+                    target = candidates[round_index % len(candidates)]
+                    regrouped.setdefault(target, []).append((spec, spec_hash))
+            assignments = sorted(regrouped.items(), key=lambda item: str(item[0]))
+            for worker_id, pairs in assignments:
+                state.assign(worker_id, len(pairs))
+                self.core._record_sweep(worker_id, swept=len(pairs))
+            # Ride out a single-worker respawn exactly like _forward does.
+            time.sleep(min(0.1 * round_index, 0.5))
+        wall_time_ms = (time.perf_counter() - started) * 1e3
+        if mode == "fold":
+            merged = EnvelopeAggregate()
+            blob_hashes: set[str] = set()
+            failures: list[dict[str, Any]] = []
+            # Deterministic merge order (worker id, then arrival) so the
+            # folded moments are reproducible run to run.
+            for _, _, record in sorted(
+                state.partials, key=lambda item: (str(item[0]), item[1])
+            ):
+                merged.merge(EnvelopeAggregate.from_wire(record.get("fold") or {}))
+                blob_hashes.update(record.get("blob_hashes") or [])
+                failures.extend(record.get("failures") or [])
+            client_partial: dict[str, Any] = {
+                "ok": True,
+                "op": PARTIAL_OP,
+                "records": state.seq,
+                "errors": state.errors,
+                "sources": dict(sorted(state.tiers.items())),
+                "fold": merged.to_wire(),
+            }
+            if failures:
+                client_partial["failures"] = failures
+            if request_id is not None:
+                client_partial["id"] = request_id
+            bridge.put(client_partial)
+            digests = {"fold_digest": digest_blob_hashes(blob_hashes)}
+        else:
+            digests = {"fingerprint_digest": fingerprint_digest(state.results)}
+        bridge.put(
+            sweep_summary(
+                request_id,
+                records=state.seq,
+                errors=state.errors,
+                total=total,
+                unique=unique,
+                mode=mode,
+                tiers=state.tiers,
+                wall_time_ms=wall_time_ms,
+                partitions=state.partition_table(),
+                repartitioned=state.repartitioned,
+                **digests,
             )
         )
 

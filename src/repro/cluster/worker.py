@@ -276,14 +276,29 @@ class ClusterSupervisor:
         """
         self._await_ready(handle, *self._launch(handle))
 
+    #: How long :meth:`ensure_alive` lets an observed failure settle
+    #: before trusting ``alive``: the EOF a router sees can outrun the
+    #: process exit itself (the kernel closes the sockets while the
+    #: process is still being reaped), so an instant ``alive`` check
+    #: would dismiss a real death as a connection blip.
+    DEATH_GRACE = 2.0
+
     def ensure_alive(self, handle: WorkerHandle, observed_generation: int) -> None:
         """Respawn a worker the router observed failing (single-flight).
 
         ``observed_generation`` is the generation the caller talked to;
         if the handle has moved past it another report already respawned
-        the worker.  A process that is still running is left alone --
-        a connection blip is not a death.
+        the worker.  A process that is still running after the death
+        grace is left alone -- a connection blip is not a death.
         """
+        deadline = time.monotonic() + self.DEATH_GRACE
+        while (
+            handle.alive
+            and handle.generation == observed_generation
+            and not self._stopped
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
         with handle.lock:
             if self._stopped or handle.generation != observed_generation:
                 return

@@ -58,8 +58,10 @@ from .plan import (
     Key,
     PlannedSpec,
     Planner,
+    PlanPartition,
     ResolvedSpec,
     SpecFailure,
+    partition_specs,
 )
 
 __all__ = [
@@ -69,9 +71,11 @@ __all__ = [
     "Key",
     "PlannedSpec",
     "Planner",
+    "PlanPartition",
     "PoolExecutor",
     "ResolvedSpec",
     "SerialExecutor",
     "SpecFailure",
     "ThreadedExecutor",
+    "partition_specs",
 ]

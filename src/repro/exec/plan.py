@@ -230,6 +230,57 @@ class Planner:
 
 
 @dataclass(frozen=True, slots=True)
+class PlanPartition:
+    """One shard's slice of a partitioned sweep.
+
+    ``specs`` and ``hashes`` are parallel: ``hashes[i]`` is the canonical
+    hash of ``specs[i]``.  Partitions of one sweep are disjoint by spec
+    hash (the coordinator dedupes before assigning), so per-shard results
+    union without cross-shard dedup.
+    """
+
+    node: Any
+    specs: tuple["ProblemSpec", ...]
+    hashes: tuple[str, ...]
+
+
+def partition_specs(
+    specs: Sequence["ProblemSpec"],
+    backend: str,
+    assign: Callable[[str], Any],
+) -> tuple[list[PlanPartition], int, int]:
+    """Dedupe a suite by ``(backend, spec hash)`` and group it by shard.
+
+    ``assign`` maps a canonical spec hash to a shard identity (for the
+    cluster: ``ring.lookup(shard_key(backend, spec_hash))``), so a
+    distributed sweep lands each spec on the same worker a routed
+    ``solve`` would pick -- warm LRU/store tiers stay warm.
+
+    Returns ``(partitions, total, unique)`` with partitions ordered by
+    shard identity; ``total`` counts input specs (duplicates included),
+    ``unique`` is the number of deduplicated specs across all partitions.
+    """
+    total = 0
+    seen: set[Key] = set()
+    buckets: dict[Any, tuple[list["ProblemSpec"], list[str]]] = {}
+    for spec in specs:
+        total += 1
+        spec_hash = spec.canonical_hash()
+        key = (backend, spec_hash)
+        if key in seen:
+            continue
+        seen.add(key)
+        bucket = buckets.setdefault(assign(spec_hash), ([], []))
+        bucket[0].append(spec)
+        bucket[1].append(spec_hash)
+    partitions = [
+        PlanPartition(node=node, specs=tuple(group), hashes=tuple(hashes))
+        for node, (group, hashes) in sorted(buckets.items(), key=lambda item: str(item[0]))
+    ]
+    return partitions, total, len(seen)
+
+
+@dataclass(frozen=True, slots=True)
 class SpecFailure:
     """One spec that failed to solve, identified by its hash.
 

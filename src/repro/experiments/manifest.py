@@ -31,7 +31,15 @@ from ..api.result import SolveResult
 from ..api.spec import ProblemSpec
 from ..api.store import ResultStore
 
-__all__ = ["fingerprint_digest", "ExperimentRecorder", "RunManifest", "MANIFEST_NAME"]
+__all__ = [
+    "fingerprint_digest",
+    "fingerprint_blob_hash",
+    "digest_blob_hashes",
+    "fold_digest",
+    "ExperimentRecorder",
+    "RunManifest",
+    "MANIFEST_NAME",
+]
 
 #: File name of the manifest inside a store directory.
 MANIFEST_NAME = "manifest.json"
@@ -59,6 +67,41 @@ def fingerprint_digest(results: Iterable[SolveResult]) -> str:
     envelopes collapse before hashing).
     """
     return _digest_blobs(_fingerprint_blob(result) for result in results)
+
+
+def fingerprint_blob_hash(result: SolveResult) -> str:
+    """SHA-256 hex of one result's fingerprint blob.
+
+    A 64-character stand-in for the full envelope: fold-mode sweeps ship
+    these instead of results, an order-of-magnitude byte saving while
+    still letting the coordinator prove set equality end to end.
+    """
+    return hashlib.sha256(_fingerprint_blob(result).encode("utf-8")).hexdigest()
+
+
+def digest_blob_hashes(hashes: Iterable[str]) -> str:
+    """Order-independent SHA-256 over per-result blob hashes.
+
+    Same sort/dedup/newline construction as :func:`fingerprint_digest`,
+    but over :func:`fingerprint_blob_hash` values instead of the blobs
+    themselves -- so shards can contribute hashes without shipping
+    envelopes, and any grouping of the same result set digests equally.
+    """
+    digest = hashlib.sha256()
+    for item in sorted(set(hashes)):
+        digest.update(item.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def fold_digest(results: Iterable[SolveResult]) -> str:
+    """The fold-mode counterpart of :func:`fingerprint_digest`.
+
+    Distinct from ``fingerprint_digest`` (it hashes blob *hashes*, not
+    blobs), but shares its guarantees: order-independent, duplicate-safe,
+    and computable either locally or as the merge of per-shard hash sets.
+    """
+    return digest_blob_hashes(fingerprint_blob_hash(result) for result in results)
 
 
 @dataclass

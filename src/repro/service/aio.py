@@ -73,6 +73,7 @@ from .frames import (
 from .protocol import (
     SHUTDOWN_OP,
     SUBSCRIBE_OP,
+    SWEEP_OP,
     completion_record,
     decode_request,
     encode_response,
@@ -80,8 +81,12 @@ from .protocol import (
     handle_request,
     normalize_request,
     parse_subscribe,
+    parse_sweep,
     subscribe_ack,
     subscribe_summary,
+    sweep_ack,
+    sweep_partial,
+    sweep_summary,
 )
 from .service import SolverService
 
@@ -509,7 +514,7 @@ class AsyncLineServer:
                     return
                 continue
             op, _, request_id = normalize_request(data)
-            if op == SUBSCRIBE_OP:
+            if op in (SUBSCRIBE_OP, SWEEP_OP):
                 if not await self._serve_subscription(
                     writer, FORMAT_JSON, data, request_id, len(raw)
                 ):
@@ -608,7 +613,7 @@ class AsyncLineServer:
                 if not await self._send_frame(writer, _refusal(op, request_id), bytes_in):
                     return
                 continue
-            if op == SUBSCRIBE_OP and isinstance(data, dict):
+            if op in (SUBSCRIBE_OP, SWEEP_OP) and isinstance(data, dict):
                 if not await self._serve_subscription(
                     writer, FORMAT_BINARY, data, data.get("id"), bytes_in
                 ):
@@ -650,9 +655,10 @@ class AsyncLineServer:
         request_id: Any,
         bytes_in: int,
     ) -> bool:
-        """Serve one subscribe request; False when the connection died."""
+        """Serve one subscribe/sweep request; False when the connection died."""
+        op = data.get("op") if data.get("op") in (SUBSCRIBE_OP, SWEEP_OP) else SUBSCRIBE_OP
         if not self._begin():
-            return await self._send(writer, fmt, _refusal(SUBSCRIBE_OP, request_id), bytes_in)
+            return await self._send(writer, fmt, _refusal(op, request_id), bytes_in)
         try:
             try:
                 job, ack = await self._loop.run_in_executor(
@@ -660,7 +666,7 @@ class AsyncLineServer:
                 )
             except Exception as error:  # noqa: BLE001 - refuse, keep the connection
                 return await self._send(
-                    writer, fmt, error_response(SUBSCRIBE_OP, error, request_id), bytes_in
+                    writer, fmt, error_response(op, error, request_id), bytes_in
                 )
             if not await self._send(writer, fmt, ack, bytes_in):
                 return False  # client vanished before the ack: nothing started
@@ -843,19 +849,29 @@ class AsyncReproServer(AsyncLineServer):
         while len(self._hot) > self.HOT_CACHE_CAP:
             self._hot.popitem(last=False)
 
-    # -- the subscribe verb ----------------------------------------------------
+    # -- the subscribe + sweep verbs -------------------------------------------
     def subscribe_open(self, data: dict[str, Any], request_id: Any) -> tuple[Any, dict]:
         from ..api.backends import create_backend
 
-        specs, backend = parse_subscribe(data)
+        op = data.get("op")
+        if op == SWEEP_OP:
+            specs, backend, mode = parse_sweep(data)
+        else:
+            specs, backend = parse_subscribe(data)
+            mode = None
         effective = backend if backend is not None else self.service.backend
         if self.service.draining:
             raise ServiceUnavailableError("service is draining, request refused")
         backend_obj = create_backend(effective)
         runner = self.service.runner
         plan = runner.plan(specs, backend=effective, backend_obj=backend_obj)
-        ack = subscribe_ack(request_id, plan.total, plan.unique, effective)
-        return (runner, plan, backend_obj, effective, request_id), ack
+        if mode is None:
+            ack = subscribe_ack(request_id, plan.total, plan.unique, effective, fanout=1)
+        else:
+            # A single daemon is its own one-partition fleet: the whole
+            # deduplicated suite runs as one local batch plan.
+            ack = sweep_ack(request_id, plan.total, plan.unique, effective, mode, fanout=1)
+        return (runner, plan, backend_obj, effective, request_id, mode), ack
 
     def subscribe_pump(self, job: Any, bridge: _SubscriptionBridge) -> None:
         """Drive one planned sweep, streaming completions through the bridge.
@@ -865,14 +881,34 @@ class AsyncReproServer(AsyncLineServer):
         records, so the LRU and the store still receive every fresh
         result (the abrupt-disconnect invariant).  Only a server stop
         aborts the stream early (closing the generator, which flushes).
+
+        ``mode`` distinguishes the three reply shapes: None (subscribe:
+        per-spec records + subscribe summary), ``stream`` (same records,
+        sweep summary with tier counts), ``fold`` (no per-spec records;
+        one ``partial`` aggregate record, then a sweep summary carrying
+        the ``fold_digest``).
         """
-        runner, plan, backend_obj, effective, request_id = job
+        from ..experiments.manifest import (
+            digest_blob_hashes,
+            fingerprint_blob_hash,
+            fingerprint_digest,
+        )
+
+        runner, plan, backend_obj, effective, request_id, mode = job
         started = time.perf_counter()
         seq = 0
         errors = 0
         sources: dict[str, int] = {}
         results: list[Any] = []
         aborted = False
+        fold = None
+        blob_hashes: list[str] = []
+        failures: list[dict[str, Any]] = []
+        if mode == "fold":
+            from ..analysis.streaming import EnvelopeAggregate
+
+            fold = EnvelopeAggregate()
+        abort_op = SWEEP_OP if mode is not None else SUBSCRIBE_OP
         stream = runner.execute_iter(plan, backend_obj=backend_obj)
         try:
             for completion in stream:
@@ -880,7 +916,7 @@ class AsyncReproServer(AsyncLineServer):
                     aborted = True
                     bridge.put(
                         error_response(
-                            SUBSCRIBE_OP,
+                            abort_op,
                             ServiceUnavailableError(
                                 "server is shutting down, subscription aborted"
                             ),
@@ -888,36 +924,90 @@ class AsyncReproServer(AsyncLineServer):
                         )
                     )
                     break
-                record = completion_record(completion, request_id, seq)
                 seq += 1
                 sources[completion.source] = sources.get(completion.source, 0) + 1
                 if completion.result is not None:
-                    results.append(completion.result)
                     self.service.metrics.record(
                         effective, completion.source, completion.latency
                     )
                 else:
                     errors += 1
                     self.service.metrics.record_error(effective, completion.latency)
-                bridge.put(record)
+                if fold is not None:
+                    # Fold mode never ships per-spec records: results
+                    # collapse into the aggregate plus one blob hash each.
+                    if completion.result is not None:
+                        fold.push(completion.result.to_dict())
+                        blob_hashes.append(fingerprint_blob_hash(completion.result))
+                    else:
+                        failures.append(
+                            {
+                                "spec_hash": completion.key[1],
+                                "error": completion.failure.message,
+                                "error_type": completion.failure.error_type,
+                            }
+                        )
+                    continue
+                if completion.result is not None:
+                    results.append(completion.result)
+                bridge.put(completion_record(completion, request_id, seq - 1))
         finally:
             stream.close()
         if aborted:
             return
-        from ..experiments.manifest import fingerprint_digest
-
-        bridge.put(
-            subscribe_summary(
-                request_id,
-                records=seq,
-                errors=errors,
-                total=plan.total,
-                unique=plan.unique,
-                fingerprint_digest=fingerprint_digest(results),
-                sources=sources,
-                wall_time_ms=(time.perf_counter() - started) * 1e3,
+        wall_time_ms = (time.perf_counter() - started) * 1e3
+        if mode is None:
+            bridge.put(
+                subscribe_summary(
+                    request_id,
+                    records=seq,
+                    errors=errors,
+                    total=plan.total,
+                    unique=plan.unique,
+                    fingerprint_digest=fingerprint_digest(results),
+                    sources=sources,
+                    wall_time_ms=wall_time_ms,
+                )
             )
-        )
+        elif mode == "stream":
+            bridge.put(
+                sweep_summary(
+                    request_id,
+                    records=seq,
+                    errors=errors,
+                    total=plan.total,
+                    unique=plan.unique,
+                    mode=mode,
+                    tiers=sources,
+                    wall_time_ms=wall_time_ms,
+                    fingerprint_digest=fingerprint_digest(results),
+                )
+            )
+        else:
+            bridge.put(
+                sweep_partial(
+                    request_id,
+                    fold=fold.to_wire(),
+                    blob_hashes=blob_hashes,
+                    sources=sources,
+                    records=seq,
+                    errors=errors,
+                    failures=failures,
+                )
+            )
+            bridge.put(
+                sweep_summary(
+                    request_id,
+                    records=seq,
+                    errors=errors,
+                    total=plan.total,
+                    unique=plan.unique,
+                    mode=mode,
+                    tiers=sources,
+                    wall_time_ms=wall_time_ms,
+                    fold_digest=digest_blob_hashes(blob_hashes),
+                )
+            )
 
     # -- lifecycle -------------------------------------------------------------
     def _drain(self, timeout: Optional[float]) -> None:

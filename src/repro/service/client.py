@@ -46,7 +46,7 @@ from .frames import (
     encode_frame,
     read_frame,
 )
-from .protocol import COMPLETION_OP, SUBSCRIBE_OP, SUMMARY_OP
+from .protocol import COMPLETION_OP, SUBSCRIBE_OP, SUMMARY_OP, SWEEP_OP
 
 __all__ = ["ServiceClient", "SubscribeStream"]
 
@@ -199,6 +199,40 @@ class ServiceClient:
             raise ReproError(
                 f"subscribe refused: {ack.get('error', 'unknown error')}"
             )
+        return SubscribeStream(self, ack)
+
+    def sweep(
+        self,
+        specs: Any,
+        backend: Optional[str] = None,
+        mode: str = "stream",
+        request_id: Any = None,
+    ) -> "SubscribeStream":
+        """Submit a whole suite as one partitioned sweep.
+
+        Unlike :meth:`subscribe` (which an async cluster front dissolves
+        into per-spec routed solves), a sweep ships spec *partitions* to
+        the workers, where each runs as one local batch plan -- all five
+        execution tiers active.  ``mode="stream"`` yields per-spec
+        completion records exactly like subscribe; ``mode="fold"``
+        yields a single ``partial`` record carrying merged per-``(kind,
+        backend)`` aggregate tables instead of envelopes.  The ack and
+        summary carry fan-out, partition sizes and fleet tier counts.
+        """
+        request: dict[str, Any] = {
+            "op": SWEEP_OP,
+            "mode": mode,
+            "specs": [
+                spec.to_dict() if hasattr(spec, "to_dict") else spec for spec in specs
+            ],
+        }
+        if backend is not None:
+            request["backend"] = backend
+        if request_id is not None:
+            request["id"] = request_id
+        ack = self._request(request)
+        if not ack.get("ok"):
+            raise ReproError(f"sweep refused: {ack.get('error', 'unknown error')}")
         return SubscribeStream(self, ack)
 
     def close(self) -> None:

@@ -44,12 +44,19 @@ __all__ = [
     "hello_response",
     "normalize_request",
     "parse_subscribe",
+    "parse_sweep",
     "subscribe_ack",
     "subscribe_summary",
+    "sweep_ack",
+    "sweep_partial",
+    "sweep_summary",
     "COMPLETION_OP",
+    "PARTIAL_OP",
     "SHUTDOWN_OP",
     "SUBSCRIBE_OP",
     "SUMMARY_OP",
+    "SWEEP_OP",
+    "SWEEP_MODES",
 ]
 
 #: The daemon-level verb; :func:`handle_request` answers it but leaves
@@ -64,8 +71,27 @@ SHUTDOWN_OP = "shutdown"
 #: cleanly (one response per request is its whole contract).
 SUBSCRIBE_OP = "subscribe"
 
+#: The partitioned-sweep verb: like ``subscribe``, one request carrying
+#: a whole spec suite -- but executed as **one** local batch plan (all
+#: five tiers active, kernel batch included) instead of per-spec routing.
+#: Against a worker the suite *is* the shard's partition; against the
+#: async cluster front the router partitions the suite across shards by
+#: routing key and ships one sweep per worker.  ``mode`` selects the
+#: reply shape: ``stream`` (per-spec completion records, then a summary
+#: with the true ``fingerprint_digest``) or ``fold`` (one ``partial``
+#: record carrying merged per-``(kind, backend)`` aggregates plus
+#: per-result blob hashes, then a summary with the ``fold_digest``).
+SWEEP_OP = "sweep"
+
+#: Reply modes a sweep request may ask for.
+SWEEP_MODES = ("stream", "fold")
+
 #: ``op`` of each streamed per-spec record of a subscription.
 COMPLETION_OP = "completion"
+
+#: ``op`` of a fold-mode aggregate record (one per worker sweep; the
+#: cluster front merges them and forwards exactly one to the client).
+PARTIAL_OP = "partial"
 
 #: ``op`` of the terminating record of a subscription.
 SUMMARY_OP = "summary"
@@ -171,6 +197,12 @@ def handle_request(service: SolverService, data: Any) -> dict[str, Any]:
                 "subscribe streams results over one connection and needs the "
                 "asyncio transport; start the daemon with `repro serve --async`"
             )
+        if op == SWEEP_OP:
+            raise ReproError(
+                "sweep streams a partitioned suite over one connection and "
+                "needs the asyncio transport; start the daemon with "
+                "`repro serve --async` (add --workers N for a fleet)"
+            )
         raise ReproError(
             f"unknown op {op!r}; expected solve, health, metrics, "
             f"{HELLO_OP} or {SHUTDOWN_OP}"
@@ -226,18 +258,13 @@ def encode_response(response: dict[str, Any]) -> str:
 # format (JSON lines and binary frames carry the same dicts).
 
 
-def parse_subscribe(data: dict[str, Any]) -> tuple[list[Any], Optional[str]]:
-    """Validate a subscribe request: ``(specs, backend_override)``.
-
-    Raises :class:`~repro.errors.ReproError` naming the offending entry,
-    so an invalid suite is refused with a single ``ok: false`` response
-    before any stream starts.
-    """
+def _parse_spec_suite(data: dict[str, Any], verb: str) -> tuple[list[Any], Optional[str]]:
+    """Shared suite validation for subscribe and sweep requests."""
     from ..api.spec import spec_from_dict
 
     specs_data = data.get("specs")
     if not isinstance(specs_data, list) or not specs_data:
-        raise ReproError('subscribe request needs a non-empty "specs" list')
+        raise ReproError(f'{verb} request needs a non-empty "specs" list')
     backend = data.get("backend")
     if backend is not None and not isinstance(backend, str):
         raise ReproError('"backend" must be a string backend name')
@@ -254,10 +281,42 @@ def parse_subscribe(data: dict[str, Any]) -> tuple[list[Any], Optional[str]]:
     return specs, backend
 
 
+def parse_subscribe(data: dict[str, Any]) -> tuple[list[Any], Optional[str]]:
+    """Validate a subscribe request: ``(specs, backend_override)``.
+
+    Raises :class:`~repro.errors.ReproError` naming the offending entry,
+    so an invalid suite is refused with a single ``ok: false`` response
+    before any stream starts.
+    """
+    return _parse_spec_suite(data, "subscribe")
+
+
+def parse_sweep(data: dict[str, Any]) -> tuple[list[Any], Optional[str], str]:
+    """Validate a sweep request: ``(specs, backend_override, mode)``."""
+    specs, backend = _parse_spec_suite(data, "sweep")
+    mode = data.get("mode", "stream")
+    if mode not in SWEEP_MODES:
+        raise ReproError(
+            f"unknown sweep mode {mode!r}; expected one of: {', '.join(SWEEP_MODES)}"
+        )
+    return specs, backend, mode
+
+
 def subscribe_ack(
-    request_id: Any, total: int, unique: int, backend: str
+    request_id: Any,
+    total: int,
+    unique: int,
+    backend: str,
+    *,
+    fanout: Optional[int] = None,
 ) -> dict[str, Any]:
-    """The first response of an accepted subscription."""
+    """The first response of an accepted subscription.
+
+    ``fanout`` reports the *effective* per-subscription concurrency (the
+    router's ``sweep_fanout`` clipped to the unique count), so a
+    throughput-capped run is diagnosable from the wire instead of being
+    silently ceilinged.
+    """
     ack: dict[str, Any] = {
         "ok": True,
         "op": SUBSCRIBE_OP,
@@ -265,6 +324,40 @@ def subscribe_ack(
         "unique": unique,
         "backend": backend,
     }
+    if fanout is not None:
+        ack["fanout"] = fanout
+    if request_id is not None:
+        ack["id"] = request_id
+    return ack
+
+
+def sweep_ack(
+    request_id: Any,
+    total: int,
+    unique: int,
+    backend: str,
+    mode: str,
+    fanout: int,
+    partitions: Optional[list[dict[str, Any]]] = None,
+) -> dict[str, Any]:
+    """The first response of an accepted sweep.
+
+    ``fanout`` is the number of concurrent partition streams; when the
+    cluster front answers, ``partitions`` lists each shard's slice
+    (``{"worker": id, "specs": n}``) so skew is visible before a single
+    result arrives.
+    """
+    ack: dict[str, Any] = {
+        "ok": True,
+        "op": SWEEP_OP,
+        "total": total,
+        "unique": unique,
+        "backend": backend,
+        "mode": mode,
+        "fanout": fanout,
+    }
+    if partitions is not None:
+        ack["partitions"] = partitions
     if request_id is not None:
         ack["id"] = request_id
     return ack
@@ -313,6 +406,92 @@ def subscribe_summary(
         "sources": dict(sorted(sources.items())),
         "wall_time_ms": round(wall_time_ms, 3),
     }
+    if request_id is not None:
+        summary["id"] = request_id
+    return summary
+
+
+def sweep_partial(
+    request_id: Any,
+    fold: dict[str, Any],
+    blob_hashes: list[str],
+    sources: dict[str, int],
+    records: int,
+    errors: int,
+    failures: Optional[list[dict[str, Any]]] = None,
+) -> dict[str, Any]:
+    """One fold-mode aggregate record.
+
+    ``fold`` is an ``EnvelopeAggregate.to_wire()`` document;
+    ``blob_hashes`` carries one 64-hex-char fingerprint-blob hash per
+    fresh result (~10× smaller than the envelopes they stand in for) so
+    the coordinator can compute the set-equality ``fold_digest`` without
+    ever seeing an envelope.  The cluster front strips ``blob_hashes``
+    from the record it forwards to the client -- the digest in the
+    summary is the client-facing proof.
+    """
+    record: dict[str, Any] = {
+        "ok": True,
+        "op": PARTIAL_OP,
+        "records": records,
+        "errors": errors,
+        "sources": dict(sorted(sources.items())),
+        "fold": fold,
+        "blob_hashes": list(blob_hashes),
+    }
+    if failures:
+        record["failures"] = list(failures)
+    if request_id is not None:
+        record["id"] = request_id
+    return record
+
+
+def sweep_summary(
+    request_id: Any,
+    records: int,
+    errors: int,
+    total: int,
+    unique: int,
+    mode: str,
+    tiers: dict[str, int],
+    wall_time_ms: float,
+    fingerprint_digest: Optional[str] = None,
+    fold_digest: Optional[str] = None,
+    partitions: Optional[list[dict[str, Any]]] = None,
+    repartitioned: Optional[int] = None,
+) -> dict[str, Any]:
+    """The terminating record of a sweep.
+
+    ``tiers`` counts completions per execution tier (``cache`` /
+    ``store`` / ``batch`` / ``pool`` / ``serial``); when the cluster
+    front answers, they are fleet-wide sums, so the batch-tier claim is
+    observable on the wire.  Exactly one of ``fingerprint_digest``
+    (stream mode -- bit-identical to a local ``BatchRunner.run``) and
+    ``fold_digest`` (fold mode) is set.  ``partitions`` reports final
+    per-shard accounting and ``repartitioned`` the number of specs moved
+    to surviving workers after a mid-sweep death.
+    """
+    tiers = dict(sorted(tiers.items()))
+    summary: dict[str, Any] = {
+        "ok": True,
+        "op": SUMMARY_OP,
+        "records": records,
+        "errors": errors,
+        "total": total,
+        "unique": unique,
+        "mode": mode,
+        "tiers": tiers,
+        "sources": tiers,
+        "wall_time_ms": round(wall_time_ms, 3),
+    }
+    if fingerprint_digest is not None:
+        summary["fingerprint_digest"] = fingerprint_digest
+    if fold_digest is not None:
+        summary["fold_digest"] = fold_digest
+    if partitions is not None:
+        summary["partitions"] = partitions
+    if repartitioned is not None:
+        summary["repartitioned"] = repartitioned
     if request_id is not None:
         summary["id"] = request_id
     return summary

@@ -7,8 +7,9 @@ same work and results are comparable across machines and runs.
 
 from __future__ import annotations
 
+import hashlib
 import math
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..api.spec import ProblemSpec, RendezvousProblem, SearchProblem
 from ..errors import InvalidParameterError
@@ -20,8 +21,10 @@ from .adversarial import infeasible_identical_instance, infeasible_mirrored_inst
 from .generators import InstanceGenerator
 
 __all__ = [
+    "LazySpecSuite",
     "search_sweep_suite",
     "search_sweep_large_suite",
+    "search_sweep_xl_suite",
     "search_random_suite",
     "symmetric_clock_suite",
     "symmetric_clock_large_suite",
@@ -71,6 +74,103 @@ def search_sweep_large_suite() -> list[SearchInstance]:
                     )
                 )
     return instances
+
+
+class LazySpecSuite(Sequence[ProblemSpec]):
+    """A deterministic suite built per index instead of held in memory.
+
+    The XL sweeps are two orders of magnitude larger than anything the
+    eager suites materialize; holding 10^5 spec objects just to answer
+    ``len()`` or hash the workload would cost tens of megabytes per
+    listing.  A lazy suite stores only the grid arithmetic: ``build``
+    maps an index to its spec on demand, so iteration, slicing and
+    ``spec_hashes()`` all see exactly the same deterministic specs an
+    eager list would hold -- one at a time.
+
+    ``spec_hashes()`` (and the 12-hex ``digest()`` derived from it, the
+    same formula ``repro suites`` prints for every suite) is computed
+    once and cached: the hashes pin the workload's identity and are two
+    orders of magnitude smaller than the specs themselves.
+    """
+
+    #: Lazy suites carry no fault axis; ``repro suites`` reports this.
+    faulted = 0
+
+    def __init__(
+        self,
+        count: int,
+        build: Callable[[int], ProblemSpec],
+        kinds: tuple[str, ...],
+    ) -> None:
+        if count < 1:
+            raise InvalidParameterError(f"count must be positive, got {count!r}")
+        self._count = count
+        self._build = build
+        self.kinds = kinds
+        self._hashes: Optional[list[str]] = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return [self._build(i) for i in range(*index.indices(self._count))]
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError(f"suite index {index} out of range")
+        return self._build(index)
+
+    def __iter__(self):
+        for index in range(self._count):
+            yield self._build(index)
+
+    def spec_hashes(self) -> list[str]:
+        """Canonical hashes of every spec, in suite order (cached)."""
+        if self._hashes is None:
+            self._hashes = [spec.canonical_hash() for spec in self]
+        return self._hashes
+
+    def digest(self) -> str:
+        """The 12-hex workload digest ``repro suites`` reports."""
+        return hashlib.sha256(
+            "".join(self.spec_hashes()).encode("utf-8")
+        ).hexdigest()[:12]
+
+
+_XL_VISIBILITIES = 40
+_XL_BEARINGS = 50
+
+
+def _search_sweep_xl_spec(index: int) -> SearchProblem:
+    i, remainder = divmod(index, _XL_VISIBILITIES * _XL_BEARINGS)
+    j, k = divmod(remainder, _XL_BEARINGS)
+    return SearchProblem(
+        distance=0.5 + 0.07 * i,
+        visibility=0.08 + 0.009 * j,
+        bearing=2.0 * math.pi * k / _XL_BEARINGS + 0.05,
+    )
+
+
+_XL_SUITE: Optional[LazySpecSuite] = None
+
+
+def search_sweep_xl_suite() -> LazySpecSuite:
+    """Lazy 100,000-spec (d, r, bearing) grid for distributed sweeps.
+
+    50 distances x 40 visibilities x 50 bearings of
+    :class:`~repro.api.spec.SearchProblem`, built directly by index --
+    the suite object holds the grid arithmetic, not 10^5 spec objects.
+    Module-level cached so repeated lookups share the hash cache.
+    """
+    global _XL_SUITE
+    if _XL_SUITE is None:
+        _XL_SUITE = LazySpecSuite(
+            50 * _XL_VISIBILITIES * _XL_BEARINGS,
+            _search_sweep_xl_spec,
+            kinds=("search",),
+        )
+    return _XL_SUITE
 
 
 def search_random_suite(count: int = 24, seed: int = 11) -> list[SearchInstance]:
@@ -401,6 +501,7 @@ def as_specs(
 _SPEC_SUITES: dict[str, Callable[[], Sequence[SearchInstance | RendezvousInstance]]] = {
     "search-sweep": search_sweep_suite,
     "search-sweep-large": search_sweep_large_suite,
+    "search-sweep-xl": search_sweep_xl_suite,
     "search-random": search_random_suite,
     "symmetric-clock": symmetric_clock_suite,
     "symmetric-clock-large": symmetric_clock_large_suite,
@@ -417,15 +518,23 @@ def spec_suite_names() -> list[str]:
     return sorted(_SPEC_SUITES)
 
 
-def spec_suite(name: str) -> list[ProblemSpec]:
-    """A named deterministic workload suite as facade specs."""
+def spec_suite(name: str) -> Sequence[ProblemSpec]:
+    """A named deterministic workload suite as facade specs.
+
+    Eager suites come back as plain lists; the XL suites come back as
+    their :class:`LazySpecSuite` unconverted, so listing or hashing a
+    10^5-spec workload never materializes 10^5 spec objects at once.
+    """
     try:
         factory = _SPEC_SUITES[name]
     except KeyError as error:
         raise InvalidParameterError(
             f"unknown spec suite {name!r}; available: {', '.join(spec_suite_names())}"
         ) from error
-    return as_specs(factory())
+    suite = factory()
+    if isinstance(suite, LazySpecSuite):
+        return suite
+    return as_specs(suite)
 
 
 def suite_spec_hashes(name: str) -> list[str]:
@@ -435,4 +544,7 @@ def suite_spec_hashes(name: str) -> list[str]:
     workload across machines -- the benchmarks and the persistent result
     store use it to check warm-replay coverage without re-solving.
     """
-    return [spec.canonical_hash() for spec in spec_suite(name)]
+    suite = spec_suite(name)
+    if isinstance(suite, LazySpecSuite):
+        return list(suite.spec_hashes())
+    return [spec.canonical_hash() for spec in suite]

@@ -1,0 +1,167 @@
+"""Distributed-fold properties: merged partials equal the single stream.
+
+The ``sweep --fold`` path folds each shard's completions into an
+:class:`EnvelopeAggregate` on the worker and merges the partial
+aggregates at the router.  These tests pin the algebra that makes that
+sound: for *every* split of an envelope stream into per-shard partials,
+merging the partials (in any order) must equal folding the whole stream
+in one pass -- counters exactly, running moments to float tolerance --
+and the wire forms must round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.streaming import (
+    EnvelopeAggregate,
+    GroupAggregate,
+    StreamingStats,
+    fold_envelopes,
+)
+
+_ENVELOPES = st.lists(
+    st.fixed_dictionaries(
+        {
+            "spec": st.fixed_dictionaries(
+                {"kind": st.sampled_from(["search", "rendezvous"])}
+            ),
+            "provenance": st.fixed_dictionaries(
+                {"backend": st.sampled_from(["analytic", "vectorized", "montecarlo"])}
+            ),
+            "solved": st.sampled_from([True, False, None]),
+            "feasible": st.sampled_from([True, False]),
+            "measured_time": st.one_of(
+                st.none(),
+                st.floats(
+                    min_value=1e-6, max_value=1e4, allow_nan=False, allow_infinity=False
+                ),
+            ),
+            "bound_ratio": st.one_of(
+                st.none(),
+                st.floats(
+                    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+                ),
+            ),
+        }
+    ),
+    max_size=40,
+)
+
+
+def _assert_stats_close(left: StreamingStats, right: StreamingStats) -> None:
+    assert left.count == right.count
+    assert left.mean == pytest.approx(right.mean, rel=1e-9, abs=1e-12)
+    assert left.std == pytest.approx(right.std, rel=1e-6, abs=1e-9)
+    assert left.minimum == right.minimum
+    assert left.maximum == right.maximum
+
+
+def _split(items: list, boundaries: list[int]) -> list[list]:
+    cuts = sorted(set(b % (len(items) + 1) for b in boundaries))
+    parts = []
+    previous = 0
+    for cut in cuts + [len(items)]:
+        parts.append(items[previous:cut])
+        previous = cut
+    return parts
+
+
+class TestMergedPartialsEqualSingleFold:
+    @settings(max_examples=200, deadline=None)
+    @given(envelopes=_ENVELOPES, boundaries=st.lists(st.integers(), max_size=5))
+    def test_every_split_merges_to_the_single_stream_fold(self, envelopes, boundaries):
+        whole = fold_envelopes(envelopes)
+        merged = EnvelopeAggregate()
+        for part in _split(envelopes, boundaries):
+            merged.merge(fold_envelopes(part))
+        assert merged.total == whole.total
+        assert set(merged.groups) == set(whole.groups)
+        for key, group in merged.groups.items():
+            reference = whole.groups[key]
+            assert (group.count, group.solved, group.unsolved) == (
+                reference.count,
+                reference.solved,
+                reference.unsolved,
+            )
+            assert (group.bound_only, group.infeasible) == (
+                reference.bound_only,
+                reference.infeasible,
+            )
+            _assert_stats_close(group.measured_time, reference.measured_time)
+            _assert_stats_close(group.bound_ratio, reference.bound_ratio)
+
+    @settings(max_examples=100, deadline=None)
+    @given(envelopes=_ENVELOPES, boundaries=st.lists(st.integers(), max_size=5))
+    def test_merge_through_the_wire_equals_in_process_merge(self, envelopes, boundaries):
+        direct = EnvelopeAggregate()
+        shipped = EnvelopeAggregate()
+        for part in _split(envelopes, boundaries):
+            partial = fold_envelopes(part)
+            direct.merge(partial)
+            shipped.merge(EnvelopeAggregate.from_wire(partial.to_wire()))
+        assert shipped.to_wire() == direct.to_wire()
+
+    def test_merge_leaves_the_other_aggregate_untouched(self):
+        envelope = {
+            "spec": {"kind": "search"},
+            "provenance": {"backend": "analytic"},
+            "solved": True,
+            "measured_time": 1.5,
+        }
+        partial = fold_envelopes([envelope])
+        before = partial.to_wire()
+        merged = EnvelopeAggregate()
+        merged.merge(partial)
+        merged.merge(partial)
+        assert partial.to_wire() == before
+        assert merged.total == 2
+
+
+class TestWireRoundTrips:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+            ),
+            max_size=30,
+        )
+    )
+    def test_streaming_stats_wire_is_lossless(self, values):
+        stats = StreamingStats()
+        for value in values:
+            stats.push(value)
+        restored = StreamingStats.from_wire(stats.to_wire())
+        assert restored == stats
+
+    def test_empty_stats_wire_restores_sentinel_extrema(self):
+        wire = StreamingStats().to_wire()
+        assert wire == {"count": 0, "mean": 0.0, "m2": 0.0, "min": None, "max": None}
+        restored = StreamingStats.from_wire(wire)
+        assert restored.minimum == math.inf
+        assert restored.maximum == -math.inf
+
+    def test_group_wire_round_trip(self):
+        group = GroupAggregate(kind="search", backend="vectorized")
+        group.push({"solved": True, "measured_time": 2.0, "bound_ratio": 0.5})
+        group.push({"solved": False, "feasible": False, "measured_time": 4.0})
+        restored = GroupAggregate.from_wire(group.to_wire())
+        assert restored == group
+
+    def test_envelope_wire_groups_are_sorted_by_key(self):
+        aggregate = fold_envelopes(
+            [
+                {"spec": {"kind": "search"}, "provenance": {"backend": "b"}},
+                {"spec": {"kind": "rendezvous"}, "provenance": {"backend": "a"}},
+                {"spec": {"kind": "search"}, "provenance": {"backend": "a"}},
+            ]
+        )
+        wire = aggregate.to_wire()
+        keys = [(group["kind"], group["backend"]) for group in wire["groups"]]
+        assert keys == sorted(keys)
+        assert EnvelopeAggregate.from_wire(wire).to_wire() == wire

@@ -1,0 +1,224 @@
+"""Integration tests for the distributed ``sweep`` verb on the async cluster.
+
+Real worker subprocesses behind an :class:`AsyncShardRouter`.  The
+parity/fold/counter tests share one analytic fleet; the failover test
+boots its own ``simulation``-backend fleet with a persistent store so a
+mid-sweep SIGKILL lands while the victim still owns unfinished specs,
+then checks the re-partitioned digest, the exactly-once store merge and
+that the respawned worker takes traffic again.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.api import ResultStore, SearchProblem
+from repro.api.batch import BatchRunner
+from repro.cluster import AsyncShardRouter, ClusterSupervisor, ShardRouter
+from repro.experiments.manifest import fingerprint_digest, fold_digest
+from repro.analysis.streaming import fold_envelopes
+from repro.service import ServiceClient, request_lines
+from repro.workloads import spec_suite
+
+BACKEND = "analytic"
+
+
+def _specs(count: int) -> list[SearchProblem]:
+    return [SearchProblem(distance=1.0 + 0.05 * i, visibility=0.3) for i in range(count)]
+
+
+def _metrics(router) -> dict:
+    (line,) = request_lines(router.host, router.port, [json.dumps({"op": "metrics"})])
+    return json.loads(line)["metrics"]
+
+
+@pytest.fixture(scope="module")
+def async_cluster():
+    supervisor = ClusterSupervisor(workers=2, backend=BACKEND, async_workers=True)
+    supervisor.start()
+    router = AsyncShardRouter(
+        supervisor, backend=BACKEND, route_timeout=60.0, sweep_fanout=4
+    )
+    router.serve_background()
+    try:
+        yield router
+    finally:
+        router.stop()
+        assert router.leaked_tasks == []
+
+
+class TestDistributedSweep:
+    def test_stream_digest_parity_and_honest_ack(self, async_cluster):
+        specs = _specs(16)
+        expected_results, _ = BatchRunner(backend=BACKEND).run(specs)
+        with ServiceClient(async_cluster.host, async_cluster.port) as client:
+            stream = client.sweep(specs, backend=BACKEND)
+            records = list(stream)
+
+        ack = stream.ack
+        partitions = ack["partitions"]
+        # The ack reports the real fan-out and partition sizes -- no
+        # silent ceiling: the sizes must sum to the unique spec count.
+        assert ack["fanout"] == len(partitions) > 1
+        assert sum(row["specs"] for row in partitions) == ack["unique"] == 16
+        assert [record["seq"] for record in records] == list(range(16))
+        assert {record["key"]["spec_hash"] for record in records} == {
+            result.provenance.spec_hash for result in expected_results
+        }
+        summary = stream.summary
+        assert summary["fingerprint_digest"] == fingerprint_digest(expected_results)
+        assert summary["errors"] == 0
+        assert summary["repartitioned"] == 0
+        assert sum(summary["tiers"].values()) == 16
+        # Per-shard accounting in the summary: every partition finished.
+        assert all(row["completed"] == row["specs"] for row in summary["partitions"])
+
+    def test_fold_mode_merges_to_the_local_fold(self, async_cluster):
+        specs = _specs(12)
+        expected_results, _ = BatchRunner(backend=BACKEND).run(specs)
+        with ServiceClient(async_cluster.host, async_cluster.port) as client:
+            stream = client.sweep(specs, backend=BACKEND, mode="fold")
+            records = list(stream)
+        partials = [record for record in records if record["op"] == "partial"]
+        assert len(partials) == 1
+        assert not [record for record in records if record["op"] == "completion"]
+        local = fold_envelopes(result.to_dict() for result in expected_results)
+        merged = partials[0]["fold"]
+        # Analytic results carry no measured times, so the merged wire
+        # doc is exact here (the float-tolerance story is the property
+        # tests' job).
+        assert merged == local.to_wire()
+        assert stream.summary["fold_digest"] == fold_digest(expected_results)
+
+    def test_sweep_counters_ride_metrics_and_cluster_status(self, async_cluster):
+        specs = _specs(10)
+        with ServiceClient(async_cluster.host, async_cluster.port) as client:
+            list(client.sweep(specs, backend=BACKEND))
+        metrics_line, status_line = request_lines(
+            async_cluster.host,
+            async_cluster.port,
+            [json.dumps({"op": "metrics"}), json.dumps({"op": "cluster-status"})],
+        )
+        for document in (
+            json.loads(metrics_line)["metrics"],
+            json.loads(status_line)["cluster"],
+        ):
+            rows = document["shards"]
+            assert all("sweeps" in row for row in rows)
+            assert sum(row["sweeps"]["swept"] for row in rows) > 0
+            assert all(
+                row["sweeps"]["completed"] <= row["sweeps"]["swept"] for row in rows
+            )
+
+    def test_subscribe_ack_reports_its_fanout(self, async_cluster):
+        specs = _specs(8)
+        with ServiceClient(async_cluster.host, async_cluster.port) as client:
+            stream = client.subscribe(specs, backend=BACKEND)
+            list(stream)
+        # sweep_fanout=4 on the fixture: the previously-silent ceiling
+        # is now visible in the ack.
+        assert stream.ack["fanout"] == 4
+
+
+class TestSweepRefusals:
+    def test_threaded_front_refuses_sweep(self):
+        supervisor = ClusterSupervisor(workers=1, backend=BACKEND)
+        supervisor.start()
+        router = ShardRouter(supervisor, backend=BACKEND)
+        try:
+            router.serve_background()
+            spec = _specs(1)[0]
+            (line,) = request_lines(
+                router.host,
+                router.port,
+                [json.dumps({"op": "sweep", "specs": [spec.to_dict()]})],
+            )
+            response = json.loads(line)
+            assert response["ok"] is False
+            assert "--async" in response["error"]
+        finally:
+            router.stop()
+
+    def test_async_front_over_threaded_workers_refuses_cleanly(self):
+        supervisor = ClusterSupervisor(workers=1, backend=BACKEND, async_workers=False)
+        supervisor.start()
+        router = AsyncShardRouter(supervisor, backend=BACKEND, route_timeout=10.0)
+        try:
+            router.serve_background()
+            specs = _specs(2)
+            from repro.errors import ReproError
+
+            with ServiceClient(router.host, router.port) as client:
+                with pytest.raises(ReproError, match="async"):
+                    client.sweep(specs, backend=BACKEND)
+        finally:
+            router.stop()
+
+
+class TestWorkerKillMidSweep:
+    def test_kill_repartitions_stores_once_and_respawns(self, tmp_path):
+        suite = spec_suite("search-sweep")
+        expected_results, _ = BatchRunner(backend="simulation").run(suite)
+        expected_digest = fingerprint_digest(expected_results)
+
+        store_dir = tmp_path / "store"
+        supervisor = ClusterSupervisor(
+            workers=2, backend="simulation", store=store_dir, async_workers=True
+        )
+        supervisor.start()
+        router = AsyncShardRouter(supervisor, backend="simulation", route_timeout=60.0)
+        try:
+            router.serve_background()
+            with ServiceClient(router.host, router.port, timeout=120) as client:
+                stream = client.sweep(suite, backend="simulation")
+                records = []
+                for record in stream:
+                    records.append(record)
+                    if len(records) == 2:
+                        supervisor.handles[0].process.kill()
+                summary = stream.summary
+
+            # The dead worker's unfinished specs re-partitioned along the
+            # ring and the digest still matches the local run exactly.
+            assert summary["errors"] == 0
+            assert summary["repartitioned"] > 0
+            assert len(records) == len(suite)
+            assert summary["fingerprint_digest"] == expected_digest
+            spec_hashes = [record["key"]["spec_hash"] for record in records]
+            assert len(spec_hashes) == len(set(spec_hashes))  # no double delivery
+
+            # The supervisor respawns the victim in the background...
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline and not supervisor.handles[0].alive:
+                time.sleep(0.1)
+            handle = supervisor.handles[0]
+            assert handle.alive and handle.restarts >= 1
+            time.sleep(0.5)  # let the fresh worker finish standing up
+
+            # ...and the respawned worker is reused: the next sweep
+            # assigns it a partition and it completes every spec of it.
+            with ServiceClient(router.host, router.port, timeout=120) as client:
+                stream = client.sweep(suite, backend="simulation")
+                list(stream)
+            second = stream.summary
+            assert second["errors"] == 0
+            assert second["fingerprint_digest"] == expected_digest
+            worker0 = next(
+                row for row in second["partitions"] if row["worker"] == 0
+            )
+            assert worker0["specs"] > 0 and worker0["completed"] == worker0["specs"]
+        finally:
+            router.stop()
+        assert router.leaked_tasks == []
+
+        # Exactly-once persistence: after the drain-and-merge stop the
+        # primary store holds one record per unique spec, no duplicates,
+        # and the per-worker staging directories are gone.
+        merged = ResultStore(store_dir)
+        stats = merged.stats()
+        assert stats.unique == len(suite)
+        assert stats.records == stats.unique
+        assert not (store_dir / "workers").exists()

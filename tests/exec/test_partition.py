@@ -1,0 +1,72 @@
+"""Unit tests for :func:`repro.exec.plan.partition_specs`.
+
+The distributed sweep relies on this helper for three guarantees: the
+partitions are disjoint by ``(backend, spec hash)`` (duplicates solved
+once, fleet-wide), every spec lands on the shard ``assign`` names (the
+same one a routed ``solve`` would warm), and the partition order is
+deterministic so acks and summaries are stable.
+"""
+
+from __future__ import annotations
+
+from repro.api import SearchProblem
+from repro.exec import PlanPartition, partition_specs
+
+
+def _specs(count: int) -> list[SearchProblem]:
+    return [SearchProblem(distance=1.0 + 0.1 * i, visibility=0.3) for i in range(count)]
+
+
+class TestPartitionSpecs:
+    def test_buckets_follow_assign_and_counts_are_honest(self):
+        specs = _specs(9)
+        partitions, total, unique = partition_specs(
+            specs, "analytic", assign=lambda h: int(h[:8], 16) % 3
+        )
+        assert (total, unique) == (9, 9)
+        assert sum(len(p.specs) for p in partitions) == 9
+        for partition in partitions:
+            assert isinstance(partition, PlanPartition)
+            assert len(partition.specs) == len(partition.hashes)
+            for spec, spec_hash in zip(partition.specs, partition.hashes):
+                assert spec.canonical_hash() == spec_hash
+                assert int(spec_hash[:8], 16) % 3 == partition.node
+
+    def test_duplicates_dedupe_to_one_slot(self):
+        specs = _specs(4)
+        partitions, total, unique = partition_specs(
+            specs + specs + [specs[0]], "analytic", assign=lambda h: "only"
+        )
+        assert (total, unique) == (9, 4)
+        (partition,) = partitions
+        assert len(partition.hashes) == len(set(partition.hashes)) == 4
+
+    def test_partitions_are_sorted_by_node_string(self):
+        specs = _specs(6)
+        nodes = ["w2", "w0", "w1"]
+        partitions, _, _ = partition_specs(
+            specs, "analytic", assign=lambda h: nodes[int(h[:8], 16) % 3]
+        )
+        assert [p.node for p in partitions] == sorted(
+            (p.node for p in partitions), key=str
+        )
+
+    def test_backend_is_part_of_the_dedup_key(self):
+        # Identical specs under different backends are different work:
+        # partitioning the same suite twice with different backend names
+        # must dedupe within each call only.
+        specs = _specs(3)
+        _, _, unique_a = partition_specs(specs, "analytic", assign=lambda h: 0)
+        _, _, unique_b = partition_specs(specs, "simulation", assign=lambda h: 0)
+        assert unique_a == unique_b == 3
+
+    def test_empty_input_yields_no_partitions(self):
+        partitions, total, unique = partition_specs([], "analytic", assign=lambda h: 0)
+        assert partitions == [] and total == 0 and unique == 0
+
+    def test_preserves_first_seen_spec_order_within_a_bucket(self):
+        specs = _specs(5)
+        (partition,), _, _ = partition_specs(specs, "analytic", assign=lambda h: 0)
+        assert [s.canonical_hash() for s in partition.specs] == [
+            s.canonical_hash() for s in specs
+        ]

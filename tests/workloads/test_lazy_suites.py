@@ -1,0 +1,86 @@
+"""The lazily-generated ``search-sweep-xl`` suite.
+
+A hundred-thousand-spec suite cannot be a materialized list, so the
+suite registry grew :class:`LazySpecSuite`: a sequence that builds specs
+on demand from the index.  These tests pin the sequence contract, the
+laziness, the registry integration and the honesty of the advertised
+count and digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.workloads import (
+    LazySpecSuite,
+    search_sweep_xl_suite,
+    spec_suite,
+    spec_suite_names,
+)
+from repro.workloads.suites import _search_sweep_xl_spec
+
+
+class TestLazySpecSuite:
+    def test_sequence_contract(self):
+        suite = LazySpecSuite(7, _search_sweep_xl_spec, kinds=("search",))
+        assert len(suite) == 7
+        assert suite[0].canonical_hash() == _search_sweep_xl_spec(0).canonical_hash()
+        assert suite[-1].canonical_hash() == _search_sweep_xl_spec(6).canonical_hash()
+        assert [s.canonical_hash() for s in suite[2:5]] == [
+            _search_sweep_xl_spec(i).canonical_hash() for i in (2, 3, 4)
+        ]
+        with pytest.raises(IndexError):
+            suite[7]
+        assert len(list(suite)) == 7
+
+    def test_rejects_empty_suites(self):
+        with pytest.raises(InvalidParameterError):
+            LazySpecSuite(0, _search_sweep_xl_spec, kinds=("search",))
+
+    def test_digest_is_the_truncated_sha256_of_the_joined_hashes(self):
+        suite = LazySpecSuite(5, _search_sweep_xl_spec, kinds=("search",))
+        joined = "".join(suite.spec_hashes()).encode("utf-8")
+        assert suite.digest() == hashlib.sha256(joined).hexdigest()[:12]
+        # spec_hashes() is cached: the second call is the same object.
+        assert suite.spec_hashes() is suite.spec_hashes()
+
+
+class TestSearchSweepXl:
+    def test_registered_and_cached(self):
+        assert "search-sweep-xl" in spec_suite_names()
+        suite = spec_suite("search-sweep-xl")
+        assert isinstance(suite, LazySpecSuite)
+        # The registry hands back the module-level cached suite, so the
+        # expensive hash pass runs at most once per process.
+        assert suite is search_sweep_xl_suite()
+        assert suite is spec_suite("search-sweep-xl")
+
+    def test_advertised_count_is_honest(self):
+        suite = search_sweep_xl_suite()
+        assert len(suite) == 100_000
+        assert suite.kinds == ("search",)
+        assert suite.faulted == 0
+
+    def test_indexing_does_not_materialize(self):
+        suite = search_sweep_xl_suite()
+        # Distinct corners of the grid decode to distinct specs without
+        # touching the other 99 998 indices.
+        first = suite[0]
+        last = suite[len(suite) - 1]
+        assert first.canonical_hash() != last.canonical_hash()
+        assert first.kind == last.kind == "search"
+
+    def test_grid_axes_are_all_exercised(self):
+        suite = search_sweep_xl_suite()
+        # One full bearing block: 50 consecutive indices share distance
+        # and visibility but sweep the bearing axis.
+        block = [suite[i] for i in range(50)]
+        assert len({spec.bearing for spec in block}) == 50
+        assert len({spec.visibility for spec in block}) == 1
+        # Crossing a visibility boundary changes visibility.
+        assert suite[0].visibility != suite[50].visibility
+        # Crossing the distance boundary changes distance.
+        assert suite[0].distance != suite[50 * 40].distance
