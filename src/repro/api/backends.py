@@ -71,9 +71,10 @@ class SolverBackend(abc.ABC):
 
     def solve(self, spec: ProblemSpec) -> SolveResult:
         """Solve one spec, timing the run and stamping provenance."""
-        start = time.perf_counter()
+        # wall_time is provenance-only and neutralised by fingerprints.
+        start = time.perf_counter()  # repro-lint: disable=R001
         fields = self._solve(spec)
-        wall_time = time.perf_counter() - start
+        wall_time = time.perf_counter() - start  # repro-lint: disable=R001
         provenance = Provenance(
             backend=self.name,
             fidelity=self.fidelity,

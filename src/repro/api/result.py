@@ -133,7 +133,7 @@ class SolveResult:
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
-        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent, allow_nan=False)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SolveResult":

@@ -125,11 +125,11 @@ class ProblemSpec:
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """Serialise to JSON (stable key order)."""
-        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent, allow_nan=False)
 
     def canonical_json(self) -> str:
         """Minimal-whitespace, key-sorted JSON: the hashing pre-image."""
-        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False)
 
     def canonical_hash(self) -> str:
         """SHA-256 hex digest of the canonical JSON form.

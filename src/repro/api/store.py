@@ -173,13 +173,14 @@ class ResultStore:
 
         Returns the number of newly indexed unique keys.
         """
-        before = len(self._index)
-        for segment in sorted(self.path.glob(_SEGMENT_GLOB)):
-            if segment.name in self._seen_segments:
-                continue
-            self._seen_segments.add(segment.name)
-            self._load_segment(segment)
-        return len(self._index) - before
+        with self._write_lock:
+            before = len(self._index)
+            for segment in sorted(self.path.glob(_SEGMENT_GLOB)):
+                if segment.name in self._seen_segments:
+                    continue
+                self._seen_segments.add(segment.name)
+                self._load_segment(segment)
+            return len(self._index) - before
 
     def _load_segment(self, segment: Path) -> None:
         try:
@@ -189,27 +190,28 @@ class ResultStore:
             return
         offset = 0
         bad_lines = 0
-        for chunk in raw.split(b"\n"):
-            length = len(chunk)
-            if chunk.strip():
-                parsed = None
-                try:
-                    parsed = _parse_record(chunk.decode("utf-8"))
-                except UnicodeDecodeError:
+        with self._write_lock:  # reentrant: refresh()/gc() already hold it
+            for chunk in raw.split(b"\n"):
+                length = len(chunk)
+                if chunk.strip():
                     parsed = None
-                if parsed is None:
-                    bad_lines += 1
-                    self._skipped_lines += 1
-                else:
-                    key, _ = parsed
-                    self._records += 1
-                    if key in self._index:
-                        self._duplicates += 1
-                    # Last record wins: honest duplicates are identical
-                    # (deterministic backends), and a later re-solve
-                    # supersedes a damaged earlier record.
-                    self._index[key] = _Location(segment, offset, length)
-            offset += length + 1
+                    try:
+                        parsed = _parse_record(chunk.decode("utf-8"))
+                    except UnicodeDecodeError:
+                        parsed = None
+                    if parsed is None:
+                        bad_lines += 1
+                        self._skipped_lines += 1
+                    else:
+                        key, _ = parsed
+                        self._records += 1
+                        if key in self._index:
+                            self._duplicates += 1
+                        # Last record wins: honest duplicates are identical
+                        # (deterministic backends), and a later re-solve
+                        # supersedes a damaged earlier record.
+                        self._index[key] = _Location(segment, offset, length)
+                offset += length + 1
         if bad_lines:
             warnings.warn(
                 f"result store: skipped {bad_lines} corrupt/truncated line(s) "
@@ -262,7 +264,8 @@ class ResultStore:
             # Evict the damaged record so a fresh solve can re-put the
             # key; with last-record-wins indexing the replacement also
             # survives reopen instead of the key staying poisoned.
-            self._index.pop(key, None)
+            with self._write_lock:
+                self._index.pop(key, None)
             return None
         return replace(result, provenance=replace(result.provenance, from_store=True))
 
@@ -392,7 +395,7 @@ class ResultStore:
                 "spec_hash": key.spec_hash,
                 "result": envelope,
             }
-            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"), allow_nan=False)
             self._pending_keys[key] = len(self._pending)
             self._pending.append((key, line))
             if len(self._pending) >= self.flush_every:
@@ -420,7 +423,9 @@ class ResultStore:
             default=-1,
         )
         self._segment_seq = max(self._segment_seq, on_disk) + 1
-        token = uuid.uuid4().hex[:8]
+        # Segment file names are never hashed; the token only keeps
+        # concurrent writer processes from colliding on one path.
+        token = uuid.uuid4().hex[:8]  # repro-lint: disable=R001
         name = f"segment-{self._segment_seq:08d}-{os.getpid():08d}-{token}.jsonl"
         return self.path / name
 
@@ -506,7 +511,7 @@ class ResultStore:
                 "spec_hash": key.spec_hash,
                 "result": envelope,
             }
-            lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+            lines.append(json.dumps(record, sort_keys=True, separators=(",", ":"), allow_nan=False))
         compacted = self._publish_segment(lines) if lines else None
         removed = 0
         for segment in old_segments:
@@ -517,15 +522,16 @@ class ResultStore:
                 pass
         # Rebuild the index from the compacted segment, then pick up any
         # segment another writer published while we were compacting.
-        self._index.clear()
-        self._seen_segments.clear()
-        self._records = 0
-        self._duplicates = 0
-        self._skipped_lines = 0
-        if compacted is not None:
-            self._seen_segments.add(compacted.name)
-            self._load_segment(compacted)
-        self.refresh()
+        with self._write_lock:
+            self._index.clear()
+            self._seen_segments.clear()
+            self._records = 0
+            self._duplicates = 0
+            self._skipped_lines = 0
+            if compacted is not None:
+                self._seen_segments.add(compacted.name)
+                self._load_segment(compacted)
+            self.refresh()
         return len(lines), removed
 
     # -- shipping --------------------------------------------------------------
@@ -545,7 +551,7 @@ class ResultStore:
                     "spec_hash": key.spec_hash,
                     "result": envelope,
                 }
-                handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+                handle.write(json.dumps(record, sort_keys=True, separators=(",", ":"), allow_nan=False))
                 handle.write("\n")
                 count += 1
             handle.flush()

@@ -419,6 +419,34 @@ def build_parser() -> argparse.ArgumentParser:
     gather.add_argument("--visibility", type=float, required=True, help="common visibility radius")
     gather.add_argument("--horizon", type=float, default=20000.0, help="per-pair simulation horizon")
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST invariant checker (determinism, locking, wire schema)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="restrict reported findings to these files/directories (default: whole package)",
+    )
+    lint.add_argument("--json", action="store_true", help="emit the machine-readable report")
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on any finding not in the baseline",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="baseline file of accepted findings (default: lint-baseline.json next to pyproject)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file to accept every current finding",
+    )
+
     return parser
 
 
@@ -584,7 +612,7 @@ def _command_solve(namespace: argparse.Namespace) -> int:
     results, stats = runner.run(specs)
     if namespace.json:
         if emit_list:
-            print(json.dumps([result.to_dict() for result in results], indent=2))
+            print(json.dumps([result.to_dict() for result in results], indent=2, allow_nan=False))
         else:
             print(results[0].to_json(indent=2))
         # Cache effectiveness goes to stderr so stdout stays parseable.
@@ -635,9 +663,9 @@ def _solve_connect(namespace: argparse.Namespace) -> int:
         sent, received = client.bytes_sent, client.bytes_received
     if namespace.json:
         if emit_list:
-            print(json.dumps(envelopes, indent=2))
+            print(json.dumps(envelopes, indent=2, allow_nan=False))
         else:
-            print(json.dumps(envelopes[0], indent=2))
+            print(json.dumps(envelopes[0], indent=2, allow_nan=False))
     else:
         for envelope in envelopes:
             print(SolveResult.from_dict(envelope).summary())
@@ -804,7 +832,7 @@ def _serve_metrics(namespace: argparse.Namespace) -> int:
         ) from error
     if not response.get("ok"):
         raise ReproError(f"daemon refused metrics: {response.get('error')}")
-    print(json.dumps(response["metrics"], indent=2, sort_keys=True))
+    print(json.dumps(response["metrics"], indent=2, sort_keys=True, allow_nan=False))
     return 0
 
 
@@ -887,7 +915,7 @@ def _command_cluster(namespace: argparse.Namespace) -> int:
         status_line, metrics_line = request_lines(
             namespace.host,
             namespace.port,
-            [json.dumps({"op": CLUSTER_STATUS_OP}), json.dumps({"op": "metrics"})],
+            [json.dumps({"op": CLUSTER_STATUS_OP}, allow_nan=False), json.dumps({"op": "metrics"})],
         )
     except OSError as error:
         raise ReproError(
@@ -902,7 +930,7 @@ def _command_cluster(namespace: argparse.Namespace) -> int:
     status = status_response["cluster"]
     metrics = json.loads(metrics_line).get("metrics", {})
     if namespace.json:
-        print(json.dumps({"cluster": status, "metrics": metrics}, indent=2))
+        print(json.dumps({"cluster": status, "metrics": metrics}, indent=2, allow_nan=False))
         return 0
     print(
         f"router {namespace.host}:{namespace.port}: {status['status']}, "
@@ -938,7 +966,7 @@ def _command_feasibility(namespace: argparse.Namespace) -> int:
         print(
             json.dumps(
                 {"feasible": verdict.feasible, "reasons": list(verdict.reasons)}, indent=2
-            )
+            , allow_nan=False)
         )
     else:
         print(verdict.describe())
@@ -1095,7 +1123,7 @@ def _command_store(namespace: argparse.Namespace) -> int:
                     for _, group in sorted(aggregate.groups.items())
                 ],
             }
-            print(json.dumps(payload, indent=2))
+            print(json.dumps(payload, indent=2, allow_nan=False))
         else:
             print(stats.describe())
             if aggregate.groups:
@@ -1105,7 +1133,7 @@ def _command_store(namespace: argparse.Namespace) -> int:
     if namespace.action == "gc":
         kept, removed = store.gc()
         if namespace.json:
-            print(json.dumps({"action": "gc", "kept": kept, "removed_segments": removed}))
+            print(json.dumps({"action": "gc", "kept": kept, "removed_segments": removed}, allow_nan=False))
         else:
             print(f"compacted {removed} segment(s) into 1; {kept} live record(s) kept")
         return 0
@@ -1117,7 +1145,7 @@ def _command_store(namespace: argparse.Namespace) -> int:
             print(
                 json.dumps(
                     {"action": "export", "records": count, "file": str(namespace.file)}
-                )
+                , allow_nan=False)
             )
         else:
             print(f"exported {count} record(s) to {namespace.file}")
@@ -1132,7 +1160,7 @@ def _command_store(namespace: argparse.Namespace) -> int:
                     "total": len(store),
                     "file": str(namespace.file),
                 }
-            )
+            , allow_nan=False)
         )
     else:
         print(f"imported {added} new record(s) from {namespace.file} ({len(store)} total)")
@@ -1173,7 +1201,7 @@ def _command_suites(namespace: argparse.Namespace) -> int:
             }
         )
     if namespace.json:
-        print(json.dumps(rows, indent=2))
+        print(json.dumps(rows, indent=2, allow_nan=False))
         return 0
     width = max(len(row["name"]) for row in rows)
     for row in rows:
@@ -1238,7 +1266,7 @@ def _command_sweep(namespace: argparse.Namespace) -> int:
             "wall_time_ms": round(stats.wall_time * 1e3, 3),
         }
     if namespace.json:
-        print(json.dumps(outcome, indent=2, sort_keys=True))
+        print(json.dumps(outcome, indent=2, sort_keys=True, allow_nan=False))
     else:
         sources = ", ".join(
             f"{key}={value}" for key, value in sorted(outcome["sources"].items())
@@ -1441,6 +1469,32 @@ def _command_gather(namespace: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(namespace: argparse.Namespace) -> int:
+    from .lint import Baseline, run_lint
+
+    package_root = Path(__file__).resolve().parent
+    if namespace.baseline is not None:
+        baseline_path = Path(namespace.baseline)
+    else:
+        # src/repro -> repo root; keep the baseline next to pyproject.
+        baseline_path = package_root.parent.parent / "lint-baseline.json"
+    baseline = Baseline.load(baseline_path)
+    report = run_lint(
+        package_root,
+        paths=namespace.paths or None,
+        baseline=baseline,
+    )
+    if namespace.write_baseline:
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline_path}", file=sys.stderr)
+        return 0
+    if namespace.json:
+        print(report.to_json(strict=namespace.strict))
+    else:
+        print(report.render_text(strict=namespace.strict))
+    return report.exit_code(strict=namespace.strict)
+
+
 _COMMANDS = {
     "solve": _command_solve,
     "feasibility": _command_feasibility,
@@ -1454,6 +1508,7 @@ _COMMANDS = {
     "cluster": _command_cluster,
     "schedule": _command_schedule,
     "gather": _command_gather,
+    "lint": _command_lint,
 }
 
 

@@ -50,6 +50,7 @@ from ..service.frames import (
 )
 from ..service.metrics import ServiceMetrics
 from ..service.protocol import (
+    CLUSTER_STATUS_OP,
     COMPLETION_OP,
     PARTIAL_OP,
     SHUTDOWN_OP,
@@ -65,6 +66,7 @@ from ..service.protocol import (
     subscribe_ack,
     subscribe_summary,
     sweep_ack,
+    sweep_partial,
     sweep_summary,
 )
 from ..exec.plan import partition_specs
@@ -72,10 +74,6 @@ from .hashing import HashRing, shard_key
 from .worker import ClusterSupervisor, WorkerHandle
 
 __all__ = ["AsyncShardRouter", "ShardRouter", "CLUSTER_STATUS_OP", "boot_router"]
-
-#: Router-only verb: one document with the shard table, health and
-#: restart counters (the ``repro cluster status`` CLI reads it).
-CLUSTER_STATUS_OP = "cluster-status"
 
 
 class _WorkerDied(Exception):
@@ -145,7 +143,7 @@ class _WorkerPool:
         is_binary = False
         if self.binary:
             try:
-                hello = json.dumps({"op": HELLO_OP, "format": FORMAT_BINARY})
+                hello = json.dumps({"op": HELLO_OP, "format": FORMAT_BINARY}, allow_nan=False)
                 conn.sendall((hello + "\n").encode("utf-8"))
                 raw = reader.readline()
                 answer = json.loads(raw.decode("utf-8")) if raw else {}
@@ -188,7 +186,7 @@ class _WorkerPool:
                 conn.sendall(encode_frame(data))
                 payload = read_frame(reader)
             else:
-                line = json.dumps(data, sort_keys=True, separators=(",", ":"))
+                line = json.dumps(data, sort_keys=True, separators=(",", ":"), allow_nan=False)
                 conn.sendall((line + "\n").encode("utf-8"))
                 payload = reader.readline()
         except TimeoutError as error:
@@ -1057,7 +1055,7 @@ class AsyncShardRouter(AsyncLineServer):
                     "backend": effective,
                     "specs": [spec.to_dict() for spec, _ in pairs],
                 }
-                line = json.dumps(request, sort_keys=True, separators=(",", ":"))
+                line = json.dumps(request, sort_keys=True, separators=(",", ":"), allow_nan=False)
                 conn.sendall((line + "\n").encode("utf-8"))
                 raw = reader.readline()
                 ack = json.loads(raw.decode("utf-8")) if raw else None
@@ -1209,19 +1207,19 @@ class AsyncShardRouter(AsyncLineServer):
                 merged.merge(EnvelopeAggregate.from_wire(record.get("fold") or {}))
                 blob_hashes.update(record.get("blob_hashes") or [])
                 failures.extend(record.get("failures") or [])
-            client_partial: dict[str, Any] = {
-                "ok": True,
-                "op": PARTIAL_OP,
-                "records": state.seq,
-                "errors": state.errors,
-                "sources": dict(sorted(state.tiers.items())),
-                "fold": merged.to_wire(),
-            }
-            if failures:
-                client_partial["failures"] = failures
-            if request_id is not None:
-                client_partial["id"] = request_id
-            bridge.put(client_partial)
+            # blob_hashes=None: the hashes stay router-side; the client
+            # gets the fold_digest in the summary as its proof.
+            bridge.put(
+                sweep_partial(
+                    request_id,
+                    fold=merged.to_wire(),
+                    blob_hashes=None,
+                    sources=state.tiers,
+                    records=state.seq,
+                    errors=state.errors,
+                    failures=failures or None,
+                )
+            )
             digests = {"fold_digest": digest_blob_hashes(blob_hashes)}
         else:
             digests = {"fingerprint_digest": fingerprint_digest(state.results)}

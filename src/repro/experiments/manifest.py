@@ -46,7 +46,7 @@ MANIFEST_NAME = "manifest.json"
 
 
 def _fingerprint_blob(result: SolveResult) -> str:
-    return json.dumps(result.fingerprint(), sort_keys=True, separators=(",", ":"))
+    return json.dumps(result.fingerprint(), sort_keys=True, separators=(",", ":"), allow_nan=False)
 
 
 def _digest_blobs(blobs: Iterable[str]) -> str:
@@ -188,7 +188,7 @@ class RunManifest:
         }
         temp = self.path.with_name(f".{self.path.name}.tmp")
         with temp.open("w", encoding="utf-8") as handle:
-            handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            handle.write(json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp, self.path)

@@ -1,0 +1,123 @@
+"""Checked-in baseline of accepted findings.
+
+The baseline is a committed JSON file mapping finding keys (stable
+content hashes of ``rule + path + message`` -- deliberately **not**
+line numbers, so unrelated edits above a finding don't churn the file)
+to occurrence counts.  ``repro lint --strict`` fails only on findings
+*not* in the baseline, which lets a rule land before the last legacy
+occurrence is fixed without losing the gate on regressions.
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "entries": {
+        "<16-hex key>": {"rule": "R001", "path": "...", "message": "...", "count": 1},
+        ...
+      }
+    }
+
+``rule``/``path``/``message`` are denormalised into each entry purely
+for human review of the committed file; only the key and count are
+consulted when matching.  A finding occurring N times on one
+path+message (e.g. the same call repeated) baselines all N only when
+``count >= N``; extra occurrences beyond the recorded count are new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted-finding keys with occurrence counts."""
+
+    counts: Counter = field(default_factory=Counter)
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        counts: Counter = Counter()
+        meta: dict = {}
+        for key, entry in data.get("entries", {}).items():
+            counts[key] = int(entry.get("count", 1))
+            meta[key] = {
+                "rule": entry.get("rule", ""),
+                "path": entry.get("path", ""),
+                "message": entry.get("message", ""),
+            }
+        return cls(counts=counts, meta=meta)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            baseline.counts[finding.key] += 1
+            baseline.meta.setdefault(
+                finding.key,
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "message": finding.message,
+                },
+            )
+        return baseline
+
+    def save(self, path: Path) -> None:
+        entries = {}
+        for key in sorted(self.counts):
+            info = self.meta.get(key, {})
+            entries[key] = {
+                "rule": info.get("rule", ""),
+                "path": info.get("path", ""),
+                "message": info.get("message", ""),
+                "count": self.counts[key],
+            }
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
+            encoding="utf-8",
+        )
+
+    def partition(self, findings: Iterable[Finding]) -> tuple[List[Finding], List[Finding]]:
+        """Split findings into (new, baselined).
+
+        Occurrences of one key beyond its recorded count are *new* --
+        a second copy of a baselined bug is still a regression.
+        Baselined findings come back marked ``baselined=True``.
+        """
+        import dataclasses
+
+        budget = Counter(self.counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            if budget[finding.key] > 0:
+                budget[finding.key] -= 1
+                baselined.append(dataclasses.replace(finding, baselined=True))
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

@@ -1,0 +1,205 @@
+"""R001 -- nondeterminism inside the fingerprint-tainted set.
+
+The fingerprint contract (bit-identical envelopes across the serial,
+pooled, batched, served and clustered tiers -- and across *processes*,
+which is what the store and the cluster replay) dies the moment a
+value on a fingerprint-feeding path consults:
+
+* a clock (``time.time`` / ``perf_counter`` / ``monotonic``,
+  ``datetime.now``),
+* an unseeded RNG (module-level ``random.*``, ``numpy.random.*``,
+  ``numpy.random.default_rng()`` with no seed, ``os.urandom``,
+  ``secrets``, ``random.SystemRandom``),
+* process identity (``uuid.uuid1``/``uuid4``, builtin ``hash()`` --
+  salted per process by PYTHONHASHSEED -- and ``id()``),
+* unordered ``set`` iteration (order varies across processes with the
+  hash salt; ``sorted(...)`` is the fix, and exempts the site).
+
+Seeded construction is explicitly fine: ``random.Random(seed)`` and
+``numpy.random.default_rng(seed)`` are how the Monte-Carlo backend
+earns its determinism.
+
+The rule fires **only inside the tainted set** -- modules reachable
+along import edges from canonical spec hashing, result fingerprints,
+Monte-Carlo trial seeding and manifest digests.  Transport code
+measuring request latency with ``perf_counter`` is untainted and never
+flagged (fingerprints neutralise ``wall_time``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .analyzer import ModuleInfo, Project
+from .findings import Finding
+from .rules import Rule, register_rule
+
+__all__ = ["NondeterminismRule"]
+
+#: Calls that are nondeterministic regardless of arguments.
+FORBIDDEN_CALLS: dict[str, str] = {
+    "time.time": "wall clock",
+    "time.time_ns": "wall clock",
+    "time.perf_counter": "monotonic clock",
+    "time.perf_counter_ns": "monotonic clock",
+    "time.monotonic": "monotonic clock",
+    "time.monotonic_ns": "monotonic clock",
+    "datetime.datetime.now": "wall clock",
+    "datetime.datetime.utcnow": "wall clock",
+    "datetime.date.today": "wall clock",
+    "os.urandom": "OS entropy",
+    "secrets.token_bytes": "OS entropy",
+    "secrets.token_hex": "OS entropy",
+    "secrets.token_urlsafe": "OS entropy",
+    "secrets.randbits": "OS entropy",
+    "secrets.choice": "OS entropy",
+    "random.SystemRandom": "OS entropy",
+    "uuid.uuid1": "host/process identity",
+    "uuid.uuid4": "OS entropy",
+}
+
+#: Module-level functions of the global (process-seeded) RNGs.
+_GLOBAL_RNG_FUNCS = (
+    "random",
+    "randint",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "randrange",
+    "getrandbits",
+    "randbytes",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "betavariate",
+    "gammavariate",
+    "triangular",
+    "vonmisesvariate",
+    "paretovariate",
+    "weibullvariate",
+    "seed",
+)
+UNSEEDED_RANDOM_CALLS: frozenset[str] = frozenset(
+    {f"random.{name}" for name in _GLOBAL_RNG_FUNCS}
+    | {f"numpy.random.{name}" for name in _GLOBAL_RNG_FUNCS}
+    | {"numpy.random.rand", "numpy.random.randn", "numpy.random.permutation"}
+)
+
+#: Builtins that leak the per-process hash salt / heap layout.
+FORBIDDEN_BUILTINS: dict[str, str] = {
+    "hash": "salted per process by PYTHONHASHSEED",
+    "id": "heap-layout dependent",
+}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """An expression whose iteration order is hash-salt dependent."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        # set algebra: flag only when an operand is itself a set expr
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register_rule
+class NondeterminismRule(Rule):
+    id = "R001"
+    title = "nondeterminism inside the fingerprint-tainted set"
+    hint = "derive the value from the spec hash / seed, or move it off the fingerprint path"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.iter_modules():
+            if not project.is_tainted(module):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        sorted_wrapped: set[ast.AST] = set()
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("sorted", "len", "min", "max", "sum", "any", "all")
+            ):
+                # Order-independent consumers: iterating a set through
+                # these is deterministic, so their arguments are exempt.
+                sorted_wrapped.update(node.args)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter) and node.iter not in sorted_wrapped:
+                    yield self.finding(
+                        module,
+                        node.iter,
+                        "iteration over a set is hash-salt ordered "
+                        "(differs across processes)",
+                        hint="wrap the iterable in sorted(...)",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter) and generator.iter not in sorted_wrapped:
+                        yield self.finding(
+                            module,
+                            generator.iter,
+                            "comprehension over a set is hash-salt ordered "
+                            "(differs across processes)",
+                            hint="wrap the iterable in sorted(...)",
+                        )
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call) -> Iterator[Finding]:
+        if isinstance(node.func, ast.Name):
+            reason = FORBIDDEN_BUILTINS.get(node.func.id)
+            if reason is not None and node.func.id not in module.aliases:
+                yield self.finding(
+                    module,
+                    node,
+                    f"builtin {node.func.id}() on a fingerprint-feeding path "
+                    f"({reason})",
+                    hint="use hashlib over a canonical encoding instead",
+                )
+            if node.func.id in ("list", "tuple") and node.args:
+                if _is_set_expr(node.args[0]):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{node.func.id}() over a set is hash-salt ordered "
+                        "(differs across processes)",
+                        hint="use sorted(...) instead",
+                    )
+        dotted = module.resolve_call(node.func)
+        if dotted is None:
+            return
+        reason = FORBIDDEN_CALLS.get(dotted)
+        if reason is not None:
+            yield self.finding(
+                module,
+                node,
+                f"{dotted}() on a fingerprint-feeding path ({reason})",
+            )
+            return
+        if dotted in UNSEEDED_RANDOM_CALLS:
+            yield self.finding(
+                module,
+                node,
+                f"{dotted}() uses the process-global RNG "
+                "(unseeded across worker processes)",
+                hint="use a random.Random(seed) / numpy default_rng(seed) instance",
+            )
+            return
+        if dotted == "numpy.random.default_rng" and not node.args and not node.keywords:
+            yield self.finding(
+                module,
+                node,
+                "numpy.random.default_rng() without a seed draws OS entropy",
+                hint="pass an explicit seed derived from the spec hash",
+            )

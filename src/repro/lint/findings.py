@@ -1,0 +1,71 @@
+"""The finding record every lint rule emits.
+
+A finding is one violation at one source location.  Its identity for
+baseline matching deliberately excludes the line number -- baselined
+debt must not resurface every time an unrelated edit shifts a file --
+and includes the message, so a *new* violation of the same rule in the
+same file is never hidden by an old entry for a different symbol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: the rule id (``R001`` ... ``R005``).
+        path: path of the offending file, relative to the package root's
+            parent (``repro/api/spec.py``).
+        line / col: 1-based line and 0-based column of the violation.
+        message: one-line statement of the violation.
+        hint: one-line fix suggestion.
+        baselined: set by the runner when a checked-in baseline entry
+            absorbs this finding (``--strict`` ignores it then).
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def key(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        blob = f"{self.rule}\x00{self.path}\x00{self.message}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """The human-facing one-liner: ``path:line:col: RXXX message``."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"  [fix: {self.hint}]"
+        if self.baselined:
+            text += "  (baselined)"
+        return text
+
+    def to_dict(self) -> dict[str, Any]:
+        """The ``--json`` wire shape of one finding."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "key": self.key,
+            "baselined": self.baselined,
+        }
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)

@@ -1,0 +1,235 @@
+"""R002 -- lock discipline on classes that own a lock.
+
+The PR-4 bug class: the vectorized kernel's shared compiled-chunk
+cache owned a lock, took it on some paths, and mutated
+``_CacheEntry.chunks`` plus the cache mapping on others -- concurrent
+solves of the same algorithm read corrupted trajectories.  The
+invariant this rule enforces is the one that bug violated:
+
+    In any class owning a ``threading.Lock`` / ``RLock`` /
+    ``Condition`` attribute, an attribute that is **written under**
+    ``with self._lock:`` anywhere must never be written outside it.
+
+"Written" covers plain/augmented attribute assignment
+(``self.x = ...``, ``self.n += 1``), item assignment and deletion on
+an attribute (``self.cache[key] = ...``, ``del self.cache[key]``) and
+the common container mutators (``self.items.append(...)``,
+``.update``, ``.pop``, ...).  Construction is exempt: writes inside
+``__init__`` / ``__post_init__`` / ``__new__`` happen before the
+object is published to other threads.  A class that never takes its
+lock around a given attribute is not flagged for that attribute --
+loop-confined asyncio state legitimately owns no lock, and this rule
+must not force one on it.
+
+Helper methods that are only ever *called with the lock held* are the
+known static blind spot: suppress them inline with a justification
+(``# repro-lint: disable=R002 -- caller holds self._lock``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .analyzer import ModuleInfo, Project
+from .findings import Finding
+from .rules import Rule, register_rule
+
+__all__ = ["LockDisciplineRule"]
+
+#: Constructors whose attribute assignment makes a class lock-owning.
+LOCK_CONSTRUCTORS: frozenset[str] = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+    }
+)
+
+#: Method names treated as mutations of the receiver container.
+#: Deliberately excludes ``set``/``clear`` (threading.Event methods)
+#: -- an Event is itself a synchronisation primitive.
+MUTATING_METHODS: frozenset[str] = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+        "pop",
+        "popitem",
+        "setdefault",
+        "update",
+        "move_to_end",
+    }
+)
+
+#: Methods where unlocked writes are construction/teardown, not racing.
+EXEMPT_METHODS: frozenset[str] = frozenset(
+    {"__init__", "__post_init__", "__new__", "__del__", "__setstate__", "__exit__"}
+)
+
+
+@dataclass
+class _AttrWrites:
+    """Where one ``self.<attr>`` is written inside one class."""
+
+    locked: list[ast.AST] = field(default_factory=list)
+    unlocked: list[tuple[ast.AST, str]] = field(default_factory=list)  # (node, method)
+
+
+def _self_attr_of_write(node: ast.AST) -> Optional[str]:
+    """The attribute name if ``node`` writes ``self.<attr>`` somehow."""
+    targets: list[ast.AST] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target] if node.target is not None else []
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_METHODS
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+        ):
+            return func.value.attr
+        return None
+    else:
+        return None
+    for target in targets:
+        # self.attr = ... / self.attr += ...
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr
+        # self.attr[key] = ... / del self.attr[key]
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Attribute)
+            and isinstance(target.value.value, ast.Name)
+            and target.value.value.id == "self"
+        ):
+            return target.value.attr
+    return None
+
+
+def _lock_attrs_of_class(cls: ast.ClassDef, module: ModuleInfo) -> set[str]:
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        dotted = module.resolve_call(node.value.func)
+        if dotted not in LOCK_CONSTRUCTORS:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                locks.add(target.attr)
+    return locks
+
+
+def _with_holds_lock(node: ast.AST, lock_attrs: set[str]) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        # ``with self._lock:`` or ``with self._lock.acquire_timeout(...):``
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in lock_attrs
+        ):
+            return True
+    return False
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    id = "R002"
+    title = "unlocked write to a lock-guarded attribute"
+    hint = "move the write under the owning `with self.<lock>:` block"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.iter_modules():
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(module, node)
+
+    def _check_class(self, module: ModuleInfo, cls: ast.ClassDef) -> Iterator[Finding]:
+        lock_attrs = _lock_attrs_of_class(cls, module)
+        if not lock_attrs:
+            return
+        writes: dict[str, _AttrWrites] = {}
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            self._visit(method, lock_attrs, writes, under_lock=False, method_name="")
+        for attr, record in sorted(writes.items()):
+            if attr in lock_attrs:
+                continue
+            if not record.locked:
+                continue  # never guarded anywhere: not this rule's business
+            for node, method_name in record.unlocked:
+                if method_name in EXEMPT_METHODS:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"self.{attr} is written under a lock elsewhere in "
+                    f"{cls.name} but written without it in {method_name}()",
+                )
+
+    def _visit(
+        self,
+        node: ast.AST,
+        lock_attrs: set[str],
+        writes: dict[str, _AttrWrites],
+        under_lock: bool,
+        method_name: str,
+    ) -> None:
+        """Record every ``self.<attr>`` write in ``node`` with its lock state."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A (nested) def runs later, not under the caller's lock.
+            for stmt in node.body:
+                self._visit(stmt, lock_attrs, writes, False, node.name)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inside = under_lock or _with_holds_lock(node, lock_attrs)
+            for item in node.items:
+                self._visit(item.context_expr, lock_attrs, writes, under_lock, method_name)
+            for stmt in node.body:
+                self._visit(stmt, lock_attrs, writes, inside, method_name)
+            return
+        attr = _self_attr_of_write(node)
+        if attr is not None:
+            self._record(writes, attr, node, under_lock, method_name)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, lock_attrs, writes, under_lock, method_name)
+
+    @staticmethod
+    def _record(
+        writes: dict[str, _AttrWrites],
+        attr: str,
+        node: ast.AST,
+        under_lock: bool,
+        method_name: str,
+    ) -> None:
+        record = writes.setdefault(attr, _AttrWrites())
+        if under_lock:
+            record.locked.append(node)
+        else:
+            record.unlocked.append((node, method_name))

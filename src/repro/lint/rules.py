@@ -1,0 +1,100 @@
+"""The pluggable rule architecture of ``repro lint``.
+
+A rule is a class with an ``id``, a one-line ``title``, a default fix
+``hint`` and a ``check(project)`` generator yielding
+:class:`~repro.lint.findings.Finding` objects for the whole project.
+Rules see the entire :class:`~repro.lint.analyzer.Project` -- the
+import graph, the tainted set, every module's AST -- so cross-module
+contracts (the wire schema) are first-class, not bolted on.
+
+Registering is one decorator::
+
+    @register_rule
+    class MyRule(Rule):
+        id = "R042"
+        ...
+
+The runner instantiates every registered rule, runs them in id order
+and applies inline/file suppressions afterwards, so a rule never needs
+suppression logic of its own.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Type
+
+from .analyzer import ModuleInfo, Project
+from .findings import Finding
+
+__all__ = ["RULES", "Rule", "register_rule", "all_rules", "enclosing_functions"]
+
+
+class Rule:
+    """Base class: subclass, set the metadata, implement :meth:`check`."""
+
+    id: str = "R000"
+    title: str = ""
+    hint: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        message: str,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+#: id -> rule class, in registration order.
+RULES: dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULES[cls.id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, in id order."""
+    # Import the rule modules lazily so the registry is populated on
+    # first use without import cycles.
+    from . import determinism, locking, serialization, wire  # noqa: F401
+
+    return [RULES[rule_id]() for rule_id in sorted(RULES)]
+
+
+def enclosing_functions(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    """Map every node to its nearest enclosing function def (or None).
+
+    Shared by the rules that care whether code runs inside
+    ``__init__``/``__post_init__`` (R002's construction exemption,
+    R005's frozen-mutation window).
+    """
+    parents: dict[ast.AST, ast.AST] = {}
+
+    def visit(node: ast.AST, function: Optional[ast.AST]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                parents[child] = function  # the *outer* function of a nested def
+                visit(child, child)
+            else:
+                if function is not None:
+                    parents[child] = function
+                visit(child, function)
+
+    visit(tree, None)
+    return parents

@@ -1,0 +1,166 @@
+"""Run every rule over a parsed project and report the verdict.
+
+``run_lint`` is the single entry point behind ``repro lint``, the CI
+gate and the test-suite self-check.  The pipeline is deliberately
+boring: parse, run rules in id order, drop inline-suppressed findings,
+split the rest against the baseline, sort.  Exit semantics live in
+:meth:`LintReport.exit_code` so the CLI and ``benchmarks/lint_smoke.py``
+cannot drift from each other.
+
+The ``--json`` schema (consumed by ``benchmarks/lint_smoke.py``; keep
+in sync with README) is::
+
+    {
+      "version": 1,
+      "strict": bool,
+      "counts": {"R001": n, ...},       # new findings per rule
+      "total": int,                     # new + baselined
+      "new": int,
+      "baselined": int,
+      "suppressed": int,                # dropped by inline comments
+      "findings": [Finding.to_dict()...]  # new first, then baselined
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analyzer import LintConfig, Project
+from .baseline import Baseline
+from .findings import Finding
+from .rules import all_rules
+
+__all__ = ["LintReport", "run_lint", "REPORT_VERSION"]
+
+REPORT_VERSION = 1
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, pre-partitioned."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def findings(self) -> List[Finding]:
+        return self.new + self.baselined
+
+    @property
+    def counts(self) -> dict:
+        counts: dict = {}
+        for finding in self.new:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when clean; 1 when strict and any non-baselined finding."""
+        if strict and self.new:
+            return 1
+        return 0
+
+    def to_dict(self, strict: bool = False) -> dict:
+        return {
+            "version": REPORT_VERSION,
+            "strict": strict,
+            "counts": self.counts,
+            "total": len(self.new) + len(self.baselined),
+            "new": len(self.new),
+            "baselined": len(self.baselined),
+            "suppressed": self.suppressed,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def to_json(self, strict: bool = False) -> str:
+        return json.dumps(
+            self.to_dict(strict=strict),
+            indent=2,
+            sort_keys=True,
+            allow_nan=False,
+        )
+
+    def render_text(self, strict: bool = False) -> str:
+        lines = [finding.render() for finding in self.findings]
+        summary = (
+            f"repro lint: {len(self.new)} new, {len(self.baselined)} baselined, "
+            f"{self.suppressed} suppressed"
+        )
+        if strict and self.new:
+            summary += " -- FAIL (strict)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def _normalize_filters(
+    package_root: Path, paths: Optional[Sequence[str]]
+) -> Optional[List[str]]:
+    """Turn CLI path arguments into ``repro/...``-relative prefixes."""
+    if not paths:
+        return None
+    prefixes: List[str] = []
+    anchor = package_root.parent  # .../src
+    for raw in paths:
+        candidate = Path(raw)
+        if candidate.is_absolute():
+            try:
+                rel = candidate.relative_to(anchor)
+            except ValueError:
+                rel = candidate
+        else:
+            # accept "src/repro/api", "repro/api" and "api" alike
+            parts = candidate.parts
+            if parts[:2] == ("src", package_root.name):
+                rel = Path(*parts[1:])
+            elif parts[:1] == (package_root.name,):
+                rel = candidate
+            else:
+                rel = Path(package_root.name, *parts)
+        prefixes.append(rel.as_posix().rstrip("/"))
+    return prefixes
+
+
+def _matches(finding: Finding, prefixes: Optional[List[str]]) -> bool:
+    if prefixes is None:
+        return True
+    return any(
+        finding.path == prefix or finding.path.startswith(prefix + "/")
+        for prefix in prefixes
+    )
+
+
+def run_lint(
+    package_root: Path,
+    *,
+    config: Optional[LintConfig] = None,
+    paths: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint ``package_root`` (a package directory, e.g. ``src/repro``).
+
+    ``paths`` restricts *reported* findings to the given files or
+    directories; the whole package is still parsed so cross-module
+    rules (taint reachability, the wire schema) see everything.
+    """
+    project = Project(Path(package_root), config=config)
+    prefixes = _normalize_filters(Path(package_root), paths)
+    kept: List[Finding] = []
+    suppressed = 0
+    for rule in all_rules():
+        for finding in rule.check(project):
+            module = project.module_for_path(finding.path)
+            if module is not None and module.is_suppressed(finding.rule, finding.line):
+                suppressed += 1
+                continue
+            if not _matches(finding, prefixes):
+                continue
+            kept.append(finding)
+    kept.sort(key=lambda finding: finding.sort_key())
+    if baseline is None:
+        baseline = Baseline()
+    new, baselined = baseline.partition(kept)
+    return LintReport(new=new, baselined=baselined, suppressed=suppressed)

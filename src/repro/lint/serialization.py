@@ -1,0 +1,144 @@
+"""R004 (JSON cleanliness) and R005 (frozen-spec mutation).
+
+**R004** -- the PR-3 bug class.  Python's ``json.dumps`` happily emits
+``Infinity``/``NaN`` tokens, which are not JSON: the store, the wire
+and every ``--json`` consumer downstream then chokes (or worse,
+silently round-trips a value the analytic formulas amplified into
+``inf``).  ``allow_nan=False`` turns that silent corruption into an
+immediate ``ValueError`` at the serialisation boundary -- the contract
+every ``json.dumps`` on a float-carrying payload must opt into.  A
+payload that provably carries no floats (a literal of strings, ints,
+bools and Nones all the way down) is exempt; ``allow_nan=True`` is
+flagged as an explicit opt-*out* of RFC-clean JSON.
+
+**R005** -- the frozen dataclasses (specs, results, fault models) are
+frozen *because* their canonical hashes are computed once; mutation
+after construction silently desynchronises an object from its hash.
+``object.__setattr__`` is the only way around ``frozen=True`` and is
+legitimate exactly once: inside ``__init__`` / ``__post_init__`` /
+``__setstate__`` of the owning class, coercing fields during
+construction.  Every call anywhere else is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .analyzer import ModuleInfo, Project
+from .findings import Finding
+from .rules import Rule, register_rule
+
+__all__ = ["FrozenMutationRule", "JsonCleanlinessRule"]
+
+_SAFE_CONSTANTS = (str, int, bool, type(None))
+
+#: Functions whose call opens a construction window for R005.
+_CONSTRUCTION_FUNCTIONS = frozenset(
+    {"__init__", "__post_init__", "__new__", "__setstate__"}
+)
+
+
+def _literal_is_float_free(node: ast.AST) -> bool:
+    """True when a payload expression provably carries no floats.
+
+    Conservative: anything dynamic (a name, a call, a comprehension, an
+    f-string) might carry a float, so only literals of safe constants
+    qualify.  ``True``/``False`` are ints in Python but JSON-safe.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, _SAFE_CONSTANTS) and not isinstance(
+            node.value, float
+        )
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        return all(_literal_is_float_free(item) for item in node.elts)
+    if isinstance(node, ast.Dict):
+        return all(
+            key is not None and _literal_is_float_free(key)
+            for key in node.keys
+        ) and all(_literal_is_float_free(value) for value in node.values)
+    return False
+
+
+@register_rule
+class JsonCleanlinessRule(Rule):
+    id = "R004"
+    title = "json.dumps without allow_nan=False on a float-carrying payload"
+    hint = "pass allow_nan=False so non-finite floats fail loudly instead of emitting non-RFC JSON"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.iter_modules():
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = module.resolve_call(node.func)
+                if dotted not in ("json.dumps", "json.dump"):
+                    continue
+                allow_nan: Optional[ast.expr] = None
+                for keyword in node.keywords:
+                    if keyword.arg == "allow_nan":
+                        allow_nan = keyword.value
+                if allow_nan is not None:
+                    if isinstance(allow_nan, ast.Constant) and allow_nan.value is False:
+                        continue
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{dotted}(..., allow_nan=True) explicitly opts into "
+                        "non-RFC Infinity/NaN tokens",
+                        hint="use allow_nan=False; encode non-finite values as null upstream",
+                    )
+                    continue
+                if node.args and _literal_is_float_free(node.args[0]):
+                    continue  # provably float-free payload
+                yield self.finding(
+                    module,
+                    node,
+                    f"{dotted}() without allow_nan=False can emit non-RFC "
+                    "Infinity/NaN tokens (the PR-3 inf-in-JSON bug class)",
+                )
+
+
+@register_rule
+class FrozenMutationRule(Rule):
+    id = "R005"
+    title = "frozen-dataclass mutation outside construction"
+    hint = "use dataclasses.replace(...) to build a new frozen instance"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.iter_modules():
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        # nearest enclosing function name for every call node
+        stack: list[str] = []
+
+        def visit(node: ast.AST) -> Iterator[Finding]:
+            is_function = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if is_function:
+                stack.append(node.name)
+            try:
+                if isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr == "__setattr__"
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "object"
+                    ):
+                        enclosing = stack[-1] if stack else "<module>"
+                        if enclosing not in _CONSTRUCTION_FUNCTIONS:
+                            yield self.finding(
+                                module,
+                                node,
+                                "object.__setattr__ outside __init__/"
+                                "__post_init__ mutates a frozen dataclass "
+                                f"after construction (in {enclosing}())",
+                            )
+                for child in ast.iter_child_nodes(node):
+                    yield from visit(child)
+            finally:
+                if is_function:
+                    stack.pop()
+
+        yield from visit(module.tree)

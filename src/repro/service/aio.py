@@ -475,15 +475,17 @@ class AsyncLineServer:
         stream: bool = False,
     ) -> bool:
         encoded = (encode_response(materialize_raw(response)) + "\n").encode("utf-8")
+        # Count before the write: a client that has received a response
+        # must observe it in a metrics snapshot on another connection.
+        if stream:
+            self.transport.record_stream(FORMAT_JSON, len(encoded))
+        else:
+            self.transport.record_request(FORMAT_JSON, bytes_in, len(encoded))
         try:
             writer.write(encoded)
             await writer.drain()
         except (ConnectionError, OSError):
             return False
-        if stream:
-            self.transport.record_stream(FORMAT_JSON, len(encoded))
-        else:
-            self.transport.record_request(FORMAT_JSON, bytes_in, len(encoded))
         return True
 
     async def _serve_json(
@@ -567,15 +569,16 @@ class AsyncLineServer:
             frame = encode_frame(response)
         except FrameError as error:  # pragma: no cover - responses are JSON-safe
             frame = encode_frame(error_response("?", error))
+        # Same ordering as _send_json: count before the write.
+        if stream:
+            self.transport.record_stream(FORMAT_BINARY, len(frame))
+        else:
+            self.transport.record_request(FORMAT_BINARY, bytes_in, len(frame))
         try:
             writer.write(frame)
             await writer.drain()
         except (ConnectionError, OSError):
             return False
-        if stream:
-            self.transport.record_stream(FORMAT_BINARY, len(frame))
-        else:
-            self.transport.record_request(FORMAT_BINARY, bytes_in, len(frame))
         return True
 
     def decode_frame_payload(self, payload: bytes) -> Any:

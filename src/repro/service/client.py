@@ -104,7 +104,7 @@ class ServiceClient:
             encoded = encode_frame(data)
         else:
             encoded = (
-                json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n"
+                json.dumps(data, sort_keys=True, separators=(",", ":"), allow_nan=False) + "\n"
             ).encode("utf-8")
         try:
             self._stream.write(encoded)

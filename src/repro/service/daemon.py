@@ -160,12 +160,16 @@ class _RequestHandler(socketserver.StreamRequestHandler):
     def _write_line(self, response: dict[str, Any], bytes_in: int) -> bool:
         """Write one JSON response line; False when the client vanished."""
         encoded = (encode_response(response) + "\n").encode("utf-8")
+        # Count before the write: a client that has *received* a response
+        # must observe it in a metrics snapshot taken on another
+        # connection.  (A vanished client over-counts one undelivered
+        # response -- the request really was processed.)
+        self.server.transport.record_request(FORMAT_JSON, bytes_in, len(encoded))
         try:
             self.wfile.write(encoded)
             self.wfile.flush()
         except (ConnectionError, OSError):  # pragma: no cover - client vanished
             return False
-        self.server.transport.record_request(FORMAT_JSON, bytes_in, len(encoded))
         return True
 
     def handle(self) -> None:
@@ -219,12 +223,14 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             frame = encode_frame(response)
         except FrameError as error:  # pragma: no cover - responses are JSON-safe
             frame = encode_frame(error_response("?", error))
+        # Same ordering as _write_line: count before the write so the
+        # snapshot on another connection never trails a delivered response.
+        self.server.transport.record_request(FORMAT_BINARY, bytes_in, len(frame))
         try:
             self.wfile.write(frame)
             self.wfile.flush()
         except (ConnectionError, OSError):  # pragma: no cover - client vanished
             return False
-        self.server.transport.record_request(FORMAT_BINARY, bytes_in, len(frame))
         return True
 
     def _serve_binary(self) -> None:

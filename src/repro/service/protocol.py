@@ -50,6 +50,7 @@ __all__ = [
     "sweep_ack",
     "sweep_partial",
     "sweep_summary",
+    "CLUSTER_STATUS_OP",
     "COMPLETION_OP",
     "PARTIAL_OP",
     "SHUTDOWN_OP",
@@ -62,6 +63,12 @@ __all__ = [
 #: The daemon-level verb; :func:`handle_request` answers it but leaves
 #: actually stopping the server to the transport layer.
 SHUTDOWN_OP = "shutdown"
+
+#: Router-only verb: one document with the shard table, health and
+#: restart counters (the ``repro cluster status`` CLI reads it).  Only
+#: the cluster fronts answer it; a bare worker daemon rejects it like
+#: any unknown verb.
+CLUSTER_STATUS_OP = "cluster-status"
 
 #: The streamed-sweep verb: one request carrying a whole spec suite,
 #: answered with an ack, then one ``completion`` record per unique key
@@ -248,7 +255,7 @@ def handle_line(service: SolverService, line: str) -> dict[str, Any]:
 
 def encode_response(response: dict[str, Any]) -> str:
     """One response as its wire line (no trailing newline)."""
-    return json.dumps(response, sort_keys=True, separators=(",", ":"))
+    return json.dumps(response, sort_keys=True, separators=(",", ":"), allow_nan=False)
 
 
 # -- the subscribe stream ------------------------------------------------------
@@ -414,7 +421,7 @@ def subscribe_summary(
 def sweep_partial(
     request_id: Any,
     fold: dict[str, Any],
-    blob_hashes: list[str],
+    blob_hashes: Optional[list[str]],
     sources: dict[str, int],
     records: int,
     errors: int,
@@ -426,9 +433,9 @@ def sweep_partial(
     ``blob_hashes`` carries one 64-hex-char fingerprint-blob hash per
     fresh result (~10× smaller than the envelopes they stand in for) so
     the coordinator can compute the set-equality ``fold_digest`` without
-    ever seeing an envelope.  The cluster front strips ``blob_hashes``
-    from the record it forwards to the client -- the digest in the
-    summary is the client-facing proof.
+    ever seeing an envelope.  The cluster front passes ``None`` for the
+    record it forwards to the client -- the key is omitted there, and
+    the digest in the summary is the client-facing proof.
     """
     record: dict[str, Any] = {
         "ok": True,
@@ -437,8 +444,9 @@ def sweep_partial(
         "errors": errors,
         "sources": dict(sorted(sources.items())),
         "fold": fold,
-        "blob_hashes": list(blob_hashes),
     }
+    if blob_hashes is not None:
+        record["blob_hashes"] = list(blob_hashes)
     if failures:
         record["failures"] = list(failures)
     if request_id is not None:

@@ -102,3 +102,20 @@ class TestAsyncRouting:
 
         results, _ = BatchRunner(backend=BACKEND).run(specs)
         assert summary["fingerprint_digest"] == fingerprint_digest(results)
+
+
+class TestClusterStatusSchema:
+    """Satellite pin: the async front's ``cluster-status`` answer is
+    top-level identical to the threaded front's (both delegate to one
+    ``_dispatch``), under the verb declared in the protocol module."""
+
+    def test_status_schema_matches_the_threaded_front(self, async_cluster):
+        from repro.service.protocol import CLUSTER_STATUS_OP
+
+        (line,) = request_lines(
+            async_cluster.host, async_cluster.port, [json.dumps({"op": CLUSTER_STATUS_OP})]
+        )
+        response = json.loads(line)
+        assert response["op"] == CLUSTER_STATUS_OP
+        assert set(response) == {"ok", "op", "cluster"}
+        assert response["ok"] is True

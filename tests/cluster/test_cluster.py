@@ -443,3 +443,21 @@ class TestFleetArenaAndBinaryLinks:
         # And this client's binary traffic shows on the router's ledger.
         assert metrics["transport"]["binary"]["requests"] >= 1
         assert metrics["transport"]["binary"]["bytes_out"] > 0
+
+
+class TestClusterStatusSchema:
+    """Satellite pin: both cluster fronts answer ``cluster-status`` with
+    the same top-level schema, using the verb declared in the protocol
+    module (the threaded half; the async half lives in
+    ``test_async_router.py``)."""
+
+    def test_status_schema_matches_the_declared_verb(self, cluster):
+        from repro.service.protocol import CLUSTER_STATUS_OP
+
+        (line,) = request_lines(
+            cluster.host, cluster.port, [json.dumps({"op": CLUSTER_STATUS_OP})]
+        )
+        response = json.loads(line)
+        assert response["op"] == CLUSTER_STATUS_OP
+        assert set(response) == {"ok", "op", "cluster"}
+        assert response["ok"] is True

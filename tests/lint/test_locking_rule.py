@@ -1,0 +1,161 @@
+"""R002: guarded-somewhere attributes must be guarded everywhere."""
+
+from __future__ import annotations
+
+
+class TestTruePositives:
+    def test_pre_pr4_kernel_cache_pattern(self, lint_tree, no_taint_config):
+        """The shared-cache bug PR 4 fixed: one locked path, one not.
+
+        The cache dict is mutated under ``self._lock`` on the publish
+        path and *without* it on the eviction path -- exactly the
+        pattern that corrupted compiled trajectories.
+        """
+        findings = lint_tree(
+            {
+                "simulation/kernel.py": """\
+                import threading
+
+                class CompiledCache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._chunks = {}
+
+                    def publish(self, key, chunk):
+                        with self._lock:
+                            self._chunks[key] = chunk
+
+                    def evict(self, key):
+                        self._chunks.pop(key, None)
+                """
+            },
+            no_taint_config,
+            rule="R002",
+        )
+        assert len(findings) == 1
+        assert "_chunks" in findings[0].message
+        assert "evict" in findings[0].message
+
+    def test_plain_and_augmented_assignment(self, lint_tree, no_taint_config):
+        findings = lint_tree(
+            {
+                "service/state.py": """\
+                import threading
+
+                class Counter:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+
+                    def reset_unsafely(self):
+                        self._count = 0
+                """
+            },
+            no_taint_config,
+            rule="R002",
+        )
+        assert len(findings) == 1
+        assert "reset_unsafely" in findings[0].message
+
+
+class TestFalsePositiveGuards:
+    def test_writes_in_init_are_construction_not_races(self, lint_tree, no_taint_config):
+        """R002 must not flag ``__init__``: nothing else sees the object."""
+        findings = lint_tree(
+            {
+                "service/state.py": """\
+                import threading
+
+                class Store:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = {}
+                        self._items["warm"] = 1
+
+                    def put(self, key, value):
+                        with self._lock:
+                            self._items[key] = value
+                """
+            },
+            no_taint_config,
+            rule="R002",
+        )
+        assert findings == []
+
+    def test_never_locked_attribute_is_not_this_rules_business(
+        self, lint_tree, no_taint_config
+    ):
+        """Loop-confined asyncio state owns no lock and must stay clean."""
+        findings = lint_tree(
+            {
+                "service/aio.py": """\
+                import threading
+
+                class AsyncServer:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._guarded = 0
+                        self._hot = {}
+
+                    def record(self):
+                        with self._lock:
+                            self._guarded += 1
+
+                    def cache(self, key, value):
+                        self._hot[key] = value
+                """
+            },
+            no_taint_config,
+            rule="R002",
+        )
+        assert findings == []
+
+    def test_class_without_a_lock_is_ignored(self, lint_tree, no_taint_config):
+        findings = lint_tree(
+            {
+                "core/plain.py": """\
+                class Plain:
+                    def __init__(self):
+                        self._items = {}
+
+                    def put(self, key, value):
+                        self._items[key] = value
+                """
+            },
+            no_taint_config,
+            rule="R002",
+        )
+        assert findings == []
+
+    def test_suppression_for_helper_called_with_lock_held(
+        self, lint_tree, no_taint_config
+    ):
+        """The documented static blind spot: inline-suppress the helper."""
+        findings = lint_tree(
+            {
+                "service/state.py": """\
+                import threading
+
+                class Store:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = {}
+
+                    def put(self, key, value):
+                        with self._lock:
+                            self._items[key] = value
+                            self._evict()
+
+                    def _evict(self):
+                        # caller holds self._lock
+                        self._items.pop(None, None)  # repro-lint: disable=R002
+                """
+            },
+            no_taint_config,
+            rule="R002",
+        )
+        assert findings == []

@@ -1,0 +1,147 @@
+"""R004 (json cleanliness) and R005 (frozen-spec mutation)."""
+
+from __future__ import annotations
+
+
+class TestJsonCleanliness:
+    def test_pre_pr3_inf_in_json_pattern(self, lint_tree, no_taint_config):
+        """The PR-3 bug class: dumping a float payload with no guard.
+
+        ``json.dumps`` happily writes ``Infinity`` -- not JSON -- and
+        the store round-trips it into every consumer downstream.
+        """
+        findings = lint_tree(
+            {
+                "api/result.py": """\
+                import json
+
+                def to_wire(result):
+                    payload = {"expected_time": result.expected_time}
+                    return json.dumps(payload, sort_keys=True)
+                """
+            },
+            no_taint_config,
+            rule="R004",
+        )
+        assert len(findings) == 1
+        assert "allow_nan=False" in findings[0].message
+
+    def test_explicit_allow_nan_true_is_flagged(self, lint_tree, no_taint_config):
+        findings = lint_tree(
+            {
+                "api/result.py": """\
+                import json
+
+                def to_wire(payload):
+                    return json.dumps(payload, allow_nan=True)
+                """
+            },
+            no_taint_config,
+            rule="R004",
+        )
+        assert len(findings) == 1
+        assert "opts into" in findings[0].message
+
+    def test_allow_nan_false_is_clean(self, lint_tree, no_taint_config):
+        findings = lint_tree(
+            {
+                "api/result.py": """\
+                import json
+
+                def to_wire(payload):
+                    return json.dumps(payload, sort_keys=True, allow_nan=False)
+                """
+            },
+            no_taint_config,
+            rule="R004",
+        )
+        assert findings == []
+
+    def test_float_free_literal_is_clean(self, lint_tree, no_taint_config):
+        """``json.dumps({"op": "shutdown"})`` cannot carry a float."""
+        findings = lint_tree(
+            {
+                "cluster/worker.py": """\
+                import json
+
+                def shutdown_line():
+                    return json.dumps({"op": "shutdown", "retries": 3, "force": True})
+                """
+            },
+            no_taint_config,
+            rule="R004",
+        )
+        assert findings == []
+
+    def test_literal_with_a_float_is_flagged(self, lint_tree, no_taint_config):
+        findings = lint_tree(
+            {
+                "cluster/worker.py": """\
+                import json
+
+                def line():
+                    return json.dumps({"timeout": 2.5})
+                """
+            },
+            no_taint_config,
+            rule="R004",
+        )
+        assert len(findings) == 1
+
+
+class TestFrozenMutation:
+    def test_setattr_outside_construction(self, lint_tree, no_taint_config):
+        findings = lint_tree(
+            {
+                "api/spec.py": """\
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class Spec:
+                    distance: float
+
+                    def rescale(self, factor):
+                        object.__setattr__(self, "distance", self.distance * factor)
+                """
+            },
+            no_taint_config,
+            rule="R005",
+        )
+        assert len(findings) == 1
+        assert "rescale" in findings[0].message
+
+    def test_post_init_coercion_is_clean(self, lint_tree, no_taint_config):
+        """The legitimate window: field coercion during construction."""
+        findings = lint_tree(
+            {
+                "api/spec.py": """\
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class Spec:
+                    distance: float
+
+                    def __post_init__(self):
+                        object.__setattr__(self, "distance", float(self.distance))
+
+                    def __init__(self, distance):
+                        object.__setattr__(self, "distance", distance)
+                """
+            },
+            no_taint_config,
+            rule="R005",
+        )
+        assert findings == []
+
+    def test_module_level_setattr_is_flagged(self, lint_tree, no_taint_config):
+        findings = lint_tree(
+            {
+                "api/spec.py": """\
+                SPEC = object()
+                object.__setattr__(SPEC, "x", 1)
+                """
+            },
+            no_taint_config,
+            rule="R005",
+        )
+        assert len(findings) == 1

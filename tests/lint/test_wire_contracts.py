@@ -1,0 +1,71 @@
+"""Regression pins for the wire contracts the linter audits (satellite 6).
+
+R003 flagged two reconciliations: ``cluster-status`` was declared in
+the router instead of the protocol module, and the cluster front's
+client-facing fold partial hand-rolled a record that dropped
+``blob_hashes`` relative to the shared builder.  These tests pin the
+reconciled state so the schema cannot silently fork again.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.service import protocol
+from repro.service.protocol import CLUSTER_STATUS_OP, sweep_partial
+
+
+class TestVerbDeclaration:
+    def test_cluster_status_is_declared_in_the_protocol_module(self):
+        assert CLUSTER_STATUS_OP == "cluster-status"
+        assert "CLUSTER_STATUS_OP" in protocol.__all__
+
+    def test_router_reexports_the_same_verb(self):
+        from repro.cluster import router
+
+        assert router.CLUSTER_STATUS_OP is CLUSTER_STATUS_OP
+
+
+class TestUnifiedPartialSchema:
+    def test_builder_omits_blob_hashes_when_none(self):
+        """The client-forwarded record is the builder with None, not a fork."""
+        worker_side = sweep_partial(
+            None, fold={}, blob_hashes=["a" * 64], sources={}, records=1, errors=0
+        )
+        client_side = sweep_partial(
+            None, fold={}, blob_hashes=None, sources={}, records=1, errors=0
+        )
+        assert "blob_hashes" in worker_side
+        assert "blob_hashes" not in client_side
+        assert set(worker_side) - set(client_side) == {"blob_hashes"}
+
+    def test_empty_blob_hashes_still_ship(self):
+        """A worker with zero fresh results still reports the key."""
+        record = sweep_partial(
+            None, fold={}, blob_hashes=[], sources={}, records=0, errors=0
+        )
+        assert record["blob_hashes"] == []
+
+    def test_required_keys_are_stable(self):
+        record = sweep_partial(
+            7, fold={"n": 0}, blob_hashes=None, sources={"cache": 1}, records=1, errors=0
+        )
+        assert set(record) == {"ok", "op", "records", "errors", "sources", "fold", "id"}
+        assert record["op"] == "partial"
+
+
+class TestJsonOutputPurity:
+    """``--json`` verbs must write one parseable document to stdout."""
+
+    def test_suites_json_is_pure_stdout(self, capsys):
+        assert main(["suites", "--json"]) == 0
+        captured = capsys.readouterr()
+        rows = json.loads(captured.out)
+        assert rows and all("digest" in row for row in rows)
+
+    def test_lint_json_is_pure_stdout(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)
+        assert captured.err == ""

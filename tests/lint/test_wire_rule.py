@@ -1,0 +1,223 @@
+"""R003: the wire schema must agree across transports."""
+
+from __future__ import annotations
+
+from repro.lint import LintConfig
+
+WIRE_CONFIG = LintConfig(
+    taint_roots=(),
+    protocol_module="repro.service.protocol",
+    frames_module="repro.service.frames",
+    wire_modules=(
+        "repro.service.protocol",
+        "repro.service.daemon",
+    ),
+    dispatchers=(
+        ("repro.service.protocol", "handle_request"),
+        ("repro.service.daemon", "_dispatch"),
+    ),
+)
+
+PROTOCOL = """\
+SOLVE_OP = "solve"
+
+def handle_request(data):
+    op = data.get("op")
+    if op == SOLVE_OP:
+        return {"ok": True, "op": SOLVE_OP, "result": 1}
+    return {"ok": False, "op": "error"}
+"""
+
+
+class TestVerbTable:
+    def test_handled_but_undeclared(self, lint_tree):
+        """A dispatcher answering a verb the protocol never declared."""
+        findings = lint_tree(
+            {
+                "service/protocol.py": PROTOCOL,
+                "service/daemon.py": """\
+                STATUS_OP = "status"
+
+                def _dispatch(op, data):
+                    if op == STATUS_OP:
+                        return {"ok": True, "op": STATUS_OP}
+                    return None
+                """,
+            },
+            WIRE_CONFIG,
+            rule="R003",
+        )
+        assert any(
+            "'status'" in finding.message and "not declared" in finding.message
+            for finding in findings
+        )
+
+    def test_declared_but_unhandled(self, lint_tree):
+        findings = lint_tree(
+            {
+                "service/protocol.py": PROTOCOL + 'DEAD_OP = "dead"\n',
+                "service/daemon.py": "def _dispatch(op, data):\n    return None\n",
+            },
+            WIRE_CONFIG,
+            rule="R003",
+        )
+        assert any(
+            "'dead'" in finding.message and "declared but" in finding.message
+            for finding in findings
+        )
+
+    def test_agreeing_transports_are_clean(self, lint_tree):
+        findings = lint_tree(
+            {
+                "service/protocol.py": PROTOCOL,
+                "service/daemon.py": """\
+                from .protocol import SOLVE_OP
+
+                def _dispatch(op, data):
+                    if op == SOLVE_OP:
+                        return {"ok": True, "op": SOLVE_OP, "result": 2}
+                    return None
+                """,
+            },
+            WIRE_CONFIG,
+            rule="R003",
+        )
+        assert findings == []
+
+
+class TestResponseDivergence:
+    def test_missing_key_across_transports(self, lint_tree):
+        """A transport answering 'solve' without the declared result key."""
+        findings = lint_tree(
+            {
+                "service/protocol.py": PROTOCOL,
+                "service/daemon.py": """\
+                from .protocol import SOLVE_OP
+
+                def _dispatch(op, data):
+                    if op == SOLVE_OP:
+                        return {"ok": True, "op": SOLVE_OP}
+                    return None
+                """,
+            },
+            WIRE_CONFIG,
+            rule="R003",
+        )
+        divergences = [f for f in findings if "diverges" in f.message]
+        assert len(divergences) == 1
+        assert "missing ['result']" in divergences[0].message
+        assert divergences[0].path == "repro/service/daemon.py"
+
+    def test_conditionally_added_keys_are_optional(self, lint_tree):
+        """``response["id"] = ...`` in a branch must not count as drift."""
+        findings = lint_tree(
+            {
+                "service/protocol.py": PROTOCOL,
+                "service/daemon.py": """\
+                from .protocol import SOLVE_OP
+
+                def _dispatch(op, data):
+                    if op == SOLVE_OP:
+                        response = {"ok": True, "op": SOLVE_OP, "result": 2}
+                        if data.get("id") is not None:
+                            response["id"] = data["id"]
+                        return response
+                    return None
+                """,
+            },
+            WIRE_CONFIG,
+            rule="R003",
+        )
+        assert findings == []
+
+
+FRAMES_HEAD = """\
+def _encode_into(out, value):
+    if value is None:
+        out += b"N"
+    elif isinstance(value, int):
+        out += b"i"
+    else:
+        out += b"s"
+"""
+
+DECODER_MISSING_S = """\
+
+def _decode_from(buf, at):
+    tag = buf[at]
+    if tag == 0x4E:
+        return None
+    if tag == 0x69:
+        return 0
+    raise ValueError(tag)
+"""
+
+DECODER_FULL = """\
+
+def _decode_from(buf, at):
+    tag = buf[at]
+    if tag in (0x4E, 0x69, 0x73):
+        return None
+    raise ValueError(tag)
+"""
+
+SKIPPER_MISSING_S = """\
+
+def _skip_from(buf, at):
+    tag = buf[at]
+    if tag in (0x4E, 0x69):
+        return at + 1
+    raise ValueError(tag)
+"""
+
+SKIPPER_FULL = """\
+
+def _skip_from(buf, at):
+    tag = buf[at]
+    if tag in (0x4E, 0x69, 0x73):
+        return at + 1
+    raise ValueError(tag)
+"""
+
+NO_DISPATCH = "def _dispatch(op, data):\n    return None\n"
+
+
+class TestCodecSymmetry:
+    def test_encoded_tag_the_decoder_rejects(self, lint_tree):
+        findings = lint_tree(
+            {
+                "service/protocol.py": PROTOCOL,
+                "service/daemon.py": NO_DISPATCH,
+                "service/frames.py": FRAMES_HEAD + DECODER_MISSING_S,
+            },
+            WIRE_CONFIG,
+            rule="R003",
+        )
+        assert any(
+            "'s'" in finding.message and "_decode_from does not accept" in finding.message
+            for finding in findings
+        )
+
+    def test_decoded_tag_the_skipper_cannot_skip(self, lint_tree):
+        findings = lint_tree(
+            {
+                "service/protocol.py": PROTOCOL,
+                "service/daemon.py": NO_DISPATCH,
+                "service/frames.py": FRAMES_HEAD + DECODER_FULL + SKIPPER_MISSING_S,
+            },
+            WIRE_CONFIG,
+            rule="R003",
+        )
+        assert any("_skip_from cannot skip" in finding.message for finding in findings)
+
+    def test_symmetric_codec_is_clean(self, lint_tree):
+        findings = lint_tree(
+            {
+                "service/protocol.py": PROTOCOL,
+                "service/daemon.py": NO_DISPATCH,
+                "service/frames.py": FRAMES_HEAD + DECODER_FULL + SKIPPER_FULL,
+            },
+            WIRE_CONFIG,
+            rule="R003",
+        )
+        assert findings == []
